@@ -1,0 +1,80 @@
+"""Ablation A9 -- activation-rate limits on multi-row operation.
+
+The paper's multi-row activation latches addresses at command rate,
+which assumes NVM row activation (a wordline swing, no restore current)
+does not stress power delivery.  A conservative design might still
+impose a DRAM-like tRRD floor between activates; this ablation shows how
+fast the 128-row advantage erodes as that floor grows -- and that even
+with DDR3's own tRRD (6 ns) the multi-row OR stays far ahead.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.model import PinatuboModel
+from repro.memsim.timing import nvm_timing
+from repro.nvm.technology import get_technology
+
+
+RRD_VALUES = (0.0, 2e-9, 6e-9, 15e-9, 30e-9)
+
+
+def model_with_rrd(t_rrd, max_rows=None):
+    timing = dataclasses.replace(
+        nvm_timing(get_technology("pcm")), t_rrd=t_rrd
+    )
+    model = PinatuboModel(max_rows=max_rows)
+    # swap in the paced timing
+    model.timing = timing
+    model.controller.timing = timing
+    for bus in model.controller.buses:
+        bus.timing = timing
+    return model
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = {}
+    for t_rrd in RRD_VALUES:
+        cost = model_with_rrd(t_rrd).bitwise_cost("or", 128, 1 << 19)
+        out[t_rrd] = cost.latency
+    return out
+
+
+def test_ablation_rrd_table(sweep, once):
+    once(lambda: None)  # register with --benchmark-only
+    base = sweep[0.0]
+    print("\nAblation: activate-to-activate floor vs 128-row OR latency")
+    for t_rrd, latency in sweep.items():
+        print(f"  tRRD {t_rrd * 1e9:5.1f} ns: {latency * 1e6:7.3f} us "
+              f"({latency / base:5.2f}x the unconstrained design)")
+
+
+def test_ablation_latency_monotone_in_rrd(sweep, once):
+    once(lambda: None)  # register with --benchmark-only
+    latencies = [sweep[v] for v in RRD_VALUES]
+    assert latencies == sorted(latencies)
+
+
+def test_ablation_command_rate_floor_is_free(sweep, once):
+    """tRRD at or below the command slot changes nothing."""
+    once(lambda: None)  # register with --benchmark-only
+    assert sweep[0.0] == pytest.approx(sweep[RRD_VALUES[1]] , rel=0.25)
+    tiny = model_with_rrd(1e-9).bitwise_cost("or", 128, 1 << 19).latency
+    assert tiny == pytest.approx(sweep[0.0], rel=1e-9)
+
+
+def test_ablation_multirow_survives_ddr3_rrd(once):
+    """Even paced at DDR3's tRRD, the one-step 128-row OR crushes the
+    2-row decomposition."""
+    once(lambda: None)  # register with --benchmark-only
+    paced_128 = model_with_rrd(6e-9).bitwise_cost("or", 128, 1 << 19)
+    unpaced_2 = model_with_rrd(0.0, max_rows=2).bitwise_cost("or", 128, 1 << 19)
+    assert unpaced_2.latency / paced_128.latency > 20
+
+
+def test_ablation_rrd_bench(benchmark):
+    model = model_with_rrd(6e-9)
+    cost = benchmark(model.bitwise_cost, "or", 128, 1 << 19)
+    assert cost.latency > 0

@@ -1,0 +1,93 @@
+"""Ablation A7 -- software compression (WAH) vs in-memory parallelism.
+
+FastBit's classic answer to bitmap cost is WAH compression: logical ops
+walk compressed words and skip fills.  Pinatubo's answer is operating on
+uncompressed rows at full array parallelism.  This ablation runs a
+FastBit-style OR primitive both ways and shows where each wins:
+compression thrives on sparse bin bitmaps, and stops helping exactly
+where the bitmaps (or intermediates) turn dense.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.fastbit import BitmapIndex
+from repro.apps.star import synthetic_star_table
+from repro.apps.wah import wah_encode, wah_or
+from repro.baselines.simd import SimdCpu
+from repro.core.model import PinatuboModel
+
+N_EVENTS = 31 * 4096  # ~127 Kbit bitmaps
+N_BINS = 128
+
+#: CPU cost of one WAH word through the branchy merge loop (~7 cycles)
+WAH_SECONDS_PER_WORD = 7 / 3.3e9
+
+
+@pytest.fixture(scope="module")
+def index():
+    table = synthetic_star_table(N_EVENTS, seed=11)
+    return BitmapIndex(table.bin_indices("energy"), N_BINS)
+
+
+def wah_pair_or_cost(index, a, b):
+    """Seconds for one compressed-domain OR of two bin bitmaps."""
+    wa = wah_encode(index.bitmap(a))
+    wb = wah_encode(index.bitmap(b))
+    result = wah_or(wa, wb)
+    words = len(wa) + len(wb) + len(result)
+    return words * WAH_SECONDS_PER_WORD, result
+
+
+@pytest.fixture(scope="module")
+def costs(index):
+    cpu = SimdCpu.with_pcm()
+    p128 = PinatuboModel()
+    out = {}
+    for label, a, b in (("sparse bins 121|122", 121, 122),
+                        ("dense bins 0|1", 0, 1)):
+        t_wah, _ = wah_pair_or_cost(index, a, b)
+        t_plain = cpu.bitwise_cost("or", 2, N_EVENTS).latency
+        t_pim = p128.bitwise_cost("or", 2, N_EVENTS).latency
+        out[label] = {"WAH-CPU": t_wah, "plain-CPU": t_plain, "Pinatubo-128": t_pim}
+    return out
+
+
+def test_ablation_compression_table(costs, once):
+    once(lambda: None)  # register with --benchmark-only
+    print("\nAblation: FastBit range-OR, compressed CPU vs plain CPU vs PIM")
+    for label, row in costs.items():
+        print(f"  {label}:")
+        for scheme, seconds in row.items():
+            print(f"    {scheme:14s}: {seconds * 1e6:9.2f} us")
+
+
+def test_ablation_wah_helps_cpu_on_sparse(costs, once):
+    once(lambda: None)  # register with --benchmark-only
+    sparse = costs["sparse bins 121|122"]
+    assert sparse["WAH-CPU"] < sparse["plain-CPU"]
+
+
+def test_ablation_wah_fades_on_dense(costs, once):
+    """Wide ORs over the dense head produce dense intermediates; the
+    compressed walk approaches (or exceeds) the plain streaming cost."""
+    once(lambda: None)  # register with --benchmark-only
+    dense = costs["dense bins 0|1"]
+    sparse = costs["sparse bins 121|122"]
+    gain_dense = dense["plain-CPU"] / dense["WAH-CPU"]
+    gain_sparse = sparse["plain-CPU"] / sparse["WAH-CPU"]
+    assert gain_dense < gain_sparse
+
+
+def test_ablation_pinatubo_beats_both_everywhere(costs, once):
+    once(lambda: None)  # register with --benchmark-only
+    for label, row in costs.items():
+        assert row["Pinatubo-128"] < row["WAH-CPU"], label
+        assert row["Pinatubo-128"] < row["plain-CPU"], label
+
+
+def test_ablation_wah_op_speed(benchmark, index):
+    a = wah_encode(index.bitmap(100))
+    b = wah_encode(index.bitmap(101))
+    result = benchmark(wah_or, a, b)
+    assert len(result) > 0

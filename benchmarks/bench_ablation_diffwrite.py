@@ -1,0 +1,130 @@
+"""Ablation A8 -- differential write-back and result emission paths.
+
+PCM programming dominates a small op's energy (see the breakdown in
+`examples/design_space.py`), so two executor design choices matter:
+
+- *differential write*: only the result bits that actually change are
+  pulsed.  Random data flips ~half; structured results (bitmap masks,
+  repeated queries) flip far fewer; a repeated identical op flips none.
+- *I/O-bus emission*: results consumed by the host (e.g. a popcount)
+  need never be programmed at all.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pinatubo import PinatuboSystem
+from repro.memsim.controller import CommandKind
+from repro.memsim.geometry import MemoryGeometry
+from repro.runtime.api import PimRuntime
+
+
+GEOM = MemoryGeometry(
+    channels=1,
+    ranks_per_channel=1,
+    chips_per_rank=1,
+    banks_per_chip=2,
+    subarrays_per_bank=8,
+    rows_per_subarray=64,
+    mats_per_subarray=2,
+    cols_per_mat=4096,
+    mux_ratio=32,
+)
+
+
+def fresh_runtime():
+    return PimRuntime(PinatuboSystem.pcm(geometry=GEOM))
+
+
+def load_pair(rt, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rt.pim_malloc(GEOM.row_bits, "g")
+    b = rt.pim_malloc(GEOM.row_bits, "g")
+    rt.pim_write(a, rng.integers(0, 2, GEOM.row_bits).astype(np.uint8))
+    rt.pim_write(b, rng.integers(0, 2, GEOM.row_bits).astype(np.uint8))
+    return a, b
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    out = {}
+    rt = fresh_runtime()
+    a, b = load_pair(rt)
+    dest = rt.pim_malloc(GEOM.row_bits, "g")
+    out["first (cold dest)"] = rt.pim_op("or", dest, [a, b])
+    out["repeat (same result)"] = rt.pim_op("or", dest, [a, b])
+    scratch = rt.pim_malloc(GEOM.row_bits, "g")
+    rt2 = fresh_runtime()
+    a2, b2 = load_pair(rt2)
+    scratch2 = rt2.pim_malloc(GEOM.row_bits, "g")
+    rt2.pim_op_to_host("or", scratch2, [a2, b2])
+    out["emit to host"] = rt2.pim_accounting
+    return out
+
+
+def _energy(entry):
+    return getattr(entry, "energy", None) or entry.energy
+
+
+def test_ablation_diffwrite_table(measurements, once):
+    once(lambda: None)  # register with --benchmark-only
+    print("\nAblation: write-back energy per emission strategy (2-row OR)")
+    for name, entry in measurements.items():
+        acct = getattr(entry, "accounting", entry)
+        wb = acct.energy_by_kind.get(CommandKind.PIM_WRITEBACK, 0.0)
+        print(f"  {name:22s}: total {acct.energy * 1e9:8.2f} nJ, "
+              f"writeback {wb * 1e9:8.2f} nJ")
+
+
+def test_ablation_repeat_op_writes_nothing(measurements, once):
+    once(lambda: None)  # register with --benchmark-only
+    first = measurements["first (cold dest)"].accounting
+    repeat = measurements["repeat (same result)"].accounting
+    wb_first = first.energy_by_kind[CommandKind.PIM_WRITEBACK]
+    wb_repeat = repeat.energy_by_kind.get(CommandKind.PIM_WRITEBACK, 0.0)
+    assert wb_repeat == 0.0
+    assert wb_first > 0.0
+    assert repeat.energy < first.energy / 2
+
+
+def test_ablation_host_emission_skips_programming(measurements, once):
+    once(lambda: None)  # register with --benchmark-only
+    host = measurements["emit to host"]
+    assert CommandKind.PIM_WRITEBACK not in host.energy_by_kind
+    assert host.bus_data_bytes >= GEOM.row_bytes
+
+
+def test_ablation_structured_data_flips_less(once):
+    """Bitmap-style structured results (mostly zero) cost far less to
+    program than random ones."""
+    once(lambda: None)  # register with --benchmark-only
+    rng = np.random.default_rng(1)
+
+    def run(density):
+        rt = fresh_runtime()
+        a = rt.pim_malloc(GEOM.row_bits, "g")
+        b = rt.pim_malloc(GEOM.row_bits, "g")
+        bits_a = (rng.random(GEOM.row_bits) < density).astype(np.uint8)
+        bits_b = (rng.random(GEOM.row_bits) < density).astype(np.uint8)
+        rt.pim_write(a, bits_a)
+        rt.pim_write(b, bits_b)
+        dest = rt.pim_malloc(GEOM.row_bits, "g")
+        result = rt.pim_op("and", dest, [a, b])
+        return result.accounting.energy_by_kind.get(
+            CommandKind.PIM_WRITEBACK, 0.0
+        )
+
+    sparse = run(0.01)  # AND of two sparse bitmaps: almost no set bits
+    dense = run(0.5)
+    assert sparse < dense / 10
+
+
+def test_ablation_diffwrite_bench(benchmark):
+    def run():
+        rt = fresh_runtime()
+        a, b = load_pair(rt)
+        dest = rt.pim_malloc(GEOM.row_bits, "g")
+        return rt.pim_op("or", dest, [a, b])
+
+    result = benchmark(run)
+    assert result.energy > 0

@@ -1,0 +1,80 @@
+"""Ablation A2 -- geometry choices: SA mux ratio and row length.
+
+The 32:1 column mux is why Fig. 9's turning point A sits at 2^14: one
+rank senses row_bits/mux bits per step.  Sweeping the mux ratio moves the
+point and trades SA area against sense serialisation; sweeping mats per
+subarray moves point B's row size.
+"""
+
+import pytest
+
+from repro.core.pinatubo import PinatuboSystem
+from repro.memsim.geometry import MemoryGeometry
+
+
+def geometry_with(mux_ratio=32, mats=16):
+    return MemoryGeometry(mux_ratio=mux_ratio, mats_per_subarray=mats)
+
+
+@pytest.fixture(scope="module")
+def mux_sweep():
+    """{mux: throughput GBps at 2^19, 2-row} -- the mux-bound regime."""
+    out = {}
+    for mux in (8, 16, 32, 64):
+        system = PinatuboSystem.pcm(geometry=geometry_with(mux_ratio=mux))
+        out[mux] = system.or_throughput(1 << 19, 2).throughput_gbps
+    return out
+
+
+def test_ablation_mux_table(mux_sweep, once):
+    once(lambda: None)  # register with --benchmark-only
+    print("\nAblation: SA mux ratio vs full-row 2-row OR throughput")
+    for mux, gbps in mux_sweep.items():
+        print(f"  mux {mux:3d}:1 -> {gbps:8.1f} GBps "
+              f"(sense step = 2^19/{mux} bits)")
+
+
+def test_ablation_fewer_shared_columns_is_faster(mux_sweep, once):
+    """Smaller mux = more SAs = fewer serial sense steps."""
+    once(lambda: None)  # register with --benchmark-only
+    values = [mux_sweep[m] for m in (8, 16, 32, 64)]
+    assert values == sorted(values, reverse=True)
+
+
+def test_ablation_mux_moves_turning_point(once):
+    """With mux 8, point A moves from 2^14 to 2^16."""
+    once(lambda: None)  # register with --benchmark-only
+    g = geometry_with(mux_ratio=8)
+    assert g.sense_bits_per_step == 1 << 16
+    assert g.sense_steps_for_bits(1 << 16) == 1
+    assert g.sense_steps_for_bits((1 << 16) + 1) == 2
+
+
+def test_ablation_mux_area_tradeoff(once):
+    """The flip side: smaller mux multiplies SA count, and with it the
+    and/or + xor add-on area."""
+    once(lambda: None)  # register with --benchmark-only
+    from repro.energy.area import AreaModel
+
+    wide = AreaModel(geometry_with(mux_ratio=8))
+    narrow = AreaModel(geometry_with(mux_ratio=32))
+    assert (
+        wide.pinatubo().components["xor"]
+        == pytest.approx(4 * narrow.pinatubo().components["xor"])
+    )
+
+
+def test_ablation_row_length_moves_point_b(once):
+    once(lambda: None)  # register with --benchmark-only
+    short_rows = geometry_with(mats=8)  # rank row = 2^18
+    assert short_rows.row_bits == 1 << 18
+    assert short_rows.rows_for_bits(1 << 19) == 2
+
+
+def test_ablation_geometry_bench(benchmark):
+    def run():
+        system = PinatuboSystem.pcm(geometry=geometry_with(mux_ratio=16))
+        return system.or_throughput(1 << 16, 8)
+
+    acct = benchmark(run)
+    assert acct.throughput_gbps > 0

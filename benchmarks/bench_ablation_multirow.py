@@ -1,0 +1,72 @@
+"""Ablation A1 -- how much does the multi-row limit buy?
+
+Sweeps the one-step OR row limit (Pinatubo-2 .. Pinatubo-128) on the
+multi-row Vector workload and on the graph apps.  This isolates the
+paper's central design choice: the reference circuits + LWL latch that
+enable n-row activation.
+"""
+
+import pytest
+
+from repro.analysis.figures import geomean
+from repro.baselines.base import AccessPattern
+from repro.core.model import PinatuboModel
+from repro.workloads.trace import OpTrace
+
+
+ROW_LIMITS = (2, 4, 8, 16, 32, 64, 128)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """{limit: latency} for a 128-operand OR on 2^19-bit vectors."""
+    out = {}
+    for limit in ROW_LIMITS:
+        model = PinatuboModel(max_rows=limit)
+        out[limit] = model.bitwise_cost("or", 128, 1 << 19).latency
+    return out
+
+
+def test_ablation_multirow_table(sweep, once):
+    once(lambda: None)  # register with --benchmark-only
+    print("\nAblation: one-step OR row limit vs 128-operand op latency")
+    base = sweep[2]
+    for limit, latency in sweep.items():
+        print(f"  Pinatubo-{limit:<4d}: {latency * 1e6:8.2f} us "
+              f"({base / latency:6.1f}x over Pinatubo-2)")
+
+
+def test_ablation_latency_monotone_in_limit(sweep, once):
+    once(lambda: None)  # register with --benchmark-only
+    latencies = [sweep[l] for l in ROW_LIMITS]
+    assert latencies == sorted(latencies, reverse=True)
+
+
+def test_ablation_diminishing_returns(sweep, once):
+    """Each doubling of the limit buys less: combine-step count halves
+    but fixed per-op costs (tRCD, tWR) stay."""
+    once(lambda: None)  # register with --benchmark-only
+    gains = [
+        sweep[ROW_LIMITS[i]] / sweep[ROW_LIMITS[i + 1]]
+        for i in range(len(ROW_LIMITS) - 1)
+    ]
+    assert gains[0] > gains[-1]
+    assert all(g >= 1.0 for g in gains)
+
+
+def test_ablation_limit_useless_on_random(once):
+    """The limit only matters for intra-subarray ops."""
+    once(lambda: None)  # register with --benchmark-only
+    costs = [
+        PinatuboModel(max_rows=limit)
+        .bitwise_cost("or", 128, 1 << 14, AccessPattern.RANDOM)
+        .latency
+        for limit in (2, 128)
+    ]
+    assert costs[0] == pytest.approx(costs[1], rel=1e-9)
+
+
+def test_ablation_sweep_speed(benchmark):
+    model = PinatuboModel(max_rows=16)
+    cost = benchmark(model.bitwise_cost, "or", 128, 1 << 19)
+    assert cost.latency > 0

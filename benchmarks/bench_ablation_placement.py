@@ -1,0 +1,90 @@
+"""Ablation A4 -- the PIM-aware allocator's worth (paper Section 5).
+
+Runs identical operation sequences on the *functional* runtime under the
+PIM-aware placement policy vs a conventional bank-interleaving OS, and
+measures the latency/energy gap.  This is the end-to-end justification
+for the paper's OS/memory-management support.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pinatubo import PinatuboSystem
+from repro.memsim.address import OpLocality
+from repro.memsim.geometry import MemoryGeometry
+from repro.runtime.api import PimRuntime
+from repro.runtime.os_mm import PlacementPolicy
+
+
+GEOM = MemoryGeometry(
+    channels=1,
+    ranks_per_channel=1,
+    chips_per_rank=1,
+    banks_per_chip=4,
+    subarrays_per_bank=8,
+    rows_per_subarray=64,
+    mats_per_subarray=1,
+    cols_per_mat=4096,
+    mux_ratio=32,
+)
+
+
+def run_workload(policy, n_ops=16, n_operands=8):
+    rt = PimRuntime(PinatuboSystem.pcm(geometry=GEOM), policy=policy)
+    rng = np.random.default_rng(5)
+    localities = {}
+    for i in range(n_ops):
+        group = f"op{i}"
+        operands = []
+        for _ in range(n_operands):
+            h = rt.pim_malloc(GEOM.row_bits, group)
+            rt.pim_write(h, rng.integers(0, 2, GEOM.row_bits).astype(np.uint8))
+            operands.append(h)
+        dest = rt.pim_malloc(GEOM.row_bits, group)
+        result = rt.pim_op("or", dest, operands)
+        for loc, n in result.localities.items():
+            localities[loc] = localities.get(loc, 0) + n
+    return rt.pim_accounting, localities
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        "pim_aware": run_workload(PlacementPolicy.PIM_AWARE),
+        "interleaved": run_workload(PlacementPolicy.INTERLEAVED),
+    }
+
+
+def test_ablation_placement_table(results, once):
+    once(lambda: None)  # register with --benchmark-only
+    print("\nAblation: allocator placement policy (functional runtime)")
+    for name, (acct, localities) in results.items():
+        locs = {k.value: v for k, v in localities.items()}
+        print(f"  {name:12s}: latency {acct.latency * 1e6:8.1f} us, "
+              f"energy {acct.energy * 1e6:8.2f} uJ, localities {locs}")
+
+
+def test_ablation_pim_aware_is_intra_subarray(results, once):
+    once(lambda: None)  # register with --benchmark-only
+    _acct, localities = results["pim_aware"]
+    assert set(localities) == {OpLocality.INTRA_SUBARRAY}
+
+
+def test_ablation_interleaved_degrades(results, once):
+    once(lambda: None)  # register with --benchmark-only
+    _acct, localities = results["interleaved"]
+    assert OpLocality.INTRA_SUBARRAY not in localities
+
+
+def test_ablation_placement_latency_gap(results, once):
+    """The whole point of Section 5: placement buys multi-row one-step
+    execution; scattering costs per-operand buffer reads."""
+    once(lambda: None)  # register with --benchmark-only
+    aware, _ = results["pim_aware"]
+    scattered, _ = results["interleaved"]
+    assert scattered.latency > 2 * aware.latency
+
+
+def test_ablation_placement_bench(benchmark):
+    acct, _ = benchmark(lambda: run_workload(PlacementPolicy.PIM_AWARE, n_ops=2))
+    assert acct.latency > 0

@@ -1,0 +1,60 @@
+"""Ablation A6 -- sensing bit-error rate vs multi-row fan-in.
+
+Quantifies the Fig. 5 "no overlap" assumption: BER stays negligible
+through the supported 128-row fan-in (and the 4-sigma electrical limit),
+then climbs steeply as the composite case ratio (K + n - 1)/n approaches
+the systematic cell spread.
+"""
+
+import pytest
+
+from repro.nvm.margin import MarginAnalysis
+from repro.nvm.reliability import SensingReliability
+from repro.nvm.technology import get_technology
+
+
+FANINS = (2, 128, 334, 1024, 2048, 4096)
+
+
+@pytest.fixture(scope="module")
+def curve():
+    rel = SensingReliability(get_technology("pcm"))
+    return {n: rel.analytical_or(n) for n in FANINS}
+
+
+def test_ablation_ber_table(curve, once):
+    once(lambda: None)  # register with --benchmark-only
+    limit = MarginAnalysis(get_technology("pcm")).electrical_or_limit()
+    print(f"\nAblation: OR fan-in vs worst-case sensing BER "
+          f"(PCM, electrical limit {limit})")
+    for n, point in curve.items():
+        marker = " <= supported" if n <= 128 else ""
+        print(f"  n={n:5d}: miss={point.p_miss:9.2e} "
+              f"false={point.p_false:9.2e}{marker}")
+
+
+def test_ablation_supported_fanin_is_clean(curve, once):
+    once(lambda: None)  # register with --benchmark-only
+    assert curve[128].worst < 1e-9
+
+
+def test_ablation_cliff_location(curve, once):
+    """The BER cliff sits beyond the margin-analysis limit -- the
+    corner-based design rule has headroom, as a design rule should."""
+    once(lambda: None)  # register with --benchmark-only
+    assert curve[334].worst < 1e-6
+    assert curve[4096].worst > 1e-2
+
+
+def test_ablation_monte_carlo_agrees(once):
+    once(lambda: None)  # register with --benchmark-only
+    rel = SensingReliability(get_technology("pcm"))
+    mc = rel.monte_carlo_or(4096, samples=10_000)
+    fw = rel.analytical_or(4096)
+    assert mc.worst == pytest.approx(fw.worst, rel=0.5)
+
+
+def test_ablation_mc_speed(benchmark):
+    rel = SensingReliability(get_technology("pcm"))
+    point = benchmark(rel.monte_carlo_or, 128, 5_000)
+    assert point.worst < 1e-2

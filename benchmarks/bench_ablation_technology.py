@@ -1,0 +1,84 @@
+"""Ablation A5 -- NVM technology choice (paper: "Pinatubo does not rely
+on a certain NVM technology or cell structure").
+
+Runs the same throughput point on PCM, ReRAM and STT-MRAM systems: the
+architecture ports, the multi-row budget (set by the ON/OFF ratio) is
+what changes.
+"""
+
+import pytest
+
+from repro.core.pinatubo import PinatuboSystem
+from repro.nvm.technology import get_technology
+
+
+@pytest.fixture(scope="module")
+def systems():
+    return {
+        "pcm": PinatuboSystem.pcm(),
+        "reram": PinatuboSystem.reram(),
+        "stt": PinatuboSystem.stt(),
+    }
+
+
+@pytest.fixture(scope="module")
+def throughput(systems):
+    out = {}
+    for name in systems:
+        system = {
+            "pcm": PinatuboSystem.pcm,
+            "reram": PinatuboSystem.reram,
+            "stt": PinatuboSystem.stt,
+        }[name]()
+        n = min(system.max_or_rows, 128)
+        acct = system.or_throughput(1 << 19, max(2, n))
+        out[name] = (n, acct.throughput_gbps, acct.energy_per_bit)
+    return out
+
+
+def test_ablation_technology_table(systems, throughput, once):
+    once(lambda: None)  # register with --benchmark-only
+    print("\nAblation: technology choice at each one's best fan-in")
+    for name, system in systems.items():
+        n, gbps, epb = throughput[name]
+        tech = system.technology
+        print(f"  {tech.name:12s}: ON/OFF {tech.on_off_ratio:7.1f}, "
+              f"max fan-in {system.max_or_rows:3d}, "
+              f"best-OR {gbps:9.1f} GBps, {epb * 1e15:6.2f} fJ/bit")
+
+
+def test_ablation_fanin_budgets(systems, once):
+    once(lambda: None)  # register with --benchmark-only
+    assert systems["pcm"].max_or_rows == 128
+    assert 2 < systems["reram"].max_or_rows <= 128
+    assert systems["stt"].max_or_rows == 2
+
+
+def test_ablation_pcm_peak_throughput_wins(throughput, once):
+    """More fan-in = more operand bits per activation."""
+    once(lambda: None)  # register with --benchmark-only
+    assert throughput["pcm"][1] > throughput["reram"][1] > throughput["stt"][1]
+
+
+def test_ablation_all_technologies_functional(once):
+    """Every technology executes a correct end-to-end OR."""
+    once(lambda: None)  # register with --benchmark-only
+    import numpy as np
+
+    for ctor in (PinatuboSystem.pcm, PinatuboSystem.reram, PinatuboSystem.stt):
+        system = ctor()
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 2, 4096).astype(np.uint8)
+        b = rng.integers(0, 2, 4096).astype(np.uint8)
+        system.memory.write_bits(0, a)
+        system.memory.write_bits(1, b)
+        system.bitwise("or", [2], [[0], [1]], 4096)
+        np.testing.assert_array_equal(system.memory.read_bits(2, 4096), a | b)
+
+
+def test_ablation_stt_bench(benchmark):
+    def run():
+        return PinatuboSystem.stt().or_throughput(1 << 16, 2)
+
+    acct = benchmark(run)
+    assert acct.throughput_gbps > 0

@@ -1,0 +1,73 @@
+"""Ablation A3 -- cell variation vs multi-row sensing capability.
+
+The paper assumes "variation is well controlled so that no overlap
+exists".  This ablation quantifies the assumption: how the supported
+one-step OR fan-in degrades as lognormal resistance spread grows, and
+how the design margin (corner sigmas) trades yield against fan-in.
+"""
+
+import pytest
+
+from repro.nvm.margin import MarginAnalysis
+from repro.nvm.technology import get_technology
+from repro.nvm.variation import VariationModel
+
+
+SIGMAS = (0.05, 0.15, 0.25, 0.35, 0.50)
+
+
+@pytest.fixture(scope="module")
+def sigma_sweep():
+    pcm = get_technology("pcm")
+    out = {}
+    for sigma in SIGMAS:
+        variation = VariationModel(pcm.sigma_log_r_low, sigma)
+        out[sigma] = MarginAnalysis(pcm, variation).electrical_or_limit()
+    return out
+
+
+def test_ablation_sigma_table(sigma_sweep, once):
+    once(lambda: None)  # register with --benchmark-only
+    print("\nAblation: HRS variation (sigma of ln R) vs electrical OR limit")
+    for sigma, limit in sigma_sweep.items():
+        print(f"  sigma={sigma:.2f} -> {limit:5d} rows")
+
+
+def test_ablation_more_variation_fewer_rows(sigma_sweep, once):
+    once(lambda: None)  # register with --benchmark-only
+    limits = [sigma_sweep[s] for s in SIGMAS]
+    assert limits == sorted(limits, reverse=True)
+    assert limits[0] > 128  # tight cells: beyond the TCAM cap
+    assert limits[-1] < 128  # loose cells: the cap becomes electrical
+
+
+def test_ablation_corner_margin_tradeoff(once):
+    """Designing to more sigmas (higher yield) costs fan-in."""
+    once(lambda: None)  # register with --benchmark-only
+    pcm = get_technology("pcm")
+    limits = {
+        k: MarginAnalysis(
+            pcm, VariationModel.for_technology(pcm, corner_sigmas=k)
+        ).electrical_or_limit()
+        for k in (3.0, 4.0, 5.0, 6.0)
+    }
+    print(f"\ncorner sigmas vs OR limit: {limits}")
+    values = [limits[k] for k in (3.0, 4.0, 5.0, 6.0)]
+    assert values == sorted(values, reverse=True)
+
+
+def test_ablation_on_off_ratio_is_the_lever(once):
+    """Across technologies the ON/OFF ratio sets the fan-in budget."""
+    once(lambda: None)  # register with --benchmark-only
+    limits = {}
+    for name in ("pcm", "reram", "stt"):
+        tech = get_technology(name)
+        limits[tech.on_off_ratio] = MarginAnalysis(tech).electrical_or_limit()
+    ratios = sorted(limits)
+    assert [limits[r] for r in ratios] == sorted(limits.values())
+
+
+def test_ablation_margin_speed(benchmark):
+    pcm = get_technology("pcm")
+    limit = benchmark(lambda: MarginAnalysis(pcm).electrical_or_limit())
+    assert limit > 128

@@ -1,0 +1,78 @@
+"""Extension E12 -- channel-striped placement + overlapped chunks.
+
+Beyond the paper: Fig. 9's turning point B exists because a long vector's
+chunks execute serially.  With the CHANNEL_STRIPED placement policy and
+``overlap_chunks=True`` the chunks run on different channels
+concurrently, pushing point B out by the channel count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pinatubo import PinatuboSystem
+from repro.memsim.geometry import MemoryGeometry
+from repro.runtime.api import PimRuntime
+from repro.runtime.os_mm import PlacementPolicy
+
+
+GEOM = MemoryGeometry(
+    channels=4,
+    ranks_per_channel=1,
+    chips_per_rank=1,
+    banks_per_chip=2,
+    subarrays_per_bank=8,
+    rows_per_subarray=64,
+    mats_per_subarray=2,
+    cols_per_mat=4096,
+    mux_ratio=32,
+)
+
+
+def run_long_or(policy, overlap, n_chunks=4, n_operands=8):
+    rt = PimRuntime(PinatuboSystem.pcm(geometry=GEOM), policy=policy)
+    n_bits = n_chunks * GEOM.row_bits
+    rng = np.random.default_rng(2)
+    operands = []
+    for _ in range(n_operands):
+        h = rt.pim_malloc(n_bits, "g")
+        rt.pim_write(h, rng.integers(0, 2, n_bits).astype(np.uint8))
+        operands.append(h)
+    dest = rt.pim_malloc(n_bits, "g")
+    result = rt.pim_op("or", dest, operands, overlap_chunks=overlap)
+    return result
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        "serial (paper)": run_long_or(PlacementPolicy.PIM_AWARE, overlap=False),
+        "striped+overlap": run_long_or(PlacementPolicy.CHANNEL_STRIPED, overlap=True),
+    }
+
+
+def test_extension_table(results, once):
+    once(lambda: None)  # register with --benchmark-only
+    print("\nExtension: 4-chunk 8-operand OR, serial vs channel-overlapped")
+    for name, result in results.items():
+        print(f"  {name:16s}: {result.latency * 1e9:9.1f} ns, "
+              f"{result.energy * 1e9:9.2f} nJ")
+
+
+def test_extension_near_linear_speedup(results, once):
+    once(lambda: None)  # register with --benchmark-only
+    gain = results["serial (paper)"].latency / results["striped+overlap"].latency
+    assert gain > 2.5  # 4 channels, minus the shared MRS + batch overhead
+
+
+def test_extension_energy_neutral(results, once):
+    once(lambda: None)  # register with --benchmark-only
+    assert results["striped+overlap"].energy == pytest.approx(
+        results["serial (paper)"].energy, rel=0.05
+    )
+
+
+def test_extension_bench(benchmark):
+    result = benchmark(
+        lambda: run_long_or(PlacementPolicy.CHANNEL_STRIPED, overlap=True, n_operands=2)
+    )
+    assert result.latency > 0

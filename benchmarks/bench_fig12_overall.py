@@ -1,0 +1,85 @@
+"""E7 -- Fig. 12: overall application speedup and energy saving.
+
+The Amdahl picture: graph processing and FastBit with their full scalar
+parts, per scheme, including the Ideal (zero-cost bitwise) ceiling.
+"""
+
+import pytest
+
+from repro.analysis.figures import fig12_data
+from benchmarks.conftest import bench_scale
+
+
+@pytest.fixture(scope="module")
+def data():
+    return fig12_data(scale=bench_scale())
+
+
+def _print_block(title, block):
+    schemes = list(next(iter(block.values())))
+    print(f"\n{title}")
+    print(f"{'app':>16s} " + " ".join(f"{s:>14s}" for s in schemes))
+    for app, row in block.items():
+        print(f"{app:>16s} " + " ".join(f"{row[s]:>14.3f}" for s in schemes))
+
+
+def test_fig12_tables(data, once):
+    once(lambda: None)  # register with --benchmark-only
+    _print_block("Fig. 12 -- overall speedup", data["speedup"])
+    _print_block("Fig. 12 -- overall energy saving", data["energy"])
+    for label, g in data["gmeans"].items():
+        print(f"gmean[{label}]: "
+              + ", ".join(f"{s}={v:.3f}" for s, v in g["speedup"].items()))
+
+
+def test_fig12_pinatubo_near_ideal(data, once):
+    """Paper: 'Pinatubo almost achieves the ideal acceleration'."""
+    once(lambda: None)  # register with --benchmark-only
+    for app in data["speedup"]:
+        p = data["speedup"][app]["Pinatubo-128"]
+        ideal = data["speedup"][app]["Ideal"]
+        assert p >= 0.9 * ideal, app
+
+
+def test_fig12_graph_gmean_in_paper_band(data, once):
+    """Paper: graph apps improve ~1.15x (dblp up to 1.37x)."""
+    once(lambda: None)  # register with --benchmark-only
+    g = data["gmeans"]["graph"]["speedup"]["Pinatubo-128"]
+    assert 1.02 <= g <= 1.45
+
+
+def test_fig12_dblp_is_best_graph(data, once):
+    once(lambda: None)  # register with --benchmark-only
+    speedups = {
+        app: row["Pinatubo-128"]
+        for app, row in data["speedup"].items()
+        if app.startswith("graph:")
+    }
+    assert max(speedups, key=speedups.get) == "graph:dblp"
+    assert speedups["graph:dblp"] == pytest.approx(1.37, abs=0.15)
+
+
+def test_fig12_loose_graphs_are_data_dependent(data, once):
+    """Paper: eswiki/amazon spend their time searching for unvisited
+    bit-vectors, capping the benefit."""
+    once(lambda: None)  # register with --benchmark-only
+    assert data["speedup"]["graph:eswiki"]["Pinatubo-128"] < 1.1
+    assert data["speedup"]["graph:amazon"]["Pinatubo-128"] < (
+        data["speedup"]["graph:dblp"]["Pinatubo-128"]
+    )
+
+
+def test_fig12_database_band(data, once):
+    """Paper: database applications achieve ~1.29x overall."""
+    once(lambda: None)  # register with --benchmark-only
+    g = data["gmeans"]["fastbit"]["speedup"]["Pinatubo-128"]
+    assert 1.1 <= g <= 1.4
+
+
+def test_fig12_energy_tracks_speedup(data, once):
+    """Paper: overall energy saving sits within a few percent of the
+    overall speedup (1.11x vs 1.12x)."""
+    once(lambda: None)  # register with --benchmark-only
+    s = data["gmeans"]["all"]["speedup"]["Pinatubo-128"]
+    e = data["gmeans"]["all"]["energy"]["Pinatubo-128"]
+    assert e == pytest.approx(s, rel=0.15)

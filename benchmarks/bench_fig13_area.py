@@ -1,0 +1,57 @@
+"""E8 -- Fig. 13: area overhead comparison and breakdown.
+
+Pinatubo ~0.9 % of the PCM chip vs AC-PIM ~6.4 %, with the
+inter-subarray buffer logic dominating Pinatubo's budget.
+"""
+
+import pytest
+
+from repro.analysis.figures import fig13_data
+from repro.energy.area import AreaModel
+
+
+@pytest.fixture(scope="module")
+def data():
+    return fig13_data()
+
+
+def test_fig13_table(data, once):
+    once(lambda: None)  # register with --benchmark-only
+    print(f"\nFig. 13 -- area overhead (fraction of chip area)")
+    print(f"  Pinatubo: {data['pinatubo_fraction'] * 100:.2f}%  (paper 0.9%)")
+    print(f"  AC-PIM  : {data['acpim_fraction'] * 100:.2f}%  (paper 6.4%)")
+    print("  Pinatubo breakdown:")
+    for component, fraction in data["pinatubo_breakdown"].items():
+        print(f"    {component:>12s}: {fraction * 100:.3f}%")
+
+
+def test_fig13_pinatubo_total(data, once):
+    once(lambda: None)  # register with --benchmark-only
+    assert data["pinatubo_fraction"] == pytest.approx(0.009, abs=0.002)
+
+
+def test_fig13_acpim_total(data, once):
+    once(lambda: None)  # register with --benchmark-only
+    assert data["acpim_fraction"] == pytest.approx(0.064, abs=0.008)
+
+
+def test_fig13_breakdown_matches_paper(data, once):
+    once(lambda: None)  # register with --benchmark-only
+    bd = data["pinatubo_breakdown"]
+    assert bd["inter-sub"] == pytest.approx(0.0072, rel=0.15)
+    assert bd["inter-bank"] == pytest.approx(0.0009, rel=0.2)
+    assert bd["xor"] == pytest.approx(0.0006, rel=0.2)
+    assert bd["wl act"] == pytest.approx(0.0005, rel=0.2)
+    assert bd["and/or"] == pytest.approx(0.0002, rel=0.3)
+    assert data["intra_subarray_fraction"] == pytest.approx(0.0013, rel=0.2)
+
+
+def test_fig13_inter_sub_dominates(data, once):
+    once(lambda: None)  # register with --benchmark-only
+    assert next(iter(data["pinatubo_breakdown"])) == "inter-sub"
+
+
+def test_fig13_model_speed(benchmark):
+    model = AreaModel()
+    report = benchmark(model.pinatubo)
+    assert report.overhead_fraction > 0

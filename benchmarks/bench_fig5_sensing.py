@@ -1,0 +1,52 @@
+"""E1/E10 -- Fig. 5: reference placement and multi-row sensing limits.
+
+Regenerates the resistance-case picture behind Fig. 5 and the Section 4.2
+row limits (PCM 128-row OR, STT-MRAM 2-row), and benchmarks the margin
+analysis itself.
+"""
+
+from repro.analysis.figures import fig5_data
+from repro.nvm.margin import max_multirow_or
+from repro.nvm.technology import get_technology
+
+
+def _print_fig5(data) -> None:
+    print(f"\nFig. 5 -- {data['technology']} reference placement")
+    cases = data["cases"]
+    for case in cases["read_cases"]:
+        print(f"  read case {case.label:10s}: "
+              f"[{case.lower:10.0f}, {case.upper:10.0f}] ohm")
+    print(f"  Rref-read = {cases['ref_read']:.0f} ohm")
+    for case in cases["or_cases"]:
+        print(f"  2-row OR case {case.label:10s}: "
+              f"[{case.lower:10.0f}, {case.upper:10.0f}] ohm")
+    print(f"  Rref-or   = {cases['ref_or']:.0f} ohm")
+    print(f"  max one-step OR rows: {data['max_or_rows']} "
+          f"(electrical limit {data['electrical_or_limit']})")
+
+
+def test_fig5_pcm_reference_placement(benchmark):
+    data = benchmark(fig5_data, "pcm")
+    _print_fig5(data)
+    cases = data["cases"]
+    # references must sit strictly between their closest cases
+    one, zero = cases["read_cases"]
+    assert one.upper < cases["ref_read"] < zero.lower
+    assert data["max_or_rows"] == 128  # the paper's PCM assumption
+    assert data["and_feasible"]
+    # margins shrink with fan-in but stay positive through 128 rows
+    margins = data["or_margins_log"]
+    assert margins[2] > margins[8] > margins[32] > margins[128] > 0
+
+
+def test_fig5_per_technology_row_limits(benchmark):
+    limits = benchmark(
+        lambda: {
+            name: max_multirow_or(get_technology(name))
+            for name in ("pcm", "reram", "stt")
+        }
+    )
+    print(f"\nSection 4.2 row limits: {limits}")
+    assert limits["pcm"] == 128
+    assert limits["stt"] == 2  # conservative low-TMR limit
+    assert 2 < limits["reram"] <= 128

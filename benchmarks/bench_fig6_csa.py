@@ -1,0 +1,47 @@
+"""E2 -- Fig. 6: modified CSA transient validation.
+
+Regenerates the OR/AND/XOR demonstration sequence and the corner sweep
+("tested with a large range of cell resistances from the recent PCM,
+STT-MRAM and ReRAM prototypes"), and benchmarks one transient sensing
+pass.
+"""
+
+import pytest
+
+from repro.analysis.figures import fig6_data
+from repro.circuits.csa_sim import CSATransientSim
+from repro.circuits.validate import validate_csa_corners
+from repro.nvm.technology import get_technology
+
+
+def test_fig6_sequence_and_corners(once):
+    once(lambda: None)  # register with --benchmark-only
+    data = fig6_data("pcm", monte_carlo=3)
+    print("\nFig. 6 -- CSA operation sequence (mode, a, b -> bit):")
+    for entry in data["sequence"]:
+        expected = {
+            "or": entry["a"] | entry["b"],
+            "and": entry["a"] & entry["b"],
+            "xor": entry["a"] ^ entry["b"],
+        }[entry["mode"]]
+        assert entry["bit"] == expected
+        print(f"  {entry['mode']:>4s}({entry['a']},{entry['b']}) -> {entry['bit']}")
+    report = data["corner_report"]
+    print(f"  corner sweep: {report.n_pass}/{report.n_cases} pass")
+    assert report.all_pass
+
+
+@pytest.mark.parametrize("name", ["pcm", "reram", "stt"])
+def test_fig6_all_technologies(name, once):
+    once(lambda: None)  # register with --benchmark-only
+    report = validate_csa_corners(get_technology(name), or_rows=128)
+    print(f"\n{name}: {report.n_pass}/{report.n_cases} corner cases pass")
+    assert report.all_pass
+
+
+def test_fig6_sense_pass_speed(benchmark):
+    """Benchmark one full 3-phase transient sensing pass."""
+    pcm = get_technology("pcm")
+    sim = CSATransientSim(pcm)
+    trace = benchmark(sim.read, pcm.r_low)
+    assert trace.bit == 1

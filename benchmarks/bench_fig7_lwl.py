@@ -1,0 +1,38 @@
+"""E3 -- Fig. 7: local-wordline driver multi-row activation.
+
+Regenerates the RESET + decode + latch transient and benchmarks a
+PCM-scale 128-row activation sequence.
+"""
+
+from repro.analysis.figures import fig7_data
+from repro.circuits.lwl_sim import LWLDriverSim
+
+
+def test_fig7_latch_sequence(once):
+    once(lambda: None)  # register with --benchmark-only
+    data = fig7_data(n_rows=8)
+    print(f"\nFig. 7 -- activated {data['activated']}, "
+          f"latched {data['latched']}")
+    assert data["all_latched"]
+    trace = data["trace"]
+    cfg_vdd = 1.5
+    # the first-latched wordline must still be high when the last decode
+    # pulse fires (that is the whole point of the latch)
+    first = trace.wordline[data["activated"][0]]
+    assert first.final > 0.9 * cfg_vdd
+    # unselected rows stay low
+    for row, wl in trace.wordline.items():
+        if row not in data["activated"]:
+            assert wl.final < 0.2 * cfg_vdd
+
+
+def test_fig7_128_row_activation(benchmark):
+    """The PCM configuration: 128 rows latched in one sequence."""
+    sim = LWLDriverSim(n_rows=256)
+    rows = list(range(0, 256, 2))
+
+    def run():
+        return sim.run_sequence(rows, pulse_width=0.3e-9, gap=0.2e-9, tail=1e-9)
+
+    trace = benchmark(run)
+    assert trace.latched_rows == tuple(rows)

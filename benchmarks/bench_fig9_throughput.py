@@ -1,0 +1,90 @@
+"""E4 -- Fig. 9: Pinatubo OR-operation throughput (GBps).
+
+Regenerates the full length x fan-in sweep, checks the turning points
+(A at 2^14: SA sharing; B at 2^19: serial ranks) and the three bandwidth
+regions, and benchmarks one 128-row OR execution.
+"""
+
+import pytest
+
+from repro.analysis.figures import fig9_data
+from repro.analysis.report import format_series
+from repro.core.pinatubo import PinatuboSystem
+
+
+@pytest.fixture(scope="module")
+def data():
+    return fig9_data()
+
+
+def test_fig9_full_sweep(data, once):
+    once(lambda: None)  # register with --benchmark-only
+    print()
+    print(format_series(
+        "Fig. 9 -- OR throughput (GBps) by vector length (log2) and fan-in",
+        {f"{n}-row": pts for n, pts in data["series"].items()},
+        x_label="len",
+    ))
+    print(f"DDR bus: {data['ddr_bus_gbps']:.1f} GBps, "
+          f"internal: {data['internal_gbps']:.1f} GBps")
+
+
+def test_fig9_throughput_grows_with_length(data, once):
+    once(lambda: None)  # register with --benchmark-only
+    for n, points in data["series"].items():
+        ys = [y for x, y in points if x <= 19]
+        assert ys == sorted(ys), f"{n}-row series not monotone"
+
+
+def test_fig9_fanin_separates_curves(data, once):
+    once(lambda: None)  # register with --benchmark-only
+    series = data["series"]
+    for log_len in (10, 14, 19):
+        at_len = [dict(series[n])[log_len] for n in sorted(series)]
+        assert at_len == sorted(at_len)
+
+
+def test_fig9_turning_point_a(data, once):
+    """Below 2^14 the 2-row curve is linear in length; above it the
+    serial column steps bend it down."""
+    once(lambda: None)  # register with --benchmark-only
+    two = dict(data["series"][2])
+    assert two[12] / two[10] == pytest.approx(4.0, rel=0.05)
+    assert two[16] / two[14] < 0.95 * (two[12] / two[10])
+
+
+def test_fig9_turning_point_b(data, once):
+    """Beyond 2^19 the curves flatten (ranks serialise)."""
+    once(lambda: None)  # register with --benchmark-only
+    for n in (2, 128):
+        pts = dict(data["series"][n])
+        assert pts[20] / pts[19] < 1.05
+
+
+def test_fig9_bandwidth_regions(data, once):
+    once(lambda: None)  # register with --benchmark-only
+    two = dict(data["series"][2])
+    top = dict(data["series"][128])
+    # short vectors sit below the DDR bus bandwidth
+    assert two[10] < data["ddr_bus_gbps"]
+    # 2-row ops stay within the memory-internal region
+    assert two[19] <= data["internal_gbps"] * 1.25
+    # only multi-row ops reach beyond the internal bandwidth
+    assert top[19] > data["internal_gbps"]
+
+
+def test_fig9_multirow_gain(data, once):
+    once(lambda: None)  # register with --benchmark-only
+    two = dict(data["series"][2])
+    top = dict(data["series"][128])
+    assert top[19] / two[19] > 20
+
+
+def test_fig9_op_execution_speed(benchmark):
+    """Benchmark the simulator itself on one 128-row full-row OR."""
+
+    def run():
+        return PinatuboSystem.pcm().or_throughput(1 << 19, 128)
+
+    acct = benchmark(run)
+    assert acct.throughput_gbps > 1000

@@ -1,0 +1,53 @@
+"""Shared configuration for the figure-regeneration benchmarks.
+
+``REPRO_BENCH_SCALE`` (default 1.0) scales the application datasets:
+1.0 reproduces the paper-size workloads (a few minutes for the full
+suite); smaller values give quick smoke runs.
+"""
+
+import builtins
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(autouse=True)
+def _tables_reach_the_terminal(capfd, monkeypatch):
+    """Route every bench print past pytest's output capture.
+
+    The whole point of these benchmarks is the regenerated figure tables;
+    pytest would otherwise capture (and discard) them for passing tests.
+    Each print call briefly suspends fd-level capture (a blanket
+    fixture-scope suspension is undone when the test body starts).
+    """
+    real_print = builtins.print
+
+    def passthrough(*args, **kwargs):
+        with capfd.disabled():
+            real_print(*args, **kwargs)
+
+    monkeypatch.setattr(builtins, "print", passthrough)
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under the benchmark fixture.
+
+    Shape-checking tests use this so they still execute (and report a
+    single-round timing) under ``--benchmark-only``; heavy builders are
+    lru-cached, so only the first test in a module pays the build.
+    """
+
+    def _once(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _once

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Design-space exploration with the sweep and reliability APIs.
+
+What a architect would ask of this library: how the multi-row budget
+moves with cell contrast, what the sensing error tails look like, where
+the latency goes, and what each add-on circuit costs in silicon.
+
+Run:  python examples/design_space.py
+"""
+
+from repro.analysis.sweeps import (
+    activate_time_sweep,
+    mux_ratio_sweep,
+    on_off_ratio_sweep,
+    write_time_sweep,
+)
+from repro.core.pinatubo import PinatuboSystem
+from repro.energy.area import AreaModel
+from repro.nvm.reliability import SensingReliability
+from repro.nvm.technology import get_technology
+from repro.runtime import PimRuntime, WearMonitor
+
+import numpy as np
+
+
+def sweeps_demo() -> None:
+    print(on_off_ratio_sweep().table())
+    print()
+    print(write_time_sweep().table())
+    print()
+    print(activate_time_sweep().table())
+    print()
+    print(mux_ratio_sweep().table())
+
+
+def reliability_demo() -> None:
+    rel = SensingReliability(get_technology("pcm"))
+    print("\nSensing BER vs OR fan-in (PCM, Fenton-Wilkinson tail):")
+    for n in (2, 128, 512, 2048, 4096):
+        point = rel.analytical_or(n)
+        print(f"  n={n:5d}: miss={point.p_miss:9.2e} false={point.p_false:9.2e}")
+
+
+def energy_attribution_demo() -> None:
+    rt = PimRuntime.pcm()
+    rng = np.random.default_rng(0)
+    operands = []
+    for _ in range(128):
+        h = rt.pim_malloc(1 << 19, "probe")
+        rt.pim_write(h, rng.integers(0, 2, 1 << 19).astype(np.uint8))
+        operands.append(h)
+    dest = rt.pim_malloc(1 << 19, "probe")
+    result = rt.pim_op("or", dest, operands)
+    print("\nWhere a 128-row OR's energy goes:")
+    for kind, fraction in result.accounting.energy_breakdown().items():
+        print(f"  {kind:>14s}: {fraction * 100:5.1f}%")
+
+    monitor = WearMonitor(rt.system.memory)
+    report = monitor.report()
+    print(f"wear after the op: {report.frames_written} frames written, "
+          f"imbalance {report.imbalance:.1f}x")
+
+
+def area_demo() -> None:
+    model = AreaModel()
+    report = model.pinatubo()
+    print(f"\nSilicon bill (fraction of an 8 Gb PCM chip):")
+    for component, fraction in report.breakdown().items():
+        print(f"  {component:>12s}: {fraction * 100:6.3f}%")
+    print(f"  {'total':>12s}: {report.overhead_fraction * 100:6.3f}%  "
+          f"(AC-PIM would cost {model.acpim().overhead_fraction * 100:.2f}%)")
+
+
+if __name__ == "__main__":
+    sweeps_demo()
+    reliability_demo()
+    energy_attribution_demo()
+    area_demo()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Gene-burden screening on a PIM-resident genotype panel.
+
+A population-genetics panel (variants x samples bit-matrix) lives in
+Pinatubo memory; gene burden tests -- "which samples carry any variant of
+gene G?" -- execute as single multi-row OR activations, haplotype matches
+as AND chains, and case/control discordance as XOR.
+
+Run:  python examples/genomics_screen.py
+"""
+
+import numpy as np
+
+from repro.apps.genomics import (
+    PimGenotypePanel,
+    burden_oracle,
+    burden_trace,
+    random_gene_sets,
+    synthetic_panel,
+)
+from repro.baselines.simd import SimdCpu
+from repro.core.model import PinatuboModel
+from repro.runtime import PimRuntime
+
+
+def main() -> None:
+    panel = synthetic_panel(n_variants=192, n_samples=8192, seed=11)
+    freqs = [panel.allele_frequency(v) for v in range(panel.n_variants)]
+    print(f"panel: {panel.n_variants} variants x {panel.n_samples} samples, "
+          f"median allele frequency {np.median(freqs) * 100:.2f}%")
+
+    rt = PimRuntime.pcm()
+    pim = PimGenotypePanel(rt, panel)
+    print(f"loaded {panel.n_variants} variant bitmaps into PIM memory")
+
+    # one gene's burden: a single multi-row OR
+    gene = sorted(np.random.default_rng(0).choice(192, 24, replace=False))
+    carriers = pim.burden(gene)
+    assert np.array_equal(carriers, burden_oracle(panel, gene))
+    print(f"gene burden over {len(gene)} variants: "
+          f"{int(carriers.sum())} carrier samples "
+          f"(one in-memory multi-row OR; matches numpy)")
+
+    # haplotype intersection
+    pair = [gene[0], gene[1]]
+    hap = pim.haplotype(pair)
+    print(f"haplotype {pair}: {int(hap.sum())} samples carry both")
+
+    # a full screen, priced at biobank scale
+    big_panel = synthetic_panel(n_variants=512, n_samples=1 << 19, seed=1)
+    sets = random_gene_sets(big_panel, 200, seed=2)
+    trace = burden_trace(big_panel, sets)
+    cpu_cost = trace.price(SimdCpu.with_pcm())
+    pim_cost = trace.price(PinatuboModel())
+    print(f"\n200-gene screen over {big_panel.n_samples:,} samples:")
+    print(f"  bitwise part: CPU {cpu_cost.bitwise_latency * 1e3:.2f} ms "
+          f"vs Pinatubo {pim_cost.bitwise_latency * 1e3:.3f} ms "
+          f"({cpu_cost.bitwise_latency / pim_cost.bitwise_latency:.0f}x)")
+    print(f"  overall: {cpu_cost.total_latency / pim_cost.total_latency:.2f}x "
+          f"end-to-end (carrier materialisation stays on the host)")
+
+
+if __name__ == "__main__":
+    main()

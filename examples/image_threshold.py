@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Image segmentation with in-memory bit-plane operations.
+
+Decomposes a synthetic camera frame into bit planes stored in PIM
+memory, computes threshold and band masks entirely with bulk bitwise
+operations (the bit-serial comparator), and verifies against numpy.
+
+Run:  python examples/image_threshold.py
+"""
+
+import numpy as np
+
+from repro.apps.imaging import (
+    band_mask_pim,
+    synthetic_image,
+    threshold_mask_pim,
+    threshold_trace,
+    to_bit_planes,
+)
+from repro.baselines.simd import SimdCpu
+from repro.core.model import PinatuboModel
+from repro.runtime import PimRuntime
+
+
+def main() -> None:
+    image = synthetic_image(96, 96, seed=42)
+    rt = PimRuntime.pcm()
+
+    # load the 8 bit planes into PIM memory
+    handles = []
+    for plane in to_bit_planes(image):
+        h = rt.pim_malloc(plane.size, "frame")
+        rt.pim_write(h, plane)
+        handles.append(h)
+    print(f"frame {image.shape}: 8 bit planes of {image.size} pixels in PIM")
+
+    # bright-object mask: pixel > 230
+    mask_h = threshold_mask_pim(rt, handles, 230)
+    mask = rt.pim_read(mask_h).reshape(image.shape)
+    assert np.array_equal(mask, (image > 230).astype(np.uint8))
+    print(f"threshold >230: {int(mask.sum())} bright pixels "
+          f"(matches numpy: True)")
+
+    # mid-band mask: 96 < pixel <= 160
+    band_h = band_mask_pim(rt, handles, 96, 160)
+    band = rt.pim_read(band_h).reshape(image.shape)
+    expected = ((image > 96) & ~(image > 160)).astype(np.uint8)
+    assert np.array_equal(band, expected)
+    print(f"band (96,160]: {int(band.sum())} pixels (matches numpy: True)")
+
+    print(f"in-memory ops issued: {rt.driver.stats.instructions}, "
+          f"DDR data bytes during compute: 0")
+
+    # evaluation: a video-rate pipeline (1080p, one threshold per frame)
+    n_pixels = 1920 * 1080
+    trace = threshold_trace(n_pixels, 128)
+    cpu_cost = trace.price(SimdCpu.with_pcm())
+    pim_cost = trace.price(PinatuboModel())
+    print(f"\n1080p threshold: CPU {cpu_cost.bitwise_latency * 1e6:.1f} us "
+          f"vs Pinatubo {pim_cost.bitwise_latency * 1e6:.1f} us per frame "
+          f"({cpu_cost.bitwise_latency / pim_cost.bitwise_latency:.1f}x)")
+
+
+if __name__ == "__main__":
+    main()

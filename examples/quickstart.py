@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: bulk bitwise operations inside NVM main memory.
+
+Allocates bit-vectors with ``pim_malloc``, runs OR/AND/XOR/INV and a
+one-step 128-row OR entirely in (simulated) PCM main memory, and prints
+what the operations cost compared to moving the data to a CPU.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.apps.bitvector import PimBitVector
+from repro.baselines.simd import SimdCpu
+from repro.runtime import PimRuntime
+
+
+def main() -> None:
+    # A PCM main memory with Pinatubo support (Pinatubo-128: the margin
+    # analysis allows one-step 128-row ORs on PCM).
+    rt = PimRuntime.pcm()
+    print(f"memory: {rt.system.technology.name}, "
+          f"row = {rt.system.row_bits} bits, "
+          f"max one-step OR fan-in = {rt.system.max_or_rows}")
+
+    # -- basic operations via the operator sugar ---------------------------
+    rng = np.random.default_rng(0)
+    n_bits = 1 << 14
+    a_bits = rng.integers(0, 2, n_bits).astype(np.uint8)
+    b_bits = rng.integers(0, 2, n_bits).astype(np.uint8)
+
+    a = PimBitVector.from_bits(rt, a_bits, group="demo")
+    b = PimBitVector.from_bits(rt, b_bits, group="demo")
+
+    assert np.array_equal((a | b).to_numpy(), a_bits | b_bits)
+    assert np.array_equal((a & b).to_numpy(), a_bits & b_bits)
+    assert np.array_equal((a ^ b).to_numpy(), a_bits ^ b_bits)
+    assert np.array_equal((~a).to_numpy(), 1 - a_bits)
+    print(f"OR/AND/XOR/INV on {n_bits}-bit vectors: all match numpy")
+
+    # -- the signature move: one-step multi-row OR --------------------------
+    data = [rng.integers(0, 2, n_bits).astype(np.uint8) for _ in range(128)]
+    vectors = [PimBitVector.from_bits(rt, d, group="demo") for d in data]
+    before = rt.pim_accounting.latency
+    merged = PimBitVector.any_of(vectors)
+    op_latency = rt.pim_accounting.latency - before
+    assert np.array_equal(merged.to_numpy(), np.bitwise_or.reduce(data))
+    print(f"128-row OR of {n_bits}-bit vectors: one in-memory step, "
+          f"{op_latency * 1e9:.0f} ns")
+
+    # -- compare with the conventional path --------------------------------
+    cpu = SimdCpu.with_pcm()
+    cpu_cost = cpu.bitwise_cost("or", 128, n_bits)
+    print(f"same op on a 4-core SIMD CPU: {cpu_cost.latency * 1e6:.1f} us "
+          f"({cpu_cost.latency / op_latency:.0f}x slower -- every operand "
+          f"crosses the DDR bus)")
+
+    acct = rt.pim_accounting
+    print(f"\ntotals: {acct.in_memory_steps} in-memory steps, "
+          f"{acct.bus_data_bytes} data bytes on the DDR bus "
+          f"(commands only: {acct.bus_commands})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+The canonical metadata lives in pyproject.toml; this file only exists so
+`pip install -e . --no-use-pep517` works offline (no wheel building).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""Pinatubo: processing-in-NVM architecture for bulk bitwise operations.
+
+Reproduction of Li et al., DAC 2016.  The public API re-exports the pieces
+a downstream user needs most:
+
+- device substrate: :mod:`repro.nvm`
+- circuit validation: :mod:`repro.circuits`
+- memory-system simulator: :mod:`repro.memsim`
+- energy/latency/area models: :mod:`repro.energy`
+- the Pinatubo core: :mod:`repro.core`
+- baselines (SIMD CPU, S-DRAM, AC-PIM, Ideal): :mod:`repro.baselines`
+- programming model / runtime: :mod:`repro.runtime`
+- applications (bitmap BFS, FastBit-like DB, vector bench): :mod:`repro.apps`
+- figure regeneration: :mod:`repro.analysis`
+
+Quickstart::
+
+    from repro.runtime import PimRuntime
+    rt = PimRuntime.pcm()
+    a = rt.pim_malloc(1 << 14)
+    b = rt.pim_malloc(1 << 14)
+    dst = rt.pim_malloc(1 << 14)
+    rt.pim_op("or", dst, [a, b])
+"""
+
+__version__ = "1.0.0"
+
+from repro.nvm.technology import get_technology, list_technologies
+from repro.nvm.margin import max_multirow_or
+
+__all__ = [
+    "__version__",
+    "get_technology",
+    "list_technologies",
+    "max_multirow_or",
+]

@@ -1,0 +1,56 @@
+"""Figure/table regeneration (the per-experiment index of DESIGN.md).
+
+Each ``figN_data`` function rebuilds the data series behind one paper
+artifact; :mod:`repro.analysis.report` renders them as text tables.  The
+benchmarks under ``benchmarks/`` are thin wrappers around these builders.
+"""
+
+from repro.analysis.figures import (
+    fig5_data,
+    fig6_data,
+    fig7_data,
+    fig9_data,
+    fig10_data,
+    fig11_data,
+    fig12_data,
+    fig13_data,
+    headline_numbers,
+    geomean,
+    standard_schemes,
+    workload_traces,
+)
+from repro.analysis.report import format_series, format_speedup_table, render_report
+from repro.analysis.sweeps import (
+    Sweep,
+    SweepPoint,
+    run_sweep,
+    on_off_ratio_sweep,
+    write_time_sweep,
+    activate_time_sweep,
+    mux_ratio_sweep,
+)
+
+__all__ = [
+    "Sweep",
+    "SweepPoint",
+    "run_sweep",
+    "on_off_ratio_sweep",
+    "write_time_sweep",
+    "activate_time_sweep",
+    "mux_ratio_sweep",
+    "fig5_data",
+    "fig6_data",
+    "fig7_data",
+    "fig9_data",
+    "fig10_data",
+    "fig11_data",
+    "fig12_data",
+    "fig13_data",
+    "headline_numbers",
+    "geomean",
+    "standard_schemes",
+    "workload_traces",
+    "format_series",
+    "format_speedup_table",
+    "render_report",
+]

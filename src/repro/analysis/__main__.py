@@ -1,0 +1,129 @@
+"""Command-line entry point: regenerate the paper's evaluation.
+
+Usage::
+
+    python -m repro.analysis               # full paper-scale run
+    python -m repro.analysis --scale 0.05  # quick pass
+    python -m repro.analysis --figure 9    # one figure only
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.figures import (
+    fig5_data,
+    fig6_data,
+    fig7_data,
+    fig9_data,
+    fig10_data,
+    fig11_data,
+    fig12_data,
+    fig13_data,
+    headline_numbers,
+)
+from repro.analysis.report import (
+    format_series,
+    format_speedup_table,
+    render_report,
+)
+
+
+def _print_fig5() -> None:
+    data = fig5_data("pcm")
+    print(f"Fig. 5 -- {data['technology']}: max OR rows "
+          f"{data['max_or_rows']} (electrical {data['electrical_or_limit']}), "
+          f"2-row AND {'feasible' if data['and_feasible'] else 'infeasible'}")
+
+
+def _print_fig6() -> None:
+    data = fig6_data("pcm", monte_carlo=0)
+    report = data["corner_report"]
+    print(f"Fig. 6 -- CSA corner validation: "
+          f"{report.n_pass}/{report.n_cases} pass")
+
+
+def _print_fig7() -> None:
+    data = fig7_data(8)
+    print(f"Fig. 7 -- LWL latch: activated {len(data['activated'])} rows, "
+          f"all latched: {data['all_latched']}")
+
+
+def _print_fig9() -> None:
+    data = fig9_data()
+    print(format_series(
+        "Fig. 9 -- OR throughput (GBps)",
+        {f"{n}-row": pts for n, pts in data["series"].items()},
+        x_label="len",
+    ))
+
+
+def _print_fig10(scale: float) -> None:
+    print(format_speedup_table(
+        "Fig. 10 -- bitwise speedup over SIMD", fig10_data(scale)
+    ))
+
+
+def _print_fig11(scale: float) -> None:
+    print(format_speedup_table(
+        "Fig. 11 -- bitwise energy saving over SIMD", fig11_data(scale)
+    ))
+
+
+def _print_fig12(scale: float) -> None:
+    data = fig12_data(scale)
+    print(format_speedup_table("Fig. 12 -- overall speedup", data["speedup"]))
+    print(format_speedup_table("Fig. 12 -- overall energy saving", data["energy"]))
+
+
+def _print_fig13() -> None:
+    data = fig13_data()
+    print(f"Fig. 13 -- area: Pinatubo {data['pinatubo_fraction'] * 100:.2f}% "
+          f"vs AC-PIM {data['acpim_fraction'] * 100:.2f}%")
+    for component, fraction in data["pinatubo_breakdown"].items():
+        print(f"    {component:>12s}: {fraction * 100:.3f}%")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Regenerate the Pinatubo paper's evaluation figures.",
+    )
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="dataset scale for the workload figures (default 1.0)")
+    parser.add_argument("--figure", type=int, choices=(5, 6, 7, 9, 10, 11, 12, 13),
+                        help="regenerate one figure only")
+    parser.add_argument("--scorecard", action="store_true",
+                        help="evaluate the paper-claim scorecard and exit")
+    args = parser.parse_args(argv)
+
+    if args.scorecard:
+        from repro.analysis.scorecard import build_scorecard
+
+        card = build_scorecard(scale=min(args.scale, 0.05))
+        print(card.render())
+        return 0 if card.all_hold else 1
+
+    printers = {
+        5: lambda: _print_fig5(),
+        6: lambda: _print_fig6(),
+        7: lambda: _print_fig7(),
+        9: lambda: _print_fig9(),
+        10: lambda: _print_fig10(args.scale),
+        11: lambda: _print_fig11(args.scale),
+        12: lambda: _print_fig12(args.scale),
+        13: lambda: _print_fig13(),
+    }
+    if args.figure is not None:
+        printers[args.figure]()
+        return 0
+    for fig in (5, 6, 7, 9, 10, 11, 12, 13):
+        printers[fig]()
+        print()
+    print(render_report(headline_numbers(args.scale), fig13_data()))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

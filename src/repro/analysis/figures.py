@@ -1,0 +1,311 @@
+"""Data builders for every figure in the paper's evaluation.
+
+Experiment index (DESIGN.md Section 4):
+
+- E1  :func:`fig5_data`   reference placement / sensing margins
+- E2  :func:`fig6_data`   CSA transient validation
+- E3  :func:`fig7_data`   LWL driver transient validation
+- E4  :func:`fig9_data`   OR-operation throughput sweep
+- E5  :func:`fig10_data`  bitwise speedup vs SIMD per benchmark
+- E6  :func:`fig11_data`  bitwise energy saving vs SIMD per benchmark
+- E7  :func:`fig12_data`  overall application speedup / energy saving
+- E8  :func:`fig13_data`  area overhead and breakdown
+- E11 :func:`headline_numbers`  the abstract's headline ratios
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+from repro.apps.bfs import bitmap_bfs_trace
+from repro.apps.fastbit import FastBitDB
+from repro.apps.graphs import amazon_like, dblp_like, eswiki_like
+from repro.apps.star import synthetic_star_table
+from repro.apps.vectorbench import vector_trace
+from repro.baselines.acpim import AcPim
+from repro.baselines.ideal import IdealPim
+from repro.baselines.sdram import SDram
+from repro.baselines.simd import SimdCpu
+from repro.circuits.csa_sim import CSATransientSim
+from repro.circuits.lwl_sim import LWLDriverSim
+from repro.circuits.validate import validate_csa_corners
+from repro.core.model import PinatuboModel
+from repro.core.pinatubo import PinatuboSystem
+from repro.energy.area import AreaModel
+from repro.nvm.margin import MarginAnalysis
+from repro.nvm.technology import get_technology
+from repro.workloads.spec import PAPER_VECTOR_SPECS
+
+
+def geomean(values) -> float:
+    """Geometric mean of positive values."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of nothing")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean needs positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+# ---------------------------------------------------------------------------
+# circuit-level experiments (E1-E3)
+# ---------------------------------------------------------------------------
+
+
+def fig5_data(technology_name: str = "pcm", n_rows: int = 2) -> dict:
+    """Reference placement + margin limits (paper Fig. 5 and Section 4.2)."""
+    tech = get_technology(technology_name)
+    analysis = MarginAnalysis(tech)
+    cases = analysis.figure5_cases(n_rows)
+    return {
+        "technology": tech.name,
+        "cases": cases,
+        "max_or_rows": analysis.max_or_rows(),
+        "electrical_or_limit": analysis.electrical_or_limit(),
+        "and_feasible": analysis.and_feasible(2),
+        "or_margins_log": {
+            n: analysis.or_margin_log(n) for n in (2, 8, 32, 128)
+        },
+    }
+
+
+def fig6_data(technology_name: str = "pcm", monte_carlo: int = 5) -> dict:
+    """CSA waveform sequence + corner validation (paper Fig. 6)."""
+    tech = get_technology(technology_name)
+    sim = CSATransientSim(tech)
+    sequence = sim.figure6_sequence()
+    report = validate_csa_corners(tech, monte_carlo=monte_carlo, or_rows=128)
+    return {
+        "technology": tech.name,
+        "sequence": [
+            {"mode": e["mode"].value, "a": e["a"], "b": e["b"], "bit": e["bit"]}
+            for e in sequence
+        ],
+        "corner_report": report,
+    }
+
+
+def fig7_data(n_rows: int = 8) -> dict:
+    """LWL driver multi-row latch transient (paper Fig. 7)."""
+    sim = LWLDriverSim(n_rows=max(16, n_rows * 2))
+    rows = list(range(n_rows))
+    trace = sim.run_sequence(rows)
+    return {
+        "activated": rows,
+        "latched": list(trace.latched_rows),
+        "all_latched": tuple(rows) == trace.latched_rows,
+        "trace": trace,
+    }
+
+
+# ---------------------------------------------------------------------------
+# throughput sweep (E4)
+# ---------------------------------------------------------------------------
+
+
+def fig9_data(
+    log_lengths=range(10, 21),
+    row_counts=(2, 4, 8, 16, 32, 64, 128),
+) -> dict:
+    """OR throughput (GBps) over vector length x multi-row count."""
+    reference = PinatuboSystem.pcm()
+    series = {}
+    for n in row_counts:
+        points = []
+        for log_len in log_lengths:
+            system = PinatuboSystem.pcm()
+            acct = system.or_throughput(1 << log_len, n)
+            points.append((log_len, acct.throughput_gbps))
+        series[n] = points
+    return {
+        "series": series,
+        "ddr_bus_gbps": reference.ddr_bus_bandwidth / 1e9,
+        "internal_gbps": reference.internal_bandwidth / 1e9,
+    }
+
+
+# ---------------------------------------------------------------------------
+# workload benchmarks (E5-E7)
+# ---------------------------------------------------------------------------
+
+#: paper-scale defaults: node counts of dblp-2010 / eswiki-2013 /
+#: amazon-2008 (the synthetic generators match their looseness)
+GRAPH_SIZES = {"dblp": 326186, "eswiki": 972933, "amazon": 735323}
+FASTBIT_EVENTS = 1 << 22
+FASTBIT_QUERIES = (240, 480, 720)
+
+_GRAPH_GENERATORS = {
+    "dblp": dblp_like,
+    "eswiki": eswiki_like,
+    "amazon": amazon_like,
+}
+
+
+def standard_schemes() -> dict:
+    """The four evaluated schemes plus their SIMD references and Ideal.
+
+    Per the paper: the SIMD processor runs on DRAM when compared against
+    S-DRAM and on PCM when compared against AC-PIM / Pinatubo.
+    """
+    cpu_dram = SimdCpu.with_dram()
+    cpu_pcm = SimdCpu.with_pcm()
+    return {
+        "S-DRAM": (SDram(), cpu_dram),
+        "AC-PIM": (AcPim(), cpu_pcm),
+        "Pinatubo-2": (PinatuboModel(max_rows=2), cpu_pcm),
+        "Pinatubo-128": (PinatuboModel(), cpu_pcm),
+        "Ideal": (IdealPim(), cpu_pcm),
+    }
+
+
+@lru_cache(maxsize=4)
+def workload_traces(scale: float = 1.0) -> dict:
+    """All evaluation traces: Vector specs, graphs, FastBit query loads.
+
+    ``scale`` < 1 shrinks the app datasets for quick runs (benchmarks use
+    1.0; tests use smaller scales).
+    """
+    traces = {}
+    for spec in PAPER_VECTOR_SPECS:
+        traces[f"vector:{spec}"] = vector_trace(spec)
+    for name, gen in _GRAPH_GENERATORS.items():
+        n = max(1024, int(GRAPH_SIZES[name] * scale))
+        traces[f"graph:{name}"] = bitmap_bfs_trace(gen(n=n), 0).trace
+    table = synthetic_star_table(max(4096, int(FASTBIT_EVENTS * scale)))
+    db = FastBitDB(table, functional=False)
+    for q in FASTBIT_QUERIES:
+        traces[f"fastbit:{q}"] = db.run_workload(q)
+    return traces
+
+
+@lru_cache(maxsize=4)
+def _priced(scale: float = 1.0) -> dict:
+    """{workload: {scheme: (WorkloadCost scheme, WorkloadCost simd_ref)}}"""
+    traces = workload_traces(scale)
+    schemes = standard_schemes()
+    out = {}
+    for wname, trace in traces.items():
+        per_scheme = {}
+        for sname, (scheme, simd_ref) in schemes.items():
+            per_scheme[sname] = (trace.price(scheme), trace.price(simd_ref))
+        out[wname] = per_scheme
+    return out
+
+
+def fig10_data(scale: float = 1.0) -> dict:
+    """Bitwise-operation speedup over SIMD, per benchmark and scheme."""
+    data = {}
+    for wname, per_scheme in _priced(scale).items():
+        data[wname] = {}
+        for sname, (cost, ref) in per_scheme.items():
+            if sname == "Ideal":
+                continue
+            if cost.bitwise_latency <= 0:
+                data[wname][sname] = float("inf")
+            else:
+                data[wname][sname] = ref.bitwise_latency / cost.bitwise_latency
+    data["gmean"] = {
+        sname: geomean(
+            row[sname] for w, row in data.items() if w != "gmean"
+        )
+        for sname in next(iter(data.values()))
+    }
+    return data
+
+
+def fig11_data(scale: float = 1.0) -> dict:
+    """Bitwise-operation energy saving over SIMD, per benchmark/scheme."""
+    data = {}
+    for wname, per_scheme in _priced(scale).items():
+        data[wname] = {}
+        for sname, (cost, ref) in per_scheme.items():
+            if sname == "Ideal":
+                continue
+            if cost.bitwise_energy <= 0:
+                data[wname][sname] = float("inf")
+            else:
+                data[wname][sname] = ref.bitwise_energy / cost.bitwise_energy
+    data["gmean"] = {
+        sname: geomean(
+            row[sname] for w, row in data.items() if w != "gmean"
+        )
+        for sname in next(iter(data.values()))
+    }
+    return data
+
+
+def fig12_data(scale: float = 1.0) -> dict:
+    """Overall application speedup and energy saving (graph + fastbit).
+
+    The non-bitwise part runs on the host in every scheme, so this is the
+    Amdahl picture; Ideal is the zero-cost-bitwise ceiling.
+    """
+    apps = [
+        w for w in workload_traces(scale) if w.startswith(("graph:", "fastbit:"))
+    ]
+    priced = _priced(scale)
+    speedup = {}
+    energy = {}
+    for wname in apps:
+        speedup[wname] = {}
+        energy[wname] = {}
+        for sname, (cost, ref) in priced[wname].items():
+            speedup[wname][sname] = ref.total_latency / cost.total_latency
+            energy[wname][sname] = ref.total_energy / cost.total_energy
+    schemes = list(next(iter(speedup.values())))
+    graph_apps = [w for w in apps if w.startswith("graph:")]
+    fastbit_apps = [w for w in apps if w.startswith("fastbit:")]
+    gmeans = {}
+    for label, group in (
+        ("graph", graph_apps),
+        ("fastbit", fastbit_apps),
+        ("all", apps),
+    ):
+        gmeans[label] = {
+            "speedup": {
+                s: geomean(speedup[w][s] for w in group) for s in schemes
+            },
+            "energy": {
+                s: geomean(energy[w][s] for w in group) for s in schemes
+            },
+        }
+    return {"speedup": speedup, "energy": energy, "gmeans": gmeans}
+
+
+# ---------------------------------------------------------------------------
+# area (E8) and headline (E11)
+# ---------------------------------------------------------------------------
+
+
+def fig13_data() -> dict:
+    """Area overhead totals and Pinatubo's component breakdown."""
+    model = AreaModel()
+    pinatubo = model.pinatubo()
+    acpim = model.acpim()
+    return {
+        "pinatubo_fraction": pinatubo.overhead_fraction,
+        "acpim_fraction": acpim.overhead_fraction,
+        "pinatubo_breakdown": pinatubo.breakdown(),
+        "acpim_breakdown": acpim.breakdown(),
+        "intra_subarray_fraction": model.intra_subarray_fraction(),
+    }
+
+
+def headline_numbers(scale: float = 1.0) -> dict:
+    """The abstract's four headline ratios, as measured by this repo."""
+    fig10 = fig10_data(scale)
+    fig11 = fig11_data(scale)
+    fig12 = fig12_data(scale)
+    return {
+        "bitwise_speedup": fig10["gmean"]["Pinatubo-128"],
+        "bitwise_energy_saving": fig11["gmean"]["Pinatubo-128"],
+        "overall_speedup": fig12["gmeans"]["all"]["speedup"]["Pinatubo-128"],
+        "overall_energy_saving": fig12["gmeans"]["all"]["energy"]["Pinatubo-128"],
+        "paper": {
+            "bitwise_speedup": 500.0,
+            "bitwise_energy_saving": 28000.0,
+            "overall_speedup": 1.12,
+            "overall_energy_saving": 1.11,
+        },
+    }

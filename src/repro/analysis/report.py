@@ -1,0 +1,69 @@
+"""Text rendering of the regenerated figures.
+
+The benchmarks print these tables so ``pytest benchmarks/`` output reads
+like the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+
+def _fmt(value: float) -> str:
+    if value == float("inf"):
+        return "inf"
+    if value >= 1000:
+        return f"{value:,.0f}"
+    if value >= 10:
+        return f"{value:.1f}"
+    return f"{value:.3f}"
+
+
+def format_series(title: str, series: dict, x_label: str = "x") -> str:
+    """Render {legend: [(x, y), ...]} as an aligned table."""
+    lines = [title]
+    legends = sorted(series)
+    xs = [x for x, _ in series[legends[0]]]
+    header = f"{x_label:>8s} " + " ".join(f"{str(k):>12s}" for k in legends)
+    lines.append(header)
+    for i, x in enumerate(xs):
+        row = f"{str(x):>8s} "
+        row += " ".join(f"{_fmt(series[k][i][1]):>12s}" for k in legends)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_speedup_table(title: str, data: dict) -> str:
+    """Render {workload: {scheme: value}} (fig10/fig11 shape)."""
+    lines = [title]
+    workloads = [w for w in data if w != "gmean"] + (
+        ["gmean"] if "gmean" in data else []
+    )
+    schemes = list(data[workloads[0]])
+    lines.append(f"{'workload':>16s} " + " ".join(f"{s:>14s}" for s in schemes))
+    for w in workloads:
+        row = f"{w:>16s} "
+        row += " ".join(f"{_fmt(data[w][s]):>14s}" for s in schemes)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_report(headline: dict, fig13: dict) -> str:
+    """One-page summary: measured vs paper headline + area."""
+    paper = headline["paper"]
+    lines = [
+        "Pinatubo reproduction -- headline numbers (measured vs paper)",
+        f"  bitwise speedup       : {_fmt(headline['bitwise_speedup'])}x"
+        f"  (paper ~{_fmt(paper['bitwise_speedup'])}x)",
+        f"  bitwise energy saving : {_fmt(headline['bitwise_energy_saving'])}x"
+        f"  (paper ~{_fmt(paper['bitwise_energy_saving'])}x)",
+        f"  overall speedup       : {_fmt(headline['overall_speedup'])}x"
+        f"  (paper {_fmt(paper['overall_speedup'])}x)",
+        f"  overall energy saving : {_fmt(headline['overall_energy_saving'])}x"
+        f"  (paper {_fmt(paper['overall_energy_saving'])}x)",
+        "",
+        "Area overhead (fraction of PCM chip area):",
+        f"  Pinatubo: {fig13['pinatubo_fraction'] * 100:.2f}%  (paper 0.9%)",
+        f"  AC-PIM  : {fig13['acpim_fraction'] * 100:.2f}%  (paper 6.4%)",
+    ]
+    for component, fraction in fig13["pinatubo_breakdown"].items():
+        lines.append(f"    {component:>12s}: {fraction * 100:.3f}%")
+    return "\n".join(lines)

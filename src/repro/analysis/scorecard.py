@@ -1,0 +1,183 @@
+"""Reproduction scorecard: every paper claim, checked programmatically.
+
+The benchmark suite asserts these claims test-by-test; the scorecard
+packs them into one machine-readable report (for CI dashboards or a
+quick `python -m repro.analysis --scorecard`).  Each claim records what
+the paper says, what this repo measures, and a boolean verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.figures import (
+    fig9_data,
+    fig10_data,
+    fig11_data,
+    fig12_data,
+    fig13_data,
+)
+from repro.circuits.validate import validate_csa_corners
+from repro.nvm.margin import max_multirow_or
+from repro.nvm.technology import get_technology
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One checked claim."""
+
+    claim_id: str
+    paper: str
+    measured: str
+    holds: bool
+
+
+@dataclass
+class Scorecard:
+    claims: list = field(default_factory=list)
+
+    def add(self, claim_id: str, paper: str, measured: str, holds: bool) -> None:
+        self.claims.append(Claim(claim_id, paper, measured, bool(holds)))
+
+    @property
+    def passed(self) -> int:
+        return sum(c.holds for c in self.claims)
+
+    @property
+    def total(self) -> int:
+        return len(self.claims)
+
+    @property
+    def all_hold(self) -> bool:
+        return self.total > 0 and self.passed == self.total
+
+    def render(self) -> str:
+        lines = [f"Reproduction scorecard: {self.passed}/{self.total} claims hold"]
+        width = max(len(c.claim_id) for c in self.claims) if self.claims else 0
+        for c in self.claims:
+            mark = "PASS" if c.holds else "FAIL"
+            lines.append(f"  [{mark}] {c.claim_id:<{width}s}  "
+                         f"paper: {c.paper}; measured: {c.measured}")
+        return "\n".join(lines)
+
+
+def build_scorecard(scale: float = 0.05) -> Scorecard:
+    """Evaluate every checkable claim.
+
+    ``scale`` sizes the app datasets for the workload-based claims;
+    device/area/throughput claims are scale-independent.
+    """
+    card = Scorecard()
+
+    # device-level claims --------------------------------------------------
+    pcm_rows = max_multirow_or(get_technology("pcm"))
+    card.add("pcm-128-row-or", "128", str(pcm_rows), pcm_rows == 128)
+    stt_rows = max_multirow_or(get_technology("stt"))
+    card.add("stt-2-row-or", "2", str(stt_rows), stt_rows == 2)
+    for name in ("pcm", "reram", "stt"):
+        report = validate_csa_corners(get_technology(name))
+        card.add(
+            f"csa-corners-{name}",
+            "all ops correct over prototype resistance ranges",
+            f"{report.n_pass}/{report.n_cases}",
+            report.all_pass,
+        )
+
+    # Fig. 9 claims -----------------------------------------------------------
+    f9 = fig9_data(log_lengths=(10, 12, 14, 16, 19, 20), row_counts=(2, 128))
+    two = dict(f9["series"][2])
+    top = dict(f9["series"][128])
+    card.add(
+        "fig9-point-a",
+        "slope break at 2^14",
+        f"slope {two[16] / two[14]:.2f} after vs {two[12] / two[10]:.2f} before",
+        two[16] / two[14] < 0.95 * (two[12] / two[10]),
+    )
+    card.add(
+        "fig9-point-b",
+        "plateau beyond 2^19",
+        f"{top[20] / top[19]:.3f}x gain at 2^20",
+        top[20] / top[19] < 1.05,
+    )
+    card.add(
+        "fig9-beyond-internal",
+        "multi-row ops exceed internal bandwidth",
+        f"{top[19]:.0f} GBps vs internal {f9['internal_gbps']:.0f} GBps",
+        top[19] > f9["internal_gbps"],
+    )
+
+    # Fig. 10/11 claims ----------------------------------------------------------
+    f10 = fig10_data(scale)
+    card.add(
+        "fig10-p128-wins",
+        "Pinatubo-128 best gmean",
+        f"{f10['gmean']['Pinatubo-128']:.1f}x",
+        all(
+            f10["gmean"]["Pinatubo-128"] > f10["gmean"][s]
+            for s in ("S-DRAM", "AC-PIM", "Pinatubo-2")
+        ),
+    )
+    row = f10["vector:14-16-7r"]
+    card.add(
+        "fig10-random-collapse",
+        "Pinatubo-128 == Pinatubo-2 on 14-16-7r",
+        f"{row['Pinatubo-128']:.2f} vs {row['Pinatubo-2']:.2f}",
+        abs(row["Pinatubo-128"] - row["Pinatubo-2"]) < 1e-6 * row["Pinatubo-2"],
+    )
+    card.add(
+        "fig10-sdram-long-vectors",
+        "S-DRAM beats Pinatubo-2 on 19-16-1s",
+        f"{f10['vector:19-16-1s']['S-DRAM']:.1f} vs "
+        f"{f10['vector:19-16-1s']['Pinatubo-2']:.1f}",
+        f10["vector:19-16-1s"]["S-DRAM"] > f10["vector:19-16-1s"]["Pinatubo-2"],
+    )
+    f11 = fig11_data(scale)
+    card.add(
+        "fig11-all-save-energy",
+        "every PIM scheme saves energy everywhere",
+        "min saving >= 1",
+        all(
+            saving >= 1.0
+            for w, r in f11.items()
+            if w != "gmean"
+            for saving in r.values()
+        ),
+    )
+
+    # Fig. 12 claims ---------------------------------------------------------------
+    f12 = fig12_data(scale)
+    g = f12["gmeans"]["all"]["speedup"]
+    card.add(
+        "fig12-near-ideal",
+        "Pinatubo almost achieves the ideal acceleration",
+        f"{g['Pinatubo-128']:.3f} vs ideal {g['Ideal']:.3f}",
+        g["Pinatubo-128"] >= 0.93 * g["Ideal"],
+    )
+    card.add(
+        "fig12-amdahl-band",
+        "overall speedup ~1.12x",
+        f"{g['Pinatubo-128']:.3f}x",
+        1.0 <= g["Pinatubo-128"] <= 1.5,
+    )
+
+    # Fig. 13 claims ------------------------------------------------------------------
+    f13 = fig13_data()
+    card.add(
+        "fig13-pinatubo-area",
+        "0.9 %",
+        f"{f13['pinatubo_fraction'] * 100:.2f} %",
+        abs(f13["pinatubo_fraction"] - 0.009) < 0.002,
+    )
+    card.add(
+        "fig13-acpim-area",
+        "6.4 %",
+        f"{f13['acpim_fraction'] * 100:.2f} %",
+        abs(f13["acpim_fraction"] - 0.064) < 0.008,
+    )
+    card.add(
+        "fig13-intersub-dominates",
+        "inter-subarray logic is the biggest add-on",
+        next(iter(f13["pinatubo_breakdown"])),
+        next(iter(f13["pinatubo_breakdown"])) == "inter-sub",
+    )
+    return card

@@ -1,0 +1,147 @@
+"""Parameter-sensitivity sweeps over the architecture's knobs.
+
+Research use of this repo quickly reaches "what if tWR halved?" or
+"how far does the ON/OFF ratio have to fall before multi-row dies?".
+This module provides a small generic sweep runner plus canned sweeps for
+the knobs DESIGN.md calls out: cell contrast, write latency, mux ratio,
+and activation time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.model import PinatuboModel
+from repro.memsim.geometry import MemoryGeometry
+from repro.nvm.margin import MarginAnalysis
+from repro.nvm.technology import get_technology
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sampled knob value and its measured metrics."""
+
+    value: float
+    metrics: dict
+
+
+@dataclass
+class Sweep:
+    """A named series of sweep points."""
+
+    name: str
+    parameter: str
+    points: list = field(default_factory=list)
+
+    def metric(self, key: str) -> list:
+        """One metric's series, in sweep order."""
+        return [p.metrics[key] for p in self.points]
+
+    def values(self) -> list:
+        return [p.value for p in self.points]
+
+    def is_monotone(self, key: str, increasing: bool = True) -> bool:
+        series = self.metric(key)
+        pairs = zip(series, series[1:])
+        if increasing:
+            return all(a <= b for a, b in pairs)
+        return all(a >= b for a, b in pairs)
+
+    def table(self) -> str:
+        """Aligned text rendering."""
+        if not self.points:
+            return f"{self.name}: (empty)"
+        keys = list(self.points[0].metrics)
+        lines = [self.name]
+        header = f"{self.parameter:>14s} " + " ".join(f"{k:>14s}" for k in keys)
+        lines.append(header)
+        for p in self.points:
+            row = f"{p.value:>14.4g} "
+            row += " ".join(f"{p.metrics[k]:>14.4g}" for k in keys)
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def run_sweep(
+    name: str,
+    parameter: str,
+    values,
+    measure: Callable[[float], dict],
+) -> Sweep:
+    """Evaluate ``measure`` at each knob value."""
+    values = list(values)
+    if not values:
+        raise ValueError("sweep needs at least one value")
+    sweep = Sweep(name=name, parameter=parameter)
+    for value in values:
+        metrics = measure(value)
+        if not isinstance(metrics, dict) or not metrics:
+            raise ValueError("measure must return a non-empty dict")
+        sweep.points.append(SweepPoint(value=value, metrics=metrics))
+    return sweep
+
+
+# ---------------------------------------------------------------------------
+# canned sweeps
+# ---------------------------------------------------------------------------
+
+
+def on_off_ratio_sweep(ratios=(3, 10, 30, 100, 300, 1000, 3000)) -> Sweep:
+    """Cell contrast vs multi-row budget (the technology lever)."""
+    base = get_technology("pcm")
+
+    def measure(ratio):
+        tech = base.scaled(r_high=base.r_low * ratio, tcam_row_limit=1 << 20)
+        analysis = MarginAnalysis(tech)
+        return {
+            "electrical_or_limit": analysis.electrical_or_limit(),
+            "and_feasible": float(analysis.and_feasible(2)),
+        }
+
+    return run_sweep("ON/OFF ratio vs fan-in budget", "on_off", ratios, measure)
+
+
+def write_time_sweep(
+    factors=(0.25, 0.5, 1.0, 2.0), op=("or", 2, 1 << 19)
+) -> Sweep:
+    """tWR scaling vs op latency (writes dominate small Pinatubo ops)."""
+    base = get_technology("pcm")
+    op_name, n, bits = op
+
+    def measure(factor):
+        tech = base.scaled(write_time=base.write_time * factor)
+        model = PinatuboModel(technology=tech)
+        cost = model.bitwise_cost(op_name, n, bits)
+        return {"latency_us": cost.latency * 1e6, "energy_nj": cost.energy * 1e9}
+
+    return run_sweep("tWR scaling vs 2-row OR", "twr_factor", factors, measure)
+
+
+def activate_time_sweep(factors=(0.5, 1.0, 2.0, 4.0)) -> Sweep:
+    """tRCD scaling vs multi-row op latency (one activation per operand
+    row would make tRCD dominant; the latched LWL makes it one-time)."""
+    base = get_technology("pcm")
+
+    def measure(factor):
+        tech = base.scaled(activate_time=base.activate_time * factor)
+        model = PinatuboModel(technology=tech)
+        cost = model.bitwise_cost("or", 128, 1 << 19)
+        return {"latency_us": cost.latency * 1e6}
+
+    return run_sweep("tRCD scaling vs 128-row OR", "trcd_factor", factors, measure)
+
+
+def mux_ratio_sweep(ratios=(8, 16, 32, 64)) -> Sweep:
+    """Column-mux sharing vs full-row op latency (Fig. 9 point A knob)."""
+
+    def measure(ratio):
+        geometry = MemoryGeometry(mux_ratio=int(ratio))
+        model = PinatuboModel(geometry=geometry)
+        cost = model.bitwise_cost("or", 2, geometry.row_bits)
+        return {
+            "latency_us": cost.latency * 1e6,
+            "sense_steps": geometry.sense_steps_for_bits(geometry.row_bits),
+        }
+
+    return run_sweep("SA mux ratio vs full-row OR", "mux_ratio", ratios, measure)

@@ -1,0 +1,97 @@
+"""Applications of the paper's evaluation (Table 1).
+
+- :mod:`repro.apps.bitvector` -- operator-overloaded bit-vectors over the
+  PIM runtime (the user-facing sugar the quickstart uses).
+- :mod:`repro.apps.graphs` -- graph container + synthetic generators
+  standing in for dblp-2010 / eswiki-2013 / amazon-2008.
+- :mod:`repro.apps.bfs` -- bitmap-based BFS (frontier bitmaps, multi-row
+  OR over adjacency rows), in trace mode and in functional PIM mode.
+- :mod:`repro.apps.star` -- synthetic STAR-like event table.
+- :mod:`repro.apps.fastbit` -- FastBit-style bitmap-index database with
+  range queries.
+- :mod:`repro.apps.vectorbench` -- the Vector microbenchmark.
+"""
+
+from repro.apps.bitvector import PimBitVector
+from repro.apps.graphs import Graph, dblp_like, eswiki_like, amazon_like
+from repro.apps.bfs import BfsResult, bitmap_bfs_trace, bitmap_bfs_pim, bfs_reference
+from repro.apps.star import StarTable, ColumnSpec, synthetic_star_table
+from repro.apps.fastbit import BitmapIndex, FastBitDB, RangeQuery
+from repro.apps.vectorbench import vector_trace, vector_run_pim
+from repro.apps.wah import (
+    wah_encode,
+    wah_decode,
+    wah_and,
+    wah_or,
+    wah_popcount,
+    compression_ratio,
+)
+from repro.apps.imaging import (
+    to_bit_planes,
+    from_bit_planes,
+    threshold_mask_numpy,
+    threshold_mask_pim,
+    band_mask_pim,
+    synthetic_image,
+)
+from repro.apps.fastbit_pim import PimFastBit, PimQueryResult
+from repro.apps.setops import (
+    PimSetAlgebra,
+    SetExpressionError,
+    evaluate_numpy,
+    parse_expression,
+)
+from repro.apps.genomics import (
+    GenotypePanel,
+    PimGenotypePanel,
+    synthetic_panel,
+    burden_oracle,
+    haplotype_oracle,
+    burden_trace,
+    random_gene_sets,
+)
+
+__all__ = [
+    "PimBitVector",
+    "Graph",
+    "dblp_like",
+    "eswiki_like",
+    "amazon_like",
+    "BfsResult",
+    "bitmap_bfs_trace",
+    "bitmap_bfs_pim",
+    "bfs_reference",
+    "StarTable",
+    "ColumnSpec",
+    "synthetic_star_table",
+    "BitmapIndex",
+    "FastBitDB",
+    "RangeQuery",
+    "vector_trace",
+    "vector_run_pim",
+    "wah_encode",
+    "wah_decode",
+    "wah_and",
+    "wah_or",
+    "wah_popcount",
+    "compression_ratio",
+    "to_bit_planes",
+    "from_bit_planes",
+    "threshold_mask_numpy",
+    "threshold_mask_pim",
+    "band_mask_pim",
+    "synthetic_image",
+    "PimFastBit",
+    "PimQueryResult",
+    "PimSetAlgebra",
+    "SetExpressionError",
+    "evaluate_numpy",
+    "parse_expression",
+    "GenotypePanel",
+    "PimGenotypePanel",
+    "synthetic_panel",
+    "burden_oracle",
+    "haplotype_oracle",
+    "burden_trace",
+    "random_gene_sets",
+]

@@ -1,0 +1,267 @@
+"""Bitmap-based breadth-first search (the paper's Graph application).
+
+Every vertex's adjacency row lives as an n-bit bitmap in memory.  When
+the frontier is wide enough, one BFS level is bulk bitwise work:
+
+    reach   = OR(adjacency[v] for v in frontier)   # multi-row OR
+    next    = reach AND (NOT visited)              # INV + AND
+    visited = visited OR next
+
+-- the frontier OR is exactly where Pinatubo's one-step multi-row
+operation pays (a 128-vertex frontier is a single PCM activation).  When
+the frontier is narrow (the direction-optimising hybrid of the paper's
+[5]), the level runs scalar: bitmap ops on an n-bit vector are not worth
+their fixed cost for a 2-vertex frontier.
+
+The scalar work between levels -- enumerating set bits into the next
+frontier, translating vertices to row addresses for the driver, and (on
+loose graphs) *searching for an unvisited bit-vector* to restart from --
+is what bounds the overall speedup (paper Fig. 12: dblp profits most,
+eswiki/amazon are dominated by the searching).
+
+Two execution modes:
+
+- :func:`bitmap_bfs_trace`: exact level structure (python sets) plus the
+  recorded op trace with calibrated scalar work; scales to the full
+  synthetic datasets and feeds Figs. 10-12;
+- :func:`bitmap_bfs_pim`: the same algorithm end-to-end on a
+  :class:`~repro.runtime.api.PimRuntime` with real in-memory bitmaps
+  (ground truth for tests and examples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.graphs import Graph
+from repro.workloads.trace import OpTrace
+
+#: frontier width at which the bitmap (bulk bitwise) path engages
+BITMAP_THRESHOLD = 8
+
+#: frontier width above which the bitmap path stops paying: OR-ing f
+#: adjacency rows touches f*n bits, so once the frontier has exploded a
+#: bottom-up scalar sweep over the unvisited vertices (~m edge checks)
+#: is cheaper -- the direction-optimising switch of the paper's [5]
+BITMAP_MAX_FRONTIER = 4096
+
+#: scalar-work constants (simple ops per unit, Sniper-calibrated scale)
+_OPS_PER_FRONTIER_VERTEX = 600.0  # bit-scan, vertex->row PA translate,
+# driver call marshalling -- the per-operand software cost of issuing one
+# adjacency row to the PIM operation
+_OPS_PER_EDGE_SCALAR = 5.0  # scalar edge probe (top-down walk and
+# bottom-up neighbour checks are tight bit-test loops)
+_OPS_PER_WORD_SCAN = 2.0  # scanning one 64-bit result word
+_OPS_PER_RESTART_WORD = 6.0  # hunting for an unvisited vertex
+_OPS_PER_LEVEL_SETUP = 200.0
+
+
+@dataclass
+class BfsResult:
+    """Outcome of one bitmap BFS run."""
+
+    levels: list  # frontier sizes per level (across restarts)
+    visited_count: int
+    restarts: int
+    trace: OpTrace
+    bitmap_levels: int = 0  # levels that took the bulk bitwise path
+    edges_examined: int = 0
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.levels)
+
+
+def bfs_reference(graph: Graph, source: int = 0) -> set:
+    """Plain queue BFS from one source (oracle for the bitmap variants)."""
+    visited = {source}
+    frontier = [source]
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for v in graph.adjacency[u]:
+                if v not in visited:
+                    visited.add(v)
+                    nxt.append(v)
+        frontier = nxt
+    return visited
+
+
+def bitmap_bfs_trace(
+    graph: Graph,
+    source: int = 0,
+    restart: bool = True,
+    bitmap_threshold: int = BITMAP_THRESHOLD,
+    bitmap_max_frontier: int = BITMAP_MAX_FRONTIER,
+) -> BfsResult:
+    """Exact level structure + op trace for the hybrid bitmap BFS."""
+    n = graph.n
+    if not 0 <= source < n:
+        raise ValueError("source out of range")
+    if bitmap_threshold < 2:
+        raise ValueError("bitmap_threshold must be >= 2")
+    if bitmap_max_frontier < bitmap_threshold:
+        raise ValueError("bitmap_max_frontier must be >= bitmap_threshold")
+    trace = OpTrace(name=f"bfs-{graph.name}")
+    words = max(1, n // 64)
+
+    visited = set()
+    levels = []
+    restarts = 0
+    bitmap_levels = 0
+    edges_examined = 0
+    seed = source
+    scan_cursor = 0
+    pending_cpu_ops = 0.0  # coalesced scalar work, flushed per component
+
+    def flush_cpu(label: str) -> None:
+        nonlocal pending_cpu_ops
+        if pending_cpu_ops > 0:
+            trace.cpu(pending_cpu_ops, label=label)
+            pending_cpu_ops = 0.0
+
+    while True:
+        visited.add(seed)
+        frontier = [seed]
+        while frontier:
+            levels.append(len(frontier))
+            level_edges = sum(len(graph.adjacency[u]) for u in frontier)
+            edges_examined += level_edges
+            if bitmap_threshold <= len(frontier) <= bitmap_max_frontier:
+                # bulk path: multi-row OR over the frontier's adjacency
+                # rows, then filter against visited and mark
+                bitmap_levels += 1
+                trace.bitwise("or", len(frontier), n)
+                trace.bitwise("inv", 1, n)
+                trace.bitwise("and", 2, n)
+                trace.bitwise("or", 2, n)
+                pending_cpu_ops += (
+                    _OPS_PER_LEVEL_SETUP
+                    + len(frontier) * _OPS_PER_FRONTIER_VERTEX
+                    + words * _OPS_PER_WORD_SCAN
+                )
+            elif len(frontier) < bitmap_threshold:
+                # narrow frontier: plain scalar edge walk, no bitmaps
+                pending_cpu_ops += (
+                    _OPS_PER_LEVEL_SETUP + level_edges * _OPS_PER_EDGE_SCALAR
+                )
+            else:
+                # exploded frontier: bottom-up scalar sweep over the
+                # unvisited vertices (checking neighbours against the
+                # frontier bitmap) beats touching f x n bitmap bits
+                unvisited = n - len(visited)
+                probe_edges = unvisited * max(1.0, graph.avg_degree / 2.0)
+                pending_cpu_ops += (
+                    _OPS_PER_LEVEL_SETUP + probe_edges * _OPS_PER_EDGE_SCALAR
+                )
+            nxt = set()
+            for u in frontier:
+                for v in graph.adjacency[u]:
+                    if v not in visited:
+                        nxt.add(v)
+            visited.update(nxt)
+            frontier = sorted(nxt)
+        flush_cpu("component-levels")
+        if not restart or len(visited) >= n:
+            break
+        # hunt for the next unvisited vertex ("searching for an unvisited
+        # bit-vector", the loose-graph tax).  The reference implementation
+        # rescans the visited bitmap from the start on every restart,
+        # which is why the searching dominates on fragmented graphs.
+        while scan_cursor < n and scan_cursor in visited:
+            scan_cursor += 1
+        scanned_words = max(1, scan_cursor // 64 + 1)
+        pending_cpu_ops += scanned_words * 64 * _OPS_PER_RESTART_WORD
+        if scan_cursor >= n:
+            flush_cpu("restart-scan")
+            break
+        seed = scan_cursor
+        restarts += 1
+    flush_cpu("restart-scan")
+    return BfsResult(
+        levels=levels,
+        visited_count=len(visited),
+        restarts=restarts,
+        trace=trace,
+        bitmap_levels=bitmap_levels,
+        edges_examined=edges_examined,
+    )
+
+
+def bitmap_bfs_pim(
+    runtime,
+    graph: Graph,
+    source: int = 0,
+    bitmap_threshold: int = 2,
+) -> BfsResult:
+    """End-to-end bitmap BFS on a real PIM runtime.
+
+    Adjacency rows and all working bitmaps live in PIM memory; every
+    wide-frontier level's reach/filter/mark step executes through
+    ``pim_op`` (the reach as one multi-row OR over the adjacency rows).
+    Narrow frontiers run the same scalar path as the trace mode.
+    """
+    n = graph.n
+    if n > runtime.system.row_bits:
+        raise ValueError(
+            "functional mode keeps one bitmap per row frame; "
+            f"graph n={n} exceeds row_bits={runtime.system.row_bits}"
+        )
+    group = f"bfs-{graph.name}"
+    adjacency = []
+    for v in range(n):
+        h = runtime.pim_malloc(n, group)
+        runtime.pim_write(h, graph.adjacency_bitmap(v))
+        adjacency.append(h)
+    visited_h = runtime.pim_malloc(n, group)
+    reach_h = runtime.pim_malloc(n, group)
+    not_visited_h = runtime.pim_malloc(n, group)
+    next_h = runtime.pim_malloc(n, group)
+    zeros_h = runtime.pim_malloc(n, group)  # identity row for 1-wide ORs
+
+    visited_bits = np.zeros(n, dtype=np.uint8)
+    visited_bits[source] = 1
+    runtime.pim_write(visited_h, visited_bits)
+
+    levels = []
+    bitmap_levels = 0
+    edges_examined = 0
+    frontier = [source]
+    trace = OpTrace(name=f"bfs-pim-{graph.name}")
+    while frontier:
+        levels.append(len(frontier))
+        edges_examined += sum(len(graph.adjacency[u]) for u in frontier)
+        if len(frontier) >= bitmap_threshold:
+            bitmap_levels += 1
+            operands = [adjacency[v] for v in frontier]
+            if len(operands) == 1:
+                operands = operands + [zeros_h]
+            runtime.pim_op("or", reach_h, operands)
+            runtime.pim_op("inv", not_visited_h, [visited_h])
+            runtime.pim_op("and", next_h, [reach_h, not_visited_h])
+            runtime.pim_op("or", visited_h, [visited_h, next_h])
+            trace.bitwise("or", len(operands), n)
+            next_bits = runtime.pim_read(next_h)
+            frontier = np.nonzero(next_bits)[0].tolist()
+        else:
+            nxt = set()
+            visited_host = runtime.pim_read(visited_h)
+            for u in frontier:
+                for v in graph.adjacency[u]:
+                    if not visited_host[v]:
+                        nxt.add(v)
+            frontier = sorted(nxt)
+            for v in frontier:
+                visited_host[v] = 1
+            runtime.pim_write(visited_h, visited_host)
+    visited_final = runtime.pim_read(visited_h)
+    return BfsResult(
+        levels=levels,
+        visited_count=int(visited_final.sum()),
+        restarts=0,
+        trace=trace,
+        bitmap_levels=bitmap_levels,
+        edges_examined=edges_examined,
+    )

@@ -1,0 +1,100 @@
+"""Operator-overloaded bit-vectors over the PIM runtime.
+
+The friendliest face of the stack: ``PimBitVector`` wraps a runtime
+handle so that ``a | b``, ``a & b``, ``a ^ b`` and ``~a`` each execute as
+one in-memory Pinatubo operation, and ``PimBitVector.any_of([...])``
+exposes the one-step multi-row OR directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PimBitVector:
+    """A bit-vector living in PIM memory, with python operators."""
+
+    def __init__(self, runtime, n_bits: int, group: str = "bitvec", handle=None):
+        self.runtime = runtime
+        self.n_bits = n_bits
+        self.group = group
+        self.handle = handle or runtime.pim_malloc(n_bits, group)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_bits(cls, runtime, bits, group: str = "bitvec") -> "PimBitVector":
+        bits = np.asarray(bits, dtype=np.uint8)
+        vec = cls(runtime, bits.size, group)
+        runtime.pim_write(vec.handle, bits)
+        return vec
+
+    @classmethod
+    def zeros(cls, runtime, n_bits: int, group: str = "bitvec") -> "PimBitVector":
+        return cls(runtime, n_bits, group)
+
+    def _like(self) -> "PimBitVector":
+        return PimBitVector(self.runtime, self.n_bits, self.group)
+
+    def _check_peer(self, other: "PimBitVector") -> None:
+        if not isinstance(other, PimBitVector):
+            raise TypeError("operand must be a PimBitVector")
+        if other.runtime is not self.runtime:
+            raise ValueError("operands live in different runtimes")
+        if other.n_bits != self.n_bits:
+            raise ValueError("operand lengths differ")
+
+    # -- operators --------------------------------------------------------------
+
+    def _binary(self, op: str, other: "PimBitVector") -> "PimBitVector":
+        self._check_peer(other)
+        out = self._like()
+        self.runtime.pim_op(op, out.handle, [self.handle, other.handle])
+        return out
+
+    def __or__(self, other):
+        return self._binary("or", other)
+
+    def __and__(self, other):
+        return self._binary("and", other)
+
+    def __xor__(self, other):
+        return self._binary("xor", other)
+
+    def __invert__(self):
+        out = self._like()
+        self.runtime.pim_op("inv", out.handle, [self.handle])
+        return out
+
+    @classmethod
+    def any_of(cls, vectors) -> "PimBitVector":
+        """One-step multi-row OR of many vectors (Pinatubo's signature op)."""
+        vectors = list(vectors)
+        if len(vectors) < 2:
+            raise ValueError("any_of needs at least two vectors")
+        first = vectors[0]
+        for v in vectors[1:]:
+            first._check_peer(v)
+        out = first._like()
+        first.runtime.pim_op(
+            "or", out.handle, [v.handle for v in vectors]
+        )
+        return out
+
+    # -- host access ---------------------------------------------------------------
+
+    def to_numpy(self) -> np.ndarray:
+        return self.runtime.pim_read(self.handle, self.n_bits)
+
+    def popcount(self) -> int:
+        """Host-side count of set bits (reads the vector back)."""
+        return int(self.to_numpy().sum())
+
+    def free(self) -> None:
+        self.runtime.pim_free(self.handle)
+
+    def __len__(self) -> int:
+        return self.n_bits
+
+    def __repr__(self) -> str:
+        return f"PimBitVector(n_bits={self.n_bits}, vid={self.handle.vid})"

@@ -1,0 +1,151 @@
+"""Bit-plane image processing on bulk bitwise operations.
+
+The paper's introduction motivates bitwise acceleration with image
+processing (fast colour segmentation, Bruce et al.): decompose an
+image into bit planes, and per-pixel comparisons/masks become bulk
+bitwise operations over n-pixel bit-vectors.
+
+The core primitive is the bit-serial threshold: ``mask = (image > t)``
+computed MSB-first over the planes with only AND/OR/INV --
+
+    gt = 0, eq = 1
+    for b in MSB..LSB:
+        if t_b == 0:  gt |= eq AND plane_b        # pixel bit 1 > t bit 0
+        eq &= (plane_b XNOR t_b)                  # still tied
+    ==> gt
+
+which runs entirely in PIM memory.  Band masks, channel intersections
+and pixel counting follow from AND/INV/popcount.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.trace import OpTrace
+
+PLANES = 8  # uint8 images
+
+
+def to_bit_planes(image: np.ndarray) -> list:
+    """Flatten a uint8 image into 8 bit-vectors, MSB first."""
+    image = np.asarray(image)
+    if image.dtype != np.uint8:
+        raise ValueError("expected a uint8 image")
+    flat = image.reshape(-1)
+    return [
+        ((flat >> (PLANES - 1 - b)) & 1).astype(np.uint8) for b in range(PLANES)
+    ]
+
+
+def from_bit_planes(planes, shape) -> np.ndarray:
+    """Rebuild a uint8 image from 8 MSB-first bit-vectors."""
+    planes = [np.asarray(p, dtype=np.uint8) for p in planes]
+    if len(planes) != PLANES:
+        raise ValueError(f"expected {PLANES} planes")
+    flat = np.zeros(planes[0].shape, dtype=np.uint8)
+    for b, plane in enumerate(planes):
+        flat |= plane << (PLANES - 1 - b)
+    return flat.reshape(shape)
+
+
+def threshold_bits(t: int) -> list:
+    """MSB-first bits of a uint8 threshold."""
+    if not 0 <= t <= 255:
+        raise ValueError("threshold must be a uint8 value")
+    return [(t >> (PLANES - 1 - b)) & 1 for b in range(PLANES)]
+
+
+def threshold_mask_numpy(planes, t: int) -> np.ndarray:
+    """The bit-serial greater-than, in numpy (oracle + CPU reference)."""
+    t_bits = threshold_bits(t)
+    gt = np.zeros_like(planes[0])
+    eq = np.ones_like(planes[0])
+    for plane, t_b in zip(planes, t_bits):
+        if t_b == 0:
+            gt |= eq & plane
+            eq = eq & (1 - plane)
+        else:
+            eq = eq & plane
+    return gt
+
+
+def threshold_mask_pim(runtime, plane_handles, t: int, group: str = "img"):
+    """The same comparator, executed with in-memory PIM operations.
+
+    ``plane_handles`` are 8 MSB-first bit-vector handles already living
+    in PIM memory; returns the handle of the (pixel > t) mask.
+    """
+    if len(plane_handles) != PLANES:
+        raise ValueError(f"expected {PLANES} plane handles")
+    n_bits = plane_handles[0].n_bits
+    t_bits = threshold_bits(t)
+
+    gt = runtime.pim_malloc(n_bits, group)  # starts all-zero
+    eq = runtime.pim_malloc(n_bits, group)
+    ones_seed = runtime.pim_malloc(n_bits, group)
+    scratch = runtime.pim_malloc(n_bits, group)
+    # eq starts all-ones: INV of the fresh all-zero row
+    runtime.pim_op("inv", eq, [ones_seed])
+
+    for plane, t_b in zip(plane_handles, t_bits):
+        if t_b == 0:
+            # gt |= eq & plane ; eq &= ~plane
+            runtime.pim_op("and", scratch, [eq, plane])
+            runtime.pim_op("or", gt, [gt, scratch])
+            runtime.pim_op("inv", scratch, [plane])
+            runtime.pim_op("and", eq, [eq, scratch])
+        else:
+            runtime.pim_op("and", eq, [eq, plane])
+    return gt
+
+
+def band_mask_pim(runtime, plane_handles, low: int, high: int,
+                  group: str = "img"):
+    """(low < pixel <= high) as PIM ops: gt(low) AND NOT gt(high)."""
+    if low > high:
+        raise ValueError("need low <= high")
+    gt_low = threshold_mask_pim(runtime, plane_handles, low, group)
+    gt_high = threshold_mask_pim(runtime, plane_handles, high, group)
+    n_bits = plane_handles[0].n_bits
+    not_high = runtime.pim_malloc(n_bits, group)
+    band = runtime.pim_malloc(n_bits, group)
+    runtime.pim_op("inv", not_high, [gt_high])
+    runtime.pim_op("and", band, [gt_low, not_high])
+    return band
+
+
+def threshold_trace(n_pixels: int, t: int) -> OpTrace:
+    """Op trace of one threshold over an n-pixel image (for pricing)."""
+    if n_pixels < 1:
+        raise ValueError("n_pixels must be positive")
+    trace = OpTrace(name=f"threshold-{t}")
+    trace.bitwise("inv", 1, n_pixels)  # eq init
+    for t_b in threshold_bits(t):
+        if t_b == 0:
+            trace.bitwise("and", 2, n_pixels)
+            trace.bitwise("or", 2, n_pixels)
+            trace.bitwise("inv", 1, n_pixels)
+            trace.bitwise("and", 2, n_pixels)
+        else:
+            trace.bitwise("and", 2, n_pixels)
+    # plane decomposition + mask consumption on the host
+    trace.cpu(n_pixels * 0.5, label="plane-io")
+    return trace
+
+
+def synthetic_image(height: int = 64, width: int = 64, seed: int = 0) -> np.ndarray:
+    """A gradient + bright blobs test image (uint8)."""
+    if height < 1 or width < 1:
+        raise ValueError("image dimensions must be positive")
+    rng = np.random.default_rng(seed)
+    y, x = np.mgrid[0:height, 0:width]
+    gradient = (x * 255.0 / max(1, width - 1)).astype(np.float64)
+    image = gradient.copy()
+    for _ in range(max(1, (height * width) // 1024)):
+        cy, cx = rng.integers(0, height), rng.integers(0, width)
+        r = int(rng.integers(3, max(4, min(height, width) // 8)))
+        blob = (y - cy) ** 2 + (x - cx) ** 2 <= r**2
+        image[blob] = 250.0
+    noise = rng.normal(0, 6.0, size=image.shape)
+    return np.clip(image + noise, 0, 255).astype(np.uint8)

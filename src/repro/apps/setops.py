@@ -1,0 +1,260 @@
+"""Set-algebra expressions compiled onto bulk bitwise operations.
+
+The programmer-facing query layer: named bit-sets combine with a small
+expression language --
+
+    "dogs & (tabby | calico) & ~adopted"
+
+parsed into an AST and evaluated either on numpy (oracle) or on a
+:class:`~repro.runtime.api.PimRuntime`.  The compiler knows the one
+optimisation that matters on Pinatubo: an OR chain of any width
+flattens into a *single multi-row operation* rather than a tree of
+2-row steps, so ``a | b | c | ... | z`` costs one activation.
+
+Grammar (standard precedence: ``~`` > ``&`` > ``^`` > ``|``)::
+
+    expr    := xor ( "|" xor )*
+    xor     := term ( "^" term )*
+    term    := factor ( "&" factor )*
+    factor  := "~" factor | "(" expr ")" | NAME
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+_TOKEN_RE = re.compile(r"\s*(?:(?P<name>[A-Za-z_]\w*)|(?P<op>[&|^~()]))")
+
+
+class SetExpressionError(ValueError):
+    """Malformed set expression."""
+
+
+# -- AST ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: object
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str  # "&", "|", "^"
+    operands: tuple  # flattened n-ary for associative ops
+
+    def __post_init__(self) -> None:
+        if self.op not in ("&", "|", "^"):
+            raise SetExpressionError(f"unknown operator {self.op!r}")
+        if len(self.operands) < 2:
+            raise SetExpressionError("binary op needs at least two operands")
+
+
+def tokenize(text: str) -> list:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise SetExpressionError(
+                f"unexpected character {remainder[0]!r} at position {pos}"
+            )
+        pos = match.end()
+        tokens.append(match.group("name") or match.group("op"))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self):
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self):
+        token = self.peek()
+        self.pos += 1
+        return token
+
+    def expect(self, token):
+        got = self.take()
+        if got != token:
+            raise SetExpressionError(f"expected {token!r}, got {got!r}")
+
+    def parse(self):
+        node = self.expr()
+        if self.peek() is not None:
+            raise SetExpressionError(f"trailing input at {self.peek()!r}")
+        return node
+
+    def _chain(self, sub, op):
+        operands = [sub()]
+        while self.peek() == op:
+            self.take()
+            operands.append(sub())
+        if len(operands) == 1:
+            return operands[0]
+        # flatten nested same-op chains: (a|b)|c -> or(a, b, c).
+        # All three operators are associative, so this is semantics-
+        # preserving; for OR it is also the multi-row win.
+        flat = []
+        for operand in operands:
+            if isinstance(operand, BinOp) and operand.op == op:
+                flat.extend(operand.operands)
+            else:
+                flat.append(operand)
+        return BinOp(op, tuple(flat))
+
+    def expr(self):
+        return self._chain(self.xor, "|")
+
+    def xor(self):
+        return self._chain(self.term, "^")
+
+    def term(self):
+        return self._chain(self.factor, "&")
+
+    def factor(self):
+        token = self.peek()
+        if token == "~":
+            self.take()
+            return Not(self.factor())
+        if token == "(":
+            self.take()
+            node = self.expr()
+            self.expect(")")
+            return node
+        if token is None or token in ("&", "|", "^", ")"):
+            raise SetExpressionError(f"expected a set name, got {token!r}")
+        return Var(self.take())
+
+
+def parse_expression(text: str):
+    """Parse a set expression into its AST."""
+    tokens = tokenize(text)
+    if not tokens:
+        raise SetExpressionError("empty expression")
+    return _Parser(tokens).parse()
+
+
+def unparse(node) -> str:
+    """Render an AST back to canonical text (reparses to an equal AST)."""
+    if isinstance(node, Var):
+        return node.name
+    if isinstance(node, Not):
+        inner = unparse(node.operand)
+        if isinstance(node.operand, (Not, Var)):
+            return f"~{inner}"
+        return f"~({inner})"
+    parts = []
+    for operand in node.operands:
+        text = unparse(operand)
+        if isinstance(operand, BinOp) and operand.op != node.op:
+            text = f"({text})"
+        parts.append(text)
+    return f" {node.op} ".join(parts)
+
+
+def expression_names(node) -> set:
+    """Every set name referenced by an expression."""
+    if isinstance(node, Var):
+        return {node.name}
+    if isinstance(node, Not):
+        return expression_names(node.operand)
+    out = set()
+    for operand in node.operands:
+        out |= expression_names(operand)
+    return out
+
+
+# -- evaluation ---------------------------------------------------------------
+
+
+def evaluate_numpy(node, sets: dict) -> np.ndarray:
+    """Oracle evaluation over {name: 0/1 array}."""
+    if isinstance(node, Var):
+        try:
+            return np.asarray(sets[node.name], dtype=np.uint8)
+        except KeyError:
+            raise SetExpressionError(f"unknown set {node.name!r}") from None
+    if isinstance(node, Not):
+        return (1 - evaluate_numpy(node.operand, sets)).astype(np.uint8)
+    ufunc = {
+        "&": np.bitwise_and,
+        "|": np.bitwise_or,
+        "^": np.bitwise_xor,
+    }[node.op]
+    out = evaluate_numpy(node.operands[0], sets)
+    for operand in node.operands[1:]:
+        out = ufunc(out, evaluate_numpy(operand, sets))
+    return out
+
+
+class PimSetAlgebra:
+    """Named bit-sets resident in PIM memory, queried by expression."""
+
+    def __init__(self, runtime, n_bits: int, group: str = "sets"):
+        if n_bits < 1:
+            raise ValueError("n_bits must be positive")
+        self.runtime = runtime
+        self.n_bits = n_bits
+        self.group = group
+        self._sets: dict = {}
+
+    def define(self, name: str, bits) -> None:
+        """Create or overwrite a named set."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.size != self.n_bits:
+            raise ValueError(
+                f"set {name!r} has {bits.size} bits, expected {self.n_bits}"
+            )
+        if name not in self._sets:
+            self._sets[name] = self.runtime.pim_malloc(self.n_bits, self.group)
+        self.runtime.pim_write(self._sets[name], bits)
+
+    def names(self) -> list:
+        return sorted(self._sets)
+
+    def _scratch(self):
+        return self.runtime.pim_malloc(self.n_bits, self.group)
+
+    def _eval(self, node):
+        """Evaluate to a handle; OR/AND chains become n-ary pim_ops."""
+        if isinstance(node, Var):
+            try:
+                return self._sets[node.name]
+            except KeyError:
+                raise SetExpressionError(f"unknown set {node.name!r}") from None
+        if isinstance(node, Not):
+            dest = self._scratch()
+            self.runtime.pim_op("inv", dest, [self._eval(node.operand)])
+            return dest
+        operands = [self._eval(operand) for operand in node.operands]
+        dest = self._scratch()
+        op_name = {"&": "and", "|": "or", "^": "xor"}[node.op]
+        # the flattened chain maps to one (possibly multi-row) pim_op;
+        # the executor decomposes past the technology's fan-in budget
+        self.runtime.pim_op(op_name, dest, operands)
+        return dest
+
+    def query(self, expression: str) -> np.ndarray:
+        """Evaluate an expression; returns the result bits."""
+        node = parse_expression(expression)
+        handle = self._eval(node)
+        return self.runtime.pim_read(handle)
+
+    def count(self, expression: str) -> int:
+        """Cardinality of the expression's result set."""
+        return int(self.query(expression).sum())

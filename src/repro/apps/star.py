@@ -1,0 +1,88 @@
+"""Synthetic STAR-like event table.
+
+The paper's database workload queries data from the STAR experiment (RHIC
+collision events) through FastBit.  The actual data is not available
+offline; what the bitmap-index workload depends on is only the *shape* of
+the table -- event count and per-column bin cardinalities -- which we
+synthesise here.  Physics-style columns with realistic distributions:
+steeply-falling energies/momenta (exponential), symmetric charges,
+Poisson-ish multiplicities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One attribute of the event table."""
+
+    name: str
+    n_bins: int  # bitmap-index cardinality after binning
+    distribution: str = "exponential"  # exponential | uniform | normal
+
+    def __post_init__(self) -> None:
+        if self.n_bins < 2:
+            raise ValueError("a binnable column needs >= 2 bins")
+        if self.distribution not in ("exponential", "uniform", "normal"):
+            raise ValueError(f"unknown distribution {self.distribution!r}")
+
+
+#: Default STAR-like schema: what a high-energy-physics tag table binds.
+STAR_COLUMNS = (
+    ColumnSpec("energy", 128, "exponential"),
+    ColumnSpec("pt", 64, "exponential"),
+    ColumnSpec("eta", 32, "normal"),
+    ColumnSpec("n_tracks", 32, "exponential"),
+    ColumnSpec("charge_ratio", 16, "normal"),
+    ColumnSpec("trigger_id", 8, "uniform"),
+)
+
+
+@dataclass
+class StarTable:
+    """Binned event table: one uint16 bin index per event per column."""
+
+    columns: tuple  # ColumnSpec per column
+    bins: dict  # name -> np.ndarray of bin indices (n_events,)
+
+    @property
+    def n_events(self) -> int:
+        first = next(iter(self.bins.values()))
+        return int(first.shape[0])
+
+    def column(self, name: str) -> ColumnSpec:
+        for spec in self.columns:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"no column {name!r}")
+
+    def bin_indices(self, name: str) -> np.ndarray:
+        return self.bins[name]
+
+
+def _sample(spec: ColumnSpec, n: int, rng: np.random.Generator) -> np.ndarray:
+    if spec.distribution == "uniform":
+        raw = rng.random(n)
+    elif spec.distribution == "exponential":
+        raw = rng.exponential(0.25, n)
+    else:  # normal
+        raw = rng.normal(0.5, 0.18, n)
+    raw = np.clip(raw, 0.0, 1.0 - 1e-9)
+    return (raw * spec.n_bins).astype(np.uint16)
+
+
+def synthetic_star_table(
+    n_events: int = 1 << 20,
+    columns=STAR_COLUMNS,
+    seed: int = 2016,
+) -> StarTable:
+    """Generate a binned event table of ``n_events`` rows."""
+    if n_events < 1:
+        raise ValueError("n_events must be positive")
+    rng = np.random.default_rng(seed)
+    bins = {spec.name: _sample(spec, n_events, rng) for spec in columns}
+    return StarTable(columns=tuple(columns), bins=bins)

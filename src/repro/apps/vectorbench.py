@@ -1,0 +1,64 @@
+"""The Vector microbenchmark: pure bulk OR operations (paper Table 1).
+
+A spec like ``19-16-7s`` runs 2^16 vectors of 2^19 bits through
+2^7-operand OR operations (2^9 ops to cover all vectors), sequentially
+allocated.  The trace is what Figs. 10-11's Vector columns price; the
+functional runner executes a scaled-down instance on a real runtime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.spec import VectorSpec
+from repro.workloads.trace import OpTrace
+
+#: scalar overhead per bulk call (driver entry, loop bookkeeping)
+_OPS_PER_CALL = 50.0
+
+
+def vector_trace(spec) -> OpTrace:
+    """Op trace of one Vector benchmark instance."""
+    if isinstance(spec, str):
+        spec = VectorSpec.parse(spec)
+    trace = OpTrace(name=f"vector-{spec.label}")
+    trace.bitwise(
+        "or",
+        max(2, spec.operands_per_op),
+        spec.vector_bits,
+        access=spec.access,
+        count=spec.n_ops,
+    )
+    trace.cpu(spec.n_ops * _OPS_PER_CALL, label="driver-calls")
+    return trace
+
+
+def vector_run_pim(runtime, spec, seed: int = 0):
+    """Execute a (small) Vector instance end-to-end on a PIM runtime.
+
+    Returns (results, oracle) where results[i] is the bits read back from
+    op i's destination and oracle[i] the numpy expectation.
+    """
+    if isinstance(spec, str):
+        spec = VectorSpec.parse(spec)
+    rng = np.random.default_rng(seed)
+    n_bits = spec.vector_bits
+    results, oracles = [], []
+    for op_index in range(spec.n_ops):
+        group = f"vec-{spec.label}-{op_index}"
+        operands = []
+        data = []
+        for _ in range(max(2, spec.operands_per_op)):
+            h = runtime.pim_malloc(n_bits, group)
+            bits = rng.integers(0, 2, size=n_bits).astype(np.uint8)
+            runtime.pim_write(h, bits)
+            operands.append(h)
+            data.append(bits)
+        dest = runtime.pim_malloc(n_bits, group)
+        runtime.pim_op("or", dest, operands)
+        results.append(runtime.pim_read(dest))
+        oracles.append(np.bitwise_or.reduce(data))
+        for h in operands:
+            runtime.pim_free(h)
+        runtime.pim_free(dest)
+    return results, oracles

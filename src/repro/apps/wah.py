@@ -1,0 +1,192 @@
+"""Word-Aligned Hybrid (WAH) bitmap compression.
+
+FastBit's native bitmap representation (Wu, 2005): bits are grouped into
+31-bit chunks; a 32-bit word is either a *literal* (MSB 0, 31 payload
+bits) or a *fill* (MSB 1, bit 30 the fill value, low 30 bits the run
+length in 31-bit groups).  Logical operations run directly on the
+compressed streams, skipping over fills without touching their bits.
+
+In the Pinatubo context WAH is the CPU-side counterweight: a software
+bitmap engine compresses to cut memory traffic, while Pinatubo operates
+on uncompressed rows at full row parallelism.  The ablation bench
+(`bench_ablation_compression.py`) quantifies that trade.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: payload bits per word
+GROUP_BITS = 31
+_LITERAL_MASK = (1 << GROUP_BITS) - 1  # 0x7FFFFFFF
+_FILL_FLAG = 1 << 31
+_FILL_VALUE = 1 << 30
+_FILL_COUNT_MASK = (1 << 30) - 1
+
+
+def _bits_to_groups(bits: np.ndarray) -> np.ndarray:
+    """Pack a 0/1 array into 31-bit group values (last group padded)."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.ndim != 1:
+        raise ValueError("bits must be 1-D")
+    pad = (-bits.size) % GROUP_BITS
+    if pad:
+        bits = np.concatenate([bits, np.zeros(pad, dtype=np.uint8)])
+    groups = bits.reshape(-1, GROUP_BITS)
+    weights = (1 << np.arange(GROUP_BITS - 1, -1, -1, dtype=np.uint64))
+    return (groups.astype(np.uint64) * weights).sum(axis=1).astype(np.uint32)
+
+
+def _groups_to_bits(groups: np.ndarray, n_bits: int) -> np.ndarray:
+    out = np.zeros((len(groups), GROUP_BITS), dtype=np.uint8)
+    for j in range(GROUP_BITS):
+        out[:, j] = (groups >> np.uint32(GROUP_BITS - 1 - j)) & np.uint32(1)
+    return out.reshape(-1)[:n_bits]
+
+
+def wah_encode(bits: np.ndarray) -> np.ndarray:
+    """Compress a 0/1 bit array into WAH words (uint32)."""
+    groups = _bits_to_groups(bits)
+    words = []
+    i = 0
+    n = len(groups)
+    while i < n:
+        value = int(groups[i])
+        if value in (0, _LITERAL_MASK):
+            run = 1
+            while (
+                i + run < n
+                and groups[i + run] == value
+                and run < _FILL_COUNT_MASK
+            ):
+                run += 1
+            if run > 1:
+                fill = _FILL_FLAG | run
+                if value:
+                    fill |= _FILL_VALUE
+                words.append(fill)
+                i += run
+                continue
+        words.append(value)
+        i += 1
+    return np.array(words, dtype=np.uint32)
+
+
+def wah_decode(words: np.ndarray, n_bits: int) -> np.ndarray:
+    """Decompress WAH words back to a 0/1 array of ``n_bits``."""
+    if n_bits < 0:
+        raise ValueError("n_bits must be non-negative")
+    runs = []
+    for word in np.asarray(words, dtype=np.uint32).tolist():
+        if word & _FILL_FLAG:
+            value = _LITERAL_MASK if word & _FILL_VALUE else 0
+            runs.extend([value] * (word & _FILL_COUNT_MASK))
+        else:
+            runs.append(word & _LITERAL_MASK)
+    groups = np.array(runs, dtype=np.uint32)
+    expected = -(-n_bits // GROUP_BITS)
+    if len(groups) != expected:
+        raise ValueError(
+            f"stream holds {len(groups)} groups, {expected} needed for {n_bits} bits"
+        )
+    return _groups_to_bits(groups, n_bits)
+
+
+def _to_runs(words) -> list:
+    """[(group_value, count), ...] from a WAH stream."""
+    runs = []
+    for word in np.asarray(words, dtype=np.uint32).tolist():
+        if word & _FILL_FLAG:
+            value = _LITERAL_MASK if word & _FILL_VALUE else 0
+            runs.append((value, word & _FILL_COUNT_MASK))
+        else:
+            runs.append((word & _LITERAL_MASK, 1))
+    return runs
+
+
+def _from_runs(runs) -> np.ndarray:
+    """Re-encode (value, count) runs into canonical WAH words."""
+    words = []
+    pending_value = None
+    pending_count = 0
+
+    def flush():
+        nonlocal pending_value, pending_count
+        while pending_count:
+            take = min(pending_count, _FILL_COUNT_MASK)
+            if take == 1:
+                words.append(pending_value)
+            else:
+                fill = _FILL_FLAG | take
+                if pending_value:
+                    fill |= _FILL_VALUE
+                words.append(fill)
+            pending_count -= take
+        pending_value = None
+
+    for value, count in runs:
+        if value in (0, _LITERAL_MASK):
+            if pending_value == value:
+                pending_count += count
+            else:
+                flush()
+                pending_value, pending_count = value, count
+        else:
+            flush()
+            words.extend([value] * count)
+    flush()
+    return np.array(words, dtype=np.uint32)
+
+
+def _merge(a_words, b_words, op) -> np.ndarray:
+    """Compressed-domain binary op via run merging."""
+    runs_a = _to_runs(a_words)
+    runs_b = _to_runs(b_words)
+    out = []
+    ia = ib = 0
+    rem_a = rem_b = 0
+    va = vb = 0
+    while True:
+        if rem_a == 0:
+            if ia >= len(runs_a):
+                break
+            va, rem_a = runs_a[ia]
+            ia += 1
+        if rem_b == 0:
+            if ib >= len(runs_b):
+                break
+            vb, rem_b = runs_b[ib]
+            ib += 1
+        take = min(rem_a, rem_b)
+        out.append((op(va, vb) & _LITERAL_MASK, take))
+        rem_a -= take
+        rem_b -= take
+    if rem_a or rem_b or ia < len(runs_a) or ib < len(runs_b):
+        raise ValueError("WAH streams cover different bit counts")
+    return _from_runs(out)
+
+
+def wah_and(a_words, b_words) -> np.ndarray:
+    """Bitwise AND of two equal-length WAH streams (stays compressed)."""
+    return _merge(a_words, b_words, lambda x, y: x & y)
+
+
+def wah_or(a_words, b_words) -> np.ndarray:
+    """Bitwise OR of two equal-length WAH streams (stays compressed)."""
+    return _merge(a_words, b_words, lambda x, y: x | y)
+
+
+def wah_popcount(words) -> int:
+    """Set-bit count straight off the compressed stream."""
+    total = 0
+    for value, count in _to_runs(words):
+        total += count * int(bin(value).count("1"))
+    return total
+
+
+def compression_ratio(bits: np.ndarray) -> float:
+    """Uncompressed 32-bit words over WAH words (>1 means it compressed)."""
+    bits = np.asarray(bits)
+    plain_words = -(-bits.size // 32)
+    wah_words = len(wah_encode(bits))
+    return plain_words / wah_words if wah_words else float("inf")

@@ -1,0 +1,52 @@
+"""Baselines the paper compares Pinatubo against (Section 6.1).
+
+- :mod:`repro.baselines.cache` -- set-associative cache hierarchy
+  simulator (the trace-driven part of our Sniper substitute).
+- :mod:`repro.baselines.simd` -- the SIMD CPU baseline: a 4-core,
+  4-issue out-of-order x86 at 3.3 GHz with 128-bit SSE/AVX and a
+  32 KB / 256 KB / 6 MB cache hierarchy.
+- :mod:`repro.baselines.sdram` -- S-DRAM: in-DRAM charge-sharing bulk
+  AND/OR (copy-before-compute, 2-row only).
+- :mod:`repro.baselines.acpim` -- AC-PIM: accelerator-in-memory with
+  digital logic gates even for intra-subarray operations.
+- :mod:`repro.baselines.ideal` -- zero-cost bitwise operations (the
+  Fig. 12 "Ideal" legend).
+
+All baselines implement the :class:`BitwiseBaseline` protocol:
+``bitwise_cost(op, n_operands, vector_bits, access)`` returning a
+:class:`BaselineCost`, so the workload harness can drive any of them
+interchangeably.
+"""
+
+from repro.baselines.base import BaselineCost, BitwiseBaseline, AccessPattern
+from repro.baselines.cache import Cache, CacheHierarchy, AccessResult
+from repro.baselines.simd import SimdCpu, CpuConfig
+from repro.baselines.sdram import SDram
+from repro.baselines.sdram_functional import SDramExecutor
+from repro.baselines.acpim import AcPim
+from repro.baselines.ideal import IdealPim
+from repro.baselines.kernel import (
+    PortConfig,
+    bitwise_kernel_profile,
+    cycles_per_iteration,
+    kernel_compute_time,
+)
+
+__all__ = [
+    "SDramExecutor",
+    "PortConfig",
+    "bitwise_kernel_profile",
+    "cycles_per_iteration",
+    "kernel_compute_time",
+    "BaselineCost",
+    "BitwiseBaseline",
+    "AccessPattern",
+    "Cache",
+    "CacheHierarchy",
+    "AccessResult",
+    "SimdCpu",
+    "CpuConfig",
+    "SDram",
+    "AcPim",
+    "IdealPim",
+]

@@ -1,0 +1,98 @@
+"""AC-PIM baseline: accelerator-in-memory with digital logic everywhere.
+
+The paper's strawman PIM: instead of reusing the analog sense path, every
+operation -- even intra-subarray -- runs through digital logic gates and
+latches bolted onto the array (Fig. 8b style bit-slices at subarray
+level).  Consequences the evaluation shows:
+
+- each operand row must be *read out digitally* (a full muxed sense pass)
+  and latched before the gates combine it -- no one-step multi-row
+  activation, so an n-operand op costs n serial row reads;
+- every bit pays gate + latch energy on top of the array read, and the
+  scheme loses the analog path's single-sense trick, so it never beats
+  the analog schemes on energy;
+- area: ~6.4 % of the chip vs Pinatubo's ~0.9 % (see
+  :mod:`repro.energy.area`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import (
+    AccessPattern,
+    BaselineCost,
+    BitwiseBaseline,
+    validate_request,
+)
+from repro.energy.constants import PROCESS_65NM, ProcessConstants
+from repro.memsim.geometry import DEFAULT_GEOMETRY, MemoryGeometry
+from repro.memsim.timing import TimingParams, nvm_timing
+from repro.nvm.technology import NVMTechnology, get_technology
+
+
+class AcPim(BitwiseBaseline):
+    """Digital accelerator-in-memory on the same NVM array."""
+
+    name = "AC-PIM"
+
+    #: Every operand bit is shuttled from the SA outputs across the global
+    #: datalines to the buffer-side logic block and back -- wire energy
+    #: the analog schemes never pay (their combine happens *in* the SA).
+    _E_WIRE_PER_BIT = 0.25e-12
+
+    #: Rank-wide GDL transfer width per bus-clock beat (256 bits per chip
+    #: x 8 lock-step chips).
+    gdl_beat_bits = 2048
+
+    def __init__(
+        self,
+        geometry: MemoryGeometry = DEFAULT_GEOMETRY,
+        technology: NVMTechnology = None,
+        process: ProcessConstants = PROCESS_65NM,
+    ):
+        self.geometry = geometry
+        self.technology = technology or get_technology("pcm")
+        self.timing = nvm_timing(self.technology)
+        self.process = process
+
+    def supports(self, op: str) -> bool:
+        return op in ("or", "and", "xor", "inv")
+
+    def bitwise_cost(
+        self,
+        op: str,
+        n_operands: int,
+        vector_bits: int,
+        access: AccessPattern = AccessPattern.SEQUENTIAL,
+    ) -> BaselineCost:
+        op = validate_request(op, n_operands, vector_bits)
+        AccessPattern.parse(access)  # validated; placement-insensitive here:
+        # the digital path reads every operand through the array anyway, so
+        # random placement costs the same serial row reads.
+        g, t = self.geometry, self.timing
+
+        chunks = g.rows_for_bits(vector_bits)
+        chunk_bits = min(vector_bits, g.row_bits)
+        steps = g.sense_steps_for_bits(chunk_bits)
+
+        # Per chunk: read each operand row digitally *through the global
+        # datalines* to the buffer-side logic (Fig. 8b), combine in gates,
+        # write the result back through the write drivers.  The GDL is the
+        # bottleneck the analog schemes never touch.
+        gdl_beats = -(-chunk_bits // self.gdl_beat_bits)
+        t_read_row = t.t_rcd + steps * t.t_cl + gdl_beats * t.t_cmd + t.t_rp
+        t_chunk = n_operands * t_read_row + t.t_cmd + gdl_beats * t.t_cmd + t.t_wr
+        latency = chunks * t_chunk + (n_operands + 2) * chunks * t.t_cmd
+
+        e_read_row = chunk_bits * (
+            t.e_activate_per_bit
+            + t.e_sense_per_bit
+            + self.process.e_gate_per_bit
+            + self.process.e_latch_per_bit
+            + self._E_WIRE_PER_BIT
+        )
+        # random data: ~half the result bits flip on write-back
+        e_write = 0.5 * chunk_bits * t.e_write_per_bit
+        energy = chunks * (n_operands * e_read_row + e_write)
+        return BaselineCost(latency=latency, energy=energy, offloaded=True)

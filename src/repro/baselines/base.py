@@ -1,0 +1,85 @@
+"""Common protocol for bitwise-operation baselines."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class AccessPattern(enum.Enum):
+    """How operand vectors are laid out / accessed.
+
+    SEQUENTIAL: operands allocated contiguously (the PIM-aware allocator's
+    best case; row-buffer-friendly streaming for the CPU).
+    RANDOM: operands scattered across the memory (the "r" suffix of the
+    paper's Vector specs); PIM ops degrade to inter-subarray/bank, CPU
+    pays row misses at vector boundaries.
+    """
+
+    SEQUENTIAL = "sequential"
+    RANDOM = "random"
+
+    @classmethod
+    def parse(cls, value) -> "AccessPattern":
+        if isinstance(value, cls):
+            return value
+        v = str(value).lower()
+        if v in ("s", "seq", "sequential"):
+            return cls.SEQUENTIAL
+        if v in ("r", "rand", "random"):
+            return cls.RANDOM
+        raise ValueError(f"unknown access pattern {value!r}")
+
+
+@dataclass(frozen=True)
+class BaselineCost:
+    """Latency/energy of one bulk bitwise operation on a baseline."""
+
+    latency: float  # s
+    energy: float  # J
+    offloaded: bool = True  # False when the scheme fell back to the CPU
+
+    def merged(self, other: "BaselineCost") -> "BaselineCost":
+        return BaselineCost(
+            latency=self.latency + other.latency,
+            energy=self.energy + other.energy,
+            offloaded=self.offloaded and other.offloaded,
+        )
+
+
+class BitwiseBaseline:
+    """Interface every evaluated scheme implements."""
+
+    #: Display name used by the benchmark harness.
+    name: str = "baseline"
+
+    def bitwise_cost(
+        self,
+        op: str,
+        n_operands: int,
+        vector_bits: int,
+        access: AccessPattern = AccessPattern.SEQUENTIAL,
+    ) -> BaselineCost:
+        """Cost of ``result = op(v_1 .. v_n)`` over n vectors of the given
+        length.  Multi-operand requests are decomposed per the scheme's
+        capabilities (e.g. 127 two-row steps on a 2-row scheme)."""
+        raise NotImplementedError
+
+    def supports(self, op: str) -> bool:
+        """Whether the scheme executes ``op`` in memory at all."""
+        raise NotImplementedError
+
+
+def validate_request(op: str, n_operands: int, vector_bits: int) -> str:
+    """Shared argument checking; returns the normalised op name."""
+    op = str(op).lower()
+    if op not in ("or", "and", "xor", "inv"):
+        raise ValueError(f"unknown bitwise op {op!r}")
+    min_operands = 1 if op == "inv" else 2
+    if op == "inv" and n_operands != 1:
+        raise ValueError("inv takes exactly one operand")
+    if n_operands < min_operands:
+        raise ValueError(f"{op} needs at least {min_operands} operands")
+    if vector_bits < 1:
+        raise ValueError("vector_bits must be positive")
+    return op

@@ -1,0 +1,221 @@
+"""Set-associative cache hierarchy simulator (Sniper substitute, data side).
+
+The SIMD baseline's behaviour on bulk bitwise kernels is set by where the
+working set lives: L1/L2/L3 or DRAM.  This module provides
+
+- :class:`Cache`: one set-associative, LRU, write-back/write-allocate
+  cache level with hit latency/energy accounting;
+- :class:`CacheHierarchy`: an inclusive three-level hierarchy that
+  services addresses and reports which level hit;
+- working-set-based *hit-fraction estimation* used by the analytical CPU
+  model when simulating full traces would be too slow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one hierarchy access."""
+
+    level: str  # "L1", "L2", "L3" or "MEM"
+    latency: float  # s
+    energy: float  # J
+    writeback: bool = False  # a dirty line was evicted to memory
+
+
+class Cache:
+    """One set-associative LRU cache level."""
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        line_bytes: int = 64,
+        ways: int = 8,
+        hit_latency: float = 1e-9,
+        access_energy: float = 1e-12,
+    ):
+        if size_bytes <= 0 or line_bytes <= 0 or ways <= 0:
+            raise ValueError("cache dimensions must be positive")
+        n_lines = size_bytes // line_bytes
+        if n_lines % ways != 0 or n_lines == 0:
+            raise ValueError("size/line/ways do not form whole sets")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.n_sets = n_lines // ways
+        self.hit_latency = hit_latency
+        self.access_energy = access_energy
+        # per-set: list of (tag, dirty), most-recent last
+        self._sets = [[] for _ in range(self.n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, address: int) -> tuple:
+        line = address // self.line_bytes
+        return line % self.n_sets, line // self.n_sets
+
+    def access(self, address: int, is_write: bool) -> tuple:
+        """Look up one address.
+
+        Returns (hit, evicted_dirty_tagline) where the eviction is the
+        victim pushed out by the fill on a miss (None otherwise).
+        """
+        set_idx, tag = self._locate(address)
+        entries = self._sets[set_idx]
+        for i, (t, dirty) in enumerate(entries):
+            if t == tag:
+                entries.pop(i)
+                entries.append((tag, dirty or is_write))
+                self.hits += 1
+                return True, None
+        self.misses += 1
+        evicted = None
+        if len(entries) >= self.ways:
+            evicted_tag, evicted_dirty = entries.pop(0)
+            if evicted_dirty:
+                evicted = evicted_tag
+        entries.append((tag, is_write))
+        return False, evicted
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Capacity/latency/energy of the three levels (Haswell-like)."""
+
+    l1_size: int = 32 * 1024
+    l2_size: int = 256 * 1024
+    l3_size: int = 6 * 1024 * 1024
+    line_bytes: int = 64
+    l1_latency: float = 1.2e-9  # 4 cycles @ 3.3 GHz
+    l2_latency: float = 3.6e-9  # 12 cycles
+    l3_latency: float = 10.3e-9  # 34 cycles
+    l1_energy: float = 0.5e-12  # per line access
+    l2_energy: float = 1.5e-12
+    l3_energy: float = 6.0e-12
+
+
+class CacheHierarchy:
+    """Inclusive L1/L2/L3 with a pluggable memory-access cost."""
+
+    def __init__(
+        self,
+        config: HierarchyConfig = HierarchyConfig(),
+        mem_latency: float = 60e-9,
+        mem_energy: float = 30e-12,
+    ):
+        c = config
+        self.config = c
+        self.l1 = Cache("L1", c.l1_size, c.line_bytes, 8, c.l1_latency, c.l1_energy)
+        self.l2 = Cache("L2", c.l2_size, c.line_bytes, 8, c.l2_latency, c.l2_energy)
+        self.l3 = Cache("L3", c.l3_size, c.line_bytes, 12, c.l3_latency, c.l3_energy)
+        self.mem_latency = mem_latency
+        self.mem_energy = mem_energy
+        self.mem_accesses = 0
+
+    def access(self, address: int, is_write: bool = False) -> AccessResult:
+        """Service one address through the hierarchy."""
+        latency = 0.0
+        energy = 0.0
+        writeback = False
+        for cache, label in ((self.l1, "L1"), (self.l2, "L2"), (self.l3, "L3")):
+            latency += cache.hit_latency
+            energy += cache.access_energy
+            hit, evicted = cache.access(address, is_write)
+            if evicted is not None and label == "L3":
+                writeback = True
+            if hit:
+                return AccessResult(label, latency, energy, writeback)
+        self.mem_accesses += 1
+        latency += self.mem_latency
+        energy += self.mem_energy
+        if writeback:
+            energy += self.mem_energy
+        return AccessResult("MEM", latency, energy, writeback)
+
+    def run_trace(self, addresses, writes=None) -> dict:
+        """Run an address trace; returns aggregate stats."""
+        addresses = np.asarray(addresses)
+        if writes is None:
+            writes = np.zeros(addresses.shape, dtype=bool)
+        writes = np.asarray(writes, dtype=bool)
+        if writes.shape != addresses.shape:
+            raise ValueError("writes mask must match addresses")
+        total_latency = 0.0
+        total_energy = 0.0
+        levels = {"L1": 0, "L2": 0, "L3": 0, "MEM": 0}
+        for addr, w in zip(addresses.tolist(), writes.tolist()):
+            r = self.access(int(addr), bool(w))
+            total_latency += r.latency
+            total_energy += r.energy
+            levels[r.level] += 1
+        return {
+            "latency": total_latency,
+            "energy": total_energy,
+            "levels": levels,
+            "accesses": len(addresses),
+        }
+
+    # -- analytical estimation ---------------------------------------------------
+
+    def fit_level(self, working_set_bytes: int) -> str:
+        """Smallest level a (reused) working set streams from."""
+        c = self.config
+        if working_set_bytes <= c.l1_size:
+            return "L1"
+        if working_set_bytes <= c.l2_size:
+            return "L2"
+        if working_set_bytes <= c.l3_size:
+            return "L3"
+        return "MEM"
+
+    def level_bandwidth(self, level: str, line_interval: float = None) -> float:
+        """Sustained line-granular bandwidth of one level (B/s).
+
+        One line per hit latency is the streaming bound a single core sees
+        without prefetch; prefetch-friendly streaming is handled by the
+        CPU model's bandwidth caps.
+        """
+        lat = {
+            "L1": self.l1.hit_latency,
+            "L2": self.l2.hit_latency,
+            "L3": self.l3.hit_latency,
+            "MEM": self.mem_latency,
+        }[level]
+        return self.config.line_bytes / lat
+
+    def level_energy_per_byte(self, level: str) -> float:
+        """Per-byte access energy when streaming from one level."""
+        line = self.config.line_bytes
+        if level == "L1":
+            return self.config.l1_energy / line
+        if level == "L2":
+            return (self.config.l1_energy + self.config.l2_energy) / line
+        if level == "L3":
+            return (
+                self.config.l1_energy + self.config.l2_energy + self.config.l3_energy
+            ) / line
+        if level == "MEM":
+            cache_part = (
+                self.config.l1_energy + self.config.l2_energy + self.config.l3_energy
+            ) / line
+            return cache_part + self.mem_energy / line
+        raise ValueError(f"unknown level {level!r}")

@@ -1,0 +1,36 @@
+"""Ideal baseline: bitwise operations at zero latency and zero energy.
+
+The paper's Fig. 12 "Ideal" legend -- the Amdahl ceiling of any bitwise
+accelerator.  An application's ideal runtime is just its non-bitwise
+part; Pinatubo "almost achieves the ideal acceleration" because its
+per-op cost is negligible next to the conventional part.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import (
+    AccessPattern,
+    BaselineCost,
+    BitwiseBaseline,
+    validate_request,
+)
+
+
+class IdealPim(BitwiseBaseline):
+    """Zero-cost bitwise operations."""
+
+    name = "Ideal"
+
+    def supports(self, op: str) -> bool:
+        return op in ("or", "and", "xor", "inv")
+
+    def bitwise_cost(
+        self,
+        op: str,
+        n_operands: int,
+        vector_bits: int,
+        access: AccessPattern = AccessPattern.SEQUENTIAL,
+    ) -> BaselineCost:
+        validate_request(op, n_operands, vector_bits)
+        AccessPattern.parse(access)
+        return BaselineCost(latency=0.0, energy=0.0, offloaded=True)

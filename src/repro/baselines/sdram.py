@@ -1,0 +1,104 @@
+"""S-DRAM baseline: in-DRAM bulk bitwise AND/OR via charge sharing.
+
+Models the in-DRAM computing approach the paper compares against
+(Seshadri et al., CAL 2015): triple-row activation computes a bitwise
+AND/OR of two rows, but
+
+- DRAM reads are destructive, so both operands must first be *copied*
+  into the designated compute rows (row-clone style activate-activate
+  pairs), and the result copied/kept -- the "copy before calculation"
+  overhead the paper calls out;
+- only 2-row AND and OR are supported; XOR and INV fall back to the CPU;
+- each primitive is a full row-cycle operation, which pipelines across
+  DRAM banks (the scheme's strength: wide rows + bank-level parallelism,
+  how it beats Pinatubo-2 on very long sequential vectors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import (
+    AccessPattern,
+    BaselineCost,
+    BitwiseBaseline,
+    validate_request,
+)
+from repro.baselines.simd import SimdCpu
+from repro.memsim.geometry import DRAM_GEOMETRY, MemoryGeometry
+from repro.memsim.timing import DDR3_1600, TimingParams
+
+
+@dataclass(frozen=True)
+class SDramConfig:
+    """Cost structure of the in-DRAM compute primitives."""
+
+    #: Row-cycle primitives per 2-row op: copy both operands into the
+    #: compute rows, then the triple-row activation leaves the result in
+    #: place (3 AAPs).
+    aaps_per_op: int = 3
+    #: Rows whose full activation energy one AAP pays (src + dst).
+    rows_per_aap: int = 2
+    #: Banks a long bulk operation keeps busy concurrently (command-bus
+    #: and power constraints keep this below the physical bank count).
+    bank_parallelism: int = 4
+
+
+class SDram(BitwiseBaseline):
+    """In-DRAM charge-sharing bulk AND/OR."""
+
+    name = "S-DRAM"
+
+    def __init__(
+        self,
+        geometry: MemoryGeometry = DRAM_GEOMETRY,
+        timing: TimingParams = DDR3_1600,
+        config: SDramConfig = SDramConfig(),
+        cpu: SimdCpu = None,
+    ):
+        self.geometry = geometry
+        self.timing = timing
+        self.config = config
+        #: fallback executor for XOR / INV (CPU over DRAM).
+        self.cpu = cpu or SimdCpu.with_dram()
+
+    def supports(self, op: str) -> bool:
+        return op in ("or", "and")
+
+    def bitwise_cost(
+        self,
+        op: str,
+        n_operands: int,
+        vector_bits: int,
+        access: AccessPattern = AccessPattern.SEQUENTIAL,
+    ) -> BaselineCost:
+        op = validate_request(op, n_operands, vector_bits)
+        access = AccessPattern.parse(access)
+        if not self.supports(op):
+            return self.cpu.bitwise_cost(op, n_operands, vector_bits, access)
+
+        # pairwise accumulation: n-operand op = (n-1) two-row primitives
+        primitives_per_chunk = max(1, n_operands - 1)
+        chunks = self.geometry.rows_for_bits(vector_bits)
+        total_primitives = primitives_per_chunk * chunks
+
+        t_primitive = self.config.aaps_per_op * self.timing.t_rc
+        parallel = self._parallelism(access, chunks)
+        latency = total_primitives * t_primitive / parallel
+
+        row_bits = min(vector_bits, self.geometry.row_bits)
+        e_row = row_bits * (
+            self.timing.e_activate_per_bit + self.timing.e_sense_per_bit
+        )
+        e_primitive = (
+            self.config.aaps_per_op * self.config.rows_per_aap * e_row
+            + 4 * self.timing.e_cmd
+        )
+        energy = total_primitives * e_primitive
+        return BaselineCost(latency=latency, energy=energy, offloaded=True)
+
+    def _parallelism(self, access: AccessPattern, chunks: int) -> int:
+        """Concurrent banks a bulk op exploits."""
+        if access is AccessPattern.RANDOM:
+            return 1  # scattered rows serialise on bank conflicts
+        return max(1, min(self.config.bank_parallelism, chunks))

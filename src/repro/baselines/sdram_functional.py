@@ -1,0 +1,151 @@
+"""Functional in-DRAM computing executor (the S-DRAM baseline, for real).
+
+The analytical :class:`~repro.baselines.sdram.SDram` model prices the
+scheme; this module *executes* it, so the baseline's semantics are
+testable rather than assumed.  Mechanics follow the in-DRAM bulk bitwise
+proposal the paper compares against (Seshadri et al., CAL 2015):
+
+- **RowClone copy (AAP)**: activating a source row and then a destination
+  row in the same subarray before precharge copies the source onto the
+  destination through the sense amplifiers -- one row-cycle primitive.
+- **Triple-row activation (TRA)**: activating three rows at once makes
+  every bitline settle to the *majority* of the three cells, and the
+  restore drives all three rows to that result.  With a control row of
+  zeros ``maj(a, b, 0) = a AND b``; with ones ``maj(a, b, 1) = a OR b``.
+- Reads are destructive, so operands must first be copied into the
+  designated compute rows (the "copy before calculation" overhead), and
+  the result copied out to its destination.
+
+Each DRAM subarray reserves four rows: T0, T1, CTRL plus a scratch the
+copies go through; the executor hides that bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.memsim.geometry import DRAM_GEOMETRY, MemoryGeometry
+from repro.memsim.mainmem import MainMemory
+from repro.memsim.timing import DDR3_1600, TimingParams
+
+
+@dataclass
+class SDramOpResult:
+    """Cost + primitive counts of one in-DRAM operation."""
+
+    latency: float
+    energy: float
+    aap_count: int
+    tra_count: int
+
+
+class SDramExecutor:
+    """Executes bulk AND/OR inside a functional DRAM main memory."""
+
+    #: reserved rows at the top of each subarray
+    _T0, _T1, _CTRL = 0, 1, 2
+    _RESERVED = 3
+
+    def __init__(
+        self,
+        geometry: MemoryGeometry = DRAM_GEOMETRY,
+        timing: TimingParams = DDR3_1600,
+    ):
+        if geometry.rows_per_subarray <= self._RESERVED:
+            raise ValueError("subarrays too small for the compute rows")
+        self.geometry = geometry
+        self.timing = timing
+        self.memory = MainMemory(geometry)
+        self.aaps = 0
+        self.tras = 0
+
+    # -- reserved-row helpers ---------------------------------------------------
+
+    def subarray_base(self, subarray_index: int) -> int:
+        """First frame of the subarray with the given linear index."""
+        return subarray_index * self.geometry.rows_per_subarray
+
+    def data_frame(self, subarray_index: int, row: int) -> int:
+        """Frame of a *data* row (row 0 = first non-reserved row)."""
+        if row < 0 or row >= self.geometry.rows_per_subarray - self._RESERVED:
+            raise ValueError("data row out of range")
+        return self.subarray_base(subarray_index) + self._RESERVED + row
+
+    # -- primitives ----------------------------------------------------------------
+
+    def _aap(self, src_frame: int, dst_frame: int) -> None:
+        """RowClone copy: one activate-activate-precharge row cycle."""
+        self.memory.write_frame(dst_frame, self.memory.frame_bytes(src_frame))
+        self.aaps += 1
+
+    def _tra(self, subarray_index: int) -> None:
+        """Triple-row activation over T0, T1, CTRL: bitwise majority,
+        restored into all three rows (charge sharing is destructive)."""
+        base = self.subarray_base(subarray_index)
+        a = self.memory.frame_bytes(base + self._T0)
+        b = self.memory.frame_bytes(base + self._T1)
+        c = self.memory.frame_bytes(base + self._CTRL)
+        majority = (a & b) | (a & c) | (b & c)
+        for row in (self._T0, self._T1, self._CTRL):
+            self.memory.write_frame(base + row, majority)
+        self.tras += 1
+
+    def _set_control(self, subarray_index: int, value: int) -> None:
+        """Program the control row to all-zeros (AND) or all-ones (OR).
+
+        A real design keeps pre-initialised all-0/all-1 rows and AAPs
+        from them; we count that as the one AAP it is.
+        """
+        base = self.subarray_base(subarray_index)
+        fill = 0xFF if value else 0x00
+        self.memory.write_frame(
+            base + self._CTRL,
+            np.full(self.geometry.row_bytes, fill, dtype=np.uint8),
+        )
+        self.aaps += 1
+
+    # -- bulk operations ----------------------------------------------------------
+
+    def bitwise(self, op: str, dest_row: int, src_a: int, src_b: int,
+                subarray_index: int = 0) -> SDramOpResult:
+        """``dest = a op b`` over full data rows of one subarray.
+
+        Only AND and OR exist in this scheme; anything else must go back
+        to the CPU (which is exactly the penalty the evaluation charges).
+        """
+        if op not in ("and", "or"):
+            raise ValueError(
+                f"in-DRAM computing supports only and/or, not {op!r}"
+            )
+        aaps_before, tras_before = self.aaps, self.tras
+        # copy-before-compute: operands into the designated rows
+        base = self.subarray_base(subarray_index)
+        self._aap(self.data_frame(subarray_index, src_a), base + self._T0)
+        self._aap(self.data_frame(subarray_index, src_b), base + self._T1)
+        self._set_control(subarray_index, 1 if op == "or" else 0)
+        self._tra(subarray_index)
+        # result out of the compute region
+        self._aap(base + self._T0, self.data_frame(subarray_index, dest_row))
+
+        aaps = self.aaps - aaps_before
+        tras = self.tras - tras_before
+        t_cycle = self.timing.t_rc
+        latency = (aaps + tras) * t_cycle
+        e_row = self.geometry.row_bits * (
+            self.timing.e_activate_per_bit + self.timing.e_sense_per_bit
+        )
+        # AAP activates two rows; TRA three
+        energy = aaps * 2 * e_row + tras * 3 * e_row
+        return SDramOpResult(latency, energy, aaps, tras)
+
+    # -- host data access (no cost accounting: test convenience) ------------------
+
+    def write_data_row(self, subarray_index: int, row: int, bits) -> None:
+        self.memory.write_bits(
+            self.data_frame(subarray_index, row), np.asarray(bits, np.uint8)
+        )
+
+    def read_data_row(self, subarray_index: int, row: int, n_bits: int):
+        return self.memory.read_bits(self.data_frame(subarray_index, row), n_bits)

@@ -1,0 +1,39 @@
+"""Behavioural transient circuit simulation (the repo's HSPICE substitute).
+
+The paper validates its two circuit modifications with HSPICE (Fig. 6: the
+modified CSA computing OR/AND/XOR; Fig. 7: the LWL driver latching multiple
+wordlines).  We have no SPICE or PDK offline, so this package implements a
+small forward-Euler transient solver for switched RC networks
+(:mod:`repro.circuits.transient`) plus behavioural netlists of the two
+circuits (:mod:`repro.circuits.csa_sim`, :mod:`repro.circuits.lwl_sim`) and
+a corner-sweep validator (:mod:`repro.circuits.validate`).
+
+What is preserved from the paper's experiment: waveform *shape* (sampling,
+amplification, regeneration phases; latch-and-hold wordlines), functional
+correctness of every operation over the technologies' resistance corners,
+and the timing relationship between phases.  What is not: absolute analog
+accuracy of a 65 nm PDK.
+"""
+
+from repro.circuits.transient import Waveform, TransientSolver, RCNode, Switch
+from repro.circuits.csa_sim import CSATransientSim, CSAConfig, SenseTrace
+from repro.circuits.lwl_sim import LWLDriverSim, LWLTrace
+from repro.circuits.validate import validate_csa_corners, CornerReport
+from repro.circuits.render import render_waveform, render_digital, render_traces
+
+__all__ = [
+    "render_waveform",
+    "render_digital",
+    "render_traces",
+    "Waveform",
+    "TransientSolver",
+    "RCNode",
+    "Switch",
+    "CSATransientSim",
+    "CSAConfig",
+    "SenseTrace",
+    "LWLDriverSim",
+    "LWLTrace",
+    "validate_csa_corners",
+    "CornerReport",
+]

@@ -1,0 +1,278 @@
+"""Transient model of the modified current sense amplifier (paper Fig. 6).
+
+The CSA (Chang et al., JSSC 2013) senses in three phases:
+
+1. *current sampling*: the clamped bitline current and the selected
+   reference current each charge a sampling capacitor (Cs / Cs-ref);
+2. *current-ratio amplification*: a cross-coupled pair regeneratively
+   amplifies the voltage difference between the two capacitors;
+3. *2nd-stage amplification*: a second stage drives the digital output
+   rail-to-rail.
+
+Pinatubo's modifications, all modelled here:
+
+- selectable references (READ / OR(n) / AND) that change the reference
+  branch current;
+- a hold capacitor ``Ch`` plus a pass-transistor XOR pair for the
+  two-micro-step XOR;
+- the differential (complement) output for INV.
+
+The solver is the behavioural :class:`repro.circuits.transient.TransientSolver`;
+currents saturate near the rails via ``(1 - V/VDD)`` factors, which is the
+standard velocity-saturation-free behavioural MOS approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.transient import RCNode, Switch, TransientSolver, Waveform
+from repro.nvm.sense_amp import ReferenceScheme, SenseMode
+from repro.nvm.technology import NVMTechnology
+
+
+@dataclass(frozen=True)
+class CSAConfig:
+    """Electrical configuration of the behavioural CSA."""
+
+    vdd: float = 1.2  # V
+    c_sample: float = 20e-15  # F, sampling caps (Cs and reference Cs)
+    c_hold: float = 20e-15  # F, XOR hold cap Ch
+    c_out: float = 10e-15  # F, output node
+    t_sample: float = 3e-9  # s, phase 1
+    t_amplify: float = 2e-9  # s, phase 2
+    t_output: float = 2e-9  # s, phase 3
+    gm_regeneration: float = 40e-6  # S, cross-coupled pair transconductance
+    gm_output: float = 80e-6  # S, 2nd stage drive
+    dt: float = 2e-11  # s, integration step
+
+    @property
+    def t_total(self) -> float:
+        return self.t_sample + self.t_amplify + self.t_output
+
+
+@dataclass
+class SenseTrace:
+    """Waveforms and digital outcome of one CSA sensing operation."""
+
+    mode: SenseMode
+    v_cell: Waveform  # sampling cap on the cell side (the paper's V(Cs))
+    v_ref: Waveform  # sampling cap on the reference side
+    v_out: Waveform  # digital output node
+    bit: int  # resolved digital output
+    r_bitline: float
+    r_reference: float
+
+
+class CSATransientSim:
+    """Runs transient sensing operations for one NVM technology."""
+
+    def __init__(self, technology: NVMTechnology, config: CSAConfig = None):
+        self.technology = technology
+        self.config = config or CSAConfig()
+        self.references = ReferenceScheme(technology)
+
+    # -- single sensing pass ---------------------------------------------------
+
+    def _sense_pass(self, r_bitline: float, r_reference: float) -> SenseTrace:
+        """One full 3-phase sensing pass; output high iff I_cell > I_ref."""
+        if r_bitline <= 0 or r_reference <= 0:
+            raise ValueError("resistances must be positive")
+        cfg = self.config
+        t = self.technology
+        i_cell = t.read_voltage / r_bitline
+        i_ref = t.read_voltage / r_reference
+
+        solver = TransientSolver()
+        solver.add_node(RCNode("v_cell", cfg.c_sample))
+        solver.add_node(RCNode("v_ref", cfg.c_sample))
+        solver.add_node(RCNode("v_out", cfg.c_out))
+
+        def saturating(i_const, node):
+            """Constant charging current with rail saturation."""
+
+            def current(time, volts):
+                if time >= cfg.t_sample:
+                    return 0.0
+                return i_const * max(0.0, 1.0 - volts[node] / cfg.vdd)
+
+            return current
+
+        solver.add_current_source("v_cell", saturating(i_cell, "v_cell"))
+        solver.add_current_source("v_ref", saturating(i_ref, "v_ref"))
+
+        # Phase 2: cross-coupled regeneration between the two caps.
+        t_amp_on = cfg.t_sample
+        gm = cfg.gm_regeneration
+
+        def regen(sign, node):
+            def current(time, volts):
+                if time < t_amp_on:
+                    return 0.0
+                diff = volts["v_cell"] - volts["v_ref"]
+                drive = sign * gm * diff
+                headroom = (
+                    1.0 - volts[node] / cfg.vdd if drive > 0 else volts[node] / cfg.vdd
+                )
+                return drive * max(0.0, headroom)
+
+            return current
+
+        solver.add_current_source("v_cell", regen(+1.0, "v_cell"))
+        solver.add_current_source("v_ref", regen(-1.0, "v_ref"))
+
+        # Phase 3: second stage drives the output from the resolved latch.
+        t_out_on = cfg.t_sample + cfg.t_amplify
+
+        def output_stage(time, volts):
+            if time < t_out_on:
+                return 0.0
+            diff = volts["v_cell"] - volts["v_ref"]
+            drive = cfg.gm_output * (1.0 if diff > 0 else -1.0)
+            headroom = (
+                1.0 - volts["v_out"] / cfg.vdd if drive > 0 else volts["v_out"] / cfg.vdd
+            )
+            return drive * max(0.0, headroom)
+
+        solver.add_current_source("v_out", output_stage)
+
+        waves = solver.run(cfg.t_total, dt=cfg.dt)
+        bit = 1 if waves["v_out"].final > cfg.vdd / 2 else 0
+        return SenseTrace(
+            mode=SenseMode.READ,
+            v_cell=waves["v_cell"],
+            v_ref=waves["v_ref"],
+            v_out=waves["v_out"],
+            bit=bit,
+            r_bitline=r_bitline,
+            r_reference=r_reference,
+        )
+
+    # -- public operations ---------------------------------------------------
+
+    def read(self, r_cell: float) -> SenseTrace:
+        """Normal read against Rref-read."""
+        trace = self._sense_pass(r_cell, self.references.read_reference())
+        trace.mode = SenseMode.READ
+        return trace
+
+    def bitwise_or(self, cell_resistances) -> SenseTrace:
+        """n-row OR: parallel bitline vs Rref-or(n)."""
+        rs = list(cell_resistances)
+        if len(rs) < 2:
+            raise ValueError("OR needs at least two open cells")
+        r_parallel = 1.0 / sum(1.0 / r for r in rs)
+        trace = self._sense_pass(r_parallel, self.references.or_reference(len(rs)))
+        trace.mode = SenseMode.OR
+        return trace
+
+    def bitwise_and(self, cell_resistances) -> SenseTrace:
+        """2-row AND: parallel bitline vs Rref-and."""
+        rs = list(cell_resistances)
+        if len(rs) != 2:
+            raise ValueError("AND needs exactly two open cells")
+        r_parallel = 1.0 / sum(1.0 / r for r in rs)
+        trace = self._sense_pass(r_parallel, self.references.and_reference())
+        trace.mode = SenseMode.AND
+        return trace
+
+    def bitwise_xor(self, r_cell_a: float, r_cell_b: float) -> "XorTrace":
+        """Two-micro-step XOR using the hold capacitor and pass-gate pair.
+
+        Step 1 reads operand A and stores the latch output on Ch; step 2
+        reads operand B into the latch.  The add-on pass-transistor pair
+        then pulls the XOR output high iff exactly one of the two stored
+        levels is high.
+        """
+        cfg = self.config
+        first = self.read(r_cell_a)
+        second = self.read(r_cell_b)
+        v_hold = first.v_out.final  # sampled onto Ch between the steps
+        v_latch = second.v_out.final
+
+        # Pass-gate XOR: conducting when exactly one input is high.
+        solver = TransientSolver()
+        solver.add_node(RCNode("v_xor", cfg.c_out))
+
+        def xor_stage(time, volts):
+            a = v_hold / cfg.vdd
+            b = v_latch / cfg.vdd
+            conduction = a * (1.0 - b) + (1.0 - a) * b  # in [0, 1]
+            i_up = cfg.gm_output * conduction * max(
+                0.0, 1.0 - volts["v_xor"] / cfg.vdd
+            )
+            i_down = cfg.gm_output * (1.0 - conduction) * (volts["v_xor"] / cfg.vdd)
+            return i_up - i_down
+
+        solver.add_current_source("v_xor", xor_stage)
+        waves = solver.run(cfg.t_output, dt=cfg.dt)
+        bit = 1 if waves["v_xor"].final > cfg.vdd / 2 else 0
+        return XorTrace(first=first, second=second, v_xor=waves["v_xor"], bit=bit)
+
+    def invert(self, r_cell: float) -> SenseTrace:
+        """INV: the latch's differential output (complement of a read)."""
+        trace = self.read(r_cell)
+        # The differential node is the reference-side latch output; at the
+        # behavioural level that is the complement of v_out.
+        inv_values = self.config.vdd - trace.v_out.values
+        trace = SenseTrace(
+            mode=SenseMode.INV,
+            v_cell=trace.v_cell,
+            v_ref=trace.v_ref,
+            v_out=Waveform(trace.v_out.times, inv_values),
+            bit=1 - trace.bit,
+            r_bitline=trace.r_bitline,
+            r_reference=trace.r_reference,
+        )
+        return trace
+
+    # -- Fig. 6 sequence -------------------------------------------------------
+
+    def figure6_sequence(self, pattern=None) -> list:
+        """The OR / AND / XOR demonstration sequence of paper Fig. 6.
+
+        ``pattern`` is a list of (mode, bit_a, bit_b) tuples; the default is
+        the paper's five input pairs per operation.  Returns a list of
+        (mode, bit_a, bit_b, resolved_bit) with full traces attached.
+        """
+        t = self.technology
+        if pattern is None:
+            pairs = [(1, 0), (1, 1), (0, 0), (0, 1), (1, 0)]
+            pattern = (
+                [(SenseMode.OR,) + p for p in pairs]
+                + [(SenseMode.AND,) + p for p in pairs]
+                + [(SenseMode.XOR,) + p for p in pairs]
+            )
+
+        def r_of(bit):
+            return t.r_low if bit else t.r_high
+
+        results = []
+        for mode, a, b in pattern:
+            if mode is SenseMode.OR:
+                trace = self.bitwise_or([r_of(a), r_of(b)])
+                bit = trace.bit
+            elif mode is SenseMode.AND:
+                trace = self.bitwise_and([r_of(a), r_of(b)])
+                bit = trace.bit
+            elif mode is SenseMode.XOR:
+                trace = self.bitwise_xor(r_of(a), r_of(b))
+                bit = trace.bit
+            else:
+                raise ValueError(f"figure 6 covers OR/AND/XOR, not {mode}")
+            results.append(
+                {"mode": mode, "a": a, "b": b, "bit": bit, "trace": trace}
+            )
+        return results
+
+
+@dataclass
+class XorTrace:
+    """Outcome of the two-micro-step XOR."""
+
+    first: SenseTrace
+    second: SenseTrace
+    v_xor: Waveform
+    bit: int

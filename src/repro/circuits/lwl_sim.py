@@ -1,0 +1,153 @@
+"""Transient model of the modified local-wordline driver (paper Fig. 7).
+
+The conventional LWL driver is a chain of inverters amplifying the decoded
+address.  Pinatubo adds two transistors per driver:
+
+- a *feedback* transistor that couples the signal between the inverters
+  back to the input, forming a latch, so a selected wordline stays at VDD
+  after its address pulse ends;
+- a *reset* transistor that forces the driver input to ground when the
+  global RESET is asserted, clearing every latch before a new multi-row
+  activation sequence.
+
+The model drives each wordline node as an RC load charged/discharged by
+behavioural inverter stages and reproduces the Fig. 7 waveform: RESET
+pulse, per-row decode pulses DEC_n, and WL_n latching high until the next
+RESET.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.transient import RCNode, Switch, TransientSolver, Waveform
+
+
+@dataclass(frozen=True)
+class LWLConfig:
+    """Electrical configuration of the behavioural LWL driver."""
+
+    vdd: float = 1.5  # V (wordline drivers run at boosted voltage)
+    c_wordline: float = 50e-15  # F, wordline load
+    r_driver: float = 5e3  # ohm, driver pull-up/pull-down strength
+    r_latch: float = 20e3  # ohm, weaker latch feedback path
+    dt: float = 2e-11  # s
+
+
+@dataclass
+class LWLTrace:
+    """Waveforms of one multi-row activation sequence."""
+
+    reset: Waveform
+    decode: dict  # row -> decode-pulse Waveform (logical 0/vdd)
+    wordline: dict  # row -> WL voltage Waveform
+    latched_rows: tuple  # rows left high at the end
+
+
+class LWLDriverSim:
+    """Simulates a group of LWL drivers through an activation sequence."""
+
+    def __init__(self, n_rows: int, config: LWLConfig = None):
+        if n_rows < 1:
+            raise ValueError("n_rows must be positive")
+        self.n_rows = n_rows
+        self.config = config or LWLConfig()
+
+    def run_sequence(
+        self,
+        activations,
+        pulse_width: float = 0.5e-9,
+        gap: float = 0.5e-9,
+        reset_width: float = 0.5e-9,
+        tail: float = 2e-9,
+    ) -> LWLTrace:
+        """Simulate: RESET, then one decode pulse per row in ``activations``.
+
+        Returns full waveforms; ``latched_rows`` must equal ``activations``
+        for a correct latch (checked by the tests and the Fig. 7 bench).
+        """
+        activations = list(activations)
+        for row in activations:
+            if not 0 <= row < self.n_rows:
+                raise ValueError(f"row {row} out of range")
+        if len(set(activations)) != len(activations):
+            raise ValueError("duplicate activations in one sequence")
+
+        cfg = self.config
+        # Timeline: [0, reset_width) RESET; then per-activation windows.
+        pulse_starts = {
+            row: reset_width + gap + i * (pulse_width + gap)
+            for i, row in enumerate(activations)
+        }
+        t_end = (
+            reset_width
+            + gap
+            + len(activations) * (pulse_width + gap)
+            + tail
+        )
+
+        solver = TransientSolver()
+        interesting = sorted(set(activations) | ({0, self.n_rows - 1} & set(range(self.n_rows))))
+        for row in interesting:
+            solver.add_node(RCNode(f"wl_{row}", cfg.c_wordline))
+
+        for row in interesting:
+            node = f"wl_{row}"
+            # RESET transistor: pulls the driver input (hence WL) to ground.
+            solver.add_resistor_to_rail(
+                node, 0.0, cfg.r_driver, Switch.window(0.0, reset_width)
+            )
+            if row in pulse_starts:
+                t_on = pulse_starts[row]
+                # Decode pulse: strong pull-up while the address is decoded.
+                solver.add_resistor_to_rail(
+                    node, cfg.vdd, cfg.r_driver, Switch.window(t_on, t_on + pulse_width)
+                )
+                # Latch feedback: once the WL has risen past threshold the
+                # feedback transistor holds it at VDD.  Behaviourally: a
+                # weaker pull-up active from the pulse onward, gated by the
+                # node itself having charged (positive feedback).
+                threshold = cfg.vdd / 2
+
+                def latch_current(time, volts, node=node, t_on=t_on):
+                    if time < t_on:
+                        return 0.0
+                    v = volts[node]
+                    if v < threshold:
+                        return 0.0
+                    return (cfg.vdd - v) / cfg.r_latch
+
+                solver.add_current_source(node, latch_current)
+            else:
+                # Unselected rows keep a weak pull-down (decoder default).
+                solver.add_resistor_to_rail(
+                    node, 0.0, cfg.r_latch * 4, Switch.after(reset_width)
+                )
+
+        waves = solver.run(t_end, dt=cfg.dt)
+
+        times = waves[f"wl_{interesting[0]}"].times
+        reset_wave = Waveform(
+            times, np.where(times < reset_width, cfg.vdd, 0.0)
+        )
+        decode_waves = {}
+        for row in activations:
+            t_on = pulse_starts[row]
+            decode_waves[row] = Waveform(
+                times,
+                np.where((times >= t_on) & (times < t_on + pulse_width), cfg.vdd, 0.0),
+            )
+        wordline_waves = {row: waves[f"wl_{row}"] for row in interesting}
+        latched = tuple(
+            row
+            for row in interesting
+            if wordline_waves[row].final > cfg.vdd * 0.8
+        )
+        return LWLTrace(
+            reset=reset_wave,
+            decode=decode_waves,
+            wordline=wordline_waves,
+            latched_rows=latched,
+        )

@@ -1,0 +1,66 @@
+"""ASCII rendering of transient waveforms.
+
+The paper shows HSPICE waveform screenshots (Figs. 6-7); offline we
+render the behavioural solver's traces as terminal plots so examples and
+benchmark output can *show* the latch holding or the CSA resolving, not
+just assert it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.transient import Waveform
+
+_LEVELS = " .:-=+*#%@"
+
+
+def render_waveform(
+    wave: Waveform,
+    width: int = 64,
+    height: int = 8,
+    label: str = "",
+    v_max: float = None,
+) -> str:
+    """Render one analog waveform as an ASCII intensity plot."""
+    if width < 2 or height < 2:
+        raise ValueError("plot must be at least 2x2")
+    if wave.values.size == 0:
+        raise ValueError("empty waveform")
+    times = np.linspace(wave.times[0], wave.times[-1], width)
+    samples = np.interp(times, wave.times, wave.values)
+    top = v_max if v_max is not None else max(float(samples.max()), 1e-12)
+    levels = np.clip(samples / top, 0.0, 1.0)
+    rows = []
+    for r in range(height, 0, -1):
+        hi = r / height
+        lo = (r - 1) / height
+        line = "".join(
+            "#" if v >= hi else ("." if v > lo else " ") for v in levels
+        )
+        rows.append(f"{hi * top:7.2f} |{line}|")
+    t_span = (wave.times[-1] - wave.times[0]) * 1e9
+    footer = f"{'':7s} +{'-' * width}+  {t_span:.1f} ns"
+    header = f"{label}" if label else ""
+    return "\n".join(filter(None, [header] + rows + [footer]))
+
+
+def render_digital(wave: Waveform, threshold: float, width: int = 64) -> str:
+    """Render a waveform as a one-line high/low digital trace."""
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    times = np.linspace(wave.times[0], wave.times[-1], width)
+    samples = np.interp(times, wave.times, wave.values)
+    return "".join("^" if v >= threshold else "_" for v in samples)
+
+
+def render_traces(traces: dict, threshold: float, width: int = 64) -> str:
+    """Render several named waveforms as aligned digital traces."""
+    if not traces:
+        raise ValueError("no traces to render")
+    name_width = max(len(str(k)) for k in traces)
+    lines = []
+    for name, wave in traces.items():
+        digital = render_digital(wave, threshold, width)
+        lines.append(f"{str(name):>{name_width}s} {digital}")
+    return "\n".join(lines)

@@ -1,0 +1,236 @@
+"""Minimal forward-Euler transient solver for switched RC networks.
+
+This is deliberately not a general SPICE: it solves networks of
+
+- capacitive nodes (:class:`RCNode`),
+- resistive branches between nodes or to fixed rails, each optionally
+  gated by a time-dependent :class:`Switch`,
+- current sources into nodes, optionally time-dependent,
+
+with explicit forward-Euler integration.  That covers the two circuits the
+paper simulates (a current-sampling SA and a wordline driver latch), whose
+dynamics are first-order RC charging plus regenerative feedback, while
+staying small enough to test exhaustively.
+
+Stability note: forward Euler requires ``dt`` well below the smallest
+``R*C`` in the network; :meth:`TransientSolver.run` auto-selects a safe
+step from the network constants unless one is given.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+
+@dataclass
+class Waveform:
+    """A sampled signal: times (s) and values (V or logical levels)."""
+
+    times: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=float)
+        self.values = np.asarray(self.values, dtype=float)
+        if self.times.shape != self.values.shape:
+            raise ValueError("times and values must have the same shape")
+        if self.times.size and np.any(np.diff(self.times) < 0):
+            raise ValueError("times must be non-decreasing")
+
+    @property
+    def final(self) -> float:
+        """Last sampled value."""
+        if not self.values.size:
+            raise ValueError("empty waveform")
+        return float(self.values[-1])
+
+    def at(self, t: float) -> float:
+        """Linearly-interpolated value at time ``t``."""
+        return float(np.interp(t, self.times, self.values))
+
+    def crossing_time(self, level: float, rising: bool = True) -> Optional[float]:
+        """First time the waveform crosses ``level`` in the given direction.
+
+        Returns None if it never crosses.
+        """
+        v = self.values
+        if rising:
+            hits = np.nonzero((v[:-1] < level) & (v[1:] >= level))[0]
+        else:
+            hits = np.nonzero((v[:-1] > level) & (v[1:] <= level))[0]
+        if hits.size == 0:
+            return None
+        i = int(hits[0])
+        # linear interpolation within the step
+        t0, t1 = self.times[i], self.times[i + 1]
+        v0, v1 = v[i], v[i + 1]
+        if v1 == v0:
+            return float(t0)
+        return float(t0 + (level - v0) * (t1 - t0) / (v1 - v0))
+
+    def settled(self, level: float, tolerance: float, tail_fraction: float = 0.1) -> bool:
+        """True if the last ``tail_fraction`` of samples sit within
+        ``tolerance`` of ``level``."""
+        n_tail = max(1, int(self.values.size * tail_fraction))
+        tail = self.values[-n_tail:]
+        return bool(np.all(np.abs(tail - level) <= tolerance))
+
+
+@dataclass
+class RCNode:
+    """A capacitive circuit node."""
+
+    name: str
+    capacitance: float  # F
+    v_init: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacitance <= 0:
+            raise ValueError("node capacitance must be positive")
+
+
+@dataclass
+class Switch:
+    """A time-gated connection (ideal switch in series with a branch)."""
+
+    is_closed: Callable[[float], bool]
+
+    @classmethod
+    def always(cls) -> "Switch":
+        return cls(lambda t: True)
+
+    @classmethod
+    def window(cls, t_on: float, t_off: float) -> "Switch":
+        """Closed during [t_on, t_off)."""
+        if t_off <= t_on:
+            raise ValueError("switch window must have t_off > t_on")
+        return cls(lambda t: t_on <= t < t_off)
+
+    @classmethod
+    def after(cls, t_on: float) -> "Switch":
+        return cls(lambda t: t >= t_on)
+
+
+@dataclass
+class _Branch:
+    node_a: str
+    node_b: Optional[str]  # None => fixed rail
+    rail_voltage: float
+    resistance: float
+    switch: Switch
+
+
+@dataclass
+class _CurrentSource:
+    node: str
+    current: Callable[[float, dict], float]  # (t, node_voltages) -> A
+
+
+class TransientSolver:
+    """Forward-Euler solver over a set of RC nodes and switched branches."""
+
+    def __init__(self) -> None:
+        self._nodes: dict = {}
+        self._branches: list = []
+        self._sources: list = []
+
+    # -- network construction -------------------------------------------------
+
+    def add_node(self, node: RCNode) -> None:
+        if node.name in self._nodes:
+            raise ValueError(f"duplicate node {node.name!r}")
+        self._nodes[node.name] = node
+
+    def add_resistor_to_rail(
+        self,
+        node: str,
+        rail_voltage: float,
+        resistance: float,
+        switch: Switch = None,
+    ) -> None:
+        """Resistor from ``node`` to a fixed-voltage rail."""
+        self._check_node(node)
+        if resistance <= 0:
+            raise ValueError("resistance must be positive")
+        self._branches.append(
+            _Branch(node, None, rail_voltage, resistance, switch or Switch.always())
+        )
+
+    def add_resistor(
+        self, node_a: str, node_b: str, resistance: float, switch: Switch = None
+    ) -> None:
+        """Resistor between two capacitive nodes."""
+        self._check_node(node_a)
+        self._check_node(node_b)
+        if resistance <= 0:
+            raise ValueError("resistance must be positive")
+        self._branches.append(
+            _Branch(node_a, node_b, 0.0, resistance, switch or Switch.always())
+        )
+
+    def add_current_source(
+        self, node: str, current: Callable[[float, dict], float]
+    ) -> None:
+        """Current source injecting into ``node`` (positive = charging)."""
+        self._check_node(node)
+        self._sources.append(_CurrentSource(node, current))
+
+    def _check_node(self, name: str) -> None:
+        if name not in self._nodes:
+            raise KeyError(f"unknown node {name!r}")
+
+    # -- integration -----------------------------------------------------------
+
+    def _auto_dt(self) -> float:
+        """Pick a step well below the fastest branch time constant."""
+        tau_min = np.inf
+        for br in self._branches:
+            c_a = self._nodes[br.node_a].capacitance
+            tau = br.resistance * c_a
+            if br.node_b is not None:
+                c_b = self._nodes[br.node_b].capacitance
+                tau = br.resistance * min(c_a, c_b)
+            tau_min = min(tau_min, tau)
+        if not np.isfinite(tau_min):
+            tau_min = 1e-9
+        return tau_min / 20.0
+
+    def run(self, t_end: float, dt: float = None) -> dict:
+        """Integrate from t=0 to ``t_end``; returns {node: Waveform}."""
+        if t_end <= 0:
+            raise ValueError("t_end must be positive")
+        if dt is None:
+            dt = self._auto_dt()
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        n_steps = max(2, int(np.ceil(t_end / dt)) + 1)
+        times = np.linspace(0.0, t_end, n_steps)
+        dt = times[1] - times[0]
+
+        names = list(self._nodes)
+        volts = {n: self._nodes[n].v_init for n in names}
+        history = {n: np.empty(n_steps) for n in names}
+        for i, t in enumerate(times):
+            for n in names:
+                history[n][i] = volts[n]
+            if i == n_steps - 1:
+                break
+            currents = {n: 0.0 for n in names}
+            for br in self._branches:
+                if not br.switch.is_closed(t):
+                    continue
+                v_a = volts[br.node_a]
+                v_b = br.rail_voltage if br.node_b is None else volts[br.node_b]
+                i_branch = (v_b - v_a) / br.resistance
+                currents[br.node_a] += i_branch
+                if br.node_b is not None:
+                    currents[br.node_b] -= i_branch
+            for src in self._sources:
+                currents[src.node] += src.current(t, volts)
+            for n in names:
+                volts[n] += dt * currents[n] / self._nodes[n].capacitance
+
+        return {n: Waveform(times, history[n]) for n in names}

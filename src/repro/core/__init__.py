@@ -1,0 +1,31 @@
+"""Pinatubo core: the paper's primary contribution.
+
+Bulk bitwise operations executed *inside* NVM main memory:
+
+- :mod:`repro.core.ops` -- the operation vocabulary (OR/AND/XOR/INV) and
+  per-operation operand rules.
+- :mod:`repro.core.executor` -- routes every operation by operand
+  placement (intra-subarray / inter-subarray / inter-bank), generates the
+  DDR command streams, computes the functional result on the packed-bit
+  memory, and accounts latency/energy.
+- :mod:`repro.core.pinatubo` -- :class:`PinatuboSystem`, the user-facing
+  facade bundling geometry, technology, controller, functional memory and
+  executor (with ``Pinatubo-2`` / ``Pinatubo-128`` style row-limit
+  configuration).
+- :mod:`repro.core.stats` -- operation accounting.
+"""
+
+from repro.core.ops import PimOp, operand_limits
+from repro.core.stats import OpAccounting
+from repro.core.executor import PinatuboExecutor, OpResult, PlacementError
+from repro.core.pinatubo import PinatuboSystem
+
+__all__ = [
+    "PimOp",
+    "operand_limits",
+    "OpAccounting",
+    "PinatuboExecutor",
+    "OpResult",
+    "PlacementError",
+    "PinatuboSystem",
+]

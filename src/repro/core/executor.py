@@ -1,0 +1,477 @@
+"""The Pinatubo execution engine.
+
+Routes each bulk bitwise operation by where its operand rows live
+(paper Section 4.1), generates the corresponding DDR command stream,
+computes the functional result on the packed-bit main memory, and accounts
+latency and energy through the memory controller.
+
+Operation anatomy per locality:
+
+*intra-subarray* (modified SA):
+    MRS, WL_RESET, ACT, ACT_EXTRA x (n-1), PIM_SENSE (one serial step per
+    SA mux group the vector spans; x2 micro-steps for XOR),
+    PIM_WRITEBACK (differential, via the WD bypass), PRE.
+
+*inter-subarray* (global row buffer logic):
+    first operand: ACT + sense into the global row buffer; each further
+    operand: ACT + sense onto the GDL + BUF_OP combine; finally WR the
+    latched result to the destination row.  No DDR bus data.
+
+*inter-bank* (I/O buffer logic): same shape, at the chip I/O buffer.
+
+*inter-chip*: not executable in memory -- :class:`PlacementError`; the
+runtime's allocator/OS mapper exists to avoid this case (paper Section 5).
+
+Wide operand lists decompose into accumulation passes: multi-row OR
+combines ``limit`` rows per step; AND/XOR accumulate pairwise.  A
+multi-chunk vector (longer than one rank row) executes its chunks
+serially -- the paper's "bit-vectors longer than 2^19 have to be mapped to
+multiple ranks that work in serial" (Fig. 9 turning point B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.ops import OperandLimits, PimOp, operand_limits
+from repro.core.stats import OpAccounting
+from repro.memsim.address import AddressMapper, OpLocality, classify_locality
+from repro.memsim.controller import (
+    Command,
+    CommandKind,
+    ExecutionStats,
+    MemoryController,
+)
+from repro.memsim.geometry import DEFAULT_GEOMETRY, MemoryGeometry
+from repro.memsim.mainmem import MainMemory
+from repro.memsim.timing import nvm_timing
+from repro.nvm.technology import NVMTechnology, get_technology
+
+
+class PlacementError(RuntimeError):
+    """Operands placed so the operation cannot execute in memory."""
+
+
+#: MR4 mode codes per PIM operation (paper Fig. 4 hardware control).
+MODE_CODES = {PimOp.OR: 0b001, PimOp.AND: 0b010, PimOp.XOR: 0b011, PimOp.INV: 0b100}
+
+
+@dataclass
+class OpResult:
+    """Outcome of one (possibly decomposed, multi-chunk) PIM operation."""
+
+    op: PimOp
+    accounting: OpAccounting
+    steps: int  # in-memory combine steps actually issued
+    localities: dict = field(default_factory=dict)
+
+    @property
+    def latency(self) -> float:
+        return self.accounting.latency
+
+    @property
+    def energy(self) -> float:
+        return self.accounting.energy
+
+
+class PinatuboExecutor:
+    """Executes bulk bitwise operations on an NVM main memory."""
+
+    def __init__(
+        self,
+        geometry: MemoryGeometry = DEFAULT_GEOMETRY,
+        technology: NVMTechnology = None,
+        memory: MainMemory = None,
+        controller: MemoryController = None,
+        max_rows: int = None,
+    ):
+        self.geometry = geometry
+        self.technology = technology or get_technology("pcm")
+        self.timing = nvm_timing(self.technology)
+        self.memory = memory or MainMemory(geometry)
+        self.controller = controller or MemoryController(geometry, self.timing)
+        self.mapper = AddressMapper(geometry)
+        self.limits: OperandLimits = operand_limits(self.technology, max_rows)
+        self._current_mode = None
+
+    # -- host-side data movement ------------------------------------------------
+
+    def write_vector(self, frames, bits: np.ndarray) -> OpAccounting:
+        """Host write of a bit-vector into its row frames (over the bus)."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        acct = OpAccounting()
+        g = self.geometry
+        for i, frame in enumerate(frames):
+            chunk = bits[i * g.row_bits : (i + 1) * g.row_bits]
+            if chunk.size == 0:
+                break
+            self.memory.write_bits(frame, chunk)
+            addr = self.mapper.decode(frame)
+            n_bytes = -(-chunk.size // 8)
+            stats = self.controller.execute(
+                [
+                    Command(CommandKind.ACT, channel=addr.channel, n_bits=chunk.size),
+                    Command(
+                        CommandKind.WR,
+                        channel=addr.channel,
+                        n_bits=chunk.size,
+                        transfer_bytes=n_bytes,
+                    ),
+                    Command(CommandKind.PRE, channel=addr.channel),
+                ]
+            )
+            acct.absorb(stats)
+        return acct
+
+    def read_vector(self, frames, n_bits: int) -> tuple:
+        """Host read of a bit-vector; returns (bits, accounting)."""
+        if n_bits < 1:
+            raise ValueError("n_bits must be positive")
+        acct = OpAccounting()
+        g = self.geometry
+        parts = []
+        remaining = n_bits
+        for frame in frames:
+            take = min(remaining, g.row_bits)
+            parts.append(self.memory.read_bits(frame, take))
+            addr = self.mapper.decode(frame)
+            steps = g.sense_steps_for_bits(take)
+            stats = self.controller.execute(
+                [
+                    Command(CommandKind.ACT, channel=addr.channel, n_bits=take),
+                    Command(CommandKind.PIM_SENSE, channel=addr.channel,
+                            n_steps=steps, n_bits=take),
+                    Command(
+                        CommandKind.RD,
+                        channel=addr.channel,
+                        n_bits=take,
+                        transfer_bytes=-(-take // 8),
+                    ),
+                    Command(CommandKind.PRE, channel=addr.channel),
+                ]
+            )
+            acct.absorb(stats)
+            remaining -= take
+            if remaining <= 0:
+                break
+        if remaining > 0:
+            raise ValueError("frames do not cover n_bits")
+        return np.concatenate(parts), acct
+
+    # -- PIM operations -----------------------------------------------------------
+
+    def bitwise(
+        self,
+        op,
+        dest_frames,
+        source_frame_lists,
+        n_bits: int,
+        overlap_chunks: bool = False,
+    ) -> OpResult:
+        """Execute ``dest = op(sources)`` over row-aligned vectors.
+
+        Parameters
+        ----------
+        op:
+            A :class:`PimOp` or its string name.
+        dest_frames:
+            Row frames of the destination vector, one per chunk.
+        source_frame_lists:
+            One list of row frames per operand vector (all the same chunk
+            count as the destination).
+        n_bits:
+            Logical vector length in bits.
+        overlap_chunks:
+            Extension beyond the paper: issue every chunk's command
+            stream in one batch so chunks placed on *different channels*
+            overlap (the controller serialises per channel and takes the
+            critical path across channels).  The paper's configuration
+            (and the default here) executes chunks serially, which is
+            Fig. 9's turning point B.  Pair with
+            ``PlacementPolicy.CHANNEL_STRIPED`` to actually spread a long
+            vector's chunks over channels.
+        """
+        op = PimOp.parse(op)
+        sources = [list(frames) for frames in source_frame_lists]
+        dest = list(dest_frames)
+        self.limits.validate_operand_count(op, len(sources))
+        if n_bits < 1:
+            raise ValueError("n_bits must be positive")
+        n_chunks = self.geometry.rows_for_bits(n_bits)
+        if len(dest) < n_chunks or any(len(s) < n_chunks for s in sources):
+            raise ValueError("vectors have fewer row frames than n_bits needs")
+
+        acct = OpAccounting()
+        localities = {}
+        total_steps = 0
+        sink = [] if overlap_chunks else None
+        for c in range(n_chunks):
+            chunk_bits = min(n_bits - c * self.geometry.row_bits, self.geometry.row_bits)
+            chunk_sources = [s[c] for s in sources]
+            steps, chunk_acct, loc_counts = self._chunk_bitwise(
+                op, dest[c], chunk_sources, chunk_bits, sink
+            )
+            total_steps += steps
+            acct = acct.merged(chunk_acct)
+            for loc, n in loc_counts.items():
+                localities[loc] = localities.get(loc, 0) + n
+        if sink:
+            acct.absorb(self.controller.execute(sink))
+        acct.count_bits(n_bits * len(sources))
+        return OpResult(op=op, accounting=acct, steps=total_steps, localities=localities)
+
+    def bitwise_to_host(
+        self, op, scratch_frames, source_frame_lists, n_bits: int
+    ) -> tuple:
+        """``op(sources)`` with the result streamed to the host I/O bus.
+
+        The paper's alternative emission path: "The results can be sent
+        to the I/O bus or written back to another memory row directly."
+        The final sensed row of each chunk crosses the DDR bus instead of
+        being programmed; when the operand list decomposes into several
+        combine steps, the intermediates still accumulate in the
+        ``scratch_frames`` rows.
+
+        Returns ``(bits, OpResult)``; nothing is written to the scratch
+        row by the final step, so destination wear is avoided entirely
+        for single-step operations.
+        """
+        op = PimOp.parse(op)
+        sources = [list(frames) for frames in source_frame_lists]
+        scratch = list(scratch_frames)
+        self.limits.validate_operand_count(op, len(sources))
+        if n_bits < 1:
+            raise ValueError("n_bits must be positive")
+        n_chunks = self.geometry.rows_for_bits(n_bits)
+        if len(scratch) < n_chunks or any(len(s) < n_chunks for s in sources):
+            raise ValueError("vectors have fewer row frames than n_bits needs")
+
+        acct = OpAccounting()
+        localities = {}
+        total_steps = 0
+        parts = []
+        for c in range(n_chunks):
+            chunk_bits = min(n_bits - c * self.geometry.row_bits, self.geometry.row_bits)
+            chunk_sources = [s[c] for s in sources]
+            host_chunks = []
+            steps, chunk_acct, loc_counts = self._chunk_bitwise(
+                op, scratch[c], chunk_sources, chunk_bits,
+                emit_host=True, host_chunks=host_chunks,
+            )
+            total_steps += steps
+            acct = acct.merged(chunk_acct)
+            for loc, n in loc_counts.items():
+                localities[loc] = localities.get(loc, 0) + n
+            packed = host_chunks[-1]
+            parts.append(np.unpackbits(packed, bitorder="little")[:chunk_bits])
+        acct.count_bits(n_bits * len(sources))
+        result = OpResult(
+            op=op, accounting=acct, steps=total_steps, localities=localities
+        )
+        return np.concatenate(parts), result
+
+    # -- chunk-level execution ------------------------------------------------
+
+    def _chunk_bitwise(
+        self,
+        op: PimOp,
+        dest: int,
+        srcs,
+        chunk_bits: int,
+        sink=None,
+        emit_host: bool = False,
+        host_chunks: list = None,
+    ):
+        """One rank-row chunk: decompose into in-memory combine steps."""
+        acct = OpAccounting()
+        localities = {}
+        steps = 0
+
+        self._set_mode(op, acct)
+
+        # Route by where this chunk's operands and destination live.
+        all_addrs = [self.mapper.decode(f) for f in list(srcs) + [dest]]
+        locality = classify_locality(all_addrs)
+        if locality is OpLocality.INTER_CHIP:
+            raise PlacementError(
+                "operands/destination span chips or channels; in-memory "
+                "bitwise operations require same-chip placement "
+                "(remap with the PIM-aware allocator)"
+            )
+
+        if op is PimOp.INV or locality is not OpLocality.INTRA_SUBARRAY:
+            # single combine step: INV, or the buffered path where the
+            # global (or I/O) buffer accumulates every operand in one
+            # pass -- the multi-row activation limit is a sensing
+            # constraint and does not apply there.
+            operands = [srcs[0]] if op is PimOp.INV else list(srcs)
+            steps += self._combine_step(
+                op, dest, operands, chunk_bits, acct, localities, locality,
+                sink, emit_host,
+            )
+            self._apply_result(op, dest, operands, emit_host, host_chunks)
+            return steps, acct, localities
+
+        limit = max(2, self.limits.single_step_limit(op))
+        pending = list(srcs)
+        # First pass: combine up to `limit` original operands.
+        group = pending[: limit]
+        pending = pending[limit:]
+        final = not pending
+        steps += self._combine_step(
+            op, dest, group, chunk_bits, acct, localities, locality, sink,
+            emit_host and final,
+        )
+        self._apply_result(op, dest, group, emit_host and final, host_chunks)
+        # Accumulate the rest: dest + up to (limit - 1) new operands per step.
+        while pending:
+            group = pending[: limit - 1]
+            pending = pending[limit - 1 :]
+            operands = [dest] + group
+            final = not pending
+            steps += self._combine_step(
+                op, dest, operands, chunk_bits, acct, localities, locality,
+                sink, emit_host and final,
+            )
+            self._apply_result(op, dest, operands, emit_host and final, host_chunks)
+        return steps, acct, localities
+
+    def _apply_result(self, op, dest, operands, emit_host, host_chunks) -> None:
+        """Write a combine step's result back, or capture it for the host."""
+        if emit_host:
+            result = self.memory.bitwise_frames(op.value, operands)
+            host_chunks.append(result)
+        else:
+            self.memory.execute_bitwise(op.value, dest, operands)
+
+    def _set_mode(self, op: PimOp, acct: OpAccounting) -> None:
+        if self._current_mode != op:
+            stats = self.controller.set_pim_mode(MODE_CODES[op])
+            acct.absorb(stats)
+            self._current_mode = op
+
+    def _combine_step(
+        self, op, dest, operand_frames, chunk_bits, acct, localities, locality,
+        sink=None, emit_host: bool = False,
+    ):
+        """Issue (or defer, when ``sink`` is given) one combine step."""
+        operand_addrs = [self.mapper.decode(f) for f in operand_frames]
+        if locality is OpLocality.INTRA_SUBARRAY:
+            commands = self._intra_subarray_commands(
+                op, operand_addrs, dest, chunk_bits, emit_host
+            )
+        else:
+            commands = self._buffered_commands(
+                op, operand_addrs, dest, chunk_bits, locality, emit_host
+            )
+        if sink is None:
+            acct.absorb(self.controller.execute(commands), locality)
+        else:
+            sink.extend(commands)
+            acct.absorb(ExecutionStats(), locality)  # cost deferred to the batch
+        acct.count_step()
+        localities[locality] = localities.get(locality, 0) + 1
+        return 1
+
+    # -- command generation -------------------------------------------------------
+
+    def _writeback_bits(self, op, dest, operand_frames) -> int:
+        """Differential write width: bits that will actually flip."""
+        new = self.memory.bitwise_frames(
+            op.value, operand_frames
+        ) if op is not PimOp.INV else np.bitwise_not(
+            self.memory.frame_bytes(operand_frames[0])
+        )
+        old = self.memory.frame_bytes(dest)
+        changed = np.bitwise_xor(old, new)
+        return int(np.unpackbits(changed).sum())
+
+    def _intra_subarray_commands(
+        self, op, operand_addrs, dest, chunk_bits, emit_host=False
+    ):
+        g = self.geometry
+        ch = operand_addrs[0].channel
+        n = len(operand_addrs)
+        micro = 2 if op is PimOp.XOR else 1
+        steps = g.sense_steps_for_bits(chunk_bits) * micro
+        changed = 0 if emit_host else self._writeback_bits(
+            op, dest, [self.mapper.encode(a) for a in operand_addrs]
+        )
+        commands = [
+            Command(CommandKind.WL_RESET, channel=ch),
+            Command(CommandKind.ACT, channel=ch, n_bits=chunk_bits),
+        ]
+        commands += [
+            Command(CommandKind.ACT_EXTRA, channel=ch, n_bits=chunk_bits)
+        ] * (n - 1)
+        commands.append(
+            Command(CommandKind.PIM_SENSE, channel=ch, n_steps=steps, n_bits=chunk_bits * micro)
+        )
+        if emit_host:
+            # "the results can be sent to the I/O bus": stream the sensed
+            # row out instead of programming it anywhere
+            commands.append(
+                Command(
+                    CommandKind.RD,
+                    channel=ch,
+                    n_bits=0,  # sensing already charged above
+                    transfer_bytes=-(-chunk_bits // 8),
+                )
+            )
+        else:
+            commands.append(
+                Command(CommandKind.PIM_WRITEBACK, channel=ch, n_bits=changed)
+            )
+        commands.append(Command(CommandKind.PRE, channel=ch))
+        return commands
+
+    def _buffered_commands(
+        self, op, operand_addrs, dest, chunk_bits, locality, emit_host=False
+    ):
+        """Inter-subarray / inter-bank: global (or I/O) buffer logic path.
+
+        Each operand is read into / combined at the buffer one at a time;
+        multi-row activation gives no benefit here, which is why random
+        placements collapse Pinatubo-128 to Pinatubo-2 (paper 14-16-7r).
+        """
+        g = self.geometry
+        ch = operand_addrs[0].channel
+        micro = 2 if op is PimOp.XOR else 1
+        steps = g.sense_steps_for_bits(chunk_bits) * micro
+        changed = 0 if emit_host else self._writeback_bits(
+            op, dest, [self.mapper.encode(a) for a in operand_addrs]
+        )
+        commands = []
+        for i, _addr in enumerate(operand_addrs):
+            commands.append(Command(CommandKind.ACT, channel=ch, n_bits=chunk_bits))
+            commands.append(
+                Command(CommandKind.PIM_SENSE, channel=ch, n_steps=steps, n_bits=chunk_bits)
+            )
+            if i > 0:
+                commands.append(
+                    Command(CommandKind.BUF_OP, channel=ch, n_bits=chunk_bits)
+                )
+            commands.append(Command(CommandKind.PRE, channel=ch))
+        if locality is OpLocality.INTER_BANK:
+            # the operands also cross the chip-internal I/O datalines;
+            # model that as one extra buffer pass per operand.
+            commands.append(
+                Command(CommandKind.BUF_OP, channel=ch, n_bits=chunk_bits * len(operand_addrs))
+            )
+        if emit_host:
+            # stream the buffer's content to the host instead of writing
+            commands.append(
+                Command(
+                    CommandKind.RD,
+                    channel=ch,
+                    n_bits=0,
+                    transfer_bytes=-(-chunk_bits // 8),
+                )
+            )
+        else:
+            commands.append(Command(CommandKind.ACT, channel=ch, n_bits=chunk_bits))
+            commands.append(Command(CommandKind.WR, channel=ch, n_bits=changed))
+            commands.append(Command(CommandKind.PRE, channel=ch))
+        return commands

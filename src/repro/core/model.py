@@ -1,0 +1,145 @@
+"""Analytical Pinatubo cost model (the harness-facing adapter).
+
+The functional executor (:mod:`repro.core.executor`) computes real bits
+and exact differential write widths, which is what tests and applications
+use.  Evaluation sweeps (2^16 vectors x thousands of ops) need the same
+*cost* without touching 64 KiB frames per op, so this model builds the
+identical command streams and prices them through the same
+:class:`~repro.memsim.controller.MemoryController`, with two analytic
+assumptions:
+
+- write-back flips half the destination bits (random-data expectation);
+- SEQUENTIAL access means the allocator achieved intra-subarray
+  placement; RANDOM means operands scattered, so every combine runs on
+  the buffered (inter-subarray/inter-bank) path where multi-row
+  activation cannot help -- reproducing the paper's 14-16-7r collapse.
+
+``tests/test_cross_validation.py`` checks this model against the
+functional executor command-for-command.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import (
+    AccessPattern,
+    BaselineCost,
+    BitwiseBaseline,
+    validate_request,
+)
+from repro.core.ops import PimOp, operand_limits
+from repro.memsim.controller import Command, CommandKind, MemoryController
+from repro.memsim.geometry import DEFAULT_GEOMETRY, MemoryGeometry
+from repro.memsim.timing import nvm_timing
+from repro.nvm.technology import NVMTechnology, get_technology
+
+
+class PinatuboModel(BitwiseBaseline):
+    """Closed-form Pinatubo costs via priced command streams."""
+
+    def __init__(
+        self,
+        geometry: MemoryGeometry = DEFAULT_GEOMETRY,
+        technology: NVMTechnology = None,
+        max_rows: int = None,
+        name: str = None,
+    ):
+        self.geometry = geometry
+        self.technology = technology or get_technology("pcm")
+        self.timing = nvm_timing(self.technology)
+        self.controller = MemoryController(geometry, self.timing)
+        self.limits = operand_limits(self.technology, max_rows)
+        self.name = name or f"Pinatubo-{self.limits.or_rows}"
+
+    def supports(self, op: str) -> bool:
+        return op in ("or", "and", "xor", "inv")
+
+    # -- cost entry point ----------------------------------------------------
+
+    def bitwise_cost(
+        self,
+        op: str,
+        n_operands: int,
+        vector_bits: int,
+        access: AccessPattern = AccessPattern.SEQUENTIAL,
+    ) -> BaselineCost:
+        op_name = validate_request(op, n_operands, vector_bits)
+        op = PimOp.parse(op_name)
+        access = AccessPattern.parse(access)
+        g = self.geometry
+
+        chunks = g.rows_for_bits(vector_bits)
+        latency = 0.0
+        energy = 0.0
+        # MRS once per bulk call (mode switch)
+        stats = self.controller.set_pim_mode(1)
+        latency += stats.latency
+        energy += stats.energy
+        for c in range(chunks):
+            chunk_bits = min(vector_bits - c * g.row_bits, g.row_bits)
+            if access is AccessPattern.RANDOM and op is not PimOp.INV:
+                # Buffered path: one pass accumulates every operand at the
+                # global/IO buffer; the multi-row sensing limit is moot, so
+                # Pinatubo-128 degrades to exactly Pinatubo-2 here.
+                groups = [n_operands]
+            else:
+                groups = self._combine_groups(op, n_operands)
+            for group_size in groups:
+                commands = self._step_commands(op, group_size, chunk_bits, access)
+                stats = self.controller.execute(commands)
+                latency += stats.latency
+                energy += stats.energy
+        return BaselineCost(latency=latency, energy=energy, offloaded=True)
+
+    # -- decomposition ---------------------------------------------------------
+
+    def _combine_groups(self, op: PimOp, n_operands: int):
+        """Operand-count of each in-memory combine step."""
+        if op is PimOp.INV:
+            return [1]
+        limit = max(2, self.limits.single_step_limit(op))
+        groups = [min(n_operands, limit)]
+        remaining = n_operands - groups[0]
+        while remaining > 0:
+            take = min(remaining, limit - 1)
+            groups.append(take + 1)  # +1 for the accumulator row
+            remaining -= take
+        return groups
+
+    # -- command synthesis (mirrors the executor) -------------------------------
+
+    def _step_commands(self, op, group_size, chunk_bits, access):
+        g = self.geometry
+        micro = 2 if op is PimOp.XOR else 1
+        steps = g.sense_steps_for_bits(chunk_bits) * micro
+        changed = chunk_bits // 2  # random-data expectation
+        if access is AccessPattern.SEQUENTIAL:
+            commands = [
+                Command(CommandKind.WL_RESET),
+                Command(CommandKind.ACT, n_bits=chunk_bits),
+            ]
+            commands += [Command(CommandKind.ACT_EXTRA, n_bits=chunk_bits)] * (
+                group_size - 1
+            )
+            commands += [
+                Command(CommandKind.PIM_SENSE, n_steps=steps, n_bits=chunk_bits * micro),
+                Command(CommandKind.PIM_WRITEBACK, n_bits=changed),
+                Command(CommandKind.PRE),
+            ]
+            return commands
+        # RANDOM: buffered inter-subarray/bank path, one read per operand.
+        commands = []
+        for i in range(group_size):
+            commands += [
+                Command(CommandKind.ACT, n_bits=chunk_bits),
+                Command(CommandKind.PIM_SENSE, n_steps=steps, n_bits=chunk_bits),
+            ]
+            if i > 0:
+                commands.append(Command(CommandKind.BUF_OP, n_bits=chunk_bits))
+            commands.append(Command(CommandKind.PRE))
+        commands += [
+            Command(CommandKind.BUF_OP, n_bits=chunk_bits * group_size),
+            Command(CommandKind.ACT, n_bits=chunk_bits),
+            Command(CommandKind.WR, n_bits=changed),
+            Command(CommandKind.PRE),
+        ]
+        return commands

@@ -1,0 +1,90 @@
+"""Operation accounting for Pinatubo executions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memsim.address import OpLocality
+from repro.memsim.controller import ExecutionStats
+
+
+@dataclass
+class OpAccounting:
+    """Accumulated cost and locality mix of a sequence of PIM operations."""
+
+    latency: float = 0.0  # s
+    energy: float = 0.0  # J
+    in_memory_steps: int = 0  # sensing/buffer passes issued
+    locality_counts: dict = field(default_factory=dict)
+    energy_by_kind: dict = field(default_factory=dict)  # CommandKind -> J
+    bus_data_bytes: int = 0
+    bus_commands: int = 0
+    bits_processed: int = 0  # operand bits consumed by the ops
+
+    def absorb(self, stats: ExecutionStats, locality: OpLocality = None) -> None:
+        """Fold one command-stream execution into the running totals."""
+        self.latency += stats.latency
+        self.energy += stats.energy
+        self.bus_data_bytes += stats.bus.data_bytes
+        self.bus_commands += stats.bus.commands
+        for kind, e in stats.energy_by_kind.items():
+            self.energy_by_kind[kind] = self.energy_by_kind.get(kind, 0.0) + e
+        if locality is not None:
+            self.locality_counts[locality] = (
+                self.locality_counts.get(locality, 0) + 1
+            )
+
+    def count_step(self, n: int = 1) -> None:
+        self.in_memory_steps += n
+
+    def count_bits(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("bit count must be non-negative")
+        self.bits_processed += n
+
+    @property
+    def throughput_bytes_per_s(self) -> float:
+        """Operand data processed per second (the paper's GBps metric)."""
+        if self.latency <= 0:
+            return 0.0
+        return (self.bits_processed / 8.0) / self.latency
+
+    @property
+    def throughput_gbps(self) -> float:
+        return self.throughput_bytes_per_s / 1e9
+
+    @property
+    def energy_per_bit(self) -> float:
+        """J per operand bit processed."""
+        if self.bits_processed == 0:
+            return 0.0
+        return self.energy / self.bits_processed
+
+    def energy_breakdown(self) -> dict:
+        """{command kind name: fraction of array energy}, descending."""
+        total = sum(self.energy_by_kind.values())
+        if total <= 0:
+            return {}
+        items = sorted(
+            ((k.value, e / total) for k, e in self.energy_by_kind.items()),
+            key=lambda kv: kv[1],
+            reverse=True,
+        )
+        return dict(items)
+
+    def merged(self, other: "OpAccounting") -> "OpAccounting":
+        out = OpAccounting(
+            latency=self.latency + other.latency,
+            energy=self.energy + other.energy,
+            in_memory_steps=self.in_memory_steps + other.in_memory_steps,
+            locality_counts=dict(self.locality_counts),
+            energy_by_kind=dict(self.energy_by_kind),
+            bus_data_bytes=self.bus_data_bytes + other.bus_data_bytes,
+            bus_commands=self.bus_commands + other.bus_commands,
+            bits_processed=self.bits_processed + other.bits_processed,
+        )
+        for loc, n in other.locality_counts.items():
+            out.locality_counts[loc] = out.locality_counts.get(loc, 0) + n
+        for kind, e in other.energy_by_kind.items():
+            out.energy_by_kind[kind] = out.energy_by_kind.get(kind, 0.0) + e
+        return out

@@ -1,0 +1,31 @@
+"""Latency / energy / area models (the NVSim + CACTI-3DD role).
+
+The paper extracts low-level parameters from HSPICE + synthesis and feeds
+them through heavily-modified NVSim (circuit level) and CACTI-3DD (main
+memory level).  Offline, we substitute analytical models with published
+65 nm constants, calibrated so the paper's anchors hold (PCM 18.3-8.9-151.1
+ns timings; Pinatubo ~0.9 % chip area vs AC-PIM ~6.4 %; DRAM access energy
+orders of magnitude above an ALU op).
+
+- :mod:`repro.energy.constants` -- 65 nm process constants.
+- :mod:`repro.energy.nvsim` -- per-chip component counts and array-level
+  op energies.
+- :mod:`repro.energy.area` -- chip area and PIM overhead breakdown
+  (experiment E8 / paper Fig. 13).
+- :mod:`repro.energy.cacti` -- memory-system level per-access costs used
+  by the CPU baseline.
+"""
+
+from repro.energy.constants import ProcessConstants, PROCESS_65NM
+from repro.energy.nvsim import ChipModel
+from repro.energy.area import AreaModel, AreaReport
+from repro.energy.cacti import MemorySystemModel
+
+__all__ = [
+    "ProcessConstants",
+    "PROCESS_65NM",
+    "ChipModel",
+    "AreaModel",
+    "AreaReport",
+    "MemorySystemModel",
+]

@@ -1,0 +1,117 @@
+"""Area-overhead model (paper Fig. 13 / experiment E8).
+
+Pinatubo's add-on area on a PCM chip decomposes into:
+
+- *intra-subarray* circuits: extra SA references (AND/OR), the XOR hold
+  capacitor + pass pair, and the two-transistor LWL activation latch;
+- *inter-subarray* logic: a bit-slice of bitwise gates + result latch on
+  each bank's global row buffer;
+- *inter-bank* logic: the same bit-slice on the chip's I/O buffer.
+
+The AC-PIM baseline instead implements even intra-subarray operations with
+digital bit-slices at every subarray, which is where its ~7x larger
+overhead comes from.  The paper reports Pinatubo ~0.9 % vs AC-PIM ~6.4 %,
+with inter-subarray logic dominating Pinatubo's budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.energy.constants import PROCESS_65NM, ProcessConstants
+from repro.energy.nvsim import ChipModel
+from repro.memsim.geometry import DEFAULT_GEOMETRY, MemoryGeometry
+from repro.nvm.technology import NVMTechnology, get_technology
+
+
+@dataclass
+class AreaReport:
+    """Per-component add-on areas (um^2) against a baseline chip area."""
+
+    design: str
+    chip_area: float
+    components: dict = field(default_factory=dict)
+
+    @property
+    def total_overhead(self) -> float:
+        return sum(self.components.values())
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Add-on area as a fraction of the unmodified chip area."""
+        return self.total_overhead / self.chip_area
+
+    def fraction(self, component: str) -> float:
+        return self.components[component] / self.chip_area
+
+    def breakdown(self) -> dict:
+        """{component: fraction of chip area}, descending."""
+        items = sorted(
+            ((k, v / self.chip_area) for k, v in self.components.items()),
+            key=lambda kv: kv[1],
+            reverse=True,
+        )
+        return dict(items)
+
+
+class AreaModel:
+    """Computes Fig. 13's bars for a geometry/technology/process triple."""
+
+    def __init__(
+        self,
+        geometry: MemoryGeometry = DEFAULT_GEOMETRY,
+        technology: NVMTechnology = None,
+        process: ProcessConstants = PROCESS_65NM,
+    ):
+        self.geometry = geometry
+        self.technology = technology or get_technology("pcm")
+        self.process = process
+        self.chip = ChipModel(geometry, self.technology, process)
+
+    def pinatubo(self, xor_supported: bool = True) -> AreaReport:
+        """Pinatubo's add-on area breakdown."""
+        chip = self.chip
+        p = self.process
+        components = {
+            "and/or": chip.sense_amps * p.area_sa_reference_pair,
+            "wl act": chip.lwl_drivers * p.area_lwl_latch,
+            "inter-sub": (
+                self.geometry.banks_per_chip
+                * chip.global_buffer_bits
+                * p.area_buffer_bit_slice
+            ),
+            "inter-bank": chip.io_buffer_bits * p.area_buffer_bit_slice,
+            "ctrl": self.geometry.banks_per_chip * p.area_bank_controller,
+        }
+        if xor_supported:
+            components["xor"] = chip.sense_amps * p.area_sa_xor
+        return AreaReport(
+            design="Pinatubo", chip_area=chip.chip_area, components=components
+        )
+
+    def acpim(self) -> AreaReport:
+        """AC-PIM: digital bit-slice ALUs at every subarray."""
+        chip = self.chip
+        p = self.process
+        components = {
+            "subarray logic": (
+                chip.subarrays
+                * self.geometry.chip_row_bits
+                * p.area_acpim_bit_slice
+            ),
+            "inter-bank": chip.io_buffer_bits * p.area_buffer_bit_slice,
+            "ctrl": self.geometry.banks_per_chip * p.area_bank_controller,
+        }
+        return AreaReport(
+            design="AC-PIM", chip_area=chip.chip_area, components=components
+        )
+
+    def intra_subarray_fraction(self) -> float:
+        """Pinatubo's intra-subarray share (and/or + xor + wl act)."""
+        report = self.pinatubo()
+        intra = (
+            report.components["and/or"]
+            + report.components["xor"]
+            + report.components["wl act"]
+        )
+        return intra / report.chip_area

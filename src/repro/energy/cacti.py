@@ -1,0 +1,96 @@
+"""CACTI-substitute: memory-system level per-access costs.
+
+The SIMD CPU baseline needs the cost of moving cachelines between the
+processor and main memory; the PIM executors need aggregate chip-level
+costs.  This module provides both from the timing parameter sets, playing
+the role CACTI-3DD plays in the paper's flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memsim.timing import DDR3_1600, TimingParams, nvm_timing
+from repro.nvm.technology import NVMTechnology
+
+CACHELINE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class AccessCost:
+    """Latency/energy of one memory access of a given size."""
+
+    latency: float  # s
+    energy: float  # J
+
+
+class MemorySystemModel:
+    """Per-access cost model for one main-memory configuration."""
+
+    def __init__(self, timing: TimingParams, channels: int = 4):
+        if channels < 1:
+            raise ValueError("channels must be >= 1")
+        self.timing = timing
+        self.channels = channels
+
+    @classmethod
+    def dram(cls, channels: int = 4) -> "MemorySystemModel":
+        return cls(DDR3_1600, channels)
+
+    @classmethod
+    def nvm(cls, technology: NVMTechnology, channels: int = 4) -> "MemorySystemModel":
+        return cls(nvm_timing(technology), channels)
+
+    # -- single accesses -----------------------------------------------------
+
+    def cacheline_read(self) -> AccessCost:
+        """Random 64 B read: full row cycle + burst."""
+        t = self.timing
+        latency = t.t_rcd + t.t_cl + t.transfer_time(CACHELINE_BYTES)
+        energy = (
+            CACHELINE_BYTES * 8 * (t.e_activate_per_bit + t.e_sense_per_bit)
+            + t.transfer_energy(CACHELINE_BYTES)
+            + 2 * t.e_cmd
+        )
+        return AccessCost(latency, energy)
+
+    def cacheline_write(self) -> AccessCost:
+        """Random 64 B write."""
+        t = self.timing
+        latency = t.t_rcd + t.t_wr + t.transfer_time(CACHELINE_BYTES)
+        energy = (
+            CACHELINE_BYTES * 8 * (t.e_activate_per_bit + t.e_write_per_bit)
+            + t.transfer_energy(CACHELINE_BYTES)
+            + 2 * t.e_cmd
+        )
+        return AccessCost(latency, energy)
+
+    # -- streaming -------------------------------------------------------------
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Aggregate peak data bandwidth over all channels (B/s)."""
+        return self.channels * self.timing.bus_bandwidth
+
+    def stream_cost(self, n_bytes: int, write_fraction: float = 0.0) -> AccessCost:
+        """Sequential bulk transfer of ``n_bytes`` (row-buffer friendly).
+
+        Bandwidth-limited latency over all channels; energy counts array
+        access plus bus per byte.  ``write_fraction`` of the bytes pay
+        write energy instead of read energy.
+        """
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        t = self.timing
+        latency = n_bytes / self.peak_bandwidth
+        bits = n_bytes * 8
+        read_bits = bits * (1.0 - write_fraction)
+        write_bits = bits * write_fraction
+        energy = (
+            read_bits * (t.e_activate_per_bit / 8 + t.e_sense_per_bit)
+            + write_bits * (t.e_activate_per_bit / 8 + t.e_write_per_bit)
+            + t.transfer_energy(n_bytes)
+        )
+        return AccessCost(latency, energy)

@@ -1,0 +1,60 @@
+"""65 nm process constants for the analytical area/energy models.
+
+These play the role of the synthesis library + NVSim device files in the
+paper's flow.  Component areas are layout areas including local routing
+overhead (hence much larger than raw transistor W*L); they are calibrated
+so the default geometry reproduces the paper's Fig. 13 breakdown, and they
+scale structurally with the geometry (counts of SAs, drivers, buffer bits)
+so ablations behave sensibly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProcessConstants:
+    """Area and energy constants of one logic/memory process node."""
+
+    name: str
+    feature_nm: float
+    # -- areas (um^2) ------------------------------------------------------
+    #: One add-on reference branch pair on a CSA (the AND/OR modification).
+    area_sa_reference_pair: float
+    #: XOR modification per SA: hold cap Ch + two pass transistors + mux leg.
+    area_sa_xor: float
+    #: Two added transistors on one LWL driver (latch feedback + reset),
+    #: sized for wordline drive.
+    area_lwl_latch: float
+    #: One bit-slice of buffer add-on logic (AND/OR/XOR gates + result
+    #: latch + mux) at the global row buffer or I/O buffer.
+    area_buffer_bit_slice: float
+    #: One bit-slice of a full digital PIM ALU at subarray level, as the
+    #: AC-PIM baseline needs (logic + operand latch; denser than the buffer
+    #: slice because it omits the long GDL drivers).
+    area_acpim_bit_slice: float
+    #: Controller / sequencer overhead per bank (PIM command decode).
+    area_bank_controller: float
+    # -- energies (J) --------------------------------------------------------
+    #: Energy per bit through one 2-input CMOS gate level.
+    e_gate_per_bit: float
+    #: Energy per bit latched.
+    e_latch_per_bit: float
+    #: Array efficiency: cell area / chip area for a commodity memory die.
+    array_efficiency: float = 0.5
+
+
+#: Default constants (65 nm, the paper's synthesis node).
+PROCESS_65NM = ProcessConstants(
+    name="65nm",
+    feature_nm=65.0,
+    area_sa_reference_pair=0.66,
+    area_sa_xor=2.0,
+    area_lwl_latch=0.42,
+    area_buffer_bit_slice=23.9,
+    area_acpim_bit_slice=6.6,
+    area_bank_controller=2000.0,
+    e_gate_per_bit=0.005e-12,
+    e_latch_per_bit=0.01e-12,
+)

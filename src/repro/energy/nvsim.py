@@ -1,0 +1,151 @@
+"""NVSim-substitute: per-chip component counts and array-level energies.
+
+Derives, from a :class:`~repro.memsim.geometry.MemoryGeometry` and an
+:class:`~repro.nvm.technology.NVMTechnology`, the structural quantities
+every other model needs: how many SAs, write drivers, LWL drivers and
+buffer bit-slices one chip carries, the chip's cell count and cell-array
+area, and the energy of array-level operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.constants import PROCESS_65NM, ProcessConstants
+from repro.memsim.geometry import MemoryGeometry
+from repro.nvm.technology import NVMTechnology
+
+
+@dataclass(frozen=True)
+class ChipModel:
+    """Structural + energy model of one memory chip."""
+
+    geometry: MemoryGeometry
+    technology: NVMTechnology
+    process: ProcessConstants = PROCESS_65NM
+
+    # -- structural counts (per chip) ------------------------------------
+
+    @property
+    def subarrays(self) -> int:
+        g = self.geometry
+        return g.banks_per_chip * g.subarrays_per_bank
+
+    @property
+    def mats(self) -> int:
+        return self.subarrays * self.geometry.mats_per_subarray
+
+    @property
+    def cells(self) -> int:
+        g = self.geometry
+        return (
+            g.banks_per_chip
+            * g.subarrays_per_bank
+            * g.rows_per_subarray
+            * g.chip_row_bits
+        )
+
+    @property
+    def sense_amps(self) -> int:
+        """SAs per chip: one per mux group per mat."""
+        g = self.geometry
+        return self.mats * (g.cols_per_mat // g.mux_ratio)
+
+    @property
+    def write_drivers(self) -> int:
+        # WDs are per mux group too (written through the same column mux).
+        return self.sense_amps
+
+    @property
+    def lwl_drivers(self) -> int:
+        """Local wordline drivers: one per row per mat."""
+        return self.mats * self.geometry.rows_per_subarray
+
+    @property
+    def global_buffer_bits(self) -> int:
+        """Global row buffer width per bank (one chip's share of a row)."""
+        return self.geometry.chip_row_bits
+
+    @property
+    def io_buffer_bits(self) -> int:
+        """I/O buffer width per chip (shared by all banks)."""
+        return self.geometry.chip_row_bits
+
+    # -- areas (um^2, per chip) ---------------------------------------------
+
+    @property
+    def cell_array_area(self) -> float:
+        return self.cells * self.technology.cell_area_f2 * (
+            self.technology.feature_nm * 1e-3
+        ) ** 2
+
+    @property
+    def chip_area(self) -> float:
+        """Baseline (unmodified) chip area from array efficiency."""
+        return self.cell_array_area / self.process.array_efficiency
+
+    # -- array-level energies (J) ----------------------------------------------
+
+    def activation_energy(self, n_rows: int = 1) -> float:
+        """Wordline-swing energy of opening ``n_rows`` chip rows.
+
+        NVM activation is non-destructive: no bitline restore, only the
+        wordline swing over the row's access transistors.
+        """
+        if n_rows < 1:
+            raise ValueError("n_rows must be >= 1")
+        per_row = 0.01e-12 * self.geometry.chip_row_bits
+        return n_rows * per_row
+
+    def sense_energy(self, n_bits: int, extra_references: int = 0) -> float:
+        """Energy to resolve ``n_bits`` through the (modified) CSAs."""
+        if n_bits < 0:
+            raise ValueError("n_bits must be non-negative")
+        return (
+            n_bits
+            * self.technology.cell_read_energy
+            * (1.0 + 0.1 * extra_references)
+        )
+
+    def write_energy(self, bits_set: int, bits_reset: int) -> float:
+        """Programming energy for a differential row write."""
+        if bits_set < 0 or bits_reset < 0:
+            raise ValueError("bit counts must be non-negative")
+        t = self.technology
+        return bits_set * t.cell_set_energy + bits_reset * t.cell_reset_energy
+
+    def buffer_logic_energy(self, n_bits: int) -> float:
+        """Add-on digital logic pass at a global/IO buffer (per chip)."""
+        if n_bits < 0:
+            raise ValueError("n_bits must be non-negative")
+        p = self.process
+        return n_bits * (p.e_gate_per_bit + p.e_latch_per_bit)
+
+    # -- report ----------------------------------------------------------------
+
+    def report(self) -> str:
+        """NVSim-style text summary of one chip."""
+        t = self.technology
+        lines = [
+            f"Chip model: {t.name} @ {t.feature_nm:.0f} nm "
+            f"({self.process.name} logic)",
+            f"  capacity          : {self.cells / (1 << 30):.1f} Gb "
+            f"({self.cells / (1 << 33):.2f} GiB)",
+            f"  organisation      : {self.geometry.banks_per_chip} banks x "
+            f"{self.geometry.subarrays_per_bank} subarrays x "
+            f"{self.geometry.mats_per_subarray} mats x "
+            f"{self.geometry.rows_per_subarray} rows x "
+            f"{self.geometry.cols_per_mat} cols",
+            f"  sense amplifiers  : {self.sense_amps:,} "
+            f"(1:{self.geometry.mux_ratio} column mux)",
+            f"  LWL drivers       : {self.lwl_drivers:,}",
+            f"  cell array area   : {self.cell_array_area / 1e6:.1f} mm^2",
+            f"  chip area         : {self.chip_area / 1e6:.1f} mm^2 "
+            f"(efficiency {self.process.array_efficiency:.0%})",
+            f"  timing (ns)       : tRCD {t.trcd_ns:.1f} / tCL {t.tcl_ns:.1f} "
+            f"/ tWR {t.twr_ns:.1f}",
+            f"  cell energies (pJ): read {t.cell_read_energy * 1e12:.2f} / "
+            f"SET {t.cell_set_energy * 1e12:.2f} / "
+            f"RESET {t.cell_reset_energy * 1e12:.2f}",
+        ]
+        return "\n".join(lines)

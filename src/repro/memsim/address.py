@@ -1,0 +1,132 @@
+"""Row-frame addressing and operation locality classification.
+
+Pinatubo routes each bitwise operation by where its operand rows live
+(paper Section 4.1):
+
+- all in one subarray            -> intra-subarray (modified SA, fastest)
+- same bank, different subarrays -> inter-subarray (global row buffer logic)
+- same chip, different banks     -> inter-bank (I/O buffer logic)
+- different chips/ranks/channels -> unsupported in memory; the driver must
+  fall back to CPU or remap (OpLocality.INTER_CHIP).
+
+The *rank row* is the addressing unit here (chips are lock-step, so a row
+spans all 8 chips of a rank); "same chip" in the paper's sense therefore
+maps to "same rank" at this granularity.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.memsim.geometry import MemoryGeometry
+
+
+@dataclass(frozen=True, order=True)
+class RowAddress:
+    """Fully-decoded address of one rank row."""
+
+    channel: int
+    rank: int
+    bank: int
+    subarray: int
+    row: int
+
+    def same_subarray(self, other: "RowAddress") -> bool:
+        return (
+            self.channel == other.channel
+            and self.rank == other.rank
+            and self.bank == other.bank
+            and self.subarray == other.subarray
+        )
+
+    def same_bank(self, other: "RowAddress") -> bool:
+        return (
+            self.channel == other.channel
+            and self.rank == other.rank
+            and self.bank == other.bank
+        )
+
+    def same_rank(self, other: "RowAddress") -> bool:
+        return self.channel == other.channel and self.rank == other.rank
+
+
+class OpLocality(enum.Enum):
+    """Where an n-operand bitwise operation can execute."""
+
+    INTRA_SUBARRAY = "intra_subarray"
+    INTER_SUBARRAY = "inter_subarray"
+    INTER_BANK = "inter_bank"
+    INTER_CHIP = "inter_chip"  # not executable in memory
+
+
+def classify_locality(addresses) -> OpLocality:
+    """Classify an operand set per the paper's three operation types."""
+    addrs = list(addresses)
+    if not addrs:
+        raise ValueError("need at least one operand address")
+    first = addrs[0]
+    if all(a.same_subarray(first) for a in addrs):
+        return OpLocality.INTRA_SUBARRAY
+    if all(a.same_bank(first) for a in addrs):
+        return OpLocality.INTER_SUBARRAY
+    if all(a.same_rank(first) for a in addrs):
+        return OpLocality.INTER_BANK
+    return OpLocality.INTER_CHIP
+
+
+class AddressMapper:
+    """Maps flat row-frame indices to/from decoded :class:`RowAddress`.
+
+    The flat order is chosen so that *consecutive frames stay in one
+    subarray as long as possible* (row fastest, then subarray, bank, rank,
+    channel).  This is the PIM-friendly layout the paper's OS-level memory
+    manager aims for: operands allocated together land in one subarray and
+    qualify for intra-subarray operations.
+    """
+
+    def __init__(self, geometry: MemoryGeometry):
+        self.geometry = geometry
+
+    @property
+    def total_frames(self) -> int:
+        return self.geometry.total_rows
+
+    def decode(self, frame: int) -> RowAddress:
+        """Flat frame index -> decoded address."""
+        g = self.geometry
+        if not 0 <= frame < self.total_frames:
+            raise ValueError(f"frame {frame} out of range [0, {self.total_frames})")
+        row = frame % g.rows_per_subarray
+        frame //= g.rows_per_subarray
+        subarray = frame % g.subarrays_per_bank
+        frame //= g.subarrays_per_bank
+        bank = frame % g.banks_per_rank
+        frame //= g.banks_per_rank
+        rank = frame % g.ranks_per_channel
+        channel = frame // g.ranks_per_channel
+        return RowAddress(channel, rank, bank, subarray, row)
+
+    def encode(self, address: RowAddress) -> int:
+        """Decoded address -> flat frame index."""
+        g = self.geometry
+        self._validate(address)
+        frame = address.channel
+        frame = frame * g.ranks_per_channel + address.rank
+        frame = frame * g.banks_per_rank + address.bank
+        frame = frame * g.subarrays_per_bank + address.subarray
+        frame = frame * g.rows_per_subarray + address.row
+        return frame
+
+    def _validate(self, a: RowAddress) -> None:
+        g = self.geometry
+        checks = (
+            (a.channel, g.channels, "channel"),
+            (a.rank, g.ranks_per_channel, "rank"),
+            (a.bank, g.banks_per_rank, "bank"),
+            (a.subarray, g.subarrays_per_bank, "subarray"),
+            (a.row, g.rows_per_subarray, "row"),
+        )
+        for value, limit, name in checks:
+            if not 0 <= value < limit:
+                raise ValueError(f"{name} {value} out of range [0, {limit})")

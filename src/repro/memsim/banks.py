@@ -1,0 +1,182 @@
+"""Per-bank state machines and a host access-stream simulator.
+
+The analytical models assume two regimes for host traffic: row-buffer-
+friendly streaming (sequential) and row-miss-per-access (random).  This
+module earns those assumptions: it keeps real per-bank open-row state
+with tRCD/tRP/tRAS windows, walks an address stream through the banks,
+and reports the achieved row-hit rate and latency -- the open-page
+memory-controller view that Sniper/CACTI would provide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memsim.address import AddressMapper, RowAddress
+from repro.memsim.geometry import DEFAULT_GEOMETRY, MemoryGeometry
+from repro.memsim.timing import DDR3_1600, TimingParams
+
+
+@dataclass
+class BankState:
+    """Open-row bookkeeping for one bank."""
+
+    open_row: int = None
+    activate_time: float = -1e18  # when the current row was opened
+    ready_time: float = 0.0  # earliest next command
+
+    @property
+    def is_open(self) -> bool:
+        return self.open_row is not None
+
+
+@dataclass
+class StreamReport:
+    """Aggregate result of an access stream."""
+
+    accesses: int
+    row_hits: int
+    total_latency: float  # s, completion time of the last access
+    total_energy: float
+
+    @property
+    def hit_rate(self) -> float:
+        return self.row_hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def bandwidth(self) -> float:
+        """Achieved data bandwidth assuming 64 B per access (B/s)."""
+        if self.total_latency <= 0:
+            return 0.0
+        return self.accesses * 64 / self.total_latency
+
+
+class BankStateMachine:
+    """Open-page policy timing for one bank.
+
+    Row hits pipeline: once a row is open, column commands issue at the
+    data-burst rate (tCCD ~ the 64 B transfer time), with the CAS latency
+    overlapped -- that is what makes streaming reach the bus bandwidth.
+    """
+
+    def __init__(self, timing: TimingParams):
+        self.timing = timing
+        self.state = BankState()
+
+    def access(self, row: int, now: float, is_write: bool) -> tuple:
+        """Service one column access; returns (data_ready, row_hit, energy).
+
+        ``data_ready`` is when the access's data could leave the bank;
+        channel-bus arbitration happens in the caller.
+        """
+        t = self.timing
+        start = max(now, self.state.ready_time)
+        energy = 0.0
+        row_hit = self.state.is_open and self.state.open_row == row
+        if not row_hit:
+            if self.state.is_open:
+                # precharge respecting tRAS since the activate
+                pre_ok = self.state.activate_time + t.t_ras
+                start = max(start, pre_ok) + t.t_rp
+            self.state.activate_time = start
+            start += t.t_rcd
+            self.state.open_row = row
+            energy += 64 * 8 * t.e_activate_per_bit  # opened line share
+        column_time = t.t_wr if is_write else t.t_cl
+        data_ready = start + column_time
+        # next column command to the open row pipelines at burst rate
+        self.state.ready_time = start + t.transfer_time(64)
+        energy += 64 * 8 * (t.e_write_per_bit if is_write else t.e_sense_per_bit)
+        energy += t.transfer_energy(64)
+        return data_ready, row_hit, energy
+
+
+class HostAccessSimulator:
+    """Walks a host cacheline-address stream through the banks."""
+
+    def __init__(
+        self,
+        geometry: MemoryGeometry = DEFAULT_GEOMETRY,
+        timing: TimingParams = DDR3_1600,
+    ):
+        self.geometry = geometry
+        self.timing = timing
+        self.mapper = AddressMapper(geometry)
+        self._banks: dict = {}
+
+    def _bank_for(self, addr: RowAddress) -> BankStateMachine:
+        key = (addr.channel, addr.rank, addr.bank)
+        bank = self._banks.get(key)
+        if bank is None:
+            bank = BankStateMachine(self.timing)
+            self._banks[key] = bank
+        return bank
+
+    def run(
+        self, byte_addresses, writes=None, max_outstanding: int = 10
+    ) -> StreamReport:
+        """Service a stream of byte addresses (64 B granularity).
+
+        Addresses map onto row frames by ``address // row_bytes``; the
+        column within the row decides nothing for open-page hits, so
+        only the frame matters for the row-buffer behaviour.
+
+        ``max_outstanding`` models the requester's memory-level
+        parallelism (MSHR budget): access ``i`` cannot issue before
+        access ``i - max_outstanding`` completed.  The channel data bus
+        serialises transfers per channel.
+        """
+        addresses = list(byte_addresses)
+        if writes is None:
+            writes = [False] * len(addresses)
+        writes = list(writes)
+        if len(writes) != len(addresses):
+            raise ValueError("writes mask must match addresses")
+        if max_outstanding < 1:
+            raise ValueError("max_outstanding must be >= 1")
+        hits = 0
+        energy = 0.0
+        last_finish = 0.0
+        finish_times = []
+        channel_free = {}
+        row_bytes = self.geometry.row_bytes
+        transfer = self.timing.transfer_time(64)
+        for i, (address, is_write) in enumerate(zip(addresses, writes)):
+            if address < 0:
+                raise ValueError("addresses must be non-negative")
+            now = i * self.timing.t_cmd
+            if i >= max_outstanding:
+                now = max(now, finish_times[i - max_outstanding])
+            frame = (address // row_bytes) % self.geometry.total_rows
+            decoded = self.mapper.decode(frame)
+            data_ready, row_hit, e = self._bank_for(decoded).access(
+                decoded.row, now, is_write
+            )
+            # channel data-bus arbitration
+            ch_free = channel_free.get(decoded.channel, 0.0)
+            data_start = max(data_ready, ch_free)
+            finish = data_start + transfer
+            channel_free[decoded.channel] = finish
+            finish_times.append(finish)
+            hits += row_hit
+            energy += e
+            last_finish = max(last_finish, finish)
+        return StreamReport(
+            accesses=len(addresses),
+            row_hits=hits,
+            total_latency=last_finish,
+            total_energy=energy,
+        )
+
+    def sequential_stream(self, n_accesses: int, start: int = 0) -> list:
+        """64 B-strided addresses (the streaming regime)."""
+        if n_accesses < 1:
+            raise ValueError("n_accesses must be positive")
+        return [start + 64 * i for i in range(n_accesses)]
+
+    def random_stream(self, n_accesses: int, rng) -> list:
+        """Uniformly scattered addresses (the row-miss regime)."""
+        if n_accesses < 1:
+            raise ValueError("n_accesses must be positive")
+        top = self.geometry.capacity_bytes - 64
+        return [int(rng.integers(0, top)) & ~63 for _ in range(n_accesses)]

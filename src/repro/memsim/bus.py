@@ -1,0 +1,68 @@
+"""DDR channel bus accounting.
+
+The bus is the resource PIM saves: a conventional bitwise op moves every
+operand row (and the result) across it, while Pinatubo sends only commands
+and row addresses.  :class:`DDRBus` tracks commands issued, bytes moved,
+busy time and energy per channel so the evaluation can report both the
+traffic reduction and the bandwidth ceilings of paper Fig. 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memsim.timing import TimingParams
+
+
+@dataclass
+class BusStats:
+    """Accumulated bus activity."""
+
+    commands: int = 0
+    data_bytes: int = 0
+    busy_time: float = 0.0  # s
+    energy: float = 0.0  # J
+
+    def merge(self, other: "BusStats") -> "BusStats":
+        return BusStats(
+            commands=self.commands + other.commands,
+            data_bytes=self.data_bytes + other.data_bytes,
+            busy_time=self.busy_time + other.busy_time,
+            energy=self.energy + other.energy,
+        )
+
+
+class DDRBus:
+    """One channel's command/address + data bus."""
+
+    def __init__(self, timing: TimingParams):
+        self.timing = timing
+        self.stats = BusStats()
+
+    def command(self, n: int = 1) -> float:
+        """Issue ``n`` commands (ACT/RD/WR/MRS/...); returns the bus time."""
+        if n < 0:
+            raise ValueError("command count must be non-negative")
+        t = n * self.timing.t_cmd
+        self.stats.commands += n
+        self.stats.busy_time += t
+        self.stats.energy += n * self.timing.e_cmd
+        return t
+
+    def transfer(self, n_bytes: int) -> float:
+        """Move ``n_bytes`` of data over the bus; returns the bus time."""
+        if n_bytes < 0:
+            raise ValueError("byte count must be non-negative")
+        t = self.timing.transfer_time(n_bytes)
+        self.stats.data_bytes += n_bytes
+        self.stats.busy_time += t
+        self.stats.energy += self.timing.transfer_energy(n_bytes)
+        return t
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Peak data bandwidth of this channel (B/s)."""
+        return self.timing.bus_bandwidth
+
+    def reset_stats(self) -> None:
+        self.stats = BusStats()

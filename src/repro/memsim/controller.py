@@ -1,0 +1,198 @@
+"""Memory controller: command streams, mode registers, cost accounting.
+
+The paper's hardware-control path (Fig. 4): extended PIM instructions are
+translated into DDR commands plus a mode-register (MR4) write that
+configures the PIM operation; the controller issues them over the channel
+bus.  This module models that path analytically: executors emit
+:class:`Command` streams, and :meth:`MemoryController.execute` prices each
+command from the channel's :class:`TimingParams`, serialising commands
+within a channel and overlapping across channels.
+
+Command kinds map to the paper's operation anatomy:
+
+- ``MRS``           configure PIM mode (reference select, op code)
+- ``WL_RESET``      clear the LWL activation latches
+- ``ACT``           open a row (first activation pays tRCD)
+- ``ACT_EXTRA``     latch one more row (multi-row activation, one slot)
+- ``PIM_SENSE``     resolve N serial column steps through the modified SA
+- ``RD``            move a row segment to the host over the data bus
+- ``WR``            program a row (tWR); optionally with bus transfer in
+- ``PIM_WRITEBACK`` program the sensed result locally via the WD bypass
+- ``BUF_OP``        add-on logic pass at the global row / IO buffer
+- ``PRE``           precharge / close
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.memsim.bus import BusStats, DDRBus
+from repro.memsim.geometry import MemoryGeometry
+from repro.memsim.timing import TimingParams
+
+
+class CommandKind(enum.Enum):
+    MRS = "mrs"
+    WL_RESET = "wl_reset"
+    ACT = "act"
+    ACT_EXTRA = "act_extra"
+    PIM_SENSE = "pim_sense"
+    RD = "rd"
+    WR = "wr"
+    PIM_WRITEBACK = "pim_writeback"
+    BUF_OP = "buf_op"
+    PRE = "pre"
+
+
+@dataclass(frozen=True)
+class Command:
+    """One priced command.
+
+    ``n_bits`` is the number of array bits the command touches (activation
+    width, sensed bits, programmed bits or buffer-logic width);
+    ``n_steps`` is the serial step count for PIM_SENSE;
+    ``transfer_bytes`` is data moved over the channel bus (RD/WR only).
+    """
+
+    kind: CommandKind
+    channel: int = 0
+    n_bits: int = 0
+    n_steps: int = 1
+    transfer_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.channel < 0:
+            raise ValueError("channel must be non-negative")
+        if self.n_bits < 0 or self.n_steps < 1 or self.transfer_bytes < 0:
+            raise ValueError("invalid command cost fields")
+
+
+@dataclass
+class ExecutionStats:
+    """Aggregated cost of an executed command stream."""
+
+    latency: float = 0.0  # s (critical path: max over channels)
+    energy: float = 0.0  # J (sum over everything)
+    counts: dict = field(default_factory=dict)
+    energy_by_kind: dict = field(default_factory=dict)  # array energy only
+    bus: BusStats = field(default_factory=BusStats)
+
+    def add_count(self, kind: CommandKind, n: int = 1) -> None:
+        self.counts[kind] = self.counts.get(kind, 0) + n
+
+    def add_energy(self, kind: CommandKind, joules: float) -> None:
+        self.energy_by_kind[kind] = self.energy_by_kind.get(kind, 0.0) + joules
+
+    def merged(self, other: "ExecutionStats", serial: bool = True) -> "ExecutionStats":
+        """Combine two stats; serial adds latencies, parallel takes max."""
+        out = ExecutionStats(
+            latency=(self.latency + other.latency)
+            if serial
+            else max(self.latency, other.latency),
+            energy=self.energy + other.energy,
+            counts=dict(self.counts),
+            energy_by_kind=dict(self.energy_by_kind),
+            bus=self.bus.merge(other.bus),
+        )
+        for kind, n in other.counts.items():
+            out.counts[kind] = out.counts.get(kind, 0) + n
+        for kind, e in other.energy_by_kind.items():
+            out.energy_by_kind[kind] = out.energy_by_kind.get(kind, 0.0) + e
+        return out
+
+
+class MemoryController:
+    """Prices command streams against one memory's timing parameters."""
+
+    def __init__(self, geometry: MemoryGeometry, timing: TimingParams):
+        self.geometry = geometry
+        self.timing = timing
+        self.buses = [DDRBus(timing) for _ in range(geometry.channels)]
+        self.mode_register = 0  # MR4: current PIM op configuration
+
+    def set_pim_mode(self, mode_code: int, channel: int = 0) -> ExecutionStats:
+        """Issue the MRS that configures the PIM operation."""
+        self.mode_register = mode_code
+        return self.execute([Command(CommandKind.MRS, channel=channel)])
+
+    # -- pricing -------------------------------------------------------------
+
+    def _price(self, cmd: Command) -> tuple:
+        """(array_latency, bus_latency, energy) of one command."""
+        t = self.timing
+        bus = self.buses[cmd.channel % len(self.buses)]
+        if cmd.kind is CommandKind.MRS:
+            return 0.0, bus.command(), 0.0
+        if cmd.kind is CommandKind.WL_RESET:
+            return 0.0, bus.command(), t.e_cmd
+        if cmd.kind is CommandKind.ACT:
+            return t.t_rcd, bus.command(), cmd.n_bits * t.e_activate_per_bit
+        if cmd.kind is CommandKind.ACT_EXTRA:
+            # Additional latched row: decode overlaps the open rows, so
+            # the cost is one command slot plus the wordline energy --
+            # unless a power-delivery activate-to-activate floor (t_rrd)
+            # paces the latch sequence.
+            extra = max(0.0, t.t_rrd - t.t_cmd)
+            return extra, bus.command(), cmd.n_bits * t.e_activate_per_bit
+        if cmd.kind is CommandKind.PIM_SENSE:
+            return (
+                cmd.n_steps * t.t_cl,
+                0.0,
+                cmd.n_bits * t.e_sense_per_bit,
+            )
+        if cmd.kind is CommandKind.RD:
+            bus_t = bus.command() + bus.transfer(cmd.transfer_bytes)
+            return t.t_cl, bus_t, cmd.n_bits * t.e_sense_per_bit
+        if cmd.kind is CommandKind.WR:
+            bus_t = bus.command() + bus.transfer(cmd.transfer_bytes)
+            return t.t_wr, bus_t, cmd.n_bits * t.e_write_per_bit
+        if cmd.kind is CommandKind.PIM_WRITEBACK:
+            # WD bypass: no bus transfer at all.
+            return t.t_wr, 0.0, cmd.n_bits * t.e_write_per_bit
+        if cmd.kind is CommandKind.BUF_OP:
+            # Add-on digital logic at the row/IO buffer: one bus-clock pass.
+            return t.t_cmd, 0.0, cmd.n_bits * t.e_buffer_logic_per_bit
+        if cmd.kind is CommandKind.PRE:
+            return t.t_rp, bus.command(), t.e_cmd
+        raise ValueError(f"unknown command kind: {cmd.kind}")
+
+    def execute(self, commands) -> ExecutionStats:
+        """Execute a command stream.
+
+        Commands on the same channel serialise; different channels overlap.
+        Bus time and array time for one command overlap is approximated as
+        additive for commands with both (RD/WR), which is the conservative
+        closed-page assumption.
+        """
+        stats = ExecutionStats()
+        per_channel = {}
+        bus_before = [
+            BusStats(
+                commands=b.stats.commands,
+                data_bytes=b.stats.data_bytes,
+                busy_time=b.stats.busy_time,
+                energy=b.stats.energy,
+            )
+            for b in self.buses
+        ]
+        for cmd in commands:
+            array_t, bus_t, energy = self._price(cmd)
+            ch = cmd.channel % len(self.buses)
+            per_channel[ch] = per_channel.get(ch, 0.0) + array_t + bus_t
+            stats.energy += energy
+            stats.add_count(cmd.kind)
+            stats.add_energy(cmd.kind, energy)
+        stats.latency = max(per_channel.values(), default=0.0)
+        for i, bus in enumerate(self.buses):
+            before = bus_before[i]
+            stats.bus = stats.bus.merge(
+                BusStats(
+                    commands=bus.stats.commands - before.commands,
+                    data_bytes=bus.stats.data_bytes - before.data_bytes,
+                    busy_time=bus.stats.busy_time - before.busy_time,
+                    energy=bus.stats.energy - before.energy,
+                )
+            )
+        stats.energy += stats.bus.energy
+        return stats

@@ -1,0 +1,144 @@
+"""Memory hierarchy geometry (paper Fig. 3).
+
+Main memory decomposes as: channels (parallel) > ranks (share the channel
+bus) > chips (8 per rank, lock-step) > banks (8 per chip, share chip I/O)
+> subarrays (share GDLs and the global row buffer) > mats (lock-step,
+private SAs/WDs).
+
+The default NVM geometry is chosen to land the paper's Fig. 9 turning
+points exactly:
+
+- a mat row is the "typical 4 Kb NVM row";
+- 16 mats per subarray x 8 lock-step chips = one *rank row* of
+  2^19 bits (turning point B: longer vectors span multiple ranks that
+  work in serial);
+- a 32:1 column MUX shares each SA, so one rank senses 2^19 / 32 = 2^14
+  bits per step (turning point A: longer vectors need serial column
+  steps).
+
+The DRAM geometry models the S-DRAM baseline's memory: smaller rows
+(1 KB/chip = 2^16 bits per rank row) but *unmuxed* sensing (DRAM SAs are
+per-column), so a whole row resolves in one step -- the "larger row
+buffer" advantage the paper concedes to in-DRAM computing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemoryGeometry:
+    """Dimensions of one main-memory configuration."""
+
+    channels: int = 4
+    ranks_per_channel: int = 2
+    chips_per_rank: int = 8
+    banks_per_chip: int = 8
+    subarrays_per_bank: int = 32
+    rows_per_subarray: int = 512
+    mats_per_subarray: int = 16
+    cols_per_mat: int = 4096
+    mux_ratio: int = 32  # adjacent columns sharing one SA
+
+    def __post_init__(self) -> None:
+        for name in (
+            "channels",
+            "ranks_per_channel",
+            "chips_per_rank",
+            "banks_per_chip",
+            "subarrays_per_bank",
+            "rows_per_subarray",
+            "mats_per_subarray",
+            "cols_per_mat",
+            "mux_ratio",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if self.cols_per_mat % self.mux_ratio != 0:
+            raise ValueError("mux_ratio must divide cols_per_mat")
+        if self.row_bits % 8 != 0:
+            raise ValueError("rank row must be byte-aligned")
+
+    # -- row sizes ---------------------------------------------------------
+
+    @property
+    def chip_row_bits(self) -> int:
+        """Bits opened per chip per activation (all mats of a subarray)."""
+        return self.mats_per_subarray * self.cols_per_mat
+
+    @property
+    def row_bits(self) -> int:
+        """Bits in one *rank row*: the unit of activation across the
+        lock-step chips (the allocation granularity of pim_malloc)."""
+        return self.chips_per_rank * self.chip_row_bits
+
+    @property
+    def row_bytes(self) -> int:
+        return self.row_bits // 8
+
+    @property
+    def sense_bits_per_step(self) -> int:
+        """Bits resolved per sense step across the rank (SA count)."""
+        return self.row_bits // self.mux_ratio
+
+    # -- counts -------------------------------------------------------------
+
+    @property
+    def ranks(self) -> int:
+        return self.channels * self.ranks_per_channel
+
+    @property
+    def banks_per_rank(self) -> int:
+        return self.banks_per_chip  # chips are lock-step: one logical bank set
+
+    @property
+    def rows_per_bank(self) -> int:
+        return self.subarrays_per_bank * self.rows_per_subarray
+
+    @property
+    def rows_per_rank(self) -> int:
+        return self.banks_per_rank * self.rows_per_bank
+
+    @property
+    def total_rows(self) -> int:
+        return self.ranks * self.rows_per_rank
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.total_rows * self.row_bits
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.capacity_bits // 8
+
+    def rows_for_bits(self, n_bits: int) -> int:
+        """Row frames needed to hold an n-bit vector (row-aligned)."""
+        if n_bits < 1:
+            raise ValueError("vector length must be positive")
+        return -(-n_bits // self.row_bits)
+
+    def sense_steps_for_bits(self, n_bits: int) -> int:
+        """Serial column steps to sense the used part of one rank row."""
+        if n_bits < 1:
+            raise ValueError("bit count must be positive")
+        used = min(n_bits, self.row_bits)
+        return -(-used // self.sense_bits_per_step)
+
+
+#: Paper-calibrated NVM main-memory geometry (64 GiB total).
+DEFAULT_GEOMETRY = MemoryGeometry()
+
+#: DDR3 DRAM geometry for the S-DRAM baseline: 1 KB row per chip,
+#: per-column SAs (mux 1), same channel/rank organisation.
+DRAM_GEOMETRY = MemoryGeometry(
+    channels=4,
+    ranks_per_channel=2,
+    chips_per_rank=8,
+    banks_per_chip=8,
+    subarrays_per_bank=64,
+    rows_per_subarray=512,
+    mats_per_subarray=8,
+    cols_per_mat=1024,
+    mux_ratio=1,
+)

@@ -1,0 +1,138 @@
+"""Functional main memory: real bits in packed numpy arrays.
+
+Timing and energy live in the controller/executor layer; this module is
+the *data* layer.  The storage unit is the rank row ("row frame"): chips
+are lock-step, so one activation opens one frame of
+``geometry.row_bits`` bits.  Frames are allocated lazily, so a 64 GiB
+memory costs only as much host RAM as the frames actually touched.
+
+Bits are packed little-endian within bytes (``numpy.packbits`` with
+``bitorder='little'``), which keeps bit ``i`` of a vector at byte
+``i // 8``, bit ``i % 8``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.memsim.geometry import MemoryGeometry
+
+
+#: numpy ufunc per bulk bitwise op name.
+_BITWISE_UFUNCS = {
+    "or": np.bitwise_or,
+    "and": np.bitwise_and,
+    "xor": np.bitwise_xor,
+}
+
+
+@dataclass
+class RowFrame:
+    """One rank row of packed bits."""
+
+    data: np.ndarray  # uint8, length = geometry.row_bytes
+    writes: int = 0  # endurance accounting
+
+    def copy_bits(self) -> np.ndarray:
+        return self.data.copy()
+
+
+class MainMemory:
+    """Lazily-allocated functional memory over row frames."""
+
+    def __init__(self, geometry: MemoryGeometry):
+        self.geometry = geometry
+        self._frames: dict = {}
+        self.total_writes = 0
+
+    # -- frame accessors ---------------------------------------------------
+
+    def _check_frame(self, frame: int) -> None:
+        if not 0 <= frame < self.geometry.total_rows:
+            raise ValueError(
+                f"frame {frame} out of range [0, {self.geometry.total_rows})"
+            )
+
+    def frame_bytes(self, frame: int) -> np.ndarray:
+        """Packed contents of a frame (zeros if never written)."""
+        self._check_frame(frame)
+        entry = self._frames.get(frame)
+        if entry is None:
+            return np.zeros(self.geometry.row_bytes, dtype=np.uint8)
+        return entry.copy_bits()
+
+    def write_frame(self, frame: int, data: np.ndarray) -> None:
+        """Overwrite a full frame with packed bytes."""
+        self._check_frame(frame)
+        data = np.asarray(data, dtype=np.uint8)
+        if data.shape != (self.geometry.row_bytes,):
+            raise ValueError(
+                f"frame data must have shape ({self.geometry.row_bytes},)"
+            )
+        entry = self._frames.get(frame)
+        if entry is None:
+            entry = RowFrame(data.copy())
+            self._frames[frame] = entry
+        else:
+            entry.data[:] = data
+        entry.writes += 1
+        self.total_writes += 1
+
+    def frame_writes(self, frame: int) -> int:
+        """How many times a frame has been programmed (endurance)."""
+        self._check_frame(frame)
+        entry = self._frames.get(frame)
+        return 0 if entry is None else entry.writes
+
+    @property
+    def frames_in_use(self) -> int:
+        return len(self._frames)
+
+    def write_histogram(self) -> dict:
+        """{frame: program count} for every frame ever written."""
+        return {frame: entry.writes for frame, entry in self._frames.items()}
+
+    # -- bit-level accessors -------------------------------------------------
+
+    def read_bits(self, frame: int, n_bits: int = None) -> np.ndarray:
+        """Unpacked bit view (uint8 0/1) of the first ``n_bits`` of a frame."""
+        n_bits = self.geometry.row_bits if n_bits is None else n_bits
+        if not 1 <= n_bits <= self.geometry.row_bits:
+            raise ValueError("n_bits out of range")
+        packed = self.frame_bytes(frame)
+        return np.unpackbits(packed, bitorder="little")[:n_bits]
+
+    def write_bits(self, frame: int, bits: np.ndarray) -> None:
+        """Write unpacked bits into the start of a frame (rest zeroed)."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.ndim != 1 or bits.size > self.geometry.row_bits:
+            raise ValueError("bits must be 1-D and fit in a row frame")
+        padded = np.zeros(self.geometry.row_bits, dtype=np.uint8)
+        padded[: bits.size] = bits
+        self.write_frame(frame, np.packbits(padded, bitorder="little"))
+
+    # -- in-memory compute (functional side of PIM ops) ------------------------
+
+    def bitwise_frames(self, op: str, src_frames) -> np.ndarray:
+        """Functional n-operand bitwise op over frames; returns packed bytes."""
+        srcs = list(src_frames)
+        if op == "inv":
+            if len(srcs) != 1:
+                raise ValueError("inv takes exactly one source frame")
+            return np.bitwise_not(self.frame_bytes(srcs[0]))
+        try:
+            ufunc = _BITWISE_UFUNCS[op]
+        except KeyError:
+            raise ValueError(f"unknown bitwise op {op!r}") from None
+        if len(srcs) < 2:
+            raise ValueError(f"{op} needs at least two source frames")
+        out = self.frame_bytes(srcs[0])
+        for frame in srcs[1:]:
+            ufunc(out, self.frame_bytes(frame), out=out)
+        return out
+
+    def execute_bitwise(self, op: str, dest_frame: int, src_frames) -> None:
+        """Functional compute + write-back to the destination frame."""
+        self.write_frame(dest_frame, self.bitwise_frames(op, src_frames))

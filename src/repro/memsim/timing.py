@@ -1,0 +1,108 @@
+"""DDR timing and energy parameter sets.
+
+Two parameter sets matter for the paper's evaluation:
+
+- ``DDR3_1600``: the 65 nm 4-channel DDR3-1600 DRAM the S-DRAM baseline
+  (and the SIMD baseline, when compared against S-DRAM) runs on;
+- :func:`nvm_timing`: the PCM (or other NVM) main memory whose array
+  timings come from the technology catalog -- the paper's case study pins
+  tRCD-tCL-tWR at 18.3-8.9-151.1 ns.
+
+Energy constants are CACTI/NVSim-era 65 nm numbers: what matters for the
+evaluation is their relative magnitude (bus transfer and row activation
+dwarf per-bit sensing; a DRAM access costs ~2 orders more than an ALU op).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nvm.technology import NVMTechnology
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """Timing and energy constants for one memory type."""
+
+    name: str
+    t_cmd: float  # s, one command slot on the channel bus
+    t_rcd: float  # s, activate -> column command
+    t_cl: float  # s, column command -> data (one sense step for NVM)
+    t_wr: float  # s, write recovery (array write)
+    t_rp: float  # s, precharge
+    t_ras: float  # s, activate -> precharge minimum (row cycle component)
+    bus_bandwidth: float  # B/s per channel, data bus peak
+    # energies
+    e_activate_per_bit: float  # J per bit opened in a row activation
+    e_sense_per_bit: float  # J per bit resolved by the SAs
+    e_write_per_bit: float  # J per bit programmed/restored
+    e_bus_per_bit: float  # J per bit moved over the channel bus
+    e_cmd: float  # J per command issued
+    e_buffer_logic_per_bit: float  # J per bit through add-on buffer logic
+    #: minimum activate-to-activate spacing (power-delivery limit on the
+    #: wordline charge pumps).  The paper's multi-row activation issues
+    #: addresses at command rate, i.e. assumes this is no worse than
+    #: t_cmd (NVM activation draws no restore current); set it higher to
+    #: study a power-constrained design (ablation A9).
+    t_rrd: float = 0.0
+
+    @property
+    def t_rc(self) -> float:
+        """Row cycle: activate + restore + precharge."""
+        return self.t_ras + self.t_rp
+
+    def transfer_time(self, n_bytes: int) -> float:
+        """Channel-bus time to move ``n_bytes`` (burst-granular)."""
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        return n_bytes / self.bus_bandwidth
+
+    def transfer_energy(self, n_bytes: int) -> float:
+        return 8.0 * n_bytes * self.e_bus_per_bit
+
+
+#: DDR3-1600: 800 MHz command clock, 12.8 GB/s per channel.
+DDR3_1600 = TimingParams(
+    name="DDR3-1600",
+    t_cmd=1.25e-9,
+    t_rcd=13.75e-9,
+    t_cl=13.75e-9,
+    t_wr=15.0e-9,
+    t_rp=13.75e-9,
+    t_ras=35.0e-9,
+    bus_bandwidth=12.8e9,
+    e_activate_per_bit=0.15e-12,  # row act+restore amortised per bit
+    e_sense_per_bit=0.05e-12,
+    e_write_per_bit=0.25e-12,
+    e_bus_per_bit=6.0e-12,  # DDR3 I/O + termination
+    e_cmd=3.0e-12,
+    e_buffer_logic_per_bit=0.02e-12,
+)
+
+
+def nvm_timing(technology: NVMTechnology, base: TimingParams = DDR3_1600) -> TimingParams:
+    """Derive the NVM main-memory timing set from a technology.
+
+    The channel bus is unchanged (same DDR3 interface; the paper drives
+    PCM over the DDR bus); array timings and energies come from the cell
+    technology.  NVM activation does not destructively discharge a row of
+    capacitors, so its per-bit activation energy is the wordline swing
+    amortised across the row, far below DRAM's restore energy.
+    """
+    return TimingParams(
+        name=f"NVM-{technology.name}",
+        t_cmd=base.t_cmd,
+        t_rcd=technology.activate_time,
+        t_cl=technology.sense_time,
+        t_wr=technology.write_time,
+        t_rp=base.t_rp,
+        t_ras=technology.activate_time + technology.sense_time,
+        bus_bandwidth=base.bus_bandwidth,
+        e_activate_per_bit=0.003e-12,  # WL swing only: no charge restore
+        e_sense_per_bit=technology.cell_read_energy,
+        e_write_per_bit=(technology.cell_set_energy + technology.cell_reset_energy)
+        / 2.0,
+        e_bus_per_bit=base.e_bus_per_bit,
+        e_cmd=base.e_cmd,
+        e_buffer_logic_per_bit=base.e_buffer_logic_per_bit,
+    )

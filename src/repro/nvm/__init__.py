@@ -1,0 +1,57 @@
+"""NVM device substrate: cells, sense amplifiers, margins, drivers, arrays.
+
+This package models the device- and circuit-level behaviour that Pinatubo
+builds on:
+
+- :mod:`repro.nvm.technology` -- catalog of PCM / ReRAM / STT-MRAM cell
+  parameters (the role NVMDB plays in the paper).
+- :mod:`repro.nvm.cell` -- 1T1R resistive cell and parallel-connection math.
+- :mod:`repro.nvm.variation` -- lognormal resistance-variation model.
+- :mod:`repro.nvm.sense_amp` -- current sense amplifier with the Pinatubo
+  reference-circuit modifications (READ / OR / AND / XOR / INV).
+- :mod:`repro.nvm.margin` -- sensing-margin analysis giving the maximum
+  multi-row operation count per technology.
+- :mod:`repro.nvm.wordline` -- local-wordline driver with the multi-row
+  activation latch.
+- :mod:`repro.nvm.write_driver` -- write driver with the SA-to-WD in-place
+  update bypass.
+- :mod:`repro.nvm.array` -- functional resistive mat: stores bits as
+  resistances and produces sensed outputs for single- and multi-row
+  activations.
+"""
+
+from repro.nvm.technology import (
+    NVMTechnology,
+    TECHNOLOGIES,
+    get_technology,
+    list_technologies,
+)
+from repro.nvm.cell import ResistiveCell, parallel_resistance, bitline_resistance
+from repro.nvm.variation import VariationModel
+from repro.nvm.sense_amp import CurrentSenseAmplifier, ReferenceScheme, SenseMode
+from repro.nvm.margin import MarginAnalysis, max_multirow_or
+from repro.nvm.reliability import BerPoint, SensingReliability
+from repro.nvm.wordline import LocalWordlineDriver
+from repro.nvm.write_driver import WriteDriver
+from repro.nvm.array import ResistiveMat
+
+__all__ = [
+    "NVMTechnology",
+    "TECHNOLOGIES",
+    "get_technology",
+    "list_technologies",
+    "ResistiveCell",
+    "parallel_resistance",
+    "bitline_resistance",
+    "VariationModel",
+    "CurrentSenseAmplifier",
+    "ReferenceScheme",
+    "SenseMode",
+    "MarginAnalysis",
+    "max_multirow_or",
+    "BerPoint",
+    "SensingReliability",
+    "LocalWordlineDriver",
+    "WriteDriver",
+    "ResistiveMat",
+]

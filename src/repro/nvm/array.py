@@ -1,0 +1,291 @@
+"""Functional resistive mat: bits stored as resistances, sensed via the CSA.
+
+This is the ground-truth device model for intra-subarray operations: every
+stored bit lives as a (optionally variation-sampled) resistance, multi-row
+activation produces real parallel bitline resistances, and the modified CSA
+of :mod:`repro.nvm.sense_amp` resolves them.  It exists so that the
+higher-level packed-bit simulator (:mod:`repro.memsim`) can be validated
+against physics rather than against itself.
+
+Scale note: a mat here is the paper's unit (rows x 4096 columns with a
+32:1 column MUX).  Storing per-cell float resistances is fine at mat scale;
+whole-memory simulation uses packed bits and defers to this model only for
+cross-validation (see ``tests/test_cross_validation.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nvm.cell import bitline_resistance, bits_to_resistances
+from repro.nvm.margin import MarginAnalysis
+from repro.nvm.sense_amp import CurrentSenseAmplifier, SenseMode, SenseResult
+from repro.nvm.technology import NVMTechnology
+from repro.nvm.variation import VariationModel
+from repro.nvm.wordline import LocalWordlineDriver
+from repro.nvm.write_driver import WriteDriver, WriteSource
+
+
+@dataclass
+class MatOperationResult:
+    """Full outcome of one mat-level operation."""
+
+    bits: np.ndarray  # sensed (or written-back) row of bits
+    latency: float  # s
+    energy: float  # J
+    sense_steps: int  # serial column-group sense steps (MUX sharing)
+
+
+class ResistiveMat:
+    """One mat: a 2D grid of 1T1R cells with shared, muxed sense amplifiers.
+
+    Parameters
+    ----------
+    technology:
+        Cell technology (PCM / ReRAM / STT-MRAM).
+    n_rows, n_cols:
+        Mat geometry.  The paper's typical NVM row is 4 Kb.
+    mux_ratio:
+        Adjacent columns sharing one SA (32 in the paper's experiments);
+        a full-row access therefore needs ``mux_ratio`` serial sense steps.
+    variation:
+        Optional lognormal variation model; when given (with ``rng``) every
+        programmed cell gets a sampled resistance.
+    """
+
+    def __init__(
+        self,
+        technology: NVMTechnology,
+        n_rows: int = 512,
+        n_cols: int = 4096,
+        mux_ratio: int = 32,
+        variation: VariationModel = None,
+        rng: np.random.Generator = None,
+    ):
+        if n_rows < 1 or n_cols < 1:
+            raise ValueError("mat geometry must be positive")
+        if mux_ratio < 1 or n_cols % mux_ratio != 0:
+            raise ValueError("mux_ratio must divide n_cols")
+        self.technology = technology
+        self.n_rows = n_rows
+        self.n_cols = n_cols
+        self.mux_ratio = mux_ratio
+        self.variation = variation
+        self.rng = rng
+        if variation is not None and rng is None:
+            raise ValueError("variation sampling requires an rng")
+
+        margin = MarginAnalysis(
+            technology,
+            variation or VariationModel.for_technology(technology),
+        )
+        self.max_or_rows = margin.max_or_rows()
+        self.max_and_rows = margin.max_and_rows()
+
+        self.sense_amp = CurrentSenseAmplifier(technology)
+        self.write_driver = WriteDriver(technology)
+        self.wordlines = LocalWordlineDriver(
+            n_rows=n_rows,
+            max_open_rows=self.max_or_rows,
+            activate_time=technology.activate_time,
+        )
+        # All cells initialised to HRS (logic 0) -- a fresh RESET state.
+        self._resistance = np.full(
+            (n_rows, n_cols), technology.r_high, dtype=float
+        )
+        self._bits = np.zeros((n_rows, n_cols), dtype=np.uint8)
+        #: (row, col) -> pinned resistance; programming cannot move these
+        self._stuck: dict = {}
+
+    @property
+    def sas_per_mat(self) -> int:
+        """Number of physical sense amplifiers (columns / mux ratio)."""
+        return self.n_cols // self.mux_ratio
+
+    # -- programming ------------------------------------------------------------
+
+    def write_row(
+        self,
+        row: int,
+        bits: np.ndarray,
+        source: WriteSource = WriteSource.DATA_BUS,
+    ) -> MatOperationResult:
+        """Program a full row of bits (differential write)."""
+        self._check_row(row)
+        bits = np.asarray(bits).astype(np.uint8)
+        if bits.shape != (self.n_cols,):
+            raise ValueError(f"row data must have shape ({self.n_cols},)")
+        cost = self.write_driver.program(self._bits[row], bits, source)
+        self._bits[row] = bits
+        if self.variation is not None:
+            self._resistance[row] = self.variation.sample_bits(
+                bits, self.technology, self.rng
+            )
+        else:
+            self._resistance[row] = bits_to_resistances(bits, self.technology)
+        self._apply_stuck_faults(row)
+        return MatOperationResult(
+            bits=bits.copy(),
+            latency=cost.latency,
+            energy=cost.energy,
+            sense_steps=0,
+        )
+
+    def stored_bits(self, row: int) -> np.ndarray:
+        """Ground-truth stored bits (oracle access, no cost)."""
+        self._check_row(row)
+        return self._bits[row].copy()
+
+    # -- fault injection ----------------------------------------------------------
+
+    def inject_stuck_fault(self, row: int, col: int, stuck_bit: int) -> None:
+        """Pin one cell to a state programming cannot change.
+
+        Stuck-at-1 models a cell fused to LRS (e.g. an over-SET filament);
+        stuck-at-0 a cell that can no longer crystallise.  Used for
+        failure-injection testing: the fault propagates through every
+        sensing mode exactly as the physics dictates.
+        """
+        self._check_row(row)
+        if not 0 <= col < self.n_cols:
+            raise IndexError(f"col {col} out of range [0, {self.n_cols})")
+        if stuck_bit not in (0, 1):
+            raise ValueError("stuck_bit must be 0 or 1")
+        resistance = (
+            self.technology.r_low if stuck_bit else self.technology.r_high
+        )
+        self._stuck[(row, col)] = resistance
+        self._apply_stuck_faults(row)
+
+    def clear_faults(self) -> None:
+        """Remove every injected fault (does not restore stored data)."""
+        self._stuck.clear()
+
+    @property
+    def fault_count(self) -> int:
+        return len(self._stuck)
+
+    def _apply_stuck_faults(self, row: int) -> None:
+        for (r, c), resistance in self._stuck.items():
+            if r == row:
+                self._resistance[r, c] = resistance
+
+    # -- sensing operations -------------------------------------------------------
+
+    def read_row(self, row: int) -> MatOperationResult:
+        """Normal single-row read through the CSA."""
+        return self._sensed_op(SenseMode.READ, [row])
+
+    def bitwise(self, mode: SenseMode, rows) -> MatOperationResult:
+        """Intra-mat bitwise operation over the given operand rows.
+
+        OR supports 2..max_or_rows operands; AND exactly 2 (if the margin
+        allows); XOR exactly 2 (two micro-steps); INV exactly 1.
+        """
+        rows = list(rows)
+        if mode is SenseMode.READ:
+            if len(rows) != 1:
+                raise ValueError("READ takes exactly one row")
+        elif mode is SenseMode.INV:
+            if len(rows) != 1:
+                raise ValueError("INV takes exactly one row")
+        elif mode is SenseMode.XOR:
+            if len(rows) != 2:
+                raise ValueError("XOR takes exactly two rows")
+        elif mode is SenseMode.AND:
+            if len(rows) != 2 or self.max_and_rows < 2:
+                raise ValueError("AND takes exactly two rows (margin permitting)")
+        elif mode is SenseMode.OR:
+            if not 2 <= len(rows) <= self.max_or_rows:
+                raise ValueError(
+                    f"OR takes 2..{self.max_or_rows} rows, got {len(rows)}"
+                )
+        return self._sensed_op(mode, rows)
+
+    def write_back(
+        self, result: MatOperationResult, dest_row: int
+    ) -> MatOperationResult:
+        """In-place update: feed a sensed result straight into the WDs."""
+        wr = self.write_row(dest_row, result.bits, source=WriteSource.SENSE_AMP)
+        return MatOperationResult(
+            bits=wr.bits,
+            latency=result.latency + wr.latency,
+            energy=result.energy + wr.energy,
+            sense_steps=result.sense_steps,
+        )
+
+    # -- internals ------------------------------------------------------------
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.n_rows:
+            raise IndexError(f"row {row} out of range [0, {self.n_rows})")
+
+    def _sensed_op(self, mode: SenseMode, rows) -> MatOperationResult:
+        for r in rows:
+            self._check_row(r)
+        if len(set(rows)) != len(rows):
+            raise ValueError("operand rows must be distinct")
+
+        if mode is SenseMode.XOR:
+            # Two micro-steps: each operand row activated and sensed alone.
+            act_a = self.wordlines.activate_many([rows[0]])
+            r_a = self._resistance[rows[0]]
+            pre_a = self.wordlines.precharge()
+            act_b = self.wordlines.activate_many([rows[1]])
+            r_b = self._resistance[rows[1]]
+            pre_b = self.wordlines.precharge()
+            sense = self.sense_amp.sense_xor(r_a, r_b)
+            act_latency = (
+                act_a.latency + pre_a.latency + act_b.latency + pre_b.latency
+            )
+            act_energy = act_a.energy + pre_a.energy + act_b.energy + pre_b.energy
+        else:
+            act = self.wordlines.activate_many(rows)
+            r_bl = bitline_resistance(self._resistance[list(rows), :], axis=0)
+            if mode is SenseMode.READ:
+                sense = self.sense_amp.sense_read(r_bl)
+            elif mode is SenseMode.INV:
+                sense = self.sense_amp.sense_inv(r_bl)
+            elif mode is SenseMode.OR:
+                sense = self.sense_amp.sense_or(r_bl, len(rows))
+            elif mode is SenseMode.AND:
+                sense = self.sense_amp.sense_and(r_bl, len(rows))
+            else:
+                raise ValueError(f"unsupported mode: {mode}")
+            pre = self.wordlines.precharge()
+            act_latency = act.latency + pre.latency
+            act_energy = act.energy + pre.energy
+
+        # MUX sharing: the whole row needs mux_ratio serial sense steps,
+        # but sense energy is already per-SA-count via bits.size, so only
+        # latency scales (each step senses sas_per_mat columns).
+        steps = self.mux_ratio * sense.micro_steps
+        sense_latency = self.technology.sense_time * steps
+        return MatOperationResult(
+            bits=sense.bits,
+            latency=act_latency + sense_latency,
+            energy=act_energy + sense.energy,
+            sense_steps=steps,
+        )
+
+
+def oracle_bitwise(mode: SenseMode, operand_rows) -> np.ndarray:
+    """Pure-numpy oracle for validating mat results."""
+    rows = [np.asarray(r).astype(np.uint8) for r in operand_rows]
+    if mode is SenseMode.READ:
+        return rows[0].copy()
+    if mode is SenseMode.INV:
+        return (1 - rows[0]).astype(np.uint8)
+    out = rows[0].copy()
+    for r in rows[1:]:
+        if mode is SenseMode.OR:
+            out |= r
+        elif mode is SenseMode.AND:
+            out &= r
+        elif mode is SenseMode.XOR:
+            out ^= r
+        else:
+            raise ValueError(f"unsupported mode: {mode}")
+    return out

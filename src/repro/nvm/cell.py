@@ -1,0 +1,129 @@
+"""1T1R resistive cell and bitline parallel-connection math.
+
+When Pinatubo activates ``n`` rows simultaneously, the ``n`` selected cells
+on each bitline conduct in parallel, so the SA sees the parallel combination
+of their resistances (the paper's ``||`` operator).  This module provides
+that math both for scalars (margin analysis) and numpy arrays (the
+functional mat model), plus a small :class:`ResistiveCell` used by the
+transient circuit simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nvm.technology import NVMTechnology
+
+
+def parallel_resistance(*resistances: float) -> float:
+    """Parallel combination ("product over sum") of two or more resistors.
+
+    >>> parallel_resistance(2.0, 2.0)
+    1.0
+    """
+    if not resistances:
+        raise ValueError("need at least one resistance")
+    conductance = 0.0
+    for r in resistances:
+        if r <= 0:
+            raise ValueError("resistances must be positive")
+        conductance += 1.0 / r
+    return 1.0 / conductance
+
+
+def composite_or_case(r_low: float, r_high: float, n_rows: int, n_ones: int) -> float:
+    """Bitline resistance with ``n_ones`` LRS cells among ``n_rows`` open rows.
+
+    The OR-sensing discrimination problem is exactly: is ``n_ones`` zero or
+    not?  The two closest cases are ``n_ones = 1`` (must read "1") and
+    ``n_ones = 0`` (must read "0").
+    """
+    if not 0 <= n_ones <= n_rows:
+        raise ValueError("n_ones must be within [0, n_rows]")
+    if n_rows < 1:
+        raise ValueError("n_rows must be >= 1")
+    conductance = n_ones / r_low + (n_rows - n_ones) / r_high
+    return 1.0 / conductance
+
+
+def bitline_resistance(cell_resistances: np.ndarray, axis: int = 0) -> np.ndarray:
+    """Parallel combination along ``axis`` of an array of cell resistances.
+
+    Used by the functional mat model: ``cell_resistances`` is typically the
+    (n_open_rows, n_columns) slice of the array, and the result is the
+    per-column bitline resistance the SA senses.
+    """
+    r = np.asarray(cell_resistances, dtype=float)
+    if np.any(r <= 0):
+        raise ValueError("resistances must be positive")
+    return 1.0 / np.sum(1.0 / r, axis=axis)
+
+
+@dataclass
+class ResistiveCell:
+    """A single 1T1R cell: one access transistor, one resistive element.
+
+    The cell stores a logic bit via its resistance state.  Encoding follows
+    the paper (HRS = logic "0", LRS = logic "1").  ``resistance`` may carry
+    a sampled (varied) value distinct from the technology nominal.
+    """
+
+    technology: NVMTechnology
+    bit: int = 0
+    resistance: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bit not in (0, 1):
+            raise ValueError("bit must be 0 or 1")
+        if self.resistance <= 0.0:
+            self.resistance = self.nominal_resistance(self.bit)
+
+    def nominal_resistance(self, bit: int) -> float:
+        return self.technology.r_low if bit else self.technology.r_high
+
+    def write(self, bit: int, resistance: float = 0.0) -> None:
+        """Program the cell to ``bit`` (SET for 1, RESET for 0)."""
+        if bit not in (0, 1):
+            raise ValueError("bit must be 0 or 1")
+        self.bit = bit
+        self.resistance = resistance if resistance > 0 else self.nominal_resistance(bit)
+
+    @property
+    def state(self) -> str:
+        return "LRS" if self.bit else "HRS"
+
+    def read_current(self) -> float:
+        """Cell current under the technology's read voltage (A)."""
+        return self.technology.read_voltage / self.resistance
+
+    def write_energy(self, new_bit: int) -> float:
+        """Energy to program to ``new_bit`` (0 if no state change) in J."""
+        if new_bit == self.bit:
+            return 0.0
+        if new_bit:
+            return self.technology.cell_set_energy
+        return self.technology.cell_reset_energy
+
+
+def bits_to_resistances(
+    bits: np.ndarray, technology: NVMTechnology
+) -> np.ndarray:
+    """Vectorised bit -> nominal resistance mapping."""
+    bits = np.asarray(bits)
+    return np.where(bits != 0, technology.r_low, technology.r_high).astype(float)
+
+
+def resistances_to_bits(
+    resistances: np.ndarray, technology: NVMTechnology
+) -> np.ndarray:
+    """Vectorised resistance -> bit mapping via the read reference.
+
+    Mirrors a normal read: below the read reference resistance is "1".
+    """
+    from repro.nvm.technology import geometric_mean_resistance
+
+    ref = geometric_mean_resistance(technology.r_low, technology.r_high)
+    r = np.asarray(resistances, dtype=float)
+    return (r < ref).astype(np.uint8)

@@ -1,0 +1,189 @@
+"""Sensing-margin analysis: how many rows can one sense step combine?
+
+The discrimination problem for an n-row OR (paper Section 4.2): after
+activating n rows, the SA must tell apart
+
+- the *weakest "1"*: exactly one LRS cell among n, i.e.
+  ``R_low || R_high/(n-1)``, from
+- the *strongest "0"*: all n cells HRS, i.e. ``R_high/n``.
+
+The nominal ratio is ``(K + n - 1) / n`` (K = ON/OFF ratio), which decays
+towards 1 as n grows.  Feasibility requires the k-sigma variation corners
+of the two composite distributions not to overlap.  On top of the
+electrical limit, the paper caps PCM/ReRAM at 128 rows (the largest
+published PCM TCAM senses 128 cells per match line) and STT-MRAM at 2 rows
+(conservative, low TMR).
+
+This module reproduces those limits (experiment E10) and provides the
+distribution data behind Fig. 5 (experiment E1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.nvm.technology import NVMTechnology, geometric_mean_resistance
+from repro.nvm.variation import DEFAULT_CORNER_SIGMAS, VariationModel
+
+#: Hard search ceiling: beyond this, wordline/bitline RC and driver fan-out
+#: dominate regardless of sensing margin.
+_SEARCH_LIMIT = 4096
+
+
+@dataclass(frozen=True)
+class CompositeCase:
+    """One bitline composite-resistance case with its variation corners."""
+
+    label: str
+    nominal: float
+    lower: float
+    upper: float
+
+    def interval(self) -> tuple:
+        return (self.lower, self.upper)
+
+
+class MarginAnalysis:
+    """Corner-based distinguishability analysis for Pinatubo sensing modes."""
+
+    def __init__(
+        self,
+        technology: NVMTechnology,
+        variation: VariationModel = None,
+    ):
+        self.technology = technology
+        self.variation = variation or VariationModel.for_technology(technology)
+
+    # -- composite-case construction ---------------------------------------
+
+    def or_case(self, n_rows: int, n_ones: int) -> CompositeCase:
+        """Composite case for ``n_ones`` LRS cells among ``n_rows`` open rows.
+
+        Corners combine worst-case per-component corners: the composite's
+        upper corner takes every component at its upper corner (parallel
+        resistance is monotone in each component), and symmetrically for
+        the lower corner.
+        """
+        if n_rows < 1 or not 0 <= n_ones <= n_rows:
+            raise ValueError("invalid (n_rows, n_ones)")
+        t, v = self.technology, self.variation
+        n_zeros = n_rows - n_ones
+
+        def combine(r_low: float, r_high: float) -> float:
+            conductance = 0.0
+            if n_ones:
+                conductance += n_ones / r_low
+            if n_zeros:
+                conductance += n_zeros / r_high
+            return 1.0 / conductance
+
+        nominal = combine(t.r_low, t.r_high)
+        lower = combine(
+            v.lower_corner(t.r_low, "low"), v.lower_corner(t.r_high, "high")
+        )
+        upper = combine(
+            v.upper_corner(t.r_low, "low"), v.upper_corner(t.r_high, "high")
+        )
+        label = f"{n_ones}x1+{n_zeros}x0"
+        return CompositeCase(label, nominal, lower, upper)
+
+    # -- feasibility per mode -----------------------------------------------
+
+    def read_feasible(self) -> bool:
+        """Plain read: single LRS vs single HRS must be disjoint."""
+        one = self.or_case(1, 1)
+        zero = self.or_case(1, 0)
+        return VariationModel.intervals_disjoint(one.interval(), zero.interval())
+
+    def or_feasible(self, n_rows: int) -> bool:
+        """n-row OR: weakest "1" must stay below the strongest "0"."""
+        if n_rows < 2:
+            return self.read_feasible()
+        weakest_one = self.or_case(n_rows, 1)
+        strongest_zero = self.or_case(n_rows, 0)
+        return weakest_one.upper < strongest_zero.lower
+
+    def and_feasible(self, n_rows: int = 2) -> bool:
+        """2-row AND: "1,1" must stay below "1,0".
+
+        For n > 2 the cases ``R_low/(n-1) || R_high`` and ``R_low/n``
+        converge (paper footnote 3), so multi-row AND is rejected outright.
+        """
+        if n_rows != 2:
+            return False
+        all_ones = self.or_case(2, 2)
+        one_zero = self.or_case(2, 1)
+        return all_ones.upper < one_zero.lower
+
+    def or_margin_log(self, n_rows: int) -> float:
+        """Log-domain corner gap for an n-row OR (negative = infeasible)."""
+        weakest_one = self.or_case(n_rows, 1)
+        strongest_zero = self.or_case(n_rows, 0)
+        return math.log(strongest_zero.lower) - math.log(weakest_one.upper)
+
+    # -- limits ---------------------------------------------------------------
+
+    def electrical_or_limit(self) -> int:
+        """Largest n for which the OR corners stay disjoint (no TCAM cap)."""
+        if not self.or_feasible(2):
+            return 1 if self.read_feasible() else 0
+        lo, hi = 2, 2
+        while hi < _SEARCH_LIMIT and self.or_feasible(hi):
+            lo, hi = hi, hi * 2
+        hi = min(hi, _SEARCH_LIMIT)
+        # binary search the last feasible n in (lo, hi]
+        while lo + 1 < hi:
+            mid = (lo + hi) // 2
+            if self.or_feasible(mid):
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    def max_or_rows(self) -> int:
+        """Supported multi-row OR count: electrical limit, TCAM-capped."""
+        return max(1, min(self.electrical_or_limit(), self.technology.tcam_row_limit))
+
+    def max_and_rows(self) -> int:
+        """Supported multi-row AND count (2 if feasible, else read-only 1)."""
+        return 2 if self.and_feasible(2) else 1
+
+    # -- Fig. 5 data ----------------------------------------------------------
+
+    def figure5_cases(self, n_rows: int = 2) -> dict:
+        """The resistance cases and references of paper Fig. 5.
+
+        Returns a dict with the read cases ("1", "0"), the n-row OR cases
+        ("all ones" ... "all zeros"), and the reference placements.
+        """
+        t = self.technology
+        read_cases = [self.or_case(1, 1), self.or_case(1, 0)]
+        or_cases = [self.or_case(n_rows, k) for k in range(n_rows, -1, -1)]
+        ref_read = geometric_mean_resistance(t.r_low, t.r_high)
+        weakest_one = self.or_case(n_rows, 1)
+        strongest_zero = self.or_case(n_rows, 0)
+        ref_or = geometric_mean_resistance(
+            weakest_one.nominal, strongest_zero.nominal
+        )
+        return {
+            "read_cases": read_cases,
+            "or_cases": or_cases,
+            "ref_read": ref_read,
+            "ref_or": ref_or,
+        }
+
+
+def max_multirow_or(
+    technology: NVMTechnology, corner_sigmas: float = DEFAULT_CORNER_SIGMAS
+) -> int:
+    """Convenience wrapper: supported n-row OR count for a technology.
+
+    >>> from repro.nvm.technology import get_technology
+    >>> max_multirow_or(get_technology("pcm"))
+    128
+    >>> max_multirow_or(get_technology("stt"))
+    2
+    """
+    variation = VariationModel.for_technology(technology, corner_sigmas)
+    return MarginAnalysis(technology, variation).max_or_rows()

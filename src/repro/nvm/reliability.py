@@ -1,0 +1,204 @@
+"""Sensing reliability: bit-error rates for (multi-row) current sensing.
+
+The margin analysis (:mod:`repro.nvm.margin`) answers a yes/no question
+at the k-sigma corners.  This module quantifies the tail: the actual
+probability that one sensed bit resolves wrong, as a function of the
+fan-in, the cell spread and the reference placement -- both by Monte
+Carlo over the lognormal cell distributions and by a Fenton-Wilkinson
+analytical approximation (a sum of lognormal conductances is well
+approximated by a lognormal matched in mean and variance).
+
+Variation decomposes into an *iid* per-cell part and a *systematic*
+(correlated) part -- process gradients and drift that move every cell of
+a state together.  The distinction matters enormously for multi-row
+sensing: iid spread concentrates as 1/sqrt(n) when n conductances sum,
+so with iid-only variation arbitrarily wide ORs would sense cleanly;
+it is the systematic component that the corner-based margin analysis
+guards against and that produces the real fan-in cliff.
+
+This is the quantitative backing for the paper's "we assume the
+variation is well controlled so that no overlap exists" and for the
+128-row cap: the BER stays negligible through the supported fan-in and
+climbs steeply once the nominal case ratio (K + n - 1)/n approaches the
+systematic spread.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nvm.sense_amp import ReferenceScheme
+from repro.nvm.technology import NVMTechnology
+from repro.nvm.variation import VariationModel
+
+
+@dataclass(frozen=True)
+class BerPoint:
+    """Error rates of the two critical cases of an n-row OR."""
+
+    n_rows: int
+    p_miss: float  # weakest "1" (one LRS among n) read as 0
+    p_false: float  # strongest "0" (all HRS) read as 1
+
+    @property
+    def worst(self) -> float:
+        return max(self.p_miss, self.p_false)
+
+
+class SensingReliability:
+    """BER estimation for the Pinatubo sensing modes.
+
+    Parameters
+    ----------
+    technology, variation:
+        As elsewhere; ``variation`` carries the *total* per-state sigma.
+    systematic_fraction:
+        Share of each state's sigma that is correlated across the open
+        cells of one operation (process gradient / drift).  The iid part
+        is the orthogonal remainder.  0.3 is a typical attribution for
+        programmed resistive arrays.
+    """
+
+    def __init__(
+        self,
+        technology: NVMTechnology,
+        variation: VariationModel = None,
+        systematic_fraction: float = 0.3,
+    ):
+        if not 0.0 <= systematic_fraction <= 1.0:
+            raise ValueError("systematic_fraction must be in [0, 1]")
+        self.technology = technology
+        self.variation = variation or VariationModel.for_technology(technology)
+        self.references = ReferenceScheme(technology)
+        self.systematic_fraction = systematic_fraction
+
+    def _split_sigma(self, state: str) -> tuple:
+        total = (
+            self.variation.sigma_low if state == "low" else self.variation.sigma_high
+        )
+        sys = total * self.systematic_fraction
+        iid = total * math.sqrt(max(0.0, 1.0 - self.systematic_fraction**2))
+        return iid, sys
+
+    # -- Monte Carlo ---------------------------------------------------------
+
+    def _sample_bitline(
+        self, n_rows: int, n_ones: int, samples: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Parallel bitline resistances for the given composite case."""
+        t = self.technology
+        conductance = np.zeros(samples)
+        if n_ones:
+            iid, sys = self._split_sigma("low")
+            shift = np.exp(rng.normal(0.0, sys, size=(samples, 1)))
+            r = t.r_low * np.exp(rng.normal(0.0, iid, size=(samples, n_ones))) * shift
+            conductance += (1.0 / r).sum(axis=1)
+        n_zeros = n_rows - n_ones
+        if n_zeros:
+            iid, sys = self._split_sigma("high")
+            shift = np.exp(rng.normal(0.0, sys, size=(samples, 1)))
+            r = t.r_high * np.exp(rng.normal(0.0, iid, size=(samples, n_zeros))) * shift
+            conductance += (1.0 / r).sum(axis=1)
+        return 1.0 / conductance
+
+    def monte_carlo_or(
+        self,
+        n_rows: int,
+        samples: int = 100_000,
+        rng: np.random.Generator = None,
+    ) -> BerPoint:
+        """Monte-Carlo error rates of the two critical OR cases."""
+        if n_rows < 2:
+            raise ValueError("OR sensing needs n_rows >= 2")
+        if samples < 1:
+            raise ValueError("samples must be positive")
+        rng = rng or np.random.default_rng(1991)
+        ref = self.references.or_reference(n_rows)
+        # weakest "1": one LRS among n -> error when R_BL >= ref
+        one = self._sample_bitline(n_rows, 1, samples, rng)
+        p_miss = float(np.mean(one >= ref))
+        # strongest "0": all HRS -> error when R_BL < ref
+        zero = self._sample_bitline(n_rows, 0, samples, rng)
+        p_false = float(np.mean(zero < ref))
+        return BerPoint(n_rows=n_rows, p_miss=p_miss, p_false=p_false)
+
+    def monte_carlo_read(
+        self, samples: int = 100_000, rng: np.random.Generator = None
+    ) -> BerPoint:
+        """Single-cell read error rates (the n=1 baseline)."""
+        rng = rng or np.random.default_rng(1991)
+        ref = self.references.read_reference()
+        one = self._sample_bitline(1, 1, samples, rng)
+        zero = self._sample_bitline(1, 0, samples, rng)
+        return BerPoint(
+            n_rows=1,
+            p_miss=float(np.mean(one >= ref)),
+            p_false=float(np.mean(zero < ref)),
+        )
+
+    # -- Fenton-Wilkinson analytical approximation -------------------------------
+
+    @staticmethod
+    def _lognormal_sum_params(mus, sigmas):
+        """Lognormal (mu, sigma) matching the mean/variance of a sum of
+        independent lognormals (Fenton-Wilkinson)."""
+        means = np.exp(np.asarray(mus) + np.asarray(sigmas) ** 2 / 2.0)
+        variances = (np.exp(np.asarray(sigmas) ** 2) - 1.0) * means**2
+        m = means.sum()
+        v = variances.sum()
+        sigma2 = math.log(1.0 + v / m**2)
+        mu = math.log(m) - sigma2 / 2.0
+        return mu, math.sqrt(sigma2)
+
+    def _case_conductance_params(self, n_rows: int, n_ones: int):
+        """FW parameters of the composite bitline *conductance*.
+
+        The iid parts sum Fenton-Wilkinson style; the systematic part is
+        a common multiplier, so its variance adds directly in the log
+        domain (conservatively using the larger state's systematic sigma
+        for mixed cases).
+        """
+        t = self.technology
+        iid_low, sys_low = self._split_sigma("low")
+        iid_high, sys_high = self._split_sigma("high")
+        mus = []
+        sigmas = []
+        # conductance of a lognormal resistance is lognormal with -mu
+        mus += [-math.log(t.r_low)] * n_ones
+        sigmas += [iid_low] * n_ones
+        mus += [-math.log(t.r_high)] * (n_rows - n_ones)
+        sigmas += [iid_high] * (n_rows - n_ones)
+        mu, sigma = self._lognormal_sum_params(mus, sigmas)
+        sys = max(sys_low if n_ones else 0.0, sys_high if n_ones < n_rows else 0.0)
+        return mu, math.sqrt(sigma**2 + sys**2)
+
+    def analytical_or(self, n_rows: int) -> BerPoint:
+        """Fenton-Wilkinson estimate of the critical-case error rates."""
+        if n_rows < 2:
+            raise ValueError("OR sensing needs n_rows >= 2")
+        from math import erf, sqrt
+
+        def normal_cdf(x):
+            return 0.5 * (1.0 + erf(x / sqrt(2.0)))
+
+        ref = self.references.or_reference(n_rows)
+        g_ref = math.log(1.0 / ref)
+        # weakest "1" misread when conductance < reference conductance
+        mu1, s1 = self._case_conductance_params(n_rows, 1)
+        p_miss = normal_cdf((g_ref - mu1) / s1)
+        # strongest "0" misread when conductance >= reference conductance
+        mu0, s0 = self._case_conductance_params(n_rows, 0)
+        p_false = 1.0 - normal_cdf((g_ref - mu0) / s0)
+        return BerPoint(n_rows=n_rows, p_miss=p_miss, p_false=p_false)
+
+    # -- curves --------------------------------------------------------------------
+
+    def ber_curve(self, row_counts, samples: int = 50_000) -> list:
+        """Monte-Carlo worst-case BER over a fan-in sweep."""
+        rng = np.random.default_rng(7)
+        return [
+            self.monte_carlo_or(n, samples=samples, rng=rng) for n in row_counts
+        ]

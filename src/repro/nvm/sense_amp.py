@@ -1,0 +1,197 @@
+"""Current sense amplifier (CSA) with the Pinatubo reference modifications.
+
+A normal NVM read compares the bitline resistance against a single read
+reference.  Pinatubo's key circuit change (paper Fig. 5/6) adds selectable
+reference circuits so the same CSA can resolve:
+
+- READ:   R_BL vs Rref-read  (between R_low and R_high)
+- OR(n):  R_BL vs Rref-or(n) (between R_low||R_high/(n-1) and R_high/n)
+- AND(2): R_BL vs Rref-and   (between R_low/2 and R_low||R_high)
+- XOR(2): two micro-steps -- first operand sampled onto capacitor Ch,
+          second operand read into the latch, two add-on transistors
+          produce the exclusive-or of the two sensed values.
+- INV:    the latch's differential (complement) output.
+
+This module is the *behavioural* model used by the functional array and the
+timing/energy stack; the transient electrical validation of the same circuit
+lives in :mod:`repro.circuits.csa_sim`.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nvm.cell import composite_or_case
+from repro.nvm.technology import NVMTechnology, geometric_mean_resistance
+
+
+class SenseMode(enum.Enum):
+    """Selectable CSA operating modes (the paper's MUX inputs)."""
+
+    READ = "read"
+    OR = "or"
+    AND = "and"
+    XOR = "xor"
+    INV = "inv"
+
+
+class ReferenceScheme:
+    """Computes the per-mode reference resistance for a technology.
+
+    References are placed at the geometric midpoint of the two closest
+    composite-resistance cases, which balances the log-domain margin
+    (current sensing is ratiometric).
+    """
+
+    def __init__(self, technology: NVMTechnology):
+        self.technology = technology
+
+    def read_reference(self) -> float:
+        """Rref-read: between a single LRS and a single HRS cell."""
+        t = self.technology
+        return geometric_mean_resistance(t.r_low, t.r_high)
+
+    def or_reference(self, n_rows: int) -> float:
+        """Rref-or(n): separates "exactly one 1" from "all 0" among n rows.
+
+        Worst "1" case: one LRS in parallel with (n-1) HRS cells.
+        Worst "0" case: n HRS cells in parallel.
+        """
+        if n_rows < 2:
+            raise ValueError("OR sensing requires at least 2 open rows")
+        t = self.technology
+        r_one = composite_or_case(t.r_low, t.r_high, n_rows, 1)
+        r_zero = composite_or_case(t.r_low, t.r_high, n_rows, 0)
+        return geometric_mean_resistance(r_one, r_zero)
+
+    def and_reference(self, n_rows: int = 2) -> float:
+        """Rref-and: separates "all 1" from "at least one 0" (2 rows only).
+
+        Multi-row AND beyond 2 rows is unsupported: R_low/(n-1) || R_high
+        and R_low/n converge as n grows (paper footnote 3).
+        """
+        if n_rows != 2:
+            raise ValueError("AND sensing is only supported for 2 rows")
+        t = self.technology
+        r_all_ones = composite_or_case(t.r_low, t.r_high, 2, 2)  # R_low/2
+        r_one_zero = composite_or_case(t.r_low, t.r_high, 2, 1)  # R_low||R_high
+        return geometric_mean_resistance(r_all_ones, r_one_zero)
+
+    def reference_for(self, mode: SenseMode, n_rows: int) -> float:
+        """Reference resistance for a single-micro-step sensing mode."""
+        if mode is SenseMode.READ or mode is SenseMode.INV or mode is SenseMode.XOR:
+            return self.read_reference()
+        if mode is SenseMode.OR:
+            return self.or_reference(n_rows)
+        if mode is SenseMode.AND:
+            return self.and_reference(n_rows)
+        raise ValueError(f"unknown sense mode: {mode}")
+
+
+@dataclass
+class SenseResult:
+    """Outcome of one CSA sensing operation over a column group."""
+
+    bits: np.ndarray  # uint8 sensed outputs, one per SA
+    micro_steps: int  # 1 for READ/OR/AND/INV, 2 for XOR
+    latency: float  # s
+    energy: float  # J (all SAs in the group)
+
+
+class CurrentSenseAmplifier:
+    """Behavioural CSA bank: one logical instance models a group of SAs.
+
+    Parameters
+    ----------
+    technology:
+        The NVM technology whose resistances are sensed.
+    xor_capable:
+        Whether the Ch capacitor + add-on transistor pair is present
+        (it is in Pinatubo; dropping it models the area-reduced variant).
+    """
+
+    #: Extra energy factor per additional reference circuit actively biased.
+    _REFERENCE_ENERGY_FACTOR = 0.10
+
+    def __init__(self, technology: NVMTechnology, xor_capable: bool = True):
+        self.technology = technology
+        self.references = ReferenceScheme(technology)
+        self.xor_capable = xor_capable
+
+    # -- single-step compare ------------------------------------------------
+
+    def _compare(self, r_bitline: np.ndarray, r_reference: float) -> np.ndarray:
+        """Core current comparison: cell current above reference -> "1".
+
+        Lower bitline resistance means higher cell current than the
+        reference branch, which resolves the latch to logic "1".
+        """
+        r = np.asarray(r_bitline, dtype=float)
+        if np.any(r <= 0):
+            raise ValueError("bitline resistances must be positive")
+        return (r < r_reference).astype(np.uint8)
+
+    def _step_cost(self, n_sas: int, extra_refs: int = 0) -> tuple:
+        t = self.technology
+        energy = n_sas * t.cell_read_energy * (
+            1.0 + self._REFERENCE_ENERGY_FACTOR * extra_refs
+        )
+        return t.sense_time, energy
+
+    # -- public sensing modes -------------------------------------------------
+
+    def sense_read(self, r_bitline: np.ndarray) -> SenseResult:
+        """Normal read: one cell per bitline vs Rref-read."""
+        bits = self._compare(r_bitline, self.references.read_reference())
+        latency, energy = self._step_cost(bits.size)
+        return SenseResult(bits, 1, latency, energy)
+
+    def sense_or(self, r_bitline: np.ndarray, n_rows: int) -> SenseResult:
+        """n-row OR: parallel bitline resistance vs Rref-or(n)."""
+        bits = self._compare(r_bitline, self.references.or_reference(n_rows))
+        latency, energy = self._step_cost(bits.size, extra_refs=1)
+        return SenseResult(bits, 1, latency, energy)
+
+    def sense_and(self, r_bitline: np.ndarray, n_rows: int = 2) -> SenseResult:
+        """2-row AND: parallel bitline resistance vs Rref-and."""
+        bits = self._compare(r_bitline, self.references.and_reference(n_rows))
+        latency, energy = self._step_cost(bits.size, extra_refs=1)
+        return SenseResult(bits, 1, latency, energy)
+
+    def sense_xor(
+        self, r_bitline_a: np.ndarray, r_bitline_b: np.ndarray
+    ) -> SenseResult:
+        """2-row XOR via two micro-steps (Ch capacitor then latch)."""
+        if not self.xor_capable:
+            raise RuntimeError("this CSA variant has no XOR circuitry")
+        ref = self.references.read_reference()
+        first = self._compare(r_bitline_a, ref)  # sampled onto Ch
+        second = self._compare(r_bitline_b, ref)  # resolved in the latch
+        bits = np.bitwise_xor(first, second)
+        lat1, en1 = self._step_cost(bits.size)
+        lat2, en2 = self._step_cost(bits.size)
+        return SenseResult(bits, 2, lat1 + lat2, en1 + en2)
+
+    def sense_inv(self, r_bitline: np.ndarray) -> SenseResult:
+        """INV: differential latch output of a normal read."""
+        read = self._compare(r_bitline, self.references.read_reference())
+        bits = (1 - read).astype(np.uint8)
+        latency, energy = self._step_cost(bits.size)
+        return SenseResult(bits, 1, latency, energy)
+
+    # -- margin helper -------------------------------------------------------
+
+    def log_margin_or(self, n_rows: int) -> float:
+        """Log-domain distance between the closest OR cases at n rows.
+
+        Shrinks as ``ln((K + n - 1) / n)`` where K is the ON/OFF ratio;
+        the margin analysis checks it against the variation corners.
+        """
+        t = self.technology
+        r_one = composite_or_case(t.r_low, t.r_high, n_rows, 1)
+        r_zero = composite_or_case(t.r_low, t.r_high, n_rows, 0)
+        return math.log(r_zero / r_one)

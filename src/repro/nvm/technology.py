@@ -1,0 +1,335 @@
+"""Catalog of emerging-NVM cell technologies.
+
+The paper draws cell resistance ranges from the NVMDB technology database
+(Suzuki et al., UCSD 2015) and evaluates a 1T1R PCM main memory whose
+tRCD-tCL-tWR is 18.3-8.9-151.1 ns (CACTI-3DD-derived).  NVMDB itself is a
+report we substitute with the published prototype numbers the paper cites:
+
+- PCM:        De Sandre et al., ISSCC 2010 (90 nm 4 Mb embedded PCM).
+- STT-MRAM:   Tsuchida et al., ISSCC 2010 (64 Mb MRAM).
+- ReRAM:      Chang et al., JSSC 2013 (the CSA reference design).
+
+Each :class:`NVMTechnology` bundles the electrical, timing, energy and area
+parameters the rest of the stack needs.  All values are per-cell /
+per-operation nominals; statistical spread is layered on by
+:class:`repro.nvm.variation.VariationModel`.
+
+Units follow one convention everywhere: ohms, volts, amps, seconds, joules,
+square metres.  Timing aliases in nanoseconds are exposed as ``*_ns``
+properties for readability at call sites that mirror the paper's tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass, field, fields, replace
+
+
+@dataclass(frozen=True)
+class WriteScheme:
+    """Electrical write behaviour of a resistive cell.
+
+    ``unipolar`` cells (PCM) use a single current polarity with different
+    magnitudes/durations for SET and RESET; ``bipolar`` cells (ReRAM,
+    STT-MRAM) reverse current direction between SET and RESET, which is why
+    their write drivers need both BL- and SL-side current paths
+    (see :mod:`repro.nvm.write_driver`).
+    """
+
+    polarity: str  # "unipolar" | "bipolar"
+    set_current: float  # A
+    reset_current: float  # A
+    set_pulse: float  # s
+    reset_pulse: float  # s
+
+    def __post_init__(self) -> None:
+        if self.polarity not in ("unipolar", "bipolar"):
+            raise ValueError(f"unknown write polarity: {self.polarity!r}")
+        if min(self.set_current, self.reset_current) <= 0:
+            raise ValueError("write currents must be positive")
+        if min(self.set_pulse, self.reset_pulse) <= 0:
+            raise ValueError("write pulses must be positive")
+
+    @property
+    def set_energy(self) -> float:
+        """Per-cell SET energy at a nominal 1 V write headroom (J)."""
+        return self.set_current * self.set_pulse
+
+    @property
+    def reset_energy(self) -> float:
+        """Per-cell RESET energy at a nominal 1 V write headroom (J)."""
+        return self.reset_current * self.reset_pulse
+
+
+@dataclass(frozen=True)
+class NVMTechnology:
+    """Parameters of one resistive memory technology node.
+
+    The logic encoding follows the paper: for PCM and ReRAM the
+    high-resistance state encodes logic "0" (amorphous / HRS), which is the
+    property that makes n-row OR sensing work; STT-MRAM uses the same
+    convention here (AP state = "0").
+    """
+
+    name: str
+    cell_kind: str  # "PCM" | "ReRAM" | "STT-MRAM"
+    feature_nm: float  # lithography feature size F in nm
+    cell_area_f2: float  # cell footprint in F^2 (1T1R)
+    r_low: float  # ohms, logic "1" (LRS / SET / parallel)
+    r_high: float  # ohms, logic "0" (HRS / RESET / anti-parallel)
+    sigma_log_r_low: float  # lognormal sigma of ln(R) in the LRS state
+    sigma_log_r_high: float  # lognormal sigma of ln(R) in the HRS state
+    read_voltage: float  # V applied on BL during sensing
+    sense_time: float  # s, CSA resolve time (the tCL component)
+    activate_time: float  # s, row activation (tRCD component)
+    write_time: float  # s, array write (tWR component)
+    cell_read_energy: float  # J per sensed cell
+    cell_set_energy: float  # J per cell SET
+    cell_reset_energy: float  # J per cell RESET
+    write: WriteScheme = field(repr=False, default=None)  # type: ignore[assignment]
+    endurance: float = 1e8  # write cycles
+    tcam_row_limit: int = 128  # max simultaneously-sensed rows proven by
+    # published TCAM designs in this technology (paper cites a PCM TCAM
+    # with 64-bit WL and 2 cells/bit => 128 cells per match line).
+
+    def __post_init__(self) -> None:
+        if self.r_low <= 0 or self.r_high <= 0:
+            raise ValueError("cell resistances must be positive")
+        if self.r_high <= self.r_low:
+            raise ValueError(
+                f"{self.name}: r_high ({self.r_high}) must exceed r_low ({self.r_low})"
+            )
+        if self.sigma_log_r_low < 0 or self.sigma_log_r_high < 0:
+            raise ValueError("variation sigmas must be non-negative")
+        if self.write is None:
+            object.__setattr__(
+                self,
+                "write",
+                WriteScheme(
+                    polarity="unipolar",
+                    set_current=100e-6,
+                    reset_current=200e-6,
+                    set_pulse=self.write_time,
+                    reset_pulse=self.write_time / 2,
+                ),
+            )
+
+    # -- derived electrical quantities ------------------------------------
+
+    @property
+    def on_off_ratio(self) -> float:
+        """Resistance contrast K = r_high / r_low."""
+        return self.r_high / self.r_low
+
+    @property
+    def read_current_low(self) -> float:
+        """Cell current when sensing a logic "1" (LRS) cell (A)."""
+        return self.read_voltage / self.r_low
+
+    @property
+    def read_current_high(self) -> float:
+        """Cell current when sensing a logic "0" (HRS) cell (A)."""
+        return self.read_voltage / self.r_high
+
+    @property
+    def feature_m(self) -> float:
+        return self.feature_nm * 1e-9
+
+    @property
+    def cell_area_m2(self) -> float:
+        """Physical cell area (m^2) from the F^2 footprint."""
+        return self.cell_area_f2 * self.feature_m**2
+
+    # -- timing aliases in ns (match the paper's table style) -------------
+
+    @property
+    def trcd_ns(self) -> float:
+        return self.activate_time * 1e9
+
+    @property
+    def tcl_ns(self) -> float:
+        return self.sense_time * 1e9
+
+    @property
+    def twr_ns(self) -> float:
+        return self.write_time * 1e9
+
+    def scaled(self, **overrides: float) -> "NVMTechnology":
+        """Return a copy with selected fields replaced (for sweeps)."""
+        return replace(self, **overrides)
+
+    # -- serialisation (custom technologies from config files) -------------
+
+    def to_dict(self) -> dict:
+        """Plain-dict form, JSON-serialisable."""
+        out = asdict(self)
+        out["write"] = asdict(self.write)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NVMTechnology":
+        """Rebuild a technology from :meth:`to_dict` output (or a user's
+        JSON config).  Unknown keys are rejected loudly."""
+        data = dict(data)
+        write_data = data.pop("write", None)
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown technology fields: {sorted(unknown)}")
+        if write_data is not None:
+            write_known = {f.name for f in fields(WriteScheme)}
+            write_unknown = set(write_data) - write_known
+            if write_unknown:
+                raise ValueError(
+                    f"unknown write-scheme fields: {sorted(write_unknown)}"
+                )
+            data["write"] = WriteScheme(**write_data)
+        return cls(**data)
+
+
+def _pcm_90nm() -> NVMTechnology:
+    """1T1R PCM, the paper's case-study technology.
+
+    Timing anchors are the paper's own: tRCD-tCL-tWR = 18.3-8.9-151.1 ns.
+    Resistances follow the 90 nm embedded PCM prototype (LRS ~10 kOhm,
+    HRS ~10 MOhm gives the decade-scale contrast PCM TCAMs exploit; we use
+    a conservative K = 1000).
+    """
+    return NVMTechnology(
+        name="PCM-1T1R",
+        cell_kind="PCM",
+        feature_nm=65.0,
+        cell_area_f2=24.0,
+        r_low=1e4,
+        r_high=1e7,
+        sigma_log_r_low=0.06,
+        sigma_log_r_high=0.25,
+        read_voltage=0.4,
+        sense_time=8.9e-9,
+        activate_time=18.3e-9,
+        write_time=151.1e-9,
+        cell_read_energy=0.08e-12,
+        # NVSim-class per-cell write energies for a scaled 1T1R cell with
+        # write-verify (the energy that actually reaches the GST volume);
+        # the raw driver-current bound is ~5x higher.
+        cell_set_energy=1.8e-12,
+        cell_reset_energy=2.7e-12,
+        write=WriteScheme(
+            polarity="unipolar",
+            set_current=150e-6,
+            reset_current=300e-6,
+            set_pulse=150e-9,
+            reset_pulse=45e-9,
+        ),
+        endurance=1e8,
+        tcam_row_limit=128,
+    )
+
+
+def _reram_hfox() -> NVMTechnology:
+    """HfOx-class bipolar ReRAM (CSA reference design, JSSC 2013)."""
+    return NVMTechnology(
+        name="ReRAM-1T1R",
+        cell_kind="ReRAM",
+        feature_nm=65.0,
+        cell_area_f2=20.0,
+        r_low=2e4,
+        r_high=2e6,
+        sigma_log_r_low=0.06,
+        sigma_log_r_high=0.30,
+        read_voltage=0.3,
+        sense_time=9.5e-9,
+        activate_time=15.0e-9,
+        write_time=100.0e-9,
+        cell_read_energy=0.06e-12,
+        cell_set_energy=1.2e-12,
+        cell_reset_energy=1.0e-12,
+        write=WriteScheme(
+            polarity="bipolar",
+            set_current=80e-6,
+            reset_current=80e-6,
+            set_pulse=50e-9,
+            reset_pulse=50e-9,
+        ),
+        endurance=1e10,
+        tcam_row_limit=128,
+    )
+
+
+def _stt_mram() -> NVMTechnology:
+    """STT-MRAM (64 Mb prototype, ISSCC 2010).
+
+    The tunnelling-magnetoresistance contrast is small (TMR ~150 %, so
+    K ~ 2.5), which is why the paper conservatively limits STT-MRAM to
+    2-row operations.
+    """
+    return NVMTechnology(
+        name="STT-1T1R",
+        cell_kind="STT-MRAM",
+        feature_nm=65.0,
+        cell_area_f2=40.0,
+        r_low=2e3,
+        r_high=5e3,
+        sigma_log_r_low=0.04,
+        sigma_log_r_high=0.04,
+        read_voltage=0.1,
+        sense_time=5.0e-9,
+        activate_time=10.0e-9,
+        write_time=20.0e-9,
+        cell_read_energy=0.03e-12,
+        cell_set_energy=0.3e-12,
+        cell_reset_energy=0.3e-12,
+        write=WriteScheme(
+            polarity="bipolar",
+            set_current=120e-6,
+            reset_current=120e-6,
+            set_pulse=10e-9,
+            reset_pulse=10e-9,
+        ),
+        endurance=1e15,
+        # The paper conservatively assumes maximal 2-row operations for
+        # STT-MRAM because the TMR contrast is low.
+        tcam_row_limit=2,
+    )
+
+
+TECHNOLOGIES: dict = {
+    tech.name: tech for tech in (_pcm_90nm(), _reram_hfox(), _stt_mram())
+}
+
+_ALIASES = {
+    "pcm": "PCM-1T1R",
+    "reram": "ReRAM-1T1R",
+    "stt": "STT-1T1R",
+    "stt-mram": "STT-1T1R",
+}
+
+
+def get_technology(name: str) -> NVMTechnology:
+    """Look up a technology by canonical name or short alias.
+
+    >>> get_technology("pcm").cell_kind
+    'PCM'
+    """
+    key = _ALIASES.get(name.lower(), name)
+    try:
+        return TECHNOLOGIES[key]
+    except KeyError:
+        known = ", ".join(sorted(set(TECHNOLOGIES) | set(_ALIASES)))
+        raise KeyError(f"unknown NVM technology {name!r}; known: {known}") from None
+
+
+def list_technologies() -> list:
+    """Names of all registered technologies, sorted."""
+    return sorted(TECHNOLOGIES)
+
+
+def geometric_mean_resistance(r_a: float, r_b: float) -> float:
+    """Reference placement helper: geometric midpoint of two resistances.
+
+    Current sensing is ratio-driven, so the geometric mean equalises the
+    log-domain margin on either side of the reference.
+    """
+    if r_a <= 0 or r_b <= 0:
+        raise ValueError("resistances must be positive")
+    return math.sqrt(r_a * r_b)

@@ -1,0 +1,128 @@
+"""Lognormal resistance-variation model for resistive cells.
+
+Resistive memories show multiplicative (lognormal) spread in their
+programmed resistance: filament geometry (ReRAM), crystalline fraction
+(PCM) and tunnel-barrier thickness (STT-MRAM) all compound
+multiplicatively.  The LRS is usually programmed with verify loops and is
+tight; the HRS is looser.  The paper assumes "variation is well controlled
+so that no overlap exists between the '1' and '0' region" (Fig. 5); this
+module makes the assumption checkable and feeds the multi-row limits of
+:mod:`repro.nvm.margin`.
+
+Model: ``ln R ~ Normal(ln R_nominal, sigma_state)`` with per-state sigma.
+Worst-case corners at ``k`` sigma are ``R_nominal * exp(+-k * sigma)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nvm.technology import NVMTechnology
+
+#: Default worst-case corner, in sigmas.  Mb-scale arrays are designed to
+#: 4-6 sigma tails; 4 keeps PCM's 128-row OR feasible, matching the paper's
+#: TCAM-anchored assumption.
+DEFAULT_CORNER_SIGMAS = 4.0
+
+
+@dataclass(frozen=True)
+class VariationModel:
+    """Samples and bounds lognormally-distributed cell resistances.
+
+    Parameters
+    ----------
+    sigma_low:
+        Standard deviation of ``ln R`` in the LRS ("1") state.
+    sigma_high:
+        Standard deviation of ``ln R`` in the HRS ("0") state.
+    corner_sigmas:
+        How many sigmas define the worst-case corner used in margin
+        analysis.
+    """
+
+    sigma_low: float
+    sigma_high: float
+    corner_sigmas: float = DEFAULT_CORNER_SIGMAS
+
+    def __post_init__(self) -> None:
+        if self.sigma_low < 0 or self.sigma_high < 0:
+            raise ValueError("sigmas must be non-negative")
+        if self.corner_sigmas <= 0:
+            raise ValueError("corner_sigmas must be positive")
+
+    @classmethod
+    def for_technology(
+        cls, technology: NVMTechnology, corner_sigmas: float = DEFAULT_CORNER_SIGMAS
+    ) -> "VariationModel":
+        """Build the model from a technology's published sigmas."""
+        return cls(
+            sigma_low=technology.sigma_log_r_low,
+            sigma_high=technology.sigma_log_r_high,
+            corner_sigmas=corner_sigmas,
+        )
+
+    def _sigma_for(self, state: str) -> float:
+        if state == "low":
+            return self.sigma_low
+        if state == "high":
+            return self.sigma_high
+        raise ValueError(f"state must be 'low' or 'high', got {state!r}")
+
+    # -- deterministic corners --------------------------------------------
+
+    def lower_corner(self, r_nominal: float, state: str) -> float:
+        """Worst-case low resistance (fast corner) at k sigma."""
+        return r_nominal * math.exp(-self.corner_sigmas * self._sigma_for(state))
+
+    def upper_corner(self, r_nominal: float, state: str) -> float:
+        """Worst-case high resistance (slow corner) at k sigma."""
+        return r_nominal * math.exp(self.corner_sigmas * self._sigma_for(state))
+
+    def corner_interval(self, r_nominal: float, state: str) -> tuple:
+        """(lower, upper) corner resistances around a nominal value."""
+        return (
+            self.lower_corner(r_nominal, state),
+            self.upper_corner(r_nominal, state),
+        )
+
+    # -- sampling -----------------------------------------------------------
+
+    def sample_state(
+        self,
+        r_nominal: float,
+        state: str,
+        rng: np.random.Generator,
+        size=None,
+    ) -> np.ndarray:
+        """Draw lognormal samples for cells all in one state."""
+        if r_nominal <= 0:
+            raise ValueError("nominal resistance must be positive")
+        sigma = self._sigma_for(state)
+        if sigma == 0:
+            return np.full(size if size is not None else (), r_nominal)
+        noise = rng.normal(0.0, sigma, size=size)
+        return r_nominal * np.exp(noise)
+
+    def sample_bits(
+        self,
+        bits: np.ndarray,
+        technology: NVMTechnology,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Per-cell varied resistances for a bit array (1 -> LRS, 0 -> HRS)."""
+        bits = np.asarray(bits)
+        nominal = np.where(bits != 0, technology.r_low, technology.r_high)
+        sigma = np.where(bits != 0, self.sigma_low, self.sigma_high)
+        noise = rng.normal(0.0, 1.0, size=bits.shape)
+        return nominal * np.exp(sigma * noise)
+
+    # -- distinguishability -------------------------------------------------
+
+    @staticmethod
+    def intervals_disjoint(a: tuple, b: tuple) -> bool:
+        """True if two (lo, hi) resistance intervals do not overlap."""
+        (lo_a, hi_a), (lo_b, hi_b) = a, b
+        return hi_a < lo_b or hi_b < lo_a

@@ -1,0 +1,127 @@
+"""Local-wordline (LWL) driver with the Pinatubo multi-row activation latch.
+
+A conventional LWL driver simply amplifies the decoded address, so exactly
+one wordline is high at a time.  Pinatubo adds two transistors per driver
+(paper Fig. 7): one feeds the signal between the driver's inverters back to
+form a latch, the other forces the driver input to ground on RESET.  The
+protocol is:
+
+1. controller sends RESET -- all latches clear, no WL high;
+2. controller issues row addresses one at a time -- each decoded WL latches
+   and *stays* at VDD;
+3. after the last address, all selected wordlines are high simultaneously
+   and sensing may begin.
+
+This module is the behavioural model (state machine + cost); the transient
+electrical validation is :mod:`repro.circuits.lwl_sim`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class WordlineError(RuntimeError):
+    """Protocol violation in the multi-row activation sequence."""
+
+
+@dataclass
+class ActivationCost:
+    """Latency/energy of an activation sequence."""
+
+    latency: float  # s
+    energy: float  # J
+
+
+@dataclass
+class LocalWordlineDriver:
+    """State machine for one mat's LWL drivers.
+
+    Parameters
+    ----------
+    n_rows:
+        Number of wordlines driven.
+    max_open_rows:
+        Technology sensing limit (from :func:`repro.nvm.margin.max_multirow_or`);
+        latching more rows than the SA can discriminate is rejected.
+    activate_time:
+        Row activation latency (the technology's tRCD component); the first
+        activation pays it in full, subsequent latched activations overlap
+        decode with the already-open rows and pay ``address_issue_time``.
+    address_issue_time:
+        Per-additional-address decode/latch time (one command slot).
+    wl_energy:
+        Energy to swing one wordline (J).
+    """
+
+    n_rows: int
+    max_open_rows: int = 1
+    activate_time: float = 18.3e-9
+    address_issue_time: float = 1.25e-9
+    wl_energy: float = 0.5e-12
+    _latched: set = field(default_factory=set, repr=False)
+    _reset_done: bool = field(default=True, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_rows < 1:
+            raise ValueError("n_rows must be >= 1")
+        if self.max_open_rows < 1:
+            raise ValueError("max_open_rows must be >= 1")
+
+    # -- protocol ------------------------------------------------------------
+
+    def reset(self) -> ActivationCost:
+        """RESET pulse: clear every latch (start of a multi-row sequence)."""
+        self._latched.clear()
+        self._reset_done = True
+        return ActivationCost(latency=self.address_issue_time, energy=self.wl_energy)
+
+    def activate(self, row: int) -> ActivationCost:
+        """Decode and latch one row address."""
+        if not 0 <= row < self.n_rows:
+            raise WordlineError(f"row {row} out of range [0, {self.n_rows})")
+        if not self._reset_done:
+            raise WordlineError("activate before RESET: latches hold stale rows")
+        if row in self._latched:
+            raise WordlineError(f"row {row} already latched")
+        if len(self._latched) >= self.max_open_rows:
+            raise WordlineError(
+                f"cannot latch more than {self.max_open_rows} rows "
+                f"(technology sensing limit)"
+            )
+        first = not self._latched
+        self._latched.add(row)
+        latency = self.activate_time if first else self.address_issue_time
+        return ActivationCost(latency=latency, energy=self.wl_energy)
+
+    def activate_many(self, rows) -> ActivationCost:
+        """RESET followed by latching each row in ``rows``; total cost."""
+        total = self.reset()
+        for row in rows:
+            cost = self.activate(row)
+            total = ActivationCost(
+                latency=total.latency + cost.latency,
+                energy=total.energy + cost.energy,
+            )
+        return total
+
+    def precharge(self) -> ActivationCost:
+        """Close all open rows (end of the operation)."""
+        cost = ActivationCost(
+            latency=self.address_issue_time,
+            energy=self.wl_energy * max(1, len(self._latched)),
+        )
+        self._latched.clear()
+        self._reset_done = False
+        return cost
+
+    # -- inspection ------------------------------------------------------------
+
+    @property
+    def open_rows(self) -> tuple:
+        """Currently latched (high) wordlines, sorted."""
+        return tuple(sorted(self._latched))
+
+    @property
+    def n_open(self) -> int:
+        return len(self._latched)

@@ -1,0 +1,38 @@
+"""System support for Pinatubo (paper Section 5 / Fig. 4).
+
+The software stack has four layers, each modelled here:
+
+- **programming model** (:mod:`repro.runtime.api`): ``pim_malloc`` and
+  ``pim_op``, exposed through :class:`PimRuntime`;
+- **C run-time / OS** (:mod:`repro.runtime.os_mm`): PIM-aware placement
+  that keeps co-allocated bit-vectors in one subarray so operations stay
+  intra-subarray, and exposes physical addresses to the driver;
+- **driver library** (:mod:`repro.runtime.driver`): reorders and batches
+  operation requests (minimising mode-register switches), then issues
+  extended PIM instructions;
+- **extended ISA / hardware control** (:mod:`repro.runtime.isa`):
+  instruction encoding and the translation to DDR commands + MR4 writes.
+"""
+
+from repro.runtime.allocator import BitVectorHandle, PimAllocator, AllocationError
+from repro.runtime.os_mm import PimMemoryManager, PlacementPolicy
+from repro.runtime.isa import PimInstruction, encode_instruction, decode_instruction
+from repro.runtime.driver import PimDriver, PimRequest
+from repro.runtime.api import PimRuntime
+from repro.runtime.wear import WearMonitor, WearReport
+
+__all__ = [
+    "WearMonitor",
+    "WearReport",
+    "BitVectorHandle",
+    "PimAllocator",
+    "AllocationError",
+    "PimMemoryManager",
+    "PlacementPolicy",
+    "PimInstruction",
+    "encode_instruction",
+    "decode_instruction",
+    "PimDriver",
+    "PimRequest",
+    "PimRuntime",
+]

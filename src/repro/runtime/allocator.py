@@ -1,0 +1,83 @@
+"""The PIM-aware allocation layer: ``pim_malloc`` semantics.
+
+"The C/C++ run-time library is modified to provide a PIM-aware data
+allocation function.  It ensures that different bit-vectors are allocated
+to different memory rows, since Pinatubo is only able to process
+inter-row operations."  A :class:`BitVectorHandle` is what ``pim_malloc``
+returns: an opaque, row-aligned region of main memory.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.memsim.geometry import MemoryGeometry
+from repro.runtime.os_mm import PimMemoryManager
+
+
+class AllocationError(RuntimeError):
+    """pim_malloc / pim_free misuse."""
+
+
+@dataclass(frozen=True)
+class BitVectorHandle:
+    """An allocated bit-vector: row-aligned frames in main memory."""
+
+    vid: int
+    n_bits: int
+    frames: tuple
+    group: str = "default"
+
+    def __post_init__(self) -> None:
+        if self.n_bits < 1:
+            raise ValueError("n_bits must be positive")
+        if not self.frames:
+            raise ValueError("a handle needs at least one frame")
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.frames)
+
+
+class PimAllocator:
+    """Row-granular allocator over the OS memory manager."""
+
+    def __init__(self, manager: PimMemoryManager):
+        self.manager = manager
+        self._ids = itertools.count(1)
+        self._live: dict = {}
+
+    @property
+    def geometry(self) -> MemoryGeometry:
+        return self.manager.geometry
+
+    def pim_malloc(self, n_bits: int, group: str = "default") -> BitVectorHandle:
+        """Allocate a bit-vector of ``n_bits``, row-aligned.
+
+        Vectors sharing a ``group`` are co-located in the same subarray
+        whenever possible, which is what makes their mutual operations
+        intra-subarray.
+        """
+        if n_bits < 1:
+            raise AllocationError("pim_malloc needs a positive bit length")
+        n_rows = self.geometry.rows_for_bits(n_bits)
+        frames = self.manager.allocate_rows(n_rows, group)
+        handle = BitVectorHandle(
+            vid=next(self._ids), n_bits=n_bits, frames=tuple(frames), group=group
+        )
+        self._live[handle.vid] = handle
+        return handle
+
+    def pim_free(self, handle: BitVectorHandle) -> None:
+        if handle.vid not in self._live:
+            raise AllocationError(f"handle {handle.vid} is not live")
+        del self._live[handle.vid]
+        self.manager.free_rows(handle.frames)
+
+    @property
+    def live_handles(self) -> int:
+        return len(self._live)
+
+    def is_live(self, handle: BitVectorHandle) -> bool:
+        return handle.vid in self._live

@@ -1,0 +1,119 @@
+"""The programming model: :class:`PimRuntime`.
+
+The two calls the paper gives programmers (Fig. 4)::
+
+    pim_malloc( )                      ->  PimRuntime.pim_malloc(n_bits)
+    pim_op(dst, src1, src2,
+           data_t, op_t, len)          ->  PimRuntime.pim_op(op, dst, srcs)
+
+plus host-side reads/writes of vector contents and cost accounting.  This
+is the layer applications (:mod:`repro.apps`) are written against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pinatubo import PinatuboSystem
+from repro.core.stats import OpAccounting
+from repro.memsim.geometry import DEFAULT_GEOMETRY, MemoryGeometry
+from repro.runtime.allocator import BitVectorHandle, PimAllocator
+from repro.runtime.driver import PimDriver
+from repro.runtime.os_mm import PimMemoryManager, PlacementPolicy
+
+
+class PimRuntime:
+    """End-to-end Pinatubo software stack over one memory system."""
+
+    def __init__(
+        self,
+        system: PinatuboSystem = None,
+        policy: PlacementPolicy = PlacementPolicy.PIM_AWARE,
+    ):
+        self.system = system or PinatuboSystem.pcm()
+        self.manager = PimMemoryManager(self.system.geometry, policy)
+        self.allocator = PimAllocator(self.manager)
+        self.driver = PimDriver(self.system.executor)
+        self.host_accounting = OpAccounting()
+
+    # -- canned configurations ----------------------------------------------
+
+    @classmethod
+    def pcm(cls, max_rows: int = None, geometry: MemoryGeometry = DEFAULT_GEOMETRY):
+        return cls(PinatuboSystem.pcm(max_rows=max_rows, geometry=geometry))
+
+    @classmethod
+    def stt(cls):
+        return cls(PinatuboSystem.stt())
+
+    # -- programming model ----------------------------------------------------
+
+    def pim_malloc(self, n_bits: int, group: str = "default") -> BitVectorHandle:
+        """Allocate a bit-vector in PIM memory (row-aligned)."""
+        return self.allocator.pim_malloc(n_bits, group)
+
+    def pim_free(self, handle: BitVectorHandle) -> None:
+        self.allocator.pim_free(handle)
+
+    def pim_op(self, op, dest, sources, n_bits: int = None,
+               overlap_chunks: bool = False):
+        """``dest = op(sources)`` executed in memory; returns the OpResult.
+
+        ``overlap_chunks=True`` (extension) lets the chunks of a long
+        vector execute concurrently when the placement policy striped
+        them across channels.
+        """
+        return self.driver.execute(op, dest, sources, n_bits, overlap_chunks)
+
+    def pim_op_to_host(self, op, scratch, sources, n_bits: int = None) -> np.ndarray:
+        """``op(sources)`` with the result streamed straight to the host.
+
+        The paper's alternative emission path ("results can be sent to
+        the I/O bus"): no destination row is programmed by the final
+        step; ``scratch`` only holds intermediates when the operand list
+        decomposes.  Returns the result bits.
+        """
+        sources = list(sources)
+        if n_bits is None:
+            n_bits = min([scratch.n_bits] + [s.n_bits for s in sources])
+        bits, result = self.system.executor.bitwise_to_host(
+            op,
+            list(scratch.frames),
+            [list(s.frames) for s in sources],
+            n_bits,
+        )
+        self.driver.stats.instructions += 1
+        self.driver.stats.accounting = self.driver.stats.accounting.merged(
+            result.accounting
+        )
+        return bits
+
+    def pim_write(self, handle: BitVectorHandle, bits: np.ndarray) -> None:
+        """Host write of a vector's contents (pays bus cost)."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.size > handle.n_bits:
+            raise ValueError("data longer than the allocated vector")
+        acct = self.system.executor.write_vector(handle.frames, bits)
+        self.host_accounting = self.host_accounting.merged(acct)
+
+    def pim_read(self, handle: BitVectorHandle, n_bits: int = None) -> np.ndarray:
+        """Host read of a vector's contents (pays bus cost)."""
+        n_bits = handle.n_bits if n_bits is None else n_bits
+        if n_bits > handle.n_bits:
+            raise ValueError("read longer than the allocated vector")
+        bits, acct = self.system.executor.read_vector(handle.frames, n_bits)
+        self.host_accounting = self.host_accounting.merged(acct)
+        return bits
+
+    # -- accounting --------------------------------------------------------------
+
+    @property
+    def pim_accounting(self) -> OpAccounting:
+        """Cost of every in-memory operation issued through the driver."""
+        return self.driver.stats.accounting
+
+    def total_latency(self) -> float:
+        return self.pim_accounting.latency + self.host_accounting.latency
+
+    def total_energy(self) -> float:
+        return self.pim_accounting.energy + self.host_accounting.energy

@@ -1,0 +1,197 @@
+"""The dynamic-linked driver library (paper Section 5).
+
+"Based on the PAs, the dynamic linked driver library first optimizes and
+reschedules the operation requests, and then issues extended instruction
+for PIM."  The driver here:
+
+1. collects :class:`PimRequest` objects (handles, not addresses);
+2. resolves physical placement through the OS manager;
+3. *reorders* the batch so same-op requests run back-to-back (each op
+   switch costs a mode-register write) while preserving data dependences
+   (a request reading a vector an earlier request writes cannot hop over
+   it);
+4. encodes each request as an extended instruction and hands it to the
+   executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.executor import OpResult, PinatuboExecutor, PlacementError
+from repro.core.ops import PimOp
+from repro.core.stats import OpAccounting
+from repro.runtime.allocator import BitVectorHandle
+from repro.runtime.isa import PimInstruction, decode_instruction, encode_instruction
+
+#: numpy ufuncs for the host fallback path
+_HOST_UFUNCS = {
+    PimOp.OR: np.bitwise_or,
+    PimOp.AND: np.bitwise_and,
+    PimOp.XOR: np.bitwise_xor,
+}
+
+
+@dataclass(frozen=True)
+class PimRequest:
+    """One queued pim_op call."""
+
+    op: PimOp
+    dest: BitVectorHandle
+    sources: tuple
+    n_bits: int
+    overlap_chunks: bool = False
+
+    def depends_on(self, other: "PimRequest") -> bool:
+        """True if this request must stay after ``other``."""
+        reads = {h.vid for h in self.sources}
+        writes_mine = self.dest.vid
+        # RAW: we read what the other wrote; WAW/WAR on the destination.
+        if other.dest.vid in reads:
+            return True
+        if other.dest.vid == writes_mine:
+            return True
+        if writes_mine in {h.vid for h in other.sources}:
+            return True
+        return False
+
+
+@dataclass
+class DriverStats:
+    requests: int = 0
+    instructions: int = 0
+    mode_switches: int = 0
+    host_fallbacks: int = 0
+    accounting: OpAccounting = field(default_factory=OpAccounting)
+
+
+class PimDriver:
+    """Batches, reorders and issues PIM requests."""
+
+    def __init__(self, executor: PinatuboExecutor):
+        self.executor = executor
+        self._queue: list = []
+        self.stats = DriverStats()
+
+    # -- request queue ------------------------------------------------------
+
+    def submit(
+        self,
+        op,
+        dest: BitVectorHandle,
+        sources,
+        n_bits: int = None,
+        overlap_chunks: bool = False,
+    ) -> None:
+        """Queue one operation (flushed explicitly or via ``flush``)."""
+        op = PimOp.parse(op)
+        sources = tuple(sources)
+        if n_bits is None:
+            n_bits = min([dest.n_bits] + [s.n_bits for s in sources])
+        self._queue.append(PimRequest(op, dest, sources, n_bits, overlap_chunks))
+        self.stats.requests += 1
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _reorder(self, requests) -> list:
+        """Stable op-grouping that respects data dependences.
+
+        Greedy list scheduling: repeatedly emit the longest run of
+        ready requests sharing one op.
+        """
+        remaining = list(requests)
+        ordered = []
+        while remaining:
+            # ready = requests with no dependence on anything still queued
+            # before them
+            ready_idx = []
+            for i, req in enumerate(remaining):
+                if not any(req.depends_on(prev) for prev in remaining[:i]):
+                    ready_idx.append(i)
+            if not ready_idx:  # cycle cannot happen with RAW/WAW/WAR; safety
+                ready_idx = [0]
+            # pick the op with the most ready requests
+            by_op = {}
+            for i in ready_idx:
+                by_op.setdefault(remaining[i].op, []).append(i)
+            best_op = max(by_op, key=lambda op: len(by_op[op]))
+            # keep submission order within the emitted group; pop from the
+            # back so earlier indices stay valid
+            ordered.extend(remaining[i] for i in by_op[best_op])
+            for i in reversed(by_op[best_op]):
+                remaining.pop(i)
+        return ordered
+
+    def flush(self) -> list:
+        """Issue every queued request; returns the per-request results."""
+        batch, self._queue = self._queue, []
+        results = []
+        last_op = None
+        for req in self._reorder(batch):
+            if req.op != last_op:
+                self.stats.mode_switches += 1
+                last_op = req.op
+            instr = PimInstruction(
+                op=req.op,
+                dest_frame=req.dest.frames[0],
+                source_frames=tuple(s.frames[0] for s in req.sources),
+                n_bits=req.n_bits,
+            )
+            # round-trip through the wire format: the controller sees bytes
+            decoded = decode_instruction(encode_instruction(instr))
+            assert decoded == instr
+            try:
+                result = self.executor.bitwise(
+                    req.op,
+                    list(req.dest.frames),
+                    [list(s.frames) for s in req.sources],
+                    req.n_bits,
+                    overlap_chunks=req.overlap_chunks,
+                )
+            except PlacementError:
+                # operands span chips/channels: the memory cannot combine
+                # them, so the driver falls back to the host path (read
+                # every operand over the bus, compute, write back) -- the
+                # cost the PIM-aware allocator exists to avoid
+                result = self._host_fallback(req)
+                self.stats.host_fallbacks += 1
+            self.stats.instructions += 1
+            self.stats.accounting = self.stats.accounting.merged(result.accounting)
+            results.append(result)
+        return results
+
+    def _host_fallback(self, req: PimRequest) -> OpResult:
+        """Execute one request on the host: bus reads + CPU op + write."""
+        acct = OpAccounting()
+        if req.op is PimOp.INV:
+            bits, read_acct = self.executor.read_vector(
+                list(req.sources[0].frames), req.n_bits
+            )
+            acct = acct.merged(read_acct)
+            out = (1 - bits).astype(np.uint8)
+        else:
+            ufunc = _HOST_UFUNCS[req.op]
+            out = None
+            for source in req.sources:
+                bits, read_acct = self.executor.read_vector(
+                    list(source.frames), req.n_bits
+                )
+                acct = acct.merged(read_acct)
+                out = bits if out is None else ufunc(out, bits)
+        write_acct = self.executor.write_vector(list(req.dest.frames), out)
+        acct = acct.merged(write_acct)
+        acct.count_bits(req.n_bits * len(req.sources))
+        return OpResult(op=req.op, accounting=acct, steps=0, localities={})
+
+    def execute(
+        self, op, dest, sources, n_bits: int = None, overlap_chunks: bool = False
+    ) -> OpResult:
+        """Submit + flush one request (the common synchronous path)."""
+        self.submit(op, dest, sources, n_bits, overlap_chunks)
+        return self.flush()[0]

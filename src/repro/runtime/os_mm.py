@@ -1,0 +1,202 @@
+"""PIM-aware OS memory management (paper Section 5).
+
+"The OS provides the PIM-aware memory management that maximizes the
+opportunity for calling intra-subarray operations" -- this module is that
+policy.  Bit-vectors tagged with the same *affinity group* are placed in
+the same subarray whenever free rows remain there; a group spills to the
+next subarray (then bank, then rank) only when full.  The manager also
+plays the OS's second role: exposing the physical placement (row frames)
+to the driver library, the paper's "expose PA by sys-call".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.memsim.address import AddressMapper, RowAddress
+from repro.memsim.geometry import DEFAULT_GEOMETRY, MemoryGeometry
+
+
+class PlacementPolicy(enum.Enum):
+    """How the OS maps new bit-vector rows to physical frames."""
+
+    #: Fill one subarray before moving to the next (PIM-friendly).
+    PIM_AWARE = "pim_aware"
+    #: Scatter rows across banks (a conventional bank-interleaving OS);
+    #: used to model the paper's random-access cases.
+    INTERLEAVED = "interleaved"
+    #: Extension beyond the paper: chunk c of every vector in a group
+    #: goes to a dedicated subarray on channel ``c % channels``.  Each
+    #: chunk's operation stays intra-subarray, while the chunks of one
+    #: long vector can execute on different channels concurrently
+    #: (see ``PinatuboExecutor.bitwise(overlap_chunks=True)``).
+    CHANNEL_STRIPED = "channel_striped"
+
+
+@dataclass
+class _SubarraySlot:
+    """Free-row bookkeeping for one subarray."""
+
+    base_frame: int
+    free_rows: list = field(default_factory=list)
+
+
+class PimMemoryManager:
+    """Tracks free rows and serves placement requests."""
+
+    def __init__(
+        self,
+        geometry: MemoryGeometry = DEFAULT_GEOMETRY,
+        policy: PlacementPolicy = PlacementPolicy.PIM_AWARE,
+    ):
+        self.geometry = geometry
+        self.policy = policy
+        self.mapper = AddressMapper(geometry)
+        g = geometry
+        self._subarrays = []
+        for channel in range(g.channels):
+            for rank in range(g.ranks_per_channel):
+                for bank in range(g.banks_per_rank):
+                    for sub in range(g.subarrays_per_bank):
+                        base = self.mapper.encode(
+                            RowAddress(channel, rank, bank, sub, 0)
+                        )
+                        self._subarrays.append(
+                            _SubarraySlot(
+                                base_frame=base,
+                                free_rows=list(range(g.rows_per_subarray)),
+                            )
+                        )
+        #: affinity group -> index of the subarray currently being filled
+        self._group_cursor: dict = {}
+        #: (group, chunk_channel) -> subarray index (CHANNEL_STRIPED)
+        self._stripe_cursor: dict = {}
+        self._next_fresh_subarray = 0
+        self._interleave_cursor = 0
+        self.frames_allocated = 0
+        #: subarrays per channel, for the striped policy's channel maths
+        self._subarrays_per_channel = len(self._subarrays) // g.channels
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def total_free_rows(self) -> int:
+        return sum(len(s.free_rows) for s in self._subarrays)
+
+    def frame_address(self, frame: int) -> RowAddress:
+        """The "expose PA by sys-call" interface for the driver."""
+        return self.mapper.decode(frame)
+
+    # -- allocation -------------------------------------------------------------
+
+    def allocate_rows(self, n_rows: int, group: str = "default") -> list:
+        """Allocate ``n_rows`` frames per the placement policy."""
+        if n_rows < 1:
+            raise ValueError("n_rows must be positive")
+        if n_rows > self.total_free_rows:
+            raise MemoryError(
+                f"out of PIM memory: need {n_rows} rows, "
+                f"{self.total_free_rows} free"
+            )
+        if self.policy is PlacementPolicy.INTERLEAVED:
+            frames = self._allocate_interleaved(n_rows)
+        elif self.policy is PlacementPolicy.CHANNEL_STRIPED:
+            frames = self._allocate_channel_striped(n_rows, group)
+        else:
+            frames = self._allocate_pim_aware(n_rows, group)
+        self.frames_allocated += n_rows
+        return frames
+
+    def _allocate_pim_aware(self, n_rows: int, group: str) -> list:
+        frames = []
+        while len(frames) < n_rows:
+            slot = self._current_slot(group)
+            if not slot.free_rows:
+                self._advance_group(group)
+                continue
+            row = slot.free_rows.pop(0)
+            frames.append(slot.base_frame + row)
+        return frames
+
+    def _current_slot(self, group: str) -> _SubarraySlot:
+        if group not in self._group_cursor:
+            self._group_cursor[group] = self._claim_fresh_subarray()
+        return self._subarrays[self._group_cursor[group]]
+
+    def _claim_fresh_subarray(self) -> int:
+        n = len(self._subarrays)
+        for _ in range(n):
+            idx = self._next_fresh_subarray
+            self._next_fresh_subarray = (idx + 1) % n
+            if self._subarrays[idx].free_rows:
+                return idx
+        raise MemoryError("no subarray with free rows")
+
+    def _advance_group(self, group: str) -> None:
+        self._group_cursor[group] = self._claim_fresh_subarray()
+
+    def _allocate_channel_striped(self, n_rows: int, group: str) -> list:
+        """Row i of the vector goes to the group's subarray on channel
+        ``i % channels``; vectors in one group share those subarrays, so
+        chunk-c operations stay intra-subarray while different chunks
+        live on different channels."""
+        frames = []
+        n_channels = self.geometry.channels
+        for i in range(n_rows):
+            channel = i % n_channels
+            key = (group, channel)
+            while True:
+                if key not in self._stripe_cursor:
+                    self._stripe_cursor[key] = self._claim_fresh_on_channel(channel)
+                slot = self._subarrays[self._stripe_cursor[key]]
+                if slot.free_rows:
+                    break
+                del self._stripe_cursor[key]
+            row = slot.free_rows.pop(0)
+            frames.append(slot.base_frame + row)
+        return frames
+
+    def _claim_fresh_on_channel(self, channel: int) -> int:
+        """First subarray with free rows on the given channel."""
+        start = channel * self._subarrays_per_channel
+        for offset in range(self._subarrays_per_channel):
+            idx = start + offset
+            if self._subarrays[idx].free_rows:
+                return idx
+        raise MemoryError(f"no free subarray on channel {channel}")
+
+    def _allocate_interleaved(self, n_rows: int) -> list:
+        frames = []
+        n = len(self._subarrays)
+        while len(frames) < n_rows:
+            idx = self._interleave_cursor
+            self._interleave_cursor = (idx + 1) % n
+            slot = self._subarrays[idx]
+            if slot.free_rows:
+                row = slot.free_rows.pop(0)
+                frames.append(slot.base_frame + row)
+        return frames
+
+    # -- release --------------------------------------------------------------
+
+    def free_rows(self, frames) -> None:
+        """Return frames to their subarrays' free lists."""
+        g = self.geometry
+        for frame in frames:
+            addr = self.mapper.decode(frame)
+            sub_index = self._subarray_index(addr)
+            slot = self._subarrays[sub_index]
+            row = frame - slot.base_frame
+            if row in slot.free_rows:
+                raise ValueError(f"double free of frame {frame}")
+            slot.free_rows.append(row)
+            self.frames_allocated -= 1
+
+    def _subarray_index(self, addr: RowAddress) -> int:
+        g = self.geometry
+        idx = addr.channel
+        idx = idx * g.ranks_per_channel + addr.rank
+        idx = idx * g.banks_per_rank + addr.bank
+        idx = idx * g.subarrays_per_bank + addr.subarray
+        return idx

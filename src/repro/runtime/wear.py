@@ -1,0 +1,97 @@
+"""Endurance monitoring for the NVM main memory.
+
+PCM cells wear out (~1e8 programs in the catalog); a PIM system that
+repeatedly writes operation results to the same accumulator rows
+concentrates wear exactly where conventional wear-levelling (which sees
+only host writes) cannot.  This module watches the functional memory's
+per-frame program counts and answers the questions an operator would
+ask: how skewed is the wear, which rows are hot, and how long until the
+hottest row dies at the observed rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memsim.mainmem import MainMemory
+from repro.nvm.technology import NVMTechnology, get_technology
+
+SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+
+
+@dataclass
+class WearReport:
+    """Snapshot of write-wear across the memory."""
+
+    frames_written: int
+    total_writes: int
+    max_writes: int
+    mean_writes: float
+    hottest: list  # [(frame, writes)], descending, capped
+
+    @property
+    def imbalance(self) -> float:
+        """Max-to-mean write ratio (1.0 = perfectly level)."""
+        if self.mean_writes == 0:
+            return 0.0
+        return self.max_writes / self.mean_writes
+
+
+class WearMonitor:
+    """Tracks frame wear against the technology's endurance budget."""
+
+    def __init__(
+        self,
+        memory: MainMemory,
+        technology: NVMTechnology = None,
+        hot_list_size: int = 8,
+    ):
+        if hot_list_size < 1:
+            raise ValueError("hot_list_size must be positive")
+        self.memory = memory
+        self.technology = technology or get_technology("pcm")
+        self.hot_list_size = hot_list_size
+
+    def report(self) -> WearReport:
+        histogram = self.memory.write_histogram()
+        if not histogram:
+            return WearReport(0, 0, 0, 0.0, [])
+        writes = list(histogram.values())
+        hottest = sorted(histogram.items(), key=lambda kv: kv[1], reverse=True)
+        return WearReport(
+            frames_written=len(histogram),
+            total_writes=sum(writes),
+            max_writes=max(writes),
+            mean_writes=sum(writes) / len(writes),
+            hottest=hottest[: self.hot_list_size],
+        )
+
+    def remaining_endurance(self, frame: int) -> float:
+        """Fraction of the frame's program budget still unused."""
+        used = self.memory.frame_writes(frame)
+        return max(0.0, 1.0 - used / self.technology.endurance)
+
+    def lifetime_years(self, elapsed_seconds: float) -> float:
+        """Years until the hottest frame exhausts its endurance, if the
+        observed write rate continues."""
+        if elapsed_seconds <= 0:
+            raise ValueError("elapsed_seconds must be positive")
+        report = self.report()
+        if report.max_writes == 0:
+            return float("inf")
+        rate = report.max_writes / elapsed_seconds  # writes/s on the hot frame
+        remaining = self.technology.endurance - report.max_writes
+        if remaining <= 0:
+            return 0.0
+        return remaining / rate / SECONDS_PER_YEAR
+
+    def over_budget_frames(self, budget_fraction: float = 1.0) -> list:
+        """Frames whose program count exceeds a fraction of endurance."""
+        if budget_fraction <= 0:
+            raise ValueError("budget_fraction must be positive")
+        limit = self.technology.endurance * budget_fraction
+        return sorted(
+            frame
+            for frame, writes in self.memory.write_histogram().items()
+            if writes > limit
+        )

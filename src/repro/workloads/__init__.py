@@ -1,0 +1,18 @@
+"""Workload descriptors and operation traces.
+
+The evaluation drives every scheme with the same abstract *operation
+trace*: a sequence of bulk bitwise operations (op, operand count, vector
+length, access pattern) interleaved with scalar CPU work.  Applications
+generate traces; the harness prices a trace on any
+:class:`~repro.baselines.base.BitwiseBaseline`.
+
+- :mod:`repro.workloads.spec` -- the paper's Vector benchmark descriptors
+  ("19-16-7s" = 2^19-bit vectors, 2^16 of them, 2^7-row OR ops,
+  sequential).
+- :mod:`repro.workloads.trace` -- trace container and pricing.
+"""
+
+from repro.workloads.spec import VectorSpec
+from repro.workloads.trace import BitwiseEvent, CpuEvent, OpTrace, WorkloadCost
+
+__all__ = ["VectorSpec", "BitwiseEvent", "CpuEvent", "OpTrace", "WorkloadCost"]

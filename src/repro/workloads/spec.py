@@ -1,0 +1,82 @@
+"""The Vector microbenchmark descriptors (paper Table 1).
+
+"dataset: e.g. 19-16-1(s/r) means 2^19-length vector, 2^16 vectors,
+2^1-row OR ops (sequential/random access)".  The paper's five instances:
+19-16-1s, 19-16-7s, 14-12-7s, 14-16-7s, 14-16-7r.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.baselines.base import AccessPattern
+
+_SPEC_RE = re.compile(r"^(\d+)-(\d+)-(\d+)([sr])$")
+
+
+@dataclass(frozen=True)
+class VectorSpec:
+    """One Vector benchmark instance."""
+
+    log_length: int  # vector length = 2^log_length bits
+    log_vectors: int  # number of vectors = 2^log_vectors
+    log_rows: int  # rows per OR op = 2^log_rows operands... see note
+    access: AccessPattern
+
+    def __post_init__(self) -> None:
+        if self.log_length < 1 or self.log_vectors < 1 or self.log_rows < 1:
+            raise ValueError("spec exponents must be >= 1")
+
+    @classmethod
+    def parse(cls, text: str) -> "VectorSpec":
+        """Parse a paper-style descriptor.
+
+        >>> VectorSpec.parse("19-16-7s").operands_per_op
+        128
+        """
+        m = _SPEC_RE.match(text.strip())
+        if not m:
+            raise ValueError(
+                f"bad vector spec {text!r} (expected e.g. '19-16-7s')"
+            )
+        log_length, log_vectors, log_rows, mode = m.groups()
+        return cls(
+            log_length=int(log_length),
+            log_vectors=int(log_vectors),
+            log_rows=int(log_rows),
+            access=AccessPattern.SEQUENTIAL if mode == "s" else AccessPattern.RANDOM,
+        )
+
+    @property
+    def vector_bits(self) -> int:
+        return 1 << self.log_length
+
+    @property
+    def n_vectors(self) -> int:
+        return 1 << self.log_vectors
+
+    @property
+    def operands_per_op(self) -> int:
+        """Rows combined per OR operation (2^log_rows)."""
+        return 1 << self.log_rows
+
+    @property
+    def n_ops(self) -> int:
+        """Operations to cover all vectors once."""
+        return max(1, self.n_vectors // self.operands_per_op)
+
+    @property
+    def label(self) -> str:
+        mode = "s" if self.access is AccessPattern.SEQUENTIAL else "r"
+        return f"{self.log_length}-{self.log_vectors}-{self.log_rows}{mode}"
+
+
+#: The paper's five Vector instances (Table 1 / Figs. 10-11 x-axis).
+PAPER_VECTOR_SPECS = (
+    "19-16-1s",
+    "19-16-7s",
+    "14-12-7s",
+    "14-16-7s",
+    "14-16-7r",
+)

@@ -1,0 +1,164 @@
+"""Operation traces and their pricing on a baseline.
+
+A trace is the scheme-independent record of what an application did:
+bulk bitwise operations plus the scalar CPU work between them.  Pricing a
+trace on a baseline yields the latency/energy split the paper's figures
+are built from: Figs. 10-11 compare the *bitwise* parts, Fig. 12 the
+totals (bitwise + non-bitwise, where the non-bitwise part is identical
+across schemes -- Amdahl's law is the whole story of Fig. 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.base import AccessPattern, BitwiseBaseline
+from repro.baselines.simd import CpuConfig
+
+
+@dataclass(frozen=True)
+class BitwiseEvent:
+    """``count`` identical bulk bitwise operations."""
+
+    op: str
+    n_operands: int
+    vector_bits: int
+    access: AccessPattern = AccessPattern.SEQUENTIAL
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+        if self.vector_bits < 1:
+            raise ValueError("vector_bits must be >= 1")
+        if self.n_operands < 1:
+            raise ValueError("n_operands must be >= 1")
+
+
+@dataclass(frozen=True)
+class CpuEvent:
+    """Scalar CPU work (non-bitwise): ``ops`` simple operations."""
+
+    ops: float
+    label: str = "cpu"
+
+    def __post_init__(self) -> None:
+        if self.ops < 0:
+            raise ValueError("ops must be non-negative")
+
+
+@dataclass
+class WorkloadCost:
+    """Priced trace: bitwise and non-bitwise parts, separately."""
+
+    bitwise_latency: float = 0.0
+    bitwise_energy: float = 0.0
+    other_latency: float = 0.0
+    other_energy: float = 0.0
+
+    @property
+    def total_latency(self) -> float:
+        return self.bitwise_latency + self.other_latency
+
+    @property
+    def total_energy(self) -> float:
+        return self.bitwise_energy + self.other_energy
+
+    @property
+    def bitwise_latency_fraction(self) -> float:
+        if self.total_latency == 0:
+            return 0.0
+        return self.bitwise_latency / self.total_latency
+
+
+@dataclass
+class OpTrace:
+    """A workload's recorded operations."""
+
+    name: str = "trace"
+    events: list = field(default_factory=list)
+
+    # -- recording -------------------------------------------------------------
+
+    def bitwise(
+        self,
+        op: str,
+        n_operands: int,
+        vector_bits: int,
+        access=AccessPattern.SEQUENTIAL,
+        count: int = 1,
+    ) -> None:
+        self.events.append(
+            BitwiseEvent(op, n_operands, vector_bits, AccessPattern.parse(access), count)
+        )
+
+    def cpu(self, ops: float, label: str = "cpu") -> None:
+        self.events.append(CpuEvent(ops, label))
+
+    def extend(self, other: "OpTrace") -> None:
+        self.events.extend(other.events)
+
+    # -- summaries --------------------------------------------------------------
+
+    @property
+    def n_bitwise_ops(self) -> int:
+        return sum(e.count for e in self.events if isinstance(e, BitwiseEvent))
+
+    @property
+    def bitwise_operand_bits(self) -> int:
+        return sum(
+            e.count * e.n_operands * e.vector_bits
+            for e in self.events
+            if isinstance(e, BitwiseEvent)
+        )
+
+    @property
+    def cpu_ops(self) -> float:
+        return sum(e.ops for e in self.events if isinstance(e, CpuEvent))
+
+    def op_histogram(self) -> dict:
+        hist = {}
+        for e in self.events:
+            if isinstance(e, BitwiseEvent):
+                hist[e.op] = hist.get(e.op, 0) + e.count
+        return hist
+
+    # -- pricing ------------------------------------------------------------------
+
+    #: effective scalar throughput of the non-bitwise part: instructions
+    #: per cycle per core on pointer-chasing / scan code.
+    _SCALAR_IPC = 1.0
+
+    def price(
+        self,
+        baseline: BitwiseBaseline,
+        cpu: CpuConfig = CpuConfig(),
+        cores_for_scalar: int = 1,
+    ) -> WorkloadCost:
+        """Price the trace on a scheme.
+
+        The bitwise events run on ``baseline``; CPU events run on the host
+        in every scheme (``cores_for_scalar`` of them -- BFS frontier scans
+        and FastBit result counting are single-threaded in the reference
+        implementations).
+        """
+        cost = WorkloadCost()
+        memo = {}
+        for e in self.events:
+            if isinstance(e, BitwiseEvent):
+                key = (e.op, e.n_operands, e.vector_bits, e.access)
+                c = memo.get(key)
+                if c is None:
+                    c = baseline.bitwise_cost(
+                        e.op, e.n_operands, e.vector_bits, e.access
+                    )
+                    memo[key] = c
+                cost.bitwise_latency += e.count * c.latency
+                cost.bitwise_energy += e.count * c.energy
+            else:
+                t = e.ops / (cpu.frequency * self._SCALAR_IPC * cores_for_scalar)
+                cost.other_latency += t
+                # scalar phases keep the package about as busy as the
+                # streaming phases (pointer chasing pins the core)
+                cost.other_energy += cpu.active_power * t
+        return cost

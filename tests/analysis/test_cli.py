@@ -1,0 +1,32 @@
+"""Tests for the `python -m repro.analysis` entry point."""
+
+import pytest
+
+from repro.analysis.__main__ import main
+
+
+class TestCli:
+    def test_single_figure_13(self, capsys):
+        assert main(["--figure", "13"]) == 0
+        out = capsys.readouterr().out
+        assert "Pinatubo 0.94%" in out
+        assert "inter-sub" in out
+
+    def test_single_figure_5(self, capsys):
+        assert main(["--figure", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "max OR rows 128" in out
+
+    def test_single_figure_7(self, capsys):
+        assert main(["--figure", "7"]) == 0
+        assert "all latched: True" in capsys.readouterr().out
+
+    def test_figure_10_scaled(self, capsys):
+        assert main(["--figure", "10", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "Pinatubo-128" in out
+        assert "gmean" in out
+
+    def test_bad_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--figure", "8"])

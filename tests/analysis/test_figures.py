@@ -1,0 +1,217 @@
+"""Tests for the figure builders (shape invariants at reduced scale)."""
+
+import math
+
+import pytest
+
+from repro.analysis.figures import (
+    fig5_data,
+    fig6_data,
+    fig7_data,
+    fig9_data,
+    fig10_data,
+    fig11_data,
+    fig12_data,
+    fig13_data,
+    geomean,
+)
+from repro.analysis.report import (
+    format_series,
+    format_speedup_table,
+    render_report,
+)
+
+#: small scale so the whole module runs in seconds
+SCALE = 0.02
+
+
+class TestGeomean:
+    def test_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestCircuitFigures:
+    def test_fig5_limits(self):
+        data = fig5_data("pcm")
+        assert data["max_or_rows"] == 128
+        assert data["and_feasible"]
+        assert data["electrical_or_limit"] > 128
+        margins = data["or_margins_log"]
+        assert margins[2] > margins[128] > 0
+
+    def test_fig5_stt(self):
+        assert fig5_data("stt")["max_or_rows"] == 2
+
+    def test_fig6_sequence_and_corners(self):
+        data = fig6_data("pcm", monte_carlo=0)
+        assert len(data["sequence"]) == 15
+        assert data["corner_report"].all_pass
+
+    def test_fig7_all_rows_latch(self):
+        data = fig7_data(n_rows=4)
+        assert data["all_latched"]
+        assert data["latched"] == data["activated"]
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return fig9_data(log_lengths=(10, 14, 19, 20), row_counts=(2, 128))
+
+    def test_series_shape(self, data):
+        assert set(data["series"]) == {2, 128}
+        assert len(data["series"][2]) == 4
+
+    def test_bandwidth_anchors(self, data):
+        assert data["ddr_bus_gbps"] == pytest.approx(12.8)
+        assert data["internal_gbps"] > data["ddr_bus_gbps"]
+
+    def test_multirow_exceeds_internal_bandwidth(self, data):
+        top = dict(data["series"][128])
+        assert top[19] > data["internal_gbps"]
+
+    def test_monotone_in_length(self, data):
+        for n, points in data["series"].items():
+            ys = [y for _, y in points]
+            assert ys[:3] == sorted(ys[:3])  # up to the 2^19 plateau
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    return fig10_data(scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def fig11():
+    return fig11_data(scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def fig12():
+    return fig12_data(scale=SCALE)
+
+
+class TestFig10Shape:
+    def test_all_benchmarks_present(self, fig10):
+        names = set(fig10) - {"gmean"}
+        assert {
+            "vector:19-16-1s",
+            "vector:19-16-7s",
+            "vector:14-12-7s",
+            "vector:14-16-7s",
+            "vector:14-16-7r",
+            "graph:dblp",
+            "graph:eswiki",
+            "graph:amazon",
+            "fastbit:240",
+            "fastbit:480",
+            "fastbit:720",
+        } == names
+
+    def test_pinatubo128_wins_gmean(self, fig10):
+        g = fig10["gmean"]
+        assert g["Pinatubo-128"] > g["S-DRAM"]
+        assert g["Pinatubo-128"] > g["AC-PIM"]
+        assert g["Pinatubo-128"] > g["Pinatubo-2"]
+
+    def test_multirow_vector_benchmark(self, fig10):
+        row = fig10["vector:19-16-7s"]
+        assert row["Pinatubo-128"] > 50 * row["Pinatubo-2"]
+
+    def test_random_collapses_p128(self, fig10):
+        row = fig10["vector:14-16-7r"]
+        assert row["Pinatubo-128"] == pytest.approx(row["Pinatubo-2"], rel=1e-9)
+
+    def test_sdram_beats_p2_on_long_sequential(self, fig10):
+        row = fig10["vector:19-16-1s"]
+        assert row["S-DRAM"] > row["Pinatubo-2"]
+
+    def test_p128_vs_sdram_factor(self, fig10):
+        """Paper: Pinatubo-128 is ~22x faster than S-DRAM (gmean)."""
+        ratio = fig10["gmean"]["Pinatubo-128"] / fig10["gmean"]["S-DRAM"]
+        assert 5 <= ratio <= 60
+
+
+class TestFig11Shape:
+    def test_all_pim_schemes_save_energy(self, fig11):
+        for w, row in fig11.items():
+            if w == "gmean":
+                continue
+            for scheme, saving in row.items():
+                assert saving >= 1.0, (w, scheme)
+
+    def test_pinatubo128_best_on_multirow(self, fig11):
+        row = fig11["vector:19-16-7s"]
+        assert row["Pinatubo-128"] > 10 * row["S-DRAM"]
+
+    def test_acpim_below_pinatubo128_everywhere(self, fig11):
+        for w, row in fig11.items():
+            if w == "gmean":
+                continue
+            assert row["AC-PIM"] < row["Pinatubo-128"] * 1.01, w
+
+    def test_gmean_saving_order_of_magnitude(self, fig11):
+        assert fig11["gmean"]["Pinatubo-128"] > 1000
+
+
+class TestFig12Shape:
+    def test_pinatubo_close_to_ideal(self, fig12):
+        g = fig12["gmeans"]["all"]
+        assert g["speedup"]["Pinatubo-128"] >= 0.93 * g["speedup"]["Ideal"]
+
+    def test_overall_speedups_modest(self, fig12):
+        g = fig12["gmeans"]["all"]["speedup"]
+        assert 1.0 <= g["Pinatubo-128"] < 2.0  # Amdahl-limited
+
+    def test_energy_savings_positive(self, fig12):
+        g = fig12["gmeans"]["all"]["energy"]
+        assert g["Pinatubo-128"] >= 1.0
+
+    def test_apps_only(self, fig12):
+        assert all(
+            w.startswith(("graph:", "fastbit:")) for w in fig12["speedup"]
+        )
+
+
+class TestFig13:
+    def test_headline_fractions(self):
+        data = fig13_data()
+        assert data["pinatubo_fraction"] == pytest.approx(0.009, abs=0.002)
+        assert data["acpim_fraction"] == pytest.approx(0.064, abs=0.01)
+        assert next(iter(data["pinatubo_breakdown"])) == "inter-sub"
+
+
+class TestReportRendering:
+    def test_format_series(self):
+        text = format_series("t", {2: [(10, 1.0), (11, 2.0)]}, "len")
+        assert "len" in text and "2" in text
+
+    def test_format_speedup_table(self, fig10):
+        text = format_speedup_table("Fig 10", fig10)
+        assert "gmean" in text
+        assert "Pinatubo-128" in text
+
+    def test_render_report(self, fig10, fig11, fig12):
+        from repro.analysis.figures import fig13_data
+
+        headline = {
+            "bitwise_speedup": fig10["gmean"]["Pinatubo-128"],
+            "bitwise_energy_saving": fig11["gmean"]["Pinatubo-128"],
+            "overall_speedup": fig12["gmeans"]["all"]["speedup"]["Pinatubo-128"],
+            "overall_energy_saving": fig12["gmeans"]["all"]["energy"]["Pinatubo-128"],
+            "paper": {
+                "bitwise_speedup": 500.0,
+                "bitwise_energy_saving": 28000.0,
+                "overall_speedup": 1.12,
+                "overall_energy_saving": 1.11,
+            },
+        }
+        text = render_report(headline, fig13_data())
+        assert "paper" in text
+        assert "%" in text

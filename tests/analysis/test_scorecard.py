@@ -1,0 +1,58 @@
+"""Tests for the reproduction scorecard."""
+
+import pytest
+
+from repro.analysis.scorecard import Claim, Scorecard, build_scorecard
+
+
+class TestScorecardContainer:
+    def test_counts(self):
+        card = Scorecard()
+        card.add("a", "x", "x", True)
+        card.add("b", "y", "z", False)
+        assert card.passed == 1
+        assert card.total == 2
+        assert not card.all_hold
+
+    def test_empty_does_not_hold(self):
+        assert not Scorecard().all_hold
+
+    def test_render(self):
+        card = Scorecard()
+        card.add("claim-one", "1", "1", True)
+        card.add("claim-two", "2", "3", False)
+        text = card.render()
+        assert "1/2 claims hold" in text
+        assert "[PASS] claim-one" in text
+        assert "[FAIL] claim-two" in text
+
+    def test_claim_is_frozen(self):
+        claim = Claim("a", "x", "y", True)
+        with pytest.raises(AttributeError):
+            claim.holds = False
+
+
+class TestBuiltScorecard:
+    @pytest.fixture(scope="class")
+    def card(self):
+        return build_scorecard(scale=0.02)
+
+    def test_every_claim_holds(self, card):
+        failing = [c.claim_id for c in card.claims if not c.holds]
+        assert not failing, failing
+
+    def test_covers_every_figure(self, card):
+        ids = {c.claim_id for c in card.claims}
+        for prefix in ("pcm-", "csa-", "fig9-", "fig10-", "fig11-",
+                       "fig12-", "fig13-"):
+            assert any(i.startswith(prefix) for i in ids), prefix
+
+    def test_claim_count(self, card):
+        assert card.total >= 15
+
+    def test_cli_scorecard(self, capsys):
+        from repro.analysis.__main__ import main
+
+        assert main(["--scorecard", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "claims hold" in out

@@ -1,0 +1,77 @@
+"""Tests for the parameter-sensitivity sweep framework."""
+
+import pytest
+
+from repro.analysis.sweeps import (
+    Sweep,
+    SweepPoint,
+    activate_time_sweep,
+    mux_ratio_sweep,
+    on_off_ratio_sweep,
+    run_sweep,
+    write_time_sweep,
+)
+
+
+class TestRunner:
+    def test_basic_sweep(self):
+        sweep = run_sweep("t", "x", [1, 2, 3], lambda v: {"y": v * 2})
+        assert sweep.values() == [1, 2, 3]
+        assert sweep.metric("y") == [2, 4, 6]
+
+    def test_monotone_helpers(self):
+        sweep = run_sweep("t", "x", [1, 2, 3], lambda v: {"y": -v})
+        assert sweep.is_monotone("y", increasing=False)
+        assert not sweep.is_monotone("y", increasing=True)
+
+    def test_table_rendering(self):
+        sweep = run_sweep("demo", "x", [1.5], lambda v: {"y": v})
+        text = sweep.table()
+        assert "demo" in text and "x" in text and "y" in text
+
+    def test_empty_table(self):
+        assert "(empty)" in Sweep("t", "x").table()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_sweep("t", "x", [], lambda v: {"y": v})
+        with pytest.raises(ValueError):
+            run_sweep("t", "x", [1], lambda v: {})
+        with pytest.raises(ValueError):
+            run_sweep("t", "x", [1], lambda v: 42)
+
+
+class TestCannedSweeps:
+    def test_on_off_ratio_grows_fanin(self):
+        sweep = on_off_ratio_sweep(ratios=(3, 30, 300))
+        assert sweep.is_monotone("electrical_or_limit", increasing=True)
+        limits = sweep.metric("electrical_or_limit")
+        assert limits[0] < 10
+        assert limits[-1] > 64
+
+    def test_low_contrast_kills_and(self):
+        sweep = on_off_ratio_sweep(ratios=(1.5, 1000))
+        feasible = sweep.metric("and_feasible")
+        assert feasible[0] == 0.0
+        assert feasible[-1] == 1.0
+
+    def test_write_time_dominates_latency(self):
+        sweep = write_time_sweep(factors=(0.5, 1.0, 2.0))
+        assert sweep.is_monotone("latency_us", increasing=True)
+        lat = sweep.metric("latency_us")
+        # tWR is the biggest term of a 2-row op: 4x tWR ~ >2x latency
+        assert lat[-1] / lat[0] > 1.5
+
+    def test_activate_time_is_amortised(self):
+        """The LWL latch pays tRCD once per 128-row op, so even 8x tRCD
+        moves the total latency by far less than 8x."""
+        sweep = activate_time_sweep(factors=(0.5, 4.0))
+        lat = sweep.metric("latency_us")
+        assert lat[-1] / lat[0] < 2.0
+        assert sweep.is_monotone("latency_us", increasing=True)
+
+    def test_mux_ratio_scales_sense_steps(self):
+        sweep = mux_ratio_sweep(ratios=(8, 32))
+        steps = sweep.metric("sense_steps")
+        assert steps == [8, 32]
+        assert sweep.is_monotone("latency_us", increasing=True)

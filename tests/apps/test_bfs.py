@@ -1,0 +1,120 @@
+"""Tests for bitmap BFS in both trace and functional-PIM modes."""
+
+import numpy as np
+import pytest
+
+from repro.apps.bfs import bfs_reference, bitmap_bfs_pim, bitmap_bfs_trace
+from repro.apps.graphs import Graph, dblp_like, eswiki_like
+from repro.core.pinatubo import PinatuboSystem
+from repro.memsim.geometry import MemoryGeometry
+from repro.runtime.api import PimRuntime
+from repro.workloads.trace import BitwiseEvent
+
+
+SMALL_GEOM = MemoryGeometry(
+    channels=1,
+    ranks_per_channel=1,
+    chips_per_rank=1,
+    banks_per_chip=2,
+    subarrays_per_bank=8,
+    rows_per_subarray=128,
+    mats_per_subarray=1,
+    cols_per_mat=512,
+    mux_ratio=8,
+)
+
+
+def line_graph(n):
+    adjacency = [[] for _ in range(n)]
+    for i in range(n - 1):
+        adjacency[i].append(i + 1)
+        adjacency[i + 1].append(i)
+    return Graph("line", adjacency)
+
+
+class TestTraceMode:
+    def test_visits_everything_connected(self):
+        g = dblp_like(n=1024)
+        result = bitmap_bfs_trace(g, 0)
+        assert result.visited_count == g.n  # restarts cover all components
+
+    def test_levels_match_reference_on_line(self):
+        g = line_graph(10)
+        result = bitmap_bfs_trace(g, 0, restart=False)
+        # every frontier (including the source) has exactly one vertex
+        assert result.levels == [1] * 10
+        assert result.visited_count == 10
+
+    def test_no_restart_visits_one_component(self):
+        g = eswiki_like(n=2048)
+        no_restart = bitmap_bfs_trace(g, 0, restart=False)
+        oracle = bfs_reference(g, 0)
+        assert no_restart.visited_count == len(oracle)
+
+    def test_restarts_counted_on_loose_graph(self):
+        g = eswiki_like(n=2048)
+        result = bitmap_bfs_trace(g, 0)
+        assert result.restarts > 10
+        assert result.visited_count == g.n
+
+    def test_trace_has_multirow_or_events(self):
+        g = dblp_like(n=1024)
+        result = bitmap_bfs_trace(g, 0)
+        fanins = [
+            e.n_operands
+            for e in result.trace.events
+            if isinstance(e, BitwiseEvent) and e.op == "or"
+        ]
+        # exploding frontier -> adjacency-row OR with wide fan-in
+        assert max(fanins) > 128
+
+    def test_trace_has_cpu_work(self):
+        g = eswiki_like(n=2048)
+        result = bitmap_bfs_trace(g, 0)
+        assert result.trace.cpu_ops > 0
+
+    def test_source_validated(self):
+        with pytest.raises(ValueError):
+            bitmap_bfs_trace(line_graph(4), 9)
+
+
+class TestFunctionalPimMode:
+    @pytest.fixture
+    def runtime(self):
+        return PimRuntime(PinatuboSystem.pcm(geometry=SMALL_GEOM))
+
+    def test_matches_reference(self, runtime):
+        g = dblp_like(n=96, seed=5)
+        result = bitmap_bfs_pim(runtime, g, source=0)
+        oracle = bfs_reference(g, 0)
+        assert result.visited_count == len(oracle)
+
+    def test_line_graph_level_structure(self, runtime):
+        g = line_graph(12)
+        result = bitmap_bfs_pim(runtime, g, 0)
+        assert result.levels == [1] * 12
+        assert result.visited_count == 12
+
+    def test_matches_trace_mode_levels(self, runtime):
+        g = dblp_like(n=96, seed=5)
+        functional = bitmap_bfs_pim(runtime, g, 0)
+        traced = bitmap_bfs_trace(g, 0, restart=False)
+        assert functional.levels == traced.levels
+
+    def test_too_large_graph_rejected(self, runtime):
+        g = line_graph(SMALL_GEOM.row_bits + 1)
+        with pytest.raises(ValueError, match="row frame"):
+            bitmap_bfs_pim(runtime, g, 0)
+
+    def test_uses_real_pim_ops(self, runtime):
+        g = line_graph(8)
+        result = bitmap_bfs_pim(runtime, g, 0, bitmap_threshold=1)
+        assert result.bitmap_levels == result.n_levels
+        assert runtime.driver.stats.instructions > 0
+        assert runtime.pim_accounting.latency > 0
+
+    def test_narrow_frontiers_stay_scalar(self, runtime):
+        g = line_graph(8)
+        result = bitmap_bfs_pim(runtime, g, 0, bitmap_threshold=2)
+        assert result.bitmap_levels == 0
+        assert result.visited_count == 8

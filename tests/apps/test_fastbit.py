@@ -1,0 +1,168 @@
+"""Tests for the FastBit-style bitmap database and STAR table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.fastbit import BitmapIndex, FastBitDB, RangeQuery
+from repro.apps.star import ColumnSpec, STAR_COLUMNS, synthetic_star_table
+from repro.workloads.trace import BitwiseEvent, OpTrace
+
+
+@pytest.fixture(scope="module")
+def table():
+    return synthetic_star_table(n_events=4096, seed=1)
+
+
+@pytest.fixture(scope="module")
+def db(table):
+    return FastBitDB(table)
+
+
+class TestStarTable:
+    def test_shape(self, table):
+        assert table.n_events == 4096
+        assert len(table.columns) == len(STAR_COLUMNS)
+
+    def test_bins_in_range(self, table):
+        for spec in table.columns:
+            bins = table.bin_indices(spec.name)
+            assert bins.min() >= 0
+            assert bins.max() < spec.n_bins
+
+    def test_deterministic(self):
+        a = synthetic_star_table(256, seed=3)
+        b = synthetic_star_table(256, seed=3)
+        for spec in a.columns:
+            np.testing.assert_array_equal(
+                a.bin_indices(spec.name), b.bin_indices(spec.name)
+            )
+
+    def test_exponential_columns_are_skewed(self, table):
+        bins = table.bin_indices("energy")
+        # steeply falling: the lowest quarter of bins holds most events
+        low = np.count_nonzero(bins < 32)
+        assert low > 0.6 * table.n_events
+
+    def test_column_lookup(self, table):
+        assert table.column("pt").n_bins == 64
+        with pytest.raises(KeyError):
+            table.column("nope")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_star_table(0)
+        with pytest.raises(ValueError):
+            ColumnSpec("x", 1)
+        with pytest.raises(ValueError):
+            ColumnSpec("x", 8, "zipf")
+
+
+class TestBitmapIndex:
+    def test_one_bit_per_event(self):
+        idx = BitmapIndex(np.array([0, 1, 1, 2]), n_bins=3)
+        total = sum(idx.bitmap(b).sum() for b in range(3))
+        assert total == 4
+
+    def test_bitmap_contents(self):
+        idx = BitmapIndex(np.array([0, 1, 1, 2]), n_bins=3)
+        np.testing.assert_array_equal(idx.bitmap(1), [0, 1, 1, 0])
+
+    def test_range_or(self):
+        idx = BitmapIndex(np.array([0, 1, 2, 3]), n_bins=4)
+        np.testing.assert_array_equal(idx.range_or(1, 2), [0, 1, 1, 0])
+
+    def test_bounds(self):
+        idx = BitmapIndex(np.array([0]), n_bins=2)
+        with pytest.raises(IndexError):
+            idx.bitmap(2)
+        with pytest.raises(IndexError):
+            idx.range_or(1, 5)
+        with pytest.raises(ValueError):
+            BitmapIndex(np.array([5]), n_bins=3)
+
+
+class TestQueries:
+    def test_bitmap_matches_oracle(self, db):
+        query = RangeQuery((("energy", 0, 20), ("pt", 5, 40)))
+        assert db.query_bitmap(query) == db.query_oracle(query)
+
+    def test_single_predicate(self, db):
+        query = RangeQuery((("trigger_id", 2, 5),))
+        assert db.query_bitmap(query) == db.query_oracle(query)
+
+    def test_full_range_counts_everything(self, db, table):
+        query = RangeQuery((("eta", 0, table.column("eta").n_bins - 1),))
+        assert db.query_bitmap(query) == table.n_events
+
+    def test_trace_records_or_and(self, db):
+        trace = OpTrace()
+        query = RangeQuery((("energy", 0, 20), ("pt", 5, 40)))
+        db.query_bitmap(query, trace)
+        hist = trace.op_histogram()
+        assert hist["or"] == 2
+        assert hist["and"] == 1
+        assert trace.cpu_ops > 0
+
+    def test_wide_range_is_multirow_or(self, db, table):
+        trace = OpTrace()
+        db.query_bitmap(RangeQuery((("energy", 0, 99),)), trace)
+        ors = [e for e in trace.events if isinstance(e, BitwiseEvent) and e.op == "or"]
+        assert ors[0].n_operands == 100
+
+    def test_trace_only_mode_matches_functional_trace(self, table):
+        functional = FastBitDB(table)
+        traced = FastBitDB(table, functional=False)
+        query = RangeQuery((("energy", 3, 30), ("eta", 1, 9)))
+        t1, t2 = OpTrace(), OpTrace()
+        functional.query_bitmap(query, t1)
+        traced.query_trace_only(query, t2)
+        assert t1.op_histogram() == t2.op_histogram()
+
+    def test_trace_only_cannot_answer(self, table):
+        db = FastBitDB(table, functional=False)
+        with pytest.raises(RuntimeError):
+            db.query_bitmap(RangeQuery((("energy", 0, 2),)))
+
+    def test_query_validation(self):
+        with pytest.raises(ValueError):
+            RangeQuery(())
+        with pytest.raises(ValueError):
+            RangeQuery((("energy", 5, 2),))
+
+    @given(
+        lo=st.integers(0, 100),
+        width=st.integers(0, 27),
+        lo2=st.integers(0, 50),
+        width2=st.integers(0, 13),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_queries_match_oracle(self, lo, width, lo2, width2):
+        table = synthetic_star_table(n_events=512, seed=9)
+        db = FastBitDB(table)
+        query = RangeQuery(
+            (("energy", lo, lo + width), ("pt", lo2, lo2 + width2))
+        )
+        assert db.query_bitmap(query) == db.query_oracle(query)
+
+
+class TestWorkload:
+    def test_workload_sizes(self, db):
+        trace = db.run_workload(50)
+        assert trace.n_bitwise_ops >= 50  # >= one OR per query
+
+    def test_workload_deterministic(self, db):
+        a = db.run_workload(20, seed=3)
+        b = db.run_workload(20, seed=3)
+        assert a.op_histogram() == b.op_histogram()
+
+    def test_more_queries_more_work(self, db):
+        small = db.run_workload(20)
+        big = db.run_workload(60)
+        assert big.n_bitwise_ops > small.n_bitwise_ops
+        assert big.cpu_ops > small.cpu_ops
+
+    def test_bad_count(self, db):
+        with pytest.raises(ValueError):
+            db.random_queries(0)

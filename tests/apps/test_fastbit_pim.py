@@ -1,0 +1,130 @@
+"""Tests for the end-to-end PIM-resident FastBit engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.fastbit import FastBitDB, RangeQuery
+from repro.apps.fastbit_pim import PimFastBit
+from repro.apps.star import ColumnSpec, synthetic_star_table
+from repro.core.pinatubo import PinatuboSystem
+from repro.memsim.geometry import MemoryGeometry
+from repro.runtime.api import PimRuntime
+
+
+#: small schema so the whole index fits comfortably in the test geometry
+COLUMNS = (
+    ColumnSpec("energy", 16, "exponential"),
+    ColumnSpec("charge", 8, "normal"),
+)
+
+GEOM = MemoryGeometry(
+    channels=1,
+    ranks_per_channel=1,
+    chips_per_rank=1,
+    banks_per_chip=2,
+    subarrays_per_bank=8,
+    rows_per_subarray=64,
+    mats_per_subarray=1,
+    cols_per_mat=2048,
+    mux_ratio=8,
+)
+
+N_EVENTS = 2048
+
+
+@pytest.fixture(scope="module")
+def table():
+    return synthetic_star_table(N_EVENTS, columns=COLUMNS, seed=5)
+
+
+@pytest.fixture
+def db(table):
+    runtime = PimRuntime(PinatuboSystem.pcm(geometry=GEOM))
+    return PimFastBit(runtime, table)
+
+
+class TestIndexResidency:
+    def test_one_row_per_bin(self, db):
+        assert db.index_rows == 16 + 8
+
+    def test_bins_partition_events(self, db):
+        total = 0
+        for handle in db.bin_handles["energy"]:
+            total += int(db.runtime.pim_read(handle).sum())
+        assert total == N_EVENTS
+
+
+class TestQueries:
+    @pytest.mark.parametrize("predicates", [
+        (("energy", 0, 3),),
+        (("energy", 0, 15),),
+        (("charge", 2, 5),),
+        (("energy", 0, 7), ("charge", 0, 3)),
+        (("energy", 2, 2),),  # single bin
+    ])
+    def test_matches_oracle(self, db, table, predicates):
+        query = RangeQuery(predicates)
+        oracle = FastBitDB(table, functional=False).query_oracle(query)
+        assert db.query(query).hits == oracle
+
+    def test_verify_helper(self, db):
+        assert db.verify(RangeQuery((("energy", 1, 9),)))
+
+    def test_wide_range_is_one_multirow_step(self, db):
+        result = db.query(RangeQuery((("energy", 0, 15),)))
+        assert result.in_memory_steps == 1  # 16 bins <= 128-row budget
+
+    def test_conjunction_adds_and_step(self, db):
+        result = db.query(RangeQuery((("energy", 0, 7), ("charge", 0, 3))))
+        assert result.in_memory_steps == 3  # two ORs + one AND
+
+    def test_costs_accumulate(self, db):
+        r1 = db.query(RangeQuery((("energy", 0, 7),)))
+        assert r1.latency > 0
+        assert r1.energy > 0
+
+    def test_workload(self, db, table):
+        oracle_db = FastBitDB(table, functional=False)
+        queries = oracle_db.random_queries(6, seed=3)
+        results = db.run_workload(queries)
+        for q, r in zip(queries, results):
+            assert r.hits == oracle_db.query_oracle(q)
+
+    def test_empty_range_rejected(self, db):
+        bad = RangeQuery((("energy", 0, 3),))
+        db.bin_handles["broken"] = []
+        with pytest.raises(ValueError):
+            db.query(RangeQuery((("broken", 0, 0),)))
+
+
+class TestPinatubo2Decomposition:
+    def test_two_row_system_needs_more_steps(self, table):
+        runtime = PimRuntime(PinatuboSystem.pcm(geometry=GEOM, max_rows=2))
+        db = PimFastBit(runtime, table)
+        result = db.query(RangeQuery((("energy", 0, 15),)))
+        assert result.in_memory_steps == 15  # pairwise accumulation
+        oracle = FastBitDB(table, functional=False).query_oracle(
+            RangeQuery((("energy", 0, 15),))
+        )
+        assert result.hits == oracle
+
+
+class TestPropertyBased:
+    @given(
+        lo=st.integers(0, 15),
+        width=st.integers(0, 15),
+        lo2=st.integers(0, 7),
+        width2=st.integers(0, 7),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_random_conjunctions(self, lo, width, lo2, width2):
+        table = synthetic_star_table(512, columns=COLUMNS, seed=9)
+        runtime = PimRuntime(PinatuboSystem.pcm(geometry=GEOM))
+        db = PimFastBit(runtime, table)
+        hi = min(15, lo + width)
+        hi2 = min(7, lo2 + width2)
+        query = RangeQuery((("energy", lo, hi), ("charge", lo2, hi2)))
+        oracle = FastBitDB(table, functional=False).query_oracle(query)
+        assert db.query(query).hits == oracle

@@ -1,0 +1,157 @@
+"""Tests for the population-genomics bit-matrix application."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.genomics import (
+    GenotypePanel,
+    PimGenotypePanel,
+    burden_oracle,
+    burden_trace,
+    haplotype_oracle,
+    random_gene_sets,
+    synthetic_panel,
+)
+from repro.core.pinatubo import PinatuboSystem
+from repro.memsim.geometry import MemoryGeometry
+from repro.runtime.api import PimRuntime
+from repro.workloads.trace import BitwiseEvent
+
+
+GEOM = MemoryGeometry(
+    channels=1,
+    ranks_per_channel=1,
+    chips_per_rank=1,
+    banks_per_chip=2,
+    subarrays_per_bank=8,
+    rows_per_subarray=64,
+    mats_per_subarray=1,
+    cols_per_mat=2048,
+    mux_ratio=8,
+)
+
+
+@pytest.fixture(scope="module")
+def panel():
+    return synthetic_panel(n_variants=64, n_samples=1024, seed=3)
+
+
+class TestPanel:
+    def test_shape(self, panel):
+        assert panel.n_variants == 64
+        assert panel.n_samples == 1024
+
+    def test_sfs_is_rare_skewed(self, panel):
+        freqs = [panel.allele_frequency(v) for v in range(panel.n_variants)]
+        rare = sum(1 for f in freqs if f < 0.05)
+        assert rare > panel.n_variants // 2
+        assert max(freqs) > 0.1  # a few common variants exist
+
+    def test_deterministic(self):
+        a = synthetic_panel(16, 128, seed=9)
+        b = synthetic_panel(16, 128, seed=9)
+        np.testing.assert_array_equal(a.bitmaps, b.bitmaps)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_panel(0, 10)
+        with pytest.raises(ValueError):
+            GenotypePanel(np.zeros(4, np.uint8))
+
+
+class TestOracles:
+    def test_burden_is_union(self, panel):
+        out = burden_oracle(panel, [0, 1, 2])
+        expected = panel.variant(0) | panel.variant(1) | panel.variant(2)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_haplotype_is_intersection(self, panel):
+        out = haplotype_oracle(panel, [0, 1])
+        np.testing.assert_array_equal(out, panel.variant(0) & panel.variant(1))
+
+    def test_empty_set_rejected(self, panel):
+        with pytest.raises(ValueError):
+            burden_oracle(panel, [])
+        with pytest.raises(ValueError):
+            haplotype_oracle(panel, [])
+
+
+class TestTrace:
+    def test_burden_trace_shape(self, panel):
+        sets = random_gene_sets(panel, 10, seed=1)
+        trace = burden_trace(panel, sets)
+        events = [e for e in trace.events if isinstance(e, BitwiseEvent)]
+        assert len(events) == 10
+        assert all(e.op == "or" for e in events)
+        assert trace.cpu_ops > 0
+
+    def test_gene_sets_deterministic(self, panel):
+        assert random_gene_sets(panel, 5, seed=2) == random_gene_sets(
+            panel, 5, seed=2
+        )
+
+    def test_validation(self, panel):
+        with pytest.raises(ValueError):
+            random_gene_sets(panel, 0)
+        with pytest.raises(ValueError):
+            burden_trace(panel, [[]])
+
+
+class TestPimExecution:
+    @pytest.fixture
+    def pim(self, panel):
+        runtime = PimRuntime(PinatuboSystem.pcm(geometry=GEOM))
+        return PimGenotypePanel(runtime, panel)
+
+    def test_burden_matches_oracle(self, pim, panel):
+        variant_set = [3, 7, 11, 20, 41]
+        got = pim.burden(variant_set)
+        np.testing.assert_array_equal(got, burden_oracle(panel, variant_set))
+
+    def test_haplotype_matches_oracle(self, pim, panel):
+        variant_set = [1, 2]
+        got = pim.haplotype(variant_set)
+        np.testing.assert_array_equal(got, haplotype_oracle(panel, variant_set))
+
+    def test_single_variant_shortcut(self, pim, panel):
+        np.testing.assert_array_equal(pim.burden([5]), panel.variant(5))
+
+    def test_discordance(self, pim, panel):
+        rng = np.random.default_rng(4)
+        phenotype = rng.integers(0, 2, panel.n_samples).astype(np.uint8)
+        handle = pim.runtime.pim_malloc(panel.n_samples, "pheno")
+        pim.runtime.pim_write(handle, phenotype)
+        got = pim.discordance(9, handle)
+        np.testing.assert_array_equal(got, panel.variant(9) ^ phenotype)
+
+    def test_carrier_count(self, pim, panel):
+        variant_set = [0, 10, 30]
+        assert pim.carrier_count(variant_set) == int(
+            burden_oracle(panel, variant_set).sum()
+        )
+
+    def test_multirow_or_is_one_step(self, pim):
+        before = pim.runtime.pim_accounting.in_memory_steps
+        pim.burden(list(range(40)))  # 40 variants <= 128-row budget
+        assert pim.runtime.pim_accounting.in_memory_steps == before + 1
+
+    def test_empty_set_rejected(self, pim):
+        with pytest.raises(ValueError):
+            pim.burden([])
+
+    @given(
+        seed=st.integers(0, 2**12),
+        size=st.integers(1, 20),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_property_burden(self, seed, size):
+        panel = synthetic_panel(32, 512, seed=seed)
+        runtime = PimRuntime(PinatuboSystem.pcm(geometry=GEOM))
+        pim = PimGenotypePanel(runtime, panel)
+        rng = np.random.default_rng(seed + 1)
+        variant_set = sorted(rng.choice(32, size, replace=False))
+        np.testing.assert_array_equal(
+            pim.burden(variant_set), burden_oracle(panel, variant_set)
+        )

@@ -1,0 +1,71 @@
+"""Tests for graph generators and the Graph container."""
+
+import pytest
+
+from repro.apps.bfs import bfs_reference
+from repro.apps.graphs import Graph, amazon_like, dblp_like, eswiki_like
+
+
+class TestGraphContainer:
+    def test_counts(self):
+        g = Graph("t", [[1], [0, 2], [1]])
+        assert g.n == 3
+        assert g.m == 2
+        assert g.avg_degree == pytest.approx(4 / 3)
+        assert g.degree(1) == 2
+
+    def test_adjacency_bitmap(self):
+        g = Graph("t", [[1, 2], [0], [0]])
+        bmp = g.adjacency_bitmap(0)
+        assert bmp.tolist() == [0, 1, 1]
+
+    def test_bad_edge_rejected(self):
+        with pytest.raises(ValueError):
+            Graph("t", [[5]])
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("gen", [dblp_like, eswiki_like, amazon_like])
+    def test_deterministic(self, gen):
+        a = gen(n=512, seed=4)
+        b = gen(n=512, seed=4)
+        assert a.adjacency == b.adjacency
+
+    @pytest.mark.parametrize("gen", [dblp_like, eswiki_like, amazon_like])
+    def test_no_self_loops_or_duplicates(self, gen):
+        g = gen(n=512, seed=1)
+        for u, neighbors in enumerate(g.adjacency):
+            assert u not in neighbors
+            assert len(set(neighbors)) == len(neighbors)
+
+    def test_dblp_is_dense_and_connected(self):
+        g = dblp_like(n=1024)
+        reachable = bfs_reference(g, 0)
+        assert len(reachable) > 0.95 * g.n  # giant component
+        assert g.avg_degree > 6
+
+    def test_eswiki_is_loose(self):
+        g = eswiki_like(n=2048)
+        reachable = bfs_reference(g, 0)
+        # a single BFS visits only the core's component
+        assert len(reachable) < 0.5 * g.n
+
+    def test_amazon_is_clustered(self):
+        g = amazon_like(n=1024)
+        # loose product clusters: a single BFS stays inside one cluster
+        assert g.avg_degree < 8
+        reachable = bfs_reference(g, 0)
+        assert 10 < len(reachable) < 0.3 * g.n
+
+    def test_structural_ordering(self):
+        """The properties driving Fig. 12: dblp is one giant component
+        (no restarts), eswiki and amazon are loose (BFS keeps restarting
+        and scanning for unvisited vertices)."""
+        from repro.apps.bfs import bitmap_bfs_trace
+
+        dblp = bitmap_bfs_trace(dblp_like(n=2048), 0)
+        eswiki = bitmap_bfs_trace(eswiki_like(n=2048), 0)
+        amazon = bitmap_bfs_trace(amazon_like(n=2048), 0)
+        assert dblp.restarts == 0
+        assert eswiki.restarts > amazon.restarts > 3
+        assert max(dblp.levels) > max(amazon.levels)

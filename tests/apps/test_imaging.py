@@ -1,0 +1,183 @@
+"""Tests for bit-plane image processing on PIM."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.bitvector import PimBitVector
+from repro.apps.imaging import (
+    band_mask_pim,
+    from_bit_planes,
+    synthetic_image,
+    threshold_bits,
+    threshold_mask_numpy,
+    threshold_mask_pim,
+    threshold_trace,
+    to_bit_planes,
+)
+from repro.core.pinatubo import PinatuboSystem
+from repro.memsim.geometry import MemoryGeometry
+from repro.runtime.api import PimRuntime
+
+
+GEOM = MemoryGeometry(
+    channels=1,
+    ranks_per_channel=1,
+    chips_per_rank=1,
+    banks_per_chip=2,
+    subarrays_per_bank=4,
+    rows_per_subarray=64,
+    mats_per_subarray=1,
+    cols_per_mat=2048,
+    mux_ratio=8,
+)
+
+
+@pytest.fixture
+def rt():
+    return PimRuntime(PinatuboSystem.pcm(geometry=GEOM))
+
+
+def load_planes(rt, image):
+    handles = []
+    for plane in to_bit_planes(image):
+        h = rt.pim_malloc(plane.size, "img")
+        rt.pim_write(h, plane)
+        handles.append(h)
+    return handles
+
+
+class TestBitPlanes:
+    def test_roundtrip(self):
+        image = synthetic_image(16, 16, seed=1)
+        planes = to_bit_planes(image)
+        assert len(planes) == 8
+        np.testing.assert_array_equal(from_bit_planes(planes, image.shape), image)
+
+    def test_msb_first(self):
+        image = np.array([[128, 1]], dtype=np.uint8)
+        planes = to_bit_planes(image)
+        np.testing.assert_array_equal(planes[0], [1, 0])  # MSB
+        np.testing.assert_array_equal(planes[7], [0, 1])  # LSB
+
+    def test_dtype_checked(self):
+        with pytest.raises(ValueError):
+            to_bit_planes(np.zeros((2, 2), dtype=np.int32))
+
+    def test_plane_count_checked(self):
+        with pytest.raises(ValueError):
+            from_bit_planes([np.zeros(4, np.uint8)] * 7, (2, 2))
+
+    def test_threshold_bits(self):
+        assert threshold_bits(0) == [0] * 8
+        assert threshold_bits(255) == [1] * 8
+        assert threshold_bits(130) == [1, 0, 0, 0, 0, 0, 1, 0]
+        with pytest.raises(ValueError):
+            threshold_bits(300)
+
+
+class TestNumpyComparator:
+    @pytest.mark.parametrize("t", [0, 1, 127, 128, 200, 254, 255])
+    def test_matches_direct_compare(self, t):
+        image = synthetic_image(12, 12, seed=t)
+        planes = to_bit_planes(image)
+        mask = threshold_mask_numpy(planes, t)
+        np.testing.assert_array_equal(
+            mask.reshape(image.shape), (image > t).astype(np.uint8)
+        )
+
+    @given(t=st.integers(0, 255), seed=st.integers(0, 2**10))
+    @settings(max_examples=40, deadline=None)
+    def test_property(self, t, seed):
+        rng = np.random.default_rng(seed)
+        pixels = rng.integers(0, 256, 64).astype(np.uint8)
+        planes = to_bit_planes(pixels.reshape(8, 8))
+        mask = threshold_mask_numpy(planes, t)
+        np.testing.assert_array_equal(mask, (pixels > t).astype(np.uint8))
+
+
+class TestPimComparator:
+    @pytest.mark.parametrize("t", [0, 100, 250])
+    def test_matches_oracle(self, rt, t):
+        image = synthetic_image(16, 16, seed=3)
+        handles = load_planes(rt, image)
+        mask_h = threshold_mask_pim(rt, handles, t)
+        mask = rt.pim_read(mask_h).reshape(image.shape)
+        np.testing.assert_array_equal(mask, (image > t).astype(np.uint8))
+
+    def test_band_mask(self, rt):
+        image = synthetic_image(16, 16, seed=4)
+        handles = load_planes(rt, image)
+        band_h = band_mask_pim(rt, handles, 64, 192)
+        band = rt.pim_read(band_h).reshape(image.shape)
+        expected = ((image > 64) & ~(image > 192)).astype(np.uint8)
+        np.testing.assert_array_equal(band, expected)
+
+    def test_band_validation(self, rt):
+        image = synthetic_image(8, 8)
+        handles = load_planes(rt, image)
+        with pytest.raises(ValueError):
+            band_mask_pim(rt, handles, 200, 100)
+
+    def test_plane_count_checked(self, rt):
+        with pytest.raises(ValueError):
+            threshold_mask_pim(rt, [], 10)
+
+    def test_runs_in_memory(self, rt):
+        image = synthetic_image(8, 8, seed=5)
+        handles = load_planes(rt, image)
+        before = rt.pim_accounting.bus_data_bytes
+        threshold_mask_pim(rt, handles, 99)
+        assert rt.pim_accounting.bus_data_bytes == before  # commands only
+        assert rt.driver.stats.instructions > 8
+
+
+class TestMaskComposition:
+    def test_popcount_segmentation(self, rt):
+        image = synthetic_image(16, 16, seed=6)
+        handles = load_planes(rt, image)
+        mask_h = threshold_mask_pim(rt, handles, 240)
+        bright = PimBitVector(rt, mask_h.n_bits, handle=mask_h).popcount()
+        assert bright == int((image > 240).sum())
+
+
+class TestTrace:
+    def test_trace_shape(self):
+        trace = threshold_trace(4096, 130)
+        hist = trace.op_histogram()
+        # t=130: six zero-bits -> 6*(2 ands + or + inv); two one-bits -> 1 and
+        assert hist["and"] == 6 * 2 + 2
+        assert hist["or"] == 6
+        assert hist["inv"] == 6 + 1
+
+    def test_trace_priceable(self):
+        from repro.core.model import PinatuboModel
+
+        cost = threshold_trace(1 << 16, 128).price(PinatuboModel())
+        assert cost.bitwise_latency > 0
+
+    def test_trace_validation(self):
+        with pytest.raises(ValueError):
+            threshold_trace(0, 10)
+
+
+class TestSyntheticImage:
+    def test_shape_and_dtype(self):
+        image = synthetic_image(32, 48, seed=1)
+        assert image.shape == (32, 48)
+        assert image.dtype == np.uint8
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            synthetic_image(16, 16, seed=2), synthetic_image(16, 16, seed=2)
+        )
+
+    def test_has_contrast(self):
+        image = synthetic_image(32, 32, seed=3)
+        assert image.min() < 50
+        assert image.max() > 200
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_image(0, 4)

@@ -1,0 +1,78 @@
+"""Cross-validation of the graph layer against networkx.
+
+networkx is the one external graph oracle available offline; these tests
+pin the synthetic generators' structure and the bitmap BFS's semantics
+to an independent implementation.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps.bfs import bfs_reference, bitmap_bfs_pim, bitmap_bfs_trace
+from repro.apps.graphs import amazon_like, dblp_like, eswiki_like
+from repro.core.pinatubo import PinatuboSystem
+from repro.memsim.geometry import MemoryGeometry
+from repro.runtime.api import PimRuntime
+
+
+def to_networkx(graph):
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.n))
+    for u, neighbors in enumerate(graph.adjacency):
+        for v in neighbors:
+            g.add_edge(u, v)
+    return g
+
+
+@pytest.mark.parametrize("gen", [dblp_like, eswiki_like, amazon_like])
+class TestAgainstNetworkx:
+    def test_edge_counts_match(self, gen):
+        graph = gen(n=1024)
+        assert to_networkx(graph).number_of_edges() == graph.m
+
+    def test_reachable_set_matches_bfs(self, gen):
+        graph = gen(n=1024)
+        nxg = to_networkx(graph)
+        ours = bfs_reference(graph, 0)
+        theirs = set(nx.node_connected_component(nxg, 0))
+        assert ours == theirs
+
+    def test_level_structure_matches_shortest_paths(self, gen):
+        graph = gen(n=512)
+        nxg = to_networkx(graph)
+        result = bitmap_bfs_trace(graph, 0, restart=False)
+        lengths = nx.single_source_shortest_path_length(nxg, 0)
+        level_sizes = {}
+        for depth in lengths.values():
+            level_sizes[depth] = level_sizes.get(depth, 0) + 1
+        expected = [level_sizes[d] for d in sorted(level_sizes)]
+        assert result.levels == expected
+
+    def test_restart_mode_counts_components(self, gen):
+        graph = gen(n=1024)
+        nxg = to_networkx(graph)
+        result = bitmap_bfs_trace(graph, 0, restart=True)
+        assert result.restarts + 1 == nx.number_connected_components(nxg)
+
+
+class TestFunctionalPimAgainstNetworkx:
+    def test_pim_bfs_visits_the_component(self):
+        geom = MemoryGeometry(
+            channels=1,
+            ranks_per_channel=1,
+            chips_per_rank=1,
+            banks_per_chip=2,
+            subarrays_per_bank=8,
+            rows_per_subarray=128,
+            mats_per_subarray=1,
+            cols_per_mat=512,
+            mux_ratio=8,
+        )
+        graph = dblp_like(n=128, seed=3)
+        nxg = to_networkx(graph)
+        rt = PimRuntime(PinatuboSystem.pcm(geometry=geom))
+        result = bitmap_bfs_pim(rt, graph, source=0)
+        assert result.visited_count == len(
+            nx.node_connected_component(nxg, 0)
+        )

@@ -1,0 +1,88 @@
+"""Tests for predicate-result caching in the PIM-resident FastBit."""
+
+import numpy as np
+import pytest
+
+from repro.apps.fastbit import FastBitDB, RangeQuery
+from repro.apps.fastbit_pim import PimFastBit
+from repro.apps.star import ColumnSpec, synthetic_star_table
+from repro.core.pinatubo import PinatuboSystem
+from repro.memsim.geometry import MemoryGeometry
+from repro.runtime.api import PimRuntime
+
+
+COLUMNS = (
+    ColumnSpec("energy", 16, "exponential"),
+    ColumnSpec("charge", 8, "normal"),
+)
+
+GEOM = MemoryGeometry(
+    channels=1,
+    ranks_per_channel=1,
+    chips_per_rank=1,
+    banks_per_chip=2,
+    subarrays_per_bank=8,
+    rows_per_subarray=64,
+    mats_per_subarray=1,
+    cols_per_mat=2048,
+    mux_ratio=8,
+)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return synthetic_star_table(1024, columns=COLUMNS, seed=7)
+
+
+@pytest.fixture
+def db(table):
+    runtime = PimRuntime(PinatuboSystem.pcm(geometry=GEOM))
+    return PimFastBit(runtime, table, cache_predicates=True)
+
+
+class TestPredicateCache:
+    def test_repeated_predicate_hits_cache(self, db):
+        q = RangeQuery((("energy", 0, 7), ("charge", 0, 3)))
+        db.query(q)
+        assert db.cache_hits == 0
+        db.query(q)
+        assert db.cache_hits == 2  # both predicates reused
+
+    def test_cached_answers_stay_correct(self, db, table):
+        oracle = FastBitDB(table, functional=False)
+        q1 = RangeQuery((("energy", 0, 7), ("charge", 0, 3)))
+        q2 = RangeQuery((("energy", 0, 7), ("charge", 4, 7)))  # shares one
+        for q in (q1, q2, q1, q2):
+            assert db.query(q).hits == oracle.query_oracle(q)
+        assert db.cache_hits >= 3
+
+    def test_cache_saves_in_memory_steps(self, db):
+        q = RangeQuery((("energy", 0, 15),))
+        first = db.query(q)
+        second = db.query(q)
+        assert first.in_memory_steps >= 1
+        assert second.in_memory_steps == 0  # pure cache read
+
+    def test_cache_saves_latency(self, db):
+        q = RangeQuery((("energy", 0, 15), ("charge", 0, 7)))
+        first = db.query(q)
+        second = db.query(q)
+        assert second.latency < first.latency
+
+    def test_release_scratch_frees_memory(self, db):
+        q = RangeQuery((("energy", 0, 7), ("charge", 0, 3)))
+        db.query(q)
+        live_before = db.runtime.allocator.live_handles
+        db.release_scratch()
+        assert db.runtime.allocator.live_handles < live_before
+        # after the release, queries recompute (cache cleared) but stay right
+        result = db.query(q)
+        assert result.in_memory_steps > 0
+
+    def test_disabled_by_default(self, table):
+        runtime = PimRuntime(PinatuboSystem.pcm(geometry=GEOM))
+        db = PimFastBit(runtime, table)
+        q = RangeQuery((("energy", 0, 7),))
+        db.query(q)
+        db.query(q)
+        assert db.cache_hits == 0

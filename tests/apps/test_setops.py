@@ -1,0 +1,246 @@
+"""Tests for the set-algebra expression layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.setops import (
+    BinOp,
+    Not,
+    PimSetAlgebra,
+    SetExpressionError,
+    Var,
+    evaluate_numpy,
+    expression_names,
+    parse_expression,
+    tokenize,
+)
+from repro.core.pinatubo import PinatuboSystem
+from repro.memsim.geometry import MemoryGeometry
+from repro.runtime.api import PimRuntime
+
+
+GEOM = MemoryGeometry(
+    channels=1,
+    ranks_per_channel=1,
+    chips_per_rank=1,
+    banks_per_chip=2,
+    subarrays_per_bank=8,
+    rows_per_subarray=64,
+    mats_per_subarray=1,
+    cols_per_mat=1024,
+    mux_ratio=8,
+)
+
+N = 512
+
+
+def make_sets(names, seed=0):
+    rng = np.random.default_rng(seed)
+    return {n: rng.integers(0, 2, N).astype(np.uint8) for n in names}
+
+
+class TestTokenizer:
+    def test_tokens(self):
+        assert tokenize("a & (b|c) ^ ~d") == [
+            "a", "&", "(", "b", "|", "c", ")", "^", "~", "d",
+        ]
+
+    def test_underscored_names(self):
+        assert tokenize("tag_a|tag_b") == ["tag_a", "|", "tag_b"]
+
+    def test_bad_character(self):
+        with pytest.raises(SetExpressionError, match="unexpected character"):
+            tokenize("a + b")
+
+
+class TestParser:
+    def test_single_var(self):
+        assert parse_expression("dogs") == Var("dogs")
+
+    def test_precedence(self):
+        node = parse_expression("a | b & c")
+        assert isinstance(node, BinOp) and node.op == "|"
+        right = node.operands[1]
+        assert isinstance(right, BinOp) and right.op == "&"
+
+    def test_not_binds_tightest(self):
+        node = parse_expression("~a & b")
+        assert node.op == "&"
+        assert isinstance(node.operands[0], Not)
+
+    def test_or_chain_flattens(self):
+        node = parse_expression("a | b | c | d")
+        assert node.op == "|"
+        assert len(node.operands) == 4  # one n-ary op, not a tree
+
+    def test_parenthesised_or_still_flattens(self):
+        node = parse_expression("(a | b) | (c | d)")
+        assert node.op == "|"
+        assert len(node.operands) == 4
+
+    def test_xor_chain_stays_left_assoc_shape(self):
+        node = parse_expression("a ^ b ^ c")
+        assert node.op == "^"
+        assert len(node.operands) == 3
+
+    def test_parens(self):
+        node = parse_expression("(a | b) & c")
+        assert node.op == "&"
+
+    def test_errors(self):
+        for bad in ("", "a |", "| a", "(a", "a b", "a & & b", "~"):
+            with pytest.raises(SetExpressionError):
+                parse_expression(bad)
+
+    def test_expression_names(self):
+        node = parse_expression("a & (b | ~c) ^ a")
+        assert expression_names(node) == {"a", "b", "c"}
+
+    def test_parenthesised_xor_flattens_too(self):
+        node = parse_expression("(a ^ b) ^ c")
+        assert node.op == "^"
+        assert len(node.operands) == 3
+
+
+class TestUnparse:
+    @pytest.mark.parametrize("expression", [
+        "a",
+        "~a",
+        "a | b | c",
+        "a & b | c",
+        "~(a | b) & c",
+        "(a ^ b) | (c & d)",
+        "a & (b | c) & ~d",
+    ])
+    def test_roundtrip(self, expression):
+        from repro.apps.setops import unparse
+
+        node = parse_expression(expression)
+        assert parse_expression(unparse(node)) == node
+
+    def test_canonical_text(self):
+        from repro.apps.setops import unparse
+
+        assert unparse(parse_expression("a|b|c")) == "a | b | c"
+        assert unparse(parse_expression("~( a )")) == "~a"
+
+    @given(
+        depth_seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property_random_asts(self, depth_seed):
+        from repro.apps.setops import unparse
+
+        rng = np.random.default_rng(depth_seed)
+
+        def build(depth):
+            choice = rng.integers(0, 4 if depth < 3 else 1)
+            if choice == 0:
+                return Var(f"s{int(rng.integers(0, 5))}")
+            if choice == 1:
+                return Not(build(depth + 1))
+            op = ["&", "|", "^"][int(rng.integers(0, 3))]
+            n = int(rng.integers(2, 4))
+            operands = []
+            for _ in range(n):
+                operand = build(depth + 1)
+                # keep the AST canonical (as the parser would produce):
+                # no same-op child of an associative chain
+                if isinstance(operand, BinOp) and operand.op == op:
+                    operands.extend(operand.operands)
+                else:
+                    operands.append(operand)
+            return BinOp(op, tuple(operands))
+
+        node = build(0)
+        assert parse_expression(unparse(node)) == node
+
+
+class TestNumpyEvaluation:
+    def test_matches_direct(self):
+        sets = make_sets("abcd")
+        node = parse_expression("a & (b | c) & ~d")
+        expected = sets["a"] & (sets["b"] | sets["c"]) & (1 - sets["d"])
+        np.testing.assert_array_equal(evaluate_numpy(node, sets), expected)
+
+    def test_unknown_name(self):
+        with pytest.raises(SetExpressionError, match="unknown set"):
+            evaluate_numpy(parse_expression("ghost"), {})
+
+
+class TestPimEvaluation:
+    @pytest.fixture
+    def algebra(self):
+        rt = PimRuntime(PinatuboSystem.pcm(geometry=GEOM))
+        return PimSetAlgebra(rt, N)
+
+    def _load(self, algebra, sets):
+        for name, bits in sets.items():
+            algebra.define(name, bits)
+
+    @pytest.mark.parametrize("expression", [
+        "a | b",
+        "a & b",
+        "a ^ b",
+        "~a",
+        "a & (b | c) & ~d",
+        "(a ^ b) | (c & d)",
+        "a | b | c | d",
+    ])
+    def test_matches_numpy(self, algebra, expression):
+        sets = make_sets("abcd", seed=3)
+        self._load(algebra, sets)
+        expected = evaluate_numpy(parse_expression(expression), sets)
+        np.testing.assert_array_equal(algebra.query(expression), expected)
+
+    def test_wide_or_is_one_step(self, algebra):
+        sets = make_sets([f"s{i}" for i in range(12)], seed=4)
+        self._load(algebra, sets)
+        before = algebra.runtime.pim_accounting.in_memory_steps
+        algebra.query(" | ".join(sets))
+        # the flattened 12-way OR runs as one multi-row activation
+        assert algebra.runtime.pim_accounting.in_memory_steps == before + 1
+
+    def test_count(self, algebra):
+        sets = make_sets("ab", seed=5)
+        self._load(algebra, sets)
+        assert algebra.count("a & b") == int((sets["a"] & sets["b"]).sum())
+
+    def test_redefine_overwrites(self, algebra):
+        algebra.define("x", np.zeros(N, np.uint8))
+        algebra.define("x", np.ones(N, np.uint8))
+        assert algebra.count("x") == N
+
+    def test_names(self, algebra):
+        algebra.define("zeta", np.zeros(N, np.uint8))
+        algebra.define("alpha", np.zeros(N, np.uint8))
+        assert algebra.names() == ["alpha", "zeta"]
+
+    def test_validation(self, algebra):
+        with pytest.raises(ValueError, match="bits"):
+            algebra.define("short", np.zeros(3, np.uint8))
+        with pytest.raises(SetExpressionError):
+            algebra.query("missing_set")
+        with pytest.raises(ValueError):
+            PimSetAlgebra(algebra.runtime, 0)
+
+    @given(
+        seed=st.integers(0, 2**12),
+        expression=st.sampled_from([
+            "a & b | c",
+            "~(a | b) & c",
+            "a ^ b ^ c",
+            "(a | b | c) & ~a",
+        ]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_property_random_sets(self, seed, expression):
+        sets = make_sets("abc", seed=seed)
+        rt = PimRuntime(PinatuboSystem.pcm(geometry=GEOM))
+        algebra = PimSetAlgebra(rt, N)
+        for name, bits in sets.items():
+            algebra.define(name, bits)
+        expected = evaluate_numpy(parse_expression(expression), sets)
+        np.testing.assert_array_equal(algebra.query(expression), expected)

@@ -1,0 +1,129 @@
+"""Tests for the Vector microbenchmark and the PimBitVector sugar."""
+
+import numpy as np
+import pytest
+
+from repro.apps.bitvector import PimBitVector
+from repro.apps.vectorbench import vector_run_pim, vector_trace
+from repro.core.pinatubo import PinatuboSystem
+from repro.memsim.geometry import MemoryGeometry
+from repro.runtime.api import PimRuntime
+from repro.workloads.spec import PAPER_VECTOR_SPECS, VectorSpec
+from repro.workloads.trace import BitwiseEvent
+
+
+SMALL_GEOM = MemoryGeometry(
+    channels=1,
+    ranks_per_channel=1,
+    chips_per_rank=1,
+    banks_per_chip=2,
+    subarrays_per_bank=8,
+    rows_per_subarray=64,
+    mats_per_subarray=1,
+    cols_per_mat=512,
+    mux_ratio=8,
+)
+
+
+@pytest.fixture
+def runtime():
+    return PimRuntime(PinatuboSystem.pcm(geometry=SMALL_GEOM))
+
+
+class TestVectorSpec:
+    def test_parse_paper_specs(self):
+        for text in PAPER_VECTOR_SPECS:
+            spec = VectorSpec.parse(text)
+            assert spec.label == text
+
+    def test_fields(self):
+        spec = VectorSpec.parse("19-16-7s")
+        assert spec.vector_bits == 1 << 19
+        assert spec.n_vectors == 1 << 16
+        assert spec.operands_per_op == 128
+        assert spec.n_ops == (1 << 16) // 128
+
+    def test_random_suffix(self):
+        from repro.baselines.base import AccessPattern
+
+        assert VectorSpec.parse("14-16-7r").access is AccessPattern.RANDOM
+
+    def test_bad_specs(self):
+        for bad in ("19-16", "19-16-7x", "a-b-cs", ""):
+            with pytest.raises(ValueError):
+                VectorSpec.parse(bad)
+
+
+class TestVectorTrace:
+    def test_event_shape(self):
+        trace = vector_trace("19-16-7s")
+        events = [e for e in trace.events if isinstance(e, BitwiseEvent)]
+        assert len(events) == 1
+        e = events[0]
+        assert e.op == "or"
+        assert e.n_operands == 128
+        assert e.vector_bits == 1 << 19
+        assert e.count == (1 << 16) // 128
+
+    def test_operand_bits_total(self):
+        trace = vector_trace("19-16-1s")
+        # every vector consumed once
+        assert trace.bitwise_operand_bits == (1 << 16) * (1 << 19)
+
+
+class TestVectorFunctional:
+    def test_small_instance_correct(self, runtime):
+        spec = VectorSpec(log_length=8, log_vectors=4, log_rows=2,
+                          access=VectorSpec.parse("19-16-1s").access)
+        results, oracles = vector_run_pim(runtime, spec, seed=3)
+        assert len(results) == spec.n_ops
+        for got, want in zip(results, oracles):
+            np.testing.assert_array_equal(got, want)
+
+
+class TestPimBitVector:
+    def test_operators_match_numpy(self, runtime):
+        rng = np.random.default_rng(0)
+        da = rng.integers(0, 2, 256).astype(np.uint8)
+        db_ = rng.integers(0, 2, 256).astype(np.uint8)
+        a = PimBitVector.from_bits(runtime, da)
+        b = PimBitVector.from_bits(runtime, db_)
+        np.testing.assert_array_equal((a | b).to_numpy(), da | db_)
+        np.testing.assert_array_equal((a & b).to_numpy(), da & db_)
+        np.testing.assert_array_equal((a ^ b).to_numpy(), da ^ db_)
+        np.testing.assert_array_equal((~a).to_numpy(), 1 - da)
+
+    def test_any_of_multirow(self, runtime):
+        rng = np.random.default_rng(1)
+        data = [rng.integers(0, 2, 128).astype(np.uint8) for _ in range(8)]
+        vecs = [PimBitVector.from_bits(runtime, d, group="g") for d in data]
+        out = PimBitVector.any_of(vecs)
+        np.testing.assert_array_equal(out.to_numpy(), np.bitwise_or.reduce(data))
+
+    def test_popcount(self, runtime):
+        bits = np.zeros(100, np.uint8)
+        bits[[1, 5, 7]] = 1
+        v = PimBitVector.from_bits(runtime, bits)
+        assert v.popcount() == 3
+
+    def test_length_mismatch_rejected(self, runtime):
+        a = PimBitVector.zeros(runtime, 64)
+        b = PimBitVector.zeros(runtime, 128)
+        with pytest.raises(ValueError):
+            _ = a | b
+
+    def test_any_of_needs_two(self, runtime):
+        a = PimBitVector.zeros(runtime, 64)
+        with pytest.raises(ValueError):
+            PimBitVector.any_of([a])
+
+    def test_free(self, runtime):
+        v = PimBitVector.zeros(runtime, 64)
+        live = runtime.allocator.live_handles
+        v.free()
+        assert runtime.allocator.live_handles == live - 1
+
+    def test_len_and_repr(self, runtime):
+        v = PimBitVector.zeros(runtime, 64)
+        assert len(v) == 64
+        assert "PimBitVector" in repr(v)

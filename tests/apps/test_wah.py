@@ -1,0 +1,127 @@
+"""Tests for WAH bitmap compression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.wah import (
+    GROUP_BITS,
+    compression_ratio,
+    wah_and,
+    wah_decode,
+    wah_encode,
+    wah_or,
+    wah_popcount,
+)
+
+
+def sparse_bits(n, density, seed=0):
+    rng = np.random.default_rng(seed)
+    return (rng.random(n) < density).astype(np.uint8)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("n", [1, 31, 32, 62, 93, 1000, 4096])
+    @pytest.mark.parametrize("density", [0.0, 0.01, 0.5, 1.0])
+    def test_encode_decode(self, n, density):
+        bits = sparse_bits(n, density, seed=n)
+        np.testing.assert_array_equal(wah_decode(wah_encode(bits), n), bits)
+
+    def test_all_zeros_is_one_fill(self):
+        bits = np.zeros(31 * 100, dtype=np.uint8)
+        words = wah_encode(bits)
+        assert len(words) == 1
+
+    def test_all_ones_is_one_fill(self):
+        bits = np.ones(31 * 100, dtype=np.uint8)
+        words = wah_encode(bits)
+        assert len(words) == 1
+        np.testing.assert_array_equal(wah_decode(words, 31 * 100), bits)
+
+    def test_dense_random_is_mostly_literals(self):
+        bits = sparse_bits(31 * 64, 0.5, seed=1)
+        assert len(wah_encode(bits)) == pytest.approx(64, abs=2)
+
+    def test_wrong_length_decode_rejected(self):
+        words = wah_encode(np.zeros(62, np.uint8))
+        with pytest.raises(ValueError, match="groups"):
+            wah_decode(words, 1000)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            wah_encode(np.zeros((2, 31), np.uint8))
+
+    @given(
+        n=st.integers(1, 500),
+        density=st.floats(0.0, 1.0),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, n, density, seed):
+        bits = sparse_bits(n, density, seed)
+        np.testing.assert_array_equal(wah_decode(wah_encode(bits), n), bits)
+
+
+class TestCompressedOps:
+    @pytest.mark.parametrize("da,db", [(0.01, 0.01), (0.5, 0.01), (0.9, 0.9)])
+    def test_and_or_match_numpy(self, da, db):
+        n = 31 * 40
+        a = sparse_bits(n, da, seed=2)
+        b = sparse_bits(n, db, seed=3)
+        wa, wb = wah_encode(a), wah_encode(b)
+        np.testing.assert_array_equal(wah_decode(wah_and(wa, wb), n), a & b)
+        np.testing.assert_array_equal(wah_decode(wah_or(wa, wb), n), a | b)
+
+    def test_result_stays_canonical(self):
+        """Ops must re-merge fills (0 AND anything = 0-fill)."""
+        n = 31 * 100
+        a = sparse_bits(n, 0.3, seed=4)
+        zeros = np.zeros(n, np.uint8)
+        result = wah_and(wah_encode(a), wah_encode(zeros))
+        assert len(result) == 1  # one zero fill
+
+    def test_mismatched_lengths_rejected(self):
+        a = wah_encode(np.zeros(31, np.uint8))
+        b = wah_encode(np.zeros(62, np.uint8))
+        with pytest.raises(ValueError, match="different bit counts"):
+            wah_and(a, b)
+
+    @given(
+        n_groups=st.integers(1, 30),
+        da=st.floats(0.0, 1.0),
+        db=st.floats(0.0, 1.0),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_ops_property(self, n_groups, da, db, seed):
+        n = GROUP_BITS * n_groups
+        a = sparse_bits(n, da, seed)
+        b = sparse_bits(n, db, seed + 1)
+        np.testing.assert_array_equal(
+            wah_decode(wah_or(wah_encode(a), wah_encode(b)), n), a | b
+        )
+
+
+class TestPopcountAndRatio:
+    def test_popcount_matches(self):
+        bits = sparse_bits(31 * 50, 0.2, seed=5)
+        assert wah_popcount(wah_encode(bits)) == int(bits.sum())
+
+    def test_sparse_bitmaps_compress_well(self):
+        bits = sparse_bits(31 * 32 * 100, 0.001, seed=6)
+        assert compression_ratio(bits) > 5
+
+    def test_dense_bitmaps_do_not_compress(self):
+        bits = sparse_bits(31 * 32 * 10, 0.5, seed=7)
+        assert compression_ratio(bits) < 1.1
+
+    def test_equality_encoded_index_bitmaps_compress(self):
+        """The FastBit use case: one bitmap per bin is ~1/n_bins dense."""
+        from repro.apps.fastbit import BitmapIndex
+        from repro.apps.star import synthetic_star_table
+
+        table = synthetic_star_table(31 * 1000, seed=8)
+        idx = BitmapIndex(table.bin_indices("energy"), 128)
+        ratios = [compression_ratio(idx.bitmap(b)) for b in (60, 90, 120)]
+        assert min(ratios) > 3  # high bins of a falling spectrum are sparse

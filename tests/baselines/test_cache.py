@@ -1,0 +1,147 @@
+"""Tests for the cache hierarchy simulator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cache import Cache, CacheHierarchy, HierarchyConfig
+
+
+class TestCache:
+    def test_cold_miss_then_hit(self):
+        c = Cache("L1", 1024, line_bytes=64, ways=2)
+        hit, _ = c.access(0, False)
+        assert not hit
+        hit, _ = c.access(0, False)
+        assert hit
+
+    def test_same_line_different_bytes_hit(self):
+        c = Cache("L1", 1024, line_bytes=64, ways=2)
+        c.access(0, False)
+        hit, _ = c.access(63, False)
+        assert hit
+
+    def test_lru_eviction(self):
+        c = Cache("L1", 2 * 64, line_bytes=64, ways=2)  # one set, two ways
+        c.access(0, False)
+        c.access(64, False)
+        c.access(128, False)  # evicts line 0 (LRU)
+        hit, _ = c.access(64, False)
+        assert hit
+        hit, _ = c.access(0, False)
+        assert not hit
+
+    def test_lru_updated_on_hit(self):
+        c = Cache("L1", 2 * 64, line_bytes=64, ways=2)
+        c.access(0, False)
+        c.access(64, False)
+        c.access(0, False)  # touch line 0 -> 64 becomes LRU
+        c.access(128, False)  # evicts 64
+        hit, _ = c.access(0, False)
+        assert hit
+
+    def test_dirty_eviction_reported(self):
+        c = Cache("L1", 2 * 64, line_bytes=64, ways=2)
+        c.access(0, True)  # dirty
+        c.access(64, False)
+        _, evicted = c.access(128, False)
+        assert evicted is not None
+
+    def test_clean_eviction_not_reported(self):
+        c = Cache("L1", 2 * 64, line_bytes=64, ways=2)
+        c.access(0, False)
+        c.access(64, False)
+        _, evicted = c.access(128, False)
+        assert evicted is None
+
+    def test_hit_rate(self):
+        c = Cache("L1", 1024, line_bytes=64, ways=2)
+        c.access(0, False)
+        c.access(0, False)
+        c.access(0, False)
+        assert c.hit_rate == pytest.approx(2 / 3)
+
+    def test_stats_reset(self):
+        c = Cache("L1", 1024, line_bytes=64, ways=2)
+        c.access(0, False)
+        c.reset_stats()
+        assert c.accesses == 0
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            Cache("bad", 0)
+        with pytest.raises(ValueError):
+            Cache("bad", 100, line_bytes=64, ways=3)
+
+
+class TestHierarchy:
+    def test_miss_goes_to_memory(self):
+        h = CacheHierarchy()
+        r = h.access(0)
+        assert r.level == "MEM"
+        assert h.mem_accesses == 1
+
+    def test_second_access_hits_l1(self):
+        h = CacheHierarchy()
+        h.access(0)
+        r = h.access(0)
+        assert r.level == "L1"
+        assert r.latency < h.mem_latency
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = CacheHierarchy()
+        # stream enough lines to overflow L1 (32 KB = 512 lines) but not L2
+        for i in range(1024):
+            h.access(i * 64)
+        r = h.access(0)
+        assert r.level == "L2"
+
+    def test_latency_ordering(self):
+        h = CacheHierarchy()
+        h.access(0)
+        l1 = h.access(0).latency
+        mem = h.access(1 << 30).latency
+        assert l1 < mem
+
+    def test_run_trace_aggregates(self):
+        h = CacheHierarchy()
+        stats = h.run_trace(np.array([0, 0, 64, 64]))
+        assert stats["accesses"] == 4
+        assert stats["levels"]["MEM"] == 2
+        assert stats["levels"]["L1"] == 2
+        assert stats["latency"] > 0
+
+    def test_run_trace_shape_check(self):
+        h = CacheHierarchy()
+        with pytest.raises(ValueError):
+            h.run_trace(np.array([0, 1]), writes=np.array([True]))
+
+
+class TestAnalyticalHelpers:
+    def test_fit_level_thresholds(self):
+        h = CacheHierarchy()
+        assert h.fit_level(16 * 1024) == "L1"
+        assert h.fit_level(128 * 1024) == "L2"
+        assert h.fit_level(4 * 1024 * 1024) == "L3"
+        assert h.fit_level(64 * 1024 * 1024) == "MEM"
+
+    def test_level_bandwidth_ordering(self):
+        h = CacheHierarchy()
+        assert (
+            h.level_bandwidth("L1")
+            > h.level_bandwidth("L2")
+            > h.level_bandwidth("L3")
+            > h.level_bandwidth("MEM")
+        )
+
+    def test_energy_per_byte_ordering(self):
+        h = CacheHierarchy()
+        assert (
+            h.level_energy_per_byte("L1")
+            < h.level_energy_per_byte("L2")
+            < h.level_energy_per_byte("L3")
+            < h.level_energy_per_byte("MEM")
+        )
+
+    def test_unknown_level(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy().level_energy_per_byte("L4")

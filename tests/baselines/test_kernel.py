@@ -1,0 +1,107 @@
+"""Tests for the instruction-level SIMD kernel model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.kernel import (
+    PortConfig,
+    bitwise_kernel_profile,
+    bottleneck,
+    cycles_per_iteration,
+    kernel_compute_time,
+)
+from repro.baselines.simd import CpuConfig, SimdCpu
+
+
+class TestProfile:
+    def test_two_operand_mix(self):
+        p = bitwise_kernel_profile(2, unroll=1)
+        assert p.loads == 2
+        assert p.stores == 1
+        assert p.vector_ops == 1
+        assert p.instructions == p.loads + p.stores + p.vector_ops + p.scalar_ops
+
+    def test_unroll_amortises_overhead(self):
+        rolled = bitwise_kernel_profile(2, unroll=1)
+        unrolled = bitwise_kernel_profile(2, unroll=8)
+        per_group_rolled = rolled.instructions / 1
+        per_group_unrolled = unrolled.instructions / 8
+        assert per_group_unrolled < per_group_rolled
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bitwise_kernel_profile(0)
+        with pytest.raises(ValueError):
+            bitwise_kernel_profile(2, unroll=0)
+        with pytest.raises(ValueError):
+            PortConfig(load_ports=0)
+
+
+class TestCycleBounds:
+    def test_two_operand_loop_is_load_bound(self):
+        """n loads vs 2 load ports vs (n-1) ALU ops on 3 ports: loads win."""
+        p = bitwise_kernel_profile(2, unroll=8)
+        assert bottleneck(p) in ("loads", "issue")
+
+    def test_wide_or_is_frontend_or_load_bound(self):
+        """Wide fan-in: n loads + (n-1) ops swamp the 4-wide frontend
+        before the 3 ALU ports ever saturate."""
+        p = bitwise_kernel_profile(16, unroll=4)
+        assert bottleneck(p) in ("loads", "issue")
+
+    def test_cycles_at_least_issue_bound(self):
+        p = bitwise_kernel_profile(4, unroll=4)
+        ports = PortConfig()
+        assert cycles_per_iteration(p, ports) >= p.instructions / ports.issue_width
+
+    @given(n=st.integers(1, 64), unroll=st.integers(1, 16))
+    @settings(max_examples=60)
+    def test_cycles_positive_and_monotone_in_operands(self, n, unroll):
+        a = cycles_per_iteration(bitwise_kernel_profile(n, unroll))
+        b = cycles_per_iteration(bitwise_kernel_profile(n + 1, unroll))
+        assert 0 < a <= b
+
+
+class TestKernelTime:
+    def test_never_below_port_limited_alu_floor(self):
+        """Whatever the mix, the 3 vector-ALU ports are a hard floor."""
+        cpu = CpuConfig()
+        ports = PortConfig()
+        for n in (2, 8, 64):
+            bits = 1 << 18
+            lane_ops = max(1, n - 1) * (bits // cpu.simd_bits)
+            alu_floor = lane_ops / ports.vector_alu_ports * cpu.cycle / cpu.cores
+            detailed = kernel_compute_time(n, bits, cpu, ports)
+            assert detailed >= alu_floor * 0.99
+
+    def test_narrow_fanin_slower_than_naive_roofline(self):
+        """At 2 operands the loads/loop overhead dominate: the detailed
+        model is slower than the roofline's 1-op-per-cycle estimate."""
+        cpu = CpuConfig()
+        bits = 1 << 18
+        lane_ops = bits // cpu.simd_bits
+        roofline = lane_ops * cpu.cycle / cpu.cores
+        assert kernel_compute_time(2, bits, cpu) > roofline
+
+    def test_scales_linearly_with_length(self):
+        a = kernel_compute_time(2, 1 << 16)
+        b = kernel_compute_time(2, 1 << 18)
+        assert b == pytest.approx(4 * a, rel=0.05)
+
+    def test_memory_still_dominates_streaming(self):
+        """Even the detailed compute leg stays under the DRAM-stream time
+        for bulk vectors -- the kernels are memory-bound, as the paper's
+        motivation says."""
+        cpu_model = SimdCpu.with_dram()
+        bits = 1 << 20
+        t_compute = kernel_compute_time(2, bits)
+        moved = (2 * bits + 2 * bits) / 8
+        t_mem = moved / (
+            cpu_model.memory.peak_bandwidth * SimdCpu.MEM_STREAM_EFFICIENCY
+        )
+        assert t_compute < t_mem
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kernel_compute_time(2, 0)

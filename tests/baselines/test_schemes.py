@@ -1,0 +1,161 @@
+"""Tests for S-DRAM, AC-PIM, Ideal and the Pinatubo cost model, including
+the cross-scheme ordering invariants the paper's Figs. 10-11 report."""
+
+import pytest
+
+from repro.baselines.acpim import AcPim
+from repro.baselines.base import AccessPattern, BaselineCost
+from repro.baselines.ideal import IdealPim
+from repro.baselines.sdram import SDram
+from repro.baselines.simd import SimdCpu
+from repro.core.model import PinatuboModel
+
+
+@pytest.fixture(scope="module")
+def schemes():
+    return {
+        "cpu_dram": SimdCpu.with_dram(),
+        "cpu_pcm": SimdCpu.with_pcm(),
+        "sdram": SDram(),
+        "acpim": AcPim(),
+        "p2": PinatuboModel(max_rows=2),
+        "p128": PinatuboModel(),
+        "ideal": IdealPim(),
+    }
+
+
+class TestSDram:
+    def test_only_and_or_offloaded(self, schemes):
+        s = schemes["sdram"]
+        assert s.supports("or") and s.supports("and")
+        assert not s.supports("xor") and not s.supports("inv")
+
+    def test_xor_falls_back_to_cpu(self, schemes):
+        s = schemes["sdram"]
+        xor = s.bitwise_cost("xor", 2, 1 << 19)
+        assert not xor.offloaded
+        cpu = schemes["cpu_dram"].bitwise_cost("xor", 2, 1 << 19)
+        assert xor.latency == pytest.approx(cpu.latency)
+
+    def test_or_offloaded(self, schemes):
+        assert schemes["sdram"].bitwise_cost("or", 2, 1 << 19).offloaded
+
+    def test_copy_overhead_hurts_short_vectors(self, schemes):
+        s = schemes["sdram"]
+        cpu = schemes["cpu_dram"]
+        short = 1 << 12
+        assert (
+            s.bitwise_cost("or", 2, short).latency
+            > cpu.bitwise_cost("or", 2, short).latency * 0.5
+        )
+
+    def test_random_access_serialises_banks(self, schemes):
+        s = schemes["sdram"]
+        seq = s.bitwise_cost("or", 2, 1 << 19, AccessPattern.SEQUENTIAL)
+        rand = s.bitwise_cost("or", 2, 1 << 19, AccessPattern.RANDOM)
+        assert rand.latency > seq.latency
+
+    def test_multi_operand_decomposes(self, schemes):
+        s = schemes["sdram"]
+        two = s.bitwise_cost("or", 2, 1 << 19).latency
+        many = s.bitwise_cost("or", 9, 1 << 19).latency
+        assert many == pytest.approx(8 * two, rel=0.01)
+
+
+class TestAcPim:
+    def test_supports_all_ops(self, schemes):
+        for op in ("or", "and", "xor", "inv"):
+            assert schemes["acpim"].supports(op)
+
+    def test_no_multirow_benefit(self, schemes):
+        a = schemes["acpim"]
+        two = a.bitwise_cost("or", 2, 1 << 19).latency
+        many = a.bitwise_cost("or", 128, 1 << 19).latency
+        assert many > 40 * two  # ~linear in operand count
+
+    def test_slower_than_pinatubo_128_everywhere(self, schemes):
+        for op, n, L in [
+            ("or", 2, 1 << 19),
+            ("or", 128, 1 << 19),
+            ("or", 128, 1 << 14),
+            ("and", 2, 1 << 16),
+            ("xor", 2, 1 << 19),
+        ]:
+            ac = schemes["acpim"].bitwise_cost(op, n, L)
+            p = schemes["p128"].bitwise_cost(op, n, L)
+            assert ac.latency > p.latency, (op, n, L)
+            assert ac.energy > p.energy, (op, n, L)
+
+
+class TestPinatuboModel:
+    def test_default_name_reflects_rows(self, schemes):
+        assert schemes["p128"].name == "Pinatubo-128"
+        assert schemes["p2"].name == "Pinatubo-2"
+
+    def test_multirow_wins_on_wide_or(self, schemes):
+        p2 = schemes["p2"].bitwise_cost("or", 128, 1 << 19)
+        p128 = schemes["p128"].bitwise_cost("or", 128, 1 << 19)
+        assert p128.latency < p2.latency / 20
+
+    def test_identical_on_2row_ops(self, schemes):
+        for op in ("or", "and", "xor"):
+            a = schemes["p2"].bitwise_cost(op, 2, 1 << 19)
+            b = schemes["p128"].bitwise_cost(op, 2, 1 << 19)
+            assert a.latency == pytest.approx(b.latency)
+
+    def test_random_collapses_multirow_advantage(self, schemes):
+        """Paper: 14-16-7r is dominated by inter-subarray/bank operations,
+        so Pinatubo-128 is as slow as Pinatubo-2."""
+        p2 = schemes["p2"].bitwise_cost("or", 128, 1 << 14, AccessPattern.RANDOM)
+        p128 = schemes["p128"].bitwise_cost("or", 128, 1 << 14, AccessPattern.RANDOM)
+        assert p128.latency == pytest.approx(p2.latency, rel=1e-9)
+
+    def test_sdram_beats_p2_on_long_sequential(self, schemes):
+        """Paper: S-DRAM benefits from larger (unmuxed) row buffers on
+        very long sequential vectors."""
+        sd = schemes["sdram"].bitwise_cost("or", 2, 1 << 20)
+        p2 = schemes["p2"].bitwise_cost("or", 2, 1 << 20)
+        assert sd.latency < p2.latency
+
+    def test_p128_beats_sdram_on_multirow(self, schemes):
+        sd = schemes["sdram"].bitwise_cost("or", 128, 1 << 19)
+        p128 = schemes["p128"].bitwise_cost("or", 128, 1 << 19)
+        assert sd.latency / p128.latency > 10  # paper: 22x gmean
+
+
+class TestIdeal:
+    def test_zero_cost(self, schemes):
+        cost = schemes["ideal"].bitwise_cost("or", 128, 1 << 20)
+        assert cost.latency == 0.0
+        assert cost.energy == 0.0
+        assert cost.offloaded
+
+    def test_validates_args(self, schemes):
+        with pytest.raises(ValueError):
+            schemes["ideal"].bitwise_cost("or", 1, 1024)
+
+
+class TestHeadlineRatios:
+    """E11 shape: the paper's headline bitwise-op numbers."""
+
+    def test_multirow_speedup_order_of_magnitude(self, schemes):
+        cpu = schemes["cpu_pcm"].bitwise_cost("or", 128, 1 << 19)
+        p128 = schemes["p128"].bitwise_cost("or", 128, 1 << 19)
+        speedup = cpu.latency / p128.latency
+        assert 150 <= speedup <= 1500  # paper: ~500x
+
+    def test_multirow_energy_saving_order_of_magnitude(self, schemes):
+        cpu = schemes["cpu_pcm"].bitwise_cost("or", 128, 1 << 19)
+        p128 = schemes["p128"].bitwise_cost("or", 128, 1 << 19)
+        saving = cpu.energy / p128.energy
+        assert 8_000 <= saving <= 80_000  # paper: ~28000x
+
+
+class TestBaselineCost:
+    def test_merge(self):
+        a = BaselineCost(1e-6, 2e-6, True)
+        b = BaselineCost(2e-6, 3e-6, False)
+        m = a.merged(b)
+        assert m.latency == pytest.approx(3e-6)
+        assert m.energy == pytest.approx(5e-6)
+        assert not m.offloaded

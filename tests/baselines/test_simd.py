@@ -1,0 +1,94 @@
+"""Tests for the SIMD CPU baseline."""
+
+import pytest
+
+from repro.baselines.base import AccessPattern
+from repro.baselines.simd import CpuConfig, SimdCpu
+
+
+@pytest.fixture
+def cpu():
+    return SimdCpu.with_dram()
+
+
+class TestRoofline:
+    def test_large_ops_are_memory_bound(self, cpu):
+        L = 1 << 22
+        cost = cpu.bitwise_cost("or", 2, L)
+        moved = (2 * L + 2 * L) / 8
+        bw = cpu.memory.peak_bandwidth * SimdCpu.MEM_STREAM_EFFICIENCY
+        assert cost.latency == pytest.approx(
+            moved / bw + cpu.config.call_overhead, rel=1e-6
+        )
+
+    def test_resident_working_set_much_faster(self, cpu):
+        L = 8 * 1024 * 8  # 8 KB vectors -> both fit in 32 KB L1
+        hot = cpu.bitwise_cost("or", 2, L, resident=True)
+        cold = cpu.bitwise_cost("or", 2, L, resident=False)
+        assert hot.latency < cold.latency / 3
+
+    def test_latency_scales_with_operands(self, cpu):
+        a = cpu.bitwise_cost("or", 2, 1 << 20).latency
+        b = cpu.bitwise_cost("or", 8, 1 << 20).latency
+        assert b > 2 * a
+
+    def test_random_access_slower(self, cpu):
+        seq = cpu.bitwise_cost("or", 2, 1 << 20, AccessPattern.SEQUENTIAL)
+        rand = cpu.bitwise_cost("or", 2, 1 << 20, AccessPattern.RANDOM)
+        assert rand.latency > seq.latency
+
+    def test_inv_cheaper_than_or(self, cpu):
+        inv = cpu.bitwise_cost("inv", 1, 1 << 20)
+        orr = cpu.bitwise_cost("or", 2, 1 << 20)
+        assert inv.latency < orr.latency
+
+    def test_never_offloaded(self, cpu):
+        assert not cpu.bitwise_cost("or", 2, 1 << 14).offloaded
+
+    def test_supports_everything(self, cpu):
+        for op in ("or", "and", "xor", "inv"):
+            assert cpu.supports(op)
+
+
+class TestEnergy:
+    def test_energy_includes_package_power(self, cpu):
+        cost = cpu.bitwise_cost("or", 2, 1 << 22)
+        assert cost.energy >= cpu.config.active_power * cost.latency
+
+    def test_pcm_backed_cpu_costs_more_energy_on_writes(self):
+        dram = SimdCpu.with_dram().bitwise_cost("or", 2, 1 << 22)
+        pcm = SimdCpu.with_pcm().bitwise_cost("or", 2, 1 << 22)
+        assert pcm.energy > dram.energy  # PCM write energy per bit is higher
+
+
+class TestTraceMode:
+    def test_trace_levels_reflect_working_set(self):
+        cpu = SimdCpu.with_dram()
+        # tiny kernel: 2 x 2 KB vectors -> after cold misses, hits
+        stats = cpu.trace_bitwise("or", 2, 2 * 1024 * 8)
+        assert stats["levels"]["MEM"] > 0  # cold misses
+        assert stats["accesses"] == 3 * (2 * 1024 // 64)
+
+    def test_trace_validates_args(self):
+        cpu = SimdCpu.with_dram()
+        with pytest.raises(ValueError):
+            cpu.trace_bitwise("nand", 2, 1024)
+
+
+class TestConfig:
+    def test_cycle(self):
+        assert CpuConfig().cycle == pytest.approx(1 / 3.3e9)
+
+    def test_paper_cache_sizes(self):
+        cpu = SimdCpu.with_dram()
+        assert cpu.hierarchy.config.l1_size == 32 * 1024
+        assert cpu.hierarchy.config.l2_size == 256 * 1024
+        assert cpu.hierarchy.config.l3_size == 6 * 1024 * 1024
+
+    def test_validation(self, cpu):
+        with pytest.raises(ValueError):
+            cpu.bitwise_cost("or", 1, 1024)
+        with pytest.raises(ValueError):
+            cpu.bitwise_cost("inv", 2, 1024)
+        with pytest.raises(ValueError):
+            cpu.bitwise_cost("or", 2, 0)

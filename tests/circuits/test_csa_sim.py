@@ -1,0 +1,134 @@
+"""Tests for the CSA transient model (paper Fig. 6)."""
+
+import pytest
+
+from repro.circuits.csa_sim import CSAConfig, CSATransientSim
+from repro.nvm.sense_amp import SenseMode
+from repro.nvm.technology import get_technology
+
+
+@pytest.fixture(scope="module")
+def pcm():
+    return get_technology("pcm")
+
+
+@pytest.fixture(scope="module")
+def sim(pcm):
+    return CSATransientSim(pcm)
+
+
+def r_of(pcm, bit):
+    return pcm.r_low if bit else pcm.r_high
+
+
+class TestRead:
+    def test_read_one(self, sim, pcm):
+        assert sim.read(pcm.r_low).bit == 1
+
+    def test_read_zero(self, sim, pcm):
+        assert sim.read(pcm.r_high).bit == 0
+
+    def test_output_swings_rail_to_rail(self, sim, pcm):
+        cfg = sim.config
+        one = sim.read(pcm.r_low)
+        zero = sim.read(pcm.r_high)
+        assert one.v_out.final > 0.9 * cfg.vdd
+        assert zero.v_out.final < 0.1 * cfg.vdd
+
+    def test_sampling_phase_monotone_charge(self, sim, pcm):
+        trace = sim.read(pcm.r_low)
+        t_half = sim.config.t_sample / 2
+        assert trace.v_cell.at(t_half) < trace.v_cell.at(sim.config.t_sample)
+
+    def test_cell_charges_faster_than_ref_for_one(self, sim, pcm):
+        trace = sim.read(pcm.r_low)
+        t = sim.config.t_sample
+        assert trace.v_cell.at(t) > trace.v_ref.at(t)
+
+    def test_nonpositive_resistance_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.read(0.0)
+
+
+class TestBitwiseOps:
+    @pytest.mark.parametrize("a,b", [(0, 0), (0, 1), (1, 0), (1, 1)])
+    def test_or_truth_table(self, sim, pcm, a, b):
+        trace = sim.bitwise_or([r_of(pcm, a), r_of(pcm, b)])
+        assert trace.bit == (a | b)
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (0, 1), (1, 0), (1, 1)])
+    def test_and_truth_table(self, sim, pcm, a, b):
+        trace = sim.bitwise_and([r_of(pcm, a), r_of(pcm, b)])
+        assert trace.bit == (a & b)
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (0, 1), (1, 0), (1, 1)])
+    def test_xor_truth_table(self, sim, pcm, a, b):
+        trace = sim.bitwise_xor(r_of(pcm, a), r_of(pcm, b))
+        assert trace.bit == (a ^ b)
+
+    @pytest.mark.parametrize("bit", [0, 1])
+    def test_inv_truth_table(self, sim, pcm, bit):
+        assert sim.invert(r_of(pcm, bit)).bit == (1 - bit)
+
+    def test_multirow_or_all_zero(self, sim, pcm):
+        cells = [pcm.r_high] * 128
+        assert sim.bitwise_or(cells).bit == 0
+
+    def test_multirow_or_single_one(self, sim, pcm):
+        cells = [pcm.r_high] * 127 + [pcm.r_low]
+        assert sim.bitwise_or(cells).bit == 1
+
+    def test_or_needs_two_cells(self, sim, pcm):
+        with pytest.raises(ValueError):
+            sim.bitwise_or([pcm.r_low])
+
+    def test_and_needs_exactly_two(self, sim, pcm):
+        with pytest.raises(ValueError):
+            sim.bitwise_and([pcm.r_low] * 3)
+
+
+class TestOtherTechnologies:
+    @pytest.mark.parametrize("name", ["reram", "stt"])
+    @pytest.mark.parametrize("a,b", [(0, 0), (0, 1), (1, 1)])
+    def test_or_and_on_other_cells(self, name, a, b):
+        tech = get_technology(name)
+        sim = CSATransientSim(tech)
+        ra = tech.r_low if a else tech.r_high
+        rb = tech.r_low if b else tech.r_high
+        assert sim.bitwise_or([ra, rb]).bit == (a | b)
+        assert sim.bitwise_and([ra, rb]).bit == (a & b)
+
+
+class TestFigure6Sequence:
+    def test_default_sequence_is_correct(self, sim):
+        results = sim.figure6_sequence()
+        assert len(results) == 15
+        for entry in results:
+            a, b, mode = entry["a"], entry["b"], entry["mode"]
+            expected = {
+                SenseMode.OR: a | b,
+                SenseMode.AND: a & b,
+                SenseMode.XOR: a ^ b,
+            }[mode]
+            assert entry["bit"] == expected, (mode, a, b)
+
+    def test_custom_pattern(self, sim):
+        results = sim.figure6_sequence([(SenseMode.OR, 1, 1)])
+        assert len(results) == 1
+        assert results[0]["bit"] == 1
+
+    def test_unsupported_mode_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.figure6_sequence([(SenseMode.READ, 1, 0)])
+
+
+class TestConfig:
+    def test_total_time(self):
+        cfg = CSAConfig(t_sample=1e-9, t_amplify=2e-9, t_output=3e-9)
+        assert cfg.t_total == pytest.approx(6e-9)
+
+    def test_custom_config_used(self, pcm):
+        cfg = CSAConfig(vdd=1.0)
+        sim = CSATransientSim(pcm, cfg)
+        trace = sim.read(pcm.r_low)
+        assert trace.v_out.final <= 1.0 + 1e-9

@@ -1,0 +1,91 @@
+"""Tests for the LWL driver transient model (paper Fig. 7)."""
+
+import pytest
+
+from repro.circuits.lwl_sim import LWLConfig, LWLDriverSim
+
+
+@pytest.fixture
+def sim():
+    return LWLDriverSim(n_rows=16)
+
+
+class TestLatching:
+    def test_single_activation_latches(self, sim):
+        trace = sim.run_sequence([3])
+        assert trace.latched_rows == (3,)
+
+    def test_multi_activation_all_latched(self, sim):
+        trace = sim.run_sequence([1, 4, 9])
+        assert trace.latched_rows == (1, 4, 9)
+
+    def test_wordline_stays_high_after_pulse_ends(self, sim):
+        trace = sim.run_sequence([2], pulse_width=0.5e-9, tail=4e-9)
+        wl = trace.wordline[2]
+        cfg = sim.config
+        # After the decode pulse the latch must hold the WL near VDD.
+        assert wl.final > 0.9 * cfg.vdd
+
+    def test_unselected_rows_stay_low(self, sim):
+        trace = sim.run_sequence([5])
+        for row, wl in trace.wordline.items():
+            if row != 5:
+                assert wl.final < 0.2 * sim.config.vdd
+
+    def test_earlier_rows_hold_while_later_latch(self, sim):
+        """The point of the latch: row latched first must still be high
+        when the last row's pulse fires."""
+        trace = sim.run_sequence([0, 7], pulse_width=0.5e-9, gap=0.5e-9)
+        wl_first = trace.wordline[0]
+        # time when second pulse starts
+        t_second = 0.5e-9 + 0.5e-9 + (0.5e-9 + 0.5e-9)
+        assert wl_first.at(t_second) > 0.8 * sim.config.vdd
+
+    def test_reset_clears_before_sequence(self, sim):
+        trace = sim.run_sequence([1])
+        wl = trace.wordline[1]
+        # During RESET the WL is held at ground.
+        assert wl.at(0.25e-9) < 0.1 * sim.config.vdd
+
+
+class TestWaveformShape:
+    def test_decode_pulse_windows_are_disjoint(self, sim):
+        trace = sim.run_sequence([1, 2, 3])
+        pulses = [trace.decode[r] for r in (1, 2, 3)]
+        # at any time at most one decode pulse is high
+        times = pulses[0].times
+        total = sum(p.values for p in pulses)
+        assert total.max() <= sim.config.vdd + 1e-9
+
+    def test_reset_waveform_shape(self, sim):
+        trace = sim.run_sequence([1], reset_width=0.5e-9)
+        assert trace.reset.at(0.2e-9) == sim.config.vdd
+        assert trace.reset.at(1.0e-9) == 0.0
+
+    def test_wordline_rise_time_finite(self, sim):
+        trace = sim.run_sequence([1])
+        wl = trace.wordline[1]
+        t_cross = wl.crossing_time(sim.config.vdd / 2)
+        assert t_cross is not None
+        assert t_cross > 0
+
+
+class TestValidation:
+    def test_row_out_of_range(self, sim):
+        with pytest.raises(ValueError, match="out of range"):
+            sim.run_sequence([99])
+
+    def test_duplicate_rows_rejected(self, sim):
+        with pytest.raises(ValueError, match="duplicate"):
+            sim.run_sequence([1, 1])
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            LWLDriverSim(n_rows=0)
+
+    def test_128_row_activation(self):
+        """The PCM case: a full 128-row multi-activation latches all rows."""
+        sim = LWLDriverSim(n_rows=256)
+        rows = list(range(0, 256, 2))  # 128 rows
+        trace = sim.run_sequence(rows, pulse_width=0.3e-9, gap=0.2e-9, tail=1e-9)
+        assert trace.latched_rows == tuple(rows)

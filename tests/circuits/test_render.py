@@ -1,0 +1,82 @@
+"""Tests for ASCII waveform rendering."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.lwl_sim import LWLDriverSim
+from repro.circuits.render import render_digital, render_traces, render_waveform
+from repro.circuits.transient import Waveform
+
+
+def ramp(n=100, top=1.0):
+    return Waveform(np.linspace(0, 1e-9, n), np.linspace(0, top, n))
+
+
+class TestAnalogRender:
+    def test_shape(self):
+        text = render_waveform(ramp(), width=40, height=6, label="ramp")
+        lines = text.split("\n")
+        assert lines[0] == "ramp"
+        assert len(lines) == 1 + 6 + 1  # label + rows + footer
+        assert all("|" in line for line in lines[1:-1])
+
+    def test_ramp_fills_towards_the_right(self):
+        text = render_waveform(ramp(), width=40, height=4)
+        top_row = text.split("\n")[0]
+        inner = top_row.split("|")[1]
+        assert inner[:10].strip() == ""  # low at the start
+        assert "#" in inner[-5:]  # high at the end
+
+    def test_footer_shows_duration(self):
+        assert "1.0 ns" in render_waveform(ramp())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_waveform(ramp(), width=1)
+        with pytest.raises(ValueError):
+            render_waveform(Waveform([], []), width=10)
+
+
+class TestDigitalRender:
+    def test_levels(self):
+        wave = Waveform([0, 1, 2, 3], [0.0, 0.0, 1.0, 1.0])
+        trace = render_digital(wave, threshold=0.5, width=8)
+        assert set(trace) <= {"^", "_"}
+        assert trace[0] == "_"
+        assert trace[-1] == "^"
+
+    def test_width(self):
+        assert len(render_digital(ramp(), 0.5, width=32)) == 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_digital(ramp(), 0.5, width=1)
+
+
+class TestTraceGroup:
+    def test_lwl_figure7_render(self):
+        sim = LWLDriverSim(n_rows=8)
+        trace = sim.run_sequence([1, 3])
+        text = render_traces(
+            {f"WL{r}": w for r, w in trace.wordline.items()},
+            threshold=sim.config.vdd / 2,
+        )
+        lines = text.split("\n")
+        assert len(lines) == len(trace.wordline)
+        # latched wordlines end high, unselected end low
+        for line in lines:
+            name, digital = line.split(maxsplit=1)
+            if name in ("WL1", "WL3"):
+                assert digital.endswith("^")
+            else:
+                assert digital.endswith("_")
+
+    def test_alignment(self):
+        waves = {"a": ramp(), "longname": ramp()}
+        lines = render_traces(waves, 0.5, width=10).split("\n")
+        assert len(set(line.index(" ") for line in lines)) >= 1
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_traces({}, 0.5)

@@ -1,0 +1,149 @@
+"""Tests for the forward-Euler transient solver."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.transient import RCNode, Switch, TransientSolver, Waveform
+
+
+class TestWaveform:
+    def test_final_value(self):
+        w = Waveform([0, 1, 2], [0.0, 0.5, 1.0])
+        assert w.final == 1.0
+
+    def test_interpolation(self):
+        w = Waveform([0, 2], [0.0, 1.0])
+        assert w.at(1.0) == pytest.approx(0.5)
+
+    def test_rising_crossing(self):
+        w = Waveform([0, 1, 2], [0.0, 0.4, 1.0])
+        t = w.crossing_time(0.7, rising=True)
+        assert t == pytest.approx(1.5)
+
+    def test_falling_crossing(self):
+        w = Waveform([0, 1], [1.0, 0.0])
+        assert w.crossing_time(0.5, rising=False) == pytest.approx(0.5)
+
+    def test_no_crossing_returns_none(self):
+        w = Waveform([0, 1], [0.0, 0.1])
+        assert w.crossing_time(0.5) is None
+
+    def test_settled(self):
+        w = Waveform(np.linspace(0, 1, 100), np.full(100, 0.99))
+        assert w.settled(1.0, tolerance=0.02)
+        assert not w.settled(0.5, tolerance=0.02)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Waveform([0, 1], [0.0])
+
+    def test_decreasing_times_rejected(self):
+        with pytest.raises(ValueError):
+            Waveform([1, 0], [0.0, 0.0])
+
+    def test_empty_final_raises(self):
+        w = Waveform([], [])
+        with pytest.raises(ValueError):
+            _ = w.final
+
+
+class TestRCCharging:
+    """The solver must reproduce the analytic RC step response."""
+
+    def test_rc_charge_curve(self):
+        solver = TransientSolver()
+        solver.add_node(RCNode("v", capacitance=1e-12))
+        solver.add_resistor_to_rail("v", 1.0, 1e3)  # tau = 1 ns
+        waves = solver.run(5e-9)
+        v = waves["v"]
+        for t_check in (0.5e-9, 1e-9, 2e-9, 4e-9):
+            analytic = 1.0 - math.exp(-t_check / 1e-9)
+            assert v.at(t_check) == pytest.approx(analytic, abs=0.02)
+
+    def test_rc_discharge(self):
+        solver = TransientSolver()
+        solver.add_node(RCNode("v", capacitance=1e-12, v_init=1.0))
+        solver.add_resistor_to_rail("v", 0.0, 1e3)
+        waves = solver.run(5e-9)
+        assert waves["v"].final == pytest.approx(math.exp(-5.0), abs=0.01)
+
+    def test_constant_current_ramp(self):
+        solver = TransientSolver()
+        solver.add_node(RCNode("v", capacitance=1e-12))
+        solver.add_current_source("v", lambda t, volts: 1e-6)
+        waves = solver.run(1e-9, dt=1e-12)
+        # dV = I*t/C = 1e-6 A * 1e-9 s / 1e-12 F = 1 mV
+        assert waves["v"].final == pytest.approx(1e-3, rel=0.01)
+
+    def test_charge_sharing_between_nodes(self):
+        solver = TransientSolver()
+        solver.add_node(RCNode("a", 1e-12, v_init=1.0))
+        solver.add_node(RCNode("b", 1e-12, v_init=0.0))
+        solver.add_resistor("a", "b", 1e3)
+        waves = solver.run(20e-9)
+        assert waves["a"].final == pytest.approx(0.5, abs=0.01)
+        assert waves["b"].final == pytest.approx(0.5, abs=0.01)
+
+    def test_charge_conservation(self):
+        solver = TransientSolver()
+        solver.add_node(RCNode("a", 2e-12, v_init=1.5))
+        solver.add_node(RCNode("b", 1e-12, v_init=0.0))
+        solver.add_resistor("a", "b", 5e3)
+        waves = solver.run(100e-9)
+        q_total = 2e-12 * waves["a"].final + 1e-12 * waves["b"].final
+        assert q_total == pytest.approx(2e-12 * 1.5, rel=0.01)
+
+
+class TestSwitches:
+    def test_window_switch_gates_charging(self):
+        solver = TransientSolver()
+        solver.add_node(RCNode("v", 1e-12))
+        solver.add_resistor_to_rail("v", 1.0, 1e3, Switch.window(0.0, 1e-9))
+        waves = solver.run(5e-9)
+        v_at_cut = waves["v"].at(1e-9)
+        assert waves["v"].final == pytest.approx(v_at_cut, abs=0.01)
+
+    def test_after_switch(self):
+        solver = TransientSolver()
+        solver.add_node(RCNode("v", 1e-12))
+        solver.add_resistor_to_rail("v", 1.0, 1e3, Switch.after(2e-9))
+        waves = solver.run(3e-9)
+        assert waves["v"].at(1.9e-9) == pytest.approx(0.0, abs=1e-6)
+        assert waves["v"].final > 0.5
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            Switch.window(2.0, 1.0)
+
+
+class TestNetworkValidation:
+    def test_duplicate_node_rejected(self):
+        solver = TransientSolver()
+        solver.add_node(RCNode("v", 1e-12))
+        with pytest.raises(ValueError, match="duplicate"):
+            solver.add_node(RCNode("v", 1e-12))
+
+    def test_unknown_node_rejected(self):
+        solver = TransientSolver()
+        with pytest.raises(KeyError):
+            solver.add_resistor_to_rail("ghost", 1.0, 1e3)
+
+    def test_nonpositive_resistance_rejected(self):
+        solver = TransientSolver()
+        solver.add_node(RCNode("v", 1e-12))
+        with pytest.raises(ValueError):
+            solver.add_resistor_to_rail("v", 1.0, 0.0)
+
+    def test_nonpositive_capacitance_rejected(self):
+        with pytest.raises(ValueError):
+            RCNode("v", 0.0)
+
+    def test_bad_run_args(self):
+        solver = TransientSolver()
+        solver.add_node(RCNode("v", 1e-12))
+        with pytest.raises(ValueError):
+            solver.run(-1.0)
+        with pytest.raises(ValueError):
+            solver.run(1e-9, dt=0.0)

@@ -1,0 +1,40 @@
+"""Tests for the CSA corner-sweep validator (E2)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.validate import CornerReport, validate_csa_corners
+from repro.nvm.technology import get_technology
+
+
+class TestCornerValidation:
+    @pytest.mark.parametrize("name", ["pcm", "reram", "stt"])
+    def test_all_corners_pass(self, name):
+        report = validate_csa_corners(get_technology(name))
+        assert report.all_pass, report.failures[:5]
+
+    def test_pcm_with_monte_carlo(self):
+        report = validate_csa_corners(
+            get_technology("pcm"),
+            monte_carlo=10,
+            rng=np.random.default_rng(1),
+        )
+        assert report.all_pass, report.failures[:5]
+
+    def test_pcm_128_row_or_corners(self):
+        report = validate_csa_corners(get_technology("pcm"), or_rows=128)
+        assert report.all_pass
+        # the n-row cases must actually have been exercised
+        assert report.n_cases > 60
+
+    def test_case_counting(self):
+        report = CornerReport("X")
+        report.record("read", (1,), 1, 1)
+        report.record("read", (0,), 0, 1)
+        assert report.n_cases == 2
+        assert report.n_pass == 1
+        assert not report.all_pass
+        assert report.failures[0]["op"] == "read"
+
+    def test_empty_report_does_not_pass(self):
+        assert not CornerReport("X").all_pass

@@ -1,0 +1,84 @@
+"""Tests for the per-command energy attribution."""
+
+import numpy as np
+import pytest
+
+from repro.core.pinatubo import PinatuboSystem
+from repro.memsim.controller import CommandKind
+from repro.memsim.geometry import MemoryGeometry
+from repro.runtime.api import PimRuntime
+
+
+GEOM = MemoryGeometry(
+    channels=1,
+    ranks_per_channel=1,
+    chips_per_rank=1,
+    banks_per_chip=2,
+    subarrays_per_bank=4,
+    rows_per_subarray=64,
+    mats_per_subarray=1,
+    cols_per_mat=4096,
+    mux_ratio=32,
+)
+
+
+@pytest.fixture
+def rt():
+    return PimRuntime(PinatuboSystem.pcm(geometry=GEOM))
+
+
+def run_or(rt, n_operands, seed=0):
+    rng = np.random.default_rng(seed)
+    operands = []
+    for _ in range(n_operands):
+        h = rt.pim_malloc(GEOM.row_bits, "g")
+        rt.pim_write(h, rng.integers(0, 2, GEOM.row_bits).astype(np.uint8))
+        operands.append(h)
+    dest = rt.pim_malloc(GEOM.row_bits, "g")
+    return rt.pim_op("or", dest, operands)
+
+
+class TestEnergyBreakdown:
+    def test_fractions_sum_to_one(self, rt):
+        result = run_or(rt, 2)
+        breakdown = result.accounting.energy_breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+        assert all(v >= 0 for v in breakdown.values())
+
+    def test_writeback_dominates_2row_op(self, rt):
+        """PCM programming is the big-ticket item of a 2-row op."""
+        result = run_or(rt, 2)
+        breakdown = result.accounting.energy_breakdown()
+        assert next(iter(breakdown)) == CommandKind.PIM_WRITEBACK.value
+
+    def test_activation_share_grows_with_fanin(self, rt):
+        narrow = run_or(rt, 2, seed=1).accounting
+        rt2 = PimRuntime(PinatuboSystem.pcm(geometry=GEOM))
+        wide = run_or(rt2, 32, seed=1).accounting
+
+        def act_share(acct):
+            bd = acct.energy_by_kind
+            total = sum(bd.values())
+            act = bd.get(CommandKind.ACT, 0.0) + bd.get(CommandKind.ACT_EXTRA, 0.0)
+            return act / total
+
+        assert act_share(wide) > act_share(narrow)
+
+    def test_breakdown_sorted_descending(self, rt):
+        result = run_or(rt, 8)
+        values = list(result.accounting.energy_breakdown().values())
+        assert values == sorted(values, reverse=True)
+
+    def test_empty_breakdown(self):
+        from repro.core.stats import OpAccounting
+
+        assert OpAccounting().energy_breakdown() == {}
+
+    def test_merge_preserves_totals(self, rt):
+        a = run_or(rt, 2, seed=1).accounting
+        b = run_or(rt, 2, seed=2).accounting
+        merged = a.merged(b)
+        for kind in set(a.energy_by_kind) | set(b.energy_by_kind):
+            assert merged.energy_by_kind[kind] == pytest.approx(
+                a.energy_by_kind.get(kind, 0.0) + b.energy_by_kind.get(kind, 0.0)
+            )

@@ -1,0 +1,136 @@
+"""Tests for the I/O-bus result emission path (paper Section 3:
+"The results can be sent to the I/O bus or written back")."""
+
+import numpy as np
+import pytest
+
+from repro.core.executor import PinatuboExecutor
+from repro.memsim.address import RowAddress
+from repro.memsim.geometry import MemoryGeometry
+from repro.nvm.technology import get_technology
+
+
+SMALL = MemoryGeometry(
+    channels=1,
+    ranks_per_channel=1,
+    chips_per_rank=1,
+    banks_per_chip=2,
+    subarrays_per_bank=4,
+    rows_per_subarray=32,
+    mats_per_subarray=1,
+    cols_per_mat=512,
+    mux_ratio=8,
+)
+
+
+@pytest.fixture
+def ex():
+    return PinatuboExecutor(geometry=SMALL, technology=get_technology("pcm"))
+
+
+def fill(ex, frames, seed=0):
+    rng = np.random.default_rng(seed)
+    data = {}
+    for f in frames:
+        bits = rng.integers(0, 2, SMALL.row_bits).astype(np.uint8)
+        ex.memory.write_bits(f, bits)
+        data[f] = bits
+    return data
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("op,n", [("or", 2), ("or", 8), ("and", 2), ("xor", 2)])
+    def test_matches_oracle(self, ex, op, n):
+        frames = list(range(n + 1))
+        data = fill(ex, frames[:n], seed=n)
+        bits, result = ex.bitwise_to_host(
+            op, [frames[n]], [[f] for f in frames[:n]], SMALL.row_bits
+        )
+        ufunc = {"or": np.bitwise_or, "and": np.bitwise_and, "xor": np.bitwise_xor}[op]
+        oracle = data[0]
+        for f in frames[1:n]:
+            oracle = ufunc(oracle, data[f])
+        np.testing.assert_array_equal(bits, oracle)
+
+    def test_inv_to_host(self, ex):
+        data = fill(ex, [0])
+        bits, _ = ex.bitwise_to_host("inv", [1], [[0]], SMALL.row_bits)
+        np.testing.assert_array_equal(bits, 1 - data[0])
+
+    def test_partial_bits(self, ex):
+        data = fill(ex, [0, 1])
+        bits, _ = ex.bitwise_to_host("or", [2], [[0], [1]], 100)
+        np.testing.assert_array_equal(bits, (data[0] | data[1])[:100])
+
+
+class TestNoDestinationWear:
+    def test_single_step_writes_nothing(self, ex):
+        fill(ex, [0, 1])
+        scratch = 2
+        writes_before = ex.memory.frame_writes(scratch)
+        ex.bitwise_to_host("or", [scratch], [[0], [1]], SMALL.row_bits)
+        assert ex.memory.frame_writes(scratch) == writes_before
+
+    def test_decomposed_op_wears_scratch_only_for_intermediates(self):
+        ex = PinatuboExecutor(
+            geometry=SMALL, technology=get_technology("pcm"), max_rows=2
+        )
+        fill(ex, [0, 1, 2, 3])
+        scratch = 4
+        bits, result = ex.bitwise_to_host(
+            "or", [scratch], [[0], [1], [2], [3]], SMALL.row_bits
+        )
+        # 3 combine steps: 2 intermediates written, final streamed out
+        assert result.steps == 3
+        assert ex.memory.frame_writes(scratch) == 2
+
+    def test_result_crosses_the_bus(self, ex):
+        fill(ex, [0, 1])
+        _bits, result = ex.bitwise_to_host("or", [2], [[0], [1]], SMALL.row_bits)
+        assert result.accounting.bus_data_bytes == SMALL.row_bytes
+
+
+class TestCostComparison:
+    def test_host_emission_vs_writeback_plus_read(self, ex):
+        """Fused emission must beat writeback followed by a host read."""
+        fill(ex, [0, 1], seed=1)
+        _bits, fused = ex.bitwise_to_host("or", [2], [[0], [1]], SMALL.row_bits)
+
+        ex2 = PinatuboExecutor(geometry=SMALL, technology=get_technology("pcm"))
+        fill(ex2, [0, 1], seed=1)
+        wb = ex2.bitwise("or", [2], [[0], [1]], SMALL.row_bits)
+        _bits2, rd = ex2.read_vector([2], SMALL.row_bits)
+        assert fused.latency < wb.latency + rd.latency
+
+    def test_writeback_cheaper_when_result_stays(self, ex):
+        """If the result is consumed in memory, writeback avoids the bus."""
+        fill(ex, [0, 1], seed=2)
+        _bits, fused = ex.bitwise_to_host("or", [2], [[0], [1]], SMALL.row_bits)
+        ex2 = PinatuboExecutor(geometry=SMALL, technology=get_technology("pcm"))
+        fill(ex2, [0, 1], seed=2)
+        wb = ex2.bitwise("or", [2], [[0], [1]], SMALL.row_bits)
+        assert wb.accounting.bus_data_bytes == 0
+        assert fused.accounting.bus_data_bytes > 0
+
+
+class TestBufferedPathEmission:
+    def test_inter_bank_to_host(self, ex):
+        a = ex.mapper.encode(RowAddress(0, 0, 0, 0, 0))
+        b = ex.mapper.encode(RowAddress(0, 0, 1, 0, 0))
+        scratch = ex.mapper.encode(RowAddress(0, 0, 0, 0, 1))
+        data = fill(ex, [a, b], seed=3)
+        bits, result = ex.bitwise_to_host("or", [scratch], [[a], [b]], SMALL.row_bits)
+        np.testing.assert_array_equal(bits, data[a] | data[b])
+        assert result.accounting.bus_data_bytes == SMALL.row_bytes
+        assert ex.memory.frame_writes(scratch) == 0
+
+
+class TestValidation:
+    def test_bad_args(self, ex):
+        fill(ex, [0, 1])
+        with pytest.raises(ValueError):
+            ex.bitwise_to_host("or", [2], [[0]], SMALL.row_bits)
+        with pytest.raises(ValueError):
+            ex.bitwise_to_host("or", [2], [[0], [1]], 0)
+        with pytest.raises(ValueError, match="fewer row frames"):
+            ex.bitwise_to_host("or", [2], [[0], [1]], 2 * SMALL.row_bits)

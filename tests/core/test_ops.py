@@ -1,0 +1,71 @@
+"""Tests for the PIM operation vocabulary and operand limits."""
+
+import pytest
+
+from repro.core.ops import OperandLimits, PimOp, operand_limits
+from repro.nvm.technology import get_technology
+
+
+class TestPimOpParsing:
+    @pytest.mark.parametrize("name,op", [
+        ("or", PimOp.OR),
+        ("AND", PimOp.AND),
+        ("Xor", PimOp.XOR),
+        ("inv", PimOp.INV),
+    ])
+    def test_parse_strings(self, name, op):
+        assert PimOp.parse(name) is op
+
+    def test_parse_passthrough(self):
+        assert PimOp.parse(PimOp.OR) is PimOp.OR
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError, match="unknown PIM op"):
+            PimOp.parse("nand")
+
+
+class TestOperandLimitsDerivation:
+    def test_pcm_gets_128_row_or(self):
+        limits = operand_limits(get_technology("pcm"))
+        assert limits.or_rows == 128
+        assert limits.and_rows == 2
+
+    def test_stt_gets_2_row(self):
+        limits = operand_limits(get_technology("stt"))
+        assert limits.or_rows == 2
+
+    def test_override_caps_or(self):
+        limits = operand_limits(get_technology("pcm"), max_rows_override=2)
+        assert limits.or_rows == 2
+
+    def test_override_cannot_raise_above_margin(self):
+        limits = operand_limits(get_technology("stt"), max_rows_override=64)
+        assert limits.or_rows == 2
+
+    def test_bad_override(self):
+        with pytest.raises(ValueError):
+            operand_limits(get_technology("pcm"), max_rows_override=1)
+
+
+class TestLimitQueries:
+    def test_single_step_limits(self):
+        limits = OperandLimits(or_rows=128, and_rows=2)
+        assert limits.single_step_limit(PimOp.OR) == 128
+        assert limits.single_step_limit(PimOp.AND) == 2
+        assert limits.single_step_limit(PimOp.XOR) == 2
+        assert limits.single_step_limit(PimOp.INV) == 1
+
+    def test_min_operands(self):
+        limits = OperandLimits(or_rows=2, and_rows=2)
+        assert limits.min_operands(PimOp.OR) == 2
+        assert limits.min_operands(PimOp.INV) == 1
+
+    def test_validate_operand_count(self):
+        limits = OperandLimits(or_rows=2, and_rows=2)
+        limits.validate_operand_count(PimOp.OR, 2)
+        limits.validate_operand_count(PimOp.OR, 200)  # decomposed, legal
+        limits.validate_operand_count(PimOp.INV, 1)
+        with pytest.raises(ValueError):
+            limits.validate_operand_count(PimOp.OR, 1)
+        with pytest.raises(ValueError):
+            limits.validate_operand_count(PimOp.INV, 2)

@@ -1,0 +1,119 @@
+"""Tests for the PinatuboSystem facade and Fig. 9 shape invariants."""
+
+import numpy as np
+import pytest
+
+from repro.core.pinatubo import PinatuboSystem
+from repro.memsim.geometry import MemoryGeometry
+
+
+class TestConfigurations:
+    def test_pcm_default_is_pinatubo_128(self):
+        assert PinatuboSystem.pcm().max_or_rows == 128
+
+    def test_pcm_max_rows_2_is_pinatubo_2(self):
+        assert PinatuboSystem.pcm(max_rows=2).max_or_rows == 2
+
+    def test_stt_is_2_row(self):
+        assert PinatuboSystem.stt().max_or_rows == 2
+
+    def test_reram_multirow(self):
+        assert PinatuboSystem.reram().max_or_rows > 2
+
+    def test_row_bits(self):
+        assert PinatuboSystem.pcm().row_bits == 1 << 19
+
+    def test_bandwidth_anchors(self):
+        s = PinatuboSystem.pcm()
+        assert s.ddr_bus_bandwidth == pytest.approx(12.8e9)
+        # internal: 2^14 bits per 8.9 ns sense step
+        assert s.internal_bandwidth == pytest.approx(
+            (1 << 14) / 8.0 / 8.9e-9, rel=1e-6
+        )
+        assert s.internal_bandwidth > s.ddr_bus_bandwidth
+
+
+class TestStoreLoad:
+    def test_roundtrip(self):
+        s = PinatuboSystem.pcm()
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, size=1000).astype(np.uint8)
+        s.store([0], bits)
+        got, acct = s.load([0], 1000)
+        np.testing.assert_array_equal(got, bits)
+        assert acct.bus_data_bytes == 125
+
+
+class TestFigure9Shape:
+    """E4 invariants: the throughput curve's qualitative features."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        results = {}
+        for log_len in (10, 12, 14, 16, 19, 20):
+            for n in (2, 8, 128):
+                system = PinatuboSystem.pcm()
+                acct = system.or_throughput(1 << log_len, n)
+                results[(log_len, n)] = acct.throughput_gbps
+        return results
+
+    def test_throughput_increases_with_length(self, sweep):
+        for n in (2, 8, 128):
+            series = [sweep[(l, n)] for l in (10, 12, 14, 16, 19)]
+            assert series == sorted(series)
+
+    def test_multirow_separates_curves(self, sweep):
+        for log_len in (10, 14, 19):
+            assert sweep[(log_len, 2)] < sweep[(log_len, 8)] < sweep[(log_len, 128)]
+
+    def test_short_vectors_below_ddr_bus(self, sweep):
+        assert sweep[(10, 2)] < 12.8  # below DDR bus bandwidth region
+
+    def test_long_128row_beyond_internal_bandwidth(self, sweep):
+        internal_gbps = PinatuboSystem.pcm().internal_bandwidth / 1e9
+        assert sweep[(19, 128)] > internal_gbps
+
+    def test_dram_could_never_reach_beyond_internal(self, sweep):
+        # 2-row ops (all a DRAM scheme supports) stay within internal BW
+        internal_gbps = PinatuboSystem.pcm().internal_bandwidth / 1e9
+        assert sweep[(19, 2)] <= internal_gbps * 1.25
+
+    def test_turning_point_b_flattens_curve(self, sweep):
+        # beyond 2^19 the throughput stops improving (serial ranks)
+        gain_before = sweep[(19, 128)] / sweep[(16, 128)]
+        gain_after = sweep[(20, 128)] / sweep[(19, 128)]
+        assert gain_before > 2
+        assert gain_after < 1.1
+
+    def test_turning_point_a_slows_growth(self, sweep):
+        # below 2^14 throughput is ~linear in length (fixed op cost);
+        # above, serial sense steps cut the slope.
+        slope_before = sweep[(12, 2)] / sweep[(10, 2)]  # 4x length
+        slope_after = sweep[(16, 2)] / sweep[(14, 2)]  # 4x length
+        assert slope_before == pytest.approx(4.0, rel=0.05)
+        assert slope_after < slope_before * 0.95
+
+    def test_pinatubo2_vs_128_gap_is_large(self, sweep):
+        assert sweep[(19, 128)] / sweep[(19, 2)] > 20
+
+
+class TestOrThroughputValidation:
+    def test_needs_two_operands(self):
+        with pytest.raises(ValueError):
+            PinatuboSystem.pcm().or_throughput(1 << 14, 1)
+
+    def test_too_many_rows_rejected(self):
+        small = MemoryGeometry(
+            channels=1,
+            ranks_per_channel=1,
+            chips_per_rank=1,
+            banks_per_chip=1,
+            subarrays_per_bank=1,
+            rows_per_subarray=16,
+            mats_per_subarray=1,
+            cols_per_mat=512,
+            mux_ratio=8,
+        )
+        system = PinatuboSystem.pcm(geometry=small)
+        with pytest.raises(ValueError, match="fit"):
+            system.or_throughput(512, 64)

@@ -1,0 +1,125 @@
+"""Tests for the area-overhead model (paper Fig. 13)."""
+
+import pytest
+
+from repro.energy.area import AreaModel
+from repro.energy.nvsim import ChipModel
+from repro.memsim.geometry import DEFAULT_GEOMETRY, MemoryGeometry
+from repro.nvm.technology import get_technology
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AreaModel()
+
+
+class TestPaperFigure13:
+    """E8: the headline area numbers."""
+
+    def test_pinatubo_total_near_0_9_percent(self, model):
+        frac = model.pinatubo().overhead_fraction
+        assert 0.007 <= frac <= 0.011  # paper: 0.9 %
+
+    def test_acpim_total_near_6_4_percent(self, model):
+        frac = model.acpim().overhead_fraction
+        assert 0.055 <= frac <= 0.072  # paper: 6.4 %
+
+    def test_acpim_much_larger_than_pinatubo(self, model):
+        ratio = model.acpim().overhead_fraction / model.pinatubo().overhead_fraction
+        assert ratio > 5
+
+    def test_inter_sub_dominates_pinatubo(self, model):
+        report = model.pinatubo()
+        breakdown = report.breakdown()
+        assert next(iter(breakdown)) == "inter-sub"
+        assert report.fraction("inter-sub") == pytest.approx(0.0072, rel=0.15)
+
+    def test_inter_bank_fraction(self, model):
+        assert model.pinatubo().fraction("inter-bank") == pytest.approx(
+            0.0009, rel=0.2
+        )
+
+    def test_xor_fraction(self, model):
+        assert model.pinatubo().fraction("xor") == pytest.approx(0.0006, rel=0.2)
+
+    def test_wl_act_fraction(self, model):
+        assert model.pinatubo().fraction("wl act") == pytest.approx(0.0005, rel=0.2)
+
+    def test_and_or_fraction(self, model):
+        assert model.pinatubo().fraction("and/or") == pytest.approx(0.0002, rel=0.25)
+
+    def test_intra_sub_total(self, model):
+        # paper: intra-sub 0.13 % (xor + wl act + and/or)
+        assert model.intra_subarray_fraction() == pytest.approx(0.0013, rel=0.2)
+
+
+class TestStructure:
+    def test_dropping_xor_removes_component(self, model):
+        with_xor = model.pinatubo(xor_supported=True)
+        without = model.pinatubo(xor_supported=False)
+        assert "xor" not in without.components
+        assert without.total_overhead < with_xor.total_overhead
+
+    def test_overhead_scales_with_banks(self):
+        small = AreaModel(MemoryGeometry(banks_per_chip=4))
+        big = AreaModel(MemoryGeometry(banks_per_chip=16))
+        # inter-sub buffers are per bank: more banks -> more add-on area,
+        # while chip area grows proportionally to capacity too; the
+        # *fraction* stays roughly constant but absolute area grows.
+        assert (
+            big.pinatubo().components["inter-sub"]
+            > small.pinatubo().components["inter-sub"]
+        )
+
+    def test_report_breakdown_sums_to_total(self, model):
+        report = model.pinatubo()
+        assert sum(report.components.values()) == pytest.approx(
+            report.total_overhead
+        )
+
+    def test_breakdown_fractions_sorted(self, model):
+        fracs = list(model.pinatubo().breakdown().values())
+        assert fracs == sorted(fracs, reverse=True)
+
+
+class TestChipModel:
+    def test_component_counts(self):
+        chip = ChipModel(DEFAULT_GEOMETRY, get_technology("pcm"))
+        g = DEFAULT_GEOMETRY
+        assert chip.subarrays == g.banks_per_chip * g.subarrays_per_bank
+        assert chip.mats == chip.subarrays * g.mats_per_subarray
+        assert chip.sense_amps == chip.mats * g.cols_per_mat // g.mux_ratio
+        assert chip.lwl_drivers == chip.mats * g.rows_per_subarray
+        assert chip.cells == 8 * 32 * 512 * g.chip_row_bits
+
+    def test_chip_is_8_gigabit(self):
+        chip = ChipModel(DEFAULT_GEOMETRY, get_technology("pcm"))
+        assert chip.cells == 8 * (1 << 30)
+
+    def test_energies_positive_and_monotone(self):
+        chip = ChipModel(DEFAULT_GEOMETRY, get_technology("pcm"))
+        assert chip.activation_energy(2) == pytest.approx(
+            2 * chip.activation_energy(1)
+        )
+        assert chip.sense_energy(100) < chip.sense_energy(100, extra_references=1)
+        assert chip.write_energy(10, 10) > 0
+        assert chip.buffer_logic_energy(64) > 0
+
+    def test_validation(self):
+        chip = ChipModel(DEFAULT_GEOMETRY, get_technology("pcm"))
+        with pytest.raises(ValueError):
+            chip.activation_energy(0)
+        with pytest.raises(ValueError):
+            chip.sense_energy(-1)
+        with pytest.raises(ValueError):
+            chip.write_energy(-1, 0)
+        with pytest.raises(ValueError):
+            chip.buffer_logic_energy(-1)
+
+    def test_report_contents(self):
+        chip = ChipModel(DEFAULT_GEOMETRY, get_technology("pcm"))
+        text = chip.report()
+        assert "8.0 Gb" in text
+        assert "tRCD 18.3" in text
+        assert f"{chip.sense_amps:,}" in text
+        assert "mm^2" in text

@@ -1,0 +1,79 @@
+"""Tests for the memory-system cost model."""
+
+import pytest
+
+from repro.energy.cacti import CACHELINE_BYTES, MemorySystemModel
+from repro.memsim.timing import DDR3_1600
+from repro.nvm.technology import get_technology
+
+
+@pytest.fixture
+def dram():
+    return MemorySystemModel.dram()
+
+
+@pytest.fixture
+def pcm():
+    return MemorySystemModel.nvm(get_technology("pcm"))
+
+
+class TestAccessCosts:
+    def test_read_latency_components(self, dram):
+        cost = dram.cacheline_read()
+        t = DDR3_1600
+        expected = t.t_rcd + t.t_cl + t.transfer_time(CACHELINE_BYTES)
+        assert cost.latency == pytest.approx(expected)
+
+    def test_write_slower_on_pcm(self, dram, pcm):
+        assert pcm.cacheline_write().latency > dram.cacheline_write().latency
+
+    def test_pcm_read_faster_activate_slower_sense(self, dram, pcm):
+        # PCM tCL(8.9) < DRAM tCL(13.75) but tRCD 18.3 > 13.75; total read
+        # latencies are comparable, not orders apart.
+        ratio = pcm.cacheline_read().latency / dram.cacheline_read().latency
+        assert 0.5 < ratio < 2.0
+
+    def test_energies_positive(self, dram, pcm):
+        for model in (dram, pcm):
+            assert model.cacheline_read().energy > 0
+            assert model.cacheline_write().energy > 0
+
+    def test_pcm_write_energy_exceeds_read(self, pcm):
+        assert pcm.cacheline_write().energy > pcm.cacheline_read().energy
+
+
+class TestStreaming:
+    def test_peak_bandwidth(self, dram):
+        assert dram.peak_bandwidth == pytest.approx(4 * 12.8e9)
+
+    def test_stream_latency_is_bandwidth_limited(self, dram):
+        n = 1 << 20
+        cost = dram.stream_cost(n)
+        assert cost.latency == pytest.approx(n / dram.peak_bandwidth)
+
+    def test_stream_energy_scales_linearly(self, dram):
+        a = dram.stream_cost(1000).energy
+        b = dram.stream_cost(2000).energy
+        assert b == pytest.approx(2 * a, rel=1e-9)
+
+    def test_write_fraction_raises_energy_on_pcm(self, pcm):
+        read_only = pcm.stream_cost(1 << 16, write_fraction=0.0)
+        with_writes = pcm.stream_cost(1 << 16, write_fraction=0.5)
+        assert with_writes.energy > read_only.energy
+
+    def test_zero_bytes(self, dram):
+        cost = dram.stream_cost(0)
+        assert cost.latency == 0.0
+        assert cost.energy == 0.0
+
+
+class TestValidation:
+    def test_bad_channels(self):
+        with pytest.raises(ValueError):
+            MemorySystemModel(DDR3_1600, channels=0)
+
+    def test_bad_stream_args(self, dram):
+        with pytest.raises(ValueError):
+            dram.stream_cost(-1)
+        with pytest.raises(ValueError):
+            dram.stream_cost(10, write_fraction=1.5)

@@ -1,0 +1,138 @@
+"""Tests for address mapping and locality classification."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsim.address import (
+    AddressMapper,
+    OpLocality,
+    RowAddress,
+    classify_locality,
+)
+from repro.memsim.geometry import DEFAULT_GEOMETRY, MemoryGeometry
+
+
+@pytest.fixture
+def mapper():
+    return AddressMapper(DEFAULT_GEOMETRY)
+
+
+class TestRowAddress:
+    def test_same_subarray(self):
+        a = RowAddress(0, 0, 1, 2, 3)
+        b = RowAddress(0, 0, 1, 2, 9)
+        assert a.same_subarray(b)
+        assert a.same_bank(b)
+        assert a.same_rank(b)
+
+    def test_different_subarray_same_bank(self):
+        a = RowAddress(0, 0, 1, 2, 3)
+        b = RowAddress(0, 0, 1, 5, 3)
+        assert not a.same_subarray(b)
+        assert a.same_bank(b)
+
+    def test_different_bank_same_rank(self):
+        a = RowAddress(0, 0, 1, 2, 3)
+        b = RowAddress(0, 0, 4, 2, 3)
+        assert not a.same_bank(b)
+        assert a.same_rank(b)
+
+    def test_different_rank(self):
+        a = RowAddress(0, 0, 1, 2, 3)
+        b = RowAddress(0, 1, 1, 2, 3)
+        assert not a.same_rank(b)
+
+
+class TestClassification:
+    def test_intra_subarray(self):
+        addrs = [RowAddress(0, 0, 0, 0, r) for r in range(4)]
+        assert classify_locality(addrs) == OpLocality.INTRA_SUBARRAY
+
+    def test_inter_subarray(self):
+        addrs = [RowAddress(0, 0, 0, 0, 0), RowAddress(0, 0, 0, 1, 0)]
+        assert classify_locality(addrs) == OpLocality.INTER_SUBARRAY
+
+    def test_inter_bank(self):
+        addrs = [RowAddress(0, 0, 0, 0, 0), RowAddress(0, 0, 3, 0, 0)]
+        assert classify_locality(addrs) == OpLocality.INTER_BANK
+
+    def test_inter_chip(self):
+        addrs = [RowAddress(0, 0, 0, 0, 0), RowAddress(1, 0, 0, 0, 0)]
+        assert classify_locality(addrs) == OpLocality.INTER_CHIP
+
+    def test_single_operand_is_intra(self):
+        assert classify_locality([RowAddress(0, 0, 0, 0, 0)]) == (
+            OpLocality.INTRA_SUBARRAY
+        )
+
+    def test_mixed_escalates_to_worst(self):
+        addrs = [
+            RowAddress(0, 0, 0, 0, 0),
+            RowAddress(0, 0, 0, 1, 0),  # other subarray
+            RowAddress(0, 0, 3, 0, 0),  # other bank
+        ]
+        assert classify_locality(addrs) == OpLocality.INTER_BANK
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            classify_locality([])
+
+
+class TestMapper:
+    def test_frame_zero(self, mapper):
+        assert mapper.decode(0) == RowAddress(0, 0, 0, 0, 0)
+
+    def test_consecutive_frames_fill_subarray_first(self, mapper):
+        g = DEFAULT_GEOMETRY
+        a0 = mapper.decode(0)
+        a1 = mapper.decode(1)
+        a_last = mapper.decode(g.rows_per_subarray - 1)
+        a_next = mapper.decode(g.rows_per_subarray)
+        assert a0.same_subarray(a1)
+        assert a0.same_subarray(a_last)
+        assert not a0.same_subarray(a_next)
+        assert a0.same_bank(a_next)  # next subarray, same bank
+
+    def test_roundtrip_sample(self, mapper):
+        for frame in (0, 1, 511, 512, 123_456, mapper.total_frames - 1):
+            assert mapper.encode(mapper.decode(frame)) == frame
+
+    @given(frame=st.integers(min_value=0, max_value=DEFAULT_GEOMETRY.total_rows - 1))
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, frame):
+        mapper = AddressMapper(DEFAULT_GEOMETRY)
+        assert mapper.encode(mapper.decode(frame)) == frame
+
+    def test_out_of_range_decode(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.decode(mapper.total_frames)
+        with pytest.raises(ValueError):
+            mapper.decode(-1)
+
+    def test_out_of_range_encode(self, mapper):
+        with pytest.raises(ValueError, match="bank"):
+            mapper.encode(RowAddress(0, 0, 99, 0, 0))
+
+    def test_total_frames(self, mapper):
+        assert mapper.total_frames == DEFAULT_GEOMETRY.total_rows
+
+    def test_small_geometry_exhaustive_roundtrip(self):
+        g = MemoryGeometry(
+            channels=2,
+            ranks_per_channel=2,
+            chips_per_rank=1,
+            banks_per_chip=2,
+            subarrays_per_bank=2,
+            rows_per_subarray=4,
+            mats_per_subarray=1,
+            cols_per_mat=64,
+            mux_ratio=8,
+        )
+        mapper = AddressMapper(g)
+        seen = set()
+        for frame in range(mapper.total_frames):
+            addr = mapper.decode(frame)
+            assert mapper.encode(addr) == frame
+            seen.add(addr)
+        assert len(seen) == mapper.total_frames

@@ -1,0 +1,137 @@
+"""Tests for the bank state machines and host access simulator."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.banks import (
+    BankStateMachine,
+    HostAccessSimulator,
+    StreamReport,
+)
+from repro.memsim.timing import DDR3_1600
+
+
+class TestBankStateMachine:
+    def test_first_access_is_a_miss(self):
+        bank = BankStateMachine(DDR3_1600)
+        data_ready, row_hit, energy = bank.access(row=5, now=0.0, is_write=False)
+        assert not row_hit
+        assert data_ready == pytest.approx(DDR3_1600.t_rcd + DDR3_1600.t_cl)
+        assert energy > 0
+
+    def test_second_access_same_row_hits(self):
+        bank = BankStateMachine(DDR3_1600)
+        bank.access(5, 0.0, False)
+        _ready, row_hit, _e = bank.access(5, 0.0, False)
+        assert row_hit
+
+    def test_hits_pipeline_at_burst_rate(self):
+        """Open-row column commands issue every burst slot, so N hits
+        take ~N burst times, not N full CAS latencies."""
+        bank = BankStateMachine(DDR3_1600)
+        bank.access(5, 0.0, False)
+        readies = [bank.access(5, 0.0, False)[0] for _ in range(8)]
+        gaps = np.diff(readies)
+        assert np.allclose(gaps, DDR3_1600.transfer_time(64), rtol=1e-6)
+
+    def test_row_conflict_pays_precharge(self):
+        bank = BankStateMachine(DDR3_1600)
+        first_ready, _hit, _e = bank.access(5, 0.0, False)
+        ready, row_hit, _e = bank.access(9, first_ready, False)
+        assert not row_hit
+        assert ready - first_ready > DDR3_1600.t_rcd + DDR3_1600.t_cl
+
+    def test_tras_respected_on_fast_conflict(self):
+        bank = BankStateMachine(DDR3_1600)
+        bank.access(5, 0.0, False)
+        ready, _hit, _e = bank.access(9, 0.0, False)
+        # precharge cannot begin before activate_time + tRAS
+        assert ready >= DDR3_1600.t_ras + DDR3_1600.t_rp + DDR3_1600.t_rcd
+
+    def test_write_uses_twr(self):
+        read_ready = BankStateMachine(DDR3_1600).access(1, 0.0, False)[0]
+        write_ready = BankStateMachine(DDR3_1600).access(1, 0.0, True)[0]
+        assert write_ready > read_ready
+
+
+class TestHostAccessSimulator:
+    def test_sequential_stream_hits_rows(self):
+        sim = HostAccessSimulator()
+        report = sim.run(sim.sequential_stream(512))
+        assert report.hit_rate > 0.95  # one miss per touched row
+
+    def test_random_stream_misses_rows(self):
+        sim = HostAccessSimulator()
+        rng = np.random.default_rng(1)
+        report = sim.run(sim.random_stream(512, rng))
+        assert report.hit_rate < 0.1
+
+    def test_sequential_saturates_its_channel(self):
+        """Streaming within one row: pipelined hits reach most of a
+        channel's peak bandwidth."""
+        sim = HostAccessSimulator()
+        report = sim.run(sim.sequential_stream(1024))
+        assert report.bandwidth > 0.8 * DDR3_1600.bus_bandwidth
+
+    def test_dependent_random_chain_is_latency_bound(self):
+        """With no memory-level parallelism (pointer chasing), random
+        access throughput collapses to one row cycle per access."""
+        sim = HostAccessSimulator()
+        rng = np.random.default_rng(2)
+        report = sim.run(sim.random_stream(256, rng), max_outstanding=1)
+        per_access = report.total_latency / report.accesses
+        assert per_access > DDR3_1600.t_rcd + DDR3_1600.t_cl
+
+    def test_mlp_hides_random_latency(self):
+        """More outstanding misses -> bank-level parallelism pays."""
+        rng_a = np.random.default_rng(3)
+        rng_b = np.random.default_rng(3)
+        chained = HostAccessSimulator().run(
+            HostAccessSimulator().random_stream(256, rng_a),
+            max_outstanding=1,
+        )
+        parallel = HostAccessSimulator().run(
+            HostAccessSimulator().random_stream(256, rng_b),
+            max_outstanding=10,
+        )
+        assert parallel.total_latency < chained.total_latency / 3
+
+    def test_random_pays_activation_energy(self):
+        seq_sim, rand_sim = HostAccessSimulator(), HostAccessSimulator()
+        rng = np.random.default_rng(4)
+        seq = seq_sim.run(seq_sim.sequential_stream(256))
+        rand = rand_sim.run(rand_sim.random_stream(256, rng))
+        assert rand.total_energy > seq.total_energy
+
+    def test_writes_mask_checked(self):
+        sim = HostAccessSimulator()
+        with pytest.raises(ValueError):
+            sim.run([0, 64], writes=[True])
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            HostAccessSimulator().run([-64])
+
+    def test_bad_mlp_rejected(self):
+        with pytest.raises(ValueError):
+            HostAccessSimulator().run([0], max_outstanding=0)
+
+    def test_stream_helpers_validate(self):
+        sim = HostAccessSimulator()
+        with pytest.raises(ValueError):
+            sim.sequential_stream(0)
+        with pytest.raises(ValueError):
+            sim.random_stream(0, np.random.default_rng(0))
+
+
+class TestStreamReport:
+    def test_rates(self):
+        report = StreamReport(accesses=10, row_hits=5, total_latency=1e-6,
+                              total_energy=1e-9)
+        assert report.hit_rate == 0.5
+        assert report.bandwidth == pytest.approx(640 / 1e-6)
+
+    def test_empty(self):
+        report = StreamReport(0, 0, 0.0, 0.0)
+        assert report.hit_rate == 0.0
+        assert report.bandwidth == 0.0

@@ -1,0 +1,149 @@
+"""Tests for the memory controller's command pricing."""
+
+import pytest
+
+from repro.memsim.controller import (
+    Command,
+    CommandKind,
+    ExecutionStats,
+    MemoryController,
+)
+from repro.memsim.geometry import DEFAULT_GEOMETRY
+from repro.memsim.timing import DDR3_1600, nvm_timing
+from repro.nvm.technology import get_technology
+
+
+@pytest.fixture
+def pcm_timing():
+    return nvm_timing(get_technology("pcm"))
+
+
+@pytest.fixture
+def ctrl(pcm_timing):
+    return MemoryController(DEFAULT_GEOMETRY, pcm_timing)
+
+
+class TestSingleCommands:
+    def test_act_pays_trcd_plus_command(self, ctrl, pcm_timing):
+        stats = ctrl.execute([Command(CommandKind.ACT, n_bits=1 << 19)])
+        assert stats.latency == pytest.approx(pcm_timing.t_rcd + pcm_timing.t_cmd)
+        assert stats.counts[CommandKind.ACT] == 1
+
+    def test_act_extra_is_one_command_slot(self, ctrl, pcm_timing):
+        stats = ctrl.execute([Command(CommandKind.ACT_EXTRA, n_bits=1 << 19)])
+        assert stats.latency == pytest.approx(pcm_timing.t_cmd)
+
+    def test_pim_sense_scales_with_steps(self, ctrl, pcm_timing):
+        one = ctrl.execute([Command(CommandKind.PIM_SENSE, n_steps=1, n_bits=100)])
+        many = ctrl.execute([Command(CommandKind.PIM_SENSE, n_steps=32, n_bits=100)])
+        assert one.latency == pytest.approx(pcm_timing.t_cl)
+        assert many.latency == pytest.approx(32 * pcm_timing.t_cl)
+
+    def test_pim_writeback_uses_no_bus(self, ctrl, pcm_timing):
+        stats = ctrl.execute(
+            [Command(CommandKind.PIM_WRITEBACK, n_bits=1 << 19)]
+        )
+        assert stats.latency == pytest.approx(pcm_timing.t_wr)
+        assert stats.bus.data_bytes == 0
+        assert stats.bus.commands == 0
+
+    def test_rd_moves_data_over_bus(self, ctrl):
+        stats = ctrl.execute(
+            [Command(CommandKind.RD, n_bits=512, transfer_bytes=64)]
+        )
+        assert stats.bus.data_bytes == 64
+        assert stats.bus.commands == 1
+
+    def test_wr_pays_twr_and_bus(self, ctrl, pcm_timing):
+        stats = ctrl.execute(
+            [Command(CommandKind.WR, n_bits=512, transfer_bytes=64)]
+        )
+        expected = (
+            pcm_timing.t_wr
+            + pcm_timing.t_cmd
+            + pcm_timing.transfer_time(64)
+        )
+        assert stats.latency == pytest.approx(expected)
+
+    def test_mrs_sets_mode(self, ctrl):
+        stats = ctrl.set_pim_mode(0b101)
+        assert ctrl.mode_register == 0b101
+        assert stats.counts[CommandKind.MRS] == 1
+
+    def test_buf_op_cost(self, ctrl, pcm_timing):
+        stats = ctrl.execute([Command(CommandKind.BUF_OP, n_bits=1 << 19)])
+        assert stats.latency == pytest.approx(pcm_timing.t_cmd)
+        assert stats.energy == pytest.approx(
+            (1 << 19) * pcm_timing.e_buffer_logic_per_bit
+        )
+
+
+class TestStreams:
+    def test_same_channel_serialises(self, ctrl, pcm_timing):
+        cmds = [
+            Command(CommandKind.ACT, channel=0, n_bits=8),
+            Command(CommandKind.PIM_SENSE, channel=0, n_steps=2, n_bits=8),
+        ]
+        stats = ctrl.execute(cmds)
+        expected = pcm_timing.t_rcd + pcm_timing.t_cmd + 2 * pcm_timing.t_cl
+        assert stats.latency == pytest.approx(expected)
+
+    def test_different_channels_overlap(self, ctrl, pcm_timing):
+        cmds = [
+            Command(CommandKind.ACT, channel=0, n_bits=8),
+            Command(CommandKind.ACT, channel=1, n_bits=8),
+        ]
+        stats = ctrl.execute(cmds)
+        assert stats.latency == pytest.approx(pcm_timing.t_rcd + pcm_timing.t_cmd)
+        # energy still counts both
+        assert stats.counts[CommandKind.ACT] == 2
+
+    def test_energy_accumulates(self, ctrl, pcm_timing):
+        cmds = [Command(CommandKind.PIM_SENSE, n_steps=1, n_bits=1000)] * 3
+        stats = ctrl.execute(cmds)
+        assert stats.energy == pytest.approx(
+            3 * 1000 * pcm_timing.e_sense_per_bit
+        )
+
+    def test_empty_stream(self, ctrl):
+        stats = ctrl.execute([])
+        assert stats.latency == 0.0
+        assert stats.energy == 0.0
+
+
+class TestExecutionStats:
+    def test_serial_merge(self):
+        a = ExecutionStats(latency=1e-9, energy=1e-12)
+        b = ExecutionStats(latency=2e-9, energy=3e-12)
+        m = a.merged(b, serial=True)
+        assert m.latency == pytest.approx(3e-9)
+        assert m.energy == pytest.approx(4e-12)
+
+    def test_parallel_merge(self):
+        a = ExecutionStats(latency=1e-9, energy=1e-12)
+        b = ExecutionStats(latency=2e-9, energy=3e-12)
+        m = a.merged(b, serial=False)
+        assert m.latency == pytest.approx(2e-9)
+        assert m.energy == pytest.approx(4e-12)
+
+    def test_counts_merge(self):
+        a = ExecutionStats()
+        a.add_count(CommandKind.ACT, 2)
+        b = ExecutionStats()
+        b.add_count(CommandKind.ACT, 1)
+        b.add_count(CommandKind.WR, 1)
+        m = a.merged(b)
+        assert m.counts[CommandKind.ACT] == 3
+        assert m.counts[CommandKind.WR] == 1
+
+
+class TestValidation:
+    def test_bad_command_fields(self):
+        with pytest.raises(ValueError):
+            Command(CommandKind.ACT, n_bits=-1)
+        with pytest.raises(ValueError):
+            Command(CommandKind.PIM_SENSE, n_steps=0)
+        with pytest.raises(ValueError):
+            Command(CommandKind.RD, transfer_bytes=-1)
+        with pytest.raises(ValueError):
+            Command(CommandKind.ACT, channel=-1)

@@ -1,0 +1,92 @@
+"""Property-based tests of the memory controller's pricing invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsim.controller import Command, CommandKind, MemoryController
+from repro.memsim.geometry import DEFAULT_GEOMETRY
+from repro.memsim.timing import nvm_timing
+from repro.nvm.technology import get_technology
+
+
+def fresh_controller():
+    return MemoryController(DEFAULT_GEOMETRY, nvm_timing(get_technology("pcm")))
+
+
+command_strategy = st.builds(
+    Command,
+    kind=st.sampled_from(list(CommandKind)),
+    channel=st.integers(0, 3),
+    n_bits=st.integers(0, 1 << 19),
+    n_steps=st.integers(1, 32),
+    transfer_bytes=st.integers(0, 1 << 16),
+)
+
+
+class TestPricingInvariants:
+    @given(commands=st.lists(command_strategy, min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_latency_and_energy_nonnegative(self, commands):
+        stats = fresh_controller().execute(commands)
+        assert stats.latency >= 0
+        assert stats.energy >= 0
+
+    @given(
+        a=st.lists(command_strategy, min_size=1, max_size=10),
+        b=st.lists(command_strategy, min_size=1, max_size=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_single_channel_serialisation_is_additive(self, a, b):
+        """On one channel, executing A then B costs the same as A+B."""
+
+        def on_channel_zero(commands):
+            return [
+                Command(
+                    kind=c.kind,
+                    channel=0,
+                    n_bits=c.n_bits,
+                    n_steps=c.n_steps,
+                    transfer_bytes=c.transfer_bytes,
+                )
+                for c in commands
+            ]
+
+        a0, b0 = on_channel_zero(a), on_channel_zero(b)
+        split = fresh_controller()
+        split_lat = split.execute(a0).latency + split.execute(b0).latency
+        joined = fresh_controller().execute(a0 + b0)
+        assert joined.latency == pytest.approx(split_lat, rel=1e-9)
+
+    @given(commands=st.lists(command_strategy, min_size=1, max_size=16))
+    @settings(max_examples=50, deadline=None)
+    def test_energy_is_order_independent(self, commands):
+        forward = fresh_controller().execute(commands).energy
+        backward = fresh_controller().execute(list(reversed(commands))).energy
+        assert forward == pytest.approx(backward, rel=1e-9)
+
+    @given(commands=st.lists(command_strategy, min_size=2, max_size=16))
+    @settings(max_examples=50, deadline=None)
+    def test_spreading_channels_never_slower(self, commands):
+        """Moving commands onto distinct channels can only help latency."""
+        serial_cmds = [
+            Command(c.kind, 0, c.n_bits, c.n_steps, c.transfer_bytes)
+            for c in commands
+        ]
+        spread_cmds = [
+            Command(c.kind, i % 4, c.n_bits, c.n_steps, c.transfer_bytes)
+            for i, c in enumerate(commands)
+        ]
+        serial = fresh_controller().execute(serial_cmds).latency
+        spread = fresh_controller().execute(spread_cmds).latency
+        assert spread <= serial * (1 + 1e-9)
+
+    @given(
+        commands=st.lists(command_strategy, min_size=1, max_size=10),
+        repeat=st.integers(2, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_repetition_scales_linearly(self, commands, repeat):
+        once = fresh_controller().execute(commands)
+        many = fresh_controller().execute(commands * repeat)
+        assert many.energy == pytest.approx(repeat * once.energy, rel=1e-9)

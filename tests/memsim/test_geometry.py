@@ -1,0 +1,112 @@
+"""Tests for memory geometry (paper Fig. 3 organisation)."""
+
+import pytest
+
+from repro.memsim.geometry import DEFAULT_GEOMETRY, DRAM_GEOMETRY, MemoryGeometry
+
+
+class TestPaperCalibration:
+    """The default geometry must land the paper's Fig. 9 turning points."""
+
+    def test_rank_row_is_2_19_bits(self):
+        assert DEFAULT_GEOMETRY.row_bits == 1 << 19  # turning point B
+
+    def test_sense_step_is_2_14_bits(self):
+        assert DEFAULT_GEOMETRY.sense_bits_per_step == 1 << 14  # point A
+
+    def test_mat_row_is_4kb(self):
+        assert DEFAULT_GEOMETRY.cols_per_mat == 4096  # "typical 4Kb NVM row"
+
+    def test_mux_ratio_is_32(self):
+        assert DEFAULT_GEOMETRY.mux_ratio == 32  # "32 in our experiment"
+
+    def test_eight_chips_eight_banks(self):
+        assert DEFAULT_GEOMETRY.chips_per_rank == 8
+        assert DEFAULT_GEOMETRY.banks_per_chip == 8
+
+    def test_capacity_is_64_gib(self):
+        assert DEFAULT_GEOMETRY.capacity_bytes == 64 * (1 << 30)
+
+
+class TestDramGeometry:
+    def test_dram_row_is_2_16_bits(self):
+        assert DRAM_GEOMETRY.row_bits == 1 << 16
+
+    def test_dram_senses_full_row_in_one_step(self):
+        assert DRAM_GEOMETRY.mux_ratio == 1
+        assert DRAM_GEOMETRY.sense_bits_per_step == DRAM_GEOMETRY.row_bits
+
+    def test_nvm_row_larger_than_dram_row(self):
+        # NVM rows are physically longer; DRAM's advantage is unmuxed SAs.
+        assert DEFAULT_GEOMETRY.row_bits > DRAM_GEOMETRY.row_bits
+
+
+class TestDerivedSizes:
+    def test_chip_row_bits(self):
+        g = DEFAULT_GEOMETRY
+        assert g.chip_row_bits == g.mats_per_subarray * g.cols_per_mat
+
+    def test_row_bytes(self):
+        assert DEFAULT_GEOMETRY.row_bytes == DEFAULT_GEOMETRY.row_bits // 8
+
+    def test_total_rows(self):
+        g = DEFAULT_GEOMETRY
+        expected = (
+            g.channels
+            * g.ranks_per_channel
+            * g.banks_per_chip
+            * g.subarrays_per_bank
+            * g.rows_per_subarray
+        )
+        assert g.total_rows == expected
+
+    def test_ranks(self):
+        assert DEFAULT_GEOMETRY.ranks == 8
+
+
+class TestRowsForBits:
+    def test_small_vector_one_row(self):
+        assert DEFAULT_GEOMETRY.rows_for_bits(1) == 1
+        assert DEFAULT_GEOMETRY.rows_for_bits(1 << 19) == 1
+
+    def test_long_vector_multiple_rows(self):
+        assert DEFAULT_GEOMETRY.rows_for_bits((1 << 19) + 1) == 2
+        assert DEFAULT_GEOMETRY.rows_for_bits(1 << 21) == 4
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_GEOMETRY.rows_for_bits(0)
+
+
+class TestSenseStepsForBits:
+    def test_short_vector_single_step(self):
+        g = DEFAULT_GEOMETRY
+        assert g.sense_steps_for_bits(1) == 1
+        assert g.sense_steps_for_bits(1 << 14) == 1
+
+    def test_mid_vector_scales_linearly(self):
+        g = DEFAULT_GEOMETRY
+        assert g.sense_steps_for_bits((1 << 14) + 1) == 2
+        assert g.sense_steps_for_bits(1 << 16) == 4
+
+    def test_full_row_needs_mux_ratio_steps(self):
+        g = DEFAULT_GEOMETRY
+        assert g.sense_steps_for_bits(1 << 19) == 32
+
+    def test_clamped_to_one_row(self):
+        g = DEFAULT_GEOMETRY
+        assert g.sense_steps_for_bits(1 << 22) == 32
+
+
+class TestValidation:
+    def test_mux_must_divide_columns(self):
+        with pytest.raises(ValueError, match="divide"):
+            MemoryGeometry(cols_per_mat=100, mux_ratio=32)
+
+    def test_nonpositive_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryGeometry(channels=0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_GEOMETRY.channels = 2

@@ -1,0 +1,104 @@
+"""Tests for timing parameter sets and the DDR bus model."""
+
+import pytest
+
+from repro.memsim.bus import BusStats, DDRBus
+from repro.memsim.timing import DDR3_1600, nvm_timing
+from repro.nvm.technology import get_technology
+
+
+class TestDDR3Timing:
+    def test_command_slot_is_one_800mhz_cycle(self):
+        assert DDR3_1600.t_cmd == pytest.approx(1.25e-9)
+
+    def test_channel_bandwidth(self):
+        assert DDR3_1600.bus_bandwidth == pytest.approx(12.8e9)
+
+    def test_row_cycle(self):
+        assert DDR3_1600.t_rc == pytest.approx(48.75e-9)
+
+    def test_transfer_time(self):
+        # 64 B at 12.8 GB/s = 5 ns
+        assert DDR3_1600.transfer_time(64) == pytest.approx(5e-9)
+
+    def test_transfer_energy(self):
+        assert DDR3_1600.transfer_energy(1) == pytest.approx(8 * 6e-12)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            DDR3_1600.transfer_time(-1)
+
+
+class TestNvmTiming:
+    def test_pcm_paper_anchors(self):
+        t = nvm_timing(get_technology("pcm"))
+        assert t.t_rcd == pytest.approx(18.3e-9)
+        assert t.t_cl == pytest.approx(8.9e-9)
+        assert t.t_wr == pytest.approx(151.1e-9)
+
+    def test_bus_unchanged(self):
+        t = nvm_timing(get_technology("pcm"))
+        assert t.bus_bandwidth == DDR3_1600.bus_bandwidth
+        assert t.t_cmd == DDR3_1600.t_cmd
+
+    def test_nvm_activation_cheaper_than_dram(self):
+        # No destructive read -> no full-row restore energy on activate.
+        t = nvm_timing(get_technology("pcm"))
+        assert t.e_activate_per_bit < DDR3_1600.e_activate_per_bit
+
+    def test_nvm_write_more_expensive_than_dram(self):
+        t = nvm_timing(get_technology("pcm"))
+        assert t.e_write_per_bit > DDR3_1600.e_write_per_bit
+        assert t.t_wr > DDR3_1600.t_wr
+
+
+class TestDDRBus:
+    def test_command_accounting(self):
+        bus = DDRBus(DDR3_1600)
+        t = bus.command(3)
+        assert t == pytest.approx(3 * 1.25e-9)
+        assert bus.stats.commands == 3
+        assert bus.stats.busy_time == pytest.approx(t)
+
+    def test_transfer_accounting(self):
+        bus = DDRBus(DDR3_1600)
+        t = bus.transfer(128)
+        assert t == pytest.approx(10e-9)
+        assert bus.stats.data_bytes == 128
+        assert bus.stats.energy == pytest.approx(128 * 8 * 6e-12)
+
+    def test_stats_accumulate(self):
+        bus = DDRBus(DDR3_1600)
+        bus.command()
+        bus.transfer(64)
+        bus.command(2)
+        assert bus.stats.commands == 3
+        assert bus.stats.data_bytes == 64
+
+    def test_reset_stats(self):
+        bus = DDRBus(DDR3_1600)
+        bus.transfer(64)
+        bus.reset_stats()
+        assert bus.stats.data_bytes == 0
+        assert bus.stats.busy_time == 0.0
+
+    def test_peak_bandwidth(self):
+        assert DDRBus(DDR3_1600).peak_bandwidth == pytest.approx(12.8e9)
+
+    def test_negative_counts_rejected(self):
+        bus = DDRBus(DDR3_1600)
+        with pytest.raises(ValueError):
+            bus.command(-1)
+        with pytest.raises(ValueError):
+            bus.transfer(-1)
+
+
+class TestBusStats:
+    def test_merge(self):
+        a = BusStats(commands=1, data_bytes=10, busy_time=1e-9, energy=1e-12)
+        b = BusStats(commands=2, data_bytes=20, busy_time=2e-9, energy=2e-12)
+        m = a.merge(b)
+        assert m.commands == 3
+        assert m.data_bytes == 30
+        assert m.busy_time == pytest.approx(3e-9)
+        assert m.energy == pytest.approx(3e-12)

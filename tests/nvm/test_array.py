@@ -1,0 +1,192 @@
+"""Tests for the functional resistive mat."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nvm.array import ResistiveMat, oracle_bitwise
+from repro.nvm.sense_amp import SenseMode
+from repro.nvm.technology import get_technology
+from repro.nvm.variation import VariationModel
+
+
+@pytest.fixture
+def pcm():
+    return get_technology("pcm")
+
+
+@pytest.fixture
+def mat(pcm):
+    return ResistiveMat(pcm, n_rows=64, n_cols=128, mux_ratio=8)
+
+
+def _random_rows(mat, n, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for i in range(n):
+        bits = rng.integers(0, 2, size=mat.n_cols).astype(np.uint8)
+        mat.write_row(i, bits)
+        rows.append(bits)
+    return rows
+
+
+class TestGeometry:
+    def test_sas_per_mat(self, mat):
+        assert mat.sas_per_mat == 16
+
+    def test_mux_must_divide_columns(self, pcm):
+        with pytest.raises(ValueError, match="divide"):
+            ResistiveMat(pcm, n_rows=4, n_cols=100, mux_ratio=32)
+
+    def test_bad_geometry_rejected(self, pcm):
+        with pytest.raises(ValueError):
+            ResistiveMat(pcm, n_rows=0, n_cols=128)
+
+    def test_variation_requires_rng(self, pcm):
+        with pytest.raises(ValueError, match="rng"):
+            ResistiveMat(pcm, variation=VariationModel.for_technology(pcm))
+
+    def test_limits_from_margin(self, mat):
+        # The reported limit is the technology sensing limit (PCM: 128),
+        # independent of how many rows this particular mat happens to have.
+        assert mat.max_or_rows == 128
+        assert mat.max_and_rows == 2
+
+
+class TestReadWrite:
+    def test_fresh_mat_reads_zero(self, mat):
+        result = mat.read_row(0)
+        np.testing.assert_array_equal(result.bits, np.zeros(mat.n_cols, np.uint8))
+
+    def test_write_then_read_roundtrip(self, mat):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, size=mat.n_cols).astype(np.uint8)
+        mat.write_row(3, bits)
+        np.testing.assert_array_equal(mat.read_row(3).bits, bits)
+
+    def test_stored_bits_oracle(self, mat):
+        bits = np.ones(mat.n_cols, dtype=np.uint8)
+        mat.write_row(5, bits)
+        np.testing.assert_array_equal(mat.stored_bits(5), bits)
+
+    def test_write_wrong_shape_rejected(self, mat):
+        with pytest.raises(ValueError, match="shape"):
+            mat.write_row(0, np.zeros(7, np.uint8))
+
+    def test_row_bounds_checked(self, mat):
+        with pytest.raises(IndexError):
+            mat.read_row(64)
+        with pytest.raises(IndexError):
+            mat.write_row(-1, np.zeros(mat.n_cols, np.uint8))
+
+    def test_read_latency_includes_mux_serialisation(self, mat, pcm):
+        result = mat.read_row(0)
+        assert result.sense_steps == mat.mux_ratio
+        assert result.latency >= mat.mux_ratio * pcm.sense_time
+
+
+class TestBitwiseOps:
+    @pytest.mark.parametrize("mode,n", [
+        (SenseMode.OR, 2),
+        (SenseMode.OR, 8),
+        (SenseMode.OR, 32),
+        (SenseMode.AND, 2),
+        (SenseMode.XOR, 2),
+        (SenseMode.INV, 1),
+    ])
+    def test_matches_oracle(self, mat, mode, n):
+        rows = _random_rows(mat, n, seed=n)
+        result = mat.bitwise(mode, range(n))
+        np.testing.assert_array_equal(result.bits, oracle_bitwise(mode, rows))
+
+    def test_or_operand_count_enforced(self, mat):
+        _random_rows(mat, 2)
+        with pytest.raises(ValueError):
+            mat.bitwise(SenseMode.OR, [0])
+
+    def test_duplicate_operands_rejected(self, mat):
+        _random_rows(mat, 2)
+        with pytest.raises(ValueError, match="distinct"):
+            mat.bitwise(SenseMode.OR, [0, 0])
+
+    def test_xor_needs_exactly_two(self, mat):
+        _random_rows(mat, 3)
+        with pytest.raises(ValueError):
+            mat.bitwise(SenseMode.XOR, [0, 1, 2])
+
+    def test_xor_costs_two_passes(self, mat):
+        _random_rows(mat, 2)
+        xor = mat.bitwise(SenseMode.XOR, [0, 1])
+        orr = mat.bitwise(SenseMode.OR, [0, 1])
+        assert xor.sense_steps == 2 * orr.sense_steps
+        assert xor.latency > orr.latency
+
+    def test_multirow_or_latency_sublinear(self, mat):
+        """One-step multi-row OR: 32 operands cost far less than 31 2-row ops."""
+        _random_rows(mat, 32)
+        one_step = mat.bitwise(SenseMode.OR, range(32))
+        two_row = mat.bitwise(SenseMode.OR, [0, 1])
+        assert one_step.latency < 31 * two_row.latency / 4
+
+
+class TestWriteBack:
+    def test_in_place_update(self, mat):
+        rows = _random_rows(mat, 2)
+        result = mat.bitwise(SenseMode.OR, [0, 1])
+        mat.write_back(result, dest_row=10)
+        np.testing.assert_array_equal(mat.stored_bits(10), rows[0] | rows[1])
+
+    def test_write_back_cost_accumulates(self, mat):
+        _random_rows(mat, 2)
+        sensed = mat.bitwise(SenseMode.OR, [0, 1])
+        total = mat.write_back(sensed, dest_row=10)
+        assert total.latency > sensed.latency
+        assert total.energy > sensed.energy
+
+
+class TestWithVariation:
+    """Ops must stay correct with realistic lognormal cell variation."""
+
+    @pytest.mark.parametrize("mode,n", [
+        (SenseMode.OR, 2),
+        (SenseMode.OR, 64),
+        (SenseMode.AND, 2),
+        (SenseMode.XOR, 2),
+    ])
+    def test_ops_correct_under_variation(self, pcm, mode, n):
+        rng = np.random.default_rng(42)
+        mat = ResistiveMat(
+            pcm, n_rows=80, n_cols=256, mux_ratio=8,
+            variation=VariationModel.for_technology(pcm), rng=rng,
+        )
+        rows = _random_rows(mat, n, seed=7)
+        result = mat.bitwise(mode, range(n))
+        np.testing.assert_array_equal(result.bits, oracle_bitwise(mode, rows))
+
+    def test_read_correct_under_variation(self, pcm):
+        rng = np.random.default_rng(3)
+        mat = ResistiveMat(
+            pcm, n_rows=16, n_cols=512, mux_ratio=8,
+            variation=VariationModel.for_technology(pcm), rng=rng,
+        )
+        bits = rng.integers(0, 2, size=512).astype(np.uint8)
+        mat.write_row(0, bits)
+        np.testing.assert_array_equal(mat.read_row(0).bits, bits)
+
+
+class TestPropertyBased:
+    @given(
+        seed=st.integers(0, 2**16),
+        n=st.integers(min_value=2, max_value=16),
+        mode=st.sampled_from([SenseMode.OR, SenseMode.AND, SenseMode.XOR]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_any_operands_match_oracle(self, seed, n, mode):
+        if mode in (SenseMode.AND, SenseMode.XOR):
+            n = 2
+        pcm = get_technology("pcm")
+        mat = ResistiveMat(pcm, n_rows=20, n_cols=64, mux_ratio=8)
+        rows = _random_rows(mat, n, seed=seed)
+        result = mat.bitwise(mode, range(n))
+        np.testing.assert_array_equal(result.bits, oracle_bitwise(mode, rows))

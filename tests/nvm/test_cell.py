@@ -1,0 +1,156 @@
+"""Tests for the 1T1R cell and parallel-connection math."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nvm.cell import (
+    ResistiveCell,
+    bitline_resistance,
+    bits_to_resistances,
+    composite_or_case,
+    parallel_resistance,
+    resistances_to_bits,
+)
+from repro.nvm.technology import get_technology
+
+
+@pytest.fixture
+def pcm():
+    return get_technology("pcm")
+
+
+class TestParallelResistance:
+    def test_two_equal(self):
+        assert parallel_resistance(10.0, 10.0) == pytest.approx(5.0)
+
+    def test_product_over_sum(self):
+        assert parallel_resistance(3.0, 6.0) == pytest.approx(2.0)
+
+    def test_n_equal(self):
+        assert parallel_resistance(*[8.0] * 4) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert parallel_resistance(42.0) == 42.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_resistance()
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_resistance(1.0, 0.0)
+
+    @given(rs=st.lists(st.floats(min_value=1.0, max_value=1e9), min_size=1, max_size=16))
+    @settings(max_examples=60)
+    def test_result_below_min(self, rs):
+        assert parallel_resistance(*rs) <= min(rs) * (1 + 1e-12)
+
+    @given(
+        rs=st.lists(st.floats(min_value=1.0, max_value=1e9), min_size=2, max_size=8),
+        extra=st.floats(min_value=1.0, max_value=1e9),
+    )
+    @settings(max_examples=60)
+    def test_adding_branch_reduces(self, rs, extra):
+        assert parallel_resistance(*rs, extra) < parallel_resistance(*rs) + 1e-12
+
+
+class TestCompositeOrCase:
+    def test_all_zeros(self, pcm):
+        r = composite_or_case(pcm.r_low, pcm.r_high, 4, 0)
+        assert r == pytest.approx(pcm.r_high / 4)
+
+    def test_all_ones(self, pcm):
+        r = composite_or_case(pcm.r_low, pcm.r_high, 4, 4)
+        assert r == pytest.approx(pcm.r_low / 4)
+
+    def test_mixed_matches_parallel(self, pcm):
+        r = composite_or_case(pcm.r_low, pcm.r_high, 3, 1)
+        expected = parallel_resistance(pcm.r_low, pcm.r_high, pcm.r_high)
+        assert r == pytest.approx(expected)
+
+    def test_more_ones_means_lower_resistance(self, pcm):
+        rs = [composite_or_case(pcm.r_low, pcm.r_high, 8, k) for k in range(9)]
+        assert rs == sorted(rs, reverse=True)
+
+    def test_invalid_counts(self, pcm):
+        with pytest.raises(ValueError):
+            composite_or_case(pcm.r_low, pcm.r_high, 2, 3)
+        with pytest.raises(ValueError):
+            composite_or_case(pcm.r_low, pcm.r_high, 0, 0)
+
+
+class TestBitlineResistance:
+    def test_matches_scalar_parallel(self):
+        cells = np.array([[2.0, 4.0], [2.0, 12.0]])
+        out = bitline_resistance(cells, axis=0)
+        np.testing.assert_allclose(out, [1.0, 3.0])
+
+    def test_single_row_identity(self):
+        cells = np.array([[5.0, 7.0, 9.0]])
+        np.testing.assert_allclose(bitline_resistance(cells), [5.0, 7.0, 9.0])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            bitline_resistance(np.array([[1.0, -1.0]]))
+
+
+class TestResistiveCell:
+    def test_fresh_cell_defaults_to_stored_bit_nominal(self, pcm):
+        cell = ResistiveCell(pcm, bit=1)
+        assert cell.resistance == pcm.r_low
+        assert cell.state == "LRS"
+
+    def test_write_updates_state(self, pcm):
+        cell = ResistiveCell(pcm)
+        cell.write(1)
+        assert cell.bit == 1
+        assert cell.resistance == pcm.r_low
+
+    def test_write_with_sampled_resistance(self, pcm):
+        cell = ResistiveCell(pcm)
+        cell.write(1, resistance=1.23e4)
+        assert cell.resistance == 1.23e4
+
+    def test_read_current(self, pcm):
+        cell = ResistiveCell(pcm, bit=1)
+        assert cell.read_current() == pytest.approx(pcm.read_voltage / pcm.r_low)
+
+    def test_write_energy_no_change_is_zero(self, pcm):
+        cell = ResistiveCell(pcm, bit=0)
+        assert cell.write_energy(0) == 0.0
+
+    def test_write_energy_set_reset(self, pcm):
+        cell = ResistiveCell(pcm, bit=0)
+        assert cell.write_energy(1) == pcm.cell_set_energy
+        cell.write(1)
+        assert cell.write_energy(0) == pcm.cell_reset_energy
+
+    def test_invalid_bit_rejected(self, pcm):
+        with pytest.raises(ValueError):
+            ResistiveCell(pcm, bit=2)
+        cell = ResistiveCell(pcm)
+        with pytest.raises(ValueError):
+            cell.write(5)
+
+
+class TestBitResistanceMaps:
+    def test_roundtrip(self, pcm):
+        bits = np.array([0, 1, 1, 0, 1], dtype=np.uint8)
+        r = bits_to_resistances(bits, pcm)
+        back = resistances_to_bits(r, pcm)
+        np.testing.assert_array_equal(back, bits)
+
+    def test_bits_to_resistances_values(self, pcm):
+        r = bits_to_resistances(np.array([0, 1]), pcm)
+        np.testing.assert_allclose(r, [pcm.r_high, pcm.r_low])
+
+    @given(bits=st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=64))
+    @settings(max_examples=40)
+    def test_roundtrip_property(self, bits):
+        pcm = get_technology("pcm")
+        arr = np.array(bits, dtype=np.uint8)
+        np.testing.assert_array_equal(
+            resistances_to_bits(bits_to_resistances(arr, pcm), pcm), arr
+        )

@@ -1,0 +1,110 @@
+"""Failure-injection tests: stuck cells through the sensing modes."""
+
+import numpy as np
+import pytest
+
+from repro.nvm.array import ResistiveMat
+from repro.nvm.sense_amp import SenseMode
+from repro.nvm.technology import get_technology
+
+
+@pytest.fixture
+def mat():
+    return ResistiveMat(get_technology("pcm"), n_rows=16, n_cols=64, mux_ratio=8)
+
+
+def _write(mat, row, bits):
+    mat.write_row(row, np.array(bits + [0] * (mat.n_cols - len(bits)), np.uint8))
+
+
+class TestStuckCellBehaviour:
+    def test_stuck_at_one_defeats_reset(self, mat):
+        mat.inject_stuck_fault(0, 2, stuck_bit=1)
+        _write(mat, 0, [0, 0, 0, 0])
+        got = mat.read_row(0).bits
+        assert got[2] == 1  # the cell cannot store a 0 any more
+        assert got[0] == 0
+
+    def test_stuck_at_zero_defeats_set(self, mat):
+        mat.inject_stuck_fault(0, 1, stuck_bit=0)
+        _write(mat, 0, [1, 1, 1, 1])
+        got = mat.read_row(0).bits
+        assert got[1] == 0
+        assert got[0] == 1
+
+    def test_write_verify_detects_fault(self, mat):
+        """The standard NVM defence: read back after program."""
+        mat.inject_stuck_fault(0, 3, stuck_bit=1)
+        data = np.zeros(mat.n_cols, np.uint8)
+        mat.write_row(0, data)
+        readback = mat.read_row(0).bits
+        mismatches = np.nonzero(readback != data)[0]
+        assert mismatches.tolist() == [3]
+
+    def test_fault_survives_many_writes(self, mat):
+        mat.inject_stuck_fault(0, 0, stuck_bit=1)
+        for _ in range(5):
+            _write(mat, 0, [0, 1, 0, 1])
+            assert mat.read_row(0).bits[0] == 1
+
+    def test_clear_faults(self, mat):
+        mat.inject_stuck_fault(0, 0, stuck_bit=1)
+        assert mat.fault_count == 1
+        mat.clear_faults()
+        _write(mat, 0, [0])
+        assert mat.read_row(0).bits[0] == 0
+        assert mat.fault_count == 0
+
+    def test_validation(self, mat):
+        with pytest.raises(IndexError):
+            mat.inject_stuck_fault(0, 999, 1)
+        with pytest.raises(IndexError):
+            mat.inject_stuck_fault(99, 0, 1)
+        with pytest.raises(ValueError):
+            mat.inject_stuck_fault(0, 0, 2)
+
+
+class TestFaultPropagationThroughOps:
+    def test_stuck_one_poisons_or(self, mat):
+        """A stuck-at-1 cell makes every OR involving its row read 1 in
+        that column -- silent data corruption OR cannot mask."""
+        mat.inject_stuck_fault(0, 5, stuck_bit=1)
+        _write(mat, 0, [0] * 8)
+        _write(mat, 1, [0] * 8)
+        result = mat.bitwise(SenseMode.OR, [0, 1])
+        assert result.bits[5] == 1
+
+    def test_stuck_zero_hides_in_or_of_ones(self, mat):
+        """OR is fault-tolerant to stuck-at-0 when another operand has a
+        1 in that column -- the parallel path carries the current."""
+        mat.inject_stuck_fault(0, 5, stuck_bit=0)
+        _write(mat, 0, [1] * 8)
+        _write(mat, 1, [1] * 8)
+        result = mat.bitwise(SenseMode.OR, [0, 1])
+        assert result.bits[5] == 1  # masked by row 1's healthy cell
+
+    def test_stuck_zero_breaks_and(self, mat):
+        mat.inject_stuck_fault(0, 2, stuck_bit=0)
+        _write(mat, 0, [1] * 8)
+        _write(mat, 1, [1] * 8)
+        result = mat.bitwise(SenseMode.AND, [0, 1])
+        assert result.bits[2] == 0  # AND exposes the stuck-at-0
+
+    def test_xor_flips_on_either_fault(self, mat):
+        mat.inject_stuck_fault(0, 4, stuck_bit=1)
+        _write(mat, 0, [0] * 8)
+        _write(mat, 1, [0] * 8)
+        result = mat.bitwise(SenseMode.XOR, [0, 1])
+        assert result.bits[4] == 1
+
+    def test_healthy_columns_unaffected(self, mat):
+        rng = np.random.default_rng(5)
+        mat.inject_stuck_fault(0, 7, stuck_bit=1)
+        a = rng.integers(0, 2, mat.n_cols).astype(np.uint8)
+        b = rng.integers(0, 2, mat.n_cols).astype(np.uint8)
+        mat.write_row(0, a)
+        mat.write_row(1, b)
+        result = mat.bitwise(SenseMode.OR, [0, 1])
+        expected = a | b
+        expected[7] = 1
+        np.testing.assert_array_equal(result.bits, expected)

@@ -1,0 +1,127 @@
+"""Tests for the sensing-margin analysis (paper Section 4.2 limits)."""
+
+import pytest
+
+from repro.nvm.margin import MarginAnalysis, max_multirow_or
+from repro.nvm.technology import get_technology
+from repro.nvm.variation import VariationModel
+
+
+@pytest.fixture
+def pcm():
+    return get_technology("pcm")
+
+
+@pytest.fixture
+def analysis(pcm):
+    return MarginAnalysis(pcm)
+
+
+class TestPaperLimits:
+    """E10: the paper's multi-row operation limits per technology."""
+
+    def test_pcm_supports_128_row_or(self):
+        assert max_multirow_or(get_technology("pcm")) == 128
+
+    def test_stt_limited_to_2_rows(self):
+        assert max_multirow_or(get_technology("stt")) == 2
+
+    def test_reram_supports_multirow(self):
+        n = max_multirow_or(get_technology("reram"))
+        assert 2 < n <= 128
+
+    def test_pcm_limit_is_tcam_capped_not_electrical(self, analysis, pcm):
+        # The electrical margin allows more than 128; the paper's cap is
+        # the published TCAM sensing demonstration.
+        assert analysis.electrical_or_limit() > 128
+        assert analysis.max_or_rows() == pcm.tcam_row_limit
+
+    def test_stt_limit_is_conservative_cap(self):
+        stt = get_technology("stt")
+        analysis = MarginAnalysis(stt)
+        assert analysis.electrical_or_limit() >= 2
+        assert analysis.max_or_rows() == 2
+
+
+class TestFeasibility:
+    def test_read_always_feasible(self):
+        for name in ("pcm", "reram", "stt"):
+            assert MarginAnalysis(get_technology(name)).read_feasible()
+
+    def test_and_feasible_for_all_technologies(self):
+        for name in ("pcm", "reram", "stt"):
+            assert MarginAnalysis(get_technology(name)).and_feasible(2)
+
+    def test_multirow_and_never_feasible(self, analysis):
+        assert not analysis.and_feasible(3)
+        assert not analysis.and_feasible(128)
+
+    def test_or_feasibility_is_monotone(self, analysis):
+        limit = analysis.electrical_or_limit()
+        assert analysis.or_feasible(limit)
+        assert not analysis.or_feasible(limit + 1)
+
+    def test_or_margin_positive_within_limit(self, analysis):
+        for n in (2, 16, 128):
+            assert analysis.or_margin_log(n) > 0
+
+    def test_or_margin_shrinks_with_n(self, analysis):
+        margins = [analysis.or_margin_log(n) for n in (2, 8, 32, 128)]
+        assert margins == sorted(margins, reverse=True)
+
+
+class TestVariationSensitivity:
+    def test_huge_variation_kills_multirow(self, pcm):
+        noisy = VariationModel(0.6, 0.6)
+        analysis = MarginAnalysis(pcm, noisy)
+        assert analysis.electrical_or_limit() < 128
+
+    def test_zero_variation_maximises_margin(self, pcm):
+        perfect = VariationModel(0.0, 0.0)
+        loose = VariationModel.for_technology(pcm)
+        assert (
+            MarginAnalysis(pcm, perfect).electrical_or_limit()
+            >= MarginAnalysis(pcm, loose).electrical_or_limit()
+        )
+
+    def test_tighter_corners_allow_more_rows(self, pcm):
+        tight = MarginAnalysis(pcm, VariationModel.for_technology(pcm, corner_sigmas=2))
+        loose = MarginAnalysis(pcm, VariationModel.for_technology(pcm, corner_sigmas=6))
+        assert tight.electrical_or_limit() >= loose.electrical_or_limit()
+
+
+class TestCompositeCases:
+    def test_case_corners_bracket_nominal(self, analysis):
+        case = analysis.or_case(4, 1)
+        assert case.lower < case.nominal < case.upper
+
+    def test_all_zero_case_nominal(self, analysis, pcm):
+        case = analysis.or_case(8, 0)
+        assert case.nominal == pytest.approx(pcm.r_high / 8)
+
+    def test_invalid_case_rejected(self, analysis):
+        with pytest.raises(ValueError):
+            analysis.or_case(2, 3)
+        with pytest.raises(ValueError):
+            analysis.or_case(0, 0)
+
+
+class TestFigure5Data:
+    """E1: the reference-placement picture of paper Fig. 5."""
+
+    def test_read_reference_separates_read_cases(self, analysis):
+        data = analysis.figure5_cases(2)
+        one, zero = data["read_cases"]
+        assert one.upper < data["ref_read"] < zero.lower
+
+    def test_or_reference_separates_or_cases(self, analysis):
+        data = analysis.figure5_cases(2)
+        cases = {c.label: c for c in data["or_cases"]}
+        weakest_one = cases["1x1+1x0"]
+        strongest_zero = cases["0x1+2x0"]
+        assert weakest_one.upper < data["ref_or"] < strongest_zero.lower
+
+    def test_or_cases_ordered_by_resistance(self, analysis):
+        data = analysis.figure5_cases(4)
+        nominals = [c.nominal for c in data["or_cases"]]
+        assert nominals == sorted(nominals)

@@ -1,0 +1,112 @@
+"""Tests for the sensing bit-error-rate analysis."""
+
+import numpy as np
+import pytest
+
+from repro.nvm.margin import MarginAnalysis
+from repro.nvm.reliability import BerPoint, SensingReliability
+from repro.nvm.technology import get_technology
+from repro.nvm.variation import VariationModel
+
+
+@pytest.fixture(scope="module")
+def pcm():
+    return get_technology("pcm")
+
+
+@pytest.fixture(scope="module")
+def rel(pcm):
+    return SensingReliability(pcm)
+
+
+class TestMonteCarloOr:
+    def test_negligible_within_supported_fanin(self, rel):
+        for n in (2, 32, 128):
+            point = rel.monte_carlo_or(n, samples=20_000)
+            assert point.worst < 1e-3, n
+
+    def test_negligible_at_electrical_limit(self, rel, pcm):
+        limit = MarginAnalysis(pcm).electrical_or_limit()
+        assert rel.monte_carlo_or(limit, samples=10_000).worst < 1e-3
+
+    def test_cliff_beyond_electrical_limit(self, rel, pcm):
+        limit = MarginAnalysis(pcm).electrical_or_limit()
+        far_beyond = rel.monte_carlo_or(8 * limit, samples=10_000)
+        assert far_beyond.worst > 1e-2
+
+    def test_ber_grows_with_fanin(self, rel):
+        points = rel.ber_curve((128, 2048, 4096), samples=10_000)
+        worsts = [p.worst for p in points]
+        assert worsts[0] <= worsts[1] <= worsts[2]
+        assert worsts[2] > worsts[0]
+
+    def test_read_is_reliable(self, rel):
+        point = rel.monte_carlo_read(samples=20_000)
+        assert point.worst < 1e-4
+
+    def test_reproducible_with_seeded_rng(self, rel):
+        a = rel.monte_carlo_or(64, samples=5_000, rng=np.random.default_rng(3))
+        b = rel.monte_carlo_or(64, samples=5_000, rng=np.random.default_rng(3))
+        assert a == b
+
+    def test_validation(self, rel):
+        with pytest.raises(ValueError):
+            rel.monte_carlo_or(1)
+        with pytest.raises(ValueError):
+            rel.monte_carlo_or(4, samples=0)
+
+
+class TestVariationSensitivity:
+    def test_more_spread_more_errors(self, pcm):
+        tight = SensingReliability(pcm, VariationModel(0.02, 0.05))
+        loose = SensingReliability(pcm, VariationModel(0.30, 0.60))
+        n = 512
+        p_tight = tight.monte_carlo_or(n, samples=15_000).worst
+        p_loose = loose.monte_carlo_or(n, samples=15_000).worst
+        assert p_loose > p_tight
+
+    def test_systematic_fraction_is_the_multirow_killer(self, pcm):
+        """With iid-only variation, conductance sums concentrate and wide
+        ORs would never fail; the systematic component creates the cliff."""
+        iid_only = SensingReliability(pcm, systematic_fraction=0.0)
+        realistic = SensingReliability(pcm, systematic_fraction=0.3)
+        n = 4096
+        assert iid_only.monte_carlo_or(n, samples=10_000).worst < 1e-3
+        assert realistic.monte_carlo_or(n, samples=10_000).worst > 1e-2
+
+    def test_stt_multirow_is_risky(self):
+        """The analytical tail shows why STT stops at 2 rows: the error
+        floor climbs ~8 orders of magnitude from n=2 to n=8."""
+        stt = get_technology("stt")
+        rel = SensingReliability(stt)
+        two = rel.analytical_or(2)
+        eight = rel.analytical_or(8)
+        assert eight.worst > two.worst
+        assert eight.worst > 1e-8
+        assert rel.monte_carlo_or(2, samples=20_000).worst < 1e-3
+
+
+class TestAnalyticalApproximation:
+    @pytest.mark.parametrize("n", [2, 64, 1024])
+    def test_fw_matches_monte_carlo_regime(self, rel, n):
+        """Fenton-Wilkinson and MC must agree on negligible-vs-severe."""
+        mc = rel.monte_carlo_or(n, samples=30_000)
+        fw = rel.analytical_or(n)
+        for mc_p, fw_p in ((mc.p_miss, fw.p_miss), (mc.p_false, fw.p_false)):
+            if mc_p < 1e-4:
+                assert fw_p < 1e-2
+            else:
+                assert fw_p == pytest.approx(mc_p, rel=1.0, abs=0.02)
+
+    def test_fw_monotone_in_fanin(self, rel):
+        worsts = [rel.analytical_or(n).worst for n in (128, 512, 2048)]
+        assert worsts == sorted(worsts)
+
+    def test_fw_validation(self, rel):
+        with pytest.raises(ValueError):
+            rel.analytical_or(1)
+
+
+class TestBerPoint:
+    def test_worst(self):
+        assert BerPoint(2, 0.1, 0.2).worst == 0.2

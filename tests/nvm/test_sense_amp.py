@@ -1,0 +1,192 @@
+"""Tests for the modified current sense amplifier."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nvm.cell import bitline_resistance, bits_to_resistances, composite_or_case
+from repro.nvm.sense_amp import CurrentSenseAmplifier, ReferenceScheme, SenseMode
+from repro.nvm.technology import get_technology
+
+
+@pytest.fixture
+def pcm():
+    return get_technology("pcm")
+
+
+@pytest.fixture
+def csa(pcm):
+    return CurrentSenseAmplifier(pcm)
+
+
+def _bitlines(pcm, rows):
+    """Nominal parallel bitline resistances for a list of operand bit rows."""
+    r = np.stack([bits_to_resistances(np.asarray(b), pcm) for b in rows])
+    return bitline_resistance(r, axis=0)
+
+
+class TestReferenceScheme:
+    def test_read_reference_between_states(self, pcm):
+        ref = ReferenceScheme(pcm).read_reference()
+        assert pcm.r_low < ref < pcm.r_high
+
+    def test_or_reference_between_closest_cases(self, pcm):
+        refs = ReferenceScheme(pcm)
+        for n in (2, 8, 64, 128):
+            r_one = composite_or_case(pcm.r_low, pcm.r_high, n, 1)
+            r_zero = composite_or_case(pcm.r_low, pcm.r_high, n, 0)
+            assert r_one < refs.or_reference(n) < r_zero
+
+    def test_or_reference_shrinks_with_n(self, pcm):
+        refs = ReferenceScheme(pcm)
+        values = [refs.or_reference(n) for n in (2, 4, 8, 16)]
+        assert values == sorted(values, reverse=True)
+
+    def test_or_reference_requires_two_rows(self, pcm):
+        with pytest.raises(ValueError):
+            ReferenceScheme(pcm).or_reference(1)
+
+    def test_and_reference_between_cases(self, pcm):
+        ref = ReferenceScheme(pcm).and_reference()
+        r_11 = composite_or_case(pcm.r_low, pcm.r_high, 2, 2)
+        r_10 = composite_or_case(pcm.r_low, pcm.r_high, 2, 1)
+        assert r_11 < ref < r_10
+
+    def test_and_reference_only_two_rows(self, pcm):
+        with pytest.raises(ValueError, match="only supported for 2"):
+            ReferenceScheme(pcm).and_reference(3)
+
+    def test_reference_for_dispatch(self, pcm):
+        refs = ReferenceScheme(pcm)
+        assert refs.reference_for(SenseMode.READ, 1) == refs.read_reference()
+        assert refs.reference_for(SenseMode.OR, 4) == refs.or_reference(4)
+        assert refs.reference_for(SenseMode.AND, 2) == refs.and_reference()
+        assert refs.reference_for(SenseMode.INV, 1) == refs.read_reference()
+
+
+class TestReadSensing:
+    def test_read_recovers_bits(self, pcm, csa):
+        bits = np.array([0, 1, 1, 0, 1, 0], dtype=np.uint8)
+        result = csa.sense_read(bits_to_resistances(bits, pcm))
+        np.testing.assert_array_equal(result.bits, bits)
+
+    def test_read_is_single_step(self, pcm, csa):
+        result = csa.sense_read(bits_to_resistances(np.array([1]), pcm))
+        assert result.micro_steps == 1
+        assert result.latency == pytest.approx(pcm.sense_time)
+
+    def test_read_energy_scales_with_width(self, pcm, csa):
+        narrow = csa.sense_read(bits_to_resistances(np.zeros(8, np.uint8), pcm))
+        wide = csa.sense_read(bits_to_resistances(np.zeros(64, np.uint8), pcm))
+        assert wide.energy == pytest.approx(8 * narrow.energy)
+
+    def test_nonpositive_resistance_rejected(self, csa):
+        with pytest.raises(ValueError):
+            csa.sense_read(np.array([0.0]))
+
+
+class TestOrSensing:
+    @pytest.mark.parametrize("n", [2, 4, 16, 128])
+    def test_or_matches_oracle(self, pcm, csa, n):
+        rng = np.random.default_rng(n)
+        rows = [rng.integers(0, 2, size=64).astype(np.uint8) for _ in range(n)]
+        result = csa.sense_or(_bitlines(pcm, rows), n)
+        oracle = np.bitwise_or.reduce(rows)
+        np.testing.assert_array_equal(result.bits, oracle)
+
+    def test_or_worst_case_single_one(self, pcm, csa):
+        # one LRS among 127 HRS: must still read "1"
+        n = 128
+        rows = [np.zeros(4, np.uint8) for _ in range(n)]
+        rows[77][2] = 1
+        result = csa.sense_or(_bitlines(pcm, rows), n)
+        np.testing.assert_array_equal(result.bits, [0, 0, 1, 0])
+
+    def test_or_uses_extra_reference_energy(self, pcm, csa):
+        bl = _bitlines(pcm, [np.zeros(8, np.uint8)] * 2)
+        read = csa.sense_read(bl)
+        orr = csa.sense_or(bl, 2)
+        assert orr.energy > read.energy
+
+
+class TestAndSensing:
+    def test_and_matches_oracle(self, pcm, csa):
+        a = np.array([0, 0, 1, 1], dtype=np.uint8)
+        b = np.array([0, 1, 0, 1], dtype=np.uint8)
+        result = csa.sense_and(_bitlines(pcm, [a, b]), 2)
+        np.testing.assert_array_equal(result.bits, a & b)
+
+    def test_and_rejects_multirow(self, pcm, csa):
+        bl = _bitlines(pcm, [np.zeros(2, np.uint8)] * 3)
+        with pytest.raises(ValueError):
+            csa.sense_and(bl, 3)
+
+
+class TestXorInvSensing:
+    def test_xor_matches_oracle(self, pcm, csa):
+        a = np.array([0, 0, 1, 1], dtype=np.uint8)
+        b = np.array([0, 1, 0, 1], dtype=np.uint8)
+        result = csa.sense_xor(
+            bits_to_resistances(a, pcm), bits_to_resistances(b, pcm)
+        )
+        np.testing.assert_array_equal(result.bits, a ^ b)
+
+    def test_xor_takes_two_micro_steps(self, pcm, csa):
+        a = bits_to_resistances(np.array([1]), pcm)
+        result = csa.sense_xor(a, a)
+        assert result.micro_steps == 2
+        assert result.latency == pytest.approx(2 * pcm.sense_time)
+
+    def test_xor_unavailable_without_circuit(self, pcm):
+        csa = CurrentSenseAmplifier(pcm, xor_capable=False)
+        a = bits_to_resistances(np.array([1]), pcm)
+        with pytest.raises(RuntimeError, match="XOR"):
+            csa.sense_xor(a, a)
+
+    def test_inv_matches_oracle(self, pcm, csa):
+        bits = np.array([0, 1, 1, 0], dtype=np.uint8)
+        result = csa.sense_inv(bits_to_resistances(bits, pcm))
+        np.testing.assert_array_equal(result.bits, 1 - bits)
+
+
+class TestMargins:
+    def test_log_margin_decreases_with_n(self, csa):
+        margins = [csa.log_margin_or(n) for n in (2, 8, 32, 128)]
+        assert margins == sorted(margins, reverse=True)
+        assert all(m > 0 for m in margins)
+
+
+class TestPropertyBased:
+    @given(
+        data=st.lists(
+            st.lists(st.integers(0, 1), min_size=8, max_size=8),
+            min_size=2,
+            max_size=16,
+        )
+    )
+    @settings(max_examples=60)
+    def test_or_property(self, data):
+        pcm = get_technology("pcm")
+        csa = CurrentSenseAmplifier(pcm)
+        rows = [np.array(r, dtype=np.uint8) for r in data]
+        result = csa.sense_or(_bitlines(pcm, rows), len(rows))
+        np.testing.assert_array_equal(result.bits, np.bitwise_or.reduce(rows))
+
+    @given(
+        a=st.lists(st.integers(0, 1), min_size=4, max_size=32),
+        b=st.lists(st.integers(0, 1), min_size=4, max_size=32),
+    )
+    @settings(max_examples=60)
+    def test_and_xor_property(self, a, b):
+        size = min(len(a), len(b))
+        arr_a = np.array(a[:size], dtype=np.uint8)
+        arr_b = np.array(b[:size], dtype=np.uint8)
+        pcm = get_technology("pcm")
+        csa = CurrentSenseAmplifier(pcm)
+        and_res = csa.sense_and(_bitlines(pcm, [arr_a, arr_b]), 2)
+        xor_res = csa.sense_xor(
+            bits_to_resistances(arr_a, pcm), bits_to_resistances(arr_b, pcm)
+        )
+        np.testing.assert_array_equal(and_res.bits, arr_a & arr_b)
+        np.testing.assert_array_equal(xor_res.bits, arr_a ^ arr_b)

@@ -1,0 +1,174 @@
+"""Tests for the NVM technology catalog."""
+
+import math
+
+import pytest
+
+from repro.nvm.technology import (
+    NVMTechnology,
+    TECHNOLOGIES,
+    WriteScheme,
+    geometric_mean_resistance,
+    get_technology,
+    list_technologies,
+)
+
+
+class TestCatalog:
+    def test_three_technologies_registered(self):
+        assert set(list_technologies()) == {"PCM-1T1R", "ReRAM-1T1R", "STT-1T1R"}
+
+    def test_lookup_by_canonical_name(self):
+        assert get_technology("PCM-1T1R").cell_kind == "PCM"
+
+    @pytest.mark.parametrize(
+        "alias,kind",
+        [("pcm", "PCM"), ("reram", "ReRAM"), ("stt", "STT-MRAM"), ("STT-MRAM", "STT-MRAM")],
+    )
+    def test_lookup_by_alias(self, alias, kind):
+        assert get_technology(alias).cell_kind == kind
+
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="unknown NVM technology"):
+            get_technology("flash")
+
+    def test_registry_values_are_frozen(self):
+        tech = TECHNOLOGIES["PCM-1T1R"]
+        with pytest.raises(AttributeError):
+            tech.r_low = 1.0
+
+
+class TestPcmPaperAnchors:
+    """The paper's PCM case study pins the timing parameters exactly."""
+
+    def test_trcd_tcl_twr_match_paper(self):
+        pcm = get_technology("pcm")
+        assert pcm.trcd_ns == pytest.approx(18.3)
+        assert pcm.tcl_ns == pytest.approx(8.9)
+        assert pcm.twr_ns == pytest.approx(151.1)
+
+    def test_pcm_on_off_ratio_is_decade_scale(self):
+        pcm = get_technology("pcm")
+        assert pcm.on_off_ratio == pytest.approx(1000.0)
+
+    def test_pcm_tcam_row_limit_is_128(self):
+        assert get_technology("pcm").tcam_row_limit == 128
+
+    def test_pcm_write_is_unipolar(self):
+        assert get_technology("pcm").write.polarity == "unipolar"
+
+
+class TestSttProperties:
+    def test_stt_contrast_is_low(self):
+        stt = get_technology("stt")
+        assert stt.on_off_ratio < 5
+
+    def test_stt_row_limit_is_2(self):
+        assert get_technology("stt").tcam_row_limit == 2
+
+    def test_stt_write_is_bipolar(self):
+        assert get_technology("stt").write.polarity == "bipolar"
+
+
+class TestDerivedQuantities:
+    def test_read_currents_ordering(self):
+        for tech in TECHNOLOGIES.values():
+            assert tech.read_current_low > tech.read_current_high
+
+    def test_read_current_values(self):
+        pcm = get_technology("pcm")
+        assert pcm.read_current_low == pytest.approx(pcm.read_voltage / pcm.r_low)
+
+    def test_cell_area_scaling(self):
+        pcm = get_technology("pcm")
+        expected = 24.0 * (65e-9) ** 2
+        assert pcm.cell_area_m2 == pytest.approx(expected)
+
+    def test_scaled_returns_modified_copy(self):
+        pcm = get_technology("pcm")
+        fast = pcm.scaled(sense_time=1e-9)
+        assert fast.sense_time == 1e-9
+        assert pcm.sense_time == 8.9e-9
+        assert fast.r_low == pcm.r_low
+
+
+class TestValidation:
+    def _base_kwargs(self):
+        pcm = get_technology("pcm")
+        return dict(
+            name="X",
+            cell_kind="PCM",
+            feature_nm=65.0,
+            cell_area_f2=24.0,
+            r_low=1e4,
+            r_high=1e7,
+            sigma_log_r_low=0.06,
+            sigma_log_r_high=0.25,
+            read_voltage=0.4,
+            sense_time=8.9e-9,
+            activate_time=18.3e-9,
+            write_time=151.1e-9,
+            cell_read_energy=0.08e-12,
+            cell_set_energy=7.5e-12,
+            cell_reset_energy=13.5e-12,
+            write=pcm.write,
+        )
+
+    def test_rhigh_must_exceed_rlow(self):
+        kwargs = self._base_kwargs()
+        kwargs.update(r_low=1e7, r_high=1e4)
+        with pytest.raises(ValueError, match="must exceed"):
+            NVMTechnology(**kwargs)
+
+    def test_negative_sigma_rejected(self):
+        kwargs = self._base_kwargs()
+        kwargs.update(sigma_log_r_low=-0.1)
+        with pytest.raises(ValueError, match="sigmas"):
+            NVMTechnology(**kwargs)
+
+    def test_nonpositive_resistance_rejected(self):
+        kwargs = self._base_kwargs()
+        kwargs.update(r_low=0.0)
+        with pytest.raises(ValueError, match="positive"):
+            NVMTechnology(**kwargs)
+
+    def test_default_write_scheme_synthesised(self):
+        kwargs = self._base_kwargs()
+        kwargs.pop("write")
+        tech = NVMTechnology(**kwargs)
+        assert tech.write.polarity == "unipolar"
+
+
+class TestWriteScheme:
+    def test_energy_properties(self):
+        ws = WriteScheme("unipolar", 100e-6, 200e-6, 100e-9, 50e-9)
+        assert ws.set_energy == pytest.approx(1e-11)
+        assert ws.reset_energy == pytest.approx(1e-11)
+
+    def test_bad_polarity_rejected(self):
+        with pytest.raises(ValueError, match="polarity"):
+            WriteScheme("tripolar", 1e-6, 1e-6, 1e-9, 1e-9)
+
+    def test_nonpositive_current_rejected(self):
+        with pytest.raises(ValueError, match="currents"):
+            WriteScheme("unipolar", 0.0, 1e-6, 1e-9, 1e-9)
+
+    def test_nonpositive_pulse_rejected(self):
+        with pytest.raises(ValueError, match="pulses"):
+            WriteScheme("unipolar", 1e-6, 1e-6, 0.0, 1e-9)
+
+
+class TestGeometricMean:
+    def test_midpoint(self):
+        assert geometric_mean_resistance(1e3, 1e5) == pytest.approx(1e4)
+
+    def test_symmetric(self):
+        assert geometric_mean_resistance(3.0, 7.0) == geometric_mean_resistance(7.0, 3.0)
+
+    def test_log_equidistant(self):
+        mid = geometric_mean_resistance(2e3, 8e6)
+        assert math.log(mid / 2e3) == pytest.approx(math.log(8e6 / mid))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean_resistance(0.0, 1.0)

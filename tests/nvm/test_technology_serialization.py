@@ -1,0 +1,52 @@
+"""Tests for technology dict/JSON round-tripping."""
+
+import json
+
+import pytest
+
+from repro.nvm.margin import max_multirow_or
+from repro.nvm.technology import NVMTechnology, get_technology
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("name", ["pcm", "reram", "stt"])
+    def test_roundtrip(self, name):
+        tech = get_technology(name)
+        rebuilt = NVMTechnology.from_dict(tech.to_dict())
+        assert rebuilt == tech
+
+    def test_json_roundtrip(self):
+        tech = get_technology("pcm")
+        payload = json.dumps(tech.to_dict())
+        rebuilt = NVMTechnology.from_dict(json.loads(payload))
+        assert rebuilt == tech
+
+    def test_rebuilt_technology_behaves(self):
+        rebuilt = NVMTechnology.from_dict(get_technology("pcm").to_dict())
+        assert max_multirow_or(rebuilt) == 128
+
+    def test_custom_technology_from_config(self):
+        data = get_technology("pcm").to_dict()
+        data["name"] = "MyPCM"
+        data["r_high"] = data["r_low"] * 50  # weaker contrast
+        tech = NVMTechnology.from_dict(data)
+        assert tech.name == "MyPCM"
+        assert 2 <= max_multirow_or(tech) < 128
+
+    def test_unknown_field_rejected(self):
+        data = get_technology("pcm").to_dict()
+        data["volatage"] = 1.2  # typo
+        with pytest.raises(ValueError, match="unknown technology fields"):
+            NVMTechnology.from_dict(data)
+
+    def test_unknown_write_field_rejected(self):
+        data = get_technology("pcm").to_dict()
+        data["write"]["pulse_shape"] = "triangular"
+        with pytest.raises(ValueError, match="write-scheme"):
+            NVMTechnology.from_dict(data)
+
+    def test_invalid_values_still_validated(self):
+        data = get_technology("pcm").to_dict()
+        data["r_low"], data["r_high"] = data["r_high"], data["r_low"]
+        with pytest.raises(ValueError, match="must exceed"):
+            NVMTechnology.from_dict(data)

@@ -1,0 +1,144 @@
+"""Tests for the lognormal variation model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nvm.technology import get_technology
+from repro.nvm.variation import DEFAULT_CORNER_SIGMAS, VariationModel
+
+
+@pytest.fixture
+def pcm():
+    return get_technology("pcm")
+
+
+@pytest.fixture
+def model(pcm):
+    return VariationModel.for_technology(pcm)
+
+
+class TestCorners:
+    def test_corners_bracket_nominal(self, model):
+        lo, hi = model.corner_interval(1e4, "low")
+        assert lo < 1e4 < hi
+
+    def test_corner_symmetry_in_log_domain(self, model):
+        lo, hi = model.corner_interval(1e4, "low")
+        assert math.log(1e4 / lo) == pytest.approx(math.log(hi / 1e4))
+
+    def test_corner_magnitude(self, pcm):
+        model = VariationModel(0.1, 0.2, corner_sigmas=3.0)
+        assert model.upper_corner(100.0, "low") == pytest.approx(100.0 * math.exp(0.3))
+        assert model.lower_corner(100.0, "high") == pytest.approx(100.0 * math.exp(-0.6))
+
+    def test_state_selects_sigma(self, model, pcm):
+        # HRS sigma is larger for PCM, so its corners are wider.
+        lo_l, hi_l = model.corner_interval(1.0, "low")
+        lo_h, hi_h = model.corner_interval(1.0, "high")
+        assert hi_h > hi_l
+        assert lo_h < lo_l
+
+    def test_bad_state_rejected(self, model):
+        with pytest.raises(ValueError, match="state"):
+            model.lower_corner(1.0, "mid")
+
+
+class TestConstruction:
+    def test_for_technology_copies_sigmas(self, pcm):
+        model = VariationModel.for_technology(pcm)
+        assert model.sigma_low == pcm.sigma_log_r_low
+        assert model.sigma_high == pcm.sigma_log_r_high
+        assert model.corner_sigmas == DEFAULT_CORNER_SIGMAS
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            VariationModel(-0.1, 0.1)
+
+    def test_nonpositive_corner_rejected(self):
+        with pytest.raises(ValueError):
+            VariationModel(0.1, 0.1, corner_sigmas=0.0)
+
+
+class TestSampling:
+    def test_sample_state_shape(self, model):
+        rng = np.random.default_rng(7)
+        samples = model.sample_state(1e4, "low", rng, size=1000)
+        assert samples.shape == (1000,)
+        assert np.all(samples > 0)
+
+    def test_sample_state_log_mean(self, model):
+        rng = np.random.default_rng(7)
+        samples = model.sample_state(1e4, "low", rng, size=200_000)
+        assert np.mean(np.log(samples)) == pytest.approx(math.log(1e4), abs=0.005)
+
+    def test_sample_state_log_std(self, model):
+        rng = np.random.default_rng(7)
+        samples = model.sample_state(1e4, "high", rng, size=200_000)
+        assert np.std(np.log(samples)) == pytest.approx(model.sigma_high, rel=0.02)
+
+    def test_zero_sigma_is_deterministic(self):
+        model = VariationModel(0.0, 0.0)
+        rng = np.random.default_rng(7)
+        samples = model.sample_state(5e3, "low", rng, size=10)
+        assert np.all(samples == 5e3)
+
+    def test_sample_bits_uses_state_nominals(self, pcm):
+        model = VariationModel(0.0, 0.0)
+        rng = np.random.default_rng(7)
+        bits = np.array([0, 1, 0, 1], dtype=np.uint8)
+        r = model.sample_bits(bits, pcm, rng)
+        np.testing.assert_allclose(r, [pcm.r_high, pcm.r_low, pcm.r_high, pcm.r_low])
+
+    def test_sample_bits_spread_matches_state(self, pcm, model):
+        rng = np.random.default_rng(7)
+        bits = np.concatenate([np.zeros(100_000, np.uint8), np.ones(100_000, np.uint8)])
+        r = model.sample_bits(bits, pcm, rng)
+        std_high = np.std(np.log(r[:100_000]))
+        std_low = np.std(np.log(r[100_000:]))
+        assert std_high == pytest.approx(pcm.sigma_log_r_high, rel=0.05)
+        assert std_low == pytest.approx(pcm.sigma_log_r_low, rel=0.05)
+
+    def test_nonpositive_nominal_rejected(self, model):
+        rng = np.random.default_rng(7)
+        with pytest.raises(ValueError):
+            model.sample_state(-1.0, "low", rng)
+
+
+class TestDisjointness:
+    def test_disjoint_intervals(self):
+        assert VariationModel.intervals_disjoint((1, 2), (3, 4))
+        assert VariationModel.intervals_disjoint((3, 4), (1, 2))
+
+    def test_overlapping_intervals(self):
+        assert not VariationModel.intervals_disjoint((1, 3), (2, 4))
+        assert not VariationModel.intervals_disjoint((1, 10), (2, 3))
+
+
+class TestProperties:
+    @given(
+        nominal=st.floats(min_value=1e2, max_value=1e8),
+        sigma=st.floats(min_value=0.0, max_value=1.0),
+        k=st.floats(min_value=0.5, max_value=6.0),
+    )
+    @settings(max_examples=60)
+    def test_corners_always_bracket(self, nominal, sigma, k):
+        model = VariationModel(sigma, sigma, corner_sigmas=k)
+        lo, hi = model.corner_interval(nominal, "low")
+        assert lo <= nominal <= hi
+        assert lo > 0
+
+    @given(
+        sigma=st.floats(min_value=0.01, max_value=0.5),
+        k1=st.floats(min_value=1.0, max_value=3.0),
+        k2=st.floats(min_value=3.5, max_value=6.0),
+    )
+    @settings(max_examples=40)
+    def test_wider_corner_widens_interval(self, sigma, k1, k2):
+        narrow = VariationModel(sigma, sigma, corner_sigmas=k1)
+        wide = VariationModel(sigma, sigma, corner_sigmas=k2)
+        assert wide.upper_corner(1e4, "low") > narrow.upper_corner(1e4, "low")
+        assert wide.lower_corner(1e4, "low") < narrow.lower_corner(1e4, "low")

@@ -1,0 +1,96 @@
+"""Tests for the multi-row activation wordline driver."""
+
+import pytest
+
+from repro.nvm.wordline import LocalWordlineDriver, WordlineError
+
+
+@pytest.fixture
+def driver():
+    return LocalWordlineDriver(n_rows=512, max_open_rows=128)
+
+
+class TestProtocol:
+    def test_fresh_driver_has_no_open_rows(self, driver):
+        assert driver.open_rows == ()
+        assert driver.n_open == 0
+
+    def test_single_activation(self, driver):
+        driver.reset()
+        driver.activate(7)
+        assert driver.open_rows == (7,)
+
+    def test_multi_activation_latches_all(self, driver):
+        driver.reset()
+        for row in (3, 99, 42):
+            driver.activate(row)
+        assert driver.open_rows == (3, 42, 99)
+
+    def test_reset_clears_latches(self, driver):
+        driver.activate_many([1, 2, 3])
+        driver.reset()
+        assert driver.open_rows == ()
+
+    def test_precharge_closes_and_requires_reset(self, driver):
+        driver.activate_many([5])
+        driver.precharge()
+        assert driver.open_rows == ()
+        with pytest.raises(WordlineError, match="RESET"):
+            driver.activate(6)
+
+    def test_double_latch_rejected(self, driver):
+        driver.reset()
+        driver.activate(9)
+        with pytest.raises(WordlineError, match="already latched"):
+            driver.activate(9)
+
+    def test_out_of_range_rejected(self, driver):
+        driver.reset()
+        with pytest.raises(WordlineError, match="out of range"):
+            driver.activate(512)
+        with pytest.raises(WordlineError, match="out of range"):
+            driver.activate(-1)
+
+    def test_open_row_limit_enforced(self):
+        driver = LocalWordlineDriver(n_rows=16, max_open_rows=2)
+        driver.reset()
+        driver.activate(0)
+        driver.activate(1)
+        with pytest.raises(WordlineError, match="sensing limit"):
+            driver.activate(2)
+
+
+class TestCosts:
+    def test_first_activation_pays_trcd(self, driver):
+        driver.reset()
+        cost = driver.activate(0)
+        assert cost.latency == pytest.approx(driver.activate_time)
+
+    def test_subsequent_activations_pay_issue_time(self, driver):
+        driver.reset()
+        driver.activate(0)
+        cost = driver.activate(1)
+        assert cost.latency == pytest.approx(driver.address_issue_time)
+
+    def test_activate_many_total(self, driver):
+        cost = driver.activate_many(range(8))
+        expected = (
+            driver.address_issue_time  # RESET
+            + driver.activate_time  # first row
+            + 7 * driver.address_issue_time  # remaining rows
+        )
+        assert cost.latency == pytest.approx(expected)
+        assert cost.energy == pytest.approx(9 * driver.wl_energy)
+
+    def test_precharge_energy_scales_with_open_rows(self, driver):
+        driver.activate_many(range(4))
+        cost = driver.precharge()
+        assert cost.energy == pytest.approx(4 * driver.wl_energy)
+
+
+class TestValidation:
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            LocalWordlineDriver(n_rows=0)
+        with pytest.raises(ValueError):
+            LocalWordlineDriver(n_rows=8, max_open_rows=0)

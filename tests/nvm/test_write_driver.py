@@ -1,0 +1,95 @@
+"""Tests for the write driver and in-place update path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nvm.technology import get_technology
+from repro.nvm.write_driver import WriteDriver, WriteSource
+
+
+@pytest.fixture
+def pcm():
+    return get_technology("pcm")
+
+
+@pytest.fixture
+def wd(pcm):
+    return WriteDriver(pcm)
+
+
+class TestDifferentialWrite:
+    def test_no_change_costs_nothing(self, wd):
+        row = np.array([0, 1, 0, 1], dtype=np.uint8)
+        cost = wd.program(row, row)
+        assert cost.latency == 0.0
+        assert cost.energy == 0.0
+        assert cost.bits_unchanged == 4
+
+    def test_counts_sets_and_resets(self, wd):
+        old = np.array([0, 0, 1, 1], dtype=np.uint8)
+        new = np.array([1, 0, 0, 1], dtype=np.uint8)
+        cost = wd.program(old, new)
+        assert cost.bits_set == 1
+        assert cost.bits_reset == 1
+        assert cost.bits_unchanged == 2
+
+    def test_energy_accounts_asymmetry(self, wd, pcm):
+        old = np.zeros(4, dtype=np.uint8)
+        new = np.ones(4, dtype=np.uint8)
+        cost = wd.program(old, new)
+        assert cost.energy == pytest.approx(4 * pcm.cell_set_energy)
+
+    def test_reset_energy(self, wd, pcm):
+        old = np.ones(3, dtype=np.uint8)
+        new = np.zeros(3, dtype=np.uint8)
+        cost = wd.program(old, new)
+        assert cost.energy == pytest.approx(3 * pcm.cell_reset_energy)
+
+    def test_latency_is_one_write_time(self, wd, pcm):
+        old = np.zeros(128, dtype=np.uint8)
+        new = np.ones(128, dtype=np.uint8)
+        assert wd.program(old, new).latency == pytest.approx(pcm.write_time)
+
+    def test_shape_mismatch_rejected(self, wd):
+        with pytest.raises(ValueError, match="same shape"):
+            wd.program(np.zeros(4, np.uint8), np.zeros(5, np.uint8))
+
+    def test_sense_amp_source_same_array_cost(self, wd):
+        old = np.zeros(8, dtype=np.uint8)
+        new = np.ones(8, dtype=np.uint8)
+        bus = wd.program(old, new, WriteSource.DATA_BUS)
+        sa = wd.program(old, new, WriteSource.SENSE_AMP)
+        assert bus.energy == sa.energy
+        assert bus.latency == sa.latency
+
+
+class TestFullRowBound:
+    def test_full_row_pessimistic(self, wd, pcm):
+        cost = wd.full_row_cost(4096)
+        assert cost.latency == pcm.write_time
+        assert cost.bits_set + cost.bits_reset == 4096
+        assert cost.energy > 0
+
+    def test_energy_split(self, wd, pcm):
+        cost = wd.full_row_cost(2)
+        assert cost.energy == pytest.approx(
+            pcm.cell_set_energy + pcm.cell_reset_energy
+        )
+
+
+class TestProperties:
+    @given(
+        old=st.lists(st.integers(0, 1), min_size=1, max_size=64),
+        flip=st.lists(st.integers(0, 1), min_size=1, max_size=64),
+    )
+    @settings(max_examples=60)
+    def test_counts_partition_row(self, old, flip):
+        size = min(len(old), len(flip))
+        old_arr = np.array(old[:size], dtype=np.uint8)
+        new_arr = old_arr ^ np.array(flip[:size], dtype=np.uint8)
+        wd = WriteDriver(get_technology("pcm"))
+        cost = wd.program(old_arr, new_arr)
+        assert cost.bits_set + cost.bits_reset + cost.bits_unchanged == size
+        assert cost.bits_set + cost.bits_reset == int(np.sum(old_arr != new_arr))

@@ -1,0 +1,70 @@
+"""Tests for the runtime-level host-emission API."""
+
+import numpy as np
+import pytest
+
+from repro.core.pinatubo import PinatuboSystem
+from repro.memsim.geometry import MemoryGeometry
+from repro.runtime.api import PimRuntime
+
+
+GEOM = MemoryGeometry(
+    channels=1,
+    ranks_per_channel=1,
+    chips_per_rank=1,
+    banks_per_chip=2,
+    subarrays_per_bank=4,
+    rows_per_subarray=32,
+    mats_per_subarray=1,
+    cols_per_mat=512,
+    mux_ratio=8,
+)
+
+
+@pytest.fixture
+def rt():
+    return PimRuntime(PinatuboSystem.pcm(geometry=GEOM))
+
+
+def vectors(rt, n, seed=0):
+    rng = np.random.default_rng(seed)
+    handles, data = [], []
+    for _ in range(n):
+        h = rt.pim_malloc(GEOM.row_bits, "g")
+        d = rng.integers(0, 2, GEOM.row_bits).astype(np.uint8)
+        rt.pim_write(h, d)
+        handles.append(h)
+        data.append(d)
+    return handles, data
+
+
+class TestPimOpToHost:
+    def test_result_correct(self, rt):
+        (a, b), (da, db) = vectors(rt, 2)
+        scratch = rt.pim_malloc(GEOM.row_bits, "g")
+        bits = rt.pim_op_to_host("or", scratch, [a, b])
+        np.testing.assert_array_equal(bits, da | db)
+
+    def test_counts_as_pim_work(self, rt):
+        (a, b), _ = vectors(rt, 2)
+        scratch = rt.pim_malloc(GEOM.row_bits, "g")
+        before = rt.pim_accounting.latency
+        rt.pim_op_to_host("xor", scratch, [a, b])
+        assert rt.pim_accounting.latency > before
+        assert rt.driver.stats.instructions == 1
+
+    def test_scratch_untouched_for_single_step(self, rt):
+        (a, b), _ = vectors(rt, 2)
+        scratch = rt.pim_malloc(GEOM.row_bits, "g")
+        rt.pim_op_to_host("and", scratch, [a, b])
+        frame = scratch.frames[0]
+        assert rt.system.memory.frame_writes(frame) == 0
+
+    def test_length_inferred(self, rt):
+        a = rt.pim_malloc(100, "g")
+        b = rt.pim_malloc(200, "g")
+        scratch = rt.pim_malloc(200, "g")
+        rt.pim_write(a, np.ones(100, np.uint8))
+        rt.pim_write(b, np.ones(200, np.uint8))
+        bits = rt.pim_op_to_host("and", scratch, [a, b])
+        assert bits.size == 100

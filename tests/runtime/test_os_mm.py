@@ -1,0 +1,97 @@
+"""Tests for the PIM-aware OS memory manager."""
+
+import pytest
+
+from repro.memsim.address import classify_locality, OpLocality
+from repro.memsim.geometry import MemoryGeometry
+from repro.runtime.os_mm import PimMemoryManager, PlacementPolicy
+
+
+SMALL = MemoryGeometry(
+    channels=2,
+    ranks_per_channel=1,
+    chips_per_rank=1,
+    banks_per_chip=2,
+    subarrays_per_bank=4,
+    rows_per_subarray=16,
+    mats_per_subarray=1,
+    cols_per_mat=512,
+    mux_ratio=8,
+)
+
+
+@pytest.fixture
+def mm():
+    return PimMemoryManager(SMALL)
+
+
+class TestPimAwarePlacement:
+    def test_same_group_lands_in_one_subarray(self, mm):
+        frames = mm.allocate_rows(3, "g") + mm.allocate_rows(2, "g")
+        addrs = [mm.frame_address(f) for f in frames]
+        assert classify_locality(addrs) == OpLocality.INTRA_SUBARRAY
+
+    def test_different_groups_different_subarrays(self, mm):
+        a = mm.allocate_rows(1, "a")[0]
+        b = mm.allocate_rows(1, "b")[0]
+        assert not mm.frame_address(a).same_subarray(mm.frame_address(b))
+
+    def test_group_spills_when_subarray_full(self, mm):
+        frames = mm.allocate_rows(SMALL.rows_per_subarray + 1, "g")
+        addrs = [mm.frame_address(f) for f in frames]
+        first = addrs[0]
+        assert all(a.same_subarray(first) for a in addrs[:-1])
+        assert not addrs[-1].same_subarray(first)
+
+    def test_all_frames_distinct(self, mm):
+        frames = mm.allocate_rows(100, "g")
+        assert len(set(frames)) == 100
+
+    def test_full_memory_allocatable(self, mm):
+        total = SMALL.total_rows
+        frames = mm.allocate_rows(total)
+        assert len(set(frames)) == total
+        assert mm.total_free_rows == 0
+
+    def test_out_of_memory(self, mm):
+        mm.allocate_rows(SMALL.total_rows)
+        with pytest.raises(MemoryError):
+            mm.allocate_rows(1)
+
+    def test_bad_count(self, mm):
+        with pytest.raises(ValueError):
+            mm.allocate_rows(0)
+
+
+class TestInterleavedPlacement:
+    def test_scatters_across_subarrays(self):
+        mm = PimMemoryManager(SMALL, PlacementPolicy.INTERLEAVED)
+        frames = mm.allocate_rows(4)
+        addrs = [mm.frame_address(f) for f in frames]
+        assert classify_locality(addrs) != OpLocality.INTRA_SUBARRAY
+
+    def test_still_allocates_everything(self):
+        mm = PimMemoryManager(SMALL, PlacementPolicy.INTERLEAVED)
+        frames = mm.allocate_rows(SMALL.total_rows)
+        assert len(set(frames)) == SMALL.total_rows
+
+
+class TestFree:
+    def test_free_returns_rows(self, mm):
+        frames = mm.allocate_rows(10, "g")
+        before = mm.total_free_rows
+        mm.free_rows(frames)
+        assert mm.total_free_rows == before + 10
+        assert mm.frames_allocated == 0
+
+    def test_freed_rows_reusable(self, mm):
+        frames = mm.allocate_rows(SMALL.total_rows)
+        mm.free_rows(frames[:5])
+        again = mm.allocate_rows(5, "new")
+        assert len(again) == 5
+
+    def test_double_free_detected(self, mm):
+        frames = mm.allocate_rows(2, "g")
+        mm.free_rows(frames)
+        with pytest.raises(ValueError, match="double free"):
+            mm.free_rows(frames)

@@ -1,0 +1,145 @@
+"""Cross-validation between the repo's independent models.
+
+Three layers claim to describe the same machine:
+
+1. the device-level :class:`~repro.nvm.array.ResistiveMat` (bits stored
+   as resistances, sensed by the CSA model);
+2. the functional executor over packed-bit memory
+   (:class:`~repro.core.executor.PinatuboExecutor`);
+3. the analytical cost model (:class:`~repro.core.model.PinatuboModel`).
+
+These tests pin them to each other: same functional results, same command
+accounting for matching shapes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import AccessPattern
+from repro.core.executor import PinatuboExecutor
+from repro.core.model import PinatuboModel
+from repro.core.pinatubo import PinatuboSystem
+from repro.memsim.address import RowAddress
+from repro.memsim.geometry import DEFAULT_GEOMETRY, MemoryGeometry
+from repro.nvm.array import ResistiveMat, oracle_bitwise
+from repro.nvm.sense_amp import SenseMode
+from repro.nvm.technology import get_technology
+from repro.nvm.variation import VariationModel
+
+
+class TestMatVsExecutor:
+    """Device-level mat and packed-bit executor agree bit-for-bit."""
+
+    @pytest.mark.parametrize("mode,op,n", [
+        (SenseMode.OR, "or", 4),
+        (SenseMode.AND, "and", 2),
+        (SenseMode.XOR, "xor", 2),
+    ])
+    def test_same_results(self, mode, op, n):
+        rng = np.random.default_rng(11)
+        n_cols = 256
+        rows = [rng.integers(0, 2, n_cols).astype(np.uint8) for _ in range(n)]
+
+        # device level with variation
+        mat = ResistiveMat(
+            get_technology("pcm"),
+            n_rows=16,
+            n_cols=n_cols,
+            mux_ratio=8,
+            variation=VariationModel.for_technology(get_technology("pcm")),
+            rng=np.random.default_rng(5),
+        )
+        for i, bits in enumerate(rows):
+            mat.write_row(i, bits)
+        mat_bits = mat.bitwise(mode, range(n)).bits
+
+        # system level
+        geom = MemoryGeometry(
+            channels=1,
+            ranks_per_channel=1,
+            chips_per_rank=1,
+            banks_per_chip=1,
+            subarrays_per_bank=2,
+            rows_per_subarray=16,
+            mats_per_subarray=1,
+            cols_per_mat=n_cols,
+            mux_ratio=8,
+        )
+        ex = PinatuboExecutor(geometry=geom, technology=get_technology("pcm"))
+        for i, bits in enumerate(rows):
+            ex.memory.write_bits(i, bits)
+        ex.bitwise(op, [n], [[i] for i in range(n)], n_cols)
+        exec_bits = ex.memory.read_bits(n, n_cols)
+
+        oracle = oracle_bitwise(mode, rows)
+        np.testing.assert_array_equal(mat_bits, oracle)
+        np.testing.assert_array_equal(exec_bits, oracle)
+
+
+class TestExecutorVsModel:
+    """The analytical model prices what the executor actually does."""
+
+    def _executor_cost(self, op, n_operands, vector_bits):
+        system = PinatuboSystem.pcm()
+        g = system.geometry
+        # place operands + dest in subarray 0 of bank 0 (model's
+        # sequential assumption)
+        base = system.mapper.encode(RowAddress(0, 0, 0, 0, 0))
+        rng = np.random.default_rng(3)
+        sources = []
+        for i in range(n_operands):
+            frame = base + i
+            system.memory.write_frame(
+                frame, rng.integers(0, 256, g.row_bytes).astype(np.uint8)
+            )
+            sources.append([frame])
+        dest = [base + n_operands]
+        result = system.bitwise(op, dest, sources, vector_bits)
+        return result.accounting.latency
+
+    @pytest.mark.parametrize("op,n,bits", [
+        ("or", 2, 1 << 14),
+        ("or", 8, 1 << 19),
+        ("or", 128, 1 << 19),
+        ("and", 2, 1 << 19),
+        ("xor", 2, 1 << 16),
+        ("inv", 1, 1 << 14),
+    ])
+    def test_latency_matches(self, op, n, bits):
+        model = PinatuboModel()
+        model_cost = model.bitwise_cost(op, n, bits, AccessPattern.SEQUENTIAL)
+        exec_latency = self._executor_cost(op, n, bits)
+        assert exec_latency == pytest.approx(model_cost.latency, rel=1e-6)
+
+    def test_decomposed_or_matches(self):
+        model = PinatuboModel(max_rows=2)
+        model_cost = model.bitwise_cost("or", 8, 1 << 14)
+        system = PinatuboSystem.pcm(max_rows=2)
+        base = system.mapper.encode(RowAddress(0, 0, 0, 0, 0))
+        rng = np.random.default_rng(3)
+        sources = []
+        for i in range(8):
+            system.memory.write_frame(
+                base + i,
+                rng.integers(0, 256, system.geometry.row_bytes).astype(np.uint8),
+            )
+            sources.append([base + i])
+        result = system.bitwise("or", [base + 8], sources, 1 << 14)
+        assert result.accounting.latency == pytest.approx(
+            model_cost.latency, rel=1e-6
+        )
+        assert result.steps == 7
+
+
+class TestGeometryConsistency:
+    def test_mat_sense_steps_match_geometry(self):
+        """A full-row mat op takes mux_ratio steps; the geometry's
+        sense_steps_for_bits must agree for a full row."""
+        g = DEFAULT_GEOMETRY
+        assert g.sense_steps_for_bits(g.row_bits) == g.mux_ratio
+
+    def test_margin_limits_match_executor_limits(self):
+        from repro.nvm.margin import max_multirow_or
+
+        system = PinatuboSystem.pcm()
+        assert system.max_or_rows == max_multirow_or(get_technology("pcm"))

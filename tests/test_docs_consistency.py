@@ -1,0 +1,67 @@
+"""Keep the documentation honest: inventory vs reality."""
+
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def read(name: str) -> str:
+    return (ROOT / name).read_text()
+
+
+class TestDesignDoc:
+    def test_every_benchmark_file_is_indexed(self):
+        design = read("DESIGN.md")
+        for bench in sorted((ROOT / "benchmarks").glob("bench_*.py")):
+            assert bench.name in design, f"{bench.name} missing from DESIGN.md"
+
+    def test_every_indexed_benchmark_exists(self):
+        design = read("DESIGN.md")
+        for name in re.findall(r"benchmarks/(bench_\w+\.py)", design):
+            assert (ROOT / "benchmarks" / name).exists(), name
+
+    def test_inventory_modules_exist(self):
+        design = read("DESIGN.md")
+        for module in re.findall(r"`repro\.([\w.]+)`", design):
+            path = ROOT / "src" / "repro" / (module.replace(".", "/") + ".py")
+            package = ROOT / "src" / "repro" / module.replace(".", "/")
+            assert path.exists() or package.exists(), module
+
+
+class TestReadme:
+    def test_listed_examples_exist(self):
+        readme = read("README.md")
+        for name in re.findall(r"examples/(\w+\.py)", readme):
+            assert (ROOT / "examples" / name).exists(), name
+
+    def test_all_examples_are_listed(self):
+        readme = read("README.md")
+        for example in sorted((ROOT / "examples").glob("*.py")):
+            assert example.name in readme, f"{example.name} missing from README"
+
+    def test_docs_links_exist(self):
+        readme = read("README.md")
+        for name in re.findall(r"docs/([\w.]+\.md)", readme):
+            assert (ROOT / "docs" / name).exists(), name
+
+
+class TestExperimentsDoc:
+    def test_mentions_every_figure(self):
+        experiments = read("EXPERIMENTS.md")
+        for fig in (5, 6, 7, 9, 10, 11, 12, 13):
+            assert f"Fig. {fig}" in experiments
+
+    def test_ablation_benches_listed(self):
+        experiments = read("EXPERIMENTS.md")
+        for bench in sorted((ROOT / "benchmarks").glob("bench_ablation_*.py")):
+            assert bench.name in experiments, bench.name
+
+
+class TestPaperMapping:
+    def test_mapped_modules_exist(self):
+        mapping = read("docs/paper_mapping.md")
+        for module in re.findall(r"`repro/([\w/]+)\.py`", mapping):
+            assert (ROOT / "src" / "repro" / (module + ".py")).exists(), module

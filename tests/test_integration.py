@@ -1,0 +1,164 @@
+"""End-to-end integration scenarios across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.apps.bitvector import PimBitVector
+from repro.core.pinatubo import PinatuboSystem
+from repro.memsim.geometry import MemoryGeometry
+from repro.runtime.api import PimRuntime
+
+
+GEOM = MemoryGeometry(
+    channels=2,
+    ranks_per_channel=1,
+    chips_per_rank=1,
+    banks_per_chip=2,
+    subarrays_per_bank=4,
+    rows_per_subarray=64,
+    mats_per_subarray=1,
+    cols_per_mat=1024,
+    mux_ratio=8,
+)
+
+
+@pytest.fixture
+def rt():
+    return PimRuntime(PinatuboSystem.pcm(geometry=GEOM))
+
+
+class TestExpressionPipelines:
+    """Chained operations with intermediate results staying in memory."""
+
+    def test_masked_union(self, rt):
+        rng = np.random.default_rng(0)
+        n = 512
+        sets = [rng.integers(0, 2, n).astype(np.uint8) for _ in range(6)]
+        mask = rng.integers(0, 2, n).astype(np.uint8)
+        vecs = [PimBitVector.from_bits(rt, s, "q") for s in sets]
+        mask_v = PimBitVector.from_bits(rt, mask, "q")
+        result = PimBitVector.any_of(vecs) & mask_v
+        expected = np.bitwise_or.reduce(sets) & mask
+        np.testing.assert_array_equal(result.to_numpy(), expected)
+
+    def test_symmetric_difference_chain(self, rt):
+        rng = np.random.default_rng(1)
+        n = 512
+        a, b, c = (rng.integers(0, 2, n).astype(np.uint8) for _ in range(3))
+        va = PimBitVector.from_bits(rt, a, "q")
+        vb = PimBitVector.from_bits(rt, b, "q")
+        vc = PimBitVector.from_bits(rt, c, "q")
+        result = (va ^ vb) ^ vc
+        np.testing.assert_array_equal(result.to_numpy(), a ^ b ^ c)
+
+    def test_demorgan_identity(self, rt):
+        """NOT(a OR b) == NOT(a) AND NOT(b), computed both ways in PIM."""
+        rng = np.random.default_rng(2)
+        n = 512
+        a = rng.integers(0, 2, n).astype(np.uint8)
+        b = rng.integers(0, 2, n).astype(np.uint8)
+        va = PimBitVector.from_bits(rt, a, "q")
+        vb = PimBitVector.from_bits(rt, b, "q")
+        left = ~(va | vb)
+        right = (~va) & (~vb)
+        np.testing.assert_array_equal(left.to_numpy(), right.to_numpy())
+
+    def test_double_inversion_is_identity(self, rt):
+        rng = np.random.default_rng(3)
+        bits = rng.integers(0, 2, 512).astype(np.uint8)
+        v = PimBitVector.from_bits(rt, bits, "q")
+        np.testing.assert_array_equal((~(~v)).to_numpy(), bits)
+
+
+class TestCommutativityProperties:
+    def test_or_operand_order_irrelevant(self, rt):
+        rng = np.random.default_rng(4)
+        n = 256
+        data = [rng.integers(0, 2, n).astype(np.uint8) for _ in range(5)]
+        vecs = [PimBitVector.from_bits(rt, d, "g") for d in data]
+        fwd = PimBitVector.any_of(vecs)
+        rev = PimBitVector.any_of(list(reversed(vecs)))
+        np.testing.assert_array_equal(fwd.to_numpy(), rev.to_numpy())
+
+
+class TestTechnologyPortability:
+    @pytest.mark.parametrize("ctor", [
+        PinatuboSystem.pcm,
+        PinatuboSystem.reram,
+        PinatuboSystem.stt,
+    ])
+    def test_full_stack_on_each_technology(self, ctor):
+        rt = PimRuntime(ctor(geometry=GEOM))
+        rng = np.random.default_rng(5)
+        n = 512
+        data = [rng.integers(0, 2, n).astype(np.uint8) for _ in range(4)]
+        vecs = [PimBitVector.from_bits(rt, d, "g") for d in data]
+        out = PimBitVector.any_of(vecs)
+        np.testing.assert_array_equal(out.to_numpy(), np.bitwise_or.reduce(data))
+
+    def test_stt_decomposes_wide_or(self):
+        rt = PimRuntime(PinatuboSystem.stt(geometry=GEOM))
+        rng = np.random.default_rng(6)
+        n = 256
+        data = [rng.integers(0, 2, n).astype(np.uint8) for _ in range(8)]
+        vecs = [rt.pim_malloc(n, "g") for _ in data]
+        for v, d in zip(vecs, data):
+            rt.pim_write(v, d)
+        dest = rt.pim_malloc(n, "g")
+        result = rt.pim_op("or", dest, vecs)
+        assert result.steps == 7  # 2-row technology: pairwise accumulation
+        np.testing.assert_array_equal(
+            rt.pim_read(dest), np.bitwise_or.reduce(data)
+        )
+
+
+class TestEnduranceAccounting:
+    def test_write_counts_tracked(self, rt):
+        a = rt.pim_malloc(256, "g")
+        bits = np.ones(256, np.uint8)
+        rt.pim_write(a, bits)
+        rt.pim_write(a, bits)
+        frame = a.frames[0]
+        assert rt.system.memory.frame_writes(frame) == 2
+
+    def test_pim_ops_wear_only_destination(self, rt):
+        rng = np.random.default_rng(7)
+        a = rt.pim_malloc(256, "g")
+        b = rt.pim_malloc(256, "g")
+        dest = rt.pim_malloc(256, "g")
+        rt.pim_write(a, rng.integers(0, 2, 256).astype(np.uint8))
+        rt.pim_write(b, rng.integers(0, 2, 256).astype(np.uint8))
+        writes_a = rt.system.memory.frame_writes(a.frames[0])
+        rt.pim_op("or", dest, [a, b])
+        assert rt.system.memory.frame_writes(a.frames[0]) == writes_a
+        assert rt.system.memory.frame_writes(dest.frames[0]) == 1
+
+
+class TestAccountingInvariants:
+    def test_latency_energy_strictly_increase(self, rt):
+        rng = np.random.default_rng(8)
+        checkpoints = []
+        for i in range(3):
+            a = PimBitVector.from_bits(
+                rt, rng.integers(0, 2, 256).astype(np.uint8), "g"
+            )
+            b = PimBitVector.from_bits(
+                rt, rng.integers(0, 2, 256).astype(np.uint8), "g"
+            )
+            _ = a | b
+            checkpoints.append(
+                (rt.pim_accounting.latency, rt.pim_accounting.energy)
+            )
+        latencies = [c[0] for c in checkpoints]
+        energies = [c[1] for c in checkpoints]
+        assert latencies == sorted(latencies)
+        assert energies == sorted(energies)
+        assert latencies[0] > 0
+
+    def test_bus_carries_no_data_for_pim_ops(self, rt):
+        rng = np.random.default_rng(9)
+        a = PimBitVector.from_bits(rt, rng.integers(0, 2, 256).astype(np.uint8), "g")
+        b = PimBitVector.from_bits(rt, rng.integers(0, 2, 256).astype(np.uint8), "g")
+        before = rt.pim_accounting.bus_data_bytes
+        _ = a | b
+        assert rt.pim_accounting.bus_data_bytes == before

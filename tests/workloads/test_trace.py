@@ -1,0 +1,101 @@
+"""Tests for op traces and workload pricing."""
+
+import pytest
+
+from repro.baselines.base import AccessPattern
+from repro.baselines.ideal import IdealPim
+from repro.baselines.simd import CpuConfig, SimdCpu
+from repro.core.model import PinatuboModel
+from repro.workloads.trace import BitwiseEvent, CpuEvent, OpTrace, WorkloadCost
+
+
+@pytest.fixture
+def trace():
+    t = OpTrace(name="t")
+    t.bitwise("or", 4, 1 << 14, count=10)
+    t.cpu(1e6, "scan")
+    t.bitwise("xor", 2, 1 << 14)
+    return t
+
+
+class TestRecording:
+    def test_counters(self, trace):
+        assert trace.n_bitwise_ops == 11
+        assert trace.cpu_ops == 1e6
+        assert trace.op_histogram() == {"or": 10, "xor": 1}
+
+    def test_operand_bits(self, trace):
+        assert trace.bitwise_operand_bits == 10 * 4 * (1 << 14) + 2 * (1 << 14)
+
+    def test_extend(self, trace):
+        other = OpTrace()
+        other.bitwise("and", 2, 64)
+        trace.extend(other)
+        assert trace.n_bitwise_ops == 12
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            BitwiseEvent("or", 2, 64, AccessPattern.SEQUENTIAL, count=0)
+        with pytest.raises(ValueError):
+            BitwiseEvent("or", 0, 64, AccessPattern.SEQUENTIAL)
+        with pytest.raises(ValueError):
+            BitwiseEvent("or", 2, 0, AccessPattern.SEQUENTIAL)
+        with pytest.raises(ValueError):
+            CpuEvent(-1.0)
+
+
+class TestPricing:
+    def test_count_scales_linearly(self):
+        cpu = SimdCpu.with_pcm()
+        one = OpTrace()
+        one.bitwise("or", 2, 1 << 14, count=1)
+        ten = OpTrace()
+        ten.bitwise("or", 2, 1 << 14, count=10)
+        assert ten.price(cpu).bitwise_latency == pytest.approx(
+            10 * one.price(cpu).bitwise_latency
+        )
+
+    def test_cpu_events_priced_on_host(self, trace):
+        cost = trace.price(IdealPim())
+        assert cost.bitwise_latency == 0.0
+        assert cost.other_latency == pytest.approx(1e6 / 3.3e9)
+        assert cost.other_energy > 0
+
+    def test_other_part_scheme_independent(self, trace):
+        a = trace.price(SimdCpu.with_pcm())
+        b = trace.price(PinatuboModel())
+        assert a.other_latency == pytest.approx(b.other_latency)
+        assert a.other_energy == pytest.approx(b.other_energy)
+
+    def test_bitwise_part_differs(self, trace):
+        a = trace.price(SimdCpu.with_pcm())
+        b = trace.price(PinatuboModel())
+        assert b.bitwise_latency < a.bitwise_latency
+
+    def test_scalar_cores_speedup(self, trace):
+        one = trace.price(IdealPim(), cores_for_scalar=1)
+        four = trace.price(IdealPim(), cores_for_scalar=4)
+        assert four.other_latency == pytest.approx(one.other_latency / 4)
+
+    def test_memoisation_consistent(self):
+        """Repeated identical events must price the same as distinct ones."""
+        cpu = SimdCpu.with_pcm()
+        t1 = OpTrace()
+        t1.bitwise("or", 2, 1 << 12)
+        t1.bitwise("or", 2, 1 << 12)
+        t2 = OpTrace()
+        t2.bitwise("or", 2, 1 << 12, count=2)
+        assert t1.price(cpu).bitwise_latency == pytest.approx(
+            t2.price(cpu).bitwise_latency
+        )
+
+
+class TestWorkloadCost:
+    def test_totals(self):
+        c = WorkloadCost(1.0, 2.0, 3.0, 4.0)
+        assert c.total_latency == 4.0
+        assert c.total_energy == 6.0
+        assert c.bitwise_latency_fraction == pytest.approx(0.25)
+
+    def test_zero_fraction(self):
+        assert WorkloadCost().bitwise_latency_fraction == 0.0
