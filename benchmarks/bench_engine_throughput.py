@@ -1,0 +1,157 @@
+"""Engine microbenchmark: batched vs per-command pricing throughput.
+
+The perf-regression harness for the batched execution engine.  A fixed
+FastBit workload -- bitmap vectors spanning **64 rank-row chunks**, a
+stream of **100 conjunctive range queries** -- runs twice on identical
+systems:
+
+- *per-command*: ``batch_commands=False``, one ``MemoryController.
+  execute`` call per combine step per chunk (the pre-batching engine);
+- *batched*: ``batch_commands=True`` + ``PimFastBit.query_many``, one
+  ``execute_batch`` per logical operation / query stream.
+
+Both produce identical hits and identical simulated cost (locked by
+``tests/core/test_batch_equivalence.py``); this benchmark measures the
+*simulator's own* wall-clock throughput (simulated ops/second and
+commands/second) and asserts the batched engine is at least 3x faster.
+Results land in ``BENCH_engine.json`` at the repo root.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.apps.fastbit import RangeQuery
+from repro.apps.fastbit_pim import PimFastBit
+from repro.apps.star import ColumnSpec, synthetic_star_table
+from repro.core.pinatubo import PinatuboSystem
+from repro.memsim.geometry import MemoryGeometry
+from repro.nvm.technology import get_technology
+from repro.runtime.api import PimRuntime
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+#: small rank rows (1024 bits) so the index bitmaps span exactly 64 chunks
+GEOM = MemoryGeometry(
+    channels=1,
+    ranks_per_channel=1,
+    chips_per_rank=1,
+    banks_per_chip=8,
+    subarrays_per_bank=32,
+    rows_per_subarray=128,
+    mats_per_subarray=1,
+    cols_per_mat=1024,
+    mux_ratio=8,
+)
+
+N_CHUNKS = 64
+N_EVENTS = N_CHUNKS * GEOM.row_bits  # 65536 events -> 64 rows per bitmap
+N_QUERIES = 100
+
+COLUMNS = (
+    ColumnSpec("energy", 16, "exponential"),
+    ColumnSpec("charge", 8, "normal"),
+)
+
+
+def _queries(seed: int = 17) -> list:
+    """100 two-predicate range queries (ranges >= 2 bins wide)."""
+    rng = np.random.default_rng(seed)
+    queries = []
+    for _ in range(N_QUERIES):
+        predicates = []
+        for spec in COLUMNS:
+            lo = int(rng.integers(0, spec.n_bins - 2))
+            hi = int(rng.integers(lo + 1, spec.n_bins))
+            predicates.append((spec.name, lo, hi))
+        queries.append(RangeQuery(tuple(predicates)))
+    return queries
+
+
+def _build_db(batch_commands: bool, table) -> PimFastBit:
+    system = PinatuboSystem(
+        get_technology("pcm"), GEOM, batch_commands=batch_commands
+    )
+    runtime = PimRuntime(system)
+    return PimFastBit(runtime, table)
+
+
+def _run_engine_benchmark() -> dict:
+    from repro.memsim.controller import perf_counters
+
+    table = synthetic_star_table(N_EVENTS, columns=COLUMNS, seed=11)
+    queries = _queries()
+
+    # -- per-command baseline (legacy engine) -------------------------------
+    db_legacy = _build_db(batch_commands=False, table=table)
+    c0 = perf_counters.scalar_commands
+    t0 = time.perf_counter()
+    legacy_results = db_legacy.run_workload(queries)
+    legacy_s = time.perf_counter() - t0
+    legacy_commands = perf_counters.scalar_commands - c0
+
+    # -- batched engine -----------------------------------------------------
+    db_batched = _build_db(batch_commands=True, table=table)
+    c0 = perf_counters.batch_commands
+    t0 = time.perf_counter()
+    batched_results = db_batched.query_many(queries)
+    batched_s = time.perf_counter() - t0
+    batched_commands = perf_counters.batch_commands - c0
+
+    # both engines must answer identically
+    assert [r.hits for r in legacy_results] == [r.hits for r in batched_results]
+
+    sim_ops = sum(r.in_memory_steps for r in batched_results)
+    result = {
+        "workload": {
+            "n_events": N_EVENTS,
+            "chunks_per_vector": N_CHUNKS,
+            "n_queries": N_QUERIES,
+            "row_bits": GEOM.row_bits,
+        },
+        "per_command": {
+            "wall_s": legacy_s,
+            "commands_priced": legacy_commands,
+            "queries_per_s": N_QUERIES / legacy_s,
+            "commands_per_s": legacy_commands / legacy_s,
+            "sim_ops_per_s": sim_ops / legacy_s,
+        },
+        "batched": {
+            "wall_s": batched_s,
+            "commands_priced": batched_commands,
+            "queries_per_s": N_QUERIES / batched_s,
+            "commands_per_s": batched_commands / batched_s,
+            "sim_ops_per_s": sim_ops / batched_s,
+        },
+        "speedup": legacy_s / batched_s,
+    }
+    return result
+
+
+def _write_result(result: dict) -> None:
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+
+
+def test_engine_throughput(once):
+    """Batched engine >= 3x the per-command engine on the 64-chunk,
+    100-query FastBit stream; writes BENCH_engine.json."""
+    result = once(_run_engine_benchmark)
+    _write_result(result)
+    print()
+    print(
+        f"engine throughput: per-command {result['per_command']['wall_s']:.2f}s "
+        f"({result['per_command']['commands_per_s']:.0f} cmd/s), "
+        f"batched {result['batched']['wall_s']:.2f}s "
+        f"({result['batched']['commands_per_s']:.0f} cmd/s), "
+        f"speedup {result['speedup']:.1f}x -> {RESULT_PATH.name}"
+    )
+    assert result["speedup"] >= 3.0
+
+
+if __name__ == "__main__":
+    res = _run_engine_benchmark()
+    _write_result(res)
+    print(json.dumps(res, indent=2))
+    assert res["speedup"] >= 3.0, "batched engine regression: speedup < 3x"

@@ -10,11 +10,11 @@ and activation time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, List
 
 from repro.core.model import PinatuboModel
 from repro.memsim.geometry import MemoryGeometry
-from repro.nvm.margin import MarginAnalysis
+from repro.nvm.margin import margin_analysis
 from repro.nvm.technology import get_technology
 
 
@@ -34,11 +34,11 @@ class Sweep:
     parameter: str
     points: list = field(default_factory=list)
 
-    def metric(self, key: str) -> list:
+    def metric(self, key: str) -> List[float]:
         """One metric's series, in sweep order."""
         return [p.metrics[key] for p in self.points]
 
-    def values(self) -> list:
+    def values(self) -> List[float]:
         return [p.value for p in self.points]
 
     def is_monotone(self, key: str, increasing: bool = True) -> bool:
@@ -93,7 +93,7 @@ def on_off_ratio_sweep(ratios=(3, 10, 30, 100, 300, 1000, 3000)) -> Sweep:
 
     def measure(ratio):
         tech = base.scaled(r_high=base.r_low * ratio, tcam_row_limit=1 << 20)
-        analysis = MarginAnalysis(tech)
+        analysis = margin_analysis(tech)
         return {
             "electrical_or_limit": analysis.electrical_or_limit(),
             "and_feasible": float(analysis.and_feasible(2)),

@@ -238,10 +238,16 @@ def bitmap_bfs_pim(
             operands = [adjacency[v] for v in frontier]
             if len(operands) == 1:
                 operands = operands + [zeros_h]
-            runtime.pim_op("or", reach_h, operands)
-            runtime.pim_op("inv", not_visited_h, [visited_h])
-            runtime.pim_op("and", next_h, [reach_h, not_visited_h])
-            runtime.pim_op("or", visited_h, [visited_h, next_h])
+            # one level = one command batch: reach/filter/mark issued
+            # together, dependences preserved by the driver's scheduler
+            runtime.pim_op_many(
+                [
+                    ("or", reach_h, operands),
+                    ("inv", not_visited_h, [visited_h]),
+                    ("and", next_h, [reach_h, not_visited_h]),
+                    ("or", visited_h, [visited_h, next_h]),
+                ]
+            )
             trace.bitwise("or", len(operands), n)
             next_bits = runtime.pim_read(next_h)
             frontier = np.nonzero(next_bits)[0].tolist()

@@ -17,7 +17,8 @@ database columns describe, runnable and checkable against the oracle.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -53,10 +54,10 @@ class PimFastBit:
         self._oracle = FastBitDB(table, functional=False)
         self.n_events = table.n_events
         #: column name -> list of bin bitmap handles
-        self.bin_handles: dict = {}
-        self._scratch = []
+        self.bin_handles: Dict[str, list] = {}
+        self._scratch: list = []
         #: (column, lo, hi) -> materialised predicate handle
-        self._predicate_cache: dict = {}
+        self._predicate_cache: Dict[Tuple[str, int, int], object] = {}
         self.cache_hits = 0
         self._load_index()
 
@@ -102,20 +103,25 @@ class PimFastBit:
 
     # -- query execution ------------------------------------------------------------
 
-    def query(self, query: RangeQuery) -> PimQueryResult:
-        """Execute one conjunctive range query in memory."""
-        acct_before: OpAccounting = self.runtime.pim_accounting
-        lat0, en0 = acct_before.latency, acct_before.energy
-        steps = 0
+    def _predicate_requests(
+        self, query: RangeQuery
+    ) -> Tuple[list, List[tuple]]:
+        """Resolve a query's predicates to handles plus the OR requests
+        (driver-submittable tuples) that still need to execute.
 
-        predicate_handles = []
+        Cached predicates contribute a handle but no request; fresh ones
+        register their destination in the cache immediately, so repeated
+        predicates inside one batched stream execute only once.
+        """
+        handles = []
+        requests = []
         for name, lo, hi in query.predicates:
             key = (name, lo, hi)
             if self.cache_predicates and key in self._predicate_cache:
                 # an earlier query already materialised this range OR;
                 # its result row is still resident -- reuse it for free
                 self.cache_hits += 1
-                predicate_handles.append(self._predicate_cache[key])
+                handles.append(self._predicate_cache[key])
                 continue
             bins = self.bin_handles[name][lo : hi + 1]
             if not bins:
@@ -124,14 +130,18 @@ class PimFastBit:
             if len(bins) == 1:
                 # single-bin predicate: copy via OR with an all-zero row
                 zero = self._scratch_vector()
-                result = self.runtime.pim_op("or", dest, [bins[0], zero])
+                requests.append(("or", dest, [bins[0], zero]))
             else:
-                result = self.runtime.pim_op("or", dest, bins)
-            steps += result.steps
+                requests.append(("or", dest, list(bins)))
             if self.cache_predicates:
                 self._predicate_cache[key] = dest
-            predicate_handles.append(dest)
+            handles.append(dest)
+        return handles, requests
 
+    def _combine_predicates(
+        self, predicate_handles: list, steps: int
+    ) -> Tuple[int, int]:
+        """AND the materialised predicates; returns (steps, hits)."""
         if len(predicate_handles) == 1:
             answer_bits = self.runtime.pim_read(predicate_handles[0])
         else:
@@ -149,8 +159,23 @@ class PimFastBit:
                 "and", scratch, [answer, predicate_handles[-1]]
             )
             steps += 1
+        return steps, int(answer_bits.sum())
 
-        hits = int(answer_bits.sum())
+    def query(self, query: RangeQuery) -> PimQueryResult:
+        """Execute one conjunctive range query in memory.
+
+        All of the query's uncached range-OR predicates are issued as a
+        single command batch through the driver (one
+        ``execute_batch`` call) before the AND phase combines them.
+        """
+        acct_before: OpAccounting = self.runtime.pim_accounting
+        lat0, en0 = acct_before.latency, acct_before.energy
+        predicate_handles, requests = self._predicate_requests(query)
+        steps = 0
+        if requests:
+            for result in self.runtime.pim_op_many(requests):
+                steps += result.steps
+        steps, hits = self._combine_predicates(predicate_handles, steps)
         acct = self.runtime.pim_accounting
         return PimQueryResult(
             hits=hits,
@@ -159,8 +184,49 @@ class PimFastBit:
             energy=acct.energy - en0,
         )
 
+    def query_many(self, queries: Sequence[RangeQuery]) -> List[PimQueryResult]:
+        """Execute a stream of queries with stream-level batching.
+
+        Every uncached range-OR predicate across the *whole stream* is
+        priced in one command batch; each query's AND phase then combines
+        its handles.  Hits and step counts are identical to sequential
+        :meth:`query` calls.  Latency/energy may differ in the last few
+        decimals: running all ORs up-front changes the scratch rows'
+        write history, and differential write-back prices only the
+        flipped cells.
+        """
+        all_requests: List[tuple] = []
+        spans = []
+        per_query_handles = []
+        for query in queries:
+            handles, requests = self._predicate_requests(query)
+            spans.append((len(all_requests), len(requests)))
+            all_requests.extend(requests)
+            per_query_handles.append(handles)
+        or_results = self.runtime.pim_op_many(all_requests) if all_requests else []
+
+        results = []
+        for handles, (start, n) in zip(per_query_handles, spans):
+            own = or_results[start : start + n]
+            steps = sum(r.steps for r in own)
+            or_latency = sum(r.latency for r in own)
+            or_energy = sum(r.energy for r in own)
+            acct0 = self.runtime.pim_accounting
+            lat0, en0 = acct0.latency, acct0.energy
+            steps, hits = self._combine_predicates(handles, steps)
+            acct = self.runtime.pim_accounting
+            results.append(
+                PimQueryResult(
+                    hits=hits,
+                    in_memory_steps=steps,
+                    latency=or_latency + (acct.latency - lat0),
+                    energy=or_energy + (acct.energy - en0),
+                )
+            )
+        return results
+
     def run_workload(self, queries) -> list:
-        """Execute a list of queries; returns their results."""
+        """Execute a list of queries one at a time; returns their results."""
         return [self.query(q) for q in queries]
 
     # -- verification ------------------------------------------------------------------

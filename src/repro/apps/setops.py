@@ -230,23 +230,37 @@ class PimSetAlgebra:
     def _scratch(self):
         return self.runtime.pim_malloc(self.n_bits, self.group)
 
-    def _eval(self, node):
-        """Evaluate to a handle; OR/AND chains become n-ary pim_ops."""
+    def _eval_into(self, node, requests: list):
+        """Compile a node to a handle, appending its pim_op requests.
+
+        Requests are emitted in dependency order, so the driver's
+        dependence-aware reordering can batch the whole expression (or
+        several expressions) into one command stream.
+        """
         if isinstance(node, Var):
             try:
                 return self._sets[node.name]
             except KeyError:
                 raise SetExpressionError(f"unknown set {node.name!r}") from None
         if isinstance(node, Not):
+            operand = self._eval_into(node.operand, requests)
             dest = self._scratch()
-            self.runtime.pim_op("inv", dest, [self._eval(node.operand)])
+            requests.append(("inv", dest, [operand]))
             return dest
-        operands = [self._eval(operand) for operand in node.operands]
+        operands = [self._eval_into(operand, requests) for operand in node.operands]
         dest = self._scratch()
         op_name = {"&": "and", "|": "or", "^": "xor"}[node.op]
         # the flattened chain maps to one (possibly multi-row) pim_op;
         # the executor decomposes past the technology's fan-in budget
-        self.runtime.pim_op(op_name, dest, operands)
+        requests.append((op_name, dest, operands))
+        return dest
+
+    def _eval(self, node):
+        """Evaluate to a handle; the expression runs as one command batch."""
+        requests: list = []
+        dest = self._eval_into(node, requests)
+        if requests:
+            self.runtime.pim_op_many(requests)
         return dest
 
     def query(self, expression: str) -> np.ndarray:
@@ -255,6 +269,26 @@ class PimSetAlgebra:
         handle = self._eval(node)
         return self.runtime.pim_read(handle)
 
+    def query_many(self, expressions) -> list:
+        """Evaluate several expressions as **one** batched command stream.
+
+        All expressions' operations are submitted together; the driver
+        reorders them (dependences preserved) and prices the stream in a
+        single ``execute_batch`` call.  Returns each expression's result
+        bits, in order.
+        """
+        requests: list = []
+        roots = []
+        for text in expressions:
+            roots.append(self._eval_into(parse_expression(text), requests))
+        if requests:
+            self.runtime.pim_op_many(requests)
+        return [self.runtime.pim_read(handle) for handle in roots]
+
     def count(self, expression: str) -> int:
         """Cardinality of the expression's result set."""
         return int(self.query(expression).sum())
+
+    def count_many(self, expressions) -> list:
+        """Cardinalities of several expressions, evaluated as one batch."""
+        return [int(bits.sum()) for bits in self.query_many(expressions)]

@@ -27,21 +27,34 @@ combines ``limit`` rows per step; AND/XOR accumulate pairwise.  A
 multi-chunk vector (longer than one rank row) executes its chunks
 serially -- the paper's "bit-vectors longer than 2^19 have to be mapped to
 multiple ranks that work in serial" (Fig. 9 turning point B).
+
+Command pricing is **batched**: by default every logical operation
+(covering all its chunks and accumulation passes) is emitted as one
+:class:`~repro.memsim.controller.CommandBatch` and priced with a single
+vectorized :meth:`~repro.memsim.controller.MemoryController.execute_batch`
+call, with fences preserving the serial semantics chunk-for-chunk.
+``batch_commands=False`` keeps the original one-``execute``-per-step
+path; both produce identical accounting (the equivalence is locked by
+``tests/core/test_batch_equivalence.py``).  :meth:`PinatuboExecutor.
+bitwise_many` goes one further and prices a whole stream of operations
+as one marked batch, splitting the stats per operation afterwards.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.ops import OperandLimits, PimOp, operand_limits
 from repro.core.stats import OpAccounting
-from repro.memsim.address import AddressMapper, OpLocality, classify_locality
+from repro.memsim.address import AddressMapper, OpLocality
 from repro.memsim.controller import (
+    KIND_CODES as _CODE,
     Command,
+    CommandBatch,
     CommandKind,
-    ExecutionStats,
     MemoryController,
 )
 from repro.memsim.geometry import DEFAULT_GEOMETRY, MemoryGeometry
@@ -54,8 +67,19 @@ class PlacementError(RuntimeError):
     """Operands placed so the operation cannot execute in memory."""
 
 
+#: kind per integer code -- decodes cached command-template rows back
+#: into :class:`Command` objects on the legacy per-step path
+_KINDS = tuple(CommandKind)
+
 #: MR4 mode codes per PIM operation (paper Fig. 4 hardware control).
 MODE_CODES = {PimOp.OR: 0b001, PimOp.AND: 0b010, PimOp.XOR: 0b011, PimOp.INV: 0b100}
+
+#: one queued logical operation for :meth:`PinatuboExecutor.bitwise_many`:
+#: (op, dest_frames, source_frame_lists, n_bits[, overlap_chunks])
+BitwiseRequest = Union[
+    Tuple[object, Sequence[int], Sequence[Sequence[int]], int],
+    Tuple[object, Sequence[int], Sequence[Sequence[int]], int, bool],
+]
 
 
 @dataclass
@@ -65,7 +89,7 @@ class OpResult:
     op: PimOp
     accounting: OpAccounting
     steps: int  # in-memory combine steps actually issued
-    localities: dict = field(default_factory=dict)
+    localities: Dict[OpLocality, int] = field(default_factory=dict)
 
     @property
     def latency(self) -> float:
@@ -82,10 +106,11 @@ class PinatuboExecutor:
     def __init__(
         self,
         geometry: MemoryGeometry = DEFAULT_GEOMETRY,
-        technology: NVMTechnology = None,
-        memory: MainMemory = None,
-        controller: MemoryController = None,
-        max_rows: int = None,
+        technology: Optional[NVMTechnology] = None,
+        memory: Optional[MainMemory] = None,
+        controller: Optional[MemoryController] = None,
+        max_rows: Optional[int] = None,
+        batch_commands: bool = True,
     ):
         self.geometry = geometry
         self.technology = technology or get_technology("pcm")
@@ -94,38 +119,48 @@ class PinatuboExecutor:
         self.controller = controller or MemoryController(geometry, self.timing)
         self.mapper = AddressMapper(geometry)
         self.limits: OperandLimits = operand_limits(self.technology, max_rows)
-        self._current_mode = None
+        #: price each logical operation as one vectorized command batch
+        #: (False restores the per-combine-step ``execute`` path)
+        self.batch_commands = batch_commands
+        self._current_mode: Optional[PimOp] = None
+        #: combine-step command templates, see :meth:`_step_rows`
+        self._step_templates: Dict[tuple, tuple] = {}
 
     # -- host-side data movement ------------------------------------------------
 
-    def write_vector(self, frames, bits: np.ndarray) -> OpAccounting:
+    def write_vector(self, frames: Sequence[int], bits: np.ndarray) -> OpAccounting:
         """Host write of a bit-vector into its row frames (over the bus)."""
         bits = np.asarray(bits, dtype=np.uint8)
         acct = OpAccounting()
         g = self.geometry
+        batch = CommandBatch() if self.batch_commands else None
         for i, frame in enumerate(frames):
             chunk = bits[i * g.row_bits : (i + 1) * g.row_bits]
             if chunk.size == 0:
                 break
             self.memory.write_bits(frame, chunk)
-            addr = self.mapper.decode(frame)
+            ch = self.mapper.channel_of(frame)
             n_bytes = -(-chunk.size // 8)
-            stats = self.controller.execute(
-                [
-                    Command(CommandKind.ACT, channel=addr.channel, n_bits=chunk.size),
-                    Command(
-                        CommandKind.WR,
-                        channel=addr.channel,
-                        n_bits=chunk.size,
-                        transfer_bytes=n_bytes,
-                    ),
-                    Command(CommandKind.PRE, channel=addr.channel),
-                ]
-            )
-            acct.absorb(stats)
+            if batch is None:
+                acct.absorb(self.controller.execute([
+                    Command(CommandKind.ACT, channel=ch, n_bits=chunk.size),
+                    Command(CommandKind.WR, channel=ch, n_bits=chunk.size,
+                            transfer_bytes=n_bytes),
+                    Command(CommandKind.PRE, channel=ch),
+                ]))
+            else:
+                batch.add(CommandKind.ACT, channel=ch, n_bits=chunk.size)
+                batch.add(CommandKind.WR, channel=ch, n_bits=chunk.size,
+                          transfer_bytes=n_bytes)
+                batch.add(CommandKind.PRE, channel=ch)
+                batch.fence()  # frames serialise, as per-frame execute did
+        if batch is not None and len(batch):
+            acct.absorb(self.controller.execute_batch(batch))
         return acct
 
-    def read_vector(self, frames, n_bits: int) -> tuple:
+    def read_vector(
+        self, frames: Sequence[int], n_bits: int
+    ) -> Tuple[np.ndarray, OpAccounting]:
         """Host read of a bit-vector; returns (bits, accounting)."""
         if n_bits < 1:
             raise ValueError("n_bits must be positive")
@@ -133,31 +168,37 @@ class PinatuboExecutor:
         g = self.geometry
         parts = []
         remaining = n_bits
+        batch = CommandBatch() if self.batch_commands else None
         for frame in frames:
             take = min(remaining, g.row_bits)
             parts.append(self.memory.read_bits(frame, take))
-            addr = self.mapper.decode(frame)
+            ch = self.mapper.channel_of(frame)
             steps = g.sense_steps_for_bits(take)
-            stats = self.controller.execute(
-                [
-                    Command(CommandKind.ACT, channel=addr.channel, n_bits=take),
-                    Command(CommandKind.PIM_SENSE, channel=addr.channel,
+            n_bytes = -(-take // 8)
+            if batch is None:
+                acct.absorb(self.controller.execute([
+                    Command(CommandKind.ACT, channel=ch, n_bits=take),
+                    Command(CommandKind.PIM_SENSE, channel=ch,
                             n_steps=steps, n_bits=take),
-                    Command(
-                        CommandKind.RD,
-                        channel=addr.channel,
-                        n_bits=take,
-                        transfer_bytes=-(-take // 8),
-                    ),
-                    Command(CommandKind.PRE, channel=addr.channel),
-                ]
-            )
-            acct.absorb(stats)
+                    Command(CommandKind.RD, channel=ch, n_bits=take,
+                            transfer_bytes=n_bytes),
+                    Command(CommandKind.PRE, channel=ch),
+                ]))
+            else:
+                batch.add(CommandKind.ACT, channel=ch, n_bits=take)
+                batch.add(CommandKind.PIM_SENSE, channel=ch,
+                          n_steps=steps, n_bits=take)
+                batch.add(CommandKind.RD, channel=ch, n_bits=take,
+                          transfer_bytes=n_bytes)
+                batch.add(CommandKind.PRE, channel=ch)
+                batch.fence()
             remaining -= take
             if remaining <= 0:
                 break
         if remaining > 0:
             raise ValueError("frames do not cover n_bits")
+        if batch is not None and len(batch):
+            acct.absorb(self.controller.execute_batch(batch))
         return np.concatenate(parts), acct
 
     # -- PIM operations -----------------------------------------------------------
@@ -165,8 +206,8 @@ class PinatuboExecutor:
     def bitwise(
         self,
         op,
-        dest_frames,
-        source_frame_lists,
+        dest_frames: Sequence[int],
+        source_frame_lists: Sequence[Sequence[int]],
         n_bits: int,
         overlap_chunks: bool = False,
     ) -> OpResult:
@@ -193,38 +234,90 @@ class PinatuboExecutor:
             ``PlacementPolicy.CHANNEL_STRIPED`` to actually spread a long
             vector's chunks over channels.
         """
-        op = PimOp.parse(op)
-        sources = [list(frames) for frames in source_frame_lists]
-        dest = list(dest_frames)
-        self.limits.validate_operand_count(op, len(sources))
-        if n_bits < 1:
-            raise ValueError("n_bits must be positive")
-        n_chunks = self.geometry.rows_for_bits(n_bits)
-        if len(dest) < n_chunks or any(len(s) < n_chunks for s in sources):
-            raise ValueError("vectors have fewer row frames than n_bits needs")
-
-        acct = OpAccounting()
-        localities = {}
-        total_steps = 0
-        sink = [] if overlap_chunks else None
-        for c in range(n_chunks):
-            chunk_bits = min(n_bits - c * self.geometry.row_bits, self.geometry.row_bits)
-            chunk_sources = [s[c] for s in sources]
-            steps, chunk_acct, loc_counts = self._chunk_bitwise(
-                op, dest[c], chunk_sources, chunk_bits, sink
-            )
-            total_steps += steps
-            acct = acct.merged(chunk_acct)
-            for loc, n in loc_counts.items():
-                localities[loc] = localities.get(loc, 0) + n
-        if sink:
+        op, dest, sources, n_chunks = self._validate_request(
+            op, dest_frames, source_frame_lists, n_bits
+        )
+        if self.batch_commands:
+            sink: Union[CommandBatch, list, None] = CommandBatch()
+        else:
+            sink = [] if overlap_chunks else None
+        total_steps, acct, localities = self._bitwise_into(
+            sink, op, dest, sources, n_bits, n_chunks, overlap_chunks
+        )
+        if isinstance(sink, CommandBatch):
+            acct.absorb(self.controller.execute_batch(sink))
+        elif sink:
             acct.absorb(self.controller.execute(sink))
         acct.count_bits(n_bits * len(sources))
         return OpResult(op=op, accounting=acct, steps=total_steps, localities=localities)
 
+    def bitwise_many(
+        self, requests: Sequence[BitwiseRequest]
+    ) -> List[OpResult]:
+        """Execute a stream of bitwise operations as **one** command batch.
+
+        Each request is ``(op, dest_frames, source_frame_lists, n_bits)``
+        with an optional trailing ``overlap_chunks`` flag.  The whole
+        stream is emitted into a single marked
+        :class:`~repro.memsim.controller.CommandBatch`, priced in one
+        vectorized pass, and the stats are split back per operation --
+        every returned :class:`OpResult` is identical to what sequential
+        :meth:`bitwise` calls would produce.
+
+        Placement is validated for *all* requests up front: a
+        :class:`PlacementError` is raised before any memory state is
+        mutated or any cost accounted, so callers (the driver) can fall
+        back to per-request execution safely.
+        """
+        parsed = []
+        for req in requests:
+            op, dest_frames, source_frame_lists, n_bits = req[:4]
+            overlap = bool(req[4]) if len(req) > 4 else False
+            parsed.append(
+                self._validate_request(op, dest_frames, source_frame_lists, n_bits)
+                + (n_bits, overlap)
+            )
+        if not self.batch_commands:
+            return [
+                self.bitwise(op, dest, sources, n_bits, overlap)
+                for op, dest, sources, _, n_bits, overlap in parsed
+            ]
+        chunk_locs = [
+            self._prevalidate_placement(dest, sources, n_chunks)
+            for op, dest, sources, n_chunks, n_bits, _ in parsed
+        ]
+
+        batch = CommandBatch()
+        metas = []
+        for (op, dest, sources, n_chunks, n_bits, overlap), locs in zip(
+            parsed, chunk_locs
+        ):
+            batch.mark()
+            steps, acct, localities = self._bitwise_into(
+                batch, op, dest, sources, n_bits, n_chunks, overlap,
+                chunk_localities=locs,
+            )
+            metas.append((op, steps, acct, localities, n_bits, len(sources)))
+        _, per_op = self.controller.execute_batch(batch, split_ops=True)
+
+        results = []
+        for (op, steps, acct, localities, n_bits, n_sources), stats in zip(
+            metas, per_op
+        ):
+            acct.absorb(stats)
+            acct.count_bits(n_bits * n_sources)
+            results.append(
+                OpResult(op=op, accounting=acct, steps=steps, localities=localities)
+            )
+        return results
+
     def bitwise_to_host(
-        self, op, scratch_frames, source_frame_lists, n_bits: int
-    ) -> tuple:
+        self,
+        op,
+        scratch_frames: Sequence[int],
+        source_frame_lists: Sequence[Sequence[int]],
+        n_bits: int,
+    ) -> Tuple[np.ndarray, OpResult]:
         """``op(sources)`` with the result streamed to the host I/O bus.
 
         The paper's alternative emission path: "The results can be sent
@@ -238,39 +331,266 @@ class PinatuboExecutor:
         row by the final step, so destination wear is avoided entirely
         for single-step operations.
         """
-        op = PimOp.parse(op)
-        sources = [list(frames) for frames in source_frame_lists]
-        scratch = list(scratch_frames)
-        self.limits.validate_operand_count(op, len(sources))
-        if n_bits < 1:
-            raise ValueError("n_bits must be positive")
-        n_chunks = self.geometry.rows_for_bits(n_bits)
-        if len(scratch) < n_chunks or any(len(s) < n_chunks for s in sources):
-            raise ValueError("vectors have fewer row frames than n_bits needs")
+        op, scratch, sources, n_chunks = self._validate_request(
+            op, scratch_frames, source_frame_lists, n_bits
+        )
+        sink = CommandBatch() if self.batch_commands else None
 
         acct = OpAccounting()
-        localities = {}
-        total_steps = 0
-        parts = []
-        for c in range(n_chunks):
-            chunk_bits = min(n_bits - c * self.geometry.row_bits, self.geometry.row_bits)
-            chunk_sources = [s[c] for s in sources]
-            host_chunks = []
-            steps, chunk_acct, loc_counts = self._chunk_bitwise(
-                op, scratch[c], chunk_sources, chunk_bits,
-                emit_host=True, host_chunks=host_chunks,
+        localities: Dict[OpLocality, int] = {}
+        bits = None
+        if isinstance(sink, CommandBatch):
+            vectorized = self._vector_chunks_to_host(
+                sink, op, scratch, sources, n_bits, n_chunks, acct, localities
             )
-            total_steps += steps
-            acct = acct.merged(chunk_acct)
-            for loc, n in loc_counts.items():
-                localities[loc] = localities.get(loc, 0) + n
-            packed = host_chunks[-1]
-            parts.append(np.unpackbits(packed, bitorder="little")[:chunk_bits])
+            if vectorized is not None:
+                bits, total_steps = vectorized
+        if bits is None:
+            total_steps = 0
+            parts = []
+            row_bits = self.geometry.row_bits
+            for c in range(n_chunks):
+                chunk_bits = min(n_bits - c * row_bits, row_bits)
+                chunk_sources = [s[c] for s in sources]
+                host_chunks: List[np.ndarray] = []
+                total_steps += self._chunk_bitwise(
+                    op, scratch[c], chunk_sources, chunk_bits, acct, localities,
+                    sink, emit_host=True, host_chunks=host_chunks,
+                )
+                packed = host_chunks[-1]
+                parts.append(
+                    np.unpackbits(packed, bitorder="little")[:chunk_bits]
+                )
+            bits = np.concatenate(parts)
+        if sink is not None:
+            acct.absorb(self.controller.execute_batch(sink))
         acct.count_bits(n_bits * len(sources))
         result = OpResult(
             op=op, accounting=acct, steps=total_steps, localities=localities
         )
-        return np.concatenate(parts), result
+        return bits, result
+
+    def _vector_chunks_to_host(
+        self,
+        batch: CommandBatch,
+        op: PimOp,
+        scratch: List[int],
+        sources: List[List[int]],
+        n_bits: int,
+        n_chunks: int,
+        acct: OpAccounting,
+        localities: Dict[OpLocality, int],
+    ) -> Optional[Tuple[np.ndarray, int]]:
+        """Row-parallel :meth:`bitwise_to_host` fast path.
+
+        Single-step chunks only (multi-step accumulation keeps the
+        serial loop, which writes intermediates to the scratch rows);
+        the final sensed rows never touch memory, so no aliasing check
+        is needed.  Returns ``(bits, steps)`` or ``None``.
+        """
+        chunk_localities = self._classify_chunks(scratch, sources, n_chunks)
+        if op is not PimOp.INV:
+            limit = max(2, self.limits.single_step_limit(op))
+            if len(sources) > limit and any(
+                loc is OpLocality.INTRA_SUBARRAY for loc in chunk_localities
+            ):
+                return None
+        operand_lists = (
+            [sources[0][:n_chunks]]
+            if op is PimOp.INV
+            else [s[:n_chunks] for s in sources]
+        )
+        new_rows = self.memory.bitwise_rows(op.value, operand_lists)
+
+        self._set_mode(op, acct, batch)
+        n_operands = len(operand_lists)
+        first_src = operand_lists[0]
+        row_bits = self.geometry.row_bits
+        channel_of = self.mapper.channel_of
+        step_rows = self._step_rows
+        counts = acct.locality_counts
+        for c in range(n_chunks):
+            locality = chunk_localities[c]
+            chunk_bits = min(n_bits - c * row_bits, row_bits)
+            ch = channel_of(first_src[c])
+            rows, _wb = step_rows(op, locality, ch, n_operands, chunk_bits, True)
+            batch.extend_rows(rows)
+            batch.fence()
+            counts[locality] = counts.get(locality, 0) + 1
+            localities[locality] = localities.get(locality, 0) + 1
+        acct.count_step(n_chunks)
+        # rows are contiguous chunks of the vector: flatten and truncate
+        bits = np.unpackbits(new_rows, bitorder="little")[:n_bits]
+        return bits, n_chunks
+
+    # -- request validation / decomposition -----------------------------------
+
+    def _validate_request(
+        self,
+        op,
+        dest_frames: Sequence[int],
+        source_frame_lists: Sequence[Sequence[int]],
+        n_bits: int,
+    ) -> Tuple[PimOp, List[int], List[List[int]], int]:
+        op = PimOp.parse(op)
+        sources = [list(frames) for frames in source_frame_lists]
+        dest = list(dest_frames)
+        self.limits.validate_operand_count(op, len(sources))
+        if n_bits < 1:
+            raise ValueError("n_bits must be positive")
+        n_chunks = self.geometry.rows_for_bits(n_bits)
+        if len(dest) < n_chunks or any(len(s) < n_chunks for s in sources):
+            raise ValueError("vectors have fewer row frames than n_bits needs")
+        return op, dest, sources, n_chunks
+
+    def _prevalidate_placement(
+        self, dest: List[int], sources: List[List[int]], n_chunks: int
+    ) -> List[OpLocality]:
+        """Raise :class:`PlacementError` before any state is touched.
+
+        Returns each chunk's locality so the emission pass does not have
+        to classify the same operand sets a second time.
+        """
+        classify = self.mapper.classify_frames
+        localities = []
+        for c in range(n_chunks):
+            frames = [s[c] for s in sources]
+            frames.append(dest[c])
+            locality = classify(frames)
+            if locality is OpLocality.INTER_CHIP:
+                raise PlacementError(
+                    "operands/destination span chips or channels; in-memory "
+                    "bitwise operations require same-chip placement "
+                    "(remap with the PIM-aware allocator)"
+                )
+            localities.append(locality)
+        return localities
+
+    def _bitwise_into(
+        self,
+        sink: Union[CommandBatch, list, None],
+        op: PimOp,
+        dest: List[int],
+        sources: List[List[int]],
+        n_bits: int,
+        n_chunks: int,
+        overlap_chunks: bool,
+        chunk_localities: Optional[List[OpLocality]] = None,
+    ) -> Tuple[int, OpAccounting, Dict[OpLocality, int]]:
+        """Emit one logical operation's commands into ``sink``.
+
+        ``sink`` is a :class:`CommandBatch` (batched pricing; fenced per
+        combine step unless ``overlap_chunks``), a plain list (legacy
+        overlap path: one flat ``execute``), or ``None`` (legacy serial
+        path: one ``execute`` per combine step).
+        """
+        acct = OpAccounting()
+        localities: Dict[OpLocality, int] = {}
+        fence_steps = not overlap_chunks
+        if isinstance(sink, CommandBatch):
+            steps = self._vector_chunks(
+                sink, op, dest, sources, n_bits, n_chunks, fence_steps,
+                chunk_localities, acct, localities,
+            )
+            if steps is not None:
+                return steps, acct, localities
+        total_steps = 0
+        row_bits = self.geometry.row_bits
+        for c in range(n_chunks):
+            chunk_bits = min(n_bits - c * row_bits, row_bits)
+            chunk_sources = [s[c] for s in sources]
+            total_steps += self._chunk_bitwise(
+                op, dest[c], chunk_sources, chunk_bits, acct, localities,
+                sink, fence_steps=fence_steps,
+                locality=chunk_localities[c] if chunk_localities else None,
+            )
+        return total_steps, acct, localities
+
+    def _classify_chunks(
+        self, dest: List[int], sources: List[List[int]], n_chunks: int
+    ) -> List[OpLocality]:
+        """Locality of every chunk; :class:`PlacementError` on INTER_CHIP."""
+        return self._prevalidate_placement(dest, sources, n_chunks)
+
+    def _vector_chunks(
+        self,
+        batch: CommandBatch,
+        op: PimOp,
+        dest: List[int],
+        sources: List[List[int]],
+        n_bits: int,
+        n_chunks: int,
+        fence_steps: bool,
+        chunk_localities: Optional[List[OpLocality]],
+        acct: OpAccounting,
+        localities: Dict[OpLocality, int],
+    ) -> Optional[int]:
+        """Row-parallel fast path: one numpy pass over all chunks.
+
+        When every chunk resolves in a single combine step (no
+        accumulation passes) and no destination frame feeds another
+        chunk, the functional result and the differential write widths
+        of the whole vector are computed with row-parallel numpy ops
+        (:meth:`MainMemory.bitwise_rows`), and only the command emission
+        remains a (cheap) Python loop.  Emitted commands, accounting and
+        memory state are identical to the serial chunk loop; returns
+        ``None`` when the request needs that general path.
+        """
+        if chunk_localities is None:
+            chunk_localities = self._classify_chunks(dest, sources, n_chunks)
+        if op is not PimOp.INV:
+            limit = max(2, self.limits.single_step_limit(op))
+            if len(sources) > limit and any(
+                loc is OpLocality.INTRA_SUBARRAY for loc in chunk_localities
+            ):
+                return None  # accumulation passes: serial semantics
+        # no destination row may be an operand of a *different* chunk
+        # (the serial loop would make that a carried dependence)
+        dest_pos = {f: c for c, f in enumerate(dest[:n_chunks])}
+        if len(dest_pos) != n_chunks:
+            return None
+        for s in sources:
+            get = dest_pos.get
+            for c in range(n_chunks):
+                hit = get(s[c])
+                if hit is not None and hit != c:
+                    return None
+
+        mem = self.memory
+        operand_lists = (
+            [sources[0][:n_chunks]]
+            if op is PimOp.INV
+            else [s[:n_chunks] for s in sources]
+        )
+        new_rows = mem.bitwise_rows(op.value, operand_lists)
+        changed = mem.diff_bits_rows(dest[:n_chunks], new_rows)
+
+        self._set_mode(op, acct, batch)
+        n_operands = len(operand_lists)
+        first_src = operand_lists[0]
+        row_bits = self.geometry.row_bits
+        channel_of = self.mapper.channel_of
+        step_rows = self._step_rows
+        counts = acct.locality_counts
+        write_frame = mem.write_frame
+        for c in range(n_chunks):
+            locality = chunk_localities[c]
+            chunk_bits = min(n_bits - c * row_bits, row_bits)
+            ch = channel_of(first_src[c])
+            rows, wb_index = step_rows(
+                op, locality, ch, n_operands, chunk_bits, False
+            )
+            rows = list(rows)
+            kind, cc, _n, n_steps, transfer = rows[wb_index]
+            rows[wb_index] = (kind, cc, changed[c], n_steps, transfer)
+            batch.extend_rows(rows)
+            if fence_steps:
+                batch.fence()
+            counts[locality] = counts.get(locality, 0) + 1
+            localities[locality] = localities.get(locality, 0) + 1
+            write_frame(dest[c], new_rows[c])
+        acct.count_step(n_chunks)
+        return n_chunks
 
     # -- chunk-level execution ------------------------------------------------
 
@@ -278,22 +598,30 @@ class PinatuboExecutor:
         self,
         op: PimOp,
         dest: int,
-        srcs,
+        srcs: Sequence[int],
         chunk_bits: int,
-        sink=None,
+        acct: OpAccounting,
+        localities: Dict[OpLocality, int],
+        sink: Union[CommandBatch, list, None] = None,
         emit_host: bool = False,
-        host_chunks: list = None,
-    ):
-        """One rank-row chunk: decompose into in-memory combine steps."""
-        acct = OpAccounting()
-        localities = {}
-        steps = 0
+        host_chunks: Optional[List[np.ndarray]] = None,
+        fence_steps: bool = True,
+        locality: Optional[OpLocality] = None,
+    ) -> int:
+        """One rank-row chunk: decompose into in-memory combine steps.
 
-        self._set_mode(op, acct)
+        Folds cost and locality tallies into ``acct``/``localities`` in
+        place and returns the number of combine steps issued.  Pass
+        ``locality`` when the chunk was already classified (the
+        prevalidation pass of :meth:`bitwise_many`).
+        """
+        self._set_mode(op, acct, sink)
 
-        # Route by where this chunk's operands and destination live.
-        all_addrs = [self.mapper.decode(f) for f in list(srcs) + [dest]]
-        locality = classify_locality(all_addrs)
+        if locality is None:
+            # Route by where this chunk's operands and destination live.
+            frames = list(srcs)
+            frames.append(dest)
+            locality = self.mapper.classify_frames(frames)
         if locality is OpLocality.INTER_CHIP:
             raise PlacementError(
                 "operands/destination span chips or channels; in-memory "
@@ -307,12 +635,10 @@ class PinatuboExecutor:
             # pass -- the multi-row activation limit is a sensing
             # constraint and does not apply there.
             operands = [srcs[0]] if op is PimOp.INV else list(srcs)
-            steps += self._combine_step(
+            return self._combine_step(
                 op, dest, operands, chunk_bits, acct, localities, locality,
-                sink, emit_host,
+                sink, emit_host, fence_steps, host_chunks,
             )
-            self._apply_result(op, dest, operands, emit_host, host_chunks)
-            return steps, acct, localities
 
         limit = max(2, self.limits.single_step_limit(op))
         pending = list(srcs)
@@ -320,11 +646,10 @@ class PinatuboExecutor:
         group = pending[: limit]
         pending = pending[limit:]
         final = not pending
-        steps += self._combine_step(
+        steps = self._combine_step(
             op, dest, group, chunk_bits, acct, localities, locality, sink,
-            emit_host and final,
+            emit_host and final, fence_steps, host_chunks,
         )
-        self._apply_result(op, dest, group, emit_host and final, host_chunks)
         # Accumulate the rest: dest + up to (limit - 1) new operands per step.
         while pending:
             group = pending[: limit - 1]
@@ -333,103 +658,152 @@ class PinatuboExecutor:
             final = not pending
             steps += self._combine_step(
                 op, dest, operands, chunk_bits, acct, localities, locality,
-                sink, emit_host and final,
+                sink, emit_host and final, fence_steps, host_chunks,
             )
-            self._apply_result(op, dest, operands, emit_host and final, host_chunks)
-        return steps, acct, localities
+        return steps
 
-    def _apply_result(self, op, dest, operands, emit_host, host_chunks) -> None:
-        """Write a combine step's result back, or capture it for the host."""
-        if emit_host:
-            result = self.memory.bitwise_frames(op.value, operands)
-            host_chunks.append(result)
-        else:
-            self.memory.execute_bitwise(op.value, dest, operands)
-
-    def _set_mode(self, op: PimOp, acct: OpAccounting) -> None:
+    def _set_mode(
+        self,
+        op: PimOp,
+        acct: OpAccounting,
+        sink: Union[CommandBatch, list, None] = None,
+    ) -> None:
         if self._current_mode != op:
-            stats = self.controller.set_pim_mode(MODE_CODES[op])
-            acct.absorb(stats)
+            if isinstance(sink, CommandBatch):
+                # the MRS rides in the batch: its own fenced segment so
+                # its slot serialises exactly like a separate execute()
+                self.controller.mode_register = MODE_CODES[op]
+                sink.fence()
+                sink.add(CommandKind.MRS)
+                sink.fence()
+            else:
+                stats = self.controller.set_pim_mode(MODE_CODES[op])
+                acct.absorb(stats)
             self._current_mode = op
 
     def _combine_step(
-        self, op, dest, operand_frames, chunk_bits, acct, localities, locality,
-        sink=None, emit_host: bool = False,
-    ):
-        """Issue (or defer, when ``sink`` is given) one combine step."""
-        operand_addrs = [self.mapper.decode(f) for f in operand_frames]
-        if locality is OpLocality.INTRA_SUBARRAY:
-            commands = self._intra_subarray_commands(
-                op, operand_addrs, dest, chunk_bits, emit_host
-            )
+        self,
+        op: PimOp,
+        dest: int,
+        operands: Sequence[int],
+        chunk_bits: int,
+        acct: OpAccounting,
+        localities: Dict[OpLocality, int],
+        locality: OpLocality,
+        sink: Union[CommandBatch, list, None] = None,
+        emit_host: bool = False,
+        fence_steps: bool = True,
+        host_chunks: Optional[List[np.ndarray]] = None,
+    ) -> int:
+        """Issue (or defer, when ``sink`` is given) one combine step.
+
+        The functional result is computed **once**: it both sizes the
+        differential write (only flipped cells pay write energy) and is
+        the data written back / streamed to the host.
+        """
+        new = self.memory.bitwise_frames(op.value, operands)
+        ch = self.mapper.channel_of(operands[0])
+        rows, wb_index = self._step_rows(
+            op, locality, ch, len(operands), chunk_bits, emit_host
+        )
+        if wb_index is not None:
+            changed = self.memory.diff_bits(dest, new)
+            rows = list(rows)
+            kind, c, _n_bits, n_steps, transfer = rows[wb_index]
+            rows[wb_index] = (kind, c, changed, n_steps, transfer)
+        if isinstance(sink, CommandBatch):
+            sink.extend_rows(rows)
+            if fence_steps:
+                sink.fence()
+            # cost deferred to the batch; tally the locality now
+            counts = acct.locality_counts
+            counts[locality] = counts.get(locality, 0) + 1
         else:
-            commands = self._buffered_commands(
-                op, operand_addrs, dest, chunk_bits, locality, emit_host
-            )
-        if sink is None:
-            acct.absorb(self.controller.execute(commands), locality)
-        else:
-            sink.extend(commands)
-            acct.absorb(ExecutionStats(), locality)  # cost deferred to the batch
+            commands = [
+                Command(_KINDS[k], channel=c, n_bits=b, n_steps=s,
+                        transfer_bytes=t)
+                for k, c, b, s, t in rows
+            ]
+            if sink is None:
+                acct.absorb(self.controller.execute(commands), locality)
+            else:
+                sink.extend(commands)  # cost deferred to one flat execute
+                counts = acct.locality_counts
+                counts[locality] = counts.get(locality, 0) + 1
         acct.count_step()
         localities[locality] = localities.get(locality, 0) + 1
+        if emit_host:
+            host_chunks.append(new)
+        else:
+            self.memory.write_frame(dest, new)
         return 1
 
     # -- command generation -------------------------------------------------------
 
-    def _writeback_bits(self, op, dest, operand_frames) -> int:
-        """Differential write width: bits that will actually flip."""
-        new = self.memory.bitwise_frames(
-            op.value, operand_frames
-        ) if op is not PimOp.INV else np.bitwise_not(
-            self.memory.frame_bytes(operand_frames[0])
-        )
-        old = self.memory.frame_bytes(dest)
-        changed = np.bitwise_xor(old, new)
-        return int(np.unpackbits(changed).sum())
+    def _step_rows(
+        self,
+        op: PimOp,
+        locality: OpLocality,
+        channel: int,
+        n_operands: int,
+        chunk_bits: int,
+        emit_host: bool,
+    ) -> Tuple[Tuple[Tuple[int, int, int, int, int], ...], Optional[int]]:
+        """Command rows of one combine step, as a cached template.
+
+        A step's stream is fully determined by ``(op, locality, channel,
+        n_operands, chunk_bits, emit_host)`` except for the
+        data-dependent differential write width, so the rows -- encoded
+        ``(kind_code, channel, n_bits, n_steps, transfer_bytes)`` tuples
+        -- are memoized, and the index of the write-back row (its
+        ``n_bits`` is patched per step) is returned alongside.
+        """
+        key = (op, locality, channel, n_operands, chunk_bits, emit_host)
+        cached = self._step_templates.get(key)
+        if cached is None:
+            if locality is OpLocality.INTRA_SUBARRAY:
+                cached = self._intra_subarray_commands(
+                    op, channel, n_operands, chunk_bits, emit_host
+                )
+            else:
+                cached = self._buffered_commands(
+                    op, channel, n_operands, chunk_bits, locality, emit_host
+                )
+            self._step_templates[key] = cached
+        return cached
 
     def _intra_subarray_commands(
-        self, op, operand_addrs, dest, chunk_bits, emit_host=False
-    ):
+        self, op: PimOp, ch: int, n_operands: int, chunk_bits: int,
+        emit_host: bool = False,
+    ) -> Tuple[Tuple[Tuple[int, int, int, int, int], ...], Optional[int]]:
         g = self.geometry
-        ch = operand_addrs[0].channel
-        n = len(operand_addrs)
         micro = 2 if op is PimOp.XOR else 1
         steps = g.sense_steps_for_bits(chunk_bits) * micro
-        changed = 0 if emit_host else self._writeback_bits(
-            op, dest, [self.mapper.encode(a) for a in operand_addrs]
-        )
-        commands = [
-            Command(CommandKind.WL_RESET, channel=ch),
-            Command(CommandKind.ACT, channel=ch, n_bits=chunk_bits),
+        rows = [
+            (_CODE[CommandKind.WL_RESET], ch, 0, 1, 0),
+            (_CODE[CommandKind.ACT], ch, chunk_bits, 1, 0),
         ]
-        commands += [
-            Command(CommandKind.ACT_EXTRA, channel=ch, n_bits=chunk_bits)
-        ] * (n - 1)
-        commands.append(
-            Command(CommandKind.PIM_SENSE, channel=ch, n_steps=steps, n_bits=chunk_bits * micro)
+        rows += [(_CODE[CommandKind.ACT_EXTRA], ch, chunk_bits, 1, 0)] * (
+            n_operands - 1
         )
+        rows.append(
+            (_CODE[CommandKind.PIM_SENSE], ch, chunk_bits * micro, steps, 0)
+        )
+        wb_index: Optional[int] = None
         if emit_host:
             # "the results can be sent to the I/O bus": stream the sensed
             # row out instead of programming it anywhere
-            commands.append(
-                Command(
-                    CommandKind.RD,
-                    channel=ch,
-                    n_bits=0,  # sensing already charged above
-                    transfer_bytes=-(-chunk_bits // 8),
-                )
-            )
+            rows.append((_CODE[CommandKind.RD], ch, 0, 1, -(-chunk_bits // 8)))
         else:
-            commands.append(
-                Command(CommandKind.PIM_WRITEBACK, channel=ch, n_bits=changed)
-            )
-        commands.append(Command(CommandKind.PRE, channel=ch))
-        return commands
+            wb_index = len(rows)
+            rows.append((_CODE[CommandKind.PIM_WRITEBACK], ch, 0, 1, 0))
+        rows.append((_CODE[CommandKind.PRE], ch, 0, 1, 0))
+        return tuple(rows), wb_index
 
     def _buffered_commands(
-        self, op, operand_addrs, dest, chunk_bits, locality, emit_host=False
-    ):
+        self, op: PimOp, ch: int, n_operands: int, chunk_bits: int,
+        locality: OpLocality, emit_host: bool = False,
+    ) -> Tuple[Tuple[Tuple[int, int, int, int, int], ...], Optional[int]]:
         """Inter-subarray / inter-bank: global (or I/O) buffer logic path.
 
         Each operand is read into / combined at the buffer one at a time;
@@ -437,41 +811,28 @@ class PinatuboExecutor:
         placements collapse Pinatubo-128 to Pinatubo-2 (paper 14-16-7r).
         """
         g = self.geometry
-        ch = operand_addrs[0].channel
         micro = 2 if op is PimOp.XOR else 1
         steps = g.sense_steps_for_bits(chunk_bits) * micro
-        changed = 0 if emit_host else self._writeback_bits(
-            op, dest, [self.mapper.encode(a) for a in operand_addrs]
-        )
-        commands = []
-        for i, _addr in enumerate(operand_addrs):
-            commands.append(Command(CommandKind.ACT, channel=ch, n_bits=chunk_bits))
-            commands.append(
-                Command(CommandKind.PIM_SENSE, channel=ch, n_steps=steps, n_bits=chunk_bits)
-            )
+        rows = []
+        for i in range(n_operands):
+            rows.append((_CODE[CommandKind.ACT], ch, chunk_bits, 1, 0))
+            rows.append((_CODE[CommandKind.PIM_SENSE], ch, chunk_bits, steps, 0))
             if i > 0:
-                commands.append(
-                    Command(CommandKind.BUF_OP, channel=ch, n_bits=chunk_bits)
-                )
-            commands.append(Command(CommandKind.PRE, channel=ch))
+                rows.append((_CODE[CommandKind.BUF_OP], ch, chunk_bits, 1, 0))
+            rows.append((_CODE[CommandKind.PRE], ch, 0, 1, 0))
         if locality is OpLocality.INTER_BANK:
             # the operands also cross the chip-internal I/O datalines;
             # model that as one extra buffer pass per operand.
-            commands.append(
-                Command(CommandKind.BUF_OP, channel=ch, n_bits=chunk_bits * len(operand_addrs))
+            rows.append(
+                (_CODE[CommandKind.BUF_OP], ch, chunk_bits * n_operands, 1, 0)
             )
+        wb_index: Optional[int] = None
         if emit_host:
             # stream the buffer's content to the host instead of writing
-            commands.append(
-                Command(
-                    CommandKind.RD,
-                    channel=ch,
-                    n_bits=0,
-                    transfer_bytes=-(-chunk_bits // 8),
-                )
-            )
+            rows.append((_CODE[CommandKind.RD], ch, 0, 1, -(-chunk_bits // 8)))
         else:
-            commands.append(Command(CommandKind.ACT, channel=ch, n_bits=chunk_bits))
-            commands.append(Command(CommandKind.WR, channel=ch, n_bits=changed))
-            commands.append(Command(CommandKind.PRE, channel=ch))
-        return commands
+            rows.append((_CODE[CommandKind.ACT], ch, chunk_bits, 1, 0))
+            wb_index = len(rows)
+            rows.append((_CODE[CommandKind.WR], ch, 0, 1, 0))
+            rows.append((_CODE[CommandKind.PRE], ch, 0, 1, 0))
+        return tuple(rows), wb_index

@@ -20,6 +20,8 @@ functional executor command-for-command.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.baselines.base import (
     AccessPattern,
     BaselineCost,
@@ -39,9 +41,9 @@ class PinatuboModel(BitwiseBaseline):
     def __init__(
         self,
         geometry: MemoryGeometry = DEFAULT_GEOMETRY,
-        technology: NVMTechnology = None,
-        max_rows: int = None,
-        name: str = None,
+        technology: Optional[NVMTechnology] = None,
+        max_rows: Optional[int] = None,
+        name: Optional[str] = None,
     ):
         self.geometry = geometry
         self.technology = technology or get_technology("pcm")

@@ -18,8 +18,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional
 
-from repro.nvm.margin import MarginAnalysis
+from repro.nvm.margin import margin_analysis
 from repro.nvm.technology import NVMTechnology
 
 
@@ -73,16 +75,21 @@ class OperandLimits:
             raise ValueError(f"{op.value} needs at least {lo} operands, got {n}")
 
 
+@lru_cache(maxsize=None)
 def operand_limits(
-    technology: NVMTechnology, max_rows_override: int = None
+    technology: NVMTechnology, max_rows_override: Optional[int] = None
 ) -> OperandLimits:
     """Derive the operand limits for a technology.
 
     ``max_rows_override`` caps the one-step OR width below the sensing
     limit -- this is how the evaluation's "Pinatubo-2" configuration is
     produced (a Pinatubo that never uses more than 2-row activation).
+
+    Memoized: the margin-limit search behind it is the expensive part of
+    building an executor, and sweeps/benchmarks build many per
+    technology.
     """
-    analysis = MarginAnalysis(technology)
+    analysis = margin_analysis(technology)
     or_rows = analysis.max_or_rows()
     and_rows = analysis.max_and_rows()
     if max_rows_override is not None:

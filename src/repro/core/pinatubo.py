@@ -12,7 +12,7 @@ with.  The evaluation's configurations map directly:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,9 +32,10 @@ class PinatuboSystem:
 
     def __init__(
         self,
-        technology: NVMTechnology = None,
+        technology: Optional[NVMTechnology] = None,
         geometry: MemoryGeometry = DEFAULT_GEOMETRY,
-        max_rows: int = None,
+        max_rows: Optional[int] = None,
+        batch_commands: bool = True,
     ):
         self.technology = technology or get_technology("pcm")
         self.geometry = geometry
@@ -47,22 +48,31 @@ class PinatuboSystem:
             memory=self.memory,
             controller=self.controller,
             max_rows=max_rows,
+            batch_commands=batch_commands,
         )
         self.mapper = AddressMapper(geometry)
 
     # -- canned configurations ------------------------------------------------
 
     @classmethod
-    def pcm(cls, max_rows: int = None, geometry: MemoryGeometry = DEFAULT_GEOMETRY):
+    def pcm(
+        cls,
+        max_rows: Optional[int] = None,
+        geometry: MemoryGeometry = DEFAULT_GEOMETRY,
+    ) -> "PinatuboSystem":
         """The paper's case study: 1T1R PCM main memory."""
         return cls(get_technology("pcm"), geometry, max_rows)
 
     @classmethod
-    def stt(cls, geometry: MemoryGeometry = DEFAULT_GEOMETRY):
+    def stt(cls, geometry: MemoryGeometry = DEFAULT_GEOMETRY) -> "PinatuboSystem":
         return cls(get_technology("stt"), geometry)
 
     @classmethod
-    def reram(cls, max_rows: int = None, geometry: MemoryGeometry = DEFAULT_GEOMETRY):
+    def reram(
+        cls,
+        max_rows: Optional[int] = None,
+        geometry: MemoryGeometry = DEFAULT_GEOMETRY,
+    ) -> "PinatuboSystem":
         return cls(get_technology("reram"), geometry, max_rows)
 
     # -- properties ----------------------------------------------------------
@@ -88,11 +98,13 @@ class PinatuboSystem:
 
     # -- convenience data paths ---------------------------------------------------
 
-    def store(self, frames, bits: np.ndarray) -> OpAccounting:
+    def store(self, frames: Sequence[int], bits: np.ndarray) -> OpAccounting:
         """Write a bit-vector into its frames (host path, bus priced)."""
         return self.executor.write_vector(frames, bits)
 
-    def load(self, frames, n_bits: int):
+    def load(
+        self, frames: Sequence[int], n_bits: int
+    ) -> Tuple[np.ndarray, OpAccounting]:
         """Read a bit-vector back (host path); returns (bits, accounting)."""
         return self.executor.read_vector(frames, n_bits)
 
@@ -135,7 +147,7 @@ class PinatuboSystem:
         result = self.bitwise(PimOp.OR, dest, sources, vector_bits)
         return result.accounting
 
-    def _subarray_frames(self, subarray_index: int):
+    def _subarray_frames(self, subarray_index: int) -> List[int]:
         """Frame numbers of all rows in one subarray of bank 0, rank 0."""
         g = self.geometry
         n_sub = g.subarrays_per_bank

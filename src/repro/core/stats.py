@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Dict, Optional
 
 from repro.memsim.address import OpLocality
-from repro.memsim.controller import ExecutionStats
+from repro.memsim.controller import CommandKind, ExecutionStats
 
 
 @dataclass
@@ -15,13 +16,15 @@ class OpAccounting:
     latency: float = 0.0  # s
     energy: float = 0.0  # J
     in_memory_steps: int = 0  # sensing/buffer passes issued
-    locality_counts: dict = field(default_factory=dict)
-    energy_by_kind: dict = field(default_factory=dict)  # CommandKind -> J
+    locality_counts: Dict[OpLocality, int] = field(default_factory=dict)
+    energy_by_kind: Dict[CommandKind, float] = field(default_factory=dict)
     bus_data_bytes: int = 0
     bus_commands: int = 0
     bits_processed: int = 0  # operand bits consumed by the ops
 
-    def absorb(self, stats: ExecutionStats, locality: OpLocality = None) -> None:
+    def absorb(
+        self, stats: ExecutionStats, locality: Optional[OpLocality] = None
+    ) -> None:
         """Fold one command-stream execution into the running totals."""
         self.latency += stats.latency
         self.energy += stats.energy
@@ -60,7 +63,7 @@ class OpAccounting:
             return 0.0
         return self.energy / self.bits_processed
 
-    def energy_breakdown(self) -> dict:
+    def energy_breakdown(self) -> Dict[str, float]:
         """{command kind name: fraction of array energy}, descending."""
         total = sum(self.energy_by_kind.values())
         if total <= 0:

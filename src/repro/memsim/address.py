@@ -87,16 +87,28 @@ class AddressMapper:
 
     def __init__(self, geometry: MemoryGeometry):
         self.geometry = geometry
+        # hoisted strides: with the row-fastest flat order, "same
+        # subarray / bank / rank" collapse to equal integer quotients
+        self._rows_per_subarray = geometry.rows_per_subarray
+        self._rows_per_bank = geometry.rows_per_bank
+        self._rows_per_rank = geometry.rows_per_rank
+        self._rows_per_channel = geometry.ranks_per_channel * geometry.rows_per_rank
+        self._total_frames = geometry.total_rows
+        self._decode_cache: dict = {}
 
     @property
     def total_frames(self) -> int:
-        return self.geometry.total_rows
+        return self._total_frames
 
     def decode(self, frame: int) -> RowAddress:
-        """Flat frame index -> decoded address."""
+        """Flat frame index -> decoded address (memoized)."""
+        addr = self._decode_cache.get(frame)
+        if addr is not None:
+            return addr
         g = self.geometry
-        if not 0 <= frame < self.total_frames:
-            raise ValueError(f"frame {frame} out of range [0, {self.total_frames})")
+        if not 0 <= frame < self._total_frames:
+            raise ValueError(f"frame {frame} out of range [0, {self._total_frames})")
+        key = frame
         row = frame % g.rows_per_subarray
         frame //= g.rows_per_subarray
         subarray = frame % g.subarrays_per_bank
@@ -105,7 +117,48 @@ class AddressMapper:
         frame //= g.banks_per_rank
         rank = frame % g.ranks_per_channel
         channel = frame // g.ranks_per_channel
-        return RowAddress(channel, rank, bank, subarray, row)
+        addr = RowAddress(channel, rank, bank, subarray, row)
+        self._decode_cache[key] = addr
+        return addr
+
+    def channel_of(self, frame: int) -> int:
+        """Channel a frame lives on, without a full decode."""
+        if not 0 <= frame < self._total_frames:
+            raise ValueError(f"frame {frame} out of range [0, {self._total_frames})")
+        return frame // self._rows_per_channel
+
+    def classify_frames(self, frames) -> OpLocality:
+        """:func:`classify_locality` on flat frame indices.
+
+        Pure integer arithmetic -- the executor's hot path uses this to
+        route every combine step without materialising
+        :class:`RowAddress` objects.
+        """
+        if not frames:
+            raise ValueError("need at least one operand frame")
+        first = frames[0]
+        stride = self._rows_per_subarray
+        base = first // stride
+        for f in frames:
+            if f // stride != base:
+                break
+        else:
+            return OpLocality.INTRA_SUBARRAY
+        stride = self._rows_per_bank
+        base = first // stride
+        for f in frames:
+            if f // stride != base:
+                break
+        else:
+            return OpLocality.INTER_SUBARRAY
+        stride = self._rows_per_rank
+        base = first // stride
+        for f in frames:
+            if f // stride != base:
+                break
+        else:
+            return OpLocality.INTER_BANK
+        return OpLocality.INTER_CHIP
 
     def encode(self, address: RowAddress) -> int:
         """Decoded address -> flat frame index."""

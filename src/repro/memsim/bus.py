@@ -59,6 +59,20 @@ class DDRBus:
         self.stats.energy += self.timing.transfer_energy(n_bytes)
         return t
 
+    def account(
+        self, commands: int, data_bytes: int, busy_time: float, energy: float
+    ) -> None:
+        """Fold pre-priced bus activity into this channel's ledger.
+
+        The memoized/vectorized controller paths compute bus costs
+        without calling :meth:`command`/:meth:`transfer` per command;
+        this keeps the cumulative per-channel stats identical.
+        """
+        self.stats.commands += commands
+        self.stats.data_bytes += data_bytes
+        self.stats.busy_time += busy_time
+        self.stats.energy += energy
+
     @property
     def peak_bandwidth(self) -> float:
         """Peak data bandwidth of this channel (B/s)."""

@@ -20,12 +20,36 @@ Command kinds map to the paper's operation anatomy:
 - ``PIM_WRITEBACK`` program the sensed result locally via the WD bypass
 - ``BUF_OP``        add-on logic pass at the global row / IO buffer
 - ``PRE``           precharge / close
+
+Two pricing paths produce identical accounting:
+
+- :meth:`MemoryController.execute` walks a Python list of
+  :class:`Command` objects, with a **memoized** per-command price
+  (command cost is a pure function of
+  ``(kind, n_bits, n_steps, transfer_bytes)`` for a fixed timing set);
+- :meth:`MemoryController.execute_batch` prices a whole
+  :class:`CommandBatch` -- a structure-of-arrays command stream -- with
+  numpy reductions per channel, which is what the execution engine uses
+  on its hot path (one batch per logical operation instead of one
+  ``execute`` call per row frame).
+
+A :class:`CommandBatch` carries *fences*: serialisation barriers that
+reproduce the latency semantics of issuing the fenced segments through
+separate ``execute`` calls (segment latencies add; within a segment,
+channels overlap).
 """
 
 from __future__ import annotations
 
+import atexit
 import enum
+import os
+import sys
+import time
 from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
 
 from repro.memsim.bus import BusStats, DDRBus
 from repro.memsim.geometry import MemoryGeometry
@@ -43,6 +67,16 @@ class CommandKind(enum.Enum):
     PIM_WRITEBACK = "pim_writeback"
     BUF_OP = "buf_op"
     PRE = "pre"
+
+
+#: stable integer code per kind (index into the price table's arrays)
+KIND_CODES: Dict[CommandKind, int] = {k: i for i, k in enumerate(CommandKind)}
+_KINDS: Tuple[CommandKind, ...] = tuple(CommandKind)
+_N_KINDS = len(_KINDS)
+
+#: price-cache entries kept per controller before the cache is dropped
+#: (PIM_WRITEBACK widths are data-dependent, so the key space is open)
+_PRICE_CACHE_LIMIT = 1 << 16
 
 
 @dataclass(frozen=True)
@@ -74,8 +108,8 @@ class ExecutionStats:
 
     latency: float = 0.0  # s (critical path: max over channels)
     energy: float = 0.0  # J (sum over everything)
-    counts: dict = field(default_factory=dict)
-    energy_by_kind: dict = field(default_factory=dict)  # array energy only
+    counts: Dict[CommandKind, int] = field(default_factory=dict)
+    energy_by_kind: Dict[CommandKind, float] = field(default_factory=dict)
     bus: BusStats = field(default_factory=BusStats)
 
     def add_count(self, kind: CommandKind, n: int = 1) -> None:
@@ -102,6 +136,250 @@ class ExecutionStats:
         return out
 
 
+# ---------------------------------------------------------------------------
+# engine performance instrumentation (REPRO_PERF_DEBUG=1)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PerfCounters:
+    """Process-wide pricing-engine counters (profiling aid)."""
+
+    scalar_commands: int = 0  # commands priced one at a time
+    batch_commands: int = 0  # commands priced through execute_batch
+    batches: int = 0  # execute_batch calls
+    streams: int = 0  # execute calls
+    cache_hits: int = 0  # scalar price-cache hits
+    cache_misses: int = 0
+    wall_s: float = 0.0  # time spent inside the pricing engine
+
+    @property
+    def commands_priced(self) -> int:
+        return self.scalar_commands + self.batch_commands
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def summary_line(self) -> str:
+        return (
+            f"[repro-perf] priced {self.commands_priced} commands "
+            f"({self.scalar_commands} scalar / {self.streams} streams, "
+            f"{self.batch_commands} batched / {self.batches} batches), "
+            f"price-cache hit rate {100.0 * self.cache_hit_rate:.1f}%, "
+            f"engine wall {self.wall_s:.3f}s"
+        )
+
+
+PERF_DEBUG: bool = os.environ.get("REPRO_PERF_DEBUG", "") not in ("", "0")
+perf_counters = PerfCounters()
+
+
+def _emit_perf_summary() -> None:  # pragma: no cover - atexit hook
+    print(perf_counters.summary_line(), file=sys.stderr)
+
+
+if PERF_DEBUG:  # pragma: no cover - environment-dependent
+    atexit.register(_emit_perf_summary)
+
+
+# ---------------------------------------------------------------------------
+# pricing table: per-kind cost coefficients for one TimingParams
+# ---------------------------------------------------------------------------
+
+
+class PriceTable:
+    """Per-kind cost coefficients derived from one :class:`TimingParams`.
+
+    Every command's cost decomposes as::
+
+        array_t    = base_array[kind] + step_array[kind] * n_steps
+        bus_t      = bus_cmds[kind] * t_cmd + transfer_bytes' / bandwidth
+        energy     = e_fixed[kind] + n_bits * e_per_bit[kind]
+        bus_energy = bus_cmds[kind] * e_cmd + 8 * transfer_bytes' * e_bus
+        transfer_bytes' = transfer_bytes * has_transfer[kind]
+
+    which is what makes both the scalar memo cache and the vectorized
+    batch path possible: the coefficients are a pure function of the
+    timing set, the variables come from the command.
+    """
+
+    def __init__(self, timing: TimingParams):
+        self.timing = timing
+        t = timing
+        base = np.zeros(_N_KINDS)
+        step = np.zeros(_N_KINDS)
+        e_fixed = np.zeros(_N_KINDS)
+        e_bit = np.zeros(_N_KINDS)
+        bus_cmds = np.zeros(_N_KINDS)
+        transfer = np.zeros(_N_KINDS)
+
+        def set_row(kind, *, b=0.0, s=0.0, ef=0.0, eb=0.0, bc=0.0, tr=0.0):
+            i = KIND_CODES[kind]
+            base[i], step[i], e_fixed[i] = b, s, ef
+            e_bit[i], bus_cmds[i], transfer[i] = eb, bc, tr
+
+        set_row(CommandKind.MRS, bc=1.0)
+        set_row(CommandKind.WL_RESET, ef=t.e_cmd, bc=1.0)
+        set_row(CommandKind.ACT, b=t.t_rcd, eb=t.e_activate_per_bit, bc=1.0)
+        # Additional latched row: decode overlaps the open rows, so the
+        # cost is one command slot plus the wordline energy -- unless a
+        # power-delivery activate-to-activate floor (t_rrd) paces the
+        # latch sequence.
+        set_row(
+            CommandKind.ACT_EXTRA,
+            b=max(0.0, t.t_rrd - t.t_cmd),
+            eb=t.e_activate_per_bit,
+            bc=1.0,
+        )
+        set_row(CommandKind.PIM_SENSE, s=t.t_cl, eb=t.e_sense_per_bit)
+        set_row(CommandKind.RD, b=t.t_cl, eb=t.e_sense_per_bit, bc=1.0, tr=1.0)
+        set_row(CommandKind.WR, b=t.t_wr, eb=t.e_write_per_bit, bc=1.0, tr=1.0)
+        # WD bypass: no bus transfer at all.
+        set_row(CommandKind.PIM_WRITEBACK, b=t.t_wr, eb=t.e_write_per_bit)
+        # Add-on digital logic at the row/IO buffer: one bus-clock pass.
+        set_row(CommandKind.BUF_OP, b=t.t_cmd, eb=t.e_buffer_logic_per_bit)
+        set_row(CommandKind.PRE, b=t.t_rp, ef=t.e_cmd, bc=1.0)
+
+        self.base_array = base
+        self.step_array = step
+        self.e_fixed = e_fixed
+        self.e_per_bit = e_bit
+        self.bus_cmds = bus_cmds
+        self.has_transfer = transfer
+
+    def price(
+        self, kind: CommandKind, n_bits: int, n_steps: int, transfer_bytes: int
+    ) -> Tuple[float, float, float, int, int, float]:
+        """(array_t, bus_t, array_energy, bus_cmds, bus_bytes, bus_energy)."""
+        i = KIND_CODES[kind]
+        t = self.timing
+        array_t = self.base_array[i] + self.step_array[i] * n_steps
+        n_cmds = int(self.bus_cmds[i])
+        n_bytes = transfer_bytes if self.has_transfer[i] else 0
+        bus_t = n_cmds * t.t_cmd + t.transfer_time(n_bytes)
+        energy = self.e_fixed[i] + n_bits * self.e_per_bit[i]
+        bus_energy = n_cmds * t.e_cmd + t.transfer_energy(n_bytes)
+        return (array_t, bus_t, energy, n_cmds, n_bytes, bus_energy)
+
+
+# ---------------------------------------------------------------------------
+# structure-of-arrays command stream
+# ---------------------------------------------------------------------------
+
+
+class CommandBatch:
+    """A command stream stored column-wise, with serialisation fences.
+
+    Appending is O(1) list work; :meth:`MemoryController.execute_batch`
+    converts the columns to numpy arrays once and prices everything with
+    per-channel reductions.  ``fence()`` closes the current segment:
+    segments serialise (their latencies add), commands within a segment
+    overlap across channels -- exactly the semantics of issuing each
+    segment through a separate :meth:`MemoryController.execute` call.
+
+    ``mark()`` records a logical-operation boundary so a multi-op stream
+    (see :meth:`PinatuboExecutor.bitwise_many`) can be priced in one pass
+    and still split its stats per operation.
+    """
+
+    __slots__ = (
+        "kinds",
+        "channels",
+        "n_bits",
+        "n_steps",
+        "transfer_bytes",
+        "segments",
+        "_segment",
+        "_open",
+        "op_starts",
+        "op_segment_starts",
+    )
+
+    def __init__(self) -> None:
+        self.kinds: List[int] = []
+        self.channels: List[int] = []
+        self.n_bits: List[int] = []
+        self.n_steps: List[int] = []
+        self.transfer_bytes: List[int] = []
+        self.segments: List[int] = []
+        self._segment = 0
+        self._open = False  # commands appended since the last fence?
+        self.op_starts: List[int] = []
+        self.op_segment_starts: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    @property
+    def n_segments(self) -> int:
+        return self._segment + (1 if self._open else 0)
+
+    def add(
+        self,
+        kind: CommandKind,
+        channel: int = 0,
+        n_bits: int = 0,
+        n_steps: int = 1,
+        transfer_bytes: int = 0,
+    ) -> None:
+        """Append one command to the current segment."""
+        self.kinds.append(KIND_CODES[kind])
+        self.channels.append(channel)
+        self.n_bits.append(n_bits)
+        self.n_steps.append(n_steps)
+        self.transfer_bytes.append(transfer_bytes)
+        self.segments.append(self._segment)
+        self._open = True
+
+    def extend(self, commands: Sequence[Command]) -> None:
+        """Append :class:`Command` objects to the current segment."""
+        if not commands:
+            return
+        codes = KIND_CODES
+        self.kinds.extend(codes[cmd.kind] for cmd in commands)
+        self.channels.extend(cmd.channel for cmd in commands)
+        self.n_bits.extend(cmd.n_bits for cmd in commands)
+        self.n_steps.extend(cmd.n_steps for cmd in commands)
+        self.transfer_bytes.extend(cmd.transfer_bytes for cmd in commands)
+        self.segments.extend([self._segment] * len(commands))
+        self._open = True
+
+    def extend_rows(
+        self, rows: Sequence[Tuple[int, int, int, int, int]]
+    ) -> None:
+        """Append pre-encoded ``(kind_code, channel, n_bits, n_steps,
+        transfer_bytes)`` rows to the current segment.
+
+        The executor's hot path: command templates are cached as these
+        tuples, so appending a step is pure list work with no
+        :class:`Command` objects in between.
+        """
+        if not rows:
+            return
+        kinds, channels, n_bits, n_steps, transfer = zip(*rows)
+        self.kinds.extend(kinds)
+        self.channels.extend(channels)
+        self.n_bits.extend(n_bits)
+        self.n_steps.extend(n_steps)
+        self.transfer_bytes.extend(transfer)
+        self.segments.extend([self._segment] * len(rows))
+        self._open = True
+
+    def fence(self) -> None:
+        """Close the current segment (a serialisation barrier)."""
+        if self._open:
+            self._segment += 1
+            self._open = False
+
+    def mark(self) -> None:
+        """Record the start of a new logical operation (after a fence)."""
+        self.fence()
+        self.op_starts.append(len(self.kinds))
+        self.op_segment_starts.append(self._segment)
+
+
 class MemoryController:
     """Prices command streams against one memory's timing parameters."""
 
@@ -110,6 +388,10 @@ class MemoryController:
         self.timing = timing
         self.buses = [DDRBus(timing) for _ in range(geometry.channels)]
         self.mode_register = 0  # MR4: current PIM op configuration
+        self.price_table = PriceTable(timing)
+        self._price_cache: Dict[
+            Tuple[int, int, int, int], Tuple[float, float, float, int, int, float]
+        ] = {}
 
     def set_pim_mode(self, mode_code: int, channel: int = 0) -> ExecutionStats:
         """Issue the MRS that configures the PIM operation."""
@@ -118,46 +400,30 @@ class MemoryController:
 
     # -- pricing -------------------------------------------------------------
 
-    def _price(self, cmd: Command) -> tuple:
-        """(array_latency, bus_latency, energy) of one command."""
-        t = self.timing
-        bus = self.buses[cmd.channel % len(self.buses)]
-        if cmd.kind is CommandKind.MRS:
-            return 0.0, bus.command(), 0.0
-        if cmd.kind is CommandKind.WL_RESET:
-            return 0.0, bus.command(), t.e_cmd
-        if cmd.kind is CommandKind.ACT:
-            return t.t_rcd, bus.command(), cmd.n_bits * t.e_activate_per_bit
-        if cmd.kind is CommandKind.ACT_EXTRA:
-            # Additional latched row: decode overlaps the open rows, so
-            # the cost is one command slot plus the wordline energy --
-            # unless a power-delivery activate-to-activate floor (t_rrd)
-            # paces the latch sequence.
-            extra = max(0.0, t.t_rrd - t.t_cmd)
-            return extra, bus.command(), cmd.n_bits * t.e_activate_per_bit
-        if cmd.kind is CommandKind.PIM_SENSE:
-            return (
-                cmd.n_steps * t.t_cl,
-                0.0,
-                cmd.n_bits * t.e_sense_per_bit,
-            )
-        if cmd.kind is CommandKind.RD:
-            bus_t = bus.command() + bus.transfer(cmd.transfer_bytes)
-            return t.t_cl, bus_t, cmd.n_bits * t.e_sense_per_bit
-        if cmd.kind is CommandKind.WR:
-            bus_t = bus.command() + bus.transfer(cmd.transfer_bytes)
-            return t.t_wr, bus_t, cmd.n_bits * t.e_write_per_bit
-        if cmd.kind is CommandKind.PIM_WRITEBACK:
-            # WD bypass: no bus transfer at all.
-            return t.t_wr, 0.0, cmd.n_bits * t.e_write_per_bit
-        if cmd.kind is CommandKind.BUF_OP:
-            # Add-on digital logic at the row/IO buffer: one bus-clock pass.
-            return t.t_cmd, 0.0, cmd.n_bits * t.e_buffer_logic_per_bit
-        if cmd.kind is CommandKind.PRE:
-            return t.t_rp, bus.command(), t.e_cmd
-        raise ValueError(f"unknown command kind: {cmd.kind}")
+    def _price(self, cmd: Command) -> Tuple[float, float, float, int, int, float]:
+        """Memoized price of one command.
 
-    def execute(self, commands) -> ExecutionStats:
+        Cost is a pure function of ``(kind, n_bits, n_steps,
+        transfer_bytes)`` for this controller's timing set, so the
+        computed tuple is cached; the cache is dropped wholesale if it
+        ever exceeds ``_PRICE_CACHE_LIMIT`` entries (write-back widths
+        are data-dependent, so the key space is open-ended).
+        """
+        key = (KIND_CODES[cmd.kind], cmd.n_bits, cmd.n_steps, cmd.transfer_bytes)
+        priced = self._price_cache.get(key)
+        if priced is None:
+            perf_counters.cache_misses += 1
+            priced = self.price_table.price(
+                cmd.kind, cmd.n_bits, cmd.n_steps, cmd.transfer_bytes
+            )
+            if len(self._price_cache) >= _PRICE_CACHE_LIMIT:
+                self._price_cache.clear()
+            self._price_cache[key] = priced
+        else:
+            perf_counters.cache_hits += 1
+        return priced
+
+    def execute(self, commands: Sequence[Command]) -> ExecutionStats:
         """Execute a command stream.
 
         Commands on the same channel serialise; different channels overlap.
@@ -165,34 +431,184 @@ class MemoryController:
         additive for commands with both (RD/WR), which is the conservative
         closed-page assumption.
         """
+        t0 = time.perf_counter() if PERF_DEBUG else 0.0
         stats = ExecutionStats()
-        per_channel = {}
-        bus_before = [
-            BusStats(
-                commands=b.stats.commands,
-                data_bytes=b.stats.data_bytes,
-                busy_time=b.stats.busy_time,
-                energy=b.stats.energy,
-            )
-            for b in self.buses
-        ]
+        per_channel: Dict[int, float] = {}
+        n_buses = len(self.buses)
+        bus = stats.bus
         for cmd in commands:
-            array_t, bus_t, energy = self._price(cmd)
-            ch = cmd.channel % len(self.buses)
+            array_t, bus_t, energy, n_cmds, n_bytes, bus_energy = self._price(cmd)
+            ch = cmd.channel % n_buses
             per_channel[ch] = per_channel.get(ch, 0.0) + array_t + bus_t
             stats.energy += energy
             stats.add_count(cmd.kind)
             stats.add_energy(cmd.kind, energy)
+            if n_cmds or n_bytes:
+                bus.commands += n_cmds
+                bus.data_bytes += n_bytes
+                bus.busy_time += bus_t
+                bus.energy += bus_energy
+                self.buses[ch].account(n_cmds, n_bytes, bus_t, bus_energy)
         stats.latency = max(per_channel.values(), default=0.0)
-        for i, bus in enumerate(self.buses):
-            before = bus_before[i]
-            stats.bus = stats.bus.merge(
-                BusStats(
-                    commands=bus.stats.commands - before.commands,
-                    data_bytes=bus.stats.data_bytes - before.data_bytes,
-                    busy_time=bus.stats.busy_time - before.busy_time,
-                    energy=bus.stats.energy - before.energy,
-                )
-            )
-        stats.energy += stats.bus.energy
+        stats.energy += bus.energy
+        perf_counters.scalar_commands += len(commands)
+        perf_counters.streams += 1
+        if PERF_DEBUG:
+            perf_counters.wall_s += time.perf_counter() - t0
         return stats
+
+    def execute_batch(
+        self, batch: CommandBatch, split_ops: bool = False
+    ) -> "ExecutionStats | Tuple[ExecutionStats, List[ExecutionStats]]":
+        """Price a whole :class:`CommandBatch` with numpy reductions.
+
+        Produces the same accounting as issuing each fenced segment
+        through :meth:`execute`: segment latencies add, channels overlap
+        within a segment, and every energy/count/bus total is identical
+        (up to float-summation order).
+
+        With ``split_ops=True`` the batch's :meth:`CommandBatch.mark`
+        boundaries are honoured and the result is ``(total, per_op)``
+        where ``per_op[i]`` is the :class:`ExecutionStats` of the i-th
+        marked operation alone.
+        """
+        t0 = time.perf_counter() if PERF_DEBUG else 0.0
+        n = len(batch)
+        if n == 0:
+            empty = ExecutionStats()
+            if split_ops:
+                return empty, [ExecutionStats() for _ in batch.op_starts]
+            return empty
+
+        tbl = self.price_table
+        t = self.timing
+        n_buses = len(self.buses)
+
+        kinds = np.asarray(batch.kinds, dtype=np.intp)
+        channels = np.asarray(batch.channels, dtype=np.intp) % n_buses
+        n_bits = np.asarray(batch.n_bits, dtype=np.float64)
+        n_steps = np.asarray(batch.n_steps, dtype=np.float64)
+        transfer = np.asarray(batch.transfer_bytes, dtype=np.float64)
+        segments = np.asarray(batch.segments, dtype=np.intp)
+
+        array_t = tbl.base_array[kinds] + tbl.step_array[kinds] * n_steps
+        bus_cmds = tbl.bus_cmds[kinds]
+        bus_bytes = transfer * tbl.has_transfer[kinds]
+        bus_t = bus_cmds * t.t_cmd + bus_bytes / t.bus_bandwidth
+        energy = tbl.e_fixed[kinds] + n_bits * tbl.e_per_bit[kinds]
+        bus_energy = bus_cmds * t.e_cmd + (8.0 * t.e_bus_per_bit) * bus_bytes
+        total_t = array_t + bus_t
+
+        # latency: per (segment, channel) sums; max over channels per
+        # segment; segments serialise.
+        n_seg = int(segments[-1]) + 1
+        seg_ch = segments * n_buses + channels
+        per_seg_ch = np.bincount(
+            seg_ch, weights=total_t, minlength=n_seg * n_buses
+        ).reshape(n_seg, n_buses)
+        seg_latency = per_seg_ch.max(axis=1)
+
+        counts = np.bincount(kinds, minlength=_N_KINDS)
+        kind_energy = np.bincount(kinds, weights=energy, minlength=_N_KINDS)
+
+        stats = ExecutionStats()
+        stats.latency = float(seg_latency.sum())
+        for i in range(_N_KINDS):
+            if counts[i]:
+                stats.counts[_KINDS[i]] = int(counts[i])
+                stats.energy_by_kind[_KINDS[i]] = float(kind_energy[i])
+        array_energy_total = float(energy.sum())
+        bus_energy_total = float(bus_energy.sum())
+        stats.bus = BusStats(
+            commands=int(bus_cmds.sum()),
+            data_bytes=int(bus_bytes.sum()),
+            busy_time=float(bus_t.sum()),
+            energy=bus_energy_total,
+        )
+        stats.energy = array_energy_total + bus_energy_total
+
+        # fold bus activity into the per-channel ledgers
+        ch_cmds = np.bincount(channels, weights=bus_cmds, minlength=n_buses)
+        ch_bytes = np.bincount(channels, weights=bus_bytes, minlength=n_buses)
+        ch_bus_t = np.bincount(channels, weights=bus_t, minlength=n_buses)
+        ch_bus_e = np.bincount(channels, weights=bus_energy, minlength=n_buses)
+        for ch in range(n_buses):
+            if ch_cmds[ch] or ch_bytes[ch] or ch_bus_t[ch] or ch_bus_e[ch]:
+                self.buses[ch].account(
+                    int(ch_cmds[ch]),
+                    int(ch_bytes[ch]),
+                    float(ch_bus_t[ch]),
+                    float(ch_bus_e[ch]),
+                )
+
+        perf_counters.batch_commands += n
+        perf_counters.batches += 1
+        if PERF_DEBUG:
+            perf_counters.wall_s += time.perf_counter() - t0
+
+        if not split_ops:
+            return stats
+        return stats, self._split_op_stats(
+            batch, kinds, channels, energy, bus_cmds, bus_bytes, bus_t,
+            bus_energy, seg_latency,
+        )
+
+    def _split_op_stats(
+        self,
+        batch: CommandBatch,
+        kinds: np.ndarray,
+        channels: np.ndarray,
+        energy: np.ndarray,
+        bus_cmds: np.ndarray,
+        bus_bytes: np.ndarray,
+        bus_t: np.ndarray,
+        bus_energy: np.ndarray,
+        seg_latency: np.ndarray,
+    ) -> List[ExecutionStats]:
+        """Per-operation stats for a marked batch (one numpy pass)."""
+        op_starts = np.asarray(batch.op_starts, dtype=np.intp)
+        n_ops = op_starts.size
+        if n_ops == 0:
+            return []
+        n = kinds.size
+        # command -> op (commands before the first mark belong to op 0)
+        op_of_cmd = np.searchsorted(op_starts, np.arange(n), side="right") - 1
+        np.clip(op_of_cmd, 0, None, out=op_of_cmd)
+        # segment -> op
+        op_seg_starts = np.asarray(batch.op_segment_starts, dtype=np.intp)
+        seg_ids = np.arange(seg_latency.size)
+        op_of_seg = np.searchsorted(op_seg_starts, seg_ids, side="right") - 1
+        np.clip(op_of_seg, 0, None, out=op_of_seg)
+
+        op_latency = np.bincount(op_of_seg, weights=seg_latency, minlength=n_ops)
+        op_energy = np.bincount(op_of_cmd, weights=energy, minlength=n_ops)
+        op_bus_cmds = np.bincount(op_of_cmd, weights=bus_cmds, minlength=n_ops)
+        op_bus_bytes = np.bincount(op_of_cmd, weights=bus_bytes, minlength=n_ops)
+        op_bus_t = np.bincount(op_of_cmd, weights=bus_t, minlength=n_ops)
+        op_bus_e = np.bincount(op_of_cmd, weights=bus_energy, minlength=n_ops)
+        key = op_of_cmd * _N_KINDS + kinds
+        op_counts = np.bincount(key, minlength=n_ops * _N_KINDS).reshape(
+            n_ops, _N_KINDS
+        )
+        op_kind_energy = np.bincount(
+            key, weights=energy, minlength=n_ops * _N_KINDS
+        ).reshape(n_ops, _N_KINDS)
+
+        out: List[ExecutionStats] = []
+        for i in range(n_ops):
+            stats = ExecutionStats(
+                latency=float(op_latency[i]),
+                energy=float(op_energy[i]) + float(op_bus_e[i]),
+                bus=BusStats(
+                    commands=int(op_bus_cmds[i]),
+                    data_bytes=int(op_bus_bytes[i]),
+                    busy_time=float(op_bus_t[i]),
+                    energy=float(op_bus_e[i]),
+                ),
+            )
+            for k in range(_N_KINDS):
+                if op_counts[i, k]:
+                    stats.counts[_KINDS[k]] = int(op_counts[i, k])
+                    stats.energy_by_kind[_KINDS[k]] = float(op_kind_energy[i, k])
+            out.append(stats)
+        return out

@@ -25,6 +25,7 @@ buffer" advantage the paper concedes to in-DRAM computing.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 
 @dataclass(frozen=True)
@@ -62,53 +63,53 @@ class MemoryGeometry:
 
     # -- row sizes ---------------------------------------------------------
 
-    @property
+    @cached_property
     def chip_row_bits(self) -> int:
         """Bits opened per chip per activation (all mats of a subarray)."""
         return self.mats_per_subarray * self.cols_per_mat
 
-    @property
+    @cached_property
     def row_bits(self) -> int:
         """Bits in one *rank row*: the unit of activation across the
         lock-step chips (the allocation granularity of pim_malloc)."""
         return self.chips_per_rank * self.chip_row_bits
 
-    @property
+    @cached_property
     def row_bytes(self) -> int:
         return self.row_bits // 8
 
-    @property
+    @cached_property
     def sense_bits_per_step(self) -> int:
         """Bits resolved per sense step across the rank (SA count)."""
         return self.row_bits // self.mux_ratio
 
     # -- counts -------------------------------------------------------------
 
-    @property
+    @cached_property
     def ranks(self) -> int:
         return self.channels * self.ranks_per_channel
 
-    @property
+    @cached_property
     def banks_per_rank(self) -> int:
         return self.banks_per_chip  # chips are lock-step: one logical bank set
 
-    @property
+    @cached_property
     def rows_per_bank(self) -> int:
         return self.subarrays_per_bank * self.rows_per_subarray
 
-    @property
+    @cached_property
     def rows_per_rank(self) -> int:
         return self.banks_per_rank * self.rows_per_bank
 
-    @property
+    @cached_property
     def total_rows(self) -> int:
         return self.ranks * self.rows_per_rank
 
-    @property
+    @cached_property
     def capacity_bits(self) -> int:
         return self.total_rows * self.row_bits
 
-    @property
+    @cached_property
     def capacity_bytes(self) -> int:
         return self.capacity_bits // 8
 

@@ -14,6 +14,7 @@ Bits are packed little-endian within bytes (``numpy.packbits`` with
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import List
 
 import numpy as np
 
@@ -26,6 +27,26 @@ _BITWISE_UFUNCS = {
     "and": np.bitwise_and,
     "xor": np.bitwise_xor,
 }
+
+
+if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+
+    def _popcount(packed: np.ndarray) -> int:
+        return int(np.bitwise_count(packed).sum())
+
+    def _popcount_rows(packed_2d: np.ndarray) -> List[int]:
+        return np.bitwise_count(packed_2d).sum(axis=1, dtype=np.int64).tolist()
+
+else:  # pragma: no cover - older numpy
+    _POP_TABLE = np.unpackbits(
+        np.arange(256, dtype=np.uint8).reshape(256, 1), axis=1
+    ).sum(axis=1).astype(np.uint16)
+
+    def _popcount(packed: np.ndarray) -> int:
+        return int(_POP_TABLE[packed].sum())
+
+    def _popcount_rows(packed_2d: np.ndarray) -> List[int]:
+        return _POP_TABLE[packed_2d].sum(axis=1, dtype=np.int64).tolist()
 
 
 @dataclass
@@ -46,13 +67,16 @@ class MainMemory:
         self.geometry = geometry
         self._frames: dict = {}
         self.total_writes = 0
+        self._total_rows = geometry.total_rows
+        self._zero_row = np.zeros(geometry.row_bytes, dtype=np.uint8)
+        self._zero_row.flags.writeable = False
 
     # -- frame accessors ---------------------------------------------------
 
     def _check_frame(self, frame: int) -> None:
-        if not 0 <= frame < self.geometry.total_rows:
+        if not 0 <= frame < self._total_rows:
             raise ValueError(
-                f"frame {frame} out of range [0, {self.geometry.total_rows})"
+                f"frame {frame} out of range [0, {self._total_rows})"
             )
 
     def frame_bytes(self, frame: int) -> np.ndarray:
@@ -62,6 +86,12 @@ class MainMemory:
         if entry is None:
             return np.zeros(self.geometry.row_bytes, dtype=np.uint8)
         return entry.copy_bits()
+
+    def frame_view(self, frame: int) -> np.ndarray:
+        """Read-only packed view of a frame (no copy; zeros if untouched)."""
+        self._check_frame(frame)
+        entry = self._frames.get(frame)
+        return self._zero_row if entry is None else entry.data
 
     def write_frame(self, frame: int, data: np.ndarray) -> None:
         """Overwrite a full frame with packed bytes."""
@@ -121,17 +151,60 @@ class MainMemory:
         if op == "inv":
             if len(srcs) != 1:
                 raise ValueError("inv takes exactly one source frame")
-            return np.bitwise_not(self.frame_bytes(srcs[0]))
+            return np.bitwise_not(self.frame_view(srcs[0]))
         try:
             ufunc = _BITWISE_UFUNCS[op]
         except KeyError:
             raise ValueError(f"unknown bitwise op {op!r}") from None
         if len(srcs) < 2:
             raise ValueError(f"{op} needs at least two source frames")
-        out = self.frame_bytes(srcs[0])
+        out = self.frame_view(srcs[0]).copy()
         for frame in srcs[1:]:
-            ufunc(out, self.frame_bytes(frame), out=out)
+            ufunc(out, self.frame_view(frame), out=out)
         return out
+
+    def diff_bits(self, frame: int, data: np.ndarray) -> int:
+        """Bits that differ between a frame's content and ``data``.
+
+        The differential-write width of programming ``data`` into the
+        frame (only flipped cells pay write energy/endurance).
+        """
+        return _popcount(np.bitwise_xor(self.frame_view(frame), data))
+
+    # -- row-parallel variants (the batched engine's chunk loop) -------------
+
+    def gather_rows(self, frames) -> np.ndarray:
+        """Stack frames into a fresh ``(len(frames), row_bytes)`` array."""
+        fv = self.frame_view
+        return np.stack([fv(f) for f in frames])
+
+    def bitwise_rows(self, op: str, src_frame_lists) -> np.ndarray:
+        """:meth:`bitwise_frames` over many frame tuples at once.
+
+        ``src_frame_lists`` holds one frame list per operand vector; row
+        ``i`` of the result is ``op`` applied across the i-th frame of
+        every operand list (all numpy, no per-row Python work).
+        """
+        srcs = list(src_frame_lists)
+        if op == "inv":
+            if len(srcs) != 1:
+                raise ValueError("inv takes exactly one source frame list")
+            return np.bitwise_not(self.gather_rows(srcs[0]))
+        try:
+            ufunc = _BITWISE_UFUNCS[op]
+        except KeyError:
+            raise ValueError(f"unknown bitwise op {op!r}") from None
+        if len(srcs) < 2:
+            raise ValueError(f"{op} needs at least two source frame lists")
+        out = self.gather_rows(srcs[0])
+        for frames in srcs[1:]:
+            ufunc(out, self.gather_rows(frames), out=out)
+        return out
+
+    def diff_bits_rows(self, frames, data_2d: np.ndarray) -> List[int]:
+        """:meth:`diff_bits` per row: differential-write widths."""
+        changed = np.bitwise_xor(self.gather_rows(frames), data_2d)
+        return _popcount_rows(changed)
 
     def execute_bitwise(self, op: str, dest_frame: int, src_frames) -> None:
         """Functional compute + write-back to the destination frame."""

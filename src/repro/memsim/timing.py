@@ -16,6 +16,7 @@ dwarf per-bit sensing; a DRAM access costs ~2 orders more than an ALU op).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.nvm.technology import NVMTechnology
 
@@ -80,6 +81,7 @@ DDR3_1600 = TimingParams(
 )
 
 
+@lru_cache(maxsize=None)
 def nvm_timing(technology: NVMTechnology, base: TimingParams = DDR3_1600) -> TimingParams:
     """Derive the NVM main-memory timing set from a technology.
 
@@ -88,6 +90,10 @@ def nvm_timing(technology: NVMTechnology, base: TimingParams = DDR3_1600) -> Tim
     technology.  NVM activation does not destructively discharge a row of
     capacitors, so its per-bit activation energy is the wordline swing
     amortised across the row, far below DRAM's restore energy.
+
+    Both arguments are frozen dataclasses, so the derived set is memoized:
+    sweeps and benchmark fixtures that build many executors per
+    technology stop re-deriving it.
     """
     return TimingParams(
         name=f"NVM-{technology.name}",

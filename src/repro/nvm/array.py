@@ -16,11 +16,12 @@ cross-validation (see ``tests/test_cross_validation.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from repro.nvm.cell import bitline_resistance, bits_to_resistances
-from repro.nvm.margin import MarginAnalysis
+from repro.nvm.margin import MarginAnalysis, margin_analysis
 from repro.nvm.sense_amp import CurrentSenseAmplifier, SenseMode, SenseResult
 from repro.nvm.technology import NVMTechnology
 from repro.nvm.variation import VariationModel
@@ -61,8 +62,8 @@ class ResistiveMat:
         n_rows: int = 512,
         n_cols: int = 4096,
         mux_ratio: int = 32,
-        variation: VariationModel = None,
-        rng: np.random.Generator = None,
+        variation: Optional[VariationModel] = None,
+        rng: Optional[np.random.Generator] = None,
     ):
         if n_rows < 1 or n_cols < 1:
             raise ValueError("mat geometry must be positive")
@@ -77,10 +78,10 @@ class ResistiveMat:
         if variation is not None and rng is None:
             raise ValueError("variation sampling requires an rng")
 
-        margin = MarginAnalysis(
-            technology,
-            variation or VariationModel.for_technology(technology),
-        )
+        if variation is None:
+            margin = margin_analysis(technology)  # shared, memoized
+        else:
+            margin = MarginAnalysis(technology, variation)
         self.max_or_rows = margin.max_or_rows()
         self.max_and_rows = margin.max_and_rows()
 

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional
 
 from repro.nvm.technology import NVMTechnology, geometric_mean_resistance
 from repro.nvm.variation import DEFAULT_CORNER_SIGMAS, VariationModel
@@ -40,7 +42,7 @@ class CompositeCase:
     lower: float
     upper: float
 
-    def interval(self) -> tuple:
+    def interval(self) -> tuple[float, float]:
         return (self.lower, self.upper)
 
 
@@ -50,7 +52,7 @@ class MarginAnalysis:
     def __init__(
         self,
         technology: NVMTechnology,
-        variation: VariationModel = None,
+        variation: Optional[VariationModel] = None,
     ):
         self.technology = technology
         self.variation = variation or VariationModel.for_technology(technology)
@@ -151,7 +153,7 @@ class MarginAnalysis:
 
     # -- Fig. 5 data ----------------------------------------------------------
 
-    def figure5_cases(self, n_rows: int = 2) -> dict:
+    def figure5_cases(self, n_rows: int = 2) -> dict[str, object]:
         """The resistance cases and references of paper Fig. 5.
 
         Returns a dict with the read cases ("1", "0"), the n-row OR cases
@@ -172,6 +174,19 @@ class MarginAnalysis:
             "ref_read": ref_read,
             "ref_or": ref_or,
         }
+
+
+@lru_cache(maxsize=None)
+def margin_analysis(technology: NVMTechnology) -> MarginAnalysis:
+    """Shared :class:`MarginAnalysis` for a technology's default variation.
+
+    Construction itself is cheap, but the limit searches
+    (:meth:`MarginAnalysis.electrical_or_limit`) behind
+    :func:`repro.core.ops.operand_limits` are not; hot paths that build
+    executors per technology (sweeps, benchmark fixtures) share one
+    instance instead of recomputing corners.
+    """
+    return MarginAnalysis(technology)
 
 
 def max_multirow_or(

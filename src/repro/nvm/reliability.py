@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -65,7 +66,7 @@ class SensingReliability:
     def __init__(
         self,
         technology: NVMTechnology,
-        variation: VariationModel = None,
+        variation: Optional[VariationModel] = None,
         systematic_fraction: float = 0.3,
     ):
         if not 0.0 <= systematic_fraction <= 1.0:
@@ -75,7 +76,7 @@ class SensingReliability:
         self.references = ReferenceScheme(technology)
         self.systematic_fraction = systematic_fraction
 
-    def _split_sigma(self, state: str) -> tuple:
+    def _split_sigma(self, state: str) -> Tuple[float, float]:
         total = (
             self.variation.sigma_low if state == "low" else self.variation.sigma_high
         )
@@ -108,7 +109,7 @@ class SensingReliability:
         self,
         n_rows: int,
         samples: int = 100_000,
-        rng: np.random.Generator = None,
+        rng: Optional[np.random.Generator] = None,
     ) -> BerPoint:
         """Monte-Carlo error rates of the two critical OR cases."""
         if n_rows < 2:
@@ -126,7 +127,7 @@ class SensingReliability:
         return BerPoint(n_rows=n_rows, p_miss=p_miss, p_false=p_false)
 
     def monte_carlo_read(
-        self, samples: int = 100_000, rng: np.random.Generator = None
+        self, samples: int = 100_000, rng: Optional[np.random.Generator] = None
     ) -> BerPoint:
         """Single-cell read error rates (the n=1 baseline)."""
         rng = rng or np.random.default_rng(1991)
@@ -196,7 +197,7 @@ class SensingReliability:
 
     # -- curves --------------------------------------------------------------------
 
-    def ber_curve(self, row_counts, samples: int = 50_000) -> list:
+    def ber_curve(self, row_counts, samples: int = 50_000) -> List["BerPoint"]:
         """Monte-Carlo worst-case BER over a fan-in sweep."""
         rng = np.random.default_rng(7)
         return [

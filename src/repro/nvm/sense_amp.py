@@ -22,6 +22,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 
@@ -135,7 +136,7 @@ class CurrentSenseAmplifier:
             raise ValueError("bitline resistances must be positive")
         return (r < r_reference).astype(np.uint8)
 
-    def _step_cost(self, n_sas: int, extra_refs: int = 0) -> tuple:
+    def _step_cost(self, n_sas: int, extra_refs: int = 0) -> Tuple[float, float]:
         t = self.technology
         energy = n_sas * t.cell_read_energy * (
             1.0 + self._REFERENCE_ENERGY_FACTOR * extra_refs

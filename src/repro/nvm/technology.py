@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Dict, List
 
 
 @dataclass(frozen=True)
@@ -160,7 +161,7 @@ class NVMTechnology:
 
     # -- serialisation (custom technologies from config files) -------------
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, object]:
         """Plain-dict form, JSON-serialisable."""
         out = asdict(self)
         out["write"] = asdict(self.write)
@@ -319,7 +320,7 @@ def get_technology(name: str) -> NVMTechnology:
         raise KeyError(f"unknown NVM technology {name!r}; known: {known}") from None
 
 
-def list_technologies() -> list:
+def list_technologies() -> List[str]:
     """Names of all registered technologies, sorted."""
     return sorted(TECHNOLOGIES)
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 
@@ -81,7 +82,7 @@ class VariationModel:
         """Worst-case high resistance (slow corner) at k sigma."""
         return r_nominal * math.exp(self.corner_sigmas * self._sigma_for(state))
 
-    def corner_interval(self, r_nominal: float, state: str) -> tuple:
+    def corner_interval(self, r_nominal: float, state: str) -> Tuple[float, float]:
         """(lower, upper) corner resistances around a nominal value."""
         return (
             self.lower_corner(r_nominal, state),

@@ -19,6 +19,7 @@ electrical validation is :mod:`repro.circuits.lwl_sim`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Tuple
 
 
 class WordlineError(RuntimeError):
@@ -118,7 +119,7 @@ class LocalWordlineDriver:
     # -- inspection ------------------------------------------------------------
 
     @property
-    def open_rows(self) -> tuple:
+    def open_rows(self) -> Tuple[int, ...]:
         """Currently latched (high) wordlines, sorted."""
         return tuple(sorted(self._latched))
 

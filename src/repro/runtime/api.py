@@ -12,6 +12,8 @@ is the layer applications (:mod:`repro.apps`) are written against.
 
 from __future__ import annotations
 
+from typing import Iterable, List, Optional
+
 import numpy as np
 
 from repro.core.pinatubo import PinatuboSystem
@@ -27,7 +29,7 @@ class PimRuntime:
 
     def __init__(
         self,
-        system: PinatuboSystem = None,
+        system: Optional[PinatuboSystem] = None,
         policy: PlacementPolicy = PlacementPolicy.PIM_AWARE,
     ):
         self.system = system or PinatuboSystem.pcm()
@@ -39,7 +41,11 @@ class PimRuntime:
     # -- canned configurations ----------------------------------------------
 
     @classmethod
-    def pcm(cls, max_rows: int = None, geometry: MemoryGeometry = DEFAULT_GEOMETRY):
+    def pcm(
+        cls,
+        max_rows: Optional[int] = None,
+        geometry: MemoryGeometry = DEFAULT_GEOMETRY,
+    ) -> "PimRuntime":
         return cls(PinatuboSystem.pcm(max_rows=max_rows, geometry=geometry))
 
     @classmethod
@@ -55,7 +61,7 @@ class PimRuntime:
     def pim_free(self, handle: BitVectorHandle) -> None:
         self.allocator.pim_free(handle)
 
-    def pim_op(self, op, dest, sources, n_bits: int = None,
+    def pim_op(self, op, dest, sources, n_bits: Optional[int] = None,
                overlap_chunks: bool = False):
         """``dest = op(sources)`` executed in memory; returns the OpResult.
 
@@ -65,7 +71,20 @@ class PimRuntime:
         """
         return self.driver.execute(op, dest, sources, n_bits, overlap_chunks)
 
-    def pim_op_to_host(self, op, scratch, sources, n_bits: int = None) -> np.ndarray:
+    def pim_op_many(self, requests: Iterable[tuple]) -> List:
+        """Issue a stream of ``(op, dest, sources[, n_bits])`` operations.
+
+        The whole stream is reordered by the driver and priced as **one**
+        command batch (one :meth:`MemoryController.execute_batch` call)
+        instead of one stream per operation; per-op results are identical
+        to sequential :meth:`pim_op` calls.  Returns the OpResults in
+        issue order.
+        """
+        return self.driver.execute_many(requests)
+
+    def pim_op_to_host(
+        self, op, scratch, sources, n_bits: Optional[int] = None
+    ) -> np.ndarray:
         """``op(sources)`` with the result streamed straight to the host.
 
         The paper's alternative emission path ("results can be sent to
@@ -96,7 +115,9 @@ class PimRuntime:
         acct = self.system.executor.write_vector(handle.frames, bits)
         self.host_accounting = self.host_accounting.merged(acct)
 
-    def pim_read(self, handle: BitVectorHandle, n_bits: int = None) -> np.ndarray:
+    def pim_read(
+        self, handle: BitVectorHandle, n_bits: Optional[int] = None
+    ) -> np.ndarray:
         """Host read of a vector's contents (pays bus cost)."""
         n_bits = handle.n_bits if n_bits is None else n_bits
         if n_bits > handle.n_bits:

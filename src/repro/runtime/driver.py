@@ -17,6 +17,7 @@ for PIM."  The driver here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,7 +41,7 @@ class PimRequest:
 
     op: PimOp
     dest: BitVectorHandle
-    sources: tuple
+    sources: Tuple[BitVectorHandle, ...]
     n_bits: int
     overlap_chunks: bool = False
 
@@ -72,7 +73,7 @@ class PimDriver:
 
     def __init__(self, executor: PinatuboExecutor):
         self.executor = executor
-        self._queue: list = []
+        self._queue: List[PimRequest] = []
         self.stats = DriverStats()
 
     # -- request queue ------------------------------------------------------
@@ -82,7 +83,7 @@ class PimDriver:
         op,
         dest: BitVectorHandle,
         sources,
-        n_bits: int = None,
+        n_bits: Optional[int] = None,
         overlap_chunks: bool = False,
     ) -> None:
         """Queue one operation (flushed explicitly or via ``flush``)."""
@@ -99,41 +100,61 @@ class PimDriver:
 
     # -- scheduling ---------------------------------------------------------
 
-    def _reorder(self, requests) -> list:
+    def _reorder(self, requests: Sequence[PimRequest]) -> List[PimRequest]:
         """Stable op-grouping that respects data dependences.
 
         Greedy list scheduling: repeatedly emit the longest run of
         ready requests sharing one op.
         """
-        remaining = list(requests)
+        # (request, dest vid, source vid set): hoisted so the O(n^2)
+        # dependence scan below is pure set work
+        remaining = [
+            (req, req.dest.vid, {h.vid for h in req.sources})
+            for req in requests
+        ]
         ordered = []
         while remaining:
             # ready = requests with no dependence on anything still queued
-            # before them
+            # before them (RAW / WAW / WAR against an earlier request)
             ready_idx = []
-            for i, req in enumerate(remaining):
-                if not any(req.depends_on(prev) for prev in remaining[:i]):
+            for i, (_req, write, reads) in enumerate(remaining):
+                ready = True
+                for _prev, p_write, p_reads in remaining[:i]:
+                    if p_write in reads or p_write == write or write in p_reads:
+                        ready = False
+                        break
+                if ready:
                     ready_idx.append(i)
             if not ready_idx:  # cycle cannot happen with RAW/WAW/WAR; safety
                 ready_idx = [0]
             # pick the op with the most ready requests
             by_op = {}
             for i in ready_idx:
-                by_op.setdefault(remaining[i].op, []).append(i)
+                by_op.setdefault(remaining[i][0].op, []).append(i)
             best_op = max(by_op, key=lambda op: len(by_op[op]))
             # keep submission order within the emitted group; pop from the
             # back so earlier indices stay valid
-            ordered.extend(remaining[i] for i in by_op[best_op])
+            ordered.extend(remaining[i][0] for i in by_op[best_op])
             for i in reversed(by_op[best_op]):
                 remaining.pop(i)
         return ordered
 
-    def flush(self) -> list:
-        """Issue every queued request; returns the per-request results."""
+    def flush(self, batched: bool = False) -> List[OpResult]:
+        """Issue every queued request; returns the per-request results.
+
+        With ``batched=True`` (and a batching executor) the whole
+        reordered stream is priced as **one** command batch through
+        :meth:`PinatuboExecutor.bitwise_many`; per-request results are
+        identical to the sequential path.  If any request's placement
+        is in-memory-infeasible, the stream falls back to the
+        per-request path so individual requests can take the host
+        fallback -- ``bitwise_many`` validates placement before touching
+        any state, which is what makes the retry safe.
+        """
         batch, self._queue = self._queue, []
-        results = []
+        ordered = self._reorder(batch)
         last_op = None
-        for req in self._reorder(batch):
+        for req in ordered:
             if req.op != last_op:
                 self.stats.mode_switches += 1
                 last_op = req.op
@@ -146,6 +167,33 @@ class PimDriver:
             # round-trip through the wire format: the controller sees bytes
             decoded = decode_instruction(encode_instruction(instr))
             assert decoded == instr
+
+        if batched and self.executor.batch_commands and len(ordered) > 1:
+            try:
+                results = self.executor.bitwise_many(
+                    [
+                        (
+                            req.op,
+                            list(req.dest.frames),
+                            [list(s.frames) for s in req.sources],
+                            req.n_bits,
+                            req.overlap_chunks,
+                        )
+                        for req in ordered
+                    ]
+                )
+            except PlacementError:
+                results = None  # retry request-by-request with host fallback
+            if results is not None:
+                for result in results:
+                    self.stats.instructions += 1
+                    self.stats.accounting = self.stats.accounting.merged(
+                        result.accounting
+                    )
+                return results
+
+        results = []
+        for req in ordered:
             try:
                 result = self.executor.bitwise(
                     req.op,
@@ -190,8 +238,20 @@ class PimDriver:
         return OpResult(op=req.op, accounting=acct, steps=0, localities={})
 
     def execute(
-        self, op, dest, sources, n_bits: int = None, overlap_chunks: bool = False
+        self,
+        op,
+        dest,
+        sources,
+        n_bits: Optional[int] = None,
+        overlap_chunks: bool = False,
     ) -> OpResult:
         """Submit + flush one request (the common synchronous path)."""
         self.submit(op, dest, sources, n_bits, overlap_chunks)
         return self.flush()[0]
+
+    def execute_many(self, requests: Iterable[tuple]) -> List[OpResult]:
+        """Submit a stream of ``(op, dest, sources[, n_bits])`` tuples and
+        flush them as one command batch (see :meth:`flush`)."""
+        for req in requests:
+            self.submit(*req)
+        return self.flush(batched=True)

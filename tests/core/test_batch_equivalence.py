@@ -1,0 +1,320 @@
+"""Batched vs per-command pricing must be indistinguishable.
+
+The acceptance bar for the batched execution engine: for identical
+workloads, the batched path (``batch_commands=True``, the default) and
+the legacy per-``execute`` path produce
+
+- identical command counts and per-kind energy breakdowns,
+- latency and energy within 1e-12 relative,
+- identical functional memory contents and bus ledgers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.executor import PlacementError
+from repro.core.pinatubo import PinatuboSystem
+from repro.memsim.address import RowAddress
+from repro.memsim.controller import Command, CommandBatch, CommandKind
+from repro.memsim.geometry import MemoryGeometry
+from repro.memsim.timing import nvm_timing
+from repro.nvm.technology import get_technology
+
+REL = 1e-12
+
+GEOM = MemoryGeometry(
+    channels=2,
+    ranks_per_channel=1,
+    chips_per_rank=1,
+    banks_per_chip=2,
+    subarrays_per_bank=4,
+    rows_per_subarray=64,
+    mats_per_subarray=1,
+    cols_per_mat=2048,
+    mux_ratio=8,
+)
+
+
+def make_system(batch_commands: bool, max_rows=4) -> PinatuboSystem:
+    return PinatuboSystem(
+        get_technology("pcm"),
+        GEOM,
+        max_rows=max_rows,
+        batch_commands=batch_commands,
+    )
+
+
+def subarray_frames(system: PinatuboSystem, bank: int, sub: int) -> list:
+    base = system.mapper.encode(RowAddress(0, 0, bank, sub, 0))
+    return list(range(base, base + GEOM.rows_per_subarray))
+
+
+def fill_frames(systems, frames, seed):
+    """Write identical random rows into every system's frames."""
+    rng = np.random.default_rng(seed)
+    for frame in frames:
+        data = rng.integers(0, 256, size=GEOM.row_bytes).astype(np.uint8)
+        for system in systems:
+            system.memory.write_frame(frame, data)
+
+
+def assert_accounting_equal(a, b):
+    assert a.latency == pytest.approx(b.latency, rel=REL)
+    assert a.energy == pytest.approx(b.energy, rel=REL)
+    assert a.in_memory_steps == b.in_memory_steps
+    assert a.bus_commands == b.bus_commands
+    assert a.bus_data_bytes == b.bus_data_bytes
+    assert a.bits_processed == b.bits_processed
+    assert a.locality_counts == b.locality_counts
+    assert set(a.energy_by_kind) == set(b.energy_by_kind)
+    for kind, e in a.energy_by_kind.items():
+        assert e == pytest.approx(b.energy_by_kind[kind], rel=REL)
+
+
+def assert_result_equal(a, b):
+    assert a.op == b.op
+    assert a.steps == b.steps
+    assert a.localities == b.localities
+    assert_accounting_equal(a.accounting, b.accounting)
+
+
+def assert_systems_equal(sys_a, sys_b, frames):
+    for frame in frames:
+        assert np.array_equal(
+            sys_a.memory.frame_bytes(frame), sys_b.memory.frame_bytes(frame)
+        )
+    for bus_a, bus_b in zip(sys_a.controller.buses, sys_b.controller.buses):
+        assert bus_a.stats.commands == bus_b.stats.commands
+        assert bus_a.stats.data_bytes == bus_b.stats.data_bytes
+        assert bus_a.stats.busy_time == pytest.approx(bus_b.stats.busy_time, rel=REL)
+        assert bus_a.stats.energy == pytest.approx(bus_b.stats.energy, rel=REL)
+
+
+class TestControllerLevel:
+    """execute() vs execute_batch() on the same fenced stream."""
+
+    @pytest.fixture
+    def timing(self):
+        return nvm_timing(get_technology("pcm"))
+
+    def _random_segments(self, seed, n_segments=7):
+        rng = np.random.default_rng(seed)
+        kinds = list(CommandKind)
+        segments = []
+        for _ in range(n_segments):
+            commands = []
+            for _ in range(rng.integers(1, 9)):
+                kind = kinds[rng.integers(0, len(kinds))]
+                commands.append(
+                    Command(
+                        kind,
+                        channel=int(rng.integers(0, GEOM.channels)),
+                        n_bits=int(rng.integers(0, 4096)),
+                        n_steps=int(rng.integers(1, 9)),
+                        transfer_bytes=int(rng.integers(0, 512)),
+                    )
+                )
+            segments.append(commands)
+        return segments
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_batch_matches_segmented_execute(self, timing, seed):
+        from repro.memsim.controller import MemoryController
+
+        ctrl_a = MemoryController(GEOM, timing)
+        ctrl_b = MemoryController(GEOM, timing)
+        segments = self._random_segments(seed)
+
+        total_a = None
+        for commands in segments:
+            stats = ctrl_a.execute(commands)
+            total_a = stats if total_a is None else total_a.merged(stats)
+
+        batch = CommandBatch()
+        for commands in segments:
+            batch.extend(commands)
+            batch.fence()
+        total_b = ctrl_b.execute_batch(batch)
+
+        assert total_a.latency == pytest.approx(total_b.latency, rel=REL)
+        assert total_a.energy == pytest.approx(total_b.energy, rel=REL)
+        assert total_a.counts == total_b.counts
+        assert set(total_a.energy_by_kind) == set(total_b.energy_by_kind)
+        for kind, e in total_a.energy_by_kind.items():
+            assert e == pytest.approx(total_b.energy_by_kind[kind], rel=REL)
+        assert total_a.bus.commands == total_b.bus.commands
+        assert total_a.bus.data_bytes == total_b.bus.data_bytes
+        assert total_a.bus.busy_time == pytest.approx(total_b.bus.busy_time, rel=REL)
+        for bus_a, bus_b in zip(ctrl_a.buses, ctrl_b.buses):
+            assert bus_a.stats.commands == bus_b.stats.commands
+            assert bus_a.stats.busy_time == pytest.approx(
+                bus_b.stats.busy_time, rel=REL
+            )
+
+    def test_split_ops_sums_to_total(self, timing):
+        from repro.memsim.controller import MemoryController
+
+        ctrl = MemoryController(GEOM, timing)
+        batch = CommandBatch()
+        for commands in self._random_segments(9, n_segments=5):
+            batch.mark()
+            batch.extend(commands)
+            batch.fence()
+        total, per_op = ctrl.execute_batch(batch, split_ops=True)
+        assert len(per_op) == 5
+        assert sum(s.latency for s in per_op) == pytest.approx(
+            total.latency, rel=REL
+        )
+        assert sum(s.energy for s in per_op) == pytest.approx(total.energy, rel=REL)
+        merged_counts = {}
+        for s in per_op:
+            for kind, n in s.counts.items():
+                merged_counts[kind] = merged_counts.get(kind, 0) + n
+        assert merged_counts == total.counts
+
+
+class TestExecutorLevel:
+    """bitwise()/bitwise_to_host() batched vs legacy on fixed workloads."""
+
+    def _pair(self, max_rows=4):
+        sys_a = make_system(batch_commands=False, max_rows=max_rows)
+        sys_b = make_system(batch_commands=True, max_rows=max_rows)
+        return sys_a, sys_b
+
+    def test_wide_or_with_accumulation(self):
+        sys_a, sys_b = self._pair(max_rows=4)
+        frames = subarray_frames(sys_a, bank=0, sub=0)
+        sources = [[f] for f in frames[:10]]
+        dest = [frames[10]]
+        fill_frames((sys_a, sys_b), frames[:10], seed=1)
+        res_a = sys_a.executor.bitwise("or", dest, sources, GEOM.row_bits)
+        res_b = sys_b.executor.bitwise("or", dest, sources, GEOM.row_bits)
+        assert res_a.steps > 1  # accumulation actually decomposed
+        assert_result_equal(res_a, res_b)
+        assert_systems_equal(sys_a, sys_b, frames[:11])
+
+    @pytest.mark.parametrize("op,n_src", [("and", 2), ("xor", 2), ("inv", 1)])
+    def test_two_operand_ops(self, op, n_src):
+        sys_a, sys_b = self._pair()
+        frames = subarray_frames(sys_a, bank=0, sub=0)
+        fill_frames((sys_a, sys_b), frames[: n_src], seed=2)
+        sources = [[f] for f in frames[:n_src]]
+        dest = [frames[n_src]]
+        res_a = sys_a.executor.bitwise(op, dest, sources, GEOM.row_bits)
+        res_b = sys_b.executor.bitwise(op, dest, sources, GEOM.row_bits)
+        assert_result_equal(res_a, res_b)
+        assert_systems_equal(sys_a, sys_b, frames[: n_src + 1])
+
+    @pytest.mark.parametrize("overlap", [False, True])
+    def test_multi_chunk_vector(self, overlap):
+        sys_a, sys_b = self._pair()
+        frames = subarray_frames(sys_a, bank=0, sub=0)
+        n_bits = 2 * GEOM.row_bits + 100  # 3 chunks, last one partial
+        src1, src2, dest = frames[0:3], frames[3:6], frames[6:9]
+        fill_frames((sys_a, sys_b), src1 + src2, seed=3)
+        res_a = sys_a.executor.bitwise(
+            "or", dest, [src1, src2], n_bits, overlap_chunks=overlap
+        )
+        res_b = sys_b.executor.bitwise(
+            "or", dest, [src1, src2], n_bits, overlap_chunks=overlap
+        )
+        assert_result_equal(res_a, res_b)
+        assert_systems_equal(sys_a, sys_b, frames[:9])
+
+    def test_inter_subarray_and_inter_bank(self):
+        sys_a, sys_b = self._pair()
+        f_sub0 = subarray_frames(sys_a, bank=0, sub=0)
+        f_sub1 = subarray_frames(sys_a, bank=0, sub=1)
+        f_bank1 = subarray_frames(sys_a, bank=1, sub=0)
+        fill_frames((sys_a, sys_b), [f_sub0[0], f_sub1[0], f_bank1[0]], seed=4)
+        # inter-subarray: sources in different subarrays of one bank
+        res_a = sys_a.executor.bitwise(
+            "or", [f_sub0[1]], [[f_sub0[0]], [f_sub1[0]]], GEOM.row_bits
+        )
+        res_b = sys_b.executor.bitwise(
+            "or", [f_sub0[1]], [[f_sub0[0]], [f_sub1[0]]], GEOM.row_bits
+        )
+        assert_result_equal(res_a, res_b)
+        # inter-bank: sources in different banks of one chip
+        res_a = sys_a.executor.bitwise(
+            "and", [f_sub0[2]], [[f_sub0[0]], [f_bank1[0]]], GEOM.row_bits
+        )
+        res_b = sys_b.executor.bitwise(
+            "and", [f_sub0[2]], [[f_sub0[0]], [f_bank1[0]]], GEOM.row_bits
+        )
+        assert_result_equal(res_a, res_b)
+        assert_systems_equal(sys_a, sys_b, f_sub0[:3])
+
+    def test_bitwise_to_host(self):
+        sys_a, sys_b = self._pair()
+        frames = subarray_frames(sys_a, bank=0, sub=0)
+        fill_frames((sys_a, sys_b), frames[:6], seed=5)
+        sources = [[f] for f in frames[:6]]
+        bits_a, res_a = sys_a.executor.bitwise_to_host(
+            "or", [frames[6]], sources, GEOM.row_bits
+        )
+        bits_b, res_b = sys_b.executor.bitwise_to_host(
+            "or", [frames[6]], sources, GEOM.row_bits
+        )
+        assert np.array_equal(bits_a, bits_b)
+        assert_result_equal(res_a, res_b)
+
+    def test_host_vector_paths(self):
+        sys_a, sys_b = self._pair()
+        frames = subarray_frames(sys_a, bank=0, sub=0)
+        rng = np.random.default_rng(6)
+        n_bits = GEOM.row_bits + 77
+        bits = rng.integers(0, 2, size=n_bits).astype(np.uint8)
+        acct_a = sys_a.executor.write_vector(frames[:2], bits)
+        acct_b = sys_b.executor.write_vector(frames[:2], bits)
+        assert acct_a.latency == pytest.approx(acct_b.latency, rel=REL)
+        assert acct_a.energy == pytest.approx(acct_b.energy, rel=REL)
+        out_a, racct_a = sys_a.executor.read_vector(frames[:2], n_bits)
+        out_b, racct_b = sys_b.executor.read_vector(frames[:2], n_bits)
+        assert np.array_equal(out_a, bits)
+        assert np.array_equal(out_b, bits)
+        assert racct_a.latency == pytest.approx(racct_b.latency, rel=REL)
+        assert racct_a.energy == pytest.approx(racct_b.energy, rel=REL)
+
+
+class TestBitwiseMany:
+    def _workload(self, system):
+        frames = subarray_frames(system, bank=0, sub=0)
+        return frames, [
+            ("or", [frames[8]], [[frames[0]], [frames[1]], [frames[2]]],
+             GEOM.row_bits),
+            ("and", [frames[9]], [[frames[8]], [frames[3]]], GEOM.row_bits),
+            ("xor", [frames[10]], [[frames[9]], [frames[4]]], GEOM.row_bits),
+            ("inv", [frames[11]], [[frames[10]]], GEOM.row_bits),
+        ]
+
+    def test_stream_matches_sequential(self):
+        sys_a = make_system(batch_commands=True)
+        sys_b = make_system(batch_commands=True)
+        frames, requests = self._workload(sys_a)
+        fill_frames((sys_a, sys_b), frames[:5], seed=7)
+        seq = [sys_a.executor.bitwise(*req) for req in requests]
+        many = sys_b.executor.bitwise_many(requests)
+        assert len(many) == len(seq)
+        for res_a, res_b in zip(seq, many):
+            assert_result_equal(res_a, res_b)
+        assert_systems_equal(sys_a, sys_b, frames[:12])
+
+    def test_placement_prevalidation_leaves_state_untouched(self):
+        system = make_system(batch_commands=True)
+        frames = subarray_frames(system, bank=0, sub=0)
+        fill_frames((system,), frames[:2], seed=8)
+        # second request spans channels -> inter-chip -> PlacementError
+        other_channel = system.mapper.encode(RowAddress(1, 0, 0, 0, 0))
+        requests = [
+            ("or", [frames[4]], [[frames[0]], [frames[1]]], GEOM.row_bits),
+            ("or", [frames[5]], [[frames[0]], [other_channel]], GEOM.row_bits),
+        ]
+        before = system.memory.frame_bytes(frames[4])
+        writes_before = system.memory.total_writes
+        with pytest.raises(PlacementError):
+            system.executor.bitwise_many(requests)
+        assert np.array_equal(system.memory.frame_bytes(frames[4]), before)
+        assert system.memory.total_writes == writes_before
+        for bus in system.controller.buses:
+            assert bus.stats.commands == 0

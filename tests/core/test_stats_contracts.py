@@ -1,0 +1,158 @@
+"""Contracts of ExecutionStats.merged and OpAccounting.absorb."""
+
+import pytest
+
+from repro.core.stats import OpAccounting
+from repro.memsim.address import OpLocality
+from repro.memsim.bus import BusStats
+from repro.memsim.controller import CommandKind, ExecutionStats
+
+
+def make_stats(latency, energy, kind=CommandKind.ACT, n=1):
+    stats = ExecutionStats(latency=latency, energy=energy)
+    stats.add_count(kind, n)
+    stats.add_energy(kind, energy)
+    stats.bus = BusStats(commands=n, data_bytes=8 * n, busy_time=latency / 2,
+                         energy=energy / 4)
+    return stats
+
+
+class TestExecutionStatsMerged:
+    def test_serial_adds_latency(self):
+        a = make_stats(1.0, 2.0)
+        b = make_stats(3.0, 5.0, kind=CommandKind.WR)
+        out = a.merged(b)  # serial is the default
+        assert out.latency == pytest.approx(4.0)
+        assert out.energy == pytest.approx(7.0)
+
+    def test_parallel_takes_max_latency_but_sums_energy(self):
+        a = make_stats(1.0, 2.0)
+        b = make_stats(3.0, 5.0)
+        out = a.merged(b, serial=False)
+        assert out.latency == pytest.approx(3.0)
+        assert out.energy == pytest.approx(7.0)
+
+    def test_counts_and_kind_energy_merge(self):
+        a = make_stats(1.0, 2.0, kind=CommandKind.ACT, n=2)
+        b = make_stats(1.0, 3.0, kind=CommandKind.ACT, n=1)
+        c = make_stats(1.0, 4.0, kind=CommandKind.PRE, n=5)
+        out = a.merged(b).merged(c)
+        assert out.counts == {CommandKind.ACT: 3, CommandKind.PRE: 5}
+        assert out.energy_by_kind[CommandKind.ACT] == pytest.approx(5.0)
+        assert out.energy_by_kind[CommandKind.PRE] == pytest.approx(4.0)
+
+    def test_bus_stats_merge(self):
+        a = make_stats(1.0, 2.0)
+        b = make_stats(3.0, 4.0)
+        out = a.merged(b)
+        assert out.bus.commands == 2
+        assert out.bus.data_bytes == 16
+
+    def test_merge_does_not_mutate_inputs(self):
+        a = make_stats(1.0, 2.0)
+        b = make_stats(3.0, 4.0)
+        a.merged(b)
+        assert a.latency == 1.0
+        assert a.counts == {CommandKind.ACT: 1}
+
+
+class TestOpAccountingAbsorb:
+    def test_absorb_folds_all_cost_fields(self):
+        acct = OpAccounting()
+        acct.absorb(make_stats(1.5, 3.0))
+        acct.absorb(make_stats(0.5, 1.0, kind=CommandKind.WR))
+        assert acct.latency == pytest.approx(2.0)
+        assert acct.energy == pytest.approx(4.0)
+        assert acct.bus_commands == 2
+        assert acct.bus_data_bytes == 16
+        assert acct.energy_by_kind[CommandKind.ACT] == pytest.approx(3.0)
+        assert acct.energy_by_kind[CommandKind.WR] == pytest.approx(1.0)
+
+    def test_absorb_with_locality_counts_it(self):
+        acct = OpAccounting()
+        acct.absorb(make_stats(1.0, 1.0), OpLocality.INTRA_SUBARRAY)
+        acct.absorb(make_stats(1.0, 1.0), OpLocality.INTRA_SUBARRAY)
+        acct.absorb(make_stats(1.0, 1.0), OpLocality.INTER_BANK)
+        assert acct.locality_counts == {
+            OpLocality.INTRA_SUBARRAY: 2,
+            OpLocality.INTER_BANK: 1,
+        }
+
+    def test_absorb_without_locality_does_not_count(self):
+        acct = OpAccounting()
+        acct.absorb(make_stats(1.0, 1.0))
+        assert acct.locality_counts == {}
+
+    def test_absorb_empty_stats_is_identity_except_locality(self):
+        # the batched executor defers costs: combine steps absorb empty
+        # stats (for the locality tally) and the batch lands once later
+        acct = OpAccounting()
+        acct.absorb(ExecutionStats(), OpLocality.INTRA_SUBARRAY)
+        assert acct.latency == 0.0
+        assert acct.energy == 0.0
+        assert acct.locality_counts == {OpLocality.INTRA_SUBARRAY: 1}
+
+    def test_merged_sums_everything(self):
+        a = OpAccounting()
+        a.absorb(make_stats(1.0, 2.0), OpLocality.INTRA_SUBARRAY)
+        a.count_step()
+        a.count_bits(64)
+        b = OpAccounting()
+        b.absorb(make_stats(2.0, 3.0), OpLocality.INTRA_SUBARRAY)
+        b.count_step(2)
+        b.count_bits(128)
+        out = a.merged(b)
+        assert out.latency == pytest.approx(3.0)
+        assert out.energy == pytest.approx(5.0)
+        assert out.in_memory_steps == 3
+        assert out.bits_processed == 192
+        assert out.locality_counts == {OpLocality.INTRA_SUBARRAY: 2}
+        # inputs untouched
+        assert a.in_memory_steps == 1
+
+
+class TestPerfCounters:
+    def test_counters_track_both_paths(self):
+        from repro.memsim import controller as ctrl_mod
+        from repro.memsim.controller import (
+            Command,
+            CommandBatch,
+            MemoryController,
+        )
+        from repro.memsim.geometry import MemoryGeometry
+        from repro.memsim.timing import nvm_timing
+        from repro.nvm.technology import get_technology
+
+        geom = MemoryGeometry(
+            channels=1, ranks_per_channel=1, chips_per_rank=1,
+            banks_per_chip=1, subarrays_per_bank=1, rows_per_subarray=8,
+            mats_per_subarray=1, cols_per_mat=64, mux_ratio=8,
+        )
+        ctrl = MemoryController(geom, nvm_timing(get_technology("pcm")))
+        pc = ctrl_mod.perf_counters
+        scalar0, batch0 = pc.scalar_commands, pc.batch_commands
+        hits0, misses0 = pc.cache_hits, pc.cache_misses
+
+        commands = [Command(CommandKind.ACT, n_bits=64)] * 3
+        ctrl.execute(commands)
+        assert pc.scalar_commands == scalar0 + 3
+        # identical commands: 1 miss then hits
+        assert pc.cache_misses == misses0 + 1
+        assert pc.cache_hits == hits0 + 2
+
+        batch = CommandBatch()
+        batch.extend(commands)
+        ctrl.execute_batch(batch)
+        assert pc.batch_commands == batch0 + 3
+
+    def test_summary_line_mentions_key_metrics(self):
+        from repro.memsim.controller import PerfCounters
+
+        pc = PerfCounters(
+            scalar_commands=10, batch_commands=90, batches=3, streams=5,
+            cache_hits=8, cache_misses=2, wall_s=0.25,
+        )
+        line = pc.summary_line()
+        assert "100 commands" in line
+        assert "80.0%" in line
+        assert pc.cache_hit_rate == pytest.approx(0.8)
