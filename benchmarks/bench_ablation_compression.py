@@ -8,7 +8,6 @@ compression thrives on sparse bin bitmaps, and stops helping exactly
 where the bitmaps (or intermediates) turn dense.
 """
 
-import numpy as np
 import pytest
 
 from repro.apps.fastbit import BitmapIndex

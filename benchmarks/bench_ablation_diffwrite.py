@@ -53,7 +53,6 @@ def measurements():
     dest = rt.pim_malloc(GEOM.row_bits, "g")
     out["first (cold dest)"] = rt.pim_op("or", dest, [a, b])
     out["repeat (same result)"] = rt.pim_op("or", dest, [a, b])
-    scratch = rt.pim_malloc(GEOM.row_bits, "g")
     rt2 = fresh_runtime()
     a2, b2 = load_pair(rt2)
     scratch2 = rt2.pim_malloc(GEOM.row_bits, "g")

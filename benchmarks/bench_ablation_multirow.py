@@ -8,13 +8,15 @@ enable n-row activation.
 
 import pytest
 
-from repro.analysis.figures import geomean
+from repro.backends import SystemConfig, build_system
 from repro.baselines.base import AccessPattern
-from repro.core.model import PinatuboModel
-from repro.workloads.trace import OpTrace
 
 
 ROW_LIMITS = (2, 4, 8, 16, 32, 64, 128)
+
+
+def _pinatubo(limit: int):
+    return build_system(SystemConfig(backend="pinatubo", max_rows=limit))
 
 
 @pytest.fixture(scope="module")
@@ -22,8 +24,7 @@ def sweep():
     """{limit: latency} for a 128-operand OR on 2^19-bit vectors."""
     out = {}
     for limit in ROW_LIMITS:
-        model = PinatuboModel(max_rows=limit)
-        out[limit] = model.bitwise_cost("or", 128, 1 << 19).latency
+        out[limit] = _pinatubo(limit).bitwise_cost("or", 128, 1 << 19).latency
     return out
 
 
@@ -38,7 +39,7 @@ def test_ablation_multirow_table(sweep, once):
 
 def test_ablation_latency_monotone_in_limit(sweep, once):
     once(lambda: None)  # register with --benchmark-only
-    latencies = [sweep[l] for l in ROW_LIMITS]
+    latencies = [sweep[limit] for limit in ROW_LIMITS]
     assert latencies == sorted(latencies, reverse=True)
 
 
@@ -58,7 +59,7 @@ def test_ablation_limit_useless_on_random(once):
     """The limit only matters for intra-subarray ops."""
     once(lambda: None)  # register with --benchmark-only
     costs = [
-        PinatuboModel(max_rows=limit)
+        _pinatubo(limit)
         .bitwise_cost("or", 128, 1 << 14, AccessPattern.RANDOM)
         .latency
         for limit in (2, 128)
@@ -67,6 +68,6 @@ def test_ablation_limit_useless_on_random(once):
 
 
 def test_ablation_sweep_speed(benchmark):
-    model = PinatuboModel(max_rows=16)
+    model = _pinatubo(16)
     cost = benchmark(model.bitwise_cost, "or", 128, 1 << 19)
     assert cost.latency > 0

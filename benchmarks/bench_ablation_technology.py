@@ -9,7 +9,6 @@ what changes.
 import pytest
 
 from repro.core.pinatubo import PinatuboSystem
-from repro.nvm.technology import get_technology
 
 
 @pytest.fixture(scope="module")

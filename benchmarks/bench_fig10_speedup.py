@@ -9,7 +9,7 @@ import pytest
 
 from repro.analysis.figures import fig10_data, workload_traces
 from repro.analysis.report import format_speedup_table
-from repro.core.model import PinatuboModel
+from repro.backends import SystemConfig, build_system
 from benchmarks.conftest import bench_scale
 
 
@@ -78,7 +78,7 @@ def test_fig10_headline_order_of_magnitude(data, once):
 
 def test_fig10_pricing_speed(benchmark):
     traces = workload_traces(bench_scale())
-    p128 = PinatuboModel()
+    p128 = build_system(SystemConfig(backend="pinatubo"))
     trace = traces["fastbit:240"]
     cost = benchmark(trace.price, p128)
     assert cost.bitwise_latency > 0

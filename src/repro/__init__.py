@@ -13,24 +13,35 @@ a downstream user needs most:
 - applications (bitmap BFS, FastBit-like DB, vector bench): :mod:`repro.apps`
 - figure regeneration: :mod:`repro.analysis`
 
-Quickstart::
+- backend protocol + registry + configs: :mod:`repro.backends`
 
-    from repro.runtime import PimRuntime
-    rt = PimRuntime.pcm()
-    a = rt.pim_malloc(1 << 14)
-    b = rt.pim_malloc(1 << 14)
-    dst = rt.pim_malloc(1 << 14)
-    rt.pim_op("or", dst, [a, b])
+Quickstart (registry-driven)::
+
+    from repro import SystemConfig, build_system
+    backend = build_system(SystemConfig(backend="pinatubo"))
+    run = backend.bitwise("or", [a, b, c])
 """
 
 __version__ = "1.0.0"
 
+from repro.backends import (
+    BulkBitwiseBackend,
+    RunStats,
+    SystemConfig,
+    build_system,
+    registry,
+)
 from repro.nvm.technology import get_technology, list_technologies
 from repro.nvm.margin import max_multirow_or
 
 __all__ = [
     "__version__",
+    "BulkBitwiseBackend",
+    "RunStats",
+    "SystemConfig",
+    "build_system",
     "get_technology",
     "list_technologies",
     "max_multirow_or",
+    "registry",
 ]

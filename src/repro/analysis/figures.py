@@ -17,20 +17,17 @@ from __future__ import annotations
 
 import math
 from functools import lru_cache
+from typing import Optional
 
 from repro.apps.bfs import bitmap_bfs_trace
 from repro.apps.fastbit import FastBitDB
 from repro.apps.graphs import amazon_like, dblp_like, eswiki_like
 from repro.apps.star import synthetic_star_table
 from repro.apps.vectorbench import vector_trace
-from repro.baselines.acpim import AcPim
-from repro.baselines.ideal import IdealPim
-from repro.baselines.sdram import SDram
-from repro.baselines.simd import SimdCpu
+from repro.backends import SystemConfig, build_system
 from repro.circuits.csa_sim import CSATransientSim
 from repro.circuits.lwl_sim import LWLDriverSim
 from repro.circuits.validate import validate_csa_corners
-from repro.core.model import PinatuboModel
 from repro.core.pinatubo import PinatuboSystem
 from repro.energy.area import AreaModel
 from repro.nvm.margin import MarginAnalysis
@@ -142,47 +139,79 @@ _GRAPH_GENERATORS = {
 }
 
 
+#: The evaluation matrix, declaratively: scheme name -> (scheme config,
+#: SIMD reference config).  Per the paper, the SIMD processor runs on
+#: DRAM when compared against S-DRAM and on PCM when compared against
+#: AC-PIM / Pinatubo.  Everything below resolves these through the
+#: backend registry (:func:`repro.backends.build_system`).
+SCHEME_CONFIGS = {
+    "S-DRAM": (
+        SystemConfig(backend="sdram", geometry="dram"),
+        SystemConfig(backend="simd", cpu_memory="dram"),
+    ),
+    "AC-PIM": (
+        SystemConfig(backend="acpim"),
+        SystemConfig(backend="simd", cpu_memory="pcm"),
+    ),
+    "Pinatubo-2": (
+        SystemConfig(backend="pinatubo", max_rows=2),
+        SystemConfig(backend="simd", cpu_memory="pcm"),
+    ),
+    "Pinatubo-128": (
+        SystemConfig(backend="pinatubo"),
+        SystemConfig(backend="simd", cpu_memory="pcm"),
+    ),
+    "Ideal": (
+        SystemConfig(backend="ideal"),
+        SystemConfig(backend="simd", cpu_memory="pcm"),
+    ),
+}
+
+
 def standard_schemes() -> dict:
     """The four evaluated schemes plus their SIMD references and Ideal.
 
-    Per the paper: the SIMD processor runs on DRAM when compared against
-    S-DRAM and on PCM when compared against AC-PIM / Pinatubo.
+    Each entry is ``name -> (backend, simd_reference_backend)``, built
+    from :data:`SCHEME_CONFIGS` through the backend registry.
     """
-    cpu_dram = SimdCpu.with_dram()
-    cpu_pcm = SimdCpu.with_pcm()
     return {
-        "S-DRAM": (SDram(), cpu_dram),
-        "AC-PIM": (AcPim(), cpu_pcm),
-        "Pinatubo-2": (PinatuboModel(max_rows=2), cpu_pcm),
-        "Pinatubo-128": (PinatuboModel(), cpu_pcm),
-        "Ideal": (IdealPim(), cpu_pcm),
+        name: (build_system(config), build_system(ref))
+        for name, (config, ref) in SCHEME_CONFIGS.items()
     }
 
 
-@lru_cache(maxsize=4)
-def workload_traces(scale: float = 1.0) -> dict:
+@lru_cache(maxsize=8)
+def workload_traces(scale: float = 1.0, seed: Optional[int] = None) -> dict:
     """All evaluation traces: Vector specs, graphs, FastBit query loads.
 
     ``scale`` < 1 shrinks the app datasets for quick runs (benchmarks use
-    1.0; tests use smaller scales).
+    1.0; tests use smaller scales).  ``seed`` re-seeds every synthetic
+    generator (graphs, star table, query mix) for sensitivity runs; the
+    default ``None`` keeps each generator's canonical fixed seed, which
+    is what the paper-number figures use.
     """
     traces = {}
     for spec in PAPER_VECTOR_SPECS:
         traces[f"vector:{spec}"] = vector_trace(spec)
-    for name, gen in _GRAPH_GENERATORS.items():
+    for i, (name, gen) in enumerate(_GRAPH_GENERATORS.items()):
         n = max(1024, int(GRAPH_SIZES[name] * scale))
-        traces[f"graph:{name}"] = bitmap_bfs_trace(gen(n=n), 0).trace
-    table = synthetic_star_table(max(4096, int(FASTBIT_EVENTS * scale)))
+        kwargs = {} if seed is None else {"seed": seed + i}
+        traces[f"graph:{name}"] = bitmap_bfs_trace(gen(n=n, **kwargs), 0).trace
+    table_kwargs = {} if seed is None else {"seed": seed + 100}
+    table = synthetic_star_table(
+        max(4096, int(FASTBIT_EVENTS * scale)), **table_kwargs
+    )
     db = FastBitDB(table, functional=False)
+    query_kwargs = {} if seed is None else {"seed": seed + 200}
     for q in FASTBIT_QUERIES:
-        traces[f"fastbit:{q}"] = db.run_workload(q)
+        traces[f"fastbit:{q}"] = db.run_workload(q, **query_kwargs)
     return traces
 
 
-@lru_cache(maxsize=4)
-def _priced(scale: float = 1.0) -> dict:
+@lru_cache(maxsize=8)
+def _priced(scale: float = 1.0, seed: Optional[int] = None) -> dict:
     """{workload: {scheme: (WorkloadCost scheme, WorkloadCost simd_ref)}}"""
-    traces = workload_traces(scale)
+    traces = workload_traces(scale, seed)
     schemes = standard_schemes()
     out = {}
     for wname, trace in traces.items():

@@ -12,8 +12,14 @@
 - :mod:`repro.apps.vectorbench` -- the Vector microbenchmark.
 """
 
-from repro.apps.bitvector import PimBitVector
-from repro.apps.graphs import Graph, dblp_like, eswiki_like, amazon_like
+from repro.apps.bitvector import HostBitSpace, PimBitVector, bitvector_space
+from repro.apps.graphs import (
+    Graph,
+    PAPER_GRAPHS,
+    dblp_like,
+    eswiki_like,
+    amazon_like,
+)
 from repro.apps.bfs import BfsResult, bitmap_bfs_trace, bitmap_bfs_pim, bfs_reference
 from repro.apps.star import StarTable, ColumnSpec, synthetic_star_table
 from repro.apps.fastbit import BitmapIndex, FastBitDB, RangeQuery
@@ -52,8 +58,11 @@ from repro.apps.genomics import (
 )
 
 __all__ = [
+    "HostBitSpace",
     "PimBitVector",
+    "bitvector_space",
     "Graph",
+    "PAPER_GRAPHS",
     "dblp_like",
     "eswiki_like",
     "amazon_like",

@@ -14,7 +14,7 @@ bitwise plan end-to-end) for correctness.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

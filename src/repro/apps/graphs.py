@@ -23,7 +23,7 @@ default sizes are ~1/20 of the originals (traces scale linearly, so the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -96,7 +96,6 @@ def _watts_strogatz_edges(n: int, k: int, p: float, rng: np.random.Generator):
 
 def _preferential_edges(n: int, m_per_node: int, rng: np.random.Generator):
     """Barabasi-Albert style scale-free attachment."""
-    targets = list(range(m_per_node))
     repeated = list(range(m_per_node))
     edges = []
     for u in range(m_per_node, n):

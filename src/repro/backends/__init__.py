@@ -1,0 +1,43 @@
+"""Unified bulk-bitwise backend protocol + declarative system configs.
+
+Every evaluated substrate -- the functional Pinatubo runtime, the SIMD
+CPU roofline (and its instruction-level kernel refinement), analytical
+and functional in-DRAM computing, AC-PIM and the Ideal ceiling -- sits
+behind one :class:`BulkBitwiseBackend` protocol, selected by name from a
+:class:`SystemConfig`::
+
+    from repro.backends import SystemConfig, build_system
+    backend = build_system(SystemConfig(backend="pinatubo", max_rows=2))
+    run = backend.bitwise("or", [a, b, c])
+    run.bits, run.stats.latency, run.stats.energy
+
+Importing this package registers the stock backends.
+"""
+
+from repro.backends.config import GEOMETRIES, SystemConfig
+from repro.backends.protocol import (
+    ALL_OPS,
+    BackendCapabilities,
+    BackendRun,
+    BulkBitwiseBackend,
+    RunStats,
+    bitwise_oracle,
+)
+from repro.backends.registry import BackendRegistry, build_system, registry
+
+# importing the adapters registers the stock backends with `registry`
+from repro.backends import adapters as _adapters  # noqa: F401  (self-registration)
+
+__all__ = [
+    "ALL_OPS",
+    "GEOMETRIES",
+    "BackendCapabilities",
+    "BackendRegistry",
+    "BackendRun",
+    "BulkBitwiseBackend",
+    "RunStats",
+    "SystemConfig",
+    "bitwise_oracle",
+    "build_system",
+    "registry",
+]

@@ -1,0 +1,128 @@
+"""Declarative system configuration for backend construction.
+
+A :class:`SystemConfig` is the one frozen value object that describes an
+execution substrate -- which backend, which NVM technology, geometry,
+multi-row limit, placement policy, and timing/energy scaling knobs --
+and round-trips losslessly through plain dicts (``to_dict`` /
+``from_dict``), so sweeps, benchmarks and external harnesses can store
+configurations as JSON and rebuild identical systems with
+:func:`repro.backends.registry.build_system`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass, fields
+from typing import Optional
+
+from repro.core.ops import operand_limits
+from repro.memsim.geometry import DEFAULT_GEOMETRY, DRAM_GEOMETRY, MemoryGeometry
+from repro.nvm.technology import NVMTechnology, get_technology, list_technologies
+from repro.runtime.os_mm import PlacementPolicy
+
+#: named geometries a config may select
+GEOMETRIES = {
+    "default": DEFAULT_GEOMETRY,  # the paper's NVM main memory
+    "dram": DRAM_GEOMETRY,  # DDR3 organisation (S-DRAM baseline)
+}
+
+#: what the host CPU's main memory may be ("dram" or an NVM technology)
+_CPU_MEMORIES = ("dram",)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete, declarative description of one execution substrate."""
+
+    #: registry name of the backend (see ``repro.backends.registry``)
+    backend: str = "pinatubo"
+    #: NVM technology of in-memory schemes ("pcm", "stt", "reram", ...)
+    technology: str = "pcm"
+    #: named geometry: "default" (NVM) or "dram" (DDR3 organisation)
+    geometry: str = "default"
+    #: one-step multi-row activation cap (None: the sensing limit;
+    #: 2 produces the evaluation's "Pinatubo-2")
+    max_rows: Optional[int] = None
+    #: OS placement policy for functional runtimes
+    placement: str = "pim_aware"
+    #: batched command-stream pricing (PR 1 engine) on functional paths
+    batch_commands: bool = True
+    #: main memory the host CPU pairs with: "dram" when compared against
+    #: S-DRAM, an NVM technology name against AC-PIM/Pinatubo (paper 6.1)
+    cpu_memory: str = "dram"
+    #: multiplicative knobs on priced latency/energy (what-if sweeps);
+    #: 1.0 reproduces the paper numbers exactly
+    timing_scale: float = 1.0
+    energy_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.backend or not isinstance(self.backend, str):
+            raise ValueError("backend must be a non-empty registry name")
+        try:
+            get_technology(self.technology)
+        except KeyError:
+            raise ValueError(
+                f"unknown technology {self.technology!r}; "
+                f"known: {list_technologies()} (or aliases pcm/stt/reram)"
+            ) from None
+        if self.geometry not in GEOMETRIES:
+            raise ValueError(
+                f"unknown geometry {self.geometry!r}; known: {sorted(GEOMETRIES)}"
+            )
+        try:
+            PlacementPolicy(self.placement)
+        except ValueError:
+            known = [p.value for p in PlacementPolicy]
+            raise ValueError(
+                f"unknown placement {self.placement!r}; known: {known}"
+            ) from None
+        if self.cpu_memory not in _CPU_MEMORIES:
+            try:
+                get_technology(self.cpu_memory)
+            except KeyError:
+                raise ValueError(
+                    f"unknown cpu_memory {self.cpu_memory!r}; "
+                    f"use 'dram' or an NVM technology name"
+                ) from None
+        if self.max_rows is not None:
+            if self.max_rows < 2:
+                raise ValueError("max_rows must be >= 2 (or None)")
+            sensing_limit = operand_limits(self.technology_object()).or_rows
+            if self.max_rows > sensing_limit:
+                raise ValueError(
+                    f"max_rows={self.max_rows} exceeds the {self.technology} "
+                    f"sensing limit of {sensing_limit} rows"
+                )
+        for name in ("timing_scale", "energy_scale"):
+            value = getattr(self, name)
+            if not math.isfinite(value) or value <= 0:
+                raise ValueError(f"{name} must be finite and positive")
+
+    # -- resolved objects ---------------------------------------------------
+
+    def geometry_object(self) -> MemoryGeometry:
+        return GEOMETRIES[self.geometry]
+
+    def technology_object(self) -> NVMTechnology:
+        return get_technology(self.technology)
+
+    def placement_policy(self) -> PlacementPolicy:
+        return PlacementPolicy(self.placement)
+
+    # -- dict round-trip ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-dict form; ``from_dict(to_dict(cfg)) == cfg``."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SystemConfig":
+        """Rebuild a config, rejecting unknown keys outright."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown SystemConfig keys: {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        return cls(**data)

@@ -1,0 +1,203 @@
+"""The unified bulk-bitwise backend protocol.
+
+Every execution substrate the evaluation compares -- Pinatubo itself, the
+SIMD CPU, in-DRAM computing, AC-PIM, the Ideal ceiling -- implements one
+contract here, so applications, the figure harnesses and the parity tests
+can drive any of them interchangeably:
+
+- :class:`BulkBitwiseBackend`: single-op :meth:`~BulkBitwiseBackend.
+  bitwise` plus batched :meth:`~BulkBitwiseBackend.bitwise_many` (with a
+  loop-based default for schemes without a native batched path), and the
+  trace-pricing entry :meth:`~BulkBitwiseBackend.bitwise_cost` shared
+  with the legacy :class:`~repro.baselines.base.BitwiseBaseline`
+  interface;
+- :class:`BackendCapabilities`: which ops run natively, the single-step
+  operand fan-in, and placement constraints;
+- :class:`RunStats`: the uniform stats contract every functional run
+  returns (validated by ``tests/backends/test_parity.py``).
+
+Functional semantics are pinned to the numpy oracle
+(:func:`bitwise_oracle`): a backend may *price* an op however its
+hardware does, but the bits it returns must match.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.base import AccessPattern, BaselineCost, validate_request
+
+#: the full Pinatubo operation vocabulary (paper Section 4.2)
+ALL_OPS = ("or", "and", "xor", "inv")
+
+#: one queued logical operation: ``(op, [operand bit arrays])``
+BitwiseCall = Tuple[str, Sequence[np.ndarray]]
+
+
+def bitwise_oracle(op: str, operands: Sequence[np.ndarray]) -> np.ndarray:
+    """Reference semantics: ``op`` over uint8 0/1 bit arrays.
+
+    Validates the request exactly like the baselines do and is the
+    ground truth the parity tests hold every backend to.
+    """
+    operands = [np.asarray(o, dtype=np.uint8) for o in operands]
+    if not operands:
+        raise ValueError("bitwise op needs at least one operand")
+    n_bits = operands[0].size
+    if any(o.size != n_bits for o in operands):
+        raise ValueError("operand lengths differ")
+    op = validate_request(op, len(operands), n_bits)
+    if op == "inv":
+        return (1 - operands[0]).astype(np.uint8)
+    ufunc = {"or": np.bitwise_or, "and": np.bitwise_and, "xor": np.bitwise_xor}[op]
+    out = operands[0]
+    for o in operands[1:]:
+        out = ufunc(out, o)
+    return out.astype(np.uint8)
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What one backend can execute, and under which constraints."""
+
+    #: ops the scheme executes natively (others fall back to the host CPU)
+    ops: frozenset
+    #: operand rows one native step combines (128 for Pinatubo-PCM OR,
+    #: 2 for in-DRAM TRA and STT; wider requests decompose)
+    max_fanin: int
+    #: the op executes inside the memory (False: host CPU scheme)
+    in_memory: bool
+    #: costs depend on operand placement (intra-subarray vs scattered)
+    placement_sensitive: bool
+    #: computes bits with a real executor (False: numpy-oracle semantics
+    #: attached to an analytical cost model)
+    functional: bool
+
+    def __post_init__(self) -> None:
+        unknown = set(self.ops) - set(ALL_OPS)
+        if unknown:
+            raise ValueError(f"unknown ops in capabilities: {sorted(unknown)}")
+        if self.max_fanin < 1:
+            raise ValueError("max_fanin must be >= 1")
+
+    def supports(self, op: str) -> bool:
+        return str(op).lower() in self.ops
+
+
+@dataclass
+class RunStats:
+    """Uniform cost/shape record of one executed bulk bitwise operation."""
+
+    backend: str
+    op: str
+    latency: float  # s
+    energy: float  # J
+    bits_processed: int  # operand bits consumed
+    in_memory: bool  # executed in memory (False: host/CPU path)
+    steps: int = 0  # in-memory combine steps (0 on the host path)
+
+    #: the field names every backend must populate (the stats contract)
+    FIELDS = ("backend", "op", "latency", "energy", "bits_processed",
+              "in_memory", "steps")
+
+    def validate(self) -> "RunStats":
+        """Enforce the contract; returns self so calls chain."""
+        if not self.backend:
+            raise ValueError("stats must name their backend")
+        if self.op not in ALL_OPS:
+            raise ValueError(f"unknown op in stats: {self.op!r}")
+        for name in ("latency", "energy"):
+            value = getattr(self, name)
+            if not math.isfinite(value) or value < 0:
+                raise ValueError(f"{name} must be finite and non-negative")
+        if self.bits_processed < 0 or self.steps < 0:
+            raise ValueError("counters must be non-negative")
+        # energy/latency consistency: zero-time execution cannot burn
+        # dynamic energy (only the Ideal backend hits this corner)
+        if self.latency == 0.0 and self.energy != 0.0:
+            raise ValueError("zero-latency run reports nonzero energy")
+        return self
+
+    def merged(self, other: "RunStats") -> "RunStats":
+        return RunStats(
+            backend=self.backend,
+            op=self.op if self.op == other.op else self.op,
+            latency=self.latency + other.latency,
+            energy=self.energy + other.energy,
+            bits_processed=self.bits_processed + other.bits_processed,
+            in_memory=self.in_memory and other.in_memory,
+            steps=self.steps + other.steps,
+        )
+
+
+@dataclass
+class BackendRun:
+    """Functional result + stats of one executed operation."""
+
+    bits: np.ndarray
+    stats: RunStats
+
+
+class BulkBitwiseBackend:
+    """Interface every bulk-bitwise execution substrate implements.
+
+    Subclasses provide :meth:`capabilities`, :meth:`bitwise` and
+    :meth:`bitwise_cost`; :meth:`bitwise_many` has a loop-based default
+    so cost-model schemes get the batched entry point for free, while
+    Pinatubo overrides it with its one-command-batch fast path.
+    """
+
+    #: display name used by harnesses and stats
+    name: str = "backend"
+
+    def capabilities(self) -> BackendCapabilities:
+        raise NotImplementedError
+
+    def supports(self, op: str) -> bool:
+        """Whether the scheme executes ``op`` natively (no host fallback)."""
+        return self.capabilities().supports(op)
+
+    # -- functional execution ----------------------------------------------
+
+    def bitwise(
+        self,
+        op: str,
+        operands: Sequence[np.ndarray],
+        access: AccessPattern = AccessPattern.SEQUENTIAL,
+    ) -> BackendRun:
+        """Execute ``op`` over bit arrays; returns bits + :class:`RunStats`."""
+        raise NotImplementedError
+
+    def bitwise_many(
+        self,
+        calls: Sequence[BitwiseCall],
+        access: AccessPattern = AccessPattern.SEQUENTIAL,
+    ) -> List[BackendRun]:
+        """Execute a stream of operations; one :class:`BackendRun` each.
+
+        Default: loop over :meth:`bitwise` (semantically exact; no
+        batching benefit).  Backends with a native batched path override
+        this -- results must stay identical to the loop.
+        """
+        return [self.bitwise(op, operands, access) for op, operands in calls]
+
+    # -- trace pricing -------------------------------------------------------
+
+    def bitwise_cost(
+        self,
+        op: str,
+        n_operands: int,
+        vector_bits: int,
+        access: AccessPattern = AccessPattern.SEQUENTIAL,
+    ) -> BaselineCost:
+        """Cost of one bulk op without touching data (trace pricing).
+
+        Same contract as :meth:`repro.baselines.base.BitwiseBaseline.
+        bitwise_cost`, so :meth:`repro.workloads.trace.OpTrace.price`
+        drives backends and legacy baselines interchangeably.
+        """
+        raise NotImplementedError

@@ -1,0 +1,82 @@
+"""String-keyed backend registry and the ``build_system`` factory.
+
+Backends register a builder ``callable(SystemConfig) -> backend`` under a
+name; harnesses select substrates declaratively::
+
+    from repro.backends import SystemConfig, build_system
+    backend = build_system(SystemConfig(backend="pinatubo", max_rows=2))
+    run = backend.bitwise("or", [a, b, c])
+
+The stock backends (``pinatubo``, ``simd``, ``kernel``, ``sdram``,
+``sdram_functional``, ``acpim``, ``ideal``) self-register when
+:mod:`repro.backends` is imported.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.backends.config import SystemConfig
+from repro.backends.protocol import BulkBitwiseBackend
+
+#: a backend builder: consumes the declarative config, returns the backend
+BackendBuilder = Callable[[SystemConfig], BulkBitwiseBackend]
+
+
+class BackendRegistry:
+    """Name -> builder mapping with decorator-style registration."""
+
+    def __init__(self) -> None:
+        self._builders: Dict[str, BackendBuilder] = {}
+
+    def register(
+        self, name: str, builder: Optional[BackendBuilder] = None
+    ):
+        """Register a builder under ``name`` (usable as a decorator)."""
+        if not name or not isinstance(name, str):
+            raise ValueError("backend name must be a non-empty string")
+
+        def _register(fn: BackendBuilder) -> BackendBuilder:
+            if name in self._builders:
+                raise ValueError(f"backend {name!r} already registered")
+            self._builders[name] = fn
+            return fn
+
+        if builder is not None:
+            return _register(builder)
+        return _register
+
+    def create(
+        self, name: str, config: Optional[SystemConfig] = None
+    ) -> BulkBitwiseBackend:
+        """Build the backend registered under ``name``."""
+        try:
+            builder = self._builders[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown backend {name!r}; registered: {self.names()}"
+            ) from None
+        if config is None:
+            config = SystemConfig(backend=name)
+        return builder(config)
+
+    def names(self) -> List[str]:
+        return sorted(self._builders)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._builders
+
+    def __iter__(self):
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._builders)
+
+
+#: the process-wide registry the stock backends register into
+registry = BackendRegistry()
+
+
+def build_system(config: SystemConfig) -> BulkBitwiseBackend:
+    """Construct the backend a :class:`SystemConfig` describes."""
+    return registry.create(config.backend, config)

@@ -19,10 +19,15 @@ interchangeably.
 """
 
 from repro.baselines.base import BaselineCost, BitwiseBaseline, AccessPattern
-from repro.baselines.cache import Cache, CacheHierarchy, AccessResult
+from repro.baselines.cache import (
+    Cache,
+    CacheHierarchy,
+    AccessResult,
+    HierarchyConfig,
+)
 from repro.baselines.simd import SimdCpu, CpuConfig
 from repro.baselines.sdram import SDram
-from repro.baselines.sdram_functional import SDramExecutor
+from repro.baselines.sdram_functional import SDramExecutor, SDramOpResult
 from repro.baselines.acpim import AcPim
 from repro.baselines.ideal import IdealPim
 from repro.baselines.kernel import (
@@ -34,6 +39,7 @@ from repro.baselines.kernel import (
 
 __all__ = [
     "SDramExecutor",
+    "SDramOpResult",
     "PortConfig",
     "bitwise_kernel_profile",
     "cycles_per_iteration",
@@ -43,6 +49,7 @@ __all__ = [
     "AccessPattern",
     "Cache",
     "CacheHierarchy",
+    "HierarchyConfig",
     "AccessResult",
     "SimdCpu",
     "CpuConfig",

@@ -17,7 +17,6 @@ level).  Consequences the evaluation shows:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 from repro.baselines.base import (
     AccessPattern,
@@ -27,7 +26,7 @@ from repro.baselines.base import (
 )
 from repro.energy.constants import PROCESS_65NM, ProcessConstants
 from repro.memsim.geometry import DEFAULT_GEOMETRY, MemoryGeometry
-from repro.memsim.timing import TimingParams, nvm_timing
+from repro.memsim.timing import nvm_timing
 from repro.nvm.technology import NVMTechnology, get_technology
 
 

@@ -13,7 +13,7 @@ working set lives: L1/L2/L3 or DRAM.  This module provides
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -14,7 +14,7 @@ S-DRAM, PCM when compared against AC-PIM/Pinatubo (paper Section 6.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -24,7 +24,7 @@ from repro.baselines.base import (
     BitwiseBaseline,
     validate_request,
 )
-from repro.baselines.cache import CacheHierarchy, HierarchyConfig
+from repro.baselines.cache import CacheHierarchy
 from repro.energy.cacti import MemorySystemModel
 from repro.nvm.technology import get_technology
 
@@ -107,12 +107,22 @@ class SimdCpu(BitwiseBaseline):
         bandwidth = self._stream_bandwidth(level, access)
         t_mem = moved_bytes / bandwidth
 
-        lane_ops = max(1, n_operands - 1) * -(-vector_bits // cfg.simd_bits)
-        t_alu = lane_ops * cfg.cycle / cfg.cores
+        t_alu = self._compute_time(n_operands, vector_bits)
 
         latency = max(t_mem, t_alu) + cfg.call_overhead
         energy = cfg.active_power * latency + self._data_energy(level, moved_bytes)
         return BaselineCost(latency=latency, energy=energy, offloaded=False)
+
+    def _compute_time(self, n_operands: int, vector_bits: int) -> float:
+        """Compute-leg seconds of one bulk op (roofline lane bound).
+
+        The seam the instruction-level kernel model plugs into: the
+        ``kernel`` backend subclasses this with the port-pressure bound
+        from :mod:`repro.baselines.kernel`.
+        """
+        cfg = self.config
+        lane_ops = max(1, n_operands - 1) * -(-vector_bits // cfg.simd_bits)
+        return lane_ops * cfg.cycle / cfg.cores
 
     #: Sustained fraction of peak DDR bandwidth a read+write-allocate
     #: streaming kernel achieves (STREAM-like efficiency: turnaround,

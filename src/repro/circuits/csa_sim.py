@@ -24,11 +24,10 @@ standard velocity-saturation-free behavioural MOS approximation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-import numpy as np
 
-from repro.circuits.transient import RCNode, Switch, TransientSolver, Waveform
+from repro.circuits.transient import RCNode, TransientSolver, Waveform
 from repro.nvm.sense_amp import ReferenceScheme, SenseMode
 from repro.nvm.technology import NVMTechnology
 

@@ -15,7 +15,6 @@ import numpy as np
 
 from repro.circuits.csa_sim import CSAConfig, CSATransientSim
 from repro.nvm.margin import MarginAnalysis
-from repro.nvm.sense_amp import SenseMode
 from repro.nvm.technology import NVMTechnology
 from repro.nvm.variation import VariationModel
 

@@ -12,20 +12,25 @@ Bulk bitwise operations executed *inside* NVM main memory:
   facade bundling geometry, technology, controller, functional memory and
   executor (with ``Pinatubo-2`` / ``Pinatubo-128`` style row-limit
   configuration).
+- :mod:`repro.core.model` -- :class:`PinatuboModel`, the closed-form
+  cost twin of the executor (what evaluation sweeps price against).
 - :mod:`repro.core.stats` -- operation accounting.
 """
 
-from repro.core.ops import PimOp, operand_limits
+from repro.core.ops import PimOp, OperandLimits, operand_limits
 from repro.core.stats import OpAccounting
 from repro.core.executor import PinatuboExecutor, OpResult, PlacementError
+from repro.core.model import PinatuboModel
 from repro.core.pinatubo import PinatuboSystem
 
 __all__ = [
     "PimOp",
+    "OperandLimits",
     "operand_limits",
     "OpAccounting",
     "PinatuboExecutor",
     "OpResult",
     "PlacementError",
+    "PinatuboModel",
     "PinatuboSystem",
 ]

@@ -55,6 +55,18 @@ class PinatuboSystem:
     # -- canned configurations ------------------------------------------------
 
     @classmethod
+    def from_config(cls, config) -> "PinatuboSystem":
+        """Build a system from a declarative
+        :class:`repro.backends.config.SystemConfig` (technology, geometry,
+        multi-row limit and batching are all taken from the config)."""
+        return cls(
+            technology=config.technology_object(),
+            geometry=config.geometry_object(),
+            max_rows=config.max_rows,
+            batch_commands=config.batch_commands,
+        )
+
+    @classmethod
     def pcm(
         cls,
         max_rows: Optional[int] = None,

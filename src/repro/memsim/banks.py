@@ -10,7 +10,7 @@ memory-controller view that Sniper/CACTI would provide.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.memsim.address import AddressMapper, RowAddress
 from repro.memsim.geometry import DEFAULT_GEOMETRY, MemoryGeometry

@@ -9,7 +9,7 @@ traffic reduction and the bandwidth ceilings of paper Fig. 9.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.memsim.timing import TimingParams
 

@@ -13,7 +13,7 @@ Bits are packed little-endian within bytes (``numpy.packbits`` with
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 import numpy as np

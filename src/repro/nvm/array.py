@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.nvm.cell import bitline_resistance, bits_to_resistances
 from repro.nvm.margin import MarginAnalysis, margin_analysis
-from repro.nvm.sense_amp import CurrentSenseAmplifier, SenseMode, SenseResult
+from repro.nvm.sense_amp import CurrentSenseAmplifier, SenseMode
 from repro.nvm.technology import NVMTechnology
 from repro.nvm.variation import VariationModel
 from repro.nvm.wordline import LocalWordlineDriver

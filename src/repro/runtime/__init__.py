@@ -17,11 +17,12 @@ The software stack has four layers, each modelled here:
 from repro.runtime.allocator import BitVectorHandle, PimAllocator, AllocationError
 from repro.runtime.os_mm import PimMemoryManager, PlacementPolicy
 from repro.runtime.isa import PimInstruction, encode_instruction, decode_instruction
-from repro.runtime.driver import PimDriver, PimRequest
+from repro.runtime.driver import DriverStats, PimDriver, PimRequest
 from repro.runtime.api import PimRuntime
 from repro.runtime.wear import WearMonitor, WearReport
 
 __all__ = [
+    "DriverStats",
     "WearMonitor",
     "WearReport",
     "BitVectorHandle",

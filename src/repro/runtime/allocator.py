@@ -10,7 +10,7 @@ returns: an opaque, row-aligned region of main memory.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.memsim.geometry import MemoryGeometry
 from repro.runtime.os_mm import PimMemoryManager

@@ -41,6 +41,17 @@ class PimRuntime:
     # -- canned configurations ----------------------------------------------
 
     @classmethod
+    def from_config(cls, config) -> "PimRuntime":
+        """Build the full stack from a declarative
+        :class:`repro.backends.config.SystemConfig`: the system comes from
+        :meth:`PinatuboSystem.from_config`, the OS placement policy from
+        ``config.placement``."""
+        return cls(
+            PinatuboSystem.from_config(config),
+            policy=config.placement_policy(),
+        )
+
+    @classmethod
     def pcm(
         cls,
         max_rows: Optional[int] = None,

@@ -67,6 +67,20 @@ class DriverStats:
     host_fallbacks: int = 0
     accounting: OpAccounting = field(default_factory=OpAccounting)
 
+    def summary(self) -> dict:
+        """Uniform stat record (the RunStats field vocabulary, aggregated
+        over every request this driver has flushed)."""
+        return {
+            "latency": self.accounting.latency,
+            "energy": self.accounting.energy,
+            "bits_processed": self.accounting.bits_processed,
+            "steps": self.accounting.in_memory_steps,
+            "requests": self.requests,
+            "instructions": self.instructions,
+            "mode_switches": self.mode_switches,
+            "host_fallbacks": self.host_fallbacks,
+        }
+
 
 class PimDriver:
     """Batches, reorders and issues PIM requests."""

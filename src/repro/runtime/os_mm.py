@@ -182,7 +182,6 @@ class PimMemoryManager:
 
     def free_rows(self, frames) -> None:
         """Return frames to their subarrays' free lists."""
-        g = self.geometry
         for frame in frames:
             addr = self.mapper.decode(frame)
             sub_index = self._subarray_index(addr)

@@ -11,7 +11,7 @@ hottest row dies at the observed rate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.memsim.mainmem import MainMemory
 from repro.nvm.technology import NVMTechnology, get_technology

@@ -1,0 +1,49 @@
+"""Golden-value regression for the Fig. 10/11/12 series.
+
+``golden_figures.json`` was captured from the pre-backend-registry code
+at ``scale=0.02``; the registry-driven builders must reproduce every
+series to the last float.  This is the contract that lets the backend
+layer be refactored without silently moving the paper's numbers.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.figures import fig10_data, fig11_data, fig12_data
+
+GOLDEN_PATH = Path(__file__).parent / "golden_figures.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with GOLDEN_PATH.open() as fh:
+        return json.load(fh)
+
+
+def _assert_identical(path, expected, actual):
+    if isinstance(expected, dict):
+        assert set(expected) == set(actual), (
+            f"{path}: keys differ: {sorted(set(expected) ^ set(actual))}"
+        )
+        for key in expected:
+            _assert_identical(f"{path}.{key}", expected[key], actual[key])
+    elif isinstance(expected, float) and math.isinf(expected):
+        assert math.isinf(actual), f"{path}: {actual!r} != inf"
+    else:
+        # exact equality on purpose: the refactor must not move a bit
+        assert expected == actual, f"{path}: {expected!r} != {actual!r}"
+
+
+def test_fig10_matches_golden(golden):
+    _assert_identical("fig10", golden["fig10"], fig10_data(golden["scale"]))
+
+
+def test_fig11_matches_golden(golden):
+    _assert_identical("fig11", golden["fig11"], fig11_data(golden["scale"]))
+
+
+def test_fig12_matches_golden(golden):
+    _assert_identical("fig12", golden["fig12"], fig12_data(golden["scale"]))

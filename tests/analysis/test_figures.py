@@ -1,6 +1,5 @@
 """Tests for the figure builders (shape invariants at reduced scale)."""
 
-import math
 
 import pytest
 

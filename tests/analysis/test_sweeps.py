@@ -4,7 +4,6 @@ import pytest
 
 from repro.analysis.sweeps import (
     Sweep,
-    SweepPoint,
     activate_time_sweep,
     mux_ratio_sweep,
     on_off_ratio_sweep,

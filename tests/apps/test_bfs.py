@@ -1,6 +1,5 @@
 """Tests for bitmap BFS in both trace and functional-PIM modes."""
 
-import numpy as np
 import pytest
 
 from repro.apps.bfs import bfs_reference, bitmap_bfs_pim, bitmap_bfs_trace

@@ -1,6 +1,5 @@
 """Tests for the end-to-end PIM-resident FastBit engine."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -93,7 +92,6 @@ class TestQueries:
             assert r.hits == oracle_db.query_oracle(q)
 
     def test_empty_range_rejected(self, db):
-        bad = RangeQuery((("energy", 0, 3),))
         db.bin_handles["broken"] = []
         with pytest.raises(ValueError):
             db.query(RangeQuery((("broken", 0, 0),)))

@@ -6,7 +6,6 @@ to an independent implementation.
 """
 
 import networkx as nx
-import numpy as np
 import pytest
 
 from repro.apps.bfs import bfs_reference, bitmap_bfs_pim, bitmap_bfs_trace

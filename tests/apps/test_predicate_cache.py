@@ -1,6 +1,5 @@
 """Tests for predicate-result caching in the PIM-resident FastBit."""
 
-import numpy as np
 import pytest
 
 from repro.apps.fastbit import FastBitDB, RangeQuery

@@ -1,0 +1,110 @@
+"""Parity: every registered backend agrees with the numpy oracle.
+
+The protocol's core promise: whatever substrate executes a bulk bitwise
+op, the *bits* are the bits, and the :class:`RunStats` record obeys one
+contract.  OR/AND/XOR/INV run through both the single-op and the batched
+entry points of all seven stock backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    ALL_OPS,
+    RunStats,
+    SystemConfig,
+    bitwise_oracle,
+    build_system,
+    registry,
+)
+
+N_BITS = 700  # short of a row on every geometry; exercises padding
+
+
+@pytest.fixture(scope="module")
+def operands():
+    rng = np.random.default_rng(2016)
+    return [rng.integers(0, 2, N_BITS, dtype=np.uint8) for _ in range(3)]
+
+
+@pytest.fixture(scope="module", params=sorted(registry.names()))
+def backend(request):
+    return build_system(SystemConfig(backend=request.param))
+
+
+def _check_stats(stats, backend, op):
+    assert isinstance(stats, RunStats)
+    for field in RunStats.FIELDS:
+        assert hasattr(stats, field), field
+    assert stats.backend == backend.name
+    assert stats.op == op
+    assert np.isfinite(stats.latency) and stats.latency >= 0
+    assert np.isfinite(stats.energy) and stats.energy >= 0
+    # zero time must mean zero energy (Ideal), never energy-for-free
+    if stats.latency == 0:
+        assert stats.energy == 0
+    assert stats.bits_processed >= N_BITS
+    assert stats.steps >= 0
+    assert isinstance(stats.in_memory, bool)
+    stats.validate()  # the contract's own self-check must agree
+
+
+@pytest.mark.parametrize("op", ALL_OPS)
+def test_bitwise_matches_oracle(backend, operands, op):
+    ops = operands[:1] if op == "inv" else operands
+    run = backend.bitwise(op, ops)
+    assert np.array_equal(run.bits, bitwise_oracle(op, ops)), backend.name
+    assert run.bits.dtype == np.uint8
+    _check_stats(run.stats, backend, op)
+
+
+def test_bitwise_many_matches_oracle(backend, operands):
+    calls = [
+        ("or", operands),
+        ("and", operands[:2]),
+        ("xor", operands[:2]),
+        ("inv", operands[:1]),
+    ]
+    runs = backend.bitwise_many(calls)
+    assert len(runs) == len(calls)
+    for (op, ops), run in zip(calls, runs):
+        assert np.array_equal(run.bits, bitwise_oracle(op, ops)), (
+            backend.name,
+            op,
+        )
+        _check_stats(run.stats, backend, op)
+
+
+def test_capabilities_are_honest(backend, operands):
+    caps = backend.capabilities()
+    assert caps.max_fanin >= 1
+    for op in ALL_OPS:
+        assert caps.supports(op) == (op in caps.ops)
+    # a declared op must actually run
+    for op in sorted(caps.ops):
+        ops = operands[:1] if op == "inv" else operands[:2]
+        backend.bitwise(op, ops)
+
+
+def test_batched_stats_match_singles_for_cost_models(backend, operands):
+    """Cost-model backends: the loop fallback prices each call the same
+    as a lone call (the Pinatubo backend legitimately differs -- one
+    batch amortises mode switches)."""
+    if backend.capabilities().functional:
+        pytest.skip("functional backends may amortise across a batch")
+    single = backend.bitwise("or", operands).stats
+    batched = backend.bitwise_many([("or", operands)])[0].stats
+    assert batched.latency == single.latency
+    assert batched.energy == single.energy
+
+
+def test_mismatched_operand_lengths_rejected(backend):
+    a = np.zeros(64, dtype=np.uint8)
+    b = np.zeros(65, dtype=np.uint8)
+    with pytest.raises(ValueError):
+        backend.bitwise("or", [a, b])
+
+
+def test_inv_takes_exactly_one_operand(backend, operands):
+    with pytest.raises(ValueError):
+        backend.bitwise("inv", operands[:2])

@@ -1,0 +1,141 @@
+"""Registry behaviour + the protocol's own guardrails."""
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    ALL_OPS,
+    BackendCapabilities,
+    BulkBitwiseBackend,
+    RunStats,
+    SystemConfig,
+    bitwise_oracle,
+    build_system,
+    registry,
+)
+from repro.backends.registry import BackendRegistry
+
+EXPECTED_BACKENDS = {
+    "acpim",
+    "ideal",
+    "kernel",
+    "pinatubo",
+    "sdram",
+    "sdram_functional",
+    "simd",
+}
+
+
+class TestStockRegistry:
+    def test_all_stock_backends_registered(self):
+        assert set(registry.names()) == EXPECTED_BACKENDS
+        assert len(registry) == len(EXPECTED_BACKENDS)
+        for name in EXPECTED_BACKENDS:
+            assert name in registry
+        assert list(iter(registry)) == sorted(EXPECTED_BACKENDS)
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ValueError, match="sdram_functional"):
+            registry.create("mram")
+
+    def test_build_system_uses_config_backend(self):
+        backend = build_system(SystemConfig(backend="pinatubo", max_rows=2))
+        assert backend.name == "Pinatubo-2"
+
+    def test_create_without_config_uses_defaults(self):
+        assert registry.create("pinatubo").name == "Pinatubo-128"
+
+    def test_every_backend_builds_fresh_instances(self):
+        a, b = registry.create("simd"), registry.create("simd")
+        assert a is not b
+
+
+class TestCustomRegistration:
+    def test_register_and_create(self):
+        reg = BackendRegistry()
+
+        @reg.register("null")
+        def build(config):
+            return _NullBackend(config)
+
+        backend = reg.create("null")
+        assert isinstance(backend, _NullBackend)
+        assert reg.names() == ["null"]
+
+    def test_duplicate_name_rejected(self):
+        reg = BackendRegistry()
+        reg.register("x", lambda config: _NullBackend(config))
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register("x", lambda config: _NullBackend(config))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            BackendRegistry().register("")
+
+
+class _NullBackend(BulkBitwiseBackend):
+    name = "null"
+
+    def __init__(self, config):
+        self.config = config
+
+    def capabilities(self):
+        return BackendCapabilities(
+            ops=frozenset(ALL_OPS), max_fanin=2, in_memory=False,
+            placement_sensitive=False, functional=False,
+        )
+
+    def bitwise(self, op, operands, access=None):
+        from repro.backends.protocol import BackendRun
+
+        bits = bitwise_oracle(op, operands)
+        stats = RunStats(
+            backend=self.name, op=op, latency=0.0, energy=0.0,
+            bits_processed=int(bits.size), in_memory=False,
+        )
+        return BackendRun(bits=bits, stats=stats.validate())
+
+
+class TestProtocolGuardrails:
+    def test_default_bitwise_many_loops(self):
+        backend = _NullBackend(SystemConfig(backend="pinatubo"))
+        a = np.array([1, 0, 1], dtype=np.uint8)
+        b = np.array([0, 0, 1], dtype=np.uint8)
+        runs = backend.bitwise_many([("or", [a, b]), ("and", [a, b])])
+        assert np.array_equal(runs[0].bits, a | b)
+        assert np.array_equal(runs[1].bits, a & b)
+
+    def test_runstats_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            RunStats(
+                backend="x", op="or", latency=-1.0, energy=0.0,
+                bits_processed=1, in_memory=False,
+            ).validate()
+
+    def test_runstats_rejects_energy_without_time(self):
+        with pytest.raises(ValueError):
+            RunStats(
+                backend="x", op="or", latency=0.0, energy=1.0,
+                bits_processed=1, in_memory=False,
+            ).validate()
+
+    def test_runstats_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            RunStats(
+                backend="x", op="nand", latency=1.0, energy=1.0,
+                bits_processed=1, in_memory=False,
+            ).validate()
+
+    def test_capabilities_reject_unknown_ops(self):
+        with pytest.raises(ValueError):
+            BackendCapabilities(
+                ops=frozenset({"nand"}), max_fanin=2, in_memory=True,
+                placement_sensitive=False, functional=False,
+            )
+
+    def test_oracle_rejects_bad_requests(self):
+        a = np.zeros(8, dtype=np.uint8)
+        with pytest.raises(ValueError):
+            bitwise_oracle("nand", [a, a])
+        with pytest.raises(ValueError):
+            bitwise_oracle("inv", [a, a])

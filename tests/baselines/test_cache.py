@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.baselines.cache import Cache, CacheHierarchy, HierarchyConfig
+from repro.baselines.cache import Cache, CacheHierarchy
 
 
 class TestCache:

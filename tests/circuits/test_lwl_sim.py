@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.circuits.lwl_sim import LWLConfig, LWLDriverSim
+from repro.circuits.lwl_sim import LWLDriverSim
 
 
 @pytest.fixture
@@ -53,7 +53,6 @@ class TestWaveformShape:
         trace = sim.run_sequence([1, 2, 3])
         pulses = [trace.decode[r] for r in (1, 2, 3)]
         # at any time at most one decode pulse is high
-        times = pulses[0].times
         total = sum(p.values for p in pulses)
         assert total.max() <= sim.config.vdd + 1e-9
 

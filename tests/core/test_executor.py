@@ -6,9 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.executor import PinatuboExecutor, PlacementError
-from repro.core.ops import PimOp
 from repro.memsim.address import OpLocality, RowAddress
-from repro.memsim.controller import CommandKind
 from repro.memsim.geometry import MemoryGeometry
 from repro.nvm.technology import get_technology
 

@@ -59,7 +59,7 @@ class TestFigure9Shape:
 
     def test_throughput_increases_with_length(self, sweep):
         for n in (2, 8, 128):
-            series = [sweep[(l, n)] for l in (10, 12, 14, 16, 19)]
+            series = [sweep[(ll, n)] for ll in (10, 12, 14, 16, 19)]
             assert series == sorted(series)
 
     def test_multirow_separates_curves(self, sweep):

@@ -9,7 +9,7 @@ from repro.memsim.controller import (
     MemoryController,
 )
 from repro.memsim.geometry import DEFAULT_GEOMETRY
-from repro.memsim.timing import DDR3_1600, nvm_timing
+from repro.memsim.timing import nvm_timing
 from repro.nvm.technology import get_technology
 
 

@@ -8,7 +8,7 @@ from repro.memsim.geometry import MemoryGeometry
 from repro.memsim.mainmem import MainMemory
 from repro.nvm.technology import get_technology
 from repro.runtime.api import PimRuntime
-from repro.runtime.wear import WearMonitor, WearReport
+from repro.runtime.wear import WearMonitor
 
 
 GEOM = MemoryGeometry(

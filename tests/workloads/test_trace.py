@@ -4,7 +4,7 @@ import pytest
 
 from repro.baselines.base import AccessPattern
 from repro.baselines.ideal import IdealPim
-from repro.baselines.simd import CpuConfig, SimdCpu
+from repro.baselines.simd import SimdCpu
 from repro.core.model import PinatuboModel
 from repro.workloads.trace import BitwiseEvent, CpuEvent, OpTrace, WorkloadCost
 
