@@ -14,16 +14,25 @@ a downstream user needs most:
 - figure regeneration: :mod:`repro.analysis`
 
 - backend protocol + registry + configs: :mod:`repro.backends`
+- observability (spans, counters, Chrome traces): :mod:`repro.telemetry`
 
 Quickstart (registry-driven)::
 
     from repro import SystemConfig, build_system
     backend = build_system(SystemConfig(backend="pinatubo"))
     run = backend.bitwise("or", [a, b, c])
+
+Tracing a run::
+
+    from repro import telemetry
+    telemetry.configure(enabled=True)
+    ...
+    telemetry.export_chrome_trace("trace.json")
 """
 
 __version__ = "1.0.0"
 
+from repro import telemetry
 from repro.backends import (
     BulkBitwiseBackend,
     RunStats,
@@ -31,6 +40,7 @@ from repro.backends import (
     build_system,
     registry,
 )
+from repro.core.stats import StatsLike
 from repro.nvm.technology import get_technology, list_technologies
 from repro.nvm.margin import max_multirow_or
 
@@ -38,10 +48,12 @@ __all__ = [
     "__version__",
     "BulkBitwiseBackend",
     "RunStats",
+    "StatsLike",
     "SystemConfig",
     "build_system",
     "get_technology",
     "list_technologies",
     "max_multirow_or",
     "registry",
+    "telemetry",
 ]

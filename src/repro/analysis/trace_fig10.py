@@ -1,0 +1,134 @@
+"""Trace one Fig. 10 run end-to-end and export a Chrome trace.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.analysis.trace_fig10 \
+        --scale 0.05 --out fig10_trace.json
+
+Enables telemetry, runs two legs, and reconciles the recorded spans
+against the independent accounting before writing the trace:
+
+1. a **functional** leg -- a PIM-resident FastBit query batch -- whose
+   ``memsim.controller.*`` leaf spans must reconcile with the runtime's
+   :class:`~repro.core.stats.OpAccounting` totals (themselves absorbed
+   from :class:`~repro.memsim.controller.ExecutionStats`) to 1e-9
+   relative;
+2. the **analytic** Fig. 10 pricing sweep, whose
+   ``workloads.trace.price`` spans must reconcile with the re-summed
+   :class:`~repro.workloads.trace.WorkloadCost` totals to the same
+   tolerance.
+
+Exits non-zero if either reconciliation fails, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro import telemetry
+from repro.analysis.figures import _priced, fig10_data
+from repro.apps.fastbit import RangeQuery
+from repro.apps.fastbit_pim import PimFastBit
+from repro.apps.star import ColumnSpec, synthetic_star_table
+from repro.core.pinatubo import PinatuboSystem
+from repro.memsim.geometry import MemoryGeometry
+from repro.runtime.api import PimRuntime
+
+#: relative tolerance of the span-vs-accounting reconciliation (float
+#: summation order differs between the two sides)
+RECONCILE_RTOL = 1e-9
+
+_GEOM = MemoryGeometry(
+    channels=1,
+    ranks_per_channel=1,
+    chips_per_rank=1,
+    banks_per_chip=2,
+    subarrays_per_bank=8,
+    rows_per_subarray=64,
+    mats_per_subarray=1,
+    cols_per_mat=2048,
+    mux_ratio=8,
+)
+
+
+def _rel_err(a: float, b: float) -> float:
+    scale = max(abs(a), abs(b))
+    return abs(a - b) / scale if scale else 0.0
+
+
+def _functional_leg() -> PimRuntime:
+    """Run a query batch on the PIM-resident FastBit index."""
+    table = synthetic_star_table(
+        2048,
+        columns=(
+            ColumnSpec("energy", 16, "exponential"),
+            ColumnSpec("charge", 8, "normal"),
+        ),
+        seed=5,
+    )
+    runtime = PimRuntime(PinatuboSystem.pcm(geometry=_GEOM))
+    db = PimFastBit(runtime, table)
+    queries = [
+        RangeQuery((("energy", 0, 3),)),
+        RangeQuery((("energy", 4, 11), ("charge", 0, 3))),
+        RangeQuery((("energy", 0, 15), ("charge", 2, 5))),
+    ]
+    db.query_many(queries)
+    return runtime
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="fig10 workload scale (1.0 = paper size)")
+    parser.add_argument("--out", default="fig10_trace.json",
+                        help="Chrome trace-event JSON output path")
+    args = parser.parse_args(argv)
+
+    telemetry.configure(enabled=True)
+    telemetry.reset()
+
+    # leg 1: controller leaf spans vs the ExecutionStats-fed accounting.
+    # Reconcile before the pricing sweep: some Fig. 10 baselines drive
+    # the functional simulator too, and their controller spans would
+    # otherwise be charged against this runtime.
+    runtime = _functional_leg()
+    controller_energy = sum(
+        s["energy_j"]
+        for name, s in telemetry.aggregate()["spans"].items()
+        if name.startswith("memsim.controller.")
+    )
+    accounted_energy = runtime.total_energy()
+    func_err = _rel_err(controller_energy, accounted_energy)
+
+    fig10_data(args.scale)
+    spans = telemetry.aggregate()["spans"]
+
+    # leg 2: trace-pricing spans vs the re-summed WorkloadCosts
+    priced_energy = sum(
+        cost.total_energy + ref.total_energy
+        for per_scheme in _priced(args.scale).values()
+        for cost, ref in per_scheme.values()
+    )
+    span_priced_energy = spans["workloads.trace.price"]["energy_j"]
+    price_err = _rel_err(span_priced_energy, priced_energy)
+
+    trace = telemetry.export_chrome_trace(args.out)
+    json.loads(json.dumps(trace))  # the export must be valid JSON
+
+    print(f"functional leg: controller spans {controller_energy:.6e} J "
+          f"vs accounting {accounted_energy:.6e} J (rel err {func_err:.2e})")
+    print(f"pricing leg:    price spans {span_priced_energy:.6e} J "
+          f"vs workload costs {priced_energy:.6e} J (rel err {price_err:.2e})")
+    print(f"wrote {len(trace['traceEvents'])} trace events to {args.out}")
+
+    if func_err > RECONCILE_RTOL or price_err > RECONCILE_RTOL:
+        print("RECONCILIATION FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

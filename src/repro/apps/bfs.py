@@ -35,6 +35,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.apps.graphs import Graph
 from repro.workloads.trace import OpTrace
 
@@ -230,38 +231,41 @@ def bitmap_bfs_pim(
     edges_examined = 0
     frontier = [source]
     trace = OpTrace(name=f"bfs-pim-{graph.name}")
-    while frontier:
-        levels.append(len(frontier))
-        edges_examined += sum(len(graph.adjacency[u]) for u in frontier)
-        if len(frontier) >= bitmap_threshold:
-            bitmap_levels += 1
-            operands = [adjacency[v] for v in frontier]
-            if len(operands) == 1:
-                operands = operands + [zeros_h]
-            # one level = one command batch: reach/filter/mark issued
-            # together, dependences preserved by the driver's scheduler
-            runtime.pim_op_many(
-                [
-                    ("or", reach_h, operands),
-                    ("inv", not_visited_h, [visited_h]),
-                    ("and", next_h, [reach_h, not_visited_h]),
-                    ("or", visited_h, [visited_h, next_h]),
-                ]
-            )
-            trace.bitwise("or", len(operands), n)
-            next_bits = runtime.pim_read(next_h)
-            frontier = np.nonzero(next_bits)[0].tolist()
-        else:
-            nxt = set()
-            visited_host = runtime.pim_read(visited_h)
-            for u in frontier:
-                for v in graph.adjacency[u]:
-                    if not visited_host[v]:
-                        nxt.add(v)
-            frontier = sorted(nxt)
-            for v in frontier:
-                visited_host[v] = 1
-            runtime.pim_write(visited_h, visited_host)
+    with telemetry.span("app.bfs.run", graph=graph.name, n=n) as run_sp:
+        while frontier:
+            levels.append(len(frontier))
+            edges_examined += sum(len(graph.adjacency[u]) for u in frontier)
+            with telemetry.span("app.bfs.level", frontier=len(frontier)):
+                if len(frontier) >= bitmap_threshold:
+                    bitmap_levels += 1
+                    operands = [adjacency[v] for v in frontier]
+                    if len(operands) == 1:
+                        operands = operands + [zeros_h]
+                    # one level = one command batch: reach/filter/mark issued
+                    # together, dependences preserved by the driver's scheduler
+                    runtime.pim_op_many(
+                        [
+                            ("or", reach_h, operands),
+                            ("inv", not_visited_h, [visited_h]),
+                            ("and", next_h, [reach_h, not_visited_h]),
+                            ("or", visited_h, [visited_h, next_h]),
+                        ]
+                    )
+                    trace.bitwise("or", len(operands), n)
+                    next_bits = runtime.pim_read(next_h)
+                    frontier = np.nonzero(next_bits)[0].tolist()
+                else:
+                    nxt = set()
+                    visited_host = runtime.pim_read(visited_h)
+                    for u in frontier:
+                        for v in graph.adjacency[u]:
+                            if not visited_host[v]:
+                                nxt.add(v)
+                    frontier = sorted(nxt)
+                    for v in frontier:
+                        visited_host[v] = 1
+                    runtime.pim_write(visited_h, visited_host)
+        run_sp.add(levels=len(levels), bitmap_levels=bitmap_levels)
     visited_final = runtime.pim_read(visited_h)
     return BfsResult(
         levels=levels,

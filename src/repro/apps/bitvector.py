@@ -33,6 +33,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.backends import BulkBitwiseBackend, SystemConfig, build_system
 
 
@@ -86,8 +87,13 @@ class HostBitSpace:
             raise ValueError("read longer than the allocated vector")
         return self._vectors[handle.vid][:n_bits].copy()
 
-    def pim_op(self, op, dest, sources, n_bits: Optional[int] = None):
-        """``dest = op(sources)`` through the backend; returns its run."""
+    def pim_op(self, op, dest, sources, *, n_bits: Optional[int] = None):
+        """``dest = op(sources)`` through the backend; returns its run.
+
+        ``op`` is a :class:`~repro.core.ops.PimOp` or its string name;
+        optional parameters are keyword-only, matching
+        :meth:`PimRuntime.pim_op <repro.runtime.api.PimRuntime.pim_op>`.
+        """
         run = self.backend.bitwise(
             op, [self._vectors[s.vid] for s in sources]
         )
@@ -231,19 +237,20 @@ class PimBitVector:
         calls = [(op, list(vecs)) for op, vecs in calls]
         if not calls:
             return []
-        first = calls[0][1][0]
-        outs = []
-        requests = []
-        for op, vecs in calls:
-            for v in vecs:
-                first._check_peer(v)
-            out = first._like()
-            outs.append(out)
-            requests.append(
-                (op, out.handle, [v.handle for v in vecs], first.n_bits)
-            )
-        first.space.pim_op_many(requests)
-        return outs
+        with telemetry.span("app.bitvector.apply_many", calls=len(calls)):
+            first = calls[0][1][0]
+            outs = []
+            requests = []
+            for op, vecs in calls:
+                for v in vecs:
+                    first._check_peer(v)
+                out = first._like()
+                outs.append(out)
+                requests.append(
+                    (op, out.handle, [v.handle for v in vecs], first.n_bits)
+                )
+            first.space.pim_op_many(requests)
+            return outs
 
     # -- host access ---------------------------------------------------------------
 

@@ -22,6 +22,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.apps.fastbit import FastBitDB, RangeQuery
 from repro.apps.star import StarTable
 from repro.core.stats import OpAccounting
@@ -168,21 +169,25 @@ class PimFastBit:
         single command batch through the driver (one
         ``execute_batch`` call) before the AND phase combines them.
         """
-        acct_before: OpAccounting = self.runtime.pim_accounting
-        lat0, en0 = acct_before.latency, acct_before.energy
-        predicate_handles, requests = self._predicate_requests(query)
-        steps = 0
-        if requests:
-            for result in self.runtime.pim_op_many(requests):
-                steps += result.steps
-        steps, hits = self._combine_predicates(predicate_handles, steps)
-        acct = self.runtime.pim_accounting
-        return PimQueryResult(
-            hits=hits,
-            in_memory_steps=steps,
-            latency=acct.latency - lat0,
-            energy=acct.energy - en0,
-        )
+        with telemetry.span(
+            "app.fastbit.query", predicates=len(query.predicates)
+        ) as sp:
+            acct_before: OpAccounting = self.runtime.pim_accounting
+            lat0, en0 = acct_before.latency, acct_before.energy
+            predicate_handles, requests = self._predicate_requests(query)
+            steps = 0
+            if requests:
+                for result in self.runtime.pim_op_many(requests):
+                    steps += result.steps
+            steps, hits = self._combine_predicates(predicate_handles, steps)
+            acct = self.runtime.pim_accounting
+            sp.add(steps=steps, hits=hits)
+            return PimQueryResult(
+                hits=hits,
+                in_memory_steps=steps,
+                latency=acct.latency - lat0,
+                energy=acct.energy - en0,
+            )
 
     def query_many(self, queries: Sequence[RangeQuery]) -> List[PimQueryResult]:
         """Execute a stream of queries with stream-level batching.
@@ -195,35 +200,38 @@ class PimFastBit:
         write history, and differential write-back prices only the
         flipped cells.
         """
-        all_requests: List[tuple] = []
-        spans = []
-        per_query_handles = []
-        for query in queries:
-            handles, requests = self._predicate_requests(query)
-            spans.append((len(all_requests), len(requests)))
-            all_requests.extend(requests)
-            per_query_handles.append(handles)
-        or_results = self.runtime.pim_op_many(all_requests) if all_requests else []
-
-        results = []
-        for handles, (start, n) in zip(per_query_handles, spans):
-            own = or_results[start : start + n]
-            steps = sum(r.steps for r in own)
-            or_latency = sum(r.latency for r in own)
-            or_energy = sum(r.energy for r in own)
-            acct0 = self.runtime.pim_accounting
-            lat0, en0 = acct0.latency, acct0.energy
-            steps, hits = self._combine_predicates(handles, steps)
-            acct = self.runtime.pim_accounting
-            results.append(
-                PimQueryResult(
-                    hits=hits,
-                    in_memory_steps=steps,
-                    latency=or_latency + (acct.latency - lat0),
-                    energy=or_energy + (acct.energy - en0),
-                )
+        with telemetry.span("app.fastbit.query_many", queries=len(queries)):
+            all_requests: List[tuple] = []
+            spans = []
+            per_query_handles = []
+            for query in queries:
+                handles, requests = self._predicate_requests(query)
+                spans.append((len(all_requests), len(requests)))
+                all_requests.extend(requests)
+                per_query_handles.append(handles)
+            or_results = (
+                self.runtime.pim_op_many(all_requests) if all_requests else []
             )
-        return results
+
+            results = []
+            for handles, (start, n) in zip(per_query_handles, spans):
+                own = or_results[start : start + n]
+                steps = sum(r.steps for r in own)
+                or_latency = sum(r.latency for r in own)
+                or_energy = sum(r.energy for r in own)
+                acct0 = self.runtime.pim_accounting
+                lat0, en0 = acct0.latency, acct0.energy
+                steps, hits = self._combine_predicates(handles, steps)
+                acct = self.runtime.pim_accounting
+                results.append(
+                    PimQueryResult(
+                        hits=hits,
+                        in_memory_steps=steps,
+                        latency=or_latency + (acct.latency - lat0),
+                        energy=or_energy + (acct.energy - en0),
+                    )
+                )
+            return results
 
     def run_workload(self, queries) -> list:
         """Execute a list of queries one at a time; returns their results."""

@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.backends.config import SystemConfig
 from repro.backends.protocol import (
     ALL_OPS,
@@ -116,19 +117,23 @@ class CostModelBackend(BulkBitwiseBackend):
         operands: Sequence[np.ndarray],
         access: AccessPattern = AccessPattern.SEQUENTIAL,
     ) -> BackendRun:
-        bits = bitwise_oracle(op, operands)
-        n_bits = _operand_bits(operands)
-        cost = self.bitwise_cost(op, len(operands), n_bits, access)
-        stats = RunStats(
-            backend=self.name,
-            op=PimOp.parse(op).value,
-            latency=cost.latency,
-            energy=cost.energy,
-            bits_processed=n_bits * len(operands),
-            in_memory=cost.offloaded,
-            steps=0,
-        )
-        return BackendRun(bits=bits, stats=stats.validate())
+        with telemetry.span(f"backends.{self.name}.bitwise", op=op) as sp:
+            bits = bitwise_oracle(op, operands)
+            n_bits = _operand_bits(operands)
+            cost = self.bitwise_cost(op, len(operands), n_bits, access)
+            stats = RunStats(
+                backend=self.name,
+                op=PimOp.parse(op).value,
+                latency=cost.latency,
+                energy=cost.energy,
+                bits_processed=n_bits * len(operands),
+                in_memory=cost.offloaded,
+                steps=0,
+            )
+            # analytic backend: no controller beneath, so the backend
+            # span is the leaf that carries the cost attribution
+            sp.add(latency_s=stats.latency, energy_j=stats.energy)
+            return BackendRun(bits=bits, stats=stats.validate())
 
 
 class PinatuboBackend(BulkBitwiseBackend):
@@ -203,6 +208,12 @@ class PinatuboBackend(BulkBitwiseBackend):
         """
         rt = self.runtime
         del access  # placement is the allocator's job on this backend
+        with telemetry.span(
+            f"backends.{self.name}.bitwise_many", calls=len(calls)
+        ):
+            return self._bitwise_many_batched(rt, calls)
+
+    def _bitwise_many_batched(self, rt, calls) -> List[BackendRun]:
         staged = []
         for op, operands in calls:
             arrays = [np.asarray(o, dtype=np.uint8) for o in operands]
@@ -338,55 +349,62 @@ class SDramFunctionalBackend(BulkBitwiseBackend):
         operands: Sequence[np.ndarray],
         access: AccessPattern = AccessPattern.SEQUENTIAL,
     ) -> BackendRun:
-        arrays = [np.asarray(o, dtype=np.uint8) for o in operands]
-        n_bits = _operand_bits(arrays)
-        expected = bitwise_oracle(op, arrays)  # validates op/arity too
-        op = PimOp.parse(op).value
-        if op not in ("or", "and"):
-            cost = self.bitwise_cost(op, len(arrays), n_bits, access)
+        with telemetry.span(f"backends.{self.name}.bitwise", op=op) as sp:
+            arrays = [np.asarray(o, dtype=np.uint8) for o in operands]
+            n_bits = _operand_bits(arrays)
+            expected = bitwise_oracle(op, arrays)  # validates op/arity too
+            op = PimOp.parse(op).value
+            if op not in ("or", "and"):
+                cost = self.bitwise_cost(op, len(arrays), n_bits, access)
+                stats = RunStats(
+                    backend=self.name,
+                    op=op,
+                    latency=cost.latency,
+                    energy=cost.energy,
+                    bits_processed=n_bits * len(arrays),
+                    in_memory=False,
+                    steps=0,
+                )
+                sp.add(latency_s=stats.latency, energy_j=stats.energy)
+                return BackendRun(bits=expected, stats=stats.validate())
+
+            g = self.executor.geometry
+            row_bits = g.row_bits
+            chunks = g.rows_for_bits(n_bits)
+            latency = 0.0
+            energy = 0.0
+            steps = 0
+            parts = []
+            acc_row = len(arrays)  # data row accumulating the result
+            for c in range(chunks):
+                lo, hi = c * row_bits, min((c + 1) * row_bits, n_bits)
+                for i, bits in enumerate(arrays):
+                    self.executor.write_data_row(
+                        c, i, _padded(bits[lo:hi], row_bits)
+                    )
+                self.executor.bitwise(op, acc_row, 0, 1, subarray_index=c)
+                steps += 1
+                for i in range(2, len(arrays)):
+                    self.executor.bitwise(
+                        op, acc_row, acc_row, i, subarray_index=c
+                    )
+                    steps += 1
+                per_op = self._op_cost(row_bits)
+                latency += per_op.latency * max(1, len(arrays) - 1)
+                energy += per_op.energy * max(1, len(arrays) - 1)
+                parts.append(self.executor.read_data_row(c, acc_row, hi - lo))
+            bits = np.concatenate(parts).astype(np.uint8)
             stats = RunStats(
                 backend=self.name,
                 op=op,
-                latency=cost.latency,
-                energy=cost.energy,
+                latency=latency * self.config.timing_scale,
+                energy=energy * self.config.energy_scale,
                 bits_processed=n_bits * len(arrays),
-                in_memory=False,
-                steps=0,
+                in_memory=True,
+                steps=steps,
             )
-            return BackendRun(bits=expected, stats=stats.validate())
-
-        g = self.executor.geometry
-        row_bits = g.row_bits
-        chunks = g.rows_for_bits(n_bits)
-        latency = 0.0
-        energy = 0.0
-        steps = 0
-        parts = []
-        acc_row = len(arrays)  # data row accumulating the result
-        for c in range(chunks):
-            lo, hi = c * row_bits, min((c + 1) * row_bits, n_bits)
-            for i, bits in enumerate(arrays):
-                self.executor.write_data_row(c, i, _padded(bits[lo:hi], row_bits))
-            self.executor.bitwise(op, acc_row, 0, 1, subarray_index=c)
-            steps += 1
-            for i in range(2, len(arrays)):
-                self.executor.bitwise(op, acc_row, acc_row, i, subarray_index=c)
-                steps += 1
-            per_op = self._op_cost(row_bits)
-            latency += per_op.latency * max(1, len(arrays) - 1)
-            energy += per_op.energy * max(1, len(arrays) - 1)
-            parts.append(self.executor.read_data_row(c, acc_row, hi - lo))
-        bits = np.concatenate(parts).astype(np.uint8)
-        stats = RunStats(
-            backend=self.name,
-            op=op,
-            latency=latency * self.config.timing_scale,
-            energy=energy * self.config.energy_scale,
-            bits_processed=n_bits * len(arrays),
-            in_memory=True,
-            steps=steps,
-        )
-        return BackendRun(bits=bits, stats=stats.validate())
+            sp.add(latency_s=stats.latency, energy_j=stats.energy)
+            return BackendRun(bits=bits, stats=stats.validate())
 
 
 def _padded(bits: np.ndarray, row_bits: int) -> np.ndarray:

@@ -133,6 +133,19 @@ class RunStats:
             steps=self.steps + other.steps,
         )
 
+    def to_dict(self) -> dict:
+        """JSON-ready dict of every contract field."""
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        where = "in-memory" if self.in_memory else "host"
+        return (
+            f"RunStats[{self.backend}] {self.op}: "
+            f"{self.bits_processed} bits in {self.steps} steps ({where}), "
+            f"latency {self.latency:.3e}s, energy {self.energy:.3e}J"
+        )
+
 
 @dataclass
 class BackendRun:

@@ -47,6 +47,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.ops import OperandLimits, PimOp, operand_limits
 from repro.core.stats import OpAccounting
 from repro.memsim.address import AddressMapper, OpLocality
@@ -237,19 +238,25 @@ class PinatuboExecutor:
         op, dest, sources, n_chunks = self._validate_request(
             op, dest_frames, source_frame_lists, n_bits
         )
-        if self.batch_commands:
-            sink: Union[CommandBatch, list, None] = CommandBatch()
-        else:
-            sink = [] if overlap_chunks else None
-        total_steps, acct, localities = self._bitwise_into(
-            sink, op, dest, sources, n_bits, n_chunks, overlap_chunks
-        )
-        if isinstance(sink, CommandBatch):
-            acct.absorb(self.controller.execute_batch(sink))
-        elif sink:
-            acct.absorb(self.controller.execute(sink))
-        acct.count_bits(n_bits * len(sources))
-        return OpResult(op=op, accounting=acct, steps=total_steps, localities=localities)
+        with telemetry.span(
+            "core.executor.bitwise", op=op.value, n_bits=n_bits
+        ) as sp:
+            if self.batch_commands:
+                sink: Union[CommandBatch, list, None] = CommandBatch()
+            else:
+                sink = [] if overlap_chunks else None
+            total_steps, acct, localities = self._bitwise_into(
+                sink, op, dest, sources, n_bits, n_chunks, overlap_chunks
+            )
+            if isinstance(sink, CommandBatch):
+                acct.absorb(self.controller.execute_batch(sink))
+            elif sink:
+                acct.absorb(self.controller.execute(sink))
+            acct.count_bits(n_bits * len(sources))
+            sp.add(steps=total_steps)
+            return OpResult(
+                op=op, accounting=acct, steps=total_steps, localities=localities
+            )
 
     def bitwise_many(
         self, requests: Sequence[BitwiseRequest]
@@ -287,29 +294,32 @@ class PinatuboExecutor:
             for op, dest, sources, n_chunks, n_bits, _ in parsed
         ]
 
-        batch = CommandBatch()
-        metas = []
-        for (op, dest, sources, n_chunks, n_bits, overlap), locs in zip(
-            parsed, chunk_locs
+        with telemetry.span(
+            "core.executor.bitwise_many", requests=len(parsed)
         ):
-            batch.mark()
-            steps, acct, localities = self._bitwise_into(
-                batch, op, dest, sources, n_bits, n_chunks, overlap,
-                chunk_localities=locs,
-            )
-            metas.append((op, steps, acct, localities, n_bits, len(sources)))
-        _, per_op = self.controller.execute_batch(batch, split_ops=True)
+            batch = CommandBatch()
+            metas = []
+            for (op, dest, sources, n_chunks, n_bits, overlap), locs in zip(
+                parsed, chunk_locs
+            ):
+                batch.mark()
+                steps, acct, localities = self._bitwise_into(
+                    batch, op, dest, sources, n_bits, n_chunks, overlap,
+                    chunk_localities=locs,
+                )
+                metas.append((op, steps, acct, localities, n_bits, len(sources)))
+            _, per_op = self.controller.execute_batch(batch, split_ops=True)
 
-        results = []
-        for (op, steps, acct, localities, n_bits, n_sources), stats in zip(
-            metas, per_op
-        ):
-            acct.absorb(stats)
-            acct.count_bits(n_bits * n_sources)
-            results.append(
-                OpResult(op=op, accounting=acct, steps=steps, localities=localities)
-            )
-        return results
+            results = []
+            for (op, steps, acct, localities, n_bits, n_sources), stats in zip(
+                metas, per_op
+            ):
+                acct.absorb(stats)
+                acct.count_bits(n_bits * n_sources)
+                results.append(
+                    OpResult(op=op, accounting=acct, steps=steps, localities=localities)
+                )
+            return results
 
     def bitwise_to_host(
         self,
@@ -334,41 +344,45 @@ class PinatuboExecutor:
         op, scratch, sources, n_chunks = self._validate_request(
             op, scratch_frames, source_frame_lists, n_bits
         )
-        sink = CommandBatch() if self.batch_commands else None
+        with telemetry.span(
+            "core.executor.bitwise_to_host", op=op.value, n_bits=n_bits
+        ) as sp:
+            sink = CommandBatch() if self.batch_commands else None
 
-        acct = OpAccounting()
-        localities: Dict[OpLocality, int] = {}
-        bits = None
-        if isinstance(sink, CommandBatch):
-            vectorized = self._vector_chunks_to_host(
-                sink, op, scratch, sources, n_bits, n_chunks, acct, localities
+            acct = OpAccounting()
+            localities: Dict[OpLocality, int] = {}
+            bits = None
+            if isinstance(sink, CommandBatch):
+                vectorized = self._vector_chunks_to_host(
+                    sink, op, scratch, sources, n_bits, n_chunks, acct, localities
+                )
+                if vectorized is not None:
+                    bits, total_steps = vectorized
+            if bits is None:
+                total_steps = 0
+                parts = []
+                row_bits = self.geometry.row_bits
+                for c in range(n_chunks):
+                    chunk_bits = min(n_bits - c * row_bits, row_bits)
+                    chunk_sources = [s[c] for s in sources]
+                    host_chunks: List[np.ndarray] = []
+                    total_steps += self._chunk_bitwise(
+                        op, scratch[c], chunk_sources, chunk_bits, acct, localities,
+                        sink, emit_host=True, host_chunks=host_chunks,
+                    )
+                    packed = host_chunks[-1]
+                    parts.append(
+                        np.unpackbits(packed, bitorder="little")[:chunk_bits]
+                    )
+                bits = np.concatenate(parts)
+            if sink is not None:
+                acct.absorb(self.controller.execute_batch(sink))
+            acct.count_bits(n_bits * len(sources))
+            sp.add(steps=total_steps)
+            result = OpResult(
+                op=op, accounting=acct, steps=total_steps, localities=localities
             )
-            if vectorized is not None:
-                bits, total_steps = vectorized
-        if bits is None:
-            total_steps = 0
-            parts = []
-            row_bits = self.geometry.row_bits
-            for c in range(n_chunks):
-                chunk_bits = min(n_bits - c * row_bits, row_bits)
-                chunk_sources = [s[c] for s in sources]
-                host_chunks: List[np.ndarray] = []
-                total_steps += self._chunk_bitwise(
-                    op, scratch[c], chunk_sources, chunk_bits, acct, localities,
-                    sink, emit_host=True, host_chunks=host_chunks,
-                )
-                packed = host_chunks[-1]
-                parts.append(
-                    np.unpackbits(packed, bitorder="little")[:chunk_bits]
-                )
-            bits = np.concatenate(parts)
-        if sink is not None:
-            acct.absorb(self.controller.execute_batch(sink))
-        acct.count_bits(n_bits * len(sources))
-        result = OpResult(
-            op=op, accounting=acct, steps=total_steps, localities=localities
-        )
-        return bits, result
+            return bits, result
 
     def _vector_chunks_to_host(
         self,

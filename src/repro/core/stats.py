@@ -1,12 +1,40 @@
-"""Operation accounting for Pinatubo executions."""
+"""Operation accounting for Pinatubo executions, and the stats contract.
+
+Every stats surface in the repro (:class:`~repro.memsim.controller.
+ExecutionStats`, :class:`~repro.memsim.controller.PerfCounters`,
+:class:`~repro.runtime.driver.DriverStats`, :class:`~repro.backends.
+protocol.RunStats`, :class:`OpAccounting`) converges on one convention,
+captured by the structural :class:`StatsLike` protocol:
+
+- ``to_dict()`` -- a JSON-ready dict (enum keys serialised to strings)
+- ``summary()`` -- a one-line human-readable digest
+
+``StatsLike`` is a :class:`typing.Protocol`, so the concrete stats
+classes satisfy it structurally without importing this module (which
+matters: this module imports ``memsim.controller``, which sits below
+everything else in the import graph).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Protocol, runtime_checkable
 
 from repro.memsim.address import OpLocality
 from repro.memsim.controller import CommandKind, ExecutionStats
+
+
+@runtime_checkable
+class StatsLike(Protocol):
+    """The shared contract of every stats object in the repro."""
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready dict of the stats (enum keys become strings)."""
+        ...
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        ...
 
 
 @dataclass
@@ -91,3 +119,30 @@ class OpAccounting:
         for kind, e in other.energy_by_kind.items():
             out.energy_by_kind[kind] = out.energy_by_kind.get(kind, 0.0) + e
         return out
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready dict (enum keys become their ``.value`` strings)."""
+        return {
+            "latency_s": self.latency,
+            "energy_j": self.energy,
+            "in_memory_steps": self.in_memory_steps,
+            "locality_counts": {
+                loc.value: n for loc, n in self.locality_counts.items()
+            },
+            "energy_by_kind": {
+                kind.value: e for kind, e in self.energy_by_kind.items()
+            },
+            "bus_data_bytes": self.bus_data_bytes,
+            "bus_commands": self.bus_commands,
+            "bits_processed": self.bits_processed,
+            "throughput_gbps": self.throughput_gbps,
+            "energy_per_bit_j": self.energy_per_bit,
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"OpAccounting: {self.bits_processed} bits in "
+            f"{self.in_memory_steps} steps, latency {self.latency:.3e}s, "
+            f"energy {self.energy:.3e}J, {self.throughput_gbps:.3f} GB/s"
+        )

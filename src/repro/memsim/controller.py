@@ -41,16 +41,16 @@ channels overlap).
 
 from __future__ import annotations
 
-import atexit
 import enum
 import os
-import sys
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.memsim.bus import BusStats, DDRBus
 from repro.memsim.geometry import MemoryGeometry
 from repro.memsim.timing import TimingParams
@@ -135,6 +135,32 @@ class ExecutionStats:
             out.energy_by_kind[kind] = out.energy_by_kind.get(kind, 0.0) + e
         return out
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready dict (enum keys become their ``.value`` strings)."""
+        return {
+            "latency_s": self.latency,
+            "energy_j": self.energy,
+            "counts": {kind.value: n for kind, n in self.counts.items()},
+            "energy_by_kind": {
+                kind.value: e for kind, e in self.energy_by_kind.items()
+            },
+            "bus": {
+                "commands": self.bus.commands,
+                "data_bytes": self.bus.data_bytes,
+                "busy_time_s": self.bus.busy_time,
+                "energy_j": self.bus.energy,
+            },
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        n_cmds = sum(self.counts.values())
+        return (
+            f"ExecutionStats: {n_cmds} commands, "
+            f"latency {self.latency:.3e}s, energy {self.energy:.3e}J, "
+            f"bus {self.bus.data_bytes}B/{self.bus.commands} cmds"
+        )
+
 
 # ---------------------------------------------------------------------------
 # engine performance instrumentation (REPRO_PERF_DEBUG=1)
@@ -162,7 +188,22 @@ class PerfCounters:
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
 
-    def summary_line(self) -> str:
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready dict of every counter plus the derived rates."""
+        return {
+            "scalar_commands": self.scalar_commands,
+            "batch_commands": self.batch_commands,
+            "batches": self.batches,
+            "streams": self.streams,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "wall_s": self.wall_s,
+            "commands_priced": self.commands_priced,
+            "cache_hit_rate": self.cache_hit_rate,
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
         return (
             f"[repro-perf] priced {self.commands_priced} commands "
             f"({self.scalar_commands} scalar / {self.streams} streams, "
@@ -171,17 +212,23 @@ class PerfCounters:
             f"engine wall {self.wall_s:.3f}s"
         )
 
+    def summary_line(self) -> str:
+        """Deprecated alias for :meth:`summary`."""
+        warnings.warn(
+            "PerfCounters.summary_line() is deprecated; use summary()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.summary()
+
 
 PERF_DEBUG: bool = os.environ.get("REPRO_PERF_DEBUG", "") not in ("", "0")
 perf_counters = PerfCounters()
 
-
-def _emit_perf_summary() -> None:  # pragma: no cover - atexit hook
-    print(perf_counters.summary_line(), file=sys.stderr)
-
-
 if PERF_DEBUG:  # pragma: no cover - environment-dependent
-    atexit.register(_emit_perf_summary)
+    # Legacy knob: routes through the opt-in telemetry exit report
+    # instead of registering its own atexit hook.
+    telemetry.report_at_exit()
 
 
 # ---------------------------------------------------------------------------
@@ -432,30 +479,36 @@ class MemoryController:
         closed-page assumption.
         """
         t0 = time.perf_counter() if PERF_DEBUG else 0.0
-        stats = ExecutionStats()
-        per_channel: Dict[int, float] = {}
-        n_buses = len(self.buses)
-        bus = stats.bus
-        for cmd in commands:
-            array_t, bus_t, energy, n_cmds, n_bytes, bus_energy = self._price(cmd)
-            ch = cmd.channel % n_buses
-            per_channel[ch] = per_channel.get(ch, 0.0) + array_t + bus_t
-            stats.energy += energy
-            stats.add_count(cmd.kind)
-            stats.add_energy(cmd.kind, energy)
-            if n_cmds or n_bytes:
-                bus.commands += n_cmds
-                bus.data_bytes += n_bytes
-                bus.busy_time += bus_t
-                bus.energy += bus_energy
-                self.buses[ch].account(n_cmds, n_bytes, bus_t, bus_energy)
-        stats.latency = max(per_channel.values(), default=0.0)
-        stats.energy += bus.energy
-        perf_counters.scalar_commands += len(commands)
-        perf_counters.streams += 1
-        if PERF_DEBUG:
-            perf_counters.wall_s += time.perf_counter() - t0
-        return stats
+        with telemetry.span("memsim.controller.execute") as sp:
+            stats = ExecutionStats()
+            per_channel: Dict[int, float] = {}
+            n_buses = len(self.buses)
+            bus = stats.bus
+            for cmd in commands:
+                array_t, bus_t, energy, n_cmds, n_bytes, bus_energy = self._price(cmd)
+                ch = cmd.channel % n_buses
+                per_channel[ch] = per_channel.get(ch, 0.0) + array_t + bus_t
+                stats.energy += energy
+                stats.add_count(cmd.kind)
+                stats.add_energy(cmd.kind, energy)
+                if n_cmds or n_bytes:
+                    bus.commands += n_cmds
+                    bus.data_bytes += n_bytes
+                    bus.busy_time += bus_t
+                    bus.energy += bus_energy
+                    self.buses[ch].account(n_cmds, n_bytes, bus_t, bus_energy)
+            stats.latency = max(per_channel.values(), default=0.0)
+            stats.energy += bus.energy
+            perf_counters.scalar_commands += len(commands)
+            perf_counters.streams += 1
+            if PERF_DEBUG:
+                perf_counters.wall_s += time.perf_counter() - t0
+            sp.add(
+                latency_s=stats.latency,
+                energy_j=stats.energy,
+                commands=len(commands),
+            )
+            return stats
 
     def execute_batch(
         self, batch: CommandBatch, split_ops: bool = False
@@ -480,78 +533,85 @@ class MemoryController:
                 return empty, [ExecutionStats() for _ in batch.op_starts]
             return empty
 
-        tbl = self.price_table
-        t = self.timing
-        n_buses = len(self.buses)
+        with telemetry.span("memsim.controller.execute_batch") as sp:
+            tbl = self.price_table
+            t = self.timing
+            n_buses = len(self.buses)
 
-        kinds = np.asarray(batch.kinds, dtype=np.intp)
-        channels = np.asarray(batch.channels, dtype=np.intp) % n_buses
-        n_bits = np.asarray(batch.n_bits, dtype=np.float64)
-        n_steps = np.asarray(batch.n_steps, dtype=np.float64)
-        transfer = np.asarray(batch.transfer_bytes, dtype=np.float64)
-        segments = np.asarray(batch.segments, dtype=np.intp)
+            kinds = np.asarray(batch.kinds, dtype=np.intp)
+            channels = np.asarray(batch.channels, dtype=np.intp) % n_buses
+            n_bits = np.asarray(batch.n_bits, dtype=np.float64)
+            n_steps = np.asarray(batch.n_steps, dtype=np.float64)
+            transfer = np.asarray(batch.transfer_bytes, dtype=np.float64)
+            segments = np.asarray(batch.segments, dtype=np.intp)
 
-        array_t = tbl.base_array[kinds] + tbl.step_array[kinds] * n_steps
-        bus_cmds = tbl.bus_cmds[kinds]
-        bus_bytes = transfer * tbl.has_transfer[kinds]
-        bus_t = bus_cmds * t.t_cmd + bus_bytes / t.bus_bandwidth
-        energy = tbl.e_fixed[kinds] + n_bits * tbl.e_per_bit[kinds]
-        bus_energy = bus_cmds * t.e_cmd + (8.0 * t.e_bus_per_bit) * bus_bytes
-        total_t = array_t + bus_t
+            array_t = tbl.base_array[kinds] + tbl.step_array[kinds] * n_steps
+            bus_cmds = tbl.bus_cmds[kinds]
+            bus_bytes = transfer * tbl.has_transfer[kinds]
+            bus_t = bus_cmds * t.t_cmd + bus_bytes / t.bus_bandwidth
+            energy = tbl.e_fixed[kinds] + n_bits * tbl.e_per_bit[kinds]
+            bus_energy = bus_cmds * t.e_cmd + (8.0 * t.e_bus_per_bit) * bus_bytes
+            total_t = array_t + bus_t
 
-        # latency: per (segment, channel) sums; max over channels per
-        # segment; segments serialise.
-        n_seg = int(segments[-1]) + 1
-        seg_ch = segments * n_buses + channels
-        per_seg_ch = np.bincount(
-            seg_ch, weights=total_t, minlength=n_seg * n_buses
-        ).reshape(n_seg, n_buses)
-        seg_latency = per_seg_ch.max(axis=1)
+            # latency: per (segment, channel) sums; max over channels per
+            # segment; segments serialise.
+            n_seg = int(segments[-1]) + 1
+            seg_ch = segments * n_buses + channels
+            per_seg_ch = np.bincount(
+                seg_ch, weights=total_t, minlength=n_seg * n_buses
+            ).reshape(n_seg, n_buses)
+            seg_latency = per_seg_ch.max(axis=1)
 
-        counts = np.bincount(kinds, minlength=_N_KINDS)
-        kind_energy = np.bincount(kinds, weights=energy, minlength=_N_KINDS)
+            counts = np.bincount(kinds, minlength=_N_KINDS)
+            kind_energy = np.bincount(kinds, weights=energy, minlength=_N_KINDS)
 
-        stats = ExecutionStats()
-        stats.latency = float(seg_latency.sum())
-        for i in range(_N_KINDS):
-            if counts[i]:
-                stats.counts[_KINDS[i]] = int(counts[i])
-                stats.energy_by_kind[_KINDS[i]] = float(kind_energy[i])
-        array_energy_total = float(energy.sum())
-        bus_energy_total = float(bus_energy.sum())
-        stats.bus = BusStats(
-            commands=int(bus_cmds.sum()),
-            data_bytes=int(bus_bytes.sum()),
-            busy_time=float(bus_t.sum()),
-            energy=bus_energy_total,
-        )
-        stats.energy = array_energy_total + bus_energy_total
+            stats = ExecutionStats()
+            stats.latency = float(seg_latency.sum())
+            for i in range(_N_KINDS):
+                if counts[i]:
+                    stats.counts[_KINDS[i]] = int(counts[i])
+                    stats.energy_by_kind[_KINDS[i]] = float(kind_energy[i])
+            array_energy_total = float(energy.sum())
+            bus_energy_total = float(bus_energy.sum())
+            stats.bus = BusStats(
+                commands=int(bus_cmds.sum()),
+                data_bytes=int(bus_bytes.sum()),
+                busy_time=float(bus_t.sum()),
+                energy=bus_energy_total,
+            )
+            stats.energy = array_energy_total + bus_energy_total
 
-        # fold bus activity into the per-channel ledgers
-        ch_cmds = np.bincount(channels, weights=bus_cmds, minlength=n_buses)
-        ch_bytes = np.bincount(channels, weights=bus_bytes, minlength=n_buses)
-        ch_bus_t = np.bincount(channels, weights=bus_t, minlength=n_buses)
-        ch_bus_e = np.bincount(channels, weights=bus_energy, minlength=n_buses)
-        for ch in range(n_buses):
-            if ch_cmds[ch] or ch_bytes[ch] or ch_bus_t[ch] or ch_bus_e[ch]:
-                self.buses[ch].account(
-                    int(ch_cmds[ch]),
-                    int(ch_bytes[ch]),
-                    float(ch_bus_t[ch]),
-                    float(ch_bus_e[ch]),
-                )
+            # fold bus activity into the per-channel ledgers
+            ch_cmds = np.bincount(channels, weights=bus_cmds, minlength=n_buses)
+            ch_bytes = np.bincount(channels, weights=bus_bytes, minlength=n_buses)
+            ch_bus_t = np.bincount(channels, weights=bus_t, minlength=n_buses)
+            ch_bus_e = np.bincount(channels, weights=bus_energy, minlength=n_buses)
+            for ch in range(n_buses):
+                if ch_cmds[ch] or ch_bytes[ch] or ch_bus_t[ch] or ch_bus_e[ch]:
+                    self.buses[ch].account(
+                        int(ch_cmds[ch]),
+                        int(ch_bytes[ch]),
+                        float(ch_bus_t[ch]),
+                        float(ch_bus_e[ch]),
+                    )
 
-        perf_counters.batch_commands += n
-        perf_counters.batches += 1
-        if PERF_DEBUG:
-            perf_counters.wall_s += time.perf_counter() - t0
+            perf_counters.batch_commands += n
+            perf_counters.batches += 1
+            if PERF_DEBUG:
+                perf_counters.wall_s += time.perf_counter() - t0
+            sp.add(
+                latency_s=stats.latency,
+                energy_j=stats.energy,
+                commands=n,
+                segments=batch.n_segments,
+            )
 
-        if not split_ops:
-            return stats
-        return stats, self._split_op_stats(
-            batch, kinds, channels, energy, bus_cmds, bus_bytes, bus_t,
-            bus_energy, seg_latency,
-        )
+            if not split_ops:
+                return stats
+            return stats, self._split_op_stats(
+                batch, kinds, channels, energy, bus_cmds, bus_bytes, bus_t,
+                bus_energy, seg_latency,
+            )
 
     def _split_op_stats(
         self,

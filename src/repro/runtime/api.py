@@ -72,10 +72,14 @@ class PimRuntime:
     def pim_free(self, handle: BitVectorHandle) -> None:
         self.allocator.pim_free(handle)
 
-    def pim_op(self, op, dest, sources, n_bits: Optional[int] = None,
+    def pim_op(self, op, dest, sources, *, n_bits: Optional[int] = None,
                overlap_chunks: bool = False):
         """``dest = op(sources)`` executed in memory; returns the OpResult.
 
+        ``op`` is a :class:`~repro.core.ops.PimOp` or its string name
+        (``"or"``/``"and"``/``"xor"``/``"inv"``), matching the backend
+        protocol's :meth:`~repro.backends.BulkBitwiseBackend.bitwise`;
+        the optional parameters are keyword-only for the same reason.
         ``overlap_chunks=True`` (extension) lets the chunks of a long
         vector execute concurrently when the placement policy striped
         them across channels.
@@ -94,7 +98,7 @@ class PimRuntime:
         return self.driver.execute_many(requests)
 
     def pim_op_to_host(
-        self, op, scratch, sources, n_bits: Optional[int] = None
+        self, op, scratch, sources, *, n_bits: Optional[int] = None
     ) -> np.ndarray:
         """``op(sources)`` with the result streamed straight to the host.
 

@@ -21,6 +21,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.executor import OpResult, PinatuboExecutor, PlacementError
 from repro.core.ops import PimOp
 from repro.core.stats import OpAccounting
@@ -33,6 +34,13 @@ _HOST_UFUNCS = {
     PimOp.AND: np.bitwise_and,
     PimOp.XOR: np.bitwise_xor,
 }
+
+# always-live instruments (survive telemetry.reset(): values are zeroed,
+# the objects stay registered)
+_REQUESTS = telemetry.counter("runtime.driver.requests")
+_FLUSHES = telemetry.counter("runtime.driver.flushes")
+_MODE_SWITCHES = telemetry.counter("runtime.driver.mode_switches")
+_HOST_FALLBACKS = telemetry.counter("runtime.driver.host_fallbacks")
 
 
 @dataclass(frozen=True)
@@ -67,7 +75,7 @@ class DriverStats:
     host_fallbacks: int = 0
     accounting: OpAccounting = field(default_factory=OpAccounting)
 
-    def summary(self) -> dict:
+    def to_dict(self) -> dict:
         """Uniform stat record (the RunStats field vocabulary, aggregated
         over every request this driver has flushed)."""
         return {
@@ -80,6 +88,21 @@ class DriverStats:
             "mode_switches": self.mode_switches,
             "host_fallbacks": self.host_fallbacks,
         }
+
+    def summary(self) -> str:
+        """One-line human-readable digest.
+
+        .. note:: before the stats-convention convergence this method
+           returned a dict; that payload now lives on :meth:`to_dict`.
+        """
+        return (
+            f"DriverStats: {self.requests} requests / "
+            f"{self.instructions} instructions, "
+            f"{self.mode_switches} mode switches, "
+            f"{self.host_fallbacks} host fallbacks, "
+            f"latency {self.accounting.latency:.3e}s, "
+            f"energy {self.accounting.energy:.3e}J"
+        )
 
 
 class PimDriver:
@@ -107,6 +130,7 @@ class PimDriver:
             n_bits = min([dest.n_bits] + [s.n_bits for s in sources])
         self._queue.append(PimRequest(op, dest, sources, n_bits, overlap_chunks))
         self.stats.requests += 1
+        _REQUESTS.add()
 
     @property
     def pending(self) -> int:
@@ -165,68 +189,73 @@ class PimDriver:
         fallback -- ``bitwise_many`` validates placement before touching
         any state, which is what makes the retry safe.
         """
-        batch, self._queue = self._queue, []
-        ordered = self._reorder(batch)
-        last_op = None
-        for req in ordered:
-            if req.op != last_op:
-                self.stats.mode_switches += 1
-                last_op = req.op
-            instr = PimInstruction(
-                op=req.op,
-                dest_frame=req.dest.frames[0],
-                source_frames=tuple(s.frames[0] for s in req.sources),
-                n_bits=req.n_bits,
-            )
-            # round-trip through the wire format: the controller sees bytes
-            decoded = decode_instruction(encode_instruction(instr))
-            assert decoded == instr
-
-        if batched and self.executor.batch_commands and len(ordered) > 1:
-            try:
-                results = self.executor.bitwise_many(
-                    [
-                        (
-                            req.op,
-                            list(req.dest.frames),
-                            [list(s.frames) for s in req.sources],
-                            req.n_bits,
-                            req.overlap_chunks,
-                        )
-                        for req in ordered
-                    ]
+        with telemetry.span("runtime.driver.flush", batched=batched) as sp:
+            batch, self._queue = self._queue, []
+            ordered = self._reorder(batch)
+            sp.add(requests=len(ordered))
+            _FLUSHES.add()
+            last_op = None
+            for req in ordered:
+                if req.op != last_op:
+                    self.stats.mode_switches += 1
+                    _MODE_SWITCHES.add()
+                    last_op = req.op
+                instr = PimInstruction(
+                    op=req.op,
+                    dest_frame=req.dest.frames[0],
+                    source_frames=tuple(s.frames[0] for s in req.sources),
+                    n_bits=req.n_bits,
                 )
-            except PlacementError:
-                results = None  # retry request-by-request with host fallback
-            if results is not None:
-                for result in results:
-                    self.stats.instructions += 1
-                    self.stats.accounting = self.stats.accounting.merged(
-                        result.accounting
+                # round-trip through the wire format: the controller sees bytes
+                decoded = decode_instruction(encode_instruction(instr))
+                assert decoded == instr
+
+            if batched and self.executor.batch_commands and len(ordered) > 1:
+                try:
+                    results = self.executor.bitwise_many(
+                        [
+                            (
+                                req.op,
+                                list(req.dest.frames),
+                                [list(s.frames) for s in req.sources],
+                                req.n_bits,
+                                req.overlap_chunks,
+                            )
+                            for req in ordered
+                        ]
                     )
-                return results
+                except PlacementError:
+                    results = None  # retry request-by-request with host fallback
+                if results is not None:
+                    for result in results:
+                        self.stats.instructions += 1
+                        self.stats.accounting = self.stats.accounting.merged(
+                            result.accounting
+                        )
+                    return results
 
-        results = []
-        for req in ordered:
-            try:
-                result = self.executor.bitwise(
-                    req.op,
-                    list(req.dest.frames),
-                    [list(s.frames) for s in req.sources],
-                    req.n_bits,
-                    overlap_chunks=req.overlap_chunks,
-                )
-            except PlacementError:
-                # operands span chips/channels: the memory cannot combine
-                # them, so the driver falls back to the host path (read
-                # every operand over the bus, compute, write back) -- the
-                # cost the PIM-aware allocator exists to avoid
-                result = self._host_fallback(req)
-                self.stats.host_fallbacks += 1
-            self.stats.instructions += 1
-            self.stats.accounting = self.stats.accounting.merged(result.accounting)
-            results.append(result)
-        return results
+            results = []
+            for req in ordered:
+                try:
+                    result = self.executor.bitwise(
+                        req.op,
+                        list(req.dest.frames),
+                        [list(s.frames) for s in req.sources],
+                        req.n_bits,
+                        overlap_chunks=req.overlap_chunks,
+                    )
+                except PlacementError:
+                    # operands span chips/channels: the memory cannot combine
+                    # them, so the driver falls back to the host path (read
+                    # every operand over the bus, compute, write back) -- the
+                    # cost the PIM-aware allocator exists to avoid
+                    result = self._host_fallback(req)
+                    self.stats.host_fallbacks += 1
+                    _HOST_FALLBACKS.add()
+                self.stats.instructions += 1
+                self.stats.accounting = self.stats.accounting.merged(result.accounting)
+                results.append(result)
+            return results
 
     def _host_fallback(self, req: PimRequest) -> OpResult:
         """Execute one request on the host: bus reads + CPU op + write."""

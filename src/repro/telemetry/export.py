@@ -1,0 +1,116 @@
+"""Trace export: Chrome trace-event JSON and flat aggregates.
+
+``chrome_trace`` renders the recorded span forest in the Trace Event
+Format understood by ``chrome://tracing`` / Perfetto: one complete
+("X") event per span on a single pid/tid timeline, with the attributed
+simulated latency/energy in each event's ``args``, plus counter ("C")
+events for every registered instrument.  Timestamps are microseconds
+since the tracer epoch, as the format requires.
+
+``aggregate`` flattens the same data into one JSON-ready dict keyed by
+span name -- call counts, wall time, and attributed cost -- which is
+what the exit report and most tests consume.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.telemetry.tracer import Tracer
+
+__all__ = ["aggregate", "chrome_trace", "export_chrome_trace", "summary"]
+
+
+def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
+    """Build a Chrome trace-event dict from the tracer's recorded spans."""
+    events = []
+    for span in tracer.spans:
+        args: Dict[str, Any] = {
+            "latency_s": span.latency_s,
+            "energy_j": span.energy_j,
+        }
+        if span.attrs:
+            args.update(span.attrs)
+        events.append({
+            "name": span.name,
+            "cat": span.name.split(".", 1)[0],
+            "ph": "X",
+            "ts": span.ts * 1e6,
+            "dur": span.dur * 1e6,
+            "pid": 1,
+            "tid": 1,
+            "args": args,
+        })
+    end_ts = max((s.ts + s.dur for s in tracer.spans), default=0.0) * 1e6
+    for counter in tracer.counters.values():
+        events.append({
+            "name": counter.name,
+            "ph": "C",
+            "ts": end_ts,
+            "pid": 1,
+            "args": {"value": counter.value},
+        })
+    for gauge in tracer.gauges.values():
+        events.append({
+            "name": gauge.name,
+            "ph": "C",
+            "ts": end_ts,
+            "pid": 1,
+            "args": {"value": gauge.value},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def export_chrome_trace(tracer: Tracer, path: str) -> Dict[str, Any]:
+    """Write the Chrome trace JSON to ``path`` and return the dict."""
+    trace = chrome_trace(tracer)
+    with open(path, "w") as fh:
+        json.dump(trace, fh, indent=1)
+    return trace
+
+
+def aggregate(tracer: Tracer) -> Dict[str, Any]:
+    """Flatten spans + instruments into one JSON-ready dict.
+
+    ``spans`` maps span name to ``{count, wall_s, latency_s, energy_j}``
+    accumulated over every recorded occurrence.
+    """
+    spans: Dict[str, Dict[str, float]] = {}
+    for span in tracer.spans:
+        agg = spans.get(span.name)
+        if agg is None:
+            agg = spans[span.name] = {
+                "count": 0, "wall_s": 0.0, "latency_s": 0.0, "energy_j": 0.0,
+            }
+        agg["count"] += 1
+        agg["wall_s"] += span.dur
+        agg["latency_s"] += span.latency_s
+        agg["energy_j"] += span.energy_j
+    return {
+        "spans": spans,
+        "counters": {c.name: c.value for c in tracer.counters.values()},
+        "gauges": {g.name: g.value for g in tracer.gauges.values()},
+        "dropped_spans": tracer.dropped_spans,
+    }
+
+
+def summary(tracer: Tracer) -> str:
+    """Human-readable one-block report (the ``report_at_exit`` payload)."""
+    agg = aggregate(tracer)
+    lines = ["telemetry summary:"]
+    for name in sorted(agg["spans"]):
+        s = agg["spans"][name]
+        lines.append(
+            f"  span {name}: count={s['count']} wall={s['wall_s']:.6f}s"
+            f" latency={s['latency_s']:.6e}s energy={s['energy_j']:.6e}J"
+        )
+    for name in sorted(agg["counters"]):
+        lines.append(f"  counter {name}: {agg['counters'][name]}")
+    for name in sorted(agg["gauges"]):
+        lines.append(f"  gauge {name}: {agg['gauges'][name]}")
+    if agg["dropped_spans"]:
+        lines.append(f"  dropped_spans: {agg['dropped_spans']}")
+    if len(lines) == 1:
+        lines.append("  (no telemetry recorded)")
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Typed instruments: monotonic counters and last-value gauges.
+
+Instruments are named ``<layer>.<component>.<metric>`` (for example
+``runtime.driver.requests`` or ``memsim.controller.batches``) and live
+in the process-wide tracer's registry.  Unlike spans they are *always*
+live -- incrementing an integer is cheap enough to leave on -- so exit
+reports and aggregates have data even when span tracing is off.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Counter", "Gauge"]
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("Counter.add amount must be >= 0")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A last-value-wins float metric (queue depth, batch size, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Gauge({self.name}={self.value})"

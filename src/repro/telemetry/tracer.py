@@ -1,0 +1,262 @@
+"""Hierarchical span tracer with a near-zero-overhead disabled path.
+
+A span is one timed region of the stack (``driver.flush``, ``controller.
+execute_batch``, ``app.fastbit.query_many``...).  Spans nest: the tracer
+keeps an open-span stack, every finished span records its parent, and the
+Chrome trace export renders the resulting tree on a timeline.
+
+Besides wall time, a span carries *attributed* simulated cost: the
+instrumented layers call :meth:`SpanRecord.add` with the latency/energy
+the priced command stream reported, so a trace answers "where did this
+batch spend its cycles/joules" -- the per-layer breakdown the paper's
+evaluation is built on.  Attribution happens only at the layer that
+*knows* the cost (the memory controller); parent spans show the rollup
+through nesting, never by double counting.
+
+Design constraints:
+
+- **Disabled is free.**  ``Tracer.span`` on a disabled tracer returns a
+  shared no-op context manager: one method call, one attribute check, no
+  allocation.  Hot loops keep their instrumentation permanently.
+- **Sampling is per root.**  ``sample_rate`` keeps every Nth *root* span
+  (deterministic stride, not RNG); a rejected root suppresses its whole
+  subtree so the recorded forest is always internally consistent.
+- **Bounded memory.**  At most ``max_spans`` records are kept; beyond
+  that new subtrees are dropped and counted in ``dropped_spans``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry.instruments import Counter, Gauge
+
+__all__ = ["NULL_SPAN", "SpanRecord", "Tracer"]
+
+#: default cap on retained span records (a production-safety valve, far
+#: above any figure run; ~100 bytes per record)
+DEFAULT_MAX_SPANS = 1_000_000
+
+
+class SpanRecord:
+    """One recorded span: wall timing plus attributed simulated cost."""
+
+    __slots__ = (
+        "name", "ts", "dur", "depth", "parent", "latency_s", "energy_j",
+        "attrs",
+    )
+
+    def __init__(self, name: str, ts: float, depth: int, parent: int):
+        self.name = name
+        self.ts = ts  # s since the tracer epoch (wall clock)
+        self.dur = 0.0  # wall s (filled when the span closes)
+        self.depth = depth
+        self.parent = parent  # index into Tracer.spans, -1 for roots
+        self.latency_s = 0.0  # attributed simulated latency
+        self.energy_j = 0.0  # attributed simulated energy
+        self.attrs: Optional[Dict[str, Any]] = None
+
+    def add(
+        self, latency_s: float = 0.0, energy_j: float = 0.0, **attrs: Any
+    ) -> "SpanRecord":
+        """Attribute simulated cost (and free-form attributes) to the span."""
+        self.latency_s += latency_s
+        self.energy_j += energy_j
+        if attrs:
+            if self.attrs is None:
+                self.attrs = attrs
+            else:
+                self.attrs.update(attrs)
+        return self
+
+
+class _NullSpan:
+    """The disabled path: a shared, allocation-free no-op span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def add(self, latency_s: float = 0.0, energy_j: float = 0.0,
+            **attrs: Any) -> "_NullSpan":
+        return self
+
+
+#: the singleton every disabled/suppressed ``span()`` call hands out
+NULL_SPAN = _NullSpan()
+
+
+class _SuppressedSpan:
+    """A span rejected by sampling (or over the record cap).
+
+    Entering it raises the tracer's suppression depth so every child
+    span is dropped too -- a sampled-out root never leaves orphan
+    children in the record.
+    """
+
+    __slots__ = ("_tracer",)
+
+    def __init__(self, tracer: "Tracer"):
+        self._tracer = tracer
+
+    def __enter__(self) -> _NullSpan:
+        self._tracer._suppress += 1
+        return NULL_SPAN
+
+    def __exit__(self, *exc: object) -> bool:
+        self._tracer._suppress -= 1
+        return False
+
+
+class _OpenSpan:
+    """Context manager that records one :class:`SpanRecord`."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_index")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attrs: Optional[Dict[str, Any]]):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> SpanRecord:
+        t = self._tracer
+        record = SpanRecord(
+            self._name,
+            time.perf_counter() - t.epoch,
+            len(t._stack),
+            t._stack[-1] if t._stack else -1,
+        )
+        if self._attrs:
+            record.attrs = self._attrs
+        self._index = len(t.spans)
+        t.spans.append(record)
+        t._stack.append(self._index)
+        return record
+
+    def __exit__(self, *exc: object) -> bool:
+        t = self._tracer
+        record = t.spans[self._index]
+        record.dur = (time.perf_counter() - t.epoch) - record.ts
+        t._stack.pop()
+        return False
+
+
+class Tracer:
+    """Span recorder + typed counter/gauge registry.
+
+    One process-wide instance lives at :data:`repro.telemetry.tracer`;
+    instrumented modules may cache a reference to it (the object is
+    stable across :meth:`reset` / ``configure`` calls).
+    """
+
+    def __init__(self, max_spans: int = DEFAULT_MAX_SPANS):
+        self.enabled = False
+        self.sample_rate = 1.0
+        self.max_spans = max_spans
+        self.epoch = time.perf_counter()
+        self.spans: List[SpanRecord] = []
+        self.dropped_spans = 0
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self._stack: List[int] = []
+        self._suppress = 0
+        self._sample_acc = 0.0
+
+    # -- configuration -------------------------------------------------------
+
+    def configure(
+        self,
+        enabled: Optional[bool] = None,
+        sample_rate: Optional[float] = None,
+        max_spans: Optional[int] = None,
+    ) -> None:
+        """Change tracer settings; ``None`` leaves a setting untouched."""
+        if enabled is not None:
+            self.enabled = bool(enabled)
+        if sample_rate is not None:
+            if not 0.0 <= sample_rate <= 1.0:
+                raise ValueError("sample_rate must be in [0, 1]")
+            self.sample_rate = sample_rate
+            self._sample_acc = 0.0
+        if max_spans is not None:
+            if max_spans < 1:
+                raise ValueError("max_spans must be >= 1")
+            self.max_spans = max_spans
+
+    def reset(self) -> None:
+        """Drop recorded spans and zero every instrument.
+
+        Counter/gauge *objects* survive (they are zeroed, not discarded),
+        so module-level cached instruments stay registered.
+        """
+        self.epoch = time.perf_counter()
+        self.spans = []
+        self.dropped_spans = 0
+        self._stack = []
+        self._suppress = 0
+        self._sample_acc = 0.0
+        for counter in self.counters.values():
+            counter.value = 0
+        for gauge in self.gauges.values():
+            gauge.value = 0.0
+
+    # -- spans ---------------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any):
+        """Open a span; use as ``with tracer.span("driver.flush") as sp:``.
+
+        Returns the shared no-op span when tracing is disabled, a
+        suppressing span when the enclosing root was sampled out (or the
+        record cap is hit), or a live recording span otherwise.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        if self._suppress:
+            return _SuppressedSpan(self)
+        if not self._stack:
+            # root span: deterministic stride sampling
+            self._sample_acc += self.sample_rate
+            if self._sample_acc < 1.0:
+                self.dropped_spans += 1
+                return _SuppressedSpan(self)
+            self._sample_acc -= 1.0
+        if len(self.spans) >= self.max_spans:
+            self.dropped_spans += 1
+            return _SuppressedSpan(self)
+        return _OpenSpan(self, name, attrs or None)
+
+    def current_span(self) -> Optional[SpanRecord]:
+        """The innermost open span, or ``None``."""
+        if not self._stack:
+            return None
+        return self.spans[self._stack[-1]]
+
+    def attribute(
+        self, latency_s: float = 0.0, energy_j: float = 0.0, **attrs: Any
+    ) -> None:
+        """Attribute cost to the innermost open span (no-op without one)."""
+        if not self.enabled or not self._stack:
+            return
+        self.spans[self._stack[-1]].add(latency_s, energy_j, **attrs)
+
+    # -- instruments ---------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the monotonic counter ``name``."""
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the last-value gauge ``name``."""
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge(name)
+        return instrument

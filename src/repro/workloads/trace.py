@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.baselines.base import AccessPattern, BitwiseBaseline
 from repro.baselines.simd import CpuConfig
 
@@ -142,23 +143,33 @@ class OpTrace:
         and FastBit result counting are single-threaded in the reference
         implementations).
         """
-        cost = WorkloadCost()
-        memo = {}
-        for e in self.events:
-            if isinstance(e, BitwiseEvent):
-                key = (e.op, e.n_operands, e.vector_bits, e.access)
-                c = memo.get(key)
-                if c is None:
-                    c = baseline.bitwise_cost(
-                        e.op, e.n_operands, e.vector_bits, e.access
+        with telemetry.span(
+            "workloads.trace.price",
+            trace=self.name,
+            scheme=getattr(baseline, "name", type(baseline).__name__),
+        ) as sp:
+            cost = WorkloadCost()
+            memo = {}
+            for e in self.events:
+                if isinstance(e, BitwiseEvent):
+                    key = (e.op, e.n_operands, e.vector_bits, e.access)
+                    c = memo.get(key)
+                    if c is None:
+                        c = baseline.bitwise_cost(
+                            e.op, e.n_operands, e.vector_bits, e.access
+                        )
+                        memo[key] = c
+                    cost.bitwise_latency += e.count * c.latency
+                    cost.bitwise_energy += e.count * c.energy
+                else:
+                    t = e.ops / (
+                        cpu.frequency * self._SCALAR_IPC * cores_for_scalar
                     )
-                    memo[key] = c
-                cost.bitwise_latency += e.count * c.latency
-                cost.bitwise_energy += e.count * c.energy
-            else:
-                t = e.ops / (cpu.frequency * self._SCALAR_IPC * cores_for_scalar)
-                cost.other_latency += t
-                # scalar phases keep the package about as busy as the
-                # streaming phases (pointer chasing pins the core)
-                cost.other_energy += cpu.active_power * t
-        return cost
+                    cost.other_latency += t
+                    # scalar phases keep the package about as busy as the
+                    # streaming phases (pointer chasing pins the core)
+                    cost.other_energy += cpu.active_power * t
+            sp.add(
+                latency_s=cost.total_latency, energy_j=cost.total_energy
+            )
+            return cost

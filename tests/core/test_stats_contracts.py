@@ -145,14 +145,85 @@ class TestPerfCounters:
         ctrl.execute_batch(batch)
         assert pc.batch_commands == batch0 + 3
 
-    def test_summary_line_mentions_key_metrics(self):
+    def test_summary_mentions_key_metrics(self):
         from repro.memsim.controller import PerfCounters
 
         pc = PerfCounters(
             scalar_commands=10, batch_commands=90, batches=3, streams=5,
             cache_hits=8, cache_misses=2, wall_s=0.25,
         )
-        line = pc.summary_line()
+        line = pc.summary()
         assert "100 commands" in line
         assert "80.0%" in line
         assert pc.cache_hit_rate == pytest.approx(0.8)
+
+    def test_summary_line_shim_warns_and_delegates(self):
+        from repro.memsim.controller import PerfCounters
+
+        pc = PerfCounters(scalar_commands=10, batch_commands=90, batches=3,
+                          streams=5, cache_hits=8, cache_misses=2)
+        with pytest.warns(DeprecationWarning):
+            line = pc.summary_line()
+        assert line == pc.summary()
+
+
+class TestStatsConvention:
+    """Every stats surface follows the ``to_dict()``/``summary()`` contract."""
+
+    @staticmethod
+    def _instances():
+        from repro.backends.protocol import RunStats
+        from repro.memsim.controller import PerfCounters
+        from repro.runtime.driver import DriverStats
+
+        stats = make_stats(1.0, 2.0)
+        acct = OpAccounting()
+        acct.absorb(stats, OpLocality.INTRA_SUBARRAY)
+        acct.count_step()
+        acct.count_bits(64)
+        return [
+            stats,
+            PerfCounters(scalar_commands=1, batch_commands=2, batches=1,
+                         streams=1, cache_hits=1, cache_misses=1),
+            DriverStats(requests=2, instructions=3, mode_switches=1),
+            RunStats(backend="b", op="or", latency=1.0, energy=2.0,
+                     bits_processed=64, in_memory=True, steps=1),
+            acct,
+        ]
+
+    def test_all_five_satisfy_the_statslike_protocol(self):
+        from repro.core.stats import StatsLike
+
+        for obj in self._instances():
+            assert isinstance(obj, StatsLike), type(obj).__name__
+
+    def test_to_dict_is_json_serializable(self):
+        import json
+
+        for obj in self._instances():
+            payload = obj.to_dict()
+            assert isinstance(payload, dict) and payload
+            assert all(isinstance(k, str) for k in payload)
+            json.dumps(payload)  # must not raise
+
+    def test_summary_is_nonempty_text(self):
+        for obj in self._instances():
+            text = obj.summary()
+            assert isinstance(text, str) and text
+
+    def test_execution_stats_to_dict_round_trips_totals(self):
+        stats = make_stats(1.5, 3.0, kind=CommandKind.WR, n=2)
+        d = stats.to_dict()
+        assert d["latency_s"] == pytest.approx(1.5)
+        assert d["energy_j"] == pytest.approx(3.0)
+        assert d["counts"] == {CommandKind.WR.value: 2}
+        assert d["bus"]["commands"] == 2
+
+    def test_op_accounting_to_dict_carries_derived_metrics(self):
+        acct = OpAccounting()
+        acct.absorb(make_stats(2.0, 4.0), OpLocality.INTRA_SUBARRAY)
+        acct.count_bits(128)
+        d = acct.to_dict()
+        assert d["latency_s"] == pytest.approx(2.0)
+        assert d["locality_counts"] == {OpLocality.INTRA_SUBARRAY.value: 1}
+        assert d["energy_per_bit_j"] == pytest.approx(4.0 / 128)

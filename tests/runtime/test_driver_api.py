@@ -55,6 +55,30 @@ class TestProgrammingModel:
         rt.pim_op("or", dest, [a, b])
         np.testing.assert_array_equal(rt.pim_read(dest), da | db)
 
+    def test_pim_op_accepts_enum_and_string_op(self, rt):
+        (a, b), (da, db) = make_vectors(rt, 2)
+        d1 = rt.pim_malloc(SMALL.row_bits, "g")
+        d2 = rt.pim_malloc(SMALL.row_bits, "g")
+        rt.pim_op(PimOp.AND, d1, [a, b])
+        rt.pim_op("and", d2, [a, b])
+        np.testing.assert_array_equal(rt.pim_read(d1), da & db)
+        np.testing.assert_array_equal(rt.pim_read(d2), da & db)
+
+    def test_pim_op_optional_params_are_keyword_only(self, rt):
+        (a, b), _ = make_vectors(rt, 2)
+        dest = rt.pim_malloc(SMALL.row_bits, "g")
+        with pytest.raises(TypeError):
+            rt.pim_op("or", dest, [a, b], 64)  # n_bits must be keyword
+        rt.pim_op("or", dest, [a, b], n_bits=64)
+
+    def test_pim_op_to_host_n_bits_is_keyword_only(self, rt):
+        (a, b), (da, db) = make_vectors(rt, 2)
+        scratch = rt.pim_malloc(SMALL.row_bits, "g")
+        with pytest.raises(TypeError):
+            rt.pim_op_to_host("or", scratch, [a, b], 64)
+        bits = rt.pim_op_to_host("or", scratch, [a, b], n_bits=64)
+        np.testing.assert_array_equal(bits, (da | db)[:64])
+
     def test_pim_op_xor_and_inv(self, rt):
         (a, b), (da, db) = make_vectors(rt, 2)
         d1 = rt.pim_malloc(SMALL.row_bits, "g")

@@ -1,0 +1,22 @@
+"""Shared fixtures: a clean, enabled tracer per test.
+
+The tracer at ``repro.telemetry.tracer`` is process-global, so every
+test that records spans must start from a reset tracer and leave
+telemetry disabled for the rest of the suite.
+"""
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.tracer import DEFAULT_MAX_SPANS
+
+
+@pytest.fixture
+def tracer():
+    telemetry.reset()
+    telemetry.configure(enabled=True, sample_rate=1.0,
+                        max_spans=DEFAULT_MAX_SPANS)
+    yield telemetry.tracer
+    telemetry.configure(enabled=False, sample_rate=1.0,
+                        max_spans=DEFAULT_MAX_SPANS)
+    telemetry.reset()

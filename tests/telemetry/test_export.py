@@ -1,0 +1,93 @@
+"""Chrome trace export round-trip and aggregate correctness."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+
+
+def _record_sample_forest():
+    with telemetry.span("app.query", queries=3) as sp:
+        sp.add(latency_s=1.0, energy_j=2.0)
+        with telemetry.span("driver.flush") as child:
+            child.add(latency_s=0.25, energy_j=0.5)
+    with telemetry.span("app.query") as sp:
+        sp.add(latency_s=3.0, energy_j=4.0)
+    telemetry.counter("driver.requests").add(7)
+    telemetry.gauge("pool.rows").set(128.0)
+
+
+class TestChromeTrace:
+    def test_round_trip_through_json_file(self, tracer, tmp_path):
+        _record_sample_forest()
+        path = tmp_path / "trace.json"
+        returned = telemetry.export_chrome_trace(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == returned
+        assert loaded["displayTimeUnit"] == "ms"
+
+    def test_span_events_carry_timing_and_cost(self, tracer, tmp_path):
+        _record_sample_forest()
+        trace = telemetry.chrome_trace()
+        span_events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(span_events) == 3
+        flush = next(e for e in span_events if e["name"] == "driver.flush")
+        assert flush["cat"] == "driver"
+        assert flush["args"]["latency_s"] == pytest.approx(0.25)
+        assert flush["args"]["energy_j"] == pytest.approx(0.5)
+        assert flush["pid"] == 1 and flush["tid"] == 1
+        # ts/dur are microseconds; the child sits inside its parent
+        parent = next(
+            e for e in span_events
+            if e["name"] == "app.query" and e["args"].get("queries") == 3
+        )
+        assert parent["ts"] <= flush["ts"]
+        assert flush["ts"] + flush["dur"] <= parent["ts"] + parent["dur"] + 1e-6
+
+    def test_counter_events_emitted(self, tracer):
+        _record_sample_forest()
+        trace = telemetry.chrome_trace()
+        counters = {
+            e["name"]: e["args"]["value"]
+            for e in trace["traceEvents"] if e["ph"] == "C"
+        }
+        assert counters["driver.requests"] == 7
+        assert counters["pool.rows"] == 128.0
+
+    def test_attrs_merged_into_args(self, tracer):
+        _record_sample_forest()
+        trace = telemetry.chrome_trace()
+        parent = next(
+            e for e in trace["traceEvents"]
+            if e["ph"] == "X" and e["args"].get("queries") == 3
+        )
+        assert parent["args"]["latency_s"] == pytest.approx(1.0)
+
+
+class TestAggregate:
+    def test_aggregate_accumulates_per_name(self, tracer):
+        _record_sample_forest()
+        agg = telemetry.aggregate()
+        q = agg["spans"]["app.query"]
+        assert q["count"] == 2
+        assert q["latency_s"] == pytest.approx(4.0)
+        assert q["energy_j"] == pytest.approx(6.0)
+        assert q["wall_s"] > 0
+        assert agg["spans"]["driver.flush"]["count"] == 1
+        assert agg["counters"]["driver.requests"] == 7
+        assert agg["gauges"]["pool.rows"] == 128.0
+        assert agg["dropped_spans"] == 0
+
+    def test_summary_mentions_spans_and_instruments(self, tracer):
+        _record_sample_forest()
+        text = telemetry.summary()
+        assert "app.query" in text
+        assert "driver.requests" in text
+        assert "pool.rows" in text
+
+    def test_empty_summary_says_so(self):
+        from repro.telemetry import export
+        from repro.telemetry.tracer import Tracer
+
+        assert "no telemetry recorded" in export.summary(Tracer())

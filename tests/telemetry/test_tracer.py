@@ -1,0 +1,181 @@
+"""Tracer semantics: nesting, attribution, sampling, caps, disabled path."""
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import NULL_SPAN, Counter, Gauge
+
+
+class TestNesting:
+    def test_spans_record_depth_and_parent(self, tracer):
+        with telemetry.span("root"):
+            with telemetry.span("child"):
+                with telemetry.span("grandchild"):
+                    pass
+            with telemetry.span("sibling"):
+                pass
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["root"].depth == 0
+        assert by_name["root"].parent == -1
+        assert by_name["child"].depth == 1
+        assert tracer.spans[by_name["child"].parent].name == "root"
+        assert by_name["grandchild"].depth == 2
+        assert tracer.spans[by_name["grandchild"].parent].name == "child"
+        assert tracer.spans[by_name["sibling"].parent].name == "root"
+
+    def test_child_contained_in_parent_interval(self, tracer):
+        with telemetry.span("outer"):
+            with telemetry.span("inner"):
+                pass
+        outer, inner = tracer.spans
+        assert inner.ts >= outer.ts
+        assert inner.ts + inner.dur <= outer.ts + outer.dur
+        assert outer.dur > 0
+
+    def test_current_span_tracks_innermost(self, tracer):
+        assert telemetry.current_span() is None
+        with telemetry.span("a") as a:
+            assert telemetry.current_span() is a
+            with telemetry.span("b") as b:
+                assert telemetry.current_span() is b
+            assert telemetry.current_span() is a
+        assert telemetry.current_span() is None
+
+
+class TestAttribution:
+    def test_add_accumulates_cost_and_attrs(self, tracer):
+        with telemetry.span("op", tag="x") as sp:
+            sp.add(latency_s=1.0, energy_j=2.0)
+            sp.add(latency_s=0.5, energy_j=0.25, rows=4)
+        (record,) = tracer.spans
+        assert record.latency_s == pytest.approx(1.5)
+        assert record.energy_j == pytest.approx(2.25)
+        assert record.attrs == {"tag": "x", "rows": 4}
+
+    def test_attribute_targets_innermost_open_span(self, tracer):
+        with telemetry.span("outer"):
+            with telemetry.span("inner"):
+                telemetry.attribute(energy_j=3.0)
+        outer, inner = tracer.spans
+        assert inner.energy_j == pytest.approx(3.0)
+        assert outer.energy_j == 0.0
+
+    def test_attribute_without_open_span_is_noop(self, tracer):
+        telemetry.attribute(latency_s=1.0, energy_j=1.0)
+        assert tracer.spans == []
+
+
+class TestDisabledPath:
+    def test_disabled_span_is_the_shared_null_singleton(self, tracer):
+        tracer.configure(enabled=False)
+        assert telemetry.span("anything") is NULL_SPAN
+        assert telemetry.span("other", attr=1) is NULL_SPAN
+
+    def test_null_span_add_and_nesting_are_noops(self, tracer):
+        tracer.configure(enabled=False)
+        with telemetry.span("a") as sp:
+            sp.add(latency_s=9.0, energy_j=9.0, x=1)
+            with telemetry.span("b"):
+                pass
+        assert tracer.spans == []
+        assert tracer.dropped_spans == 0
+
+
+class TestSampling:
+    def test_stride_sampling_keeps_every_other_root(self, tracer):
+        tracer.configure(sample_rate=0.5)
+        for i in range(4):
+            with telemetry.span(f"root{i}"):
+                with telemetry.span("child"):
+                    pass
+        roots = [s for s in tracer.spans if s.depth == 0]
+        children = [s for s in tracer.spans if s.depth == 1]
+        assert len(roots) == 2
+        # a sampled-out root drops its whole subtree, no orphans
+        assert len(children) == 2
+        assert tracer.dropped_spans == 2
+
+    def test_sample_rate_zero_records_nothing(self, tracer):
+        tracer.configure(sample_rate=0.0)
+        for _ in range(3):
+            with telemetry.span("root"):
+                pass
+        assert tracer.spans == []
+        assert tracer.dropped_spans == 3
+
+    def test_children_of_kept_roots_are_never_sampled(self, tracer):
+        tracer.configure(sample_rate=1.0)
+        with telemetry.span("root"):
+            for i in range(5):
+                with telemetry.span(f"child{i}"):
+                    pass
+        assert len(tracer.spans) == 6
+
+    def test_configure_rejects_bad_sample_rate(self, tracer):
+        with pytest.raises(ValueError):
+            tracer.configure(sample_rate=1.5)
+        with pytest.raises(ValueError):
+            tracer.configure(sample_rate=-0.1)
+
+
+class TestMaxSpans:
+    def test_cap_drops_new_subtrees(self, tracer):
+        tracer.configure(max_spans=2)
+        for i in range(4):
+            with telemetry.span(f"root{i}"):
+                with telemetry.span("child"):
+                    pass
+        assert len(tracer.spans) == 2
+        assert tracer.dropped_spans >= 2
+
+    def test_configure_rejects_bad_max_spans(self, tracer):
+        with pytest.raises(ValueError):
+            tracer.configure(max_spans=0)
+
+
+class TestInstruments:
+    def test_counter_get_or_create_and_add(self, tracer):
+        c = telemetry.counter("test.c")
+        assert telemetry.counter("test.c") is c
+        c.add()
+        c.add(4)
+        assert c.value == 5
+
+    def test_counter_rejects_negative(self, tracer):
+        with pytest.raises(ValueError):
+            telemetry.counter("test.neg").add(-1)
+
+    def test_gauge_set(self, tracer):
+        g = telemetry.gauge("test.g")
+        g.set(2)
+        g.set(7.5)
+        assert g.value == 7.5
+        assert isinstance(g.value, float)
+
+    def test_instrument_types_exported(self, tracer):
+        assert isinstance(telemetry.counter("test.c2"), Counter)
+        assert isinstance(telemetry.gauge("test.g2"), Gauge)
+
+
+class TestReset:
+    def test_reset_clears_spans_but_keeps_instruments(self, tracer):
+        c = telemetry.counter("test.keep")
+        c.add(3)
+        with telemetry.span("x"):
+            pass
+        telemetry.reset()
+        assert tracer.spans == []
+        assert telemetry.counter("test.keep") is c
+        assert c.value == 0
+
+    def test_reset_zeroes_dropped_count_and_sampling_stride(self, tracer):
+        tracer.configure(sample_rate=0.0)
+        with telemetry.span("dropped"):
+            pass
+        assert tracer.dropped_spans == 1
+        telemetry.reset()
+        assert tracer.dropped_spans == 0
+        tracer.configure(sample_rate=1.0)
+        with telemetry.span("after"):
+            pass
+        assert [s.name for s in tracer.spans] == ["after"]
