@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from repro.backends.config import SystemConfig
-from repro.backends.protocol import BulkBitwiseBackend
+from repro.backends.protocol import BackendCapabilities, BulkBitwiseBackend
 
 #: a backend builder: consumes the declarative config, returns the backend
 BackendBuilder = Callable[[SystemConfig], BulkBitwiseBackend]
@@ -28,6 +28,7 @@ class BackendRegistry:
 
     def __init__(self) -> None:
         self._builders: Dict[str, BackendBuilder] = {}
+        self._caps: Dict[str, BackendCapabilities] = {}
 
     def register(
         self, name: str, builder: Optional[BackendBuilder] = None
@@ -63,6 +64,37 @@ class BackendRegistry:
     def names(self) -> List[str]:
         return sorted(self._builders)
 
+    def capabilities(self, name: str) -> BackendCapabilities:
+        """What the backend registered under ``name`` can do.
+
+        Built from a default-config instance on first use and cached, so
+        consumers (e.g. the service layer rejecting unsupported ops) can
+        query capabilities without constructing a backend per lookup.
+        """
+        caps = self._caps.get(name)
+        if caps is None:
+            caps = self._caps[name] = self.create(name).capabilities()
+        return caps
+
+    def describe(self, name: str) -> str:
+        """One line: name + capability summary (ops, fan-in, flavour)."""
+        caps = self.capabilities(name)
+        flags = [
+            "in-memory" if caps.in_memory else "host",
+            "functional" if caps.functional else "cost-model",
+        ]
+        if caps.placement_sensitive:
+            flags.append("placement-sensitive")
+        fanin = "inf" if caps.max_fanin is None else str(caps.max_fanin)
+        return (
+            f"{name}: ops={{{', '.join(sorted(caps.ops))}}} "
+            f"fanin<={fanin} [{', '.join(flags)}]"
+        )
+
+    def list(self) -> List[str]:
+        """Capability-annotated listing, one line per registered backend."""
+        return [self.describe(name) for name in self.names()]
+
     def __contains__(self, name: str) -> bool:
         return name in self._builders
 
@@ -71,6 +103,10 @@ class BackendRegistry:
 
     def __len__(self) -> int:
         return len(self._builders)
+
+    def __repr__(self) -> str:
+        lines = "\n".join(f"  {line}" for line in self.list())
+        return f"BackendRegistry({len(self)} backends)\n{lines}"
 
 
 #: the process-wide registry the stock backends register into

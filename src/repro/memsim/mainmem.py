@@ -18,7 +18,13 @@ from typing import List
 
 import numpy as np
 
+from repro import telemetry
 from repro.memsim.geometry import MemoryGeometry
+
+#: always-live process-wide program count (all MainMemory instances);
+#: per-instance/per-frame detail stays on ``total_writes`` and
+#: ``write_histogram()`` -- see ``repro.runtime.wear``
+_FRAME_WRITES = telemetry.counter("memsim.mainmem.frame_writes")
 
 
 #: numpy ufunc per bulk bitwise op name.
@@ -109,6 +115,7 @@ class MainMemory:
             entry.data[:] = data
         entry.writes += 1
         self.total_writes += 1
+        _FRAME_WRITES.add()
 
     def frame_writes(self, frame: int) -> int:
         """How many times a frame has been programmed (endurance)."""

@@ -43,6 +43,14 @@ _MODE_SWITCHES = telemetry.counter("runtime.driver.mode_switches")
 _HOST_FALLBACKS = telemetry.counter("runtime.driver.host_fallbacks")
 
 
+def _submission_order(order: Sequence[int], results: Sequence) -> List:
+    """Map results computed in execution order back to submission order."""
+    out = [None] * len(results)
+    for pos, result in zip(order, results):
+        out[pos] = result
+    return out
+
+
 @dataclass(frozen=True)
 class PimRequest:
     """One queued pim_op call."""
@@ -138,26 +146,28 @@ class PimDriver:
 
     # -- scheduling ---------------------------------------------------------
 
-    def _reorder(self, requests: Sequence[PimRequest]) -> List[PimRequest]:
+    def _reorder(self, requests: Sequence[PimRequest]) -> List[int]:
         """Stable op-grouping that respects data dependences.
 
         Greedy list scheduling: repeatedly emit the longest run of
-        ready requests sharing one op.
+        ready requests sharing one op.  Returns the execution order as a
+        permutation of submission indices so :meth:`flush` can hand the
+        per-request results back in submission order.
         """
-        # (request, dest vid, source vid set): hoisted so the O(n^2)
-        # dependence scan below is pure set work
+        # (submission index, request, dest vid, source vid set): hoisted
+        # so the O(n^2) dependence scan below is pure set work
         remaining = [
-            (req, req.dest.vid, {h.vid for h in req.sources})
-            for req in requests
+            (i, req, req.dest.vid, {h.vid for h in req.sources})
+            for i, req in enumerate(requests)
         ]
-        ordered = []
+        order: List[int] = []
         while remaining:
             # ready = requests with no dependence on anything still queued
             # before them (RAW / WAW / WAR against an earlier request)
             ready_idx = []
-            for i, (_req, write, reads) in enumerate(remaining):
+            for i, (_pos, _req, write, reads) in enumerate(remaining):
                 ready = True
-                for _prev, p_write, p_reads in remaining[:i]:
+                for _ppos, _prev, p_write, p_reads in remaining[:i]:
                     if p_write in reads or p_write == write or write in p_reads:
                         ready = False
                         break
@@ -168,17 +178,21 @@ class PimDriver:
             # pick the op with the most ready requests
             by_op = {}
             for i in ready_idx:
-                by_op.setdefault(remaining[i][0].op, []).append(i)
+                by_op.setdefault(remaining[i][1].op, []).append(i)
             best_op = max(by_op, key=lambda op: len(by_op[op]))
             # keep submission order within the emitted group; pop from the
             # back so earlier indices stay valid
-            ordered.extend(remaining[i][0] for i in by_op[best_op])
+            order.extend(remaining[i][0] for i in by_op[best_op])
             for i in reversed(by_op[best_op]):
                 remaining.pop(i)
-        return ordered
+        return order
 
     def flush(self, batched: bool = False) -> List[OpResult]:
         """Issue every queued request; returns the per-request results.
+
+        Results come back in **submission order** regardless of how the
+        scheduler reordered execution, so callers can zip them against
+        what they queued.
 
         With ``batched=True`` (and a batching executor) the whole
         reordered stream is priced as **one** command batch through
@@ -191,7 +205,8 @@ class PimDriver:
         """
         with telemetry.span("runtime.driver.flush", batched=batched) as sp:
             batch, self._queue = self._queue, []
-            ordered = self._reorder(batch)
+            order = self._reorder(batch)
+            ordered = [batch[i] for i in order]
             sp.add(requests=len(ordered))
             _FLUSHES.add()
             last_op = None
@@ -232,7 +247,7 @@ class PimDriver:
                         self.stats.accounting = self.stats.accounting.merged(
                             result.accounting
                         )
-                    return results
+                    return _submission_order(order, results)
 
             results = []
             for req in ordered:
@@ -255,7 +270,7 @@ class PimDriver:
                 self.stats.instructions += 1
                 self.stats.accounting = self.stats.accounting.merged(result.accounting)
                 results.append(result)
-            return results
+            return _submission_order(order, results)
 
     def _host_fallback(self, req: PimRequest) -> OpResult:
         """Execute one request on the host: bus reads + CPU op + write."""

@@ -32,6 +32,14 @@ class PlacementPolicy(enum.Enum):
     #: long vector can execute on different channels concurrently
     #: (see ``PinatuboExecutor.bitwise(overlap_chunks=True)``).
     CHANNEL_STRIPED = "channel_striped"
+    #: Like PIM_AWARE (a group fills one subarray, ops stay
+    #: intra-subarray), but fresh subarrays are claimed channel-first,
+    #: then bank-first: consecutive *groups* land on different channels
+    #: and banks.  This is the serving layer's placement: each tenant's
+    #: vectors stay subarray-local while different tenants occupy
+    #: independent (channel, bank) shards whose command streams the
+    #: controller can interleave.
+    BANK_SPREAD = "bank_spread"
 
 
 @dataclass
@@ -73,6 +81,17 @@ class PimMemoryManager:
         #: (group, chunk_channel) -> subarray index (CHANNEL_STRIPED)
         self._stripe_cursor: dict = {}
         self._next_fresh_subarray = 0
+        #: BANK_SPREAD claim order: subarray position major, channel and
+        #: bank minor, so consecutive claims hit different channels
+        #: first, then different banks -- maximally independent shards
+        self._spread_order = [
+            self._index_of(channel, rank, bank, sub)
+            for sub in range(g.subarrays_per_bank)
+            for rank in range(g.ranks_per_channel)
+            for bank in range(g.banks_per_rank)
+            for channel in range(g.channels)
+        ]
+        self._next_spread_claim = 0
         self._interleave_cursor = 0
         self.frames_allocated = 0
         #: subarrays per channel, for the striped policy's channel maths
@@ -103,7 +122,7 @@ class PimMemoryManager:
             frames = self._allocate_interleaved(n_rows)
         elif self.policy is PlacementPolicy.CHANNEL_STRIPED:
             frames = self._allocate_channel_striped(n_rows, group)
-        else:
+        else:  # PIM_AWARE and BANK_SPREAD share the group-fill mechanics
             frames = self._allocate_pim_aware(n_rows, group)
         self.frames_allocated += n_rows
         return frames
@@ -125,10 +144,22 @@ class PimMemoryManager:
         return self._subarrays[self._group_cursor[group]]
 
     def _claim_fresh_subarray(self) -> int:
+        if self.policy is PlacementPolicy.BANK_SPREAD:
+            return self._claim_spread_subarray()
         n = len(self._subarrays)
         for _ in range(n):
             idx = self._next_fresh_subarray
             self._next_fresh_subarray = (idx + 1) % n
+            if self._subarrays[idx].free_rows:
+                return idx
+        raise MemoryError("no subarray with free rows")
+
+    def _claim_spread_subarray(self) -> int:
+        """Next fresh subarray in channel-then-bank spread order."""
+        n = len(self._spread_order)
+        for _ in range(n):
+            idx = self._spread_order[self._next_spread_claim]
+            self._next_spread_claim = (self._next_spread_claim + 1) % n
             if self._subarrays[idx].free_rows:
                 return idx
         raise MemoryError("no subarray with free rows")
@@ -193,9 +224,12 @@ class PimMemoryManager:
             self.frames_allocated -= 1
 
     def _subarray_index(self, addr: RowAddress) -> int:
+        return self._index_of(addr.channel, addr.rank, addr.bank, addr.subarray)
+
+    def _index_of(self, channel: int, rank: int, bank: int, sub: int) -> int:
         g = self.geometry
-        idx = addr.channel
-        idx = idx * g.ranks_per_channel + addr.rank
-        idx = idx * g.banks_per_rank + addr.bank
-        idx = idx * g.subarrays_per_bank + addr.subarray
+        idx = channel
+        idx = idx * g.ranks_per_channel + rank
+        idx = idx * g.banks_per_rank + bank
+        idx = idx * g.subarrays_per_bank + sub
         return idx

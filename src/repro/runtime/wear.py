@@ -13,10 +13,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.memsim.mainmem import MainMemory
 from repro.nvm.technology import NVMTechnology, get_technology
 
 SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+
+# wear rolled up into the process-wide telemetry registry: counters for
+# the monotone quantities, gauges for the distribution shape
+_TOTAL_WRITES = telemetry.counter("runtime.wear.total_writes")
+_FRAMES_WRITTEN = telemetry.counter("runtime.wear.frames_written")
+_MAX_WRITES = telemetry.gauge("runtime.wear.max_writes")
+_MEAN_WRITES = telemetry.gauge("runtime.wear.mean_writes")
+_IMBALANCE = telemetry.gauge("runtime.wear.imbalance")
 
 
 @dataclass
@@ -51,6 +60,10 @@ class WearMonitor:
         self.memory = memory
         self.technology = technology or get_technology("pcm")
         self.hot_list_size = hot_list_size
+        # last values published to the counter registry, so repeated
+        # publish() calls add only the delta (counters are monotone)
+        self._published_total = 0
+        self._published_frames = 0
 
     def report(self) -> WearReport:
         histogram = self.memory.write_histogram()
@@ -65,6 +78,26 @@ class WearMonitor:
             mean_writes=sum(writes) / len(writes),
             hottest=hottest[: self.hot_list_size],
         )
+
+    def publish(self) -> WearReport:
+        """Push the current wear snapshot into the telemetry registry.
+
+        Counters (``runtime.wear.total_writes`` / ``.frames_written``)
+        accumulate deltas since this monitor's last publish, so calling
+        after every workload phase keeps them monotone; gauges
+        (``.max_writes`` / ``.mean_writes`` / ``.imbalance``) hold the
+        latest snapshot.  The aggregate shows up in
+        :func:`repro.telemetry.summary` and the exit report.
+        """
+        report = self.report()
+        _TOTAL_WRITES.add(report.total_writes - self._published_total)
+        _FRAMES_WRITTEN.add(report.frames_written - self._published_frames)
+        self._published_total = report.total_writes
+        self._published_frames = report.frames_written
+        _MAX_WRITES.set(report.max_writes)
+        _MEAN_WRITES.set(report.mean_writes)
+        _IMBALANCE.set(report.imbalance)
+        return report
 
     def remaining_endurance(self, frame: int) -> float:
         """Fraction of the frame's program budget still unused."""

@@ -1,0 +1,201 @@
+"""Admission control: per-tenant quotas, pacing, and bounded queues.
+
+The service front door.  Each tenant gets a :class:`TenantQuota`:
+
+- a **queue bound** (``max_pending``): admitted-but-unserved requests a
+  tenant may hold.  Beyond it, requests are rejected outright -- the
+  backpressure signal that keeps one misbehaving tenant from growing the
+  service's memory without bound or starving everyone else's batches;
+- a **rate quota** (``rate_per_s``/``burst``): a deterministic token
+  bucket over *simulated* time.  Over-rate requests are either rejected
+  (``OverloadPolicy.REJECT``) or paced (``OverloadPolicy.DELAY``): the
+  request reserves the next future token and enters the queue when it
+  materialises, up to ``max_delay_s`` of pacing delay.
+
+Everything here is pure state + simulated timestamps: no wall clock, no
+threads, so admission decisions replay identically under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "Admit",
+    "OverloadPolicy",
+    "TenantQuota",
+    "TokenBucket",
+]
+
+
+class OverloadPolicy(enum.Enum):
+    """What happens to a request that exceeds the tenant's rate quota."""
+
+    REJECT = "reject"
+    DELAY = "delay"
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant admission limits (defaults: generous but bounded)."""
+
+    #: admitted-but-unserved requests the tenant may hold (queue bound)
+    max_pending: int = 64
+    #: steady-state request rate (tokens/simulated second); inf = unmetered
+    rate_per_s: float = math.inf
+    #: token-bucket capacity (max burst admitted at once)
+    burst: int = 32
+    #: over-rate requests: reject outright, or pace them into the future
+    policy: OverloadPolicy = OverloadPolicy.REJECT
+    #: pacing bound: a DELAY-policy request that would wait longer is
+    #: rejected anyway (protects the latency tail and bounds the queue)
+    max_delay_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if not self.rate_per_s > 0:
+            raise ValueError("rate_per_s must be positive (or inf)")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+        if self.max_delay_s < 0:
+            raise ValueError("max_delay_s must be non-negative")
+
+
+class TokenBucket:
+    """Deterministic token bucket over simulated time, with reservation."""
+
+    def __init__(self, rate_per_s: float, burst: int):
+        self.rate = float(rate_per_s)
+        self.capacity = float(burst)
+        self.tokens = float(burst)
+        self.updated_s = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now > self.updated_s:
+            if math.isinf(self.rate):
+                self.tokens = self.capacity
+            else:
+                self.tokens = min(
+                    self.capacity,
+                    self.tokens + (now - self.updated_s) * self.rate,
+                )
+            self.updated_s = now
+
+    def wait_s(self, now: float) -> float:
+        """Seconds until a token is available (0.0 = available now).
+
+        Accounts for reservations that already advanced the bucket into
+        the future: the wait is measured from ``now``, not from the
+        bucket's internal timestamp.
+        """
+        if math.isinf(self.rate):
+            return 0.0
+        self._refill(now)
+        if self.tokens >= 1.0:
+            return 0.0
+        base = max(now, self.updated_s)
+        return (base - now) + (1.0 - self.tokens) / self.rate
+
+    def take(self, now: float) -> bool:
+        """Consume a token now if one is available."""
+        if math.isinf(self.rate):
+            return True
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def reserve(self, now: float) -> float:
+        """Consume the *next* token, possibly in the future.
+
+        Returns the simulated time the token materialises; the bucket
+        state advances to that instant, so successive reservations pace
+        out at exactly ``1/rate`` apart.
+        """
+        if math.isinf(self.rate):
+            return now
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return now
+        # the bucket may already be committed into the future by earlier
+        # reservations; this token materialises after those
+        base = max(now, self.updated_s)
+        when = base + (1.0 - self.tokens) / self.rate
+        self.tokens = 0.0
+        self.updated_s = when
+        return when
+
+
+class Admit(enum.Enum):
+    """Outcome class of one admission decision."""
+
+    ENQUEUE = "enqueue"  # into the tenant queue right now
+    DELAY = "delay"  # paced: enqueue at ``retry_at_s``
+    REJECT = "reject"
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    outcome: Admit
+    retry_at_s: float = 0.0  # only for DELAY
+    reason: str = ""  # only for REJECT
+
+
+class AdmissionController:
+    """Applies each tenant's quota to its arrival stream."""
+
+    def __init__(self) -> None:
+        self._quotas: Dict[str, TenantQuota] = {}
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    def register(self, tenant: str, quota: Optional[TenantQuota] = None) -> None:
+        if tenant in self._quotas:
+            raise ValueError(f"tenant {tenant!r} already registered")
+        quota = quota or TenantQuota()
+        self._quotas[tenant] = quota
+        self._buckets[tenant] = TokenBucket(quota.rate_per_s, quota.burst)
+
+    def quota(self, tenant: str) -> TenantQuota:
+        return self._quotas[tenant]
+
+    def decide(self, tenant: str, now: float, pending: int) -> AdmissionDecision:
+        """Admission decision for one arrival.
+
+        ``pending`` is the tenant's current admitted-but-unserved count
+        (queued + pacing-delayed), maintained by the service.
+        """
+        quota = self._quotas[tenant]
+        if pending >= quota.max_pending:
+            return AdmissionDecision(
+                Admit.REJECT,
+                reason=(
+                    f"queue full: {pending}/{quota.max_pending} "
+                    f"pending requests"
+                ),
+            )
+        bucket = self._buckets[tenant]
+        if bucket.take(now):
+            return AdmissionDecision(Admit.ENQUEUE)
+        if quota.policy is OverloadPolicy.REJECT:
+            return AdmissionDecision(
+                Admit.REJECT,
+                reason=f"rate quota exceeded ({quota.rate_per_s:g} req/s)",
+            )
+        wait = bucket.wait_s(now)
+        if wait > quota.max_delay_s:
+            return AdmissionDecision(
+                Admit.REJECT,
+                reason=(
+                    f"rate quota exceeded: pacing delay {wait:.3g}s "
+                    f"over bound {quota.max_delay_s:g}s"
+                ),
+            )
+        return AdmissionDecision(Admit.DELAY, retry_at_s=bucket.reserve(now))

@@ -1,0 +1,311 @@
+"""Execution engines: how the service drives a backend.
+
+The scheduler hands an engine one *coalesced batch* of
+:class:`ServiceCall`s (possibly from many tenants) and gets back one
+:class:`ExecutedCall` per request -- result bits plus the simulated
+latency/energy of that request alone.  Two engines cover every
+registered backend:
+
+- :class:`ResidentPimEngine` -- the functional Pinatubo runtime.  Tenant
+  vectors are *resident*: loaded once through ``pim_malloc`` with a
+  per-tenant affinity group, so :mod:`repro.runtime.os_mm` co-locates a
+  tenant's vectors in one subarray (ops stay intra-subarray) while
+  different tenants land on different subarrays/banks/channels -- the
+  shard map the scheduler's makespan model rides on.  Batches execute
+  through the driver as **one** command stream (the PR 1 batched
+  engine).
+- :class:`HostOracleEngine` -- any other registered backend
+  (cost-model schemes, the functional in-DRAM baseline).  Vectors stay
+  host-side; batches go through the backend protocol's
+  ``bitwise_many``.
+
+Both keep a host-side shadow copy of every loaded vector, which is what
+the service's numpy-oracle parity checks compare against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backends.config import SystemConfig
+from repro.backends.protocol import (
+    ALL_OPS,
+    BackendCapabilities,
+    bitwise_oracle,
+)
+from repro.backends.registry import registry
+from repro.runtime.wear import WearMonitor
+
+__all__ = [
+    "ExecutedCall",
+    "HostOracleEngine",
+    "ResidentPimEngine",
+    "ServiceCall",
+    "ServiceEngine",
+    "UnsupportedOpError",
+    "build_engine",
+]
+
+
+class UnsupportedOpError(ValueError):
+    """The configured backend cannot serve the requested op."""
+
+
+@dataclass(frozen=True)
+class ServiceCall:
+    """One request lowered to engine vocabulary: op over named vectors."""
+
+    tenant: str
+    op: str
+    names: Tuple[str, ...]
+
+
+@dataclass
+class ExecutedCall:
+    """Result + per-request simulated cost of one executed call."""
+
+    bits: np.ndarray
+    popcount: int
+    latency_s: float
+    energy_j: float
+    steps: int
+    in_memory: bool
+
+
+class ServiceEngine:
+    """What the scheduler needs from an execution substrate."""
+
+    name: str = "engine"
+
+    def capabilities(self) -> BackendCapabilities:
+        raise NotImplementedError
+
+    def check_op(self, op: str) -> None:
+        """Reject ops the backend cannot serve, with a clear error."""
+        caps = self.capabilities()
+        if not caps.supports(op):
+            raise UnsupportedOpError(
+                f"backend {self.name!r} cannot serve op {op!r}; "
+                f"supported ops: {', '.join(sorted(caps.ops))} "
+                f"(see repro.backends.registry.list() for all backends)"
+            )
+
+    def load_vector(self, tenant: str, name: str, bits: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def host_vector(self, tenant: str, name: str) -> np.ndarray:
+        """Host shadow copy (the oracle's input)."""
+        raise NotImplementedError
+
+    def has_vector(self, tenant: str, name: str) -> bool:
+        raise NotImplementedError
+
+    def execute(self, calls: Sequence[ServiceCall]) -> List[ExecutedCall]:
+        """Run one coalesced batch; one result per call, in call order."""
+        raise NotImplementedError
+
+    @property
+    def n_shards(self) -> int:
+        """Independent placement shards requests can overlap across."""
+        return 1
+
+    def shard_of(self, tenant: str) -> int:
+        """Which shard the tenant's resident data lives on."""
+        return 0
+
+    def wear_monitor(self) -> Optional[WearMonitor]:
+        """Endurance monitor of the functional memory, if there is one."""
+        return None
+
+
+class ResidentPimEngine(ServiceEngine):
+    """Functional Pinatubo runtime with resident, shard-aware placement."""
+
+    def __init__(self, config: SystemConfig, runtime=None):
+        if config.backend != "pinatubo":
+            raise ValueError(
+                f"ResidentPimEngine serves the 'pinatubo' backend, "
+                f"not {config.backend!r}"
+            )
+        from repro.runtime.api import PimRuntime
+
+        self.config = config
+        self.runtime = runtime or PimRuntime.from_config(config)
+        executor = self.runtime.system.executor
+        self.name = f"Pinatubo-{executor.limits.or_rows}"
+        self._caps = BackendCapabilities(
+            ops=frozenset(ALL_OPS),
+            max_fanin=executor.limits.or_rows,
+            in_memory=True,
+            placement_sensitive=True,
+            functional=True,
+        )
+        self._handles: Dict[Tuple[str, str], object] = {}
+        self._host: Dict[Tuple[str, str], np.ndarray] = {}
+        self._tenant_shard: Dict[str, int] = {}
+        geometry = self.runtime.system.geometry
+        #: shards = independent (channel, bank) pairs: banks have their
+        #: own row decoders and sense amps, so command streams touching
+        #: different banks interleave on the DDR bus and execute
+        #: concurrently; subarrays in one bank share the bank's command
+        #: path and serialise.
+        self._n_shards = geometry.channels * geometry.banks_per_rank
+
+    @staticmethod
+    def group_of(tenant: str) -> str:
+        """The os_mm affinity group a tenant's vectors allocate under."""
+        return f"tenant/{tenant}"
+
+    def capabilities(self) -> BackendCapabilities:
+        return self._caps
+
+    def load_vector(self, tenant: str, name: str, bits: np.ndarray) -> None:
+        key = (tenant, name)
+        if key in self._handles:
+            raise ValueError(f"vector {name!r} already loaded for {tenant!r}")
+        bits = np.asarray(bits, dtype=np.uint8)
+        rt = self.runtime
+        handle = rt.pim_malloc(int(bits.size), self.group_of(tenant))
+        rt.pim_write(handle, bits)
+        self._handles[key] = handle
+        self._host[key] = bits.copy()
+        if tenant not in self._tenant_shard:
+            addr = rt.manager.frame_address(handle.frames[0])
+            g = rt.system.geometry
+            self._tenant_shard[tenant] = (
+                addr.channel * g.banks_per_rank + addr.bank
+            )
+
+    def host_vector(self, tenant: str, name: str) -> np.ndarray:
+        return self._host[(tenant, name)]
+
+    def has_vector(self, tenant: str, name: str) -> bool:
+        return (tenant, name) in self._handles
+
+    @property
+    def n_shards(self) -> int:
+        return self._n_shards
+
+    def shard_of(self, tenant: str) -> int:
+        return self._tenant_shard.get(tenant, 0)
+
+    def execute(self, calls: Sequence[ServiceCall]) -> List[ExecutedCall]:
+        """One driver batch for the whole coalesced stream."""
+        rt = self.runtime
+        staged = []
+        for call in calls:
+            sources = [self._handles[(call.tenant, n)] for n in call.names]
+            n_bits = min(h.n_bits for h in sources)
+            dest = rt.pim_malloc(n_bits, self.group_of(call.tenant))
+            rt.driver.submit(call.op, dest, sources, n_bits)
+            staged.append((dest, n_bits))
+        results = rt.driver.flush(batched=True)  # submission order
+        out = []
+        for (dest, n_bits), result in zip(staged, results):
+            bits = rt.pim_read(dest, n_bits)
+            rt.pim_free(dest)
+            out.append(
+                ExecutedCall(
+                    bits=bits,
+                    popcount=int(bits.sum()),
+                    latency_s=result.latency * self.config.timing_scale,
+                    energy_j=result.energy * self.config.energy_scale,
+                    steps=result.steps,
+                    in_memory=result.steps > 0,
+                )
+            )
+        return out
+
+    def wear_monitor(self) -> WearMonitor:
+        return WearMonitor(
+            self.runtime.system.memory,
+            self.runtime.system.technology,
+        )
+
+
+class HostOracleEngine(ServiceEngine):
+    """Any registered backend, with vectors held host-side."""
+
+    def __init__(self, config: SystemConfig, n_shards: int = 1):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.config = config
+        self.backend = registry.create(config.backend, config)
+        self.name = self.backend.name
+        self._vectors: Dict[Tuple[str, str], np.ndarray] = {}
+        self._tenant_shard: Dict[str, int] = {}
+        self._shards = n_shards
+
+    def capabilities(self) -> BackendCapabilities:
+        return self.backend.capabilities()
+
+    def load_vector(self, tenant: str, name: str, bits: np.ndarray) -> None:
+        key = (tenant, name)
+        if key in self._vectors:
+            raise ValueError(f"vector {name!r} already loaded for {tenant!r}")
+        self._vectors[key] = np.asarray(bits, dtype=np.uint8).copy()
+        if tenant not in self._tenant_shard:
+            # registration order round-robin: deterministic and balanced
+            self._tenant_shard[tenant] = len(self._tenant_shard) % self._shards
+
+    def host_vector(self, tenant: str, name: str) -> np.ndarray:
+        return self._vectors[(tenant, name)]
+
+    def has_vector(self, tenant: str, name: str) -> bool:
+        return (tenant, name) in self._vectors
+
+    @property
+    def n_shards(self) -> int:
+        return self._shards
+
+    def shard_of(self, tenant: str) -> int:
+        return self._tenant_shard.get(tenant, 0)
+
+    def execute(self, calls: Sequence[ServiceCall]) -> List[ExecutedCall]:
+        requests = [
+            (
+                call.op,
+                [self._vectors[(call.tenant, n)] for n in call.names],
+            )
+            for call in calls
+        ]
+        runs = self.backend.bitwise_many(requests)
+        return [
+            ExecutedCall(
+                bits=run.bits,
+                popcount=int(run.bits.sum()),
+                latency_s=run.stats.latency,
+                energy_j=run.stats.energy,
+                steps=run.stats.steps,
+                in_memory=run.stats.in_memory,
+            )
+            for run in runs
+        ]
+
+
+def build_engine(
+    config: SystemConfig, host_shards: int = 1, runtime=None
+) -> ServiceEngine:
+    """The engine a :class:`SystemConfig` calls for.
+
+    ``pinatubo`` gets the resident shard-aware engine (optionally over a
+    caller-built runtime, e.g. a custom benchmark geometry); everything
+    else goes through the backend protocol host-side.
+    """
+    if config.backend == "pinatubo":
+        return ResidentPimEngine(config, runtime=runtime)
+    if runtime is not None:
+        raise ValueError("runtime injection only applies to 'pinatubo'")
+    return HostOracleEngine(config, n_shards=host_shards)
+
+
+def oracle_bits(
+    engine: ServiceEngine, tenant: str, op: str, names: Sequence[str]
+) -> np.ndarray:
+    """Numpy-oracle result for a request, off the host shadow copies."""
+    operands = [engine.host_vector(tenant, n) for n in names]
+    n_bits = min(o.size for o in operands)
+    return bitwise_oracle(op, [o[:n_bits] for o in operands])

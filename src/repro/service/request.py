@@ -1,0 +1,142 @@
+"""Request/response model of the bitmap-query service.
+
+A :class:`QueryRequest` is one tenant-issued bulk-bitwise query over
+*named* bit-vectors the tenant loaded beforehand: a plain bitwise op
+(OR/AND/XOR/INV over data vectors) or a FastBit-style range query, which
+lowers to a wide OR over the covered bins' bitmap vectors (exactly how
+:mod:`repro.apps.fastbit` evaluates range predicates).
+
+A :class:`QueryResult` records what happened to the request on the
+simulated timeline: admission outcome, queueing delay, simulated service
+time, energy, and the result popcount (plus the raw bits when the
+service is configured to keep them, which the parity tests use).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.ops import PimOp
+
+__all__ = ["QueryRequest", "QueryResult", "RequestStatus"]
+
+
+class RequestStatus(enum.Enum):
+    """Terminal state of one request."""
+
+    COMPLETED = "completed"
+    REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One bulk-bitwise query from one tenant."""
+
+    request_id: int
+    tenant: str
+    op: str  # "or" / "and" / "xor" / "inv"
+    vectors: Tuple[str, ...]  # named bit-vectors of the tenant's dataset
+    arrival_s: float  # open-loop arrival time on the simulated clock
+    kind: str = "bitwise"  # "bitwise" | "range" (stats breakdown only)
+
+    def __post_init__(self) -> None:
+        op = PimOp.parse(self.op).value
+        object.__setattr__(self, "op", op)
+        if not self.tenant:
+            raise ValueError("request needs a tenant")
+        if not self.vectors:
+            raise ValueError("request needs at least one vector")
+        if op == "inv" and len(self.vectors) != 1:
+            raise ValueError("inv takes exactly one vector")
+        if op != "inv" and len(self.vectors) < 2:
+            raise ValueError(f"{op} needs at least two vectors")
+        if self.arrival_s < 0:
+            raise ValueError("arrival_s must be non-negative")
+
+    @classmethod
+    def bitwise(
+        cls, request_id: int, tenant: str, op: str, vectors, arrival_s: float
+    ) -> "QueryRequest":
+        return cls(request_id, tenant, op, tuple(vectors), arrival_s)
+
+    @classmethod
+    def range_query(
+        cls,
+        request_id: int,
+        tenant: str,
+        column: str,
+        lo: int,
+        hi: int,
+        arrival_s: float,
+    ) -> "QueryRequest":
+        """FastBit range predicate: OR over bins ``[lo, hi]`` of a column.
+
+        Bin bitmap vectors are named ``{column}/bin{b}`` by
+        ``BitmapQueryService.load_bitmap_index``.
+        """
+        if lo > hi:
+            raise ValueError(f"empty bin range on {column}: [{lo}, {hi}]")
+        bins = tuple(bin_vector_name(column, b) for b in range(lo, hi + 1))
+        if len(bins) == 1:  # single-bin range: read-through OR with itself
+            bins = bins * 2
+        return cls(request_id, tenant, "or", bins, arrival_s, kind="range")
+
+    @property
+    def fanin(self) -> int:
+        return len(self.vectors)
+
+
+def bin_vector_name(column: str, bin_index: int) -> str:
+    """Canonical vector name of one bitmap-index bin."""
+    return f"{column}/bin{bin_index}"
+
+
+@dataclass
+class QueryResult:
+    """Terminal record of one request on the simulated timeline."""
+
+    request: QueryRequest
+    status: RequestStatus
+    popcount: int = 0
+    dispatched_s: float = 0.0  # when the scheduler issued it
+    completed_s: float = 0.0  # when its shard finished it
+    service_s: float = 0.0  # simulated execution time of this request alone
+    energy_j: float = 0.0
+    batch_id: int = -1  # command-stream batch it rode in (-1: never ran)
+    reject_reason: str = ""
+    bits: Optional[np.ndarray] = field(default=None, repr=False)
+
+    @property
+    def latency_s(self) -> float:
+        """Arrival-to-completion simulated latency (0 for rejects)."""
+        if self.status is not RequestStatus.COMPLETED:
+            return 0.0
+        return self.completed_s - self.request.arrival_s
+
+    @property
+    def queue_delay_s(self) -> float:
+        """Time spent admitted-but-undispatched (includes pacing delay)."""
+        if self.status is not RequestStatus.COMPLETED:
+            return 0.0
+        return self.dispatched_s - self.request.arrival_s
+
+    def to_dict(self) -> dict:
+        return {
+            "request_id": self.request.request_id,
+            "tenant": self.request.tenant,
+            "op": self.request.op,
+            "kind": self.request.kind,
+            "status": self.status.value,
+            "popcount": self.popcount,
+            "arrival_s": self.request.arrival_s,
+            "latency_s": self.latency_s,
+            "queue_delay_s": self.queue_delay_s,
+            "service_s": self.service_s,
+            "energy_j": self.energy_j,
+            "batch_id": self.batch_id,
+            "reject_reason": self.reject_reason,
+        }

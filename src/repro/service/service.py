@@ -1,0 +1,374 @@
+"""`BitmapQueryService`: the concurrent multi-tenant serving layer.
+
+Request lifecycle (all timestamps on the deterministic simulated clock)::
+
+    submit() ──> arrival event ──> admission ──┬─> tenant queue ──┐
+                                               ├─> paced (DELAY) ─┘
+                                               └─> REJECTED
+    server idle + queues non-empty ──> scheduler.collect (round-robin,
+        cross-tenant) ──> engine.execute (ONE driver command batch) ──>
+        shard-aware pricing ──> completion event ──> results + stats
+
+The service is single-"server" by design: one memory system executes one
+coalesced command stream at a time, and concurrency comes from *inside*
+the batch (requests on different (channel, bank) shards overlap).  That
+is exactly the Pinatubo serving argument: throughput scales with how
+densely the scheduler packs independent in-memory operations, not with
+host-side threads.
+
+Telemetry: always-live counters under ``service.*`` plus a
+``service.scheduler.dispatch`` span per batch carrying the attributed
+simulated makespan/energy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+import numpy as np
+
+from repro import telemetry
+from repro.backends.config import SystemConfig
+from repro.service.admission import (
+    AdmissionController,
+    Admit,
+    TenantQuota,
+)
+from repro.service.clock import EventLoop
+from repro.service.engine import (
+    ServiceEngine,
+    build_engine,
+    oracle_bits,
+)
+from repro.service.request import (
+    QueryRequest,
+    QueryResult,
+    RequestStatus,
+    bin_vector_name,
+)
+from repro.service.scheduler import CoalescingScheduler, SchedulerConfig
+from repro.service.stats import ServiceStats
+
+__all__ = ["BitmapQueryService", "ServiceConfig"]
+
+# always-live instruments (cheap integer adds; survive telemetry.reset())
+_SUBMITTED = telemetry.counter("service.requests.submitted")
+_COMPLETED = telemetry.counter("service.requests.completed")
+_REJECTED = telemetry.counter("service.requests.rejected")
+_DELAYED = telemetry.counter("service.requests.delayed")
+_BATCHES = telemetry.counter("service.scheduler.batches")
+_COALESCED = telemetry.counter("service.scheduler.coalesced_requests")
+_QUEUE_DEPTH = telemetry.gauge("service.scheduler.queue_depth")
+_BATCH_SIZE = telemetry.gauge("service.scheduler.batch_size")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Declarative description of one service instance."""
+
+    #: the execution substrate (any registered backend); the default
+    #: places tenants bank-spread so their batches overlap across shards
+    system: SystemConfig = field(
+        default_factory=lambda: SystemConfig(
+            backend="pinatubo", placement="bank_spread"
+        )
+    )
+    #: requests coalesced per dispatch (1 = no-batching baseline)
+    max_batch: int = 16
+    #: per-dispatch command-stream issue cost (s)
+    dispatch_overhead_s: float = 1e-6
+    #: quota applied to tenants registered without an explicit one
+    default_quota: TenantQuota = field(default_factory=TenantQuota)
+    #: keep per-request result bits on the QueryResult (parity tests;
+    #: off by default to bound memory under load)
+    keep_bits: bool = False
+    #: assumed shard count for host-side engines (the functional
+    #: pinatubo engine derives shards from real placement instead)
+    host_shards: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.dispatch_overhead_s < 0:
+            raise ValueError("dispatch_overhead_s must be non-negative")
+        if self.host_shards < 1:
+            raise ValueError("host_shards must be >= 1")
+
+
+class BitmapQueryService:
+    """Multi-tenant bulk-bitwise query service over one backend."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        engine: Optional[ServiceEngine] = None,
+    ):
+        self.config = config or ServiceConfig()
+        self.engine = engine or build_engine(
+            self.config.system, host_shards=self.config.host_shards
+        )
+        self.loop = EventLoop()
+        self.admission = AdmissionController()
+        self.scheduler = CoalescingScheduler(
+            SchedulerConfig(
+                max_batch=self.config.max_batch,
+                dispatch_overhead_s=self.config.dispatch_overhead_s,
+            ),
+            self.engine,
+        )
+        self.stats = ServiceStats()
+        self.results: List[QueryResult] = []
+        self._queues: Dict[str, Deque[QueryRequest]] = {}
+        self._paced: Dict[str, int] = {}  # tenant -> in-flight DELAY count
+        self._busy = False
+        self._batch_id = 0
+        self._submitted = 0
+
+    # -- tenant/data management ----------------------------------------------
+
+    def register_tenant(
+        self, tenant: str, quota: Optional[TenantQuota] = None
+    ) -> None:
+        """Create a tenant: its quota, queue, and placement group."""
+        self.admission.register(tenant, quota or self.config.default_quota)
+        self._queues[tenant] = deque()
+        self._paced[tenant] = 0
+
+    @property
+    def tenants(self) -> List[str]:
+        return list(self._queues)
+
+    def load_vectors(self, tenant: str, vectors: Dict[str, np.ndarray]) -> None:
+        """Load named bit-vectors into the tenant's resident dataset."""
+        self._check_tenant(tenant)
+        for name, bits in vectors.items():
+            self.engine.load_vector(tenant, name, bits)
+
+    def load_bitmap_index(
+        self, tenant: str, column: str, bin_indices: np.ndarray, n_bins: int
+    ) -> None:
+        """Load a FastBit-style equality-encoded bitmap index.
+
+        One bit-vector per bin (``{column}/bin{b}``); range queries OR
+        the covered bins (:meth:`QueryRequest.range_query`).
+        """
+        self._check_tenant(tenant)
+        bin_indices = np.asarray(bin_indices)
+        if bin_indices.ndim != 1:
+            raise ValueError("bin indices must be 1-D")
+        if bin_indices.size and int(bin_indices.max()) >= n_bins:
+            raise ValueError("bin index out of range")
+        events = np.arange(bin_indices.size)
+        for b in range(n_bins):
+            bitmap = np.zeros(bin_indices.size, dtype=np.uint8)
+            bitmap[events[bin_indices == b]] = 1
+            self.engine.load_vector(tenant, bin_vector_name(column, b), bitmap)
+
+    def _check_tenant(self, tenant: str) -> None:
+        if tenant not in self._queues:
+            raise KeyError(
+                f"unknown tenant {tenant!r}; registered: {self.tenants}"
+            )
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, request: QueryRequest) -> None:
+        """Validate a request and schedule its arrival on the clock.
+
+        Validation errors (unknown tenant/vector, op the backend cannot
+        serve) raise immediately -- they are caller bugs, not load; the
+        admission pipeline only ever sees servable requests.
+        """
+        self._check_tenant(request.tenant)
+        self.engine.check_op(request.op)
+        for name in request.vectors:
+            if not self.engine.has_vector(request.tenant, name):
+                raise KeyError(
+                    f"tenant {request.tenant!r} has no vector {name!r}"
+                )
+        self._submitted += 1
+        self.loop.schedule(request.arrival_s, lambda: self._on_arrival(request))
+
+    def submit_many(self, requests) -> int:
+        count = 0
+        for request in requests:
+            self.submit(request)
+            count += 1
+        return count
+
+    # -- event handlers ------------------------------------------------------
+
+    def _on_arrival(self, request: QueryRequest) -> None:
+        tenant = request.tenant
+        now = self.loop.now
+        pending = len(self._queues[tenant]) + self._paced[tenant]
+        decision = self.admission.decide(tenant, now, pending)
+        self.stats.submitted += 1
+        self.stats.tenant(tenant).submitted += 1
+        _SUBMITTED.add()
+        if decision.outcome is Admit.REJECT:
+            self._record_reject(request, decision.reason)
+            return
+        if decision.outcome is Admit.DELAY:
+            self._paced[tenant] += 1
+            self.stats.delayed += 1
+            self.stats.tenant(tenant).delayed += 1
+            _DELAYED.add()
+            self.loop.schedule(
+                decision.retry_at_s, lambda: self._on_paced_ready(request)
+            )
+            return
+        self._enqueue(request)
+
+    def _on_paced_ready(self, request: QueryRequest) -> None:
+        self._paced[request.tenant] -= 1
+        self._enqueue(request)
+
+    def _enqueue(self, request: QueryRequest) -> None:
+        self._queues[request.tenant].append(request)
+        _QUEUE_DEPTH.set(sum(len(q) for q in self._queues.values()))
+        self._maybe_dispatch()
+
+    def _maybe_dispatch(self) -> None:
+        if self._busy or not any(self._queues.values()):
+            return
+        with telemetry.span("service.scheduler.dispatch") as sp:
+            batch, executed, pricing = self.scheduler.dispatch(self._queues)
+            now = self.loop.now
+            self._busy = True
+            self._batch_id += 1
+            batch_id = self._batch_id
+            self.stats.batches += 1
+            self.stats.busy_s += pricing.makespan_s
+            self.stats.first_dispatch_s = min(self.stats.first_dispatch_s, now)
+            if len(batch) > 1:
+                self.stats.coalesced_requests += len(batch)
+                _COALESCED.add(len(batch))
+            _BATCHES.add()
+            _BATCH_SIZE.set(len(batch))
+            _QUEUE_DEPTH.set(sum(len(q) for q in self._queues.values()))
+            sp.add(
+                latency_s=pricing.makespan_s,
+                energy_j=pricing.energy_j,
+                requests=len(batch),
+            )
+            results = []
+            for request, call, offset in zip(
+                batch, executed, pricing.completion_offsets
+            ):
+                results.append(
+                    QueryResult(
+                        request=request,
+                        status=RequestStatus.COMPLETED,
+                        popcount=call.popcount,
+                        dispatched_s=now,
+                        completed_s=now + offset,
+                        service_s=call.latency_s,
+                        energy_j=call.energy_j,
+                        batch_id=batch_id,
+                        bits=call.bits if self.config.keep_bits else None,
+                    )
+                )
+            self.loop.schedule(
+                now + pricing.makespan_s,
+                lambda: self._on_batch_done(results),
+            )
+
+    def _on_batch_done(self, results: List[QueryResult]) -> None:
+        for result in results:
+            self._record_completion(result)
+        self._busy = False
+        self._maybe_dispatch()
+
+    # -- recording -----------------------------------------------------------
+
+    def _record_reject(self, request: QueryRequest, reason: str) -> None:
+        result = QueryResult(
+            request=request,
+            status=RequestStatus.REJECTED,
+            completed_s=self.loop.now,
+            reject_reason=reason,
+        )
+        self.results.append(result)
+        self.stats.rejected += 1
+        self.stats.tenant(request.tenant).rejected += 1
+        _REJECTED.add()
+
+    def _record_completion(self, result: QueryResult) -> None:
+        self.results.append(result)
+        tenant = self.stats.tenant(result.request.tenant)
+        self.stats.completed += 1
+        tenant.completed += 1
+        self.stats.energy_j += result.energy_j
+        tenant.energy_j += result.energy_j
+        tenant.service_s += result.service_s
+        self.stats.latency.record(result.latency_s)
+        tenant.latency.record(result.latency_s)
+        self.stats.last_completion_s = max(
+            self.stats.last_completion_s, result.completed_s
+        )
+        _COMPLETED.add()
+
+    # -- running -------------------------------------------------------------
+
+    def run(self, max_events: Optional[int] = None) -> ServiceStats:
+        """Drain the event loop to completion; returns the stats.
+
+        ``max_events`` defaults to a budget linear in the submitted
+        request count, so a scheduling bug deadlocks the test, not the
+        machine.
+        """
+        if max_events is None:
+            # per request: arrival + paced retry + batch completion share,
+            # with headroom; single-request batches are the worst case
+            max_events = 4 * self._submitted + 64
+        self.loop.run(max_events=max_events)
+        if self._busy:
+            raise RuntimeError("event loop drained while a batch was in flight")
+        monitor = self.engine.wear_monitor()
+        if monitor is not None:
+            monitor.publish()
+        return self.stats
+
+    # -- verification --------------------------------------------------------
+
+    def oracle_popcount(self, request: QueryRequest) -> int:
+        """Numpy-oracle popcount for a request (parity checks)."""
+        return int(
+            oracle_bits(
+                self.engine, request.tenant, request.op, request.vectors
+            ).sum()
+        )
+
+    def verify_results(self) -> int:
+        """Assert every completed result matches the numpy oracle.
+
+        Returns the number of results checked.  With ``keep_bits`` the
+        raw bits are compared too, not just the popcount.
+        """
+        checked = 0
+        for result in self.results:
+            if result.status is not RequestStatus.COMPLETED:
+                continue
+            expected = oracle_bits(
+                self.engine,
+                result.request.tenant,
+                result.request.op,
+                result.request.vectors,
+            )
+            if result.popcount != int(expected.sum()):
+                raise AssertionError(
+                    f"request {result.request.request_id}: popcount "
+                    f"{result.popcount} != oracle {int(expected.sum())}"
+                )
+            if result.bits is not None and not np.array_equal(
+                result.bits, expected
+            ):
+                raise AssertionError(
+                    f"request {result.request.request_id}: bits differ "
+                    f"from the numpy oracle"
+                )
+            checked += 1
+        return checked

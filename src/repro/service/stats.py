@@ -1,0 +1,216 @@
+"""Service statistics: latency distributions and per-tenant accounting.
+
+Latencies are *simulated* seconds off the deterministic clock, so the
+recorder's output -- percentiles, the log-binned histogram, the JSON
+serialisation -- is byte-identical across runs with the same seed.  The
+containers follow the repo's StatsLike convention (``to_dict()`` +
+``summary()``), matching ``RunStats``/``DriverStats``/``OpAccounting``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List
+
+__all__ = ["LatencyRecorder", "ServiceStats", "TenantStats"]
+
+#: histogram geometry: log-spaced bins over [1 ns, 10 s), 8 per decade;
+#: fixed constants so two runs bin identically
+_HIST_LO_EXP = -9
+_HIST_HI_EXP = 1
+_BINS_PER_DECADE = 8
+_N_BINS = (_HIST_HI_EXP - _HIST_LO_EXP) * _BINS_PER_DECADE
+
+
+class LatencyRecorder:
+    """Deterministic latency samples + log-binned histogram + percentiles."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+        self._bins = [0] * (_N_BINS + 2)  # + underflow/overflow
+
+    def record(self, latency_s: float) -> None:
+        if not math.isfinite(latency_s) or latency_s < 0:
+            raise ValueError("latency must be finite and non-negative")
+        self._samples.append(latency_s)
+        self._bins[self._bin_index(latency_s)] += 1
+
+    @staticmethod
+    def _bin_index(latency_s: float) -> int:
+        if latency_s <= 0:
+            return 0  # underflow bin
+        pos = (math.log10(latency_s) - _HIST_LO_EXP) * _BINS_PER_DECADE
+        if pos < 0:
+            return 0
+        if pos >= _N_BINS:
+            return _N_BINS + 1  # overflow bin
+        return int(pos) + 1
+
+    @staticmethod
+    def bin_edges() -> List[float]:
+        """Bin edges in seconds (fixed; shared by every recorder)."""
+        return [
+            10.0 ** (_HIST_LO_EXP + i / _BINS_PER_DECADE)
+            for i in range(_N_BINS + 1)
+        ]
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile (deterministic; 0.0 when empty)."""
+        if not 0 < p <= 100:
+            raise ValueError("p must be in (0, 100]")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def histogram(self) -> List[int]:
+        """Counts per bin: ``[underflow, *bins, overflow]``."""
+        return list(self._bins)
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean_s": self.mean(),
+            "p50_s": self.percentile(50) if self._samples else 0.0,
+            "p99_s": self.percentile(99) if self._samples else 0.0,
+            "max_s": max(self._samples) if self._samples else 0.0,
+            "histogram": self.histogram(),
+        }
+
+    def to_json(self) -> str:
+        """Canonical byte-stable serialisation (the determinism contract)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+class TenantStats:
+    """One tenant's view of the service."""
+
+    def __init__(self, tenant: str):
+        self.tenant = tenant
+        self.submitted = 0
+        self.completed = 0
+        self.rejected = 0
+        self.delayed = 0  # paced by the DELAY overload policy
+        self.energy_j = 0.0
+        self.service_s = 0.0  # simulated execution time consumed
+        self.latency = LatencyRecorder()
+
+    def to_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "delayed": self.delayed,
+            "energy_j": self.energy_j,
+            "service_s": self.service_s,
+            "latency": self.latency.to_dict(),
+        }
+
+    def summary(self) -> str:
+        lat = self.latency
+        return (
+            f"TenantStats[{self.tenant}]: {self.completed}/{self.submitted} "
+            f"completed, {self.rejected} rejected, {self.delayed} delayed, "
+            f"p50 {lat.percentile(50) if lat.count else 0.0:.3e}s, "
+            f"p99 {lat.percentile(99) if lat.count else 0.0:.3e}s, "
+            f"energy {self.energy_j:.3e}J"
+        )
+
+
+class ServiceStats:
+    """Aggregate + per-tenant statistics of one service run."""
+
+    def __init__(self) -> None:
+        self.tenants: Dict[str, TenantStats] = {}
+        self.latency = LatencyRecorder()
+        self.submitted = 0
+        self.completed = 0
+        self.rejected = 0
+        self.delayed = 0
+        self.batches = 0
+        self.coalesced_requests = 0  # requests that shared a batch with >= 1 other
+        self.energy_j = 0.0
+        self.busy_s = 0.0  # simulated time the server spent executing batches
+        self.first_dispatch_s = math.inf
+        self.last_completion_s = 0.0
+
+    def tenant(self, name: str) -> TenantStats:
+        stats = self.tenants.get(name)
+        if stats is None:
+            stats = self.tenants[name] = TenantStats(name)
+        return stats
+
+    @property
+    def makespan_s(self) -> float:
+        """First dispatch to last completion on the simulated clock."""
+        if not math.isfinite(self.first_dispatch_s):
+            return 0.0
+        return self.last_completion_s - self.first_dispatch_s
+
+    @property
+    def ops_per_s(self) -> float:
+        """Completed requests per simulated second of serving."""
+        span = self.makespan_s
+        if span <= 0:
+            return 0.0
+        return self.completed / span
+
+    @property
+    def mean_batch_size(self) -> float:
+        if self.batches == 0:
+            return 0.0
+        return self.completed / self.batches
+
+    def to_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "delayed": self.delayed,
+            "batches": self.batches,
+            "coalesced_requests": self.coalesced_requests,
+            "mean_batch_size": self.mean_batch_size,
+            "energy_j": self.energy_j,
+            "busy_s": self.busy_s,
+            "makespan_s": self.makespan_s,
+            "ops_per_s": self.ops_per_s,
+            "latency": self.latency.to_dict(),
+            "tenants": {
+                name: stats.to_dict()
+                for name, stats in sorted(self.tenants.items())
+            },
+        }
+
+    def to_json(self) -> str:
+        """Canonical byte-stable serialisation (the determinism contract)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def summary(self) -> str:
+        lat = self.latency
+        lines = [
+            (
+                f"ServiceStats: {self.completed}/{self.submitted} completed "
+                f"({self.rejected} rejected, {self.delayed} delayed) in "
+                f"{self.batches} batches (mean size "
+                f"{self.mean_batch_size:.1f}), "
+                f"{self.ops_per_s:.3e} ops/s over {self.makespan_s:.3e}s, "
+                f"p50 {lat.percentile(50) if lat.count else 0.0:.3e}s, "
+                f"p99 {lat.percentile(99) if lat.count else 0.0:.3e}s, "
+                f"energy {self.energy_j:.3e}J"
+            )
+        ]
+        for name in sorted(self.tenants):
+            lines.append("  " + self.tenants[name].summary())
+        return "\n".join(lines)

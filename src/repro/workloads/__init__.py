@@ -10,9 +10,28 @@ generate traces; the harness prices a trace on any
   ("19-16-7s" = 2^19-bit vectors, 2^16 of them, 2^7-row OR ops,
   sequential).
 - :mod:`repro.workloads.trace` -- trace container and pricing.
+- :mod:`repro.workloads.service_load` -- synthetic multi-tenant serving
+  load (open-loop Poisson arrivals, Zipf tenant skew) for
+  :mod:`repro.service`.
 """
 
+from repro.workloads.service_load import (
+    ServiceLoadSpec,
+    build_datasets,
+    generate_requests,
+    run_service_load,
+)
 from repro.workloads.spec import VectorSpec
 from repro.workloads.trace import BitwiseEvent, CpuEvent, OpTrace, WorkloadCost
 
-__all__ = ["VectorSpec", "BitwiseEvent", "CpuEvent", "OpTrace", "WorkloadCost"]
+__all__ = [
+    "BitwiseEvent",
+    "CpuEvent",
+    "OpTrace",
+    "ServiceLoadSpec",
+    "VectorSpec",
+    "WorkloadCost",
+    "build_datasets",
+    "generate_requests",
+    "run_service_load",
+]

@@ -1,0 +1,192 @@
+"""Synthetic multi-tenant load for the serving layer.
+
+A :class:`ServiceLoadSpec` describes one experiment: tenant count and
+skew, the resident dataset per tenant, the query mix, and an open-loop
+arrival process.  ``run_service_load`` builds a
+:class:`~repro.service.BitmapQueryService`, plays the load, and returns
+the stats -- the same function drives the benchmark, the determinism
+tests, and the CI smoke job.
+
+Two classic serving-workload properties are modelled:
+
+- **open-loop arrivals**: request times come from a seeded Poisson
+  process (exponential inter-arrivals), independent of service
+  completions -- so admission control actually has something to do when
+  offered load exceeds capacity;
+- **tenant skew**: tenants are drawn from a Zipf-like distribution
+  (``P(tenant k) proportional to 1/(k+1)^zipf_s``), so a few hot tenants
+  dominate, which is what stresses per-tenant quotas and cross-tenant
+  batching fairness.
+
+Everything is driven by one ``numpy`` Generator seeded from the spec, so
+a fixed seed replays the identical request stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.service.engine import ServiceEngine
+from repro.service.request import QueryRequest
+from repro.service.service import BitmapQueryService, ServiceConfig
+from repro.service.stats import ServiceStats
+
+__all__ = [
+    "ServiceLoadSpec",
+    "build_datasets",
+    "generate_requests",
+    "run_service_load",
+]
+
+#: query mix: (kind, weight); kinds are ops or "range"
+_DEFAULT_MIX: Tuple[Tuple[str, float], ...] = (
+    ("and", 0.35),
+    ("or", 0.25),
+    ("xor", 0.15),
+    ("inv", 0.05),
+    ("range", 0.20),
+)
+
+
+@dataclass(frozen=True)
+class ServiceLoadSpec:
+    """One synthetic serving experiment, fully determined by the seed."""
+
+    n_tenants: int = 16
+    #: resident plain bit-vectors per tenant
+    vectors_per_tenant: int = 4
+    #: bits per resident vector
+    vector_bits: int = 4096
+    #: bins in each tenant's one bitmap-indexed column
+    index_bins: int = 8
+    #: events in the bitmap-indexed column
+    index_events: int = 2048
+    #: total requests offered
+    n_requests: int = 256
+    #: mean offered rate of the Poisson arrival process (req/simulated s)
+    arrival_rate_per_s: float = 2e5
+    #: Zipf exponent for tenant selection (0 = uniform)
+    zipf_s: float = 1.0
+    #: (kind, weight) query mix; kinds are ops or "range"
+    mix: Tuple[Tuple[str, float], ...] = field(default=_DEFAULT_MIX)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_tenants < 1:
+            raise ValueError("n_tenants must be >= 1")
+        if self.vectors_per_tenant < 2:
+            raise ValueError("vectors_per_tenant must be >= 2 (binary ops)")
+        if self.vector_bits < 1 or self.index_events < 1:
+            raise ValueError("vector_bits/index_events must be positive")
+        if self.index_bins < 1:
+            raise ValueError("index_bins must be >= 1")
+        if self.n_requests < 1:
+            raise ValueError("n_requests must be >= 1")
+        if not self.arrival_rate_per_s > 0:
+            raise ValueError("arrival_rate_per_s must be positive")
+        if self.zipf_s < 0:
+            raise ValueError("zipf_s must be non-negative")
+        if not self.mix or any(w <= 0 for _, w in self.mix):
+            raise ValueError("mix must be non-empty with positive weights")
+
+    @property
+    def tenant_names(self) -> List[str]:
+        width = len(str(self.n_tenants - 1))
+        return [f"tenant{i:0{width}d}" for i in range(self.n_tenants)]
+
+    def tenant_probabilities(self) -> np.ndarray:
+        """Zipf-like tenant weights, normalised."""
+        ranks = np.arange(1, self.n_tenants + 1, dtype=np.float64)
+        weights = ranks ** (-self.zipf_s)
+        return weights / weights.sum()
+
+
+def build_datasets(
+    spec: ServiceLoadSpec, service: BitmapQueryService
+) -> None:
+    """Register every tenant and load its resident dataset.
+
+    Per tenant: ``vectors_per_tenant`` random bit-vectors named ``v0``,
+    ``v1``, ... plus one bitmap-indexed column ``col`` with
+    ``index_bins`` bins.  Dataset randomness is seeded separately from
+    the request stream so the two can be varied independently.
+    """
+    rng = np.random.default_rng((spec.seed, 0xDA7A))
+    for tenant in spec.tenant_names:
+        service.register_tenant(tenant)
+        service.load_vectors(
+            tenant,
+            {
+                f"v{i}": rng.integers(
+                    0, 2, spec.vector_bits, dtype=np.uint8
+                )
+                for i in range(spec.vectors_per_tenant)
+            },
+        )
+        service.load_bitmap_index(
+            tenant,
+            "col",
+            rng.integers(0, spec.index_bins, spec.index_events),
+            spec.index_bins,
+        )
+
+
+def generate_requests(spec: ServiceLoadSpec) -> List[QueryRequest]:
+    """The offered request stream: open-loop, skewed, seeded.
+
+    Arrival times are a Poisson process at ``arrival_rate_per_s``;
+    tenants are Zipf-drawn; kinds follow the mix.  Request ids number
+    the stream in arrival order.
+    """
+    rng = np.random.default_rng((spec.seed, 0x10AD))
+    arrivals = np.cumsum(
+        rng.exponential(1.0 / spec.arrival_rate_per_s, spec.n_requests)
+    )
+    tenants = rng.choice(
+        spec.tenant_names, size=spec.n_requests, p=spec.tenant_probabilities()
+    )
+    kinds = [k for k, _ in spec.mix]
+    weights = np.array([w for _, w in spec.mix], dtype=np.float64)
+    picks = rng.choice(len(kinds), size=spec.n_requests, p=weights / weights.sum())
+    requests: List[QueryRequest] = []
+    for i in range(spec.n_requests):
+        kind = kinds[picks[i]]
+        tenant = str(tenants[i])
+        arrival = float(arrivals[i])
+        if kind == "range":
+            lo = int(rng.integers(0, spec.index_bins))
+            hi = int(rng.integers(lo, spec.index_bins))
+            requests.append(
+                QueryRequest.range_query(i, tenant, "col", lo, hi, arrival)
+            )
+            continue
+        if kind == "inv":
+            names: Tuple[str, ...] = (
+                f"v{rng.integers(0, spec.vectors_per_tenant)}",
+            )
+        else:
+            n_ops = int(rng.integers(2, spec.vectors_per_tenant + 1))
+            chosen = rng.choice(
+                spec.vectors_per_tenant, size=n_ops, replace=False
+            )
+            names = tuple(f"v{int(v)}" for v in chosen)
+        requests.append(
+            QueryRequest.bitwise(i, tenant, kind, names, arrival)
+        )
+    return requests
+
+
+def run_service_load(
+    spec: ServiceLoadSpec,
+    config: Optional[ServiceConfig] = None,
+    engine: Optional[ServiceEngine] = None,
+) -> Tuple[BitmapQueryService, ServiceStats]:
+    """Build a service, load datasets, play the stream, drain the loop."""
+    service = BitmapQueryService(config, engine=engine)
+    build_datasets(spec, service)
+    service.submit_many(generate_requests(spec))
+    stats = service.run()
+    return service, stats

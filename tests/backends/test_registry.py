@@ -50,6 +50,43 @@ class TestStockRegistry:
         assert a is not b
 
 
+class TestCapabilityListing:
+    def test_capabilities_match_backend_instances(self):
+        for name in EXPECTED_BACKENDS:
+            cached = registry.capabilities(name)
+            assert cached == registry.create(name).capabilities()
+
+    def test_capabilities_are_cached(self):
+        assert registry.capabilities("simd") is registry.capabilities("simd")
+
+    def test_describe_names_ops_and_flavour(self):
+        line = registry.describe("pinatubo")
+        assert line.startswith("pinatubo:")
+        for op in ("and", "or", "xor", "inv"):
+            assert op in line
+        assert "functional" in line
+        assert "in-memory" in line
+
+    def test_list_covers_every_backend(self):
+        lines = registry.list()
+        assert len(lines) == len(EXPECTED_BACKENDS)
+        for name, line in zip(sorted(EXPECTED_BACKENDS), lines):
+            assert line.startswith(f"{name}:")
+
+    def test_repr_includes_capabilities(self):
+        text = repr(registry)
+        assert f"BackendRegistry({len(EXPECTED_BACKENDS)} backends)" in text
+        assert "sdram: ops={and, or}" in text
+
+    def test_caches_are_per_registry(self):
+        reg = BackendRegistry()
+        reg.register("null", lambda config: _NullBackend(config))
+        assert reg.capabilities("null").max_fanin == 2
+        other = BackendRegistry()
+        with pytest.raises(ValueError, match="unknown backend"):
+            other.capabilities("null")
+
+
 class TestCustomRegistration:
     def test_register_and_create(self):
         reg = BackendRegistry()

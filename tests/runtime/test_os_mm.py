@@ -76,6 +76,123 @@ class TestInterleavedPlacement:
         assert len(set(frames)) == SMALL.total_rows
 
 
+#: two ranks per channel so every spill level (subarray -> bank -> rank
+#: -> channel) is exercisable
+TALL = MemoryGeometry(
+    channels=2,
+    ranks_per_channel=2,
+    chips_per_rank=1,
+    banks_per_chip=2,
+    subarrays_per_bank=2,
+    rows_per_subarray=4,
+    mats_per_subarray=1,
+    cols_per_mat=512,
+    mux_ratio=8,
+)
+
+
+class TestSpillOrder:
+    """A group overflows subarray -> bank -> rank -> channel, in order."""
+
+    def _fill_group(self, mm, geometry, n_subarrays):
+        """One address per claimed subarray, by filling each completely."""
+        addrs = []
+        for _ in range(n_subarrays):
+            frames = mm.allocate_rows(geometry.rows_per_subarray, "g")
+            addrs.append(mm.frame_address(frames[0]))
+        return addrs
+
+    def test_subarray_then_bank_then_rank_then_channel(self):
+        mm = PimMemoryManager(TALL)
+        g = TALL
+        per_bank = g.subarrays_per_bank
+        per_rank = per_bank * g.banks_per_rank
+        per_channel = per_rank * g.ranks_per_channel
+        addrs = self._fill_group(mm, g, per_channel + 1)
+
+        first = addrs[0]
+        # consecutive subarrays stay in the first bank until it is full
+        assert all(
+            a.same_bank(first) for a in addrs[:per_bank]
+        )
+        assert not addrs[per_bank].same_bank(first)
+        # ... then stay in the first rank until the rank is full
+        assert all(
+            (a.channel, a.rank) == (first.channel, first.rank)
+            for a in addrs[:per_rank]
+        )
+        assert addrs[per_rank].rank != first.rank
+        # ... then stay on the first channel until the channel is full
+        assert all(a.channel == first.channel for a in addrs[:per_channel])
+        assert addrs[per_channel].channel != first.channel
+
+    def test_spill_never_revisits_a_full_subarray(self):
+        mm = PimMemoryManager(TALL)
+        total_subarrays = (
+            TALL.channels
+            * TALL.ranks_per_channel
+            * TALL.banks_per_rank
+            * TALL.subarrays_per_bank
+        )
+        addrs = self._fill_group(mm, TALL, total_subarrays)
+        seen = {(a.channel, a.rank, a.bank, a.subarray) for a in addrs}
+        assert len(seen) == total_subarrays
+
+    def test_partial_subarray_fills_before_spilling(self):
+        mm = PimMemoryManager(SMALL)
+        mm.allocate_rows(SMALL.rows_per_subarray - 1, "g")
+        last = mm.allocate_rows(2, "g")
+        addrs = [mm.frame_address(f) for f in last]
+        # first row tops off the current subarray, second spills
+        assert not addrs[0].same_subarray(addrs[1])
+
+
+class TestChannelStripedPlacement:
+    def test_chunk_to_channel_mapping(self):
+        mm = PimMemoryManager(SMALL, PlacementPolicy.CHANNEL_STRIPED)
+        frames = mm.allocate_rows(6, "g")
+        addrs = [mm.frame_address(f) for f in frames]
+        for i, addr in enumerate(addrs):
+            assert addr.channel == i % SMALL.channels
+
+    def test_group_vectors_share_stripe_subarrays(self):
+        mm = PimMemoryManager(SMALL, PlacementPolicy.CHANNEL_STRIPED)
+        v1 = [mm.frame_address(f) for f in mm.allocate_rows(4, "g")]
+        v2 = [mm.frame_address(f) for f in mm.allocate_rows(4, "g")]
+        # chunk c of every vector in the group lands intra-subarray,
+        # which is what keeps chunk-c ops subarray-local
+        for a, b in zip(v1, v2):
+            assert a.same_subarray(b)
+
+    def test_stripe_claims_are_first_fit_per_channel(self):
+        # unlike PIM_AWARE's round-robin cursor, stripes claim the first
+        # subarray with free rows on the chunk's channel, so different
+        # groups may share one (ops are still subarray-local per chunk)
+        mm = PimMemoryManager(SMALL, PlacementPolicy.CHANNEL_STRIPED)
+        a = mm.frame_address(mm.allocate_rows(1, "a")[0])
+        b = mm.frame_address(mm.allocate_rows(1, "b")[0])
+        assert a.channel == 0 and b.channel == 0
+        assert a.same_subarray(b)
+
+    def test_stripe_spills_within_its_channel(self):
+        mm = PimMemoryManager(SMALL, PlacementPolicy.CHANNEL_STRIPED)
+        # overflow channel 0's stripe subarray: rows 0, 2, 4, ... go to
+        # channel 0, so 2 * rows_per_subarray + 1 rows overflow it
+        n = 2 * SMALL.rows_per_subarray + 1
+        frames = mm.allocate_rows(n, "g")
+        chan0 = [
+            mm.frame_address(f) for i, f in enumerate(frames) if i % 2 == 0
+        ]
+        assert all(a.channel == 0 for a in chan0)
+        subarrays = {(a.rank, a.bank, a.subarray) for a in chan0}
+        assert len(subarrays) == 2  # spilled exactly once, stayed on-channel
+
+    def test_striped_fills_whole_memory(self):
+        mm = PimMemoryManager(SMALL, PlacementPolicy.CHANNEL_STRIPED)
+        frames = mm.allocate_rows(SMALL.total_rows, "g")
+        assert len(set(frames)) == SMALL.total_rows
+
+
 class TestFree:
     def test_free_returns_rows(self, mm):
         frames = mm.allocate_rows(10, "g")

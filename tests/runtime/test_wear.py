@@ -105,6 +105,49 @@ class TestEnduranceBudget:
             monitor.over_budget_frames(0.0)
 
 
+class TestTelemetryPublish:
+    def test_publish_pushes_counters_and_gauges(self, memory, monitor):
+        from repro import telemetry
+
+        telemetry.reset()
+        _write(memory, 0, times=4)
+        _write(memory, 1, times=2)
+        report = monitor.publish()
+        assert report.total_writes == 6
+        agg = telemetry.aggregate()
+        assert agg["counters"]["runtime.wear.total_writes"] == 6
+        assert agg["counters"]["runtime.wear.frames_written"] == 2
+        assert agg["gauges"]["runtime.wear.max_writes"] == 4.0
+        assert agg["gauges"]["runtime.wear.imbalance"] == pytest.approx(4 / 3)
+        telemetry.reset()
+
+    def test_repeated_publish_adds_only_deltas(self, memory, monitor):
+        from repro import telemetry
+
+        telemetry.reset()
+        _write(memory, 0, times=3)
+        monitor.publish()
+        monitor.publish()  # nothing new: counters must not double
+        agg = telemetry.aggregate()
+        assert agg["counters"]["runtime.wear.total_writes"] == 3
+        _write(memory, 1, times=2)
+        monitor.publish()
+        agg = telemetry.aggregate()
+        assert agg["counters"]["runtime.wear.total_writes"] == 5
+        assert agg["counters"]["runtime.wear.frames_written"] == 2
+        telemetry.reset()
+
+    def test_mainmem_live_counter_tracks_every_write(self, memory):
+        from repro import telemetry
+
+        telemetry.reset()
+        _write(memory, 0, times=3)
+        _write(memory, 5, times=1)
+        agg = telemetry.aggregate()
+        assert agg["counters"]["memsim.mainmem.frame_writes"] == 4
+        telemetry.reset()
+
+
 class TestPimWorkloadWear:
     def test_accumulator_rows_run_hot(self):
         """A PIM accumulation loop concentrates wear on the destination --

@@ -1,0 +1,138 @@
+"""Tests for admission control: quotas, token buckets, and policies."""
+
+import math
+
+import pytest
+
+from repro.service.admission import (
+    AdmissionController,
+    Admit,
+    OverloadPolicy,
+    TenantQuota,
+    TokenBucket,
+)
+
+
+class TestTenantQuota:
+    def test_defaults_are_valid(self):
+        quota = TenantQuota()
+        assert quota.max_pending >= 1
+        assert math.isinf(quota.rate_per_s)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_pending": 0},
+            {"rate_per_s": 0.0},
+            {"rate_per_s": -1.0},
+            {"burst": 0},
+            {"max_delay_s": -0.1},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            TenantQuota(**kwargs)
+
+
+class TestTokenBucket:
+    def test_starts_full(self):
+        bucket = TokenBucket(rate_per_s=10.0, burst=3)
+        assert bucket.take(0.0)
+        assert bucket.take(0.0)
+        assert bucket.take(0.0)
+        assert not bucket.take(0.0)
+
+    def test_refills_over_simulated_time(self):
+        bucket = TokenBucket(rate_per_s=10.0, burst=1)
+        assert bucket.take(0.0)
+        assert not bucket.take(0.05)  # half a token accrued
+        assert bucket.take(0.1)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate_per_s=1000.0, burst=2)
+        bucket.take(0.0)
+        bucket.take(0.0)
+        # a long quiet period accrues at most `burst` tokens
+        assert bucket.take(100.0)
+        assert bucket.take(100.0)
+        assert not bucket.take(100.0)
+
+    def test_infinite_rate_never_blocks(self):
+        bucket = TokenBucket(rate_per_s=math.inf, burst=1)
+        for _ in range(100):
+            assert bucket.take(0.0)
+        assert bucket.wait_s(0.0) == 0.0
+
+    def test_reserve_paces_at_exactly_one_over_rate(self):
+        bucket = TokenBucket(rate_per_s=10.0, burst=1)
+        assert bucket.take(0.0)
+        t1 = bucket.reserve(0.0)
+        t2 = bucket.reserve(0.0)
+        assert t1 == pytest.approx(0.1)
+        assert t2 == pytest.approx(0.2)
+
+    def test_wait_s_reports_time_to_next_token(self):
+        bucket = TokenBucket(rate_per_s=10.0, burst=1)
+        bucket.take(0.0)
+        assert bucket.wait_s(0.0) == pytest.approx(0.1)
+
+
+class TestAdmissionController:
+    def make(self, **quota_kwargs):
+        ctrl = AdmissionController()
+        ctrl.register("t", TenantQuota(**quota_kwargs))
+        return ctrl
+
+    def test_duplicate_registration_rejected(self):
+        ctrl = self.make()
+        with pytest.raises(ValueError, match="already registered"):
+            ctrl.register("t")
+
+    def test_admits_under_quota(self):
+        ctrl = self.make()
+        decision = ctrl.decide("t", now=0.0, pending=0)
+        assert decision.outcome is Admit.ENQUEUE
+
+    def test_queue_bound_rejects(self):
+        ctrl = self.make(max_pending=4)
+        decision = ctrl.decide("t", now=0.0, pending=4)
+        assert decision.outcome is Admit.REJECT
+        assert "queue full" in decision.reason
+
+    def test_rate_quota_rejects_by_default(self):
+        ctrl = self.make(rate_per_s=10.0, burst=1)
+        assert ctrl.decide("t", 0.0, 0).outcome is Admit.ENQUEUE
+        decision = ctrl.decide("t", 0.0, 1)
+        assert decision.outcome is Admit.REJECT
+        assert "rate quota" in decision.reason
+
+    def test_delay_policy_paces_into_the_future(self):
+        ctrl = self.make(
+            rate_per_s=10.0, burst=1, policy=OverloadPolicy.DELAY
+        )
+        assert ctrl.decide("t", 0.0, 0).outcome is Admit.ENQUEUE
+        decision = ctrl.decide("t", 0.0, 1)
+        assert decision.outcome is Admit.DELAY
+        assert decision.retry_at_s == pytest.approx(0.1)
+
+    def test_delay_policy_bounds_the_pacing(self):
+        ctrl = self.make(
+            rate_per_s=10.0,
+            burst=1,
+            policy=OverloadPolicy.DELAY,
+            max_delay_s=0.15,
+        )
+        ctrl.decide("t", 0.0, 0)  # drains the bucket
+        assert ctrl.decide("t", 0.0, 1).outcome is Admit.DELAY  # 0.1s wait
+        decision = ctrl.decide("t", 0.0, 2)  # next token is 0.2s out
+        assert decision.outcome is Admit.REJECT
+        assert "pacing delay" in decision.reason
+
+    def test_tenants_metered_independently(self):
+        ctrl = AdmissionController()
+        ctrl.register("a", TenantQuota(rate_per_s=10.0, burst=1))
+        ctrl.register("b", TenantQuota(rate_per_s=10.0, burst=1))
+        assert ctrl.decide("a", 0.0, 0).outcome is Admit.ENQUEUE
+        assert ctrl.decide("a", 0.0, 1).outcome is Admit.REJECT
+        # tenant b's bucket is untouched by a's exhaustion
+        assert ctrl.decide("b", 0.0, 0).outcome is Admit.ENQUEUE

@@ -1,0 +1,67 @@
+"""Tests for the deterministic simulated event loop."""
+
+import pytest
+
+from repro.service.clock import EventLoop
+
+
+class TestEventLoop:
+    def test_starts_at_zero(self):
+        assert EventLoop().now == 0.0
+
+    def test_runs_in_time_order(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(3e-6, lambda: seen.append("c"))
+        loop.schedule(1e-6, lambda: seen.append("a"))
+        loop.schedule(2e-6, lambda: seen.append("b"))
+        loop.run()
+        assert seen == ["a", "b", "c"]
+        assert loop.now == 3e-6
+
+    def test_ties_break_by_schedule_order(self):
+        loop = EventLoop()
+        seen = []
+        for tag in ("first", "second", "third"):
+            loop.schedule(1e-6, lambda t=tag: seen.append(t))
+        loop.run()
+        assert seen == ["first", "second", "third"]
+
+    def test_callbacks_can_schedule_more_events(self):
+        loop = EventLoop()
+        seen = []
+
+        def chain(n):
+            seen.append(n)
+            if n < 3:
+                loop.schedule_after(1e-6, lambda: chain(n + 1))
+
+        loop.schedule(0.0, lambda: chain(0))
+        loop.run()
+        assert seen == [0, 1, 2, 3]
+        assert loop.now == pytest.approx(3e-6)
+
+    def test_rejects_scheduling_in_the_past(self):
+        loop = EventLoop()
+        loop.schedule(1e-6, lambda: loop.schedule(0.0, lambda: None))
+        with pytest.raises(ValueError, match="past"):
+            loop.run()
+
+    def test_max_events_guard(self):
+        loop = EventLoop()
+
+        def forever():
+            loop.schedule_after(1e-9, forever)
+
+        loop.schedule(0.0, forever)
+        with pytest.raises(RuntimeError, match="event budget"):
+            loop.run(max_events=100)
+
+    def test_pending_and_processed_counts(self):
+        loop = EventLoop()
+        loop.schedule(1e-6, lambda: None)
+        loop.schedule(2e-6, lambda: None)
+        assert loop.pending == 2
+        loop.run()
+        assert loop.pending == 0
+        assert loop.events_processed == 2

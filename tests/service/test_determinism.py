@@ -1,0 +1,82 @@
+"""Fixed-seed determinism: the serving layer's reproducibility contract.
+
+Two runs of the same spec must agree byte-for-byte -- latency
+histograms, per-tenant aggregates, and the telemetry roll-up (modulo
+wall-clock fields, which are the only nondeterministic quantity in the
+system and are stripped before comparison).
+"""
+
+import copy
+import json
+
+from repro import telemetry
+from repro.workloads.service_load import ServiceLoadSpec, run_service_load
+
+SPEC = ServiceLoadSpec(
+    n_tenants=4,
+    vectors_per_tenant=3,
+    vector_bits=1024,
+    index_events=512,
+    n_requests=64,
+    arrival_rate_per_s=5e5,
+    seed=1234,
+)
+
+
+def _strip_wall(aggregate: dict) -> dict:
+    """Drop wall-clock measurements; everything left is simulated."""
+    out = copy.deepcopy(aggregate)
+    for span in out.get("spans", {}).values():
+        span.pop("wall_s", None)
+    return out
+
+
+def _one_run(spec):
+    telemetry.reset()
+    telemetry.configure(enabled=True)
+    try:
+        service, stats = run_service_load(spec)
+        aggregate = _strip_wall(telemetry.aggregate())
+    finally:
+        telemetry.configure(enabled=False)
+        telemetry.reset()
+    return service, stats, aggregate
+
+
+class TestDeterminism:
+    def test_stats_json_is_byte_identical(self):
+        _, stats_a, _ = _one_run(SPEC)
+        _, stats_b, _ = _one_run(SPEC)
+        assert stats_a.to_json() == stats_b.to_json()
+
+    def test_latency_histograms_are_byte_identical(self):
+        _, stats_a, _ = _one_run(SPEC)
+        _, stats_b, _ = _one_run(SPEC)
+        assert stats_a.latency.to_json() == stats_b.latency.to_json()
+        for tenant in stats_a.tenants:
+            assert (
+                stats_a.tenants[tenant].latency.to_json()
+                == stats_b.tenants[tenant].latency.to_json()
+            )
+
+    def test_telemetry_aggregates_are_identical(self):
+        _, _, agg_a = _one_run(SPEC)
+        _, _, agg_b = _one_run(SPEC)
+        assert json.dumps(agg_a, sort_keys=True) == json.dumps(
+            agg_b, sort_keys=True
+        )
+
+    def test_results_replay_identically(self):
+        service_a, _, _ = _one_run(SPEC)
+        service_b, _, _ = _one_run(SPEC)
+        dicts_a = [r.to_dict() for r in service_a.results]
+        dicts_b = [r.to_dict() for r in service_b.results]
+        assert dicts_a == dicts_b
+
+    def test_different_seeds_differ(self):
+        _, stats_a, _ = _one_run(SPEC)
+        other = ServiceLoadSpec(
+            **{**SPEC.__dict__, "seed": SPEC.seed + 1}
+        )
+        _, stats_b, _ = _one_run(other)
+        assert stats_a.to_json() != stats_b.to_json()

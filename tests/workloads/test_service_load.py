@@ -1,0 +1,116 @@
+"""Tests for the synthetic multi-tenant serving load generator."""
+
+import numpy as np
+import pytest
+
+from repro.service import BitmapQueryService, ServiceConfig
+from repro.workloads.service_load import (
+    ServiceLoadSpec,
+    build_datasets,
+    generate_requests,
+    run_service_load,
+)
+
+SMALL = ServiceLoadSpec(
+    n_tenants=4,
+    vectors_per_tenant=3,
+    vector_bits=512,
+    index_events=256,
+    n_requests=40,
+    seed=9,
+)
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_tenants": 0},
+            {"vectors_per_tenant": 1},
+            {"n_requests": 0},
+            {"arrival_rate_per_s": 0.0},
+            {"zipf_s": -0.5},
+            {"mix": ()},
+            {"mix": (("and", -1.0),)},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            ServiceLoadSpec(**kwargs)
+
+    def test_tenant_probabilities_normalised_and_skewed(self):
+        spec = ServiceLoadSpec(n_tenants=8, zipf_s=1.0)
+        p = spec.tenant_probabilities()
+        assert p.sum() == pytest.approx(1.0)
+        assert (np.diff(p) < 0).all()  # rank 0 is hottest
+
+    def test_zipf_zero_is_uniform(self):
+        p = ServiceLoadSpec(n_tenants=5, zipf_s=0.0).tenant_probabilities()
+        np.testing.assert_allclose(p, 0.2)
+
+
+class TestGeneration:
+    def test_stream_is_seed_deterministic(self):
+        a = generate_requests(SMALL)
+        b = generate_requests(SMALL)
+        assert a == b
+
+    def test_different_seed_different_stream(self):
+        other = ServiceLoadSpec(**{**SMALL.__dict__, "seed": 10})
+        assert generate_requests(SMALL) != generate_requests(other)
+
+    def test_arrivals_are_open_loop_and_increasing(self):
+        requests = generate_requests(SMALL)
+        arrivals = [r.arrival_s for r in requests]
+        assert arrivals == sorted(arrivals)
+        assert all(a > 0 for a in arrivals)
+
+    def test_requests_reference_loaded_vectors_only(self):
+        service = BitmapQueryService(ServiceConfig())
+        build_datasets(SMALL, service)
+        # submit() validates every vector name against the dataset
+        for request in generate_requests(SMALL):
+            service.submit(request)
+
+    def test_mix_controls_kinds(self):
+        spec = ServiceLoadSpec(
+            **{**SMALL.__dict__, "mix": (("and", 1.0),)}
+        )
+        assert {r.op for r in generate_requests(spec)} == {"and"}
+
+
+class TestRun:
+    def test_end_to_end_with_oracle_parity(self):
+        config = ServiceConfig(keep_bits=True)
+        service, stats = run_service_load(SMALL, config)
+        assert stats.submitted == SMALL.n_requests
+        assert stats.completed + stats.rejected == SMALL.n_requests
+        assert service.verify_results() == stats.completed
+
+    def test_runs_on_host_backends_too(self):
+        from repro.backends.config import SystemConfig
+
+        config = ServiceConfig(
+            system=SystemConfig(backend="ideal"), host_shards=4
+        )
+        mix = (("and", 1.0), ("or", 1.0), ("range", 0.5))
+        spec = ServiceLoadSpec(**{**SMALL.__dict__, "mix": mix})
+        _, stats = run_service_load(spec, config)
+        assert stats.completed == spec.n_requests
+
+    @pytest.mark.slow
+    def test_full_scale_sixteen_tenants_verify_every_result(self):
+        spec = ServiceLoadSpec(
+            n_tenants=16,
+            vectors_per_tenant=4,
+            vector_bits=1024,
+            index_events=1024,
+            n_requests=512,
+            arrival_rate_per_s=2e6,
+            seed=3,
+        )
+        config = ServiceConfig(max_batch=16, keep_bits=True)
+        service, stats = run_service_load(spec, config)
+        assert stats.completed + stats.rejected == spec.n_requests
+        assert service.verify_results() == stats.completed
+        assert stats.coalesced_requests > 0
