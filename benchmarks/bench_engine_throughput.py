@@ -131,7 +131,12 @@ def _run_engine_benchmark() -> dict:
 
 
 def _write_result(result: dict) -> None:
-    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    try:
+        from benchmarks.bench_io import write_bench
+    except ImportError:  # run as a script: the benchmarks dir is sys.path[0]
+        from bench_io import write_bench
+
+    write_bench(RESULT_PATH, "engine_throughput", result)
 
 
 def test_engine_throughput(once):

@@ -1,0 +1,28 @@
+"""Shared result-file writer for the ``BENCH_*.json`` artifacts.
+
+Every benchmark that records results at the repo root writes through
+:func:`write_bench`, so all artifacts share one top-level schema::
+
+    {"bench": "<name>", "schema": 1, ...payload...}
+
+``bench`` names the producing benchmark and ``schema`` versions the
+header itself -- ``check_bench_regression.py`` and CI tooling key on
+both instead of sniffing file shapes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: bump when the common header changes shape
+BENCH_SCHEMA = 1
+
+
+def write_bench(path: Path, name: str, payload: dict) -> dict:
+    """Write one benchmark artifact with the common header; returns it."""
+    if "bench" in payload or "schema" in payload:
+        raise ValueError("payload must not carry the reserved header keys")
+    result = {"bench": name, "schema": BENCH_SCHEMA, **payload}
+    Path(path).write_text(json.dumps(result, indent=2) + "\n")
+    return result

@@ -1,0 +1,192 @@
+"""Planner benchmark: CSE + sub-result cache vs the uncached batched path.
+
+A repeated-subexpression FastBit workload -- a small pool of unique
+conjunctive range queries replayed many times, exactly the shape a
+dashboard or a multi-user bitmap service produces -- runs twice on
+identical systems:
+
+- *uncached*: ``PimRuntime(plan=False)`` + ``PimFastBit.query_many``,
+  the PR 1 batched engine (every request executes);
+- *planned*: ``PimRuntime(plan=True)``, the query-plan compiler
+  CSE-folds duplicate range-ORs/ANDs within the stream and serves
+  repeats from the write-invalidated sub-result cache at row-buffer-read
+  price (no multi-row activation, no NVM write-back).
+
+Both runs must answer identically; the benchmark asserts the planned
+run is at least 1.5x faster in **simulated** ops/s (cached hits are
+priced honestly, so this is a claim about the architecture) and at
+least 1.5x faster in **wall-clock** queries/s (serving skips the
+executor entirely, so this is a claim about the simulator).  Results
+land in ``BENCH_plan.json`` at the repo root.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.apps.fastbit import RangeQuery
+from repro.apps.fastbit_pim import PimFastBit
+from repro.apps.star import ColumnSpec, synthetic_star_table
+from repro.core.pinatubo import PinatuboSystem
+from repro.memsim.geometry import MemoryGeometry
+from repro.nvm.technology import get_technology
+from repro.runtime.api import PimRuntime
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_plan.json"
+
+#: small rank rows (1024 bits) so the index bitmaps span 32 chunks
+GEOM = MemoryGeometry(
+    channels=1,
+    ranks_per_channel=1,
+    chips_per_rank=1,
+    banks_per_chip=8,
+    subarrays_per_bank=64,
+    rows_per_subarray=128,
+    mats_per_subarray=1,
+    cols_per_mat=1024,
+    mux_ratio=8,
+)
+
+N_CHUNKS = 32
+N_EVENTS = N_CHUNKS * GEOM.row_bits  # 16384 events -> 16 rows per bitmap
+POOL = 20  # unique queries
+REPEATS = 8  # stream = POOL * REPEATS queries, pool order shuffled
+
+COLUMNS = (
+    ColumnSpec("energy", 16, "exponential"),
+    ColumnSpec("pt", 8, "exponential"),
+    ColumnSpec("eta", 8, "normal"),
+    ColumnSpec("trigger", 8, "uniform"),
+)
+
+
+def _query_pool(seed: int = 23) -> list:
+    """POOL unique four-predicate range queries (ranges >= 2 bins)."""
+    rng = np.random.default_rng(seed)
+    pool = []
+    for _ in range(POOL):
+        predicates = []
+        for spec in COLUMNS:
+            lo = int(rng.integers(0, spec.n_bins - 2))
+            hi = int(rng.integers(lo + 1, spec.n_bins))
+            predicates.append((spec.name, lo, hi))
+        pool.append(RangeQuery(tuple(predicates)))
+    return pool
+
+
+def _stream(pool: list, repeats: int, seed: int = 29) -> list:
+    """The repeated-subexpression stream: every pool query, many times."""
+    rng = np.random.default_rng(seed)
+    stream = []
+    for _ in range(repeats):
+        order = rng.permutation(len(pool))
+        stream.extend(pool[i] for i in order)
+    return stream
+
+
+def _build_db(plan: bool, table) -> PimFastBit:
+    system = PinatuboSystem(get_technology("pcm"), GEOM, batch_commands=True)
+    runtime = PimRuntime(system, plan=plan)
+    return PimFastBit(runtime, table)
+
+
+def run_plan_benchmark(repeats: int = REPEATS) -> dict:
+    table = synthetic_star_table(N_EVENTS, columns=COLUMNS, seed=31)
+    stream = _stream(_query_pool(), repeats)
+    n_queries = len(stream)
+
+    # -- uncached batched baseline ------------------------------------------
+    db_plain = _build_db(plan=False, table=table)
+    t0 = time.perf_counter()
+    plain_results = db_plain.query_many(stream)
+    plain_wall = time.perf_counter() - t0
+    plain_sim = sum(r.latency for r in plain_results)
+
+    # -- planned (CSE + sub-result cache) -----------------------------------
+    db_plan = _build_db(plan=True, table=table)
+    t0 = time.perf_counter()
+    plan_results = db_plan.query_many(stream)
+    plan_wall = time.perf_counter() - t0
+    plan_sim = sum(r.latency for r in plan_results)
+
+    # identical answers, and every served request priced nonzero
+    assert [r.hits for r in plain_results] == [r.hits for r in plan_results]
+    assert all(r.latency > 0 and r.energy > 0 for r in plan_results)
+
+    stats = db_plan.runtime.plan_stats
+    cache = db_plan.runtime.planner.cache
+    return {
+        "workload": {
+            "n_events": N_EVENTS,
+            "chunks_per_vector": N_CHUNKS,
+            "unique_queries": POOL,
+            "n_queries": n_queries,
+            "row_bits": GEOM.row_bits,
+            "smoke": repeats != REPEATS,
+        },
+        "uncached": {
+            "wall_s": plain_wall,
+            "queries_per_s": n_queries / plain_wall,
+            "sim_latency_s": plain_sim,
+            "sim_ops_per_s": n_queries / plain_sim,
+        },
+        "planned": {
+            "wall_s": plan_wall,
+            "queries_per_s": n_queries / plan_wall,
+            "sim_latency_s": plan_sim,
+            "sim_ops_per_s": n_queries / plan_sim,
+            "plan": stats.to_dict(),
+            "cache": cache.to_dict(),
+        },
+        "sim_speedup": plain_sim / plan_sim,
+        "wall_speedup": plain_wall / plan_wall,
+    }
+
+
+def _write_result(result: dict) -> None:
+    try:
+        from benchmarks.bench_io import write_bench
+    except ImportError:  # run as a script: the benchmarks dir is sys.path[0]
+        from bench_io import write_bench
+
+    write_bench(RESULT_PATH, "plan_cache", result)
+
+
+def _report(result: dict) -> str:
+    plan = result["planned"]["plan"]
+    return (
+        f"plan cache ({result['workload']['n_queries']} queries, "
+        f"{result['workload']['unique_queries']} unique): "
+        f"uncached {result['uncached']['wall_s']:.2f}s, "
+        f"planned {result['planned']['wall_s']:.2f}s, "
+        f"served {plan['served']}/{plan['requests']} requests, "
+        f"sim speedup {result['sim_speedup']:.2f}x, "
+        f"wall speedup {result['wall_speedup']:.2f}x -> {RESULT_PATH.name}"
+    )
+
+
+def test_plan_cache_speedup(once):
+    """Planner >= 1.5x in simulated ops/s AND wall-clock queries/s on the
+    repeated-subexpression stream; writes BENCH_plan.json."""
+    result = once(run_plan_benchmark)
+    _write_result(result)
+    print()
+    print(_report(result))
+    assert result["sim_speedup"] >= 1.5
+    assert result["wall_speedup"] >= 1.5
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv[1:]
+    res = run_plan_benchmark(repeats=2 if smoke else REPEATS)
+    _write_result(res)
+    print(_report(res))
+    assert res["sim_speedup"] >= 1.5, (
+        f"planner regression: simulated speedup {res['sim_speedup']:.2f}x < 1.5x"
+    )
+    if not smoke:
+        assert res["wall_speedup"] >= 1.5, (
+            f"planner regression: wall speedup {res['wall_speedup']:.2f}x < 1.5x"
+        )

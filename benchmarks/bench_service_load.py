@@ -22,7 +22,6 @@ Run directly (``python benchmarks/bench_service_load.py [--smoke]``) or
 through pytest (``pytest benchmarks/bench_service_load.py``).
 """
 
-import json
 import sys
 import time
 from pathlib import Path
@@ -134,7 +133,12 @@ def run_service_benchmark(smoke: bool = False) -> dict:
 
 
 def _write_result(result: dict) -> None:
-    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    try:
+        from benchmarks.bench_io import write_bench
+    except ImportError:  # run as a script: the benchmarks dir is sys.path[0]
+        from bench_io import write_bench
+
+    write_bench(RESULT_PATH, "service_load", result)
 
 
 def _report(result: dict) -> str:

@@ -1,0 +1,85 @@
+"""Benchmark regression guard over the ``BENCH_*.json`` artifacts.
+
+Compares every speedup recorded by the repo-root benchmark artifacts
+against the committed baselines in ``benchmarks/bench_baselines.json``
+and exits nonzero if any recorded value drops below ``THRESHOLD``
+(80%) of its committed value.  Artifacts are matched by their ``bench``
+header field (see :mod:`benchmarks.bench_io`); artifacts produced by a
+``--smoke`` run carry ``workload.smoke`` and are skipped -- smoke
+workloads are intentionally too small to reproduce the committed
+speedups.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py [--require-all]
+
+``--require-all`` additionally fails when a baselined benchmark has no
+(non-smoke) artifact at all -- what CI uses after running every bench.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: a recorded speedup may degrade to this fraction of its committed
+#: value before the guard fails (noise margin for shared CI runners)
+THRESHOLD = 0.8
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINES = Path(__file__).resolve().parent / "bench_baselines.json"
+
+
+def check(require_all: bool = False) -> int:
+    baselines = json.loads(BASELINES.read_text())
+    artifacts = {}
+    for path in sorted(REPO_ROOT.glob("BENCH_*.json")):
+        data = json.loads(path.read_text())
+        name = data.get("bench")
+        if name is None:
+            print(f"SKIP {path.name}: no 'bench' header (pre-schema artifact)")
+            continue
+        if data.get("workload", {}).get("smoke"):
+            print(f"SKIP {path.name}: smoke-run artifact")
+            continue
+        artifacts[name] = (path.name, data)
+
+    failures = []
+    for bench, keys in baselines.items():
+        if bench not in artifacts:
+            line = f"no artifact for baselined bench {bench!r}"
+            if require_all:
+                failures.append(line)
+            else:
+                print(f"SKIP {bench}: {line}")
+            continue
+        fname, data = artifacts[bench]
+        for key, committed in keys.items():
+            recorded = data.get(key)
+            if recorded is None:
+                failures.append(f"{fname}: missing speedup key {key!r}")
+                continue
+            floor = THRESHOLD * committed
+            status = "OK" if recorded >= floor else "FAIL"
+            print(
+                f"{status:4} {fname} {key}: recorded {recorded:.2f}x, "
+                f"committed {committed:.2f}x (floor {floor:.2f}x)"
+            )
+            if recorded < floor:
+                failures.append(
+                    f"{fname}: {key} {recorded:.2f}x < "
+                    f"{THRESHOLD:.0%} of committed {committed:.2f}x"
+                )
+
+    if failures:
+        print("\nbenchmark regression guard FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbenchmark regression guard passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(check(require_all="--require-all" in sys.argv[1:]))

@@ -83,7 +83,7 @@ BitwiseRequest = Union[
 ]
 
 
-@dataclass
+@dataclass(slots=True)
 class OpResult:
     """Outcome of one (possibly decomposed, multi-chunk) PIM operation."""
 

@@ -37,7 +37,7 @@ class StatsLike(Protocol):
         ...
 
 
-@dataclass
+@dataclass(slots=True)
 class OpAccounting:
     """Accumulated cost and locality mix of a sequence of PIM operations."""
 

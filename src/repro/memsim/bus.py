@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from repro.memsim.timing import TimingParams
 
 
-@dataclass
+@dataclass(slots=True)
 class BusStats:
     """Accumulated bus activity."""
 

@@ -79,7 +79,7 @@ _N_KINDS = len(_KINDS)
 _PRICE_CACHE_LIMIT = 1 << 16
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Command:
     """One priced command.
 
@@ -102,7 +102,7 @@ class Command:
             raise ValueError("invalid command cost fields")
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecutionStats:
     """Aggregated cost of an executed command stream."""
 
@@ -167,7 +167,7 @@ class ExecutionStats:
 # ---------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class PerfCounters:
     """Process-wide pricing-engine counters (profiling aid)."""
 

@@ -55,7 +55,7 @@ else:  # pragma: no cover - older numpy
         return _POP_TABLE[packed_2d].sum(axis=1, dtype=np.int64).tolist()
 
 
-@dataclass
+@dataclass(slots=True)
 class RowFrame:
     """One rank row of packed bits."""
 
@@ -76,6 +76,17 @@ class MainMemory:
         self._total_rows = geometry.total_rows
         self._zero_row = np.zeros(geometry.row_bytes, dtype=np.uint8)
         self._zero_row.flags.writeable = False
+        self._write_listeners: List = []
+
+    def add_write_listener(self, callback) -> None:
+        """Register ``callback(frame)`` to fire on every frame program.
+
+        The hook sits on the single write choke point every path funnels
+        through (driver execution, host writes, fallbacks), which is what
+        the planning layer's precise cache invalidation rides on -- the
+        same point the wear/endurance counters already observe.
+        """
+        self._write_listeners.append(callback)
 
     # -- frame accessors ---------------------------------------------------
 
@@ -116,6 +127,9 @@ class MainMemory:
         entry.writes += 1
         self.total_writes += 1
         _FRAME_WRITES.add()
+        if self._write_listeners:
+            for callback in self._write_listeners:
+                callback(frame)
 
     def frame_writes(self, frame: int) -> int:
         """How many times a frame has been programmed (endurance)."""

@@ -1,0 +1,23 @@
+"""Query planning and sub-result reuse for bulk bitwise streams.
+
+The layer between the applications/serving tier and the batched driver
+path: :class:`QueryPlanner` compiles each request stream into a
+canonical operand DAG, eliminates common sub-expressions within a
+coalesced wave and across the whole request stream, and serves repeated
+sub-results out of a write-invalidated :class:`SubResultCache` at the
+price of a row-buffer read instead of a full in-memory execution.
+
+Enable it per runtime with ``PimRuntime(..., plan=True)``; everything
+issued through ``pim_op`` / ``pim_op_many`` then plans automatically.
+"""
+
+from repro.plan.cache import CacheEntry, SubResultCache
+from repro.plan.planner import PlanStats, QueryPlanner, forward_rows
+
+__all__ = [
+    "CacheEntry",
+    "PlanStats",
+    "QueryPlanner",
+    "SubResultCache",
+    "forward_rows",
+]

@@ -1,0 +1,538 @@
+"""The query-plan compiler: canonical DAGs, CSE, and cached serving.
+
+:class:`QueryPlanner` sits between ``PimRuntime.pim_op/pim_op_many``
+and the batched driver.  For every request it builds a **canonical
+expression key**:
+
+- a *leaf* is ``L<frame>.<version>`` -- the identity of a row frame at
+  its current write version (versions are bumped by the main memory's
+  write listener, so any write to a row changes every key that reads
+  it);
+- a handle whose content was produced by an earlier planned request
+  resolves to that request's *expression key* instead of its raw
+  frames (the binding survives as long as the destination rows are
+  unwritten), which is what lets the AND over two cached range-ORs
+  match across queries even though each query materialised its
+  predicates into different scratch rows;
+- operand lists are sorted (and, for the idempotent OR/AND, dedup'd)
+  so commutative expressions canonicalise to one key; XOR keeps its
+  multiset.
+
+Requests stream through a *wave*: duplicates of a request already in
+the wave (``plan.cse_hits``) and requests whose key is in the
+:class:`~repro.plan.cache.SubResultCache` (``plan.cache.hits``) become
+*serve* items; everything else executes through one batched driver
+flush.  Serve items are materialised after the flush, in submission
+order, and priced honestly as a **row-buffer read** per chunk (ACT +
+serial PIM_SENSE steps + PRE) through the real controller -- the cached
+result is re-sensed from the array and forwarded to the destination
+row, so a hit has nonzero simulated latency/energy but skips the
+multi-row activation and, critically, the NVM write-back of a full
+execution.  Serve costs merge into ``driver.stats.accounting`` so
+runtime/telemetry totals reconcile.
+
+Correctness invariants:
+
+- versions only increase, and every key embeds the versions of its
+  transitive leaf frames, so a cache entry can never be returned for
+  changed operands (eager invalidation via the write listener also
+  reclaims the entry's bytes immediately);
+- a wave is flushed before admitting an exec-bound request that reads
+  or writes any frame a pending serve item will write, or writes a
+  frame a pending exec item writes -- the only orderings where
+  serve-after-flush could be observed out of submission order;
+- requests whose destination frames appear among their own leaf
+  frames (accumulation in place) execute normally but are never
+  inserted, since their stored key would reference a pre-write version
+  that no later lookup can reproduce.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro import telemetry
+from repro.core.executor import OpResult
+from repro.core.ops import PimOp
+from repro.core.stats import OpAccounting
+from repro.memsim.controller import CommandBatch, CommandKind
+from repro.plan.cache import SubResultCache
+from repro.runtime.driver import PimDriver, PimRequest
+
+__all__ = ["PlanStats", "QueryPlanner", "forward_rows"]
+
+#: persistent expression bindings kept per planner (vid -> producing
+#: expression); a plain LRU bound -- bindings are an optimisation hint,
+#: dropping one only costs a missed CSE opportunity
+_MAX_BINDINGS = 8192
+
+_CSE_HITS = telemetry.counter("plan.cse_hits")
+_PLANNED = telemetry.counter("plan.requests")
+
+
+def _serve_commands(batch, geometry, channel_of, dest_frames, n_bits):
+    """Emit the row-buffer-read command shape of one served result.
+
+    Per chunk: re-open the row holding the cached sub-result (ACT),
+    resolve its sense steps through the SA mux (PIM_SENSE), close
+    (PRE).  No PIM_WRITEBACK/WR: the forwarded buffer content lands in
+    the destination row through the write-driver bypass without a full
+    array program, which is exactly why a hit is cheaper than an
+    execution on write-asymmetric NVM.
+    """
+    row_bits = geometry.row_bits
+    for c, frame in enumerate(dest_frames):
+        chunk_bits = min(n_bits - c * row_bits, row_bits)
+        ch = channel_of(frame)
+        steps = geometry.sense_steps_for_bits(chunk_bits)
+        batch.add(CommandKind.ACT, channel=ch, n_bits=chunk_bits)
+        batch.add(
+            CommandKind.PIM_SENSE, channel=ch, n_bits=chunk_bits, n_steps=steps
+        )
+        batch.add(CommandKind.PRE, channel=ch)
+        batch.fence()
+
+
+def forward_rows(
+    driver: PimDriver,
+    dest_frames: Sequence[int],
+    rows: np.ndarray,
+    n_bits: int,
+    op: PimOp = PimOp.OR,
+) -> OpResult:
+    """Materialise pre-computed packed rows into a destination vector,
+    priced as a row-buffer read and merged into the driver's totals.
+
+    The standalone entry point for result forwarding outside a planner
+    wave -- the serving layer's cross-tenant replay path uses it to give
+    a folded duplicate its own destination buffer at hit price.
+    """
+    executor = driver.executor
+    batch = CommandBatch()
+    _serve_commands(
+        batch,
+        executor.geometry,
+        executor.mapper.channel_of,
+        dest_frames,
+        n_bits,
+    )
+    for c, frame in enumerate(dest_frames):
+        executor.memory.write_frame(frame, rows[c])
+    acct = OpAccounting()
+    acct.absorb(executor.controller.execute_batch(batch))
+    acct.count_bits(n_bits)
+    driver.stats.accounting = driver.stats.accounting.merged(acct)
+    return OpResult(op=op, accounting=acct, steps=0, localities={})
+
+
+class PlanStats:
+    """Tallies of one planner instance (StatsLike)."""
+
+    __slots__ = (
+        "requests",
+        "cse_hits",
+        "cache_hits",
+        "cache_misses",
+        "waves",
+        "hazard_flushes",
+        "served_latency_s",
+        "served_energy_j",
+    )
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.cse_hits = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.waves = 0
+        self.hazard_flushes = 0
+        self.served_latency_s = 0.0
+        self.served_energy_j = 0.0
+
+    @property
+    def served(self) -> int:
+        return self.cse_hits + self.cache_hits
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict of every tally."""
+        return {
+            "requests": self.requests,
+            "cse_hits": self.cse_hits,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "served": self.served,
+            "waves": self.waves,
+            "hazard_flushes": self.hazard_flushes,
+            "served_latency_s": self.served_latency_s,
+            "served_energy_j": self.served_energy_j,
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"PlanStats: {self.requests} requests, "
+            f"{self.cse_hits} CSE hits + {self.cache_hits} cache hits "
+            f"served ({self.cache_misses} misses), {self.waves} waves "
+            f"({self.hazard_flushes} hazard flushes)"
+        )
+
+
+class _Item:
+    """One planned request inside the current wave."""
+
+    __slots__ = (
+        "index",
+        "req",
+        "key",
+        "leaves",
+        "dest_frames",
+        "n_chunks",
+        "kind",  # "exec" | "serve"
+        "rows",  # serve: cached rows (None when copied from a primary)
+        "primary",  # serve: the exec _Item whose result this duplicates
+        "cacheable",
+        "has_dups",
+    )
+
+    def __init__(self, index, req, key, leaves, dest_frames, n_chunks, kind):
+        self.index = index
+        self.req = req
+        self.key = key
+        self.leaves = leaves
+        self.dest_frames = dest_frames
+        self.n_chunks = n_chunks
+        self.kind = kind
+        self.rows = None
+        self.primary = None
+        self.cacheable = False
+        self.has_dups = False
+
+
+class _Wave:
+    """Pending items plus the frame sets the hazard checks consult."""
+
+    __slots__ = ("items", "keys", "exec_reads", "exec_writes", "serve_writes",
+                 "bind")
+
+    def __init__(self) -> None:
+        self.items: List[_Item] = []
+        #: canonical key -> exec item (the wave-local CSE table)
+        self.keys: Dict[str, _Item] = {}
+        self.exec_reads: Set[int] = set()
+        self.exec_writes: Set[int] = set()
+        self.serve_writes: Set[int] = set()
+        #: vid -> (frames, key, leaves) for every pending destination
+        self.bind: Dict[int, Tuple[tuple, str, FrozenSet[int]]] = {}
+
+
+class QueryPlanner:
+    """Compiles request streams into minimally-executed driver waves."""
+
+    def __init__(
+        self,
+        driver: PimDriver,
+        cache_bytes: int = 64 << 20,
+        cache_shards: int = 8,
+    ):
+        self.driver = driver
+        self.executor = driver.executor
+        self.geometry = self.executor.geometry
+        self.memory = self.executor.memory
+        self.cache = SubResultCache(cache_bytes, cache_shards)
+        self.stats = PlanStats()
+        #: authoritative write versions (frames absent were never
+        #: written since the planner attached; they count as version 0)
+        self._versions: Dict[int, int] = {}
+        #: vid -> (frames, version snapshot, expression key, leaf frames)
+        self._bound: "OrderedDict[int, tuple]" = OrderedDict()
+        self.memory.add_write_listener(self._on_frame_write)
+
+    # -- invalidation hooks --------------------------------------------------
+
+    def _on_frame_write(self, frame: int) -> None:
+        """Every write to main memory lands here (driver execution, host
+        writes, fallbacks, the planner's own serves): bump the frame's
+        version and drop cached sub-results that read it."""
+        self._versions[frame] = self._versions.get(frame, 0) + 1
+        self.cache.invalidate_frame(frame)
+
+    def on_free(self, handle) -> None:
+        """Allocator free hook: a freed vector's rows may be recycled, so
+        its binding and any sub-results reading its frames go now."""
+        self._bound.pop(handle.vid, None)
+        self.cache.invalidate_frames(handle.frames)
+
+    # -- canonicalisation ----------------------------------------------------
+
+    def _leaf_key(
+        self, handle, n_chunks: int, wave: _Wave
+    ) -> Tuple[str, FrozenSet[int]]:
+        """Canonical key of one operand handle (expression or raw leaf)."""
+        frames = handle.frames[:n_chunks]
+        pending = wave.bind.get(handle.vid)
+        if pending is not None:
+            bframes, key, leaves = pending
+            if len(bframes) >= n_chunks and bframes[:n_chunks] == frames:
+                return key, leaves
+        bound = self._bound.get(handle.vid)
+        if bound is not None:
+            bframes, snapshot, key, leaves = bound
+            if (
+                len(bframes) >= n_chunks
+                and bframes[:n_chunks] == frames
+                and all(
+                    self._versions.get(f, 0) == v
+                    for f, v in zip(frames, snapshot)
+                )
+            ):
+                self._bound.move_to_end(handle.vid)
+                return key, leaves
+        versions = self._versions
+        key = ",".join(f"L{f}.{versions.get(f, 0)}" for f in frames)
+        return key, frozenset(frames)
+
+    def _request_key(
+        self, req: PimRequest, wave: _Wave
+    ) -> Tuple[str, FrozenSet[int], bool]:
+        """(canonical key, transitive leaf frames, aliased?) of a request.
+
+        ``aliased`` marks in-place accumulation: the destination's own
+        frames are among the expression's leaves, so the result is never
+        inserted (its key embeds pre-write versions no later lookup can
+        reproduce) and never served.
+        """
+        n_chunks = req_chunks = self.geometry.rows_for_bits(req.n_bits)
+        children = []
+        leaves: Set[int] = set()
+        for src in req.sources:
+            ck, cl = self._leaf_key(src, n_chunks, wave)
+            children.append(ck)
+            leaves.update(cl)
+        op = req.op
+        if op is PimOp.OR or op is PimOp.AND:
+            # commutative and idempotent: sorted set
+            children = sorted(set(children))
+        elif op is PimOp.XOR:
+            # commutative only: sorted multiset
+            children.sort()
+        key = f"{op.value}:{req.n_bits}:({'|'.join(children)})"
+        dest_frames = req.dest.frames[:req_chunks]
+        aliased = any(f in leaves for f in dest_frames)
+        return key, frozenset(leaves), aliased
+
+    # -- public API ----------------------------------------------------------
+
+    def execute(
+        self,
+        op,
+        dest,
+        sources,
+        n_bits: Optional[int] = None,
+        overlap_chunks: bool = False,
+    ) -> OpResult:
+        """Plan + run one operation (see :meth:`execute_many`)."""
+        return self.execute_many([(op, dest, sources, n_bits, overlap_chunks)])[0]
+
+    def execute_many(self, requests) -> List[OpResult]:
+        """Plan and run a request stream; results in submission order.
+
+        Accepts the driver's ``(op, dest, sources[, n_bits[,
+        overlap_chunks]])`` tuples.  Functional results are identical to
+        :meth:`PimDriver.execute_many`; only the cost of served
+        duplicates differs (row-buffer read instead of re-execution).
+        """
+        reqs: List[PimRequest] = []
+        for tup in requests:
+            op, dest, sources = tup[0], tup[1], tup[2]
+            n_bits = tup[3] if len(tup) > 3 else None
+            overlap = bool(tup[4]) if len(tup) > 4 else False
+            op = PimOp.parse(op)
+            sources = tuple(sources)
+            if n_bits is None:
+                n_bits = min([dest.n_bits] + [s.n_bits for s in sources])
+            reqs.append(PimRequest(op, dest, sources, n_bits, overlap))
+        if not reqs:
+            return []
+        with telemetry.span("plan.execute_many", requests=len(reqs)):
+            results: List[Optional[OpResult]] = [None] * len(reqs)
+            wave = _Wave()
+            for i, req in enumerate(reqs):
+                self._plan_one(i, req, wave, results)
+            self._flush_wave(wave, results)
+        return results
+
+    # -- planning ------------------------------------------------------------
+
+    def _plan_one(
+        self, index: int, req: PimRequest, wave: _Wave, results: list
+    ) -> None:
+        self.stats.requests += 1
+        _PLANNED.add()
+        n_chunks = self.geometry.rows_for_bits(req.n_bits)
+        dest_frames = req.dest.frames[:n_chunks]
+        while True:
+            key, leaves, aliased = self._request_key(req, wave)
+
+            if not aliased:
+                primary = wave.keys.get(key)
+                if primary is not None:
+                    # same expression already pending in this wave:
+                    # serve a copy of its result after the flush
+                    item = _Item(index, req, key, leaves, dest_frames,
+                                 n_chunks, "serve")
+                    item.primary = primary
+                    primary.has_dups = True
+                    self.stats.cse_hits += 1
+                    _CSE_HITS.add()
+                    self._admit_serve(item, wave)
+                    return
+                entry = self.cache.get(key)
+                if entry is not None:
+                    item = _Item(index, req, key, leaves, dest_frames,
+                                 n_chunks, "serve")
+                    item.rows = entry.rows
+                    self.stats.cache_hits += 1
+                    self._admit_serve(item, wave)
+                    return
+                self.stats.cache_misses += 1
+
+            # exec-bound.  Flush first if this request would observe a
+            # pending serve's write out of order (RAW/WAW against a
+            # serve item) or double-write a pending exec destination
+            # (WAW whose post-flush snapshot would be ambiguous); then
+            # re-plan against the (empty, hazard-free) wave -- the
+            # flush advanced the bindings and may have inserted this
+            # very expression into the cache.
+            source_frames: Set[int] = set()
+            for src in req.sources:
+                source_frames.update(src.frames[:n_chunks])
+            dest_set = set(dest_frames)
+            if (
+                (source_frames & wave.serve_writes)
+                or (dest_set & wave.serve_writes)
+                or (dest_set & wave.exec_writes)
+            ):
+                self.stats.hazard_flushes += 1
+                self._flush_wave(wave, results)
+                continue
+
+            item = _Item(index, req, key, leaves, dest_frames, n_chunks,
+                         "exec")
+            item.cacheable = not aliased
+            wave.items.append(item)
+            if item.cacheable:
+                wave.keys[key] = item
+            wave.exec_reads |= source_frames
+            wave.exec_writes |= dest_set
+            wave.bind[req.dest.vid] = (dest_frames, key, leaves)
+            return
+
+    def _admit_serve(self, item: _Item, wave: _Wave) -> None:
+        wave.items.append(item)
+        wave.serve_writes |= set(item.dest_frames)
+        wave.bind[item.req.dest.vid] = (item.dest_frames, item.key, item.leaves)
+
+    # -- wave execution ------------------------------------------------------
+
+    def _flush_wave(self, wave: _Wave, results: list) -> None:
+        if not wave.items:
+            return
+        self.stats.waves += 1
+        exec_items = [it for it in wave.items if it.kind == "exec"]
+        serve_items = [it for it in wave.items if it.kind == "serve"]
+
+        driver = self.driver
+        for it in exec_items:
+            driver.submit(
+                it.req.op, it.req.dest, it.req.sources, it.req.n_bits,
+                it.req.overlap_chunks,
+            )
+        if exec_items:
+            for it, result in zip(exec_items, driver.flush(batched=True)):
+                results[it.index] = result
+
+        # Snapshot result rows straight after the flush -- before any
+        # serve write can touch them -- for cache inserts and for the
+        # wave's CSE duplicates.
+        frame_view = self.memory.frame_view
+        primary_rows: Dict[int, np.ndarray] = {}
+        for it in exec_items:
+            if not (it.cacheable or it.has_dups):
+                continue
+            rows = np.stack([frame_view(f) for f in it.dest_frames])
+            if it.has_dups:
+                primary_rows[id(it)] = rows
+            if it.cacheable:
+                self.cache.put(it.key, rows, it.req.n_bits, it.leaves)
+
+        if serve_items:
+            self._serve(serve_items, primary_rows, results)
+
+        # Persistent bindings: every destination now holds its
+        # expression's value; snapshot the (final) versions so any later
+        # write is detected.  Submission order makes the last writer of
+        # a vid win.
+        versions = self._versions
+        for it in wave.items:
+            self._bound[it.req.dest.vid] = (
+                it.dest_frames,
+                tuple(versions.get(f, 0) for f in it.dest_frames),
+                it.key,
+                it.leaves,
+            )
+            self._bound.move_to_end(it.req.dest.vid)
+        while len(self._bound) > _MAX_BINDINGS:
+            self._bound.popitem(last=False)
+
+        wave.items.clear()
+        wave.keys.clear()
+        wave.exec_reads.clear()
+        wave.exec_writes.clear()
+        wave.serve_writes.clear()
+        wave.bind.clear()
+
+    def _serve(
+        self,
+        serve_items: List[_Item],
+        primary_rows: Dict[int, np.ndarray],
+        results: list,
+    ) -> None:
+        """Materialise every serve item (submission order) in one priced
+        command batch: a fenced row-buffer read per chunk."""
+        with telemetry.span(
+            "plan.cache.serve", served=len(serve_items)
+        ):
+            batch = CommandBatch()
+            geometry = self.geometry
+            channel_of = self.executor.mapper.channel_of
+            write_frame = self.memory.write_frame
+            for it in serve_items:
+                rows = (
+                    it.rows
+                    if it.rows is not None
+                    else primary_rows[id(it.primary)]
+                )
+                batch.mark()
+                _serve_commands(
+                    batch, geometry, channel_of, it.dest_frames, it.req.n_bits
+                )
+                for c, frame in enumerate(it.dest_frames):
+                    write_frame(frame, rows[c])
+            total, per_item = self.executor.controller.execute_batch(
+                batch, split_ops=True
+            )
+            driver_acct = self.driver.stats.accounting
+            for it, stats in zip(serve_items, per_item):
+                acct = OpAccounting()
+                acct.absorb(stats)
+                acct.count_bits(it.req.n_bits)
+                results[it.index] = OpResult(
+                    op=it.req.op, accounting=acct, steps=0, localities={}
+                )
+                driver_acct = driver_acct.merged(acct)
+            self.driver.stats.accounting = driver_acct
+            self.stats.served_latency_s += total.latency
+            self.stats.served_energy_j += total.energy

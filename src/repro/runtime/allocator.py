@@ -47,6 +47,15 @@ class PimAllocator:
         self.manager = manager
         self._ids = itertools.count(1)
         self._live: dict = {}
+        self._free_listeners: list = []
+
+    def add_free_listener(self, callback) -> None:
+        """Register ``callback(handle)`` to fire on every ``pim_free``.
+
+        The planning layer hooks this to drop expression bindings and
+        cached sub-results whose rows are about to be recycled.
+        """
+        self._free_listeners.append(callback)
 
     @property
     def geometry(self) -> MemoryGeometry:
@@ -73,6 +82,9 @@ class PimAllocator:
         if handle.vid not in self._live:
             raise AllocationError(f"handle {handle.vid} is not live")
         del self._live[handle.vid]
+        if self._free_listeners:
+            for callback in self._free_listeners:
+                callback(handle)
         self.manager.free_rows(handle.frames)
 
     @property

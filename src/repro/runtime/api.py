@@ -31,12 +31,23 @@ class PimRuntime:
         self,
         system: Optional[PinatuboSystem] = None,
         policy: PlacementPolicy = PlacementPolicy.PIM_AWARE,
+        plan: bool = False,
+        plan_cache_bytes: int = 64 << 20,
     ):
         self.system = system or PinatuboSystem.pcm()
         self.manager = PimMemoryManager(self.system.geometry, policy)
         self.allocator = PimAllocator(self.manager)
         self.driver = PimDriver(self.system.executor)
         self.host_accounting = OpAccounting()
+        self.planner = None
+        if plan:
+            # deferred import: repro.plan imports the driver module
+            from repro.plan import QueryPlanner
+
+            self.planner = QueryPlanner(
+                self.driver, cache_bytes=plan_cache_bytes
+            )
+            self.allocator.add_free_listener(self.planner.on_free)
 
     # -- canned configurations ----------------------------------------------
 
@@ -83,7 +94,13 @@ class PimRuntime:
         ``overlap_chunks=True`` (extension) lets the chunks of a long
         vector execute concurrently when the placement policy striped
         them across channels.
+
+        With ``plan=True`` the request goes through the
+        :class:`~repro.plan.QueryPlanner` first, which may serve it from
+        the sub-result cache instead of executing it.
         """
+        if self.planner is not None:
+            return self.planner.execute(op, dest, sources, n_bits, overlap_chunks)
         return self.driver.execute(op, dest, sources, n_bits, overlap_chunks)
 
     def pim_op_many(self, requests: Iterable[tuple]) -> List:
@@ -94,7 +111,13 @@ class PimRuntime:
         instead of one stream per operation; per-op results are identical
         to sequential :meth:`pim_op` calls.  Returns the OpResults in
         issue order.
+
+        With ``plan=True`` the whole stream is compiled by the
+        :class:`~repro.plan.QueryPlanner`: duplicate sub-expressions are
+        eliminated within the batch and against the sub-result cache.
         """
+        if self.planner is not None:
+            return self.planner.execute_many(requests)
         return self.driver.execute_many(requests)
 
     def pim_op_to_host(
@@ -147,6 +170,12 @@ class PimRuntime:
     def pim_accounting(self) -> OpAccounting:
         """Cost of every in-memory operation issued through the driver."""
         return self.driver.stats.accounting
+
+    @property
+    def plan_stats(self):
+        """The planner's :class:`~repro.plan.PlanStats` (None when
+        planning is off)."""
+        return self.planner.stats if self.planner is not None else None
 
     def total_latency(self) -> float:
         return self.pim_accounting.latency + self.host_accounting.latency

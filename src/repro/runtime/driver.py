@@ -51,7 +51,7 @@ def _submission_order(order: Sequence[int], results: Sequence) -> List:
     return out
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PimRequest:
     """One queued pim_op call."""
 
@@ -75,7 +75,7 @@ class PimRequest:
         return False
 
 
-@dataclass
+@dataclass(slots=True)
 class DriverStats:
     requests: int = 0
     instructions: int = 0

@@ -25,6 +25,7 @@ the service's numpy-oracle parity checks compare against.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -107,6 +108,23 @@ class ServiceEngine:
         """Run one coalesced batch; one result per call, in call order."""
         raise NotImplementedError
 
+    def call_key(self, call: ServiceCall) -> Optional[tuple]:
+        """Content identity of a call, or None when folding is unsafe.
+
+        Two calls with equal keys compute the same bits even across
+        tenants (keys hash vector *content*, not names), so the
+        scheduler may execute one and :meth:`replay` the other.  The
+        base engine opts out: returning None keeps every call on the
+        execute path.
+        """
+        return None
+
+    def replay(self, call: ServiceCall, primary: ExecutedCall) -> ExecutedCall:
+        """Serve ``call`` from an equal-key ``primary`` already executed
+        in the same batch, with its own result buffer and honest (hit)
+        pricing."""
+        raise NotImplementedError
+
     @property
     def n_shards(self) -> int:
         """Independent placement shards requests can overlap across."""
@@ -145,6 +163,7 @@ class ResidentPimEngine(ServiceEngine):
         )
         self._handles: Dict[Tuple[str, str], object] = {}
         self._host: Dict[Tuple[str, str], np.ndarray] = {}
+        self._digests: Dict[Tuple[str, str], str] = {}
         self._tenant_shard: Dict[str, int] = {}
         geometry = self.runtime.system.geometry
         #: shards = independent (channel, bank) pairs: banks have their
@@ -172,6 +191,9 @@ class ResidentPimEngine(ServiceEngine):
         rt.pim_write(handle, bits)
         self._handles[key] = handle
         self._host[key] = bits.copy()
+        # content digest: what makes cross-tenant duplicate detection
+        # name-independent (same bits under different names/tenants fold)
+        self._digests[key] = hashlib.sha1(bits.tobytes()).hexdigest()
         if tenant not in self._tenant_shard:
             addr = rt.manager.frame_address(handle.frames[0])
             g = rt.system.geometry
@@ -218,6 +240,60 @@ class ResidentPimEngine(ServiceEngine):
                 )
             )
         return out
+
+    def call_key(self, call: ServiceCall) -> Optional[tuple]:
+        """(op, n_bits, canonical operand digests) -- content identity.
+
+        Operand digests canonicalise exactly like the planner's
+        expression keys: OR/AND are commutative *and* idempotent
+        (sorted set), XOR is commutative only (sorted multiset), INV
+        keeps its single operand.
+        """
+        digests = []
+        sizes = []
+        for n in call.names:
+            key = (call.tenant, n)
+            digest = self._digests.get(key)
+            if digest is None:
+                return None
+            digests.append(digest)
+            sizes.append(self._handles[key].n_bits)
+        op = call.op
+        if op in ("or", "and"):
+            operands = tuple(sorted(set(digests)))
+        elif op == "xor":
+            operands = tuple(sorted(digests))
+        else:
+            operands = tuple(digests)
+        return (op, min(sizes), operands)
+
+    def replay(self, call: ServiceCall, primary: ExecutedCall) -> ExecutedCall:
+        """Forward an equal-content primary result into a fresh buffer in
+        the duplicate tenant's placement group, priced as a row-buffer
+        read (see :func:`repro.plan.forward_rows`) -- nonzero simulated
+        cost, but no re-execution and no NVM write-back."""
+        from repro.plan import forward_rows
+
+        rt = self.runtime
+        n_bits = int(primary.bits.size)
+        dest = rt.pim_malloc(n_bits, self.group_of(call.tenant))
+        g = rt.system.geometry
+        n_chunks = g.rows_for_bits(n_bits)
+        padded = np.zeros(n_chunks * g.row_bits, dtype=np.uint8)
+        padded[:n_bits] = primary.bits
+        rows = np.packbits(
+            padded.reshape(n_chunks, g.row_bits), axis=1, bitorder="little"
+        )
+        result = forward_rows(rt.driver, list(dest.frames), rows, n_bits)
+        rt.pim_free(dest)
+        return ExecutedCall(
+            bits=primary.bits.copy(),
+            popcount=primary.popcount,
+            latency_s=result.latency * self.config.timing_scale,
+            energy_j=result.energy * self.config.energy_scale,
+            steps=0,
+            in_memory=True,
+        )
 
     def wear_monitor(self) -> WearMonitor:
         return WearMonitor(

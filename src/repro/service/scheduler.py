@@ -25,10 +25,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Sequence, Tuple
 
+from repro import telemetry
 from repro.service.engine import ExecutedCall, ServiceEngine
 from repro.service.request import QueryRequest
 
 __all__ = ["BatchPricing", "CoalescingScheduler", "SchedulerConfig"]
+
+#: always-live tally of duplicate calls served by replay instead of
+#: execution (per-scheduler detail on ``CoalescingScheduler.folds``)
+_CSE_FOLDS = telemetry.counter("service.scheduler.cse_folds")
 
 
 @dataclass(frozen=True)
@@ -41,6 +46,10 @@ class SchedulerConfig:
     #: per-dispatch issue cost: driver scheduling + mode-register
     #: programming + command-stream setup, paid once per batch (s)
     dispatch_overhead_s: float = 1e-6
+    #: fold equal-content calls within a batch into one execution plus
+    #: per-duplicate replays (engines that cannot prove content equality
+    #: return None from ``call_key`` and opt out per call)
+    fold_duplicates: bool = True
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -68,6 +77,7 @@ class CoalescingScheduler:
         self.config = config
         self.engine = engine
         self._rr_offset = 0  # rotating round-robin start position
+        self.folds = 0  # duplicate calls served by replay
 
     # -- collection ----------------------------------------------------------
 
@@ -137,10 +147,44 @@ class CoalescingScheduler:
         batch = self.collect(queues)
         if not batch:
             return [], [], BatchPricing([], 0.0, 0.0)
-        executed = self.engine.execute(
+        executed = self._execute_folded(
             [request_call(request) for request in batch]
         )
         return batch, executed, self.price(batch, executed)
+
+    def _execute_folded(self, calls: List) -> List[ExecutedCall]:
+        """Execute a call list with cross-tenant duplicate folding.
+
+        Equal-key calls (content equality, possibly across tenants)
+        execute once; every duplicate gets its own result buffer through
+        the engine's replay path at hit price.  Per-call ExecutedCalls
+        keep their tenant's attribution, so ServiceStats stay per-tenant
+        correct.
+        """
+        if not self.config.fold_duplicates:
+            return self.engine.execute(calls)
+        keys = [self.engine.call_key(call) for call in calls]
+        primary_of: Dict[tuple, int] = {}
+        unique: List[int] = []
+        for i, key in enumerate(keys):
+            if key is None or key not in primary_of:
+                if key is not None:
+                    primary_of[key] = i
+                unique.append(i)
+        if len(unique) == len(calls):
+            return self.engine.execute(calls)
+        executed = dict(
+            zip(unique, self.engine.execute([calls[i] for i in unique]))
+        )
+        out: List[ExecutedCall] = []
+        for i, (call, key) in enumerate(zip(calls, keys)):
+            done = executed.get(i)
+            if done is None:
+                done = self.engine.replay(call, executed[primary_of[key]])
+                self.folds += 1
+                _CSE_FOLDS.add()
+            out.append(done)
+        return out
 
 
 def request_call(request: QueryRequest):

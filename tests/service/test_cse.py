@@ -1,0 +1,181 @@
+"""Tests for cross-tenant duplicate folding in the serving layer."""
+
+import numpy as np
+
+from repro import telemetry
+from repro.backends.config import SystemConfig
+from repro.service.engine import ResidentPimEngine, ServiceCall
+from repro.service.request import QueryRequest
+from repro.service.service import BitmapQueryService, ServiceConfig
+
+
+def _vectors(seed=7, n=2048):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.integers(0, 2, n, dtype=np.uint8),
+        rng.integers(0, 2, n, dtype=np.uint8),
+    )
+
+
+def _service(fold_duplicates=True, **kwargs) -> BitmapQueryService:
+    return BitmapQueryService(
+        ServiceConfig(
+            keep_bits=True, fold_duplicates=fold_duplicates, **kwargs
+        )
+    )
+
+
+def _two_tenant_service(bits_a, bits_b, fold_duplicates=True):
+    service = _service(fold_duplicates)
+    for tenant in ("t1", "t2"):
+        service.register_tenant(tenant)
+        service.load_vectors(tenant, {"a": bits_a, "b": bits_b})
+    return service
+
+
+class TestCrossTenantFolding:
+    def test_shared_execution_with_isolated_results(self):
+        """The satellite test: two tenants issue the same expression in
+        one batch; it executes once, each tenant gets an independent
+        result buffer, and per-tenant latency/energy attribution in
+        ServiceStats stays nonzero and correct."""
+        bits_a, bits_b = _vectors()
+        service = _two_tenant_service(bits_a, bits_b)
+        # first request dispatches alone (the service is eager); the
+        # remaining three share the second batch, where t1/t2 duplicates
+        # of "a and b" fold into one execution
+        folds0 = telemetry.counter("service.scheduler.cse_folds").value
+        service.submit_many(
+            [
+                QueryRequest.bitwise(1, "t1", "and", ("a", "b"), 0.0),
+                QueryRequest.bitwise(2, "t2", "and", ("b", "a"), 0.0),
+                QueryRequest.bitwise(3, "t1", "and", ("a", "b"), 0.0),
+                QueryRequest.bitwise(4, "t2", "xor", ("a", "b"), 0.0),
+            ]
+        )
+        stats = service.run()
+        assert service.verify_results() == 4
+        assert service.scheduler.folds >= 1
+        assert (
+            telemetry.counter("service.scheduler.cse_folds").value
+            > folds0
+        )
+        completed = [r for r in service.results if r.bits is not None]
+        assert len(completed) == 4
+        expected_and = bits_a & bits_b
+        and_results = [
+            r for r in completed if r.request.op == "and"
+        ]
+        for result in and_results:
+            assert np.array_equal(result.bits, expected_and)
+            assert result.service_s > 0
+            assert result.energy_j > 0
+        # independent result buffers: no aliasing between tenants
+        for i in range(len(and_results)):
+            for j in range(i + 1, len(and_results)):
+                assert and_results[i].bits is not and_results[j].bits
+        for tenant in ("t1", "t2"):
+            per_tenant = stats.tenant(tenant)
+            assert per_tenant.completed == 2
+            assert per_tenant.service_s > 0
+            assert per_tenant.energy_j > 0
+
+    def test_folding_off_executes_every_call(self):
+        bits_a, bits_b = _vectors()
+        service = _two_tenant_service(bits_a, bits_b, fold_duplicates=False)
+        service.submit_many(
+            [
+                QueryRequest.bitwise(1, "t1", "and", ("a", "b"), 0.0),
+                QueryRequest.bitwise(2, "t2", "and", ("a", "b"), 0.0),
+                QueryRequest.bitwise(3, "t1", "and", ("a", "b"), 0.0),
+            ]
+        )
+        service.run()
+        assert service.verify_results() == 3
+        assert service.scheduler.folds == 0
+
+    def test_replay_priced_nonzero(self):
+        """A folded call is never free: the replay is billed as a
+        row-buffer read of the cached sub-result.  (It is *not* always
+        cheaper than the primary: a 2-operand op sharing a coalesced
+        batch can attribute less than a full row read; the cheaper-than-
+        solo-execution comparison lives in TestCallKey.)"""
+        bits_a, bits_b = _vectors()
+        service = _two_tenant_service(bits_a, bits_b)
+        service.submit_many(
+            [
+                QueryRequest.bitwise(1, "t1", "or", ("a", "b"), 0.0),
+                QueryRequest.bitwise(2, "t1", "and", ("a", "b"), 0.0),
+                QueryRequest.bitwise(3, "t2", "and", ("a", "b"), 0.0),
+            ]
+        )
+        service.run()
+        assert service.scheduler.folds == 1
+        done = {
+            r.request.request_id: r
+            for r in service.results
+            if r.bits is not None
+        }
+        # request 3 replayed request 2's execution: billed, never free
+        assert done[3].service_s > 0
+        assert done[3].energy_j > 0
+        assert done[2].service_s > 0
+
+
+class TestCallKey:
+    def _engine(self):
+        return ResidentPimEngine(
+            SystemConfig(backend="pinatubo", placement="bank_spread")
+        )
+
+    def test_content_identity_across_tenants_and_names(self):
+        engine = self._engine()
+        bits_a, bits_b = _vectors()
+        engine.load_vector("t1", "x", bits_a)
+        engine.load_vector("t1", "y", bits_b)
+        engine.load_vector("t2", "p", bits_a)
+        engine.load_vector("t2", "q", bits_b)
+        k1 = engine.call_key(ServiceCall("t1", "and", ("x", "y")))
+        k2 = engine.call_key(ServiceCall("t2", "and", ("q", "p")))
+        assert k1 == k2
+        # different content -> different key
+        k3 = engine.call_key(ServiceCall("t1", "and", ("x", "x")))
+        assert k3 != k1
+        # different op -> different key
+        k4 = engine.call_key(ServiceCall("t1", "xor", ("x", "y")))
+        assert k4 != k1
+
+    def test_xor_multiset_is_not_deduplicated(self):
+        engine = self._engine()
+        bits_a, bits_b = _vectors()
+        engine.load_vector("t1", "x", bits_a)
+        engine.load_vector("t1", "y", bits_b)
+        assert engine.call_key(
+            ServiceCall("t1", "xor", ("x", "x", "y"))
+        ) != engine.call_key(ServiceCall("t1", "xor", ("x", "y")))
+        # while the idempotent AND dedups
+        assert engine.call_key(
+            ServiceCall("t1", "and", ("x", "x", "y"))
+        ) == engine.call_key(ServiceCall("t1", "and", ("x", "y")))
+
+    def test_unknown_vector_disables_folding(self):
+        engine = self._engine()
+        assert engine.call_key(ServiceCall("t1", "and", ("x", "y"))) is None
+
+    def test_replay_result_isolated_from_primary(self):
+        engine = self._engine()
+        bits_a, bits_b = _vectors()
+        engine.load_vector("t1", "x", bits_a)
+        engine.load_vector("t1", "y", bits_b)
+        engine.load_vector("t2", "x", bits_a)
+        engine.load_vector("t2", "y", bits_b)
+        (primary,) = engine.execute([ServiceCall("t1", "or", ("x", "y"))])
+        replayed = engine.replay(ServiceCall("t2", "or", ("x", "y")), primary)
+        assert np.array_equal(replayed.bits, primary.bits)
+        assert replayed.bits is not primary.bits
+        assert replayed.popcount == primary.popcount
+        assert replayed.latency_s > 0
+        assert replayed.energy_j > 0
+        assert replayed.latency_s < primary.latency_s
+        assert replayed.steps == 0
+        assert replayed.in_memory
