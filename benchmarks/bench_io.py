@@ -3,26 +3,67 @@
 Every benchmark that records results at the repo root writes through
 :func:`write_bench`, so all artifacts share one top-level schema::
 
-    {"bench": "<name>", "schema": 1, ...payload...}
+    {"bench": "<name>", "schema": 2,
+     "env": {"git_rev": ..., "python": ..., "numpy": ...},
+     ...payload...}
 
 ``bench`` names the producing benchmark and ``schema`` versions the
 header itself -- ``check_bench_regression.py`` and CI tooling key on
-both instead of sniffing file shapes.
+both instead of sniffing file shapes.  ``env`` pins the provenance of
+the numbers: the commit they were measured at and the interpreter and
+numpy versions that produced them, so a regression can be told apart
+from an environment change.
 """
 
 from __future__ import annotations
 
 import json
+import platform
+import subprocess
 from pathlib import Path
 
+import numpy as np
+
 #: bump when the common header changes shape
-BENCH_SCHEMA = 1
+BENCH_SCHEMA = 2
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _git_rev() -> "str | None":
+    """Short hash of HEAD, or None outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=_REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = proc.stdout.strip()
+    return rev if proc.returncode == 0 and rev else None
+
+
+def bench_env() -> dict:
+    """The provenance block embedded in every artifact header."""
+    return {
+        "git_rev": _git_rev(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
 
 
 def write_bench(path: Path, name: str, payload: dict) -> dict:
     """Write one benchmark artifact with the common header; returns it."""
-    if "bench" in payload or "schema" in payload:
+    if not payload.keys().isdisjoint(("bench", "schema", "env")):
         raise ValueError("payload must not carry the reserved header keys")
-    result = {"bench": name, "schema": BENCH_SCHEMA, **payload}
+    result = {
+        "bench": name,
+        "schema": BENCH_SCHEMA,
+        "env": bench_env(),
+        **payload,
+    }
     Path(path).write_text(json.dumps(result, indent=2) + "\n")
     return result

@@ -57,6 +57,15 @@ class PimFastBit:
         #: column name -> list of bin bitmap handles
         self.bin_handles: Dict[str, list] = {}
         self._scratch: list = []
+        #: dead scratch vectors available for reuse (a query's scratch
+        #: is recycled once its answer is computed -- every reuse is a
+        #: full-row overwrite, so stale contents are never observable)
+        self._scratch_pool: list = []
+        #: scratch handed out since the last recycle point
+        self._query_scratch: list = []
+        #: the shared all-zero operand for single-bin predicate copies;
+        #: read-only, so one row set serves every query
+        self._zero = None
         #: (column, lo, hi) -> materialised predicate handle
         self._predicate_cache: Dict[Tuple[str, int, int], object] = {}
         self.cache_hits = 0
@@ -87,9 +96,28 @@ class PimFastBit:
         )
 
     def _scratch_vector(self):
-        handle = self.runtime.pim_malloc(self.n_events, self.group)
-        self._scratch.append(handle)
+        if self._scratch_pool:
+            handle = self._scratch_pool.pop()
+        else:
+            handle = self.runtime.pim_malloc(self.n_events, self.group)
+            self._scratch.append(handle)
+        self._query_scratch.append(handle)
         return handle
+
+    def _zero_vector(self):
+        if self._zero is None:
+            self._zero = self.runtime.pim_malloc(self.n_events, self.group)
+            self._scratch.append(self._zero)
+        return self._zero
+
+    def _recycle_query_scratch(self) -> None:
+        """Return the finished query's scratch to the reuse pool.
+
+        Cached predicate handles are excluded at registration time (they
+        must stay live); everything else is dead once the answer is out.
+        """
+        self._scratch_pool.extend(self._query_scratch)
+        self._query_scratch.clear()
 
     def release_scratch(self) -> None:
         """Free every scratch row (and the predicate cache living there).
@@ -100,6 +128,9 @@ class PimFastBit:
         for handle in self._scratch:
             self.runtime.pim_free(handle)
         self._scratch.clear()
+        self._scratch_pool.clear()
+        self._query_scratch.clear()
+        self._zero = None
         self._predicate_cache.clear()
 
     # -- query execution ------------------------------------------------------------
@@ -130,12 +161,12 @@ class PimFastBit:
             dest = self._scratch_vector()
             if len(bins) == 1:
                 # single-bin predicate: copy via OR with an all-zero row
-                zero = self._scratch_vector()
-                requests.append(("or", dest, [bins[0], zero]))
+                requests.append(("or", dest, [bins[0], self._zero_vector()]))
             else:
                 requests.append(("or", dest, list(bins)))
             if self.cache_predicates:
                 self._predicate_cache[key] = dest
+                self._query_scratch.remove(dest)
             handles.append(dest)
         return handles, requests
 
@@ -180,6 +211,7 @@ class PimFastBit:
                 for result in self.runtime.pim_op_many(requests):
                     steps += result.steps
             steps, hits = self._combine_predicates(predicate_handles, steps)
+            self._recycle_query_scratch()
             acct = self.runtime.pim_accounting
             sp.add(steps=steps, hits=hits)
             return PimQueryResult(
@@ -213,24 +245,69 @@ class PimFastBit:
                 self.runtime.pim_op_many(all_requests) if all_requests else []
             )
 
+            n_q = len(queries)
+            steps_q = [0] * n_q
+            lat_q = [0.0] * n_q
+            en_q = [0.0] * n_q
+            for i, (start, n) in enumerate(spans):
+                for r in or_results[start : start + n]:
+                    steps_q[i] += r.steps
+                    lat_q[i] += r.latency
+                    en_q[i] += r.energy
+
+            # the AND chains are sequential within a query but
+            # independent across queries: run them level-synchronously,
+            # one batched submission per chain depth, so the whole
+            # stream's combine phase is a handful of driver calls
+            answers = [h[0] for h in per_query_handles]
+            level = 1
+            while True:
+                requests: List[tuple] = []
+                idxs = []
+                for i, handles in enumerate(per_query_handles):
+                    if level <= len(handles) - 2:
+                        combined = self._scratch_vector()
+                        requests.append(
+                            ("and", combined, [answers[i], handles[level]])
+                        )
+                        idxs.append(i)
+                        answers[i] = combined
+                if not requests:
+                    break
+                for i, r in zip(idxs, self.runtime.pim_op_many(requests)):
+                    steps_q[i] += r.steps
+                    lat_q[i] += r.latency
+                    en_q[i] += r.energy
+                level += 1
+
             results = []
-            for handles, (start, n) in zip(per_query_handles, spans):
-                own = or_results[start : start + n]
-                steps = sum(r.steps for r in own)
-                or_latency = sum(r.latency for r in own)
-                or_energy = sum(r.energy for r in own)
+            for i, handles in enumerate(per_query_handles):
                 acct0 = self.runtime.pim_accounting
                 lat0, en0 = acct0.latency, acct0.energy
-                steps, hits = self._combine_predicates(handles, steps)
+                if len(handles) == 1:
+                    answer_bits = self.runtime.pim_read(handles[0])
+                    steps = steps_q[i]
+                else:
+                    # final AND streams straight to the I/O bus, same as
+                    # the sequential path's emission
+                    scratch = self._scratch_vector()
+                    answer_bits = self.runtime.pim_op_to_host(
+                        "and", scratch, [answers[i], handles[-1]]
+                    )
+                    steps = steps_q[i] + 1
                 acct = self.runtime.pim_accounting
                 results.append(
                     PimQueryResult(
-                        hits=hits,
+                        hits=int(answer_bits.sum()),
                         in_memory_steps=steps,
-                        latency=or_latency + (acct.latency - lat0),
-                        energy=or_energy + (acct.energy - en0),
+                        latency=lat_q[i] + (acct.latency - lat0),
+                        energy=en_q[i] + (acct.energy - en0),
                     )
                 )
+            # scratch is recycled only once the whole stream is done:
+            # every query's predicate rows were materialised up front,
+            # so none are dead until the last combine has read them
+            self._recycle_query_scratch()
             return results
 
     def run_workload(self, queries) -> list:

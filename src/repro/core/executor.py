@@ -126,6 +126,10 @@ class PinatuboExecutor:
         self._current_mode: Optional[PimOp] = None
         #: combine-step command templates, see :meth:`_step_rows`
         self._step_templates: Dict[tuple, tuple] = {}
+        #: when set (a list), the batched paths append their finished
+        #: command batches as ``(flavor, batch)`` tuples so the kernel
+        #: compiler (:mod:`repro.plan.compile`) can freeze them
+        self.record_sink: Optional[list] = None
 
     # -- host-side data movement ------------------------------------------------
 
@@ -250,6 +254,8 @@ class PinatuboExecutor:
             )
             if isinstance(sink, CommandBatch):
                 acct.absorb(self.controller.execute_batch(sink))
+                if self.record_sink is not None:
+                    self.record_sink.append(("single", sink))
             elif sink:
                 acct.absorb(self.controller.execute(sink))
             acct.count_bits(n_bits * len(sources))
@@ -309,6 +315,8 @@ class PinatuboExecutor:
                 )
                 metas.append((op, steps, acct, localities, n_bits, len(sources)))
             _, per_op = self.controller.execute_batch(batch, split_ops=True)
+            if self.record_sink is not None:
+                self.record_sink.append(("many", batch))
 
             results = []
             for (op, steps, acct, localities, n_bits, n_sources), stats in zip(
@@ -352,12 +360,14 @@ class PinatuboExecutor:
             acct = OpAccounting()
             localities: Dict[OpLocality, int] = {}
             bits = None
+            fast_path = False
             if isinstance(sink, CommandBatch):
                 vectorized = self._vector_chunks_to_host(
                     sink, op, scratch, sources, n_bits, n_chunks, acct, localities
                 )
                 if vectorized is not None:
                     bits, total_steps = vectorized
+                    fast_path = True
             if bits is None:
                 total_steps = 0
                 parts = []
@@ -377,6 +387,8 @@ class PinatuboExecutor:
                 bits = np.concatenate(parts)
             if sink is not None:
                 acct.absorb(self.controller.execute_batch(sink))
+                if self.record_sink is not None:
+                    self.record_sink.append(("to_host", sink, fast_path))
             acct.count_bits(n_bits * len(sources))
             sp.add(steps=total_steps)
             result = OpResult(

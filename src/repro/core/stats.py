@@ -103,6 +103,23 @@ class OpAccounting:
         )
         return dict(items)
 
+    def merge_from(self, other: "OpAccounting") -> None:
+        """In-place :meth:`merged`: same field and dict accumulation
+        order, so ``a.merged(x).merged(y)`` and ``t = a.merged(x);
+        t.merge_from(y)`` produce bit-identical floats -- the planner's
+        serve/replay hot paths rely on that to accumulate a wave without
+        one allocation per item."""
+        self.latency += other.latency
+        self.energy += other.energy
+        self.in_memory_steps += other.in_memory_steps
+        self.bus_data_bytes += other.bus_data_bytes
+        self.bus_commands += other.bus_commands
+        self.bits_processed += other.bits_processed
+        for loc, n in other.locality_counts.items():
+            self.locality_counts[loc] = self.locality_counts.get(loc, 0) + n
+        for kind, e in other.energy_by_kind.items():
+            self.energy_by_kind[kind] = self.energy_by_kind.get(kind, 0.0) + e
+
     def merged(self, other: "OpAccounting") -> "OpAccounting":
         out = OpAccounting(
             latency=self.latency + other.latency,

@@ -19,6 +19,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.memsim.geometry import MemoryGeometry
 
 
@@ -58,6 +60,15 @@ class OpLocality(enum.Enum):
     INTER_SUBARRAY = "inter_subarray"
     INTER_BANK = "inter_bank"
     INTER_CHIP = "inter_chip"  # not executable in memory
+
+
+#: locality per :meth:`AddressMapper.locality_codes` code value
+LOCALITY_BY_CODE = (
+    OpLocality.INTRA_SUBARRAY,
+    OpLocality.INTER_SUBARRAY,
+    OpLocality.INTER_BANK,
+    OpLocality.INTER_CHIP,
+)
 
 
 def classify_locality(addresses) -> OpLocality:
@@ -126,6 +137,37 @@ class AddressMapper:
         if not 0 <= frame < self._total_frames:
             raise ValueError(f"frame {frame} out of range [0, {self._total_frames})")
         return frame // self._rows_per_channel
+
+    def channels_of(self, frames) -> np.ndarray:
+        """Vectorized :meth:`channel_of` over an array of frames."""
+        return np.asarray(frames, dtype=np.int64) // self._rows_per_channel
+
+    def locality_codes(self, frames_2d: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`classify_frames` over operand columns.
+
+        ``frames_2d`` is an ``(n_operands, n_chunks)`` matrix; returns a
+        ``uint8`` code per chunk column: 0 intra-subarray, 1
+        inter-subarray, 2 inter-bank, 3 inter-chip -- the index into
+        :data:`LOCALITY_BY_CODE`.  Same integer-quotient tests as the
+        scalar path, applied across all chunks at once; the kernel
+        compiler keys program shapes on these codes.
+        """
+        frames_2d = np.asarray(frames_2d, dtype=np.int64)
+        codes = np.full(frames_2d.shape[1], 3, dtype=np.uint8)
+        q = frames_2d // self._rows_per_subarray
+        same = (q == q[0]).all(axis=0)
+        codes[same] = 0
+        rest = ~same
+        if rest.any():
+            q = frames_2d // self._rows_per_bank
+            hit = (q == q[0]).all(axis=0) & rest
+            codes[hit] = 1
+            rest &= ~hit
+            if rest.any():
+                q = frames_2d // self._rows_per_rank
+                hit = (q == q[0]).all(axis=0) & rest
+                codes[hit] = 2
+        return codes
 
     def classify_frames(self, frames) -> OpLocality:
         """:func:`classify_locality` on flat frame indices.

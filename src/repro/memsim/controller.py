@@ -342,6 +342,8 @@ class CommandBatch:
         "_open",
         "op_starts",
         "op_segment_starts",
+        "price_memo",
+        "price_memo_ok",
     )
 
     def __init__(self) -> None:
@@ -355,6 +357,10 @@ class CommandBatch:
         self._open = False  # commands appended since the last fence?
         self.op_starts: List[int] = []
         self.op_segment_starts: List[int] = []
+        # see MemoryController.execute_batch: immutable (frozen) batches
+        # opt into memoized pricing by setting price_memo_ok
+        self.price_memo = None
+        self.price_memo_ok = False
 
     def __len__(self) -> int:
         return len(self.kinds)
@@ -524,6 +530,15 @@ class MemoryController:
         boundaries are honoured and the result is ``(total, per_op)``
         where ``per_op[i]`` is the :class:`ExecutionStats` of the i-th
         marked operation alone.
+
+        Batches whose columns never change (the kernel compiler's frozen
+        serve/to-host batches) set ``price_memo_ok``: pricing is a pure
+        function of the columns, so the first execution caches its stats
+        and per-channel bus-ledger deltas on the batch, and every later
+        execution replays them -- byte-identical accounting (the exact
+        ints/floats the full pass computed) without the numpy reductions.
+        Memoized returns are shared objects; callers must not mutate
+        them (no caller of this API does).
         """
         t0 = time.perf_counter() if PERF_DEBUG else 0.0
         n = len(batch)
@@ -532,6 +547,30 @@ class MemoryController:
             if split_ops:
                 return empty, [ExecutionStats() for _ in batch.op_starts]
             return empty
+
+        memo = getattr(batch, "price_memo", None)
+        if (
+            memo is not None
+            and memo[0] is self
+            and (not split_ops or memo[2] is not None)
+        ):
+            _, stats, per_op, bus_deltas = memo
+            with telemetry.span("memsim.controller.execute_batch") as sp:
+                for ch, n_cmds, n_bytes, bus_t, bus_e in bus_deltas:
+                    self.buses[ch].account(n_cmds, n_bytes, bus_t, bus_e)
+                perf_counters.batch_commands += n
+                perf_counters.batches += 1
+                if PERF_DEBUG:
+                    perf_counters.wall_s += time.perf_counter() - t0
+                sp.add(
+                    latency_s=stats.latency,
+                    energy_j=stats.energy,
+                    commands=n,
+                    segments=batch.n_segments,
+                )
+            if split_ops:
+                return stats, per_op
+            return stats
 
         with telemetry.span("memsim.controller.execute_batch") as sp:
             tbl = self.price_table
@@ -586,14 +625,18 @@ class MemoryController:
             ch_bytes = np.bincount(channels, weights=bus_bytes, minlength=n_buses)
             ch_bus_t = np.bincount(channels, weights=bus_t, minlength=n_buses)
             ch_bus_e = np.bincount(channels, weights=bus_energy, minlength=n_buses)
+            bus_deltas = []
             for ch in range(n_buses):
                 if ch_cmds[ch] or ch_bytes[ch] or ch_bus_t[ch] or ch_bus_e[ch]:
-                    self.buses[ch].account(
+                    delta = (
+                        ch,
                         int(ch_cmds[ch]),
                         int(ch_bytes[ch]),
                         float(ch_bus_t[ch]),
                         float(ch_bus_e[ch]),
                     )
+                    bus_deltas.append(delta)
+                    self.buses[ch].account(*delta[1:])
 
             perf_counters.batch_commands += n
             perf_counters.batches += 1
@@ -606,12 +649,17 @@ class MemoryController:
                 segments=batch.n_segments,
             )
 
+            per_op = None
+            if split_ops:
+                per_op = self._split_op_stats(
+                    batch, kinds, channels, energy, bus_cmds, bus_bytes,
+                    bus_t, bus_energy, seg_latency,
+                )
+            if getattr(batch, "price_memo_ok", False):
+                batch.price_memo = (self, stats, per_op, bus_deltas)
             if not split_ops:
                 return stats
-            return stats, self._split_op_stats(
-                batch, kinds, channels, energy, bus_cmds, bus_bytes, bus_t,
-                bus_energy, seg_latency,
-            )
+            return stats, per_op
 
     def _split_op_stats(
         self,

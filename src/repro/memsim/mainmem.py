@@ -3,8 +3,13 @@
 Timing and energy live in the controller/executor layer; this module is
 the *data* layer.  The storage unit is the rank row ("row frame"): chips
 are lock-step, so one activation opens one frame of
-``geometry.row_bits`` bits.  Frames are allocated lazily, so a 64 GiB
-memory costs only as much host RAM as the frames actually touched.
+``geometry.row_bits`` bits.  Storage is organised as lazily-allocated
+*blocks* of contiguous frames (a power-of-two row count, capped at
+~1 MiB per block), so a 64 GiB memory costs only as much host RAM as
+the blocks actually touched -- while batched reads and writes
+(:meth:`MainMemory.gather_rows`, :meth:`MainMemory.write_frames`)
+resolve to one fancy-indexed numpy operation per touched block instead
+of one Python-level copy per row.
 
 Bits are packed little-endian within bytes (``numpy.packbits`` with
 ``bitorder='little'``), which keeps bit ``i`` of a vector at byte
@@ -14,7 +19,7 @@ Bits are packed little-endian within bytes (``numpy.packbits`` with
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List
 
 import numpy as np
 
@@ -25,6 +30,9 @@ from repro.memsim.geometry import MemoryGeometry
 #: per-instance/per-frame detail stays on ``total_writes`` and
 #: ``write_histogram()`` -- see ``repro.runtime.wear``
 _FRAME_WRITES = telemetry.counter("memsim.mainmem.frame_writes")
+
+#: cap on one lazily-allocated block's payload bytes
+_BLOCK_BYTES = 1 << 20
 
 
 #: numpy ufunc per bulk bitwise op name.
@@ -57,7 +65,12 @@ else:  # pragma: no cover - older numpy
 
 @dataclass(slots=True)
 class RowFrame:
-    """One rank row of packed bits."""
+    """One rank row of packed bits.
+
+    Retained for API compatibility (a handful of callers construct these
+    to model a standalone row); :class:`MainMemory` itself stores rows in
+    contiguous per-block arrays, not ``RowFrame`` objects.
+    """
 
     data: np.ndarray  # uint8, length = geometry.row_bytes
     writes: int = 0  # endurance accounting
@@ -71,12 +84,22 @@ class MainMemory:
 
     def __init__(self, geometry: MemoryGeometry):
         self.geometry = geometry
-        self._frames: dict = {}
         self.total_writes = 0
         self._total_rows = geometry.total_rows
+        self._row_bytes = geometry.row_bytes
+        # rows per block: power of two, >= 1, block payload <= _BLOCK_BYTES
+        rows = max(1, _BLOCK_BYTES // max(1, self._row_bytes))
+        self._block_shift = max(0, rows.bit_length() - 1)
+        self._block_rows = 1 << self._block_shift
+        self._block_mask = self._block_rows - 1
+        #: block index -> (block_rows, row_bytes) uint8 payload
+        self._blocks: Dict[int, np.ndarray] = {}
+        #: block index -> (block_rows,) int64 per-frame program counts
+        self._block_writes: Dict[int, np.ndarray] = {}
         self._zero_row = np.zeros(geometry.row_bytes, dtype=np.uint8)
         self._zero_row.flags.writeable = False
         self._write_listeners: List = []
+        self._bulk_listeners: List = []
 
     def add_write_listener(self, callback) -> None:
         """Register ``callback(frame)`` to fire on every frame program.
@@ -87,6 +110,34 @@ class MainMemory:
         same point the wear/endurance counters already observe.
         """
         self._write_listeners.append(callback)
+
+    def add_bulk_write_listener(self, callback) -> None:
+        """Register ``callback(frames)`` fired once per write call.
+
+        The batched flavour of :meth:`add_write_listener`:
+        :meth:`write_frame` fires it with a 1-tuple, :meth:`write_frames`
+        once with the whole frame sequence (in write order, after the
+        block lands).  Observers that only need "these frames changed" --
+        the planner's version bump and cache invalidation -- amortise
+        their per-call overhead across the batch instead of paying it
+        per row.
+        """
+        self._bulk_listeners.append(callback)
+
+    # -- block management ----------------------------------------------------
+
+    def _block(self, block_index: int) -> np.ndarray:
+        """The payload array of a block, allocating it on first touch."""
+        blk = self._blocks.get(block_index)
+        if blk is None:
+            blk = np.zeros(
+                (self._block_rows, self._row_bytes), dtype=np.uint8
+            )
+            self._blocks[block_index] = blk
+            self._block_writes[block_index] = np.zeros(
+                self._block_rows, dtype=np.int64
+            )
+        return blk
 
     # -- frame accessors ---------------------------------------------------
 
@@ -99,16 +150,18 @@ class MainMemory:
     def frame_bytes(self, frame: int) -> np.ndarray:
         """Packed contents of a frame (zeros if never written)."""
         self._check_frame(frame)
-        entry = self._frames.get(frame)
-        if entry is None:
+        blk = self._blocks.get(frame >> self._block_shift)
+        if blk is None:
             return np.zeros(self.geometry.row_bytes, dtype=np.uint8)
-        return entry.copy_bits()
+        return blk[frame & self._block_mask].copy()
 
     def frame_view(self, frame: int) -> np.ndarray:
         """Read-only packed view of a frame (no copy; zeros if untouched)."""
         self._check_frame(frame)
-        entry = self._frames.get(frame)
-        return self._zero_row if entry is None else entry.data
+        blk = self._blocks.get(frame >> self._block_shift)
+        if blk is None:
+            return self._zero_row
+        return blk[frame & self._block_mask]
 
     def write_frame(self, frame: int, data: np.ndarray) -> None:
         """Overwrite a full frame with packed bytes."""
@@ -118,32 +171,87 @@ class MainMemory:
             raise ValueError(
                 f"frame data must have shape ({self.geometry.row_bytes},)"
             )
-        entry = self._frames.get(frame)
-        if entry is None:
-            entry = RowFrame(data.copy())
-            self._frames[frame] = entry
-        else:
-            entry.data[:] = data
-        entry.writes += 1
+        block_index = frame >> self._block_shift
+        row = frame & self._block_mask
+        self._block(block_index)[row] = data
+        self._block_writes[block_index][row] += 1
         self.total_writes += 1
         _FRAME_WRITES.add()
         if self._write_listeners:
             for callback in self._write_listeners:
                 callback(frame)
+        if self._bulk_listeners:
+            frames = (frame,)
+            for callback in self._bulk_listeners:
+                callback(frames)
+
+    def write_frames(self, frames, rows_2d: np.ndarray) -> None:
+        """Batched :meth:`write_frame`: row ``i`` of ``rows_2d`` -> frame i.
+
+        Validates the block once, then lands the rows with one
+        fancy-indexed assignment per touched storage block -- same
+        copy-in, same endurance bump, same listener firing as the
+        per-frame path, without per-row Python work.  The compiled
+        replay and serve paths funnel their stores through here.
+        """
+        rows_2d = np.asarray(rows_2d, dtype=np.uint8)
+        n = len(frames)
+        if rows_2d.shape != (n, self.geometry.row_bytes):
+            raise ValueError(
+                f"rows must have shape ({n}, {self.geometry.row_bytes})"
+            )
+        if n == 0:
+            return
+        farr = np.asarray(frames, dtype=np.intp)
+        if int(farr.min()) < 0 or int(farr.max()) >= self._total_rows:
+            raise ValueError(
+                f"frame out of range [0, {self._total_rows})"
+            )
+        blocks = farr >> self._block_shift
+        rows = farr & self._block_mask
+        first = int(blocks[0])
+        if (blocks == first).all():
+            blk = self._block(first)
+            blk[rows] = rows_2d
+            np.add.at(self._block_writes[first], rows, 1)
+        else:
+            for block_index in np.unique(blocks):
+                sel = blocks == block_index
+                blk = self._block(int(block_index))
+                blk[rows[sel]] = rows_2d[sel]
+                np.add.at(self._block_writes[int(block_index)], rows[sel], 1)
+        if self._write_listeners:
+            for frame in frames:
+                for callback in self._write_listeners:
+                    callback(frame)
+        self.total_writes += n
+        _FRAME_WRITES.add(n)
+        if self._bulk_listeners:
+            for callback in self._bulk_listeners:
+                callback(frames)
 
     def frame_writes(self, frame: int) -> int:
         """How many times a frame has been programmed (endurance)."""
         self._check_frame(frame)
-        entry = self._frames.get(frame)
-        return 0 if entry is None else entry.writes
+        writes = self._block_writes.get(frame >> self._block_shift)
+        if writes is None:
+            return 0
+        return int(writes[frame & self._block_mask])
 
     @property
     def frames_in_use(self) -> int:
-        return len(self._frames)
+        return sum(
+            int(np.count_nonzero(w)) for w in self._block_writes.values()
+        )
 
     def write_histogram(self) -> dict:
         """{frame: program count} for every frame ever written."""
-        return {frame: entry.writes for frame, entry in self._frames.items()}
+        histogram: dict = {}
+        for block_index, writes in self._block_writes.items():
+            base = block_index << self._block_shift
+            for row in np.nonzero(writes)[0]:
+                histogram[base + int(row)] = int(writes[row])
+        return histogram
 
     # -- bit-level accessors -------------------------------------------------
 
@@ -196,8 +304,30 @@ class MainMemory:
 
     def gather_rows(self, frames) -> np.ndarray:
         """Stack frames into a fresh ``(len(frames), row_bytes)`` array."""
-        fv = self.frame_view
-        return np.stack([fv(f) for f in frames])
+        farr = np.asarray(frames, dtype=np.intp)
+        if farr.size == 0:
+            return np.empty((0, self._row_bytes), dtype=np.uint8)
+        if int(farr.min()) < 0 or int(farr.max()) >= self._total_rows:
+            raise ValueError(
+                f"frame out of range [0, {self._total_rows})"
+            )
+        blocks = farr >> self._block_shift
+        rows = farr & self._block_mask
+        first = int(blocks[0])
+        if (blocks == first).all():
+            blk = self._blocks.get(first)
+            if blk is None:
+                return np.zeros(
+                    (farr.size, self._row_bytes), dtype=np.uint8
+                )
+            return blk[rows]
+        out = np.zeros((farr.size, self._row_bytes), dtype=np.uint8)
+        for block_index in np.unique(blocks):
+            blk = self._blocks.get(int(block_index))
+            if blk is not None:
+                sel = blocks == block_index
+                out[sel] = blk[rows[sel]]
+        return out
 
     def bitwise_rows(self, op: str, src_frame_lists) -> np.ndarray:
         """:meth:`bitwise_frames` over many frame tuples at once.

@@ -86,6 +86,15 @@ class SubResultCache:
 
     # -- lookup / insert -----------------------------------------------------
 
+    def peek(self, key: str) -> Optional[CacheEntry]:
+        """Presence probe: no hit/miss tally, no LRU touch.
+
+        The planner's resident-wave validation uses this to ask "would
+        these lookups all hit?" before committing to a replay whose
+        tallies must then match the interpreted path exactly.
+        """
+        return self._shards[self._shard_of(key)].get(key)
+
     def get(self, key: str) -> Optional[CacheEntry]:
         """LRU lookup; tallies the hit/miss."""
         i = self._shard_of(key)
@@ -169,7 +178,14 @@ class SubResultCache:
         return dropped
 
     def invalidate_frames(self, frames: Iterable[int]) -> int:
-        return sum(self.invalidate_frame(f) for f in frames)
+        # pre-filter on the index: the common case (a write to frames no
+        # cached expression reads) costs one membership test per frame
+        index = self._frame_index
+        if not index:
+            return 0
+        if index.keys().isdisjoint(frames):
+            return 0
+        return sum(self.invalidate_frame(f) for f in frames if f in index)
 
     def clear(self) -> None:
         for shard in self._shards:
@@ -202,3 +218,62 @@ class SubResultCache:
             f"({self.hits}/{lookups}), {self.evictions} evictions, "
             f"{self.invalidations} invalidations"
         )
+
+
+class ProgramCache:
+    """Bounded LRU of compiled kernel programs, keyed by DAG shape.
+
+    Values are :class:`repro.plan.compile.WaveProgram` /
+    :class:`~repro.plan.compile.ToHostProgram` instances or the compile
+    module's ``SEEN_ONCE`` / ``UNCOMPILABLE`` markers.  Programs are
+    frame-agnostic and shape keys embed no content versions, so -- unlike
+    :class:`SubResultCache` entries -- they need no write invalidation:
+    a memory write changes *which* requests execute, never what a
+    shape's command stream looks like.  Eviction only ever costs a
+    recompile on the next recurrence.
+    """
+
+    __slots__ = ("max_entries", "_entries", "hits", "misses", "evictions")
+
+    def __init__(self, max_entries: int = 4096):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key):
+        """LRU lookup; ``None`` on miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key, program) -> None:
+        """Insert or replace (marker upgrades reuse the key's slot)."""
+        self._entries[key] = program
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def to_dict(self) -> dict:
+        """JSON-ready tallies of this cache instance."""
+        return {
+            "entries": len(self),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

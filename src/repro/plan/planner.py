@@ -4,10 +4,13 @@
 and the batched driver.  For every request it builds a **canonical
 expression key**:
 
-- a *leaf* is ``L<frame>.<version>`` -- the identity of a row frame at
-  its current write version (versions are bumped by the main memory's
-  write listener, so any write to a row changes every key that reads
-  it);
+- a *leaf* is the tuple ``("L", frames, versions)`` -- the identity of
+  a run of row frames at their current write versions, encoded as the
+  raw bytes of the frame-number and version arrays (versions are bumped
+  by the main memory's write listener, so any write to a row changes
+  every key that reads it).  Leaf keys are memoized per vector id and
+  revalidated with one vectorized version compare, so the hot path
+  never re-derives them;
 - a handle whose content was produced by an earlier planned request
   resolves to that request's *expression key* instead of its raw
   frames (the binding survives as long as the destination rows are
@@ -50,6 +53,7 @@ Correctness invariants:
 from __future__ import annotations
 
 from collections import OrderedDict
+from time import perf_counter
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -59,7 +63,24 @@ from repro.core.executor import OpResult
 from repro.core.ops import PimOp
 from repro.core.stats import OpAccounting
 from repro.memsim.controller import CommandBatch, CommandKind
-from repro.plan.cache import SubResultCache
+from repro.plan.cache import ProgramCache, SubResultCache
+from repro.plan.compile import (
+    COMPILATIONS,
+    COMPILE_SECONDS,
+    PROGRAM_HITS,
+    PROGRAM_MISSES,
+    SEEN_ONCE,
+    UNCOMPILABLE,
+    UNCOMPILABLE_SHAPES,
+    ToHostProgram,
+    WaveProgram,
+    build_serve_template,
+    build_to_host_program,
+    build_wave_program,
+    concat_serve_templates,
+    to_host_shape_key,
+    wave_shape_key,
+)
 from repro.runtime.driver import PimDriver, PimRequest
 
 __all__ = ["PlanStats", "QueryPlanner", "forward_rows"]
@@ -71,6 +92,7 @@ _MAX_BINDINGS = 8192
 
 _CSE_HITS = telemetry.counter("plan.cse_hits")
 _PLANNED = telemetry.counter("plan.requests")
+_SERVE_REPLAYS = telemetry.counter("plan.compile.serve_replays")
 
 
 def _serve_commands(batch, geometry, channel_of, dest_frames, n_bits):
@@ -140,6 +162,11 @@ class PlanStats:
         "hazard_flushes",
         "served_latency_s",
         "served_energy_j",
+        "program_hits",
+        "program_misses",
+        "compilations",
+        "compile_seconds",
+        "serve_replays",
     )
 
     def __init__(self) -> None:
@@ -151,6 +178,11 @@ class PlanStats:
         self.hazard_flushes = 0
         self.served_latency_s = 0.0
         self.served_energy_j = 0.0
+        self.program_hits = 0
+        self.program_misses = 0
+        self.compilations = 0
+        self.compile_seconds = 0.0
+        self.serve_replays = 0
 
     @property
     def served(self) -> int:
@@ -168,6 +200,11 @@ class PlanStats:
             "hazard_flushes": self.hazard_flushes,
             "served_latency_s": self.served_latency_s,
             "served_energy_j": self.served_energy_j,
+            "program_hits": self.program_hits,
+            "program_misses": self.program_misses,
+            "compilations": self.compilations,
+            "compile_seconds": self.compile_seconds,
+            "serve_replays": self.serve_replays,
         }
 
     def summary(self) -> str:
@@ -220,12 +257,54 @@ class _Wave:
     def __init__(self) -> None:
         self.items: List[_Item] = []
         #: canonical key -> exec item (the wave-local CSE table)
-        self.keys: Dict[str, _Item] = {}
+        self.keys: Dict[tuple, _Item] = {}
         self.exec_reads: Set[int] = set()
         self.exec_writes: Set[int] = set()
         self.serve_writes: Set[int] = set()
         #: vid -> (frames, key, leaves) for every pending destination
-        self.bind: Dict[int, Tuple[tuple, str, FrozenSet[int]]] = {}
+        self.bind: Dict[int, Tuple[tuple, tuple, FrozenSet[int]]] = {}
+
+
+class _ResidentItem:
+    """One replayable cache serve: everything a re-serve needs.
+
+    Recorded whenever a compiled planner serves a request straight from
+    the sub-result cache.  The store is *content-addressed*: the lookup
+    key is ``(canonical expression key, overlap flag, destination
+    channel layout)``, never raw frame numbers -- scratch vectors rotate
+    through physical rows between queries, so frame identity is
+    meaningless across calls, while the expression key pins both the
+    operand contents (leaf frames + versions) and the command pricing
+    (bit widths; the channel layout fixes the serve command columns).
+    Destination frames are taken fresh from the live request at replay
+    time; everything content- and price-dependent is reused.
+    """
+
+    __slots__ = (
+        "key",  # canonical expression key
+        "n_chunks",
+        "leaves",  # frozenset of the expression's transitive leaf frames
+        "result",  # the (shared, read-only) OpResult
+        "entry",  # the CacheEntry served at record time
+        "rows",  # the entry's first n_chunks rows
+        "frozen",  # the serve template's memo-priced frozen batch
+    )
+
+    def __init__(self, key, n_chunks, leaves, result, entry, rows, frozen):
+        self.key = key
+        self.n_chunks = n_chunks
+        self.leaves = leaves
+        self.result = result
+        self.entry = entry
+        self.rows = rows
+        self.frozen = frozen
+
+
+#: shared read-only wave for leaf-key resolution outside planning
+_EMPTY_WAVE = _Wave()
+
+#: cap on retained resident serve items per planner
+_MAX_RESIDENT = 4096
 
 
 class QueryPlanner:
@@ -236,67 +315,157 @@ class QueryPlanner:
         driver: PimDriver,
         cache_bytes: int = 64 << 20,
         cache_shards: int = 8,
+        compile: bool = True,
     ):
         self.driver = driver
         self.executor = driver.executor
         self.geometry = self.executor.geometry
         self.memory = self.executor.memory
         self.cache = SubResultCache(cache_bytes, cache_shards)
+        #: ``compile=False`` is the escape hatch back to the fully
+        #: interpreted wave execution (identical results and pricing,
+        #: just no program recording/replay)
+        self.compile_enabled = bool(compile)
+        #: shape key -> WaveProgram/ToHostProgram or SEEN_ONCE/UNCOMPILABLE
+        self.programs = ProgramCache()
+        #: (n_bits, channels bytes) -> ServeTemplate
+        self._serve_templates: Dict[tuple, object] = {}
         self.stats = PlanStats()
-        #: authoritative write versions (frames absent were never
-        #: written since the planner attached; they count as version 0)
-        self._versions: Dict[int, int] = {}
-        #: vid -> (frames, version snapshot, expression key, leaf frames)
-        self._bound: "OrderedDict[int, tuple]" = OrderedDict()
-        self.memory.add_write_listener(self._on_frame_write)
+        #: authoritative write versions, dense per frame (row counts are
+        #: modest even for the 64 GiB geometry -- capacity lives in row
+        #: *width*); a frame never written since the planner attached
+        #: stays at version 0
+        self._versions = np.zeros(self.geometry.total_rows, dtype=np.int64)
+        #: bumps once per write call; a memo entry validated at the
+        #: current epoch needs no version re-check (see :meth:`_leaf_key`)
+        self._write_epoch = 0
+        #: vid -> [frames, frames array, version snapshot array, version
+        #: sum, expression key, leaf frames, validated epoch]
+        self._bound: "OrderedDict[int, list]" = OrderedDict()
+        #: vid -> [n_chunks, frames, frames array, version sum, leaf
+        #: key, leaf frames, validated epoch] -- raw-operand key memo
+        self._leaf_keys: "OrderedDict[int, list]" = OrderedDict()
+        #: serve-wave composition (tuple of templates) -> frozen batch,
+        #: so recurring compositions reuse one memo-priced batch object
+        self._serve_batches: Dict[tuple, object] = {}
+        #: frames tuple -> packed channel layout; pure (the mapping is
+        #: geometry, not state) and scratch frames rotate through a
+        #: finite pool, so the same tuples recur indefinitely
+        self._chan_bytes: Dict[tuple, bytes] = {}
+        #: raw to-host operand identity -> shape key (same purity
+        #: argument; ``None`` marks shapes the compiler rejects)
+        self._to_host_keys: Dict[tuple, Optional[tuple]] = {}
+        #: (op, n_bits, child keys in submission order) -> canonical
+        #: request key, skipping the per-request sort of recurring
+        #: operand combinations
+        self._canon_keys: Dict[tuple, tuple] = {}
+        #: content part -> _ResidentItem (replayable cache serves)
+        self._resident: "OrderedDict[tuple, _ResidentItem]" = OrderedDict()
+        self.memory.add_bulk_write_listener(self._on_frames_written)
 
     # -- invalidation hooks --------------------------------------------------
 
-    def _on_frame_write(self, frame: int) -> None:
+    def _on_frames_written(self, frames) -> None:
         """Every write to main memory lands here (driver execution, host
-        writes, fallbacks, the planner's own serves): bump the frame's
-        version and drop cached sub-results that read it."""
-        self._versions[frame] = self._versions.get(frame, 0) + 1
-        self.cache.invalidate_frame(frame)
+        writes, fallbacks, the planner's own serves), once per write
+        call with the programmed frames: bump their versions and drop
+        cached sub-results that read them."""
+        self._write_epoch += 1
+        versions = self._versions
+        if len(frames) == 1:
+            versions[frames[0]] += 1
+        elif type(frames) is np.ndarray:
+            np.add.at(versions, frames, 1)
+        else:
+            np.add.at(
+                versions,
+                np.fromiter(frames, dtype=np.intp, count=len(frames)),
+                1,
+            )
+        self.cache.invalidate_frames(frames)
 
     def on_free(self, handle) -> None:
         """Allocator free hook: a freed vector's rows may be recycled, so
-        its binding and any sub-results reading its frames go now."""
+        its bindings and any sub-results reading its frames go now."""
         self._bound.pop(handle.vid, None)
+        self._leaf_keys.pop(handle.vid, None)
         self.cache.invalidate_frames(handle.frames)
 
     # -- canonicalisation ----------------------------------------------------
 
     def _leaf_key(
         self, handle, n_chunks: int, wave: _Wave
-    ) -> Tuple[str, FrozenSet[int]]:
+    ) -> Tuple[tuple, FrozenSet[int]]:
         """Canonical key of one operand handle (expression or raw leaf)."""
-        frames = handle.frames[:n_chunks]
+        frames = handle.frames
+        if len(frames) != n_chunks:
+            frames = frames[:n_chunks]
         pending = wave.bind.get(handle.vid)
         if pending is not None:
             bframes, key, leaves = pending
             if len(bframes) >= n_chunks and bframes[:n_chunks] == frames:
                 return key, leaves
+        # version snapshots are validated by *sum*: versions only ever
+        # increment, so sum equality over the same frames is equivalent
+        # to elementwise equality -- one scalar compare instead of an
+        # elementwise one on every memo probe.  Cheaper still: an entry
+        # whose ``epoch`` slot equals the global write epoch was
+        # validated after the last write anywhere, so its versions
+        # cannot have moved -- no array touch at all.
+        epoch = self._write_epoch
         bound = self._bound.get(handle.vid)
         if bound is not None:
-            bframes, snapshot, key, leaves = bound
-            if (
-                len(bframes) >= n_chunks
+            bframes = bound[0]
+            if len(bframes) == n_chunks:
+                if bframes == frames and (
+                    bound[6] == epoch
+                    or int(self._versions[bound[1]].sum()) == bound[3]
+                ):
+                    bound[6] = epoch
+                    self._bound.move_to_end(handle.vid)
+                    return bound[4], bound[5]
+            elif (
+                len(bframes) > n_chunks
                 and bframes[:n_chunks] == frames
-                and all(
-                    self._versions.get(f, 0) == v
-                    for f, v in zip(frames, snapshot)
+                and (
+                    bound[6] == epoch
+                    or (
+                        self._versions[bound[1][:n_chunks]]
+                        == bound[2][:n_chunks]
+                    ).all()
                 )
             ):
+                # prefix-only validation: leave the epoch slot alone
+                # (it asserts whole-entry freshness)
                 self._bound.move_to_end(handle.vid)
-                return key, leaves
-        versions = self._versions
-        key = ",".join(f"L{f}.{versions.get(f, 0)}" for f in frames)
-        return key, frozenset(frames)
+                return bound[4], bound[5]
+        cached = self._leaf_keys.get(handle.vid)
+        if cached is not None:
+            if (
+                cached[0] == n_chunks
+                and cached[1] == frames
+                and (
+                    cached[6] == epoch
+                    or int(self._versions[cached[2]].sum()) == cached[3]
+                )
+            ):
+                cached[6] = epoch
+                self._leaf_keys.move_to_end(handle.vid)
+                return cached[4], cached[5]
+        farr = np.fromiter(frames, dtype=np.intp, count=n_chunks)
+        snapshot = self._versions[farr]
+        key = ("L", farr.tobytes(), snapshot.tobytes())
+        leaves = frozenset(frames)
+        self._leaf_keys[handle.vid] = [
+            n_chunks, frames, farr, int(snapshot.sum()), key, leaves, epoch
+        ]
+        while len(self._leaf_keys) > _MAX_BINDINGS:
+            self._leaf_keys.popitem(last=False)
+        return key, leaves
 
     def _request_key(
         self, req: PimRequest, wave: _Wave
-    ) -> Tuple[str, FrozenSet[int], bool]:
+    ) -> Tuple[tuple, FrozenSet[int], bool]:
         """(canonical key, transitive leaf frames, aliased?) of a request.
 
         ``aliased`` marks in-place accumulation: the destination's own
@@ -311,14 +480,9 @@ class QueryPlanner:
             ck, cl = self._leaf_key(src, n_chunks, wave)
             children.append(ck)
             leaves.update(cl)
-        op = req.op
-        if op is PimOp.OR or op is PimOp.AND:
-            # commutative and idempotent: sorted set
-            children = sorted(set(children))
-        elif op is PimOp.XOR:
-            # commutative only: sorted multiset
-            children.sort()
-        key = f"{op.value}:{req.n_bits}:({'|'.join(children)})"
+        # OR/AND are commutative and idempotent (sorted set), XOR is
+        # commutative only (sorted multiset) -- _canon memoizes both
+        key = self._canon(req.op, req.n_bits, children)
         dest_frames = req.dest.frames[:req_chunks]
         aliased = any(f in leaves for f in dest_frames)
         return key, frozenset(leaves), aliased
@@ -356,13 +520,235 @@ class QueryPlanner:
             reqs.append(PimRequest(op, dest, sources, n_bits, overlap))
         if not reqs:
             return []
-        with telemetry.span("plan.execute_many", requests=len(reqs)):
-            results: List[Optional[OpResult]] = [None] * len(reqs)
+        n = len(reqs)
+        with telemetry.span("plan.execute_many", requests=n):
+            results: List[Optional[OpResult]] = [None] * n
             wave = _Wave()
-            for i, req in enumerate(reqs):
-                self._plan_one(i, req, wave, results)
+            probe = self.compile_enabled and len(self._resident) > 0
+            i = 0
+            while i < n:
+                if probe:
+                    k = self._try_replay(reqs, i, results, wave)
+                    if k:
+                        i += k
+                        continue
+                self._plan_one(i, reqs[i], wave, results)
+                i += 1
             self._flush_wave(wave, results)
         return results
+
+    def _channels_bytes(self, frames: tuple) -> bytes:
+        chan = self._chan_bytes.get(frames)
+        if chan is None:
+            if len(self._chan_bytes) >= 8192:
+                self._chan_bytes.clear()
+            chan = self.executor.mapper.channels_of(frames).tobytes()
+            self._chan_bytes[frames] = chan
+        return chan
+
+    def _req_part(self, req: PimRequest, pending, wave: _Wave) -> tuple:
+        """One request's resident-store lookup part.
+
+        ``(canonical expression key, overlap flag, destination channel
+        layout)`` -- resolved through the same pending/bound/leaf memos
+        the interpreted path consults (including the live wave's
+        bindings, so a source fed by a still-pending destination gets
+        its pending expression key, never a stale one), so the
+        expression key embeds operand identity and content (leaf frames
+        + versions) while the channel layout fixes the serve pricing.
+        Raw destination frame numbers are deliberately absent: scratch
+        rotates through physical rows between queries, and a replay
+        writes to whatever frames the live requests name.
+        """
+        n_chunks = self.geometry.rows_for_bits(req.n_bits)
+        children = []
+        for src in req.sources:
+            bound = pending.get(src.vid)
+            if bound is not None:
+                bframes, bkey = bound
+                if (
+                    len(bframes) >= n_chunks
+                    and bframes[:n_chunks] == src.frames[:n_chunks]
+                ):
+                    children.append(bkey)
+                    continue
+            children.append(self._leaf_key(src, n_chunks, wave)[0])
+        key = self._canon(req.op, req.n_bits, children)
+        dest_frames = req.dest.frames[:n_chunks]
+        part = (key, req.overlap_chunks, self._channels_bytes(dest_frames))
+        return key, part, dest_frames
+
+    def _canon(self, op, n_bits: int, children: list) -> tuple:
+        """Canonical request key, memoized on the submission-order
+        children (recurring operand combinations skip the sort)."""
+        raw = (op.value, n_bits, tuple(children))
+        key = self._canon_keys.get(raw)
+        if key is not None:
+            return key
+        if op is PimOp.OR or op is PimOp.AND:
+            children = sorted(set(children))
+        elif op is PimOp.XOR:
+            children = sorted(children)
+        key = (op.value, n_bits, tuple(children))
+        if len(self._canon_keys) >= _MAX_BINDINGS:
+            self._canon_keys.clear()
+        self._canon_keys[raw] = key
+        return key
+
+    def _try_replay(
+        self, reqs: List[PimRequest], i: int, results, wave: _Wave
+    ) -> int:
+        """Replay the longest run of recorded serves starting at ``i``.
+
+        Returns the number of requests consumed (0 when request ``i``
+        has no valid resident entry).  Requests are matched greedily:
+        each one's key part is resolved (with pending bindings emulated
+        for intra-run chains, exactly as planning would bind them) and
+        looked up in the resident store; the run ends at the first
+        request that misses, fails validation (cache entry gone, a
+        destination aliasing its expression's leaves, or a destination
+        touching frames the pending wave will read or write -- a replay
+        commits *now*, so it must not reorder against unflushed items),
+        or is simply not a recorded serve.  Validation happens *before*
+        any observable side effect; only then is the whole run
+        committed -- same tallies, writes, pricing, and bindings as the
+        interpreted serve.
+        """
+        resident = self._resident
+        peek = self.cache.peek
+        pending: Dict[int, tuple] = {}
+        matched = []  # (req, res, dest_frames, entry, part)
+        blocked = wave.exec_writes | wave.serve_writes | wave.exec_reads
+        n = len(reqs)
+        j = i
+        while j < n:
+            req = reqs[j]
+            key, part, dest = self._req_part(req, pending, wave)
+            res = resident.get(part)
+            if res is None:
+                break
+            entry = peek(res.key)
+            if entry is None:
+                break
+            if not res.leaves.isdisjoint(dest):
+                break  # aliased: the full path must execute it
+            if blocked and not blocked.isdisjoint(dest):
+                break  # would reorder against the pending wave
+            matched.append((req, res, dest, entry, part))
+            pending[req.dest.vid] = (dest, key)
+            j += 1
+        if not matched:
+            return 0
+
+        # -- committed: replay with the interpreted path's side effects --
+        k = len(matched)
+        stats = self.stats
+        stats.requests += k
+        _PLANNED.add(k)
+        cache_get = self.cache.get
+        for _req, res, _dest, _entry, _part in matched:
+            cache_get(res.key)  # guaranteed hit: tally + LRU touch
+        stats.cache_hits += k
+        stats.waves += 1
+        stats.serve_replays += 1
+        _SERVE_REPLAYS.add()
+        with telemetry.span("plan.cache.serve", served=k):
+            farrs = []
+            rows_parts = []
+            for _req, res, dest, entry, _part in matched:
+                if entry is not res.entry:
+                    # same key, re-inserted entry: identical values,
+                    # fresh arrays -- refresh the snapshot
+                    res.entry = entry
+                    res.rows = entry.rows[: res.n_chunks]
+                farrs.append(
+                    np.fromiter(dest, dtype=np.intp, count=res.n_chunks)
+                )
+                rows_parts.append(res.rows)
+            if k == 1:
+                frames_arr = farrs[0]
+                rows_2d = rows_parts[0]
+            else:
+                frames_arr = np.concatenate(farrs)
+                rows_2d = np.concatenate(rows_parts)
+            self.memory.write_frames(frames_arr, rows_2d)
+            execute_batch = self.executor.controller.execute_batch
+            latency = 0.0
+            energy = 0.0
+            driver_acct = None
+            for _req, res, _dest, _entry, _part in matched:
+                total, _per_item = execute_batch(res.frozen, split_ops=True)
+                latency += total.latency
+                energy += total.energy
+                acct = res.result.accounting
+                if driver_acct is None:
+                    driver_acct = self.driver.stats.accounting.merged(acct)
+                else:
+                    driver_acct.merge_from(acct)
+            self.driver.stats.accounting = driver_acct
+            stats.served_latency_s += latency
+            stats.served_energy_j += energy
+        versions = self._versions
+        bound = self._bound
+        epoch = self._write_epoch
+        # one fancy-index + one reduction for every binding snapshot:
+        # the run's frames are already concatenated in ``frames_arr``
+        all_snap = versions[frames_arr]
+        starts = 0
+        vsums = None
+        if k > 1 and all(m[1].n_chunks == matched[0][1].n_chunks for m in matched):
+            n_c = matched[0][1].n_chunks
+            all_snap = all_snap.reshape(k, n_c)
+            vsums = all_snap.sum(axis=1)
+        for idx, (req, res, dest, _entry, part) in enumerate(matched):
+            results[i + idx] = res.result
+            resident.move_to_end(part)
+            farr = farrs[idx]
+            vid = req.dest.vid
+            if vsums is not None:
+                snapshot = all_snap[idx]
+                vsum = int(vsums[idx])
+            else:
+                snapshot = all_snap[starts : starts + res.n_chunks]
+                starts += res.n_chunks
+                vsum = int(snapshot.sum())
+            bound[vid] = [
+                dest, farr, snapshot, vsum, res.key, res.leaves, epoch,
+            ]
+            bound.move_to_end(vid)
+        while len(bound) > _MAX_BINDINGS:
+            bound.popitem(last=False)
+        return k
+
+    def _record_resident(self, items: List[_Item], results: list) -> None:
+        """Snapshot a wave's cache-served items for content replay."""
+        resident = self._resident
+        peek = self.cache.peek
+        get_tmpl = self._serve_templates.get
+        channels_bytes = self._channels_bytes
+        for it in items:
+            if it.rows is None:
+                continue  # CSE copy of an exec primary: not cache-backed
+            entry = peek(it.key)
+            if entry is None or entry.rows is not it.rows:
+                continue
+            chan = channels_bytes(it.dest_frames)
+            tmpl = get_tmpl((it.req.n_bits, chan))
+            if tmpl is None:  # pragma: no cover - serve always populates it
+                continue
+            part = (it.key, it.req.overlap_chunks, chan)
+            resident[part] = _ResidentItem(
+                it.key,
+                it.n_chunks,
+                it.leaves,
+                results[it.index],
+                entry,
+                it.rows[: it.n_chunks],
+                tmpl.frozen,
+            )
+            resident.move_to_end(part)
+        while len(resident) > _MAX_RESIDENT:
+            resident.popitem(last=False)
 
     # -- planning ------------------------------------------------------------
 
@@ -444,14 +830,8 @@ class QueryPlanner:
         exec_items = [it for it in wave.items if it.kind == "exec"]
         serve_items = [it for it in wave.items if it.kind == "serve"]
 
-        driver = self.driver
-        for it in exec_items:
-            driver.submit(
-                it.req.op, it.req.dest, it.req.sources, it.req.n_bits,
-                it.req.overlap_chunks,
-            )
         if exec_items:
-            for it, result in zip(exec_items, driver.flush(batched=True)):
+            for it, result in zip(exec_items, self._run_exec(exec_items)):
                 results[it.index] = result
 
         # Snapshot result rows straight after the flush -- before any
@@ -470,19 +850,29 @@ class QueryPlanner:
 
         if serve_items:
             self._serve(serve_items, primary_rows, results)
+            if self.compile_enabled:
+                self._record_resident(serve_items, results)
 
         # Persistent bindings: every destination now holds its
         # expression's value; snapshot the (final) versions so any later
         # write is detected.  Submission order makes the last writer of
         # a vid win.
         versions = self._versions
+        epoch = self._write_epoch
         for it in wave.items:
-            self._bound[it.req.dest.vid] = (
+            farr = np.fromiter(
+                it.dest_frames, dtype=np.intp, count=it.n_chunks
+            )
+            snapshot = versions[farr]
+            self._bound[it.req.dest.vid] = [
                 it.dest_frames,
-                tuple(versions.get(f, 0) for f in it.dest_frames),
+                farr,
+                snapshot,
+                int(snapshot.sum()),
                 it.key,
                 it.leaves,
-            )
+                epoch,
+            ]
             self._bound.move_to_end(it.req.dest.vid)
         while len(self._bound) > _MAX_BINDINGS:
             self._bound.popitem(last=False)
@@ -493,6 +883,149 @@ class QueryPlanner:
         wave.exec_writes.clear()
         wave.serve_writes.clear()
         wave.bind.clear()
+
+    def _run_exec(self, exec_items: List[_Item]) -> List[OpResult]:
+        """Execute a wave's exec items, compiled when possible.
+
+        A wave shape's lifecycle: first sight interprets and drops a
+        ``SEEN_ONCE`` marker; the second sight interprets again with the
+        executor's record sink attached and lowers the recording into a
+        :class:`~repro.plan.compile.WaveProgram` (or marks the shape
+        ``UNCOMPILABLE`` forever); every later sight replays the program
+        -- same memory effects, byte-identical pricing through the
+        frozen command batch, no per-op Python on the hot path.
+        """
+        if not self.compile_enabled:
+            return self._interpret_exec(exec_items)
+        executor = self.executor
+        key = wave_shape_key(executor.mapper, exec_items, executor._current_mode)
+        if key is None:  # inter-chip placement: interpreted fallback owns it
+            return self._interpret_exec(exec_items)
+        entry = self.programs.get(key)
+        if type(entry) is WaveProgram:
+            PROGRAM_HITS.add()
+            self.stats.program_hits += 1
+            return entry.replay(self, exec_items)
+        PROGRAM_MISSES.add()
+        self.stats.program_misses += 1
+        if entry is UNCOMPILABLE:
+            return self._interpret_exec(exec_items)
+        if entry is None:
+            self.programs.put(key, SEEN_ONCE)
+            return self._interpret_exec(exec_items)
+        # second sight: record the interpreted run and compile it
+        executor.record_sink = recorded = []
+        try:
+            flush_results = self._interpret_exec(exec_items)
+        finally:
+            executor.record_sink = None
+        with telemetry.span(
+            "plan.compile.program", kind="wave", items=len(exec_items)
+        ):
+            t0 = perf_counter()
+            program = build_wave_program(
+                self, exec_items, flush_results, recorded,
+                self.driver.last_order,
+            )
+            dt = perf_counter() - t0
+        COMPILE_SECONDS.add(dt)
+        self.stats.compile_seconds += dt
+        if program is None:
+            UNCOMPILABLE_SHAPES.add()
+            self.programs.put(key, UNCOMPILABLE)
+        else:
+            COMPILATIONS.add()
+            self.stats.compilations += 1
+            self.programs.put(key, program)
+        return flush_results
+
+    def _interpret_exec(self, exec_items: List[_Item]) -> List[OpResult]:
+        driver = self.driver
+        for it in exec_items:
+            driver.submit(
+                it.req.op, it.req.dest, it.req.sources, it.req.n_bits,
+                it.req.overlap_chunks,
+            )
+        return driver.flush(batched=True)
+
+    def execute_to_host(
+        self,
+        op,
+        scratch_frames: Sequence[int],
+        source_frame_lists: Sequence[Sequence[int]],
+        n_bits: int,
+    ):
+        """Compiled-path :meth:`PinatuboExecutor.bitwise_to_host`.
+
+        A to-host call writes no memory and its command stream has no
+        data-dependent widths, so its program freezes on *first* sight
+        and replays from the second on.  Returns ``(bits, OpResult)``
+        exactly like the executor call.
+        """
+        executor = self.executor
+        if not self.compile_enabled:
+            return executor.bitwise_to_host(
+                op, scratch_frames, source_frame_lists, n_bits
+            )
+        op = PimOp.parse(op)
+        n_chunks = self.geometry.rows_for_bits(n_bits)
+        # shape keys are geometry-pure, so memo them by raw operand
+        # identity: scratch rotates through a finite pool and the same
+        # frame tuples recur indefinitely
+        raw = (
+            op,
+            n_bits,
+            executor._current_mode,
+            tuple(scratch_frames),
+            tuple(tuple(s) for s in source_frame_lists),
+        )
+        key = self._to_host_keys.get(raw)
+        if key is None and raw not in self._to_host_keys:
+            key = to_host_shape_key(
+                executor.mapper, op, scratch_frames, source_frame_lists,
+                n_bits, n_chunks, executor._current_mode,
+            )
+            if len(self._to_host_keys) >= _MAX_BINDINGS:
+                self._to_host_keys.clear()
+            self._to_host_keys[raw] = key
+        if key is None:
+            return executor.bitwise_to_host(
+                op, scratch_frames, source_frame_lists, n_bits
+            )
+        entry = self.programs.get(key)
+        if type(entry) is ToHostProgram:
+            PROGRAM_HITS.add()
+            self.stats.program_hits += 1
+            return entry.replay(
+                executor, scratch_frames, source_frame_lists, n_bits
+            )
+        PROGRAM_MISSES.add()
+        self.stats.program_misses += 1
+        if entry is UNCOMPILABLE:
+            return executor.bitwise_to_host(
+                op, scratch_frames, source_frame_lists, n_bits
+            )
+        executor.record_sink = recorded = []
+        try:
+            bits, result = executor.bitwise_to_host(
+                op, scratch_frames, source_frame_lists, n_bits
+            )
+        finally:
+            executor.record_sink = None
+        with telemetry.span("plan.compile.program", kind="to_host", items=1):
+            t0 = perf_counter()
+            program = build_to_host_program(recorded, op, result, n_chunks)
+            dt = perf_counter() - t0
+        COMPILE_SECONDS.add(dt)
+        self.stats.compile_seconds += dt
+        if program is None:
+            UNCOMPILABLE_SHAPES.add()
+            self.programs.put(key, UNCOMPILABLE)
+        else:
+            COMPILATIONS.add()
+            self.stats.compilations += 1
+            self.programs.put(key, program)
+        return bits, result
 
     def _serve(
         self,
@@ -505,26 +1038,31 @@ class QueryPlanner:
         with telemetry.span(
             "plan.cache.serve", served=len(serve_items)
         ):
-            batch = CommandBatch()
-            geometry = self.geometry
-            channel_of = self.executor.mapper.channel_of
-            write_frame = self.memory.write_frame
-            for it in serve_items:
-                rows = (
-                    it.rows
-                    if it.rows is not None
-                    else primary_rows[id(it.primary)]
+            if self.compile_enabled:
+                total, per_item = self._serve_compiled(serve_items, primary_rows)
+            else:
+                batch = CommandBatch()
+                geometry = self.geometry
+                channel_of = self.executor.mapper.channel_of
+                write_frame = self.memory.write_frame
+                for it in serve_items:
+                    rows = (
+                        it.rows
+                        if it.rows is not None
+                        else primary_rows[id(it.primary)]
+                    )
+                    batch.mark()
+                    _serve_commands(
+                        batch, geometry, channel_of, it.dest_frames, it.req.n_bits
+                    )
+                    for c, frame in enumerate(it.dest_frames):
+                        write_frame(frame, rows[c])
+                total, per_item = self.executor.controller.execute_batch(
+                    batch, split_ops=True
                 )
-                batch.mark()
-                _serve_commands(
-                    batch, geometry, channel_of, it.dest_frames, it.req.n_bits
-                )
-                for c, frame in enumerate(it.dest_frames):
-                    write_frame(frame, rows[c])
-            total, per_item = self.executor.controller.execute_batch(
-                batch, split_ops=True
-            )
-            driver_acct = self.driver.stats.accounting
+            # accumulate the wave in place (bit-identical to the
+            # per-item merged() chain -- see OpAccounting.merge_from)
+            driver_acct = None
             for it, stats in zip(serve_items, per_item):
                 acct = OpAccounting()
                 acct.absorb(stats)
@@ -532,7 +1070,67 @@ class QueryPlanner:
                 results[it.index] = OpResult(
                     op=it.req.op, accounting=acct, steps=0, localities={}
                 )
-                driver_acct = driver_acct.merged(acct)
-            self.driver.stats.accounting = driver_acct
+                if driver_acct is None:
+                    driver_acct = self.driver.stats.accounting.merged(acct)
+                else:
+                    driver_acct.merge_from(acct)
+            if driver_acct is not None:
+                self.driver.stats.accounting = driver_acct
             self.stats.served_latency_s += total.latency
             self.stats.served_energy_j += total.energy
+
+    def _serve_compiled(
+        self, serve_items: List[_Item], primary_rows: Dict[int, np.ndarray]
+    ):
+        """Template-driven serve path: command columns come from cached
+        :class:`~repro.plan.compile.ServeTemplate` objects keyed by
+        ``(n_bits, per-chunk channels)``, destination rows land in one
+        batched :meth:`MainMemory.write_frames` pass.  The templates are
+        column-for-column what :func:`_serve_commands` emits, so pricing,
+        write counts, and listener order match the interpreted serve
+        exactly."""
+        mapper = self.executor.mapper
+        templates = []
+        frames_all: List[int] = []
+        rows_parts = []
+        get_tmpl = self._serve_templates.get
+        channels_bytes = self._channels_bytes
+        for it in serve_items:
+            rows = (
+                it.rows if it.rows is not None else primary_rows[id(it.primary)]
+            )
+            tkey = (it.req.n_bits, channels_bytes(it.dest_frames))
+            tmpl = get_tmpl(tkey)
+            if tmpl is None:
+                tmpl = build_serve_template(
+                    self.geometry, it.req.n_bits,
+                    mapper.channels_of(it.dest_frames),
+                )
+                self._serve_templates[tkey] = tmpl
+            templates.append(tmpl)
+            frames_all.extend(it.dest_frames)
+            rows_parts.append(rows[: it.n_chunks])
+        self.memory.write_frames(
+            frames_all,
+            rows_parts[0] if len(rows_parts) == 1 else np.concatenate(rows_parts),
+        )
+        return self.executor.controller.execute_batch(
+            self._frozen_for(templates), split_ops=True
+        )
+
+    def _frozen_for(self, templates: list):
+        """The interned frozen batch of a serve-wave composition.
+
+        A stable batch object per composition lets the controller's
+        price memo absorb repeats of the same serve wave.
+        """
+        if len(templates) == 1:
+            return templates[0].frozen
+        ckey = tuple(templates)
+        frozen = self._serve_batches.get(ckey)
+        if frozen is None:
+            if len(self._serve_batches) >= 8192:
+                self._serve_batches.clear()
+            frozen = concat_serve_templates(templates)
+            self._serve_batches[ckey] = frozen
+        return frozen

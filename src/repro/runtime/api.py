@@ -33,6 +33,7 @@ class PimRuntime:
         policy: PlacementPolicy = PlacementPolicy.PIM_AWARE,
         plan: bool = False,
         plan_cache_bytes: int = 64 << 20,
+        compile: bool = True,
     ):
         self.system = system or PinatuboSystem.pcm()
         self.manager = PimMemoryManager(self.system.geometry, policy)
@@ -45,21 +46,31 @@ class PimRuntime:
             from repro.plan import QueryPlanner
 
             self.planner = QueryPlanner(
-                self.driver, cache_bytes=plan_cache_bytes
+                self.driver, cache_bytes=plan_cache_bytes, compile=compile
             )
             self.allocator.add_free_listener(self.planner.on_free)
 
     # -- canned configurations ----------------------------------------------
 
     @classmethod
-    def from_config(cls, config) -> "PimRuntime":
+    def from_config(
+        cls,
+        config,
+        plan: bool = False,
+        plan_cache_bytes: int = 64 << 20,
+        compile: bool = True,
+    ) -> "PimRuntime":
         """Build the full stack from a declarative
         :class:`repro.backends.config.SystemConfig`: the system comes from
         :meth:`PinatuboSystem.from_config`, the OS placement policy from
-        ``config.placement``."""
+        ``config.placement``.  ``plan``/``compile`` carry through to the
+        constructor (planned execution with the kernel compiler on)."""
         return cls(
             PinatuboSystem.from_config(config),
             policy=config.placement_policy(),
+            plan=plan,
+            plan_cache_bytes=plan_cache_bytes,
+            compile=compile,
         )
 
     @classmethod
@@ -133,12 +144,18 @@ class PimRuntime:
         sources = list(sources)
         if n_bits is None:
             n_bits = min([scratch.n_bits] + [s.n_bits for s in sources])
-        bits, result = self.system.executor.bitwise_to_host(
-            op,
-            list(scratch.frames),
-            [list(s.frames) for s in sources],
-            n_bits,
-        )
+        scratch_frames = list(scratch.frames)
+        source_frame_lists = [list(s.frames) for s in sources]
+        if self.planner is not None:
+            # planned runtimes route through the kernel compiler: the
+            # call replays as a frozen program once its shape repeats
+            bits, result = self.planner.execute_to_host(
+                op, scratch_frames, source_frame_lists, n_bits
+            )
+        else:
+            bits, result = self.system.executor.bitwise_to_host(
+                op, scratch_frames, source_frame_lists, n_bits
+            )
         self.driver.stats.instructions += 1
         self.driver.stats.accounting = self.driver.stats.accounting.merged(
             result.accounting

@@ -120,6 +120,10 @@ class PimDriver:
         self.executor = executor
         self._queue: List[PimRequest] = []
         self.stats = DriverStats()
+        #: execution-order permutation of the most recent :meth:`flush`
+        #: (submission indices); the kernel compiler reads it to map
+        #: recorded command streams back to submitted requests
+        self.last_order: List[int] = []
 
     # -- request queue ------------------------------------------------------
 
@@ -206,6 +210,7 @@ class PimDriver:
         with telemetry.span("runtime.driver.flush", batched=batched) as sp:
             batch, self._queue = self._queue, []
             order = self._reorder(batch)
+            self.last_order = order
             ordered = [batch[i] for i in order]
             sp.add(requests=len(ordered))
             _FLUSHES.add()

@@ -44,10 +44,16 @@ class PlacementPolicy(enum.Enum):
 
 @dataclass
 class _SubarraySlot:
-    """Free-row bookkeeping for one subarray."""
+    """Free-row bookkeeping for one subarray.
+
+    ``free_rows`` keeps the FIFO allocation order; ``free_set`` mirrors
+    it for O(1) membership (the double-free check) instead of a list
+    scan per released frame.
+    """
 
     base_frame: int
     free_rows: list = field(default_factory=list)
+    free_set: set = field(default_factory=set)
 
 
 class PimMemoryManager:
@@ -74,6 +80,7 @@ class PimMemoryManager:
                             _SubarraySlot(
                                 base_frame=base,
                                 free_rows=list(range(g.rows_per_subarray)),
+                                free_set=set(range(g.rows_per_subarray)),
                             )
                         )
         #: affinity group -> index of the subarray currently being filled
@@ -96,12 +103,15 @@ class PimMemoryManager:
         self.frames_allocated = 0
         #: subarrays per channel, for the striped policy's channel maths
         self._subarrays_per_channel = len(self._subarrays) // g.channels
+        #: running free-row count -- ``allocate_rows`` consults it on
+        #: every call, so it must stay O(1) instead of a per-subarray scan
+        self._free_total = len(self._subarrays) * g.rows_per_subarray
 
     # -- queries -------------------------------------------------------------
 
     @property
     def total_free_rows(self) -> int:
-        return sum(len(s.free_rows) for s in self._subarrays)
+        return self._free_total
 
     def frame_address(self, frame: int) -> RowAddress:
         """The "expose PA by sys-call" interface for the driver."""
@@ -131,11 +141,19 @@ class PimMemoryManager:
         frames = []
         while len(frames) < n_rows:
             slot = self._current_slot(group)
-            if not slot.free_rows:
+            rows = slot.free_rows
+            if not rows:
                 self._advance_group(group)
                 continue
-            row = slot.free_rows.pop(0)
-            frames.append(slot.base_frame + row)
+            # take the whole run from the front in one slice (same FIFO
+            # order as popping row by row, without the per-row shifts)
+            k = min(n_rows - len(frames), len(rows))
+            taken = rows[:k]
+            del rows[:k]
+            slot.free_set.difference_update(taken)
+            self._free_total -= k
+            base = slot.base_frame
+            frames.extend(base + row for row in taken)
         return frames
 
     def _current_slot(self, group: str) -> _SubarraySlot:
@@ -185,6 +203,8 @@ class PimMemoryManager:
                     break
                 del self._stripe_cursor[key]
             row = slot.free_rows.pop(0)
+            slot.free_set.discard(row)
+            self._free_total -= 1
             frames.append(slot.base_frame + row)
         return frames
 
@@ -206,6 +226,8 @@ class PimMemoryManager:
             slot = self._subarrays[idx]
             if slot.free_rows:
                 row = slot.free_rows.pop(0)
+                slot.free_set.discard(row)
+                self._free_total -= 1
                 frames.append(slot.base_frame + row)
         return frames
 
@@ -218,9 +240,11 @@ class PimMemoryManager:
             sub_index = self._subarray_index(addr)
             slot = self._subarrays[sub_index]
             row = frame - slot.base_frame
-            if row in slot.free_rows:
+            if row in slot.free_set:
                 raise ValueError(f"double free of frame {frame}")
             slot.free_rows.append(row)
+            slot.free_set.add(row)
+            self._free_total += 1
             self.frames_allocated -= 1
 
     def _subarray_index(self, addr: RowAddress) -> int:

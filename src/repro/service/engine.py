@@ -140,9 +140,25 @@ class ServiceEngine:
 
 
 class ResidentPimEngine(ServiceEngine):
-    """Functional Pinatubo runtime with resident, shard-aware placement."""
+    """Functional Pinatubo runtime with resident, shard-aware placement.
 
-    def __init__(self, config: SystemConfig, runtime=None):
+    By default the engine builds its runtime with ``plan=True`` and the
+    kernel compiler on: request streams go through the
+    :class:`~repro.plan.QueryPlanner`, repeated sub-expressions serve
+    from the sub-result cache, and recurring wave shapes replay as
+    compiled numpy programs.  ``plan=False`` restores the PR 1 direct
+    driver batching; ``compile=False`` keeps planning but interprets
+    every wave.  When a prebuilt ``runtime`` is injected, its own
+    planner configuration wins and these flags are ignored.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        runtime=None,
+        plan: bool = True,
+        compile: bool = True,
+    ):
         if config.backend != "pinatubo":
             raise ValueError(
                 f"ResidentPimEngine serves the 'pinatubo' backend, "
@@ -151,7 +167,9 @@ class ResidentPimEngine(ServiceEngine):
         from repro.runtime.api import PimRuntime
 
         self.config = config
-        self.runtime = runtime or PimRuntime.from_config(config)
+        self.runtime = runtime or PimRuntime.from_config(
+            config, plan=plan, compile=compile
+        )
         executor = self.runtime.system.executor
         self.name = f"Pinatubo-{executor.limits.or_rows}"
         self._caps = BackendCapabilities(
@@ -215,16 +233,20 @@ class ResidentPimEngine(ServiceEngine):
         return self._tenant_shard.get(tenant, 0)
 
     def execute(self, calls: Sequence[ServiceCall]) -> List[ExecutedCall]:
-        """One driver batch for the whole coalesced stream."""
+        """One driver batch (or planner wave) for the coalesced stream."""
         rt = self.runtime
         staged = []
+        requests = []
         for call in calls:
             sources = [self._handles[(call.tenant, n)] for n in call.names]
             n_bits = min(h.n_bits for h in sources)
             dest = rt.pim_malloc(n_bits, self.group_of(call.tenant))
-            rt.driver.submit(call.op, dest, sources, n_bits)
+            requests.append((call.op, dest, sources, n_bits))
             staged.append((dest, n_bits))
-        results = rt.driver.flush(batched=True)  # submission order
+        # pim_op_many routes through the planner (cache serves, compiled
+        # replay) when the runtime has one, and is plain submit+flush
+        # otherwise; results come back in submission order either way
+        results = rt.pim_op_many(requests)
         out = []
         for (dest, n_bits), result in zip(staged, results):
             bits = rt.pim_read(dest, n_bits)
@@ -363,16 +385,22 @@ class HostOracleEngine(ServiceEngine):
 
 
 def build_engine(
-    config: SystemConfig, host_shards: int = 1, runtime=None
+    config: SystemConfig,
+    host_shards: int = 1,
+    runtime=None,
+    plan: bool = True,
+    compile: bool = True,
 ) -> ServiceEngine:
     """The engine a :class:`SystemConfig` calls for.
 
     ``pinatubo`` gets the resident shard-aware engine (optionally over a
     caller-built runtime, e.g. a custom benchmark geometry); everything
-    else goes through the backend protocol host-side.
+    else goes through the backend protocol host-side.  ``plan`` /
+    ``compile`` configure the pinatubo engine's planner and kernel
+    compiler (both on by default; ignored with an injected runtime).
     """
     if config.backend == "pinatubo":
-        return ResidentPimEngine(config, runtime=runtime)
+        return ResidentPimEngine(config, runtime=runtime, plan=plan, compile=compile)
     if runtime is not None:
         raise ValueError("runtime injection only applies to 'pinatubo'")
     return HostOracleEngine(config, n_shards=host_shards)

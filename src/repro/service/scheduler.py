@@ -18,6 +18,15 @@ Two mechanisms here:
   The batch's simulated makespan is therefore the *maximum over shards*
   of the per-shard serial sums -- not the total sum a one-at-a-time
   service pays -- plus one ``dispatch_overhead_s`` for the stream issue.
+
+The scheduler is substrate-agnostic: with the default
+:class:`~repro.service.engine.ResidentPimEngine` each dispatched batch
+runs through the planner's compiled path (sub-result cache serves plus
+:mod:`repro.plan.compile` program replay for recurring wave shapes), so
+steady-state dispatch wall-clock is dominated by a few vectorized numpy
+passes rather than per-op Python.  Build the engine with
+``compile=False`` (or ``plan=False``) to fall back to interpreted
+execution; simulated pricing is identical either way.
 """
 
 from __future__ import annotations
@@ -34,6 +43,11 @@ __all__ = ["BatchPricing", "CoalescingScheduler", "SchedulerConfig"]
 #: always-live tally of duplicate calls served by replay instead of
 #: execution (per-scheduler detail on ``CoalescingScheduler.folds``)
 _CSE_FOLDS = telemetry.counter("service.scheduler.cse_folds")
+#: non-empty batches dispatched, and the size of the most recent one --
+#: read next to the plan.compile.* counters to see how much of the
+#: dispatch stream the kernel compiler is absorbing
+_DISPATCHES = telemetry.counter("service.scheduler.dispatches")
+_BATCH_SIZE = telemetry.gauge("service.scheduler.batch_size")
 
 
 @dataclass(frozen=True)
@@ -147,6 +161,8 @@ class CoalescingScheduler:
         batch = self.collect(queues)
         if not batch:
             return [], [], BatchPricing([], 0.0, 0.0)
+        _DISPATCHES.add()
+        _BATCH_SIZE.set(len(batch))
         executed = self._execute_folded(
             [request_call(request) for request in batch]
         )

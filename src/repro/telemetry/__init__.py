@@ -37,10 +37,12 @@ import sys
 from typing import Any, Dict
 
 from repro.telemetry import export as _export
-from repro.telemetry.instruments import Counter, Gauge
+from repro.telemetry.instruments import Accumulator, Counter, Gauge
 from repro.telemetry.tracer import NULL_SPAN, SpanRecord, Tracer
 
 __all__ = [
+    "Accumulator",
+    "accumulator",
     "Counter",
     "Gauge",
     "NULL_SPAN",
@@ -73,6 +75,7 @@ attribute = tracer.attribute
 current_span = tracer.current_span
 counter = tracer.counter
 gauge = tracer.gauge
+accumulator = tracer.accumulator
 
 
 def chrome_trace() -> Dict[str, Any]:

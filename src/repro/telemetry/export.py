@@ -59,6 +59,20 @@ def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
             "pid": 1,
             "args": {"value": gauge.value},
         })
+    for accumulator in tracer.accumulators.values():
+        events.append({
+            "name": accumulator.name,
+            "ph": "C",
+            "ts": end_ts,
+            "pid": 1,
+            # "value" keeps the event shape uniform with counters/gauges
+            # (and charts the running total); count rides along
+            "args": {
+                "value": accumulator.total,
+                "total": accumulator.total,
+                "count": accumulator.count,
+            },
+        })
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
@@ -91,6 +105,10 @@ def aggregate(tracer: Tracer) -> Dict[str, Any]:
         "spans": spans,
         "counters": {c.name: c.value for c in tracer.counters.values()},
         "gauges": {g.name: g.value for g in tracer.gauges.values()},
+        "accumulators": {
+            a.name: {"total": a.total, "count": a.count}
+            for a in tracer.accumulators.values()
+        },
         "dropped_spans": tracer.dropped_spans,
     }
 
@@ -109,6 +127,11 @@ def summary(tracer: Tracer) -> str:
         lines.append(f"  counter {name}: {agg['counters'][name]}")
     for name in sorted(agg["gauges"]):
         lines.append(f"  gauge {name}: {agg['gauges'][name]}")
+    for name in sorted(agg["accumulators"]):
+        a = agg["accumulators"][name]
+        lines.append(
+            f"  accumulator {name}: total={a['total']:.6e} count={a['count']}"
+        )
     if agg["dropped_spans"]:
         lines.append(f"  dropped_spans: {agg['dropped_spans']}")
     if len(lines) == 1:

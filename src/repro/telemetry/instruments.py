@@ -9,7 +9,7 @@ reports and aggregates have data even when span tracing is off.
 
 from __future__ import annotations
 
-__all__ = ["Counter", "Gauge"]
+__all__ = ["Accumulator", "Counter", "Gauge"]
 
 
 class Counter:
@@ -28,6 +28,30 @@ class Counter:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Counter({self.name}={self.value})"
+
+
+class Accumulator:
+    """A summing float metric with a sample count (compile seconds, ...).
+
+    Where :class:`Counter` counts events and :class:`Gauge` keeps the
+    latest value, an accumulator answers "how much in total, over how
+    many samples" -- e.g. total kernel-compile wall time across N
+    compilations, from which a mean per-compile cost falls out.
+    """
+
+    __slots__ = ("name", "total", "count")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.total = 0.0
+        self.count = 0
+
+    def add(self, amount: float) -> None:
+        self.total += float(amount)
+        self.count += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Accumulator({self.name}={self.total} over {self.count})"
 
 
 class Gauge:

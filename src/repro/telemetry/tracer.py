@@ -30,7 +30,7 @@ from __future__ import annotations
 import time
 from typing import Any, Dict, List, Optional
 
-from repro.telemetry.instruments import Counter, Gauge
+from repro.telemetry.instruments import Accumulator, Counter, Gauge
 
 __all__ = ["NULL_SPAN", "SpanRecord", "Tracer"]
 
@@ -164,6 +164,7 @@ class Tracer:
         self.dropped_spans = 0
         self.counters: Dict[str, Counter] = {}
         self.gauges: Dict[str, Gauge] = {}
+        self.accumulators: Dict[str, Accumulator] = {}
         self._stack: List[int] = []
         self._suppress = 0
         self._sample_acc = 0.0
@@ -205,6 +206,9 @@ class Tracer:
             counter.value = 0
         for gauge in self.gauges.values():
             gauge.value = 0.0
+        for accumulator in self.accumulators.values():
+            accumulator.total = 0.0
+            accumulator.count = 0
 
     # -- spans ---------------------------------------------------------------
 
@@ -259,4 +263,11 @@ class Tracer:
         instrument = self.gauges.get(name)
         if instrument is None:
             instrument = self.gauges[name] = Gauge(name)
+        return instrument
+
+    def accumulator(self, name: str) -> Accumulator:
+        """Get or create the summing accumulator ``name``."""
+        instrument = self.accumulators.get(name)
+        if instrument is None:
+            instrument = self.accumulators[name] = Accumulator(name)
         return instrument

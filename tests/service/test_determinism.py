@@ -28,6 +28,9 @@ def _strip_wall(aggregate: dict) -> dict:
     out = copy.deepcopy(aggregate)
     for span in out.get("spans", {}).values():
         span.pop("wall_s", None)
+    for name, acc in out.get("accumulators", {}).items():
+        if name.endswith(".seconds"):  # wall-time totals; counts stay
+            acc.pop("total", None)
     return out
 
 
