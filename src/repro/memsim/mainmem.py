@@ -100,6 +100,7 @@ class MainMemory:
         self._zero_row.flags.writeable = False
         self._write_listeners: List = []
         self._bulk_listeners: List = []
+        self._delta_listeners: List = []
 
     def add_write_listener(self, callback) -> None:
         """Register ``callback(frame)`` to fire on every frame program.
@@ -123,6 +124,22 @@ class MainMemory:
         per row.
         """
         self._bulk_listeners.append(callback)
+
+    def add_delta_write_listener(self, listener) -> None:
+        """Register a delta observer fired once per write call.
+
+        ``listener`` exposes two methods: ``wants_delta(frames) -> bool``
+        is asked *before* the write lands, and ``on_write(frames, farr,
+        deltas)`` fires after it.  When the listener wanted the delta,
+        ``farr`` is the deduplicated ``np.intp`` frame array and
+        ``deltas`` the matching ``old XOR new`` packed rows; otherwise
+        both are ``None`` and the call degrades to the bulk-listener
+        contract.  The XOR is computed in the functional model only --
+        the write path already reads and programs those rows, so delta
+        capture adds no simulated cost; pricing happens when (and if)
+        a repair consumes the delta.
+        """
+        self._delta_listeners.append(listener)
 
     # -- block management ----------------------------------------------------
 
@@ -171,6 +188,12 @@ class MainMemory:
             raise ValueError(
                 f"frame data must have shape ({self.geometry.row_bytes},)"
             )
+        frames = (frame,)
+        wants = old = None
+        if self._delta_listeners:
+            wants = [li.wants_delta(frames) for li in self._delta_listeners]
+            if any(wants):
+                old = self.frame_bytes(frame)
         block_index = frame >> self._block_shift
         row = frame & self._block_mask
         self._block(block_index)[row] = data
@@ -181,9 +204,18 @@ class MainMemory:
             for callback in self._write_listeners:
                 callback(frame)
         if self._bulk_listeners:
-            frames = (frame,)
             for callback in self._bulk_listeners:
                 callback(frames)
+        if self._delta_listeners:
+            farr = deltas = None
+            if old is not None:
+                farr = np.array([frame], dtype=np.intp)
+                deltas = np.bitwise_xor(old, data).reshape(1, -1)
+            for want, listener in zip(wants, self._delta_listeners):
+                if want:
+                    listener.on_write(frames, farr, deltas)
+                else:
+                    listener.on_write(frames, None, None)
 
     def write_frames(self, frames, rows_2d: np.ndarray) -> None:
         """Batched :meth:`write_frame`: row ``i`` of ``rows_2d`` -> frame i.
@@ -207,6 +239,12 @@ class MainMemory:
             raise ValueError(
                 f"frame out of range [0, {self._total_rows})"
             )
+        wants = old_rows = uniq = None
+        if self._delta_listeners:
+            wants = [li.wants_delta(frames) for li in self._delta_listeners]
+            if any(wants):
+                uniq = np.unique(farr)
+                old_rows = self.gather_rows(uniq)
         blocks = farr >> self._block_shift
         rows = farr & self._block_mask
         first = int(blocks[0])
@@ -229,6 +267,16 @@ class MainMemory:
         if self._bulk_listeners:
             for callback in self._bulk_listeners:
                 callback(frames)
+        if self._delta_listeners:
+            deltas = None
+            if old_rows is not None:
+                np.bitwise_xor(old_rows, self.gather_rows(uniq), out=old_rows)
+                deltas = old_rows
+            for want, listener in zip(wants, self._delta_listeners):
+                if want:
+                    listener.on_write(frames, uniq, deltas)
+                else:
+                    listener.on_write(frames, None, None)
 
     def frame_writes(self, frame: int) -> int:
         """How many times a frame has been programmed (endurance)."""

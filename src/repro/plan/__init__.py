@@ -23,12 +23,14 @@ fully interpreted wave execution.
 from repro.plan.cache import CacheEntry, ProgramCache, SubResultCache
 from repro.plan.compile import ToHostProgram, WaveProgram
 from repro.plan.planner import PlanStats, QueryPlanner, forward_rows
+from repro.plan.repair import RepairEngine
 
 __all__ = [
     "CacheEntry",
     "PlanStats",
     "ProgramCache",
     "QueryPlanner",
+    "RepairEngine",
     "SubResultCache",
     "ToHostProgram",
     "WaveProgram",

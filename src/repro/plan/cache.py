@@ -177,15 +177,46 @@ class SubResultCache:
             _INVALIDATIONS.add(dropped)
         return dropped
 
-    def invalidate_frames(self, frames: Iterable[int]) -> int:
-        # pre-filter on the index: the common case (a write to frames no
-        # cached expression reads) costs one membership test per frame
+    def pop_frames(self, frames: Iterable[int]) -> List[CacheEntry]:
+        """Remove and return every entry reading any of ``frames``.
+
+        One pass: the affected key set is unioned across all written
+        frames up front, then each entry is popped and unindexed exactly
+        once -- the old per-frame loop rescanned ``_frame_index`` for
+        every frame of a bulk write.  Callers decide what the removal
+        *means*: :meth:`invalidate_frames` tallies an invalidation,
+        the planner's repair path re-inserts what it can fix.
+        """
         index = self._frame_index
-        if not index:
-            return 0
-        if index.keys().isdisjoint(frames):
-            return 0
-        return sum(self.invalidate_frame(f) for f in frames if f in index)
+        if not index or index.keys().isdisjoint(frames):
+            return []
+        keys: Set[str] = set()
+        for frame in frames:
+            hit = index.get(frame)
+            if hit:
+                keys |= hit
+        popped: List[CacheEntry] = []
+        for key in sorted(keys):
+            i = self._shard_of(key)
+            entry = self._shards[i].pop(key, None)
+            if entry is None:  # pragma: no cover - index is kept exact
+                continue
+            self._shard_bytes[i] -= entry.nbytes
+            self._unindex(entry)
+            popped.append(entry)
+        return popped
+
+    def tally_invalidations(self, n: int) -> None:
+        """Count ``n`` dropped entries as invalidations."""
+        if n > 0:
+            self.invalidations += n
+            _INVALIDATIONS.add(n)
+
+    def invalidate_frames(self, frames: Iterable[int]) -> int:
+        """Drop every entry reading any of ``frames``; true evicted count."""
+        dropped = len(self.pop_frames(frames))
+        self.tally_invalidations(dropped)
+        return dropped
 
     def clear(self) -> None:
         for shard in self._shards:

@@ -92,7 +92,10 @@ _MAX_BINDINGS = 8192
 
 _CSE_HITS = telemetry.counter("plan.cse_hits")
 _PLANNED = telemetry.counter("plan.requests")
-_SERVE_REPLAYS = telemetry.counter("plan.compile.serve_replays")
+#: canonical serve-replay counter; the historical ``plan.compile.*``
+#: name is kept as a compatibility alias (both bump in lock-step)
+_SERVE_REPLAYS = telemetry.counter("plan.serve.replays")
+_SERVE_REPLAYS_COMPAT = telemetry.counter("plan.compile.serve_replays")
 
 
 def _serve_commands(batch, geometry, channel_of, dest_frames, n_bits):
@@ -167,6 +170,12 @@ class PlanStats:
         "compilations",
         "compile_seconds",
         "serve_replays",
+        "repairs",
+        "repair_fallbacks",
+        "repaired_chunks",
+        "repair_latency_s",
+        "repair_energy_j",
+        "repair_saved_s",
     )
 
     def __init__(self) -> None:
@@ -183,6 +192,12 @@ class PlanStats:
         self.compilations = 0
         self.compile_seconds = 0.0
         self.serve_replays = 0
+        self.repairs = 0
+        self.repair_fallbacks = 0
+        self.repaired_chunks = 0
+        self.repair_latency_s = 0.0
+        self.repair_energy_j = 0.0
+        self.repair_saved_s = 0.0
 
     @property
     def served(self) -> int:
@@ -205,6 +220,12 @@ class PlanStats:
             "compilations": self.compilations,
             "compile_seconds": self.compile_seconds,
             "serve_replays": self.serve_replays,
+            "repairs": self.repairs,
+            "repair_fallbacks": self.repair_fallbacks,
+            "repaired_chunks": self.repaired_chunks,
+            "repair_latency_s": self.repair_latency_s,
+            "repair_energy_j": self.repair_energy_j,
+            "repair_saved_s": self.repair_saved_s,
         }
 
     def summary(self) -> str:
@@ -316,6 +337,7 @@ class QueryPlanner:
         cache_bytes: int = 64 << 20,
         cache_shards: int = 8,
         compile: bool = True,
+        repair: bool = True,
     ):
         self.driver = driver
         self.executor = driver.executor
@@ -361,15 +383,42 @@ class QueryPlanner:
         self._canon_keys: Dict[tuple, tuple] = {}
         #: content part -> _ResidentItem (replayable cache serves)
         self._resident: "OrderedDict[tuple, _ResidentItem]" = OrderedDict()
-        self.memory.add_bulk_write_listener(self._on_frames_written)
+        #: ``repair=False`` is the escape hatch back to PR-6 semantics:
+        #: every write eagerly invalidates dependent cached sub-results
+        self.repair_enabled = bool(repair)
+        #: >0 while this planner itself is executing a wave; the dest
+        #: writes a wave lands (serves, exec write-backs) always
+        #: invalidate -- their grouping differs between the interpreted
+        #: and compiled paths, and repairing mid-wave would fork their
+        #: pricing.  Host-side writes (``pim_write``, service updates)
+        #: happen at depth 0 and take the repair path.
+        self._wave_depth = 0
+        from repro.plan.repair import RepairEngine
 
-    # -- invalidation hooks --------------------------------------------------
+        self._repair = RepairEngine(self)
+        self.memory.add_delta_write_listener(self)
 
-    def _on_frames_written(self, frames) -> None:
+    # -- invalidation / repair hooks -----------------------------------------
+
+    def wants_delta(self, frames) -> bool:
+        """Memory asks before a write: capture ``old XOR new``?
+
+        Only when repair is on, the planner is not mid-wave, and some
+        cached entry actually reads one of the frames -- so unrelated
+        writes never pay the old-row gather.  Reads ``self.cache``
+        dynamically (tests swap the cache instance out).
+        """
+        if not self.repair_enabled or self._wave_depth:
+            return False
+        index = self.cache._frame_index
+        return bool(index) and not index.keys().isdisjoint(frames)
+
+    def on_write(self, frames, farr=None, deltas=None) -> None:
         """Every write to main memory lands here (driver execution, host
         writes, fallbacks, the planner's own serves), once per write
-        call with the programmed frames: bump their versions and drop
-        cached sub-results that read them."""
+        call with the programmed frames: bump their versions, then
+        either repair the cached sub-results that read them (a delta
+        was captured) or drop them (PR-6 eager invalidation)."""
         self._write_epoch += 1
         versions = self._versions
         if len(frames) == 1:
@@ -382,7 +431,14 @@ class QueryPlanner:
                 np.fromiter(frames, dtype=np.intp, count=len(frames)),
                 1,
             )
-        self.cache.invalidate_frames(frames)
+        if deltas is None:
+            self.cache.invalidate_frames(frames)
+        else:
+            self._repair.on_delta(farr, deltas)
+
+    def _on_frames_written(self, frames) -> None:
+        """Bulk-listener compatibility shim: invalidation-only entry."""
+        self.on_write(frames)
 
     def on_free(self, handle) -> None:
         """Allocator free hook: a freed vector's rows may be recycled, so
@@ -521,20 +577,24 @@ class QueryPlanner:
         if not reqs:
             return []
         n = len(reqs)
-        with telemetry.span("plan.execute_many", requests=n):
-            results: List[Optional[OpResult]] = [None] * n
-            wave = _Wave()
-            probe = self.compile_enabled and len(self._resident) > 0
-            i = 0
-            while i < n:
-                if probe:
-                    k = self._try_replay(reqs, i, results, wave)
-                    if k:
-                        i += k
-                        continue
-                self._plan_one(i, reqs[i], wave, results)
-                i += 1
-            self._flush_wave(wave, results)
+        self._wave_depth += 1
+        try:
+            with telemetry.span("plan.execute_many", requests=n):
+                results: List[Optional[OpResult]] = [None] * n
+                wave = _Wave()
+                probe = self.compile_enabled and len(self._resident) > 0
+                i = 0
+                while i < n:
+                    if probe:
+                        k = self._try_replay(reqs, i, results, wave)
+                        if k:
+                            i += k
+                            continue
+                    self._plan_one(i, reqs[i], wave, results)
+                    i += 1
+                self._flush_wave(wave, results)
+        finally:
+            self._wave_depth -= 1
         return results
 
     def _channels_bytes(self, frames: tuple) -> bytes:
@@ -652,6 +712,7 @@ class QueryPlanner:
         stats.waves += 1
         stats.serve_replays += 1
         _SERVE_REPLAYS.add()
+        _SERVE_REPLAYS_COMPAT.add()
         with telemetry.span("plan.cache.serve", served=k):
             farrs = []
             rows_parts = []
@@ -962,6 +1023,25 @@ class QueryPlanner:
         and replays from the second on.  Returns ``(bits, OpResult)``
         exactly like the executor call.
         """
+        # scratch intermediates written by the serial interpreted path
+        # are wave-internal: keep every write inside on eager
+        # invalidation (program replays write nothing, so the guard is
+        # inert on the compiled fast path)
+        self._wave_depth += 1
+        try:
+            return self._execute_to_host(
+                op, scratch_frames, source_frame_lists, n_bits
+            )
+        finally:
+            self._wave_depth -= 1
+
+    def _execute_to_host(
+        self,
+        op,
+        scratch_frames: Sequence[int],
+        source_frame_lists: Sequence[Sequence[int]],
+        n_bits: int,
+    ):
         executor = self.executor
         if not self.compile_enabled:
             return executor.bitwise_to_host(

@@ -1,0 +1,374 @@
+"""Delta repair of cached sub-results (incremental view maintenance).
+
+A write to frames some cached expression reads no longer has to drop
+the entry.  The main memory's delta listener hands the planner the
+per-frame ``old XOR new`` bitmap (free in the functional model -- the
+write path already reads and programs those rows), and the algebra of
+the cached op decides how to fix the packed result rows in place:
+
+- **XOR / NOT** are linear over GF(2): flipping input bits flips
+  exactly those output bits, so one bulk XOR of the delta row into the
+  touched chunk repairs it (NOT is XOR against an implicit all-ones
+  mask -- same rule).
+- **AND / OR** are not linear; their repair is a *delta-masked
+  recompute* limited to the touched chunks, reading the operand rows'
+  new contents.  Chunks the write did not reach keep their cached
+  value untouched.
+
+Either way the repair is priced through the real controller with the
+same per-step command templates a driver-issued bulk op uses
+(:meth:`PimExecutor._step_rows`), so simulated pricing stays honest.
+Before applying, the engine estimates repair vs. recomputing the whole
+entry from the live :class:`PriceTable`; when repair would be strictly
+worse -- e.g. an XOR whose every chunk took multiple deltas -- or the
+entry is out of repair's reach (nested sub-expression children,
+cross-channel operand placement), the entry falls back to plain
+invalidation and the fallback is counted.
+
+Repaired entries are re-inserted under their canonical key at the
+*new* write versions, so later lookups of the same expression hit
+directly; :class:`ProgramCache` integration freezes the repair command
+batch per shape (chunk widths, sense steps, localities, group fan-ins)
+so the compiled planner re-prices recurring repairs without rebuilding
+command rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import telemetry
+from repro.core.ops import PimOp
+from repro.core.stats import OpAccounting
+from repro.memsim.address import OpLocality
+from repro.memsim.controller import CommandBatch, CommandKind
+from repro.memsim.mainmem import _popcount_rows
+from repro.plan.compile import freeze_batch
+
+__all__ = ["RepairEngine"]
+
+_REPAIRS = telemetry.counter("plan.repair.repairs")
+_FALLBACKS = telemetry.counter("plan.repair.fallback_invalidations")
+_CHUNKS = telemetry.counter("plan.repair.chunks")
+#: simulated latency saved vs. recomputing the repaired entries
+_SAVED = telemetry.accumulator("plan.repair.sim_saved_s")
+
+#: command code -> CommandKind (codes are enum-declaration indices)
+_KIND_OF = tuple(CommandKind)
+
+
+class RepairEngine:
+    """Applies algebraic delta repair to entries popped from the cache.
+
+    Owned by one :class:`~repro.plan.planner.QueryPlanner`; state is a
+    pure cost memo plus the planner's program cache, so the engine is
+    safe to drive from the memory's write listener (it never writes
+    main memory itself -- repairs land in the host-side cached rows).
+    """
+
+    __slots__ = ("planner", "_cost_memo")
+
+    def __init__(self, planner):
+        self.planner = planner
+        #: (op, locality, channel, fanin, chunk_bits) -> serial seconds
+        self._cost_memo: Dict[tuple, float] = {}
+
+    # -- entry points --------------------------------------------------------
+
+    def on_delta(self, farr: np.ndarray, deltas: np.ndarray) -> None:
+        """Repair or invalidate every cached entry reading ``farr``."""
+        planner = self.planner
+        cache = planner.cache
+        entries = cache.pop_frames(farr)
+        if not entries:
+            return
+        delta_map = {int(f): deltas[i] for i, f in enumerate(farr)}
+        fallbacks = 0
+        for entry in entries:
+            if not self._repair_entry(entry, farr, delta_map):
+                fallbacks += 1
+                planner.stats.repair_fallbacks += 1
+        if fallbacks:
+            cache.tally_invalidations(fallbacks)
+            _FALLBACKS.add(fallbacks)
+
+    # -- per-entry repair ----------------------------------------------------
+
+    def _repair_entry(self, entry, written: np.ndarray, delta_map) -> bool:
+        """Fix one popped entry in place; False -> caller invalidates."""
+        planner = self.planner
+        key = entry.key
+        if not (isinstance(key, tuple) and len(key) == 3):
+            return False
+        op_value, n_bits, children = key
+        if not children or any(
+            not (isinstance(ch, tuple) and len(ch) == 3 and ch[0] == "L")
+            for ch in children
+        ):
+            # a child is itself a sub-expression: its leaf identity is
+            # folded into the nested key, out of frame-delta reach
+            return False
+        op = PimOp.parse(op_value)
+        rows = entry.rows
+        n_chunks = rows.shape[0]
+        child_frames = [
+            np.frombuffer(ch[1], dtype=np.intp) for ch in children
+        ]
+        if any(cf.size != n_chunks for cf in child_frames):
+            return False
+        masks = [np.isin(cf, written) for cf in child_frames]
+        touched = masks[0].copy()
+        for m in masks[1:]:
+            touched |= m
+        aff = np.nonzero(touched)[0]
+        if aff.size == 0:  # pragma: no cover - the frame index is exact
+            return False
+
+        memory = planner.memory
+        linear = op is PimOp.XOR or op is PimOp.INV
+        rep_op = PimOp.XOR if linear else op
+
+        # -- new contents of the touched chunks (functional model) ----------
+        if linear:
+            new_aff = rows[aff].copy()
+            for cf, mask in zip(child_frames, masks):
+                sub = np.nonzero(mask[aff])[0]
+                if sub.size == 0:
+                    continue
+                dstack = np.stack(
+                    [delta_map[int(f)] for f in cf[aff[sub]]]
+                )
+                new_aff[sub] ^= dstack
+        else:
+            lists = [cf[aff] for cf in child_frames]
+            if len(lists) == 1:
+                new_aff = memory.gather_rows(lists[0])
+            else:
+                new_aff = memory.bitwise_rows(op.value, lists)
+        wb_widths = _popcount_rows(np.bitwise_xor(rows[aff], new_aff))
+
+        # -- per-chunk repair shape: (chunk_bits, groups) --------------------
+        # a group is one combine step: (fanin, channel, locality)
+        shape = self._repair_shape(
+            op, rep_op, n_bits, child_frames, masks, aff, delta_map
+        )
+        if shape is None:
+            return False
+
+        # -- cost-model gate: repair vs whole-entry recompute ----------------
+        repair_est = 0.0
+        for chunk_bits, groups in shape:
+            for fanin, ch, loc in groups:
+                repair_est += self._group_cost(
+                    rep_op, loc, ch, fanin, chunk_bits
+                )
+        recompute_est = self._recompute_estimate(op, n_bits, child_frames)
+        if repair_est > recompute_est:
+            return False
+
+        # -- execute the repair through the real controller ------------------
+        acct = OpAccounting()
+        executor = planner.executor
+        with telemetry.span(
+            "plan.repair.apply", op=op.value, chunks=int(aff.size)
+        ):
+            executor._set_mode(rep_op, acct)
+            frozen, wb_positions = self._program(rep_op, shape)
+            wb_values = self._wb_values(shape, wb_widths)
+            if wb_positions.size:
+                frozen.n_bits[wb_positions] = wb_values
+            acct.absorb(executor.controller.execute_batch(frozen))
+        affected_bits = sum(chunk_bits for chunk_bits, _ in shape)
+        acct.count_bits(affected_bits)
+        acct.count_step(sum(len(groups) for _, groups in shape))
+        driver = planner.driver
+        driver.stats.accounting = driver.stats.accounting.merged(acct)
+
+        # -- re-insert under the canonical key at the new versions -----------
+        versions = planner._versions
+        new_children: List[tuple] = []
+        for ch_key, cf, mask in zip(children, child_frames, masks):
+            if mask.any():
+                new_children.append(("L", ch_key[1], versions[cf].tobytes()))
+            else:
+                new_children.append(ch_key)
+        if op is PimOp.OR or op is PimOp.AND:
+            new_children = sorted(set(new_children))
+        elif op is PimOp.XOR:
+            new_children = sorted(new_children)
+        new_key = (op_value, n_bits, tuple(new_children))
+        new_rows = rows.copy()
+        new_rows[aff] = new_aff
+        planner.cache.put(new_key, new_rows, n_bits, entry.dep_frames)
+
+        stats = planner.stats
+        stats.repairs += 1
+        stats.repaired_chunks += int(aff.size)
+        stats.repair_latency_s += acct.latency
+        stats.repair_energy_j += acct.energy
+        saved = recompute_est - repair_est
+        stats.repair_saved_s += saved
+        _REPAIRS.add()
+        _CHUNKS.add(int(aff.size))
+        _SAVED.add(saved)
+        return True
+
+    # -- shape / cost helpers ------------------------------------------------
+
+    def _repair_shape(
+        self, op, rep_op, n_bits, child_frames, masks, aff, delta_map
+    ) -> Optional[List[Tuple[int, tuple]]]:
+        """Per affected chunk: ``(chunk_bits, ((fanin, channel, locality),
+        ...))``; ``None`` when any chunk cannot execute in memory."""
+        planner = self.planner
+        mapper = planner.executor.mapper
+        channel_of = mapper.channel_of
+        row_bits = planner.geometry.row_bits
+        linear = op is PimOp.XOR or op is PimOp.INV
+        shape: List[Tuple[int, tuple]] = []
+        for c in aff:
+            c = int(c)
+            chunk_bits = min(n_bits - c * row_bits, row_bits)
+            if linear:
+                # one 2-operand XOR step per written (child, frame)
+                # occurrence: cached row ^= delta row
+                groups = tuple(
+                    (2, channel_of(int(cf[c])), OpLocality.INTRA_SUBARRAY)
+                    for cf, mask in zip(child_frames, masks)
+                    if mask[c]
+                )
+            else:
+                frames = [int(cf[c]) for cf in child_frames]
+                loc = mapper.classify_frames(frames)
+                if loc is OpLocality.INTER_CHIP:
+                    return None
+                ch = channel_of(frames[0])
+                groups = tuple(
+                    (fanin, ch, loc)
+                    for fanin in self._group_fanins(op, len(frames), loc)
+                )
+            shape.append((chunk_bits, groups))
+        return shape
+
+    def _group_fanins(self, op, n_ops: int, locality) -> tuple:
+        """Combine-step fan-ins of one chunk, mirroring
+        :meth:`PimExecutor._chunk_bitwise`'s decomposition."""
+        if op is PimOp.INV or n_ops == 1:
+            return (1,)
+        if locality is not OpLocality.INTRA_SUBARRAY:
+            return (n_ops,)  # buffered path: one pass over all operands
+        limit = max(2, self.planner.executor.limits.single_step_limit(op))
+        if n_ops <= limit:
+            return (n_ops,)
+        fanins = [limit]
+        rem = n_ops - limit
+        while rem > 0:
+            take = min(limit - 1, rem)
+            fanins.append(1 + take)
+            rem -= take
+        return tuple(fanins)
+
+    def _group_cost(self, op, locality, channel, fanin, chunk_bits) -> float:
+        """Serial (array + bus) seconds of one combine step, from the
+        live PriceTable.  Write-back width does not move command
+        latency (only energy), so the memo is width-free."""
+        key = (op, locality, channel, fanin, chunk_bits)
+        cost = self._cost_memo.get(key)
+        if cost is None:
+            executor = self.planner.executor
+            rows, _wb = executor._step_rows(
+                op, locality, channel, fanin, chunk_bits, False
+            )
+            price = executor.controller.price_table.price
+            cost = 0.0
+            for k, _ch, b, s, t in rows:
+                array_t, bus_t = price(_KIND_OF[k], b, s, t)[:2]
+                cost += array_t + bus_t
+            self._cost_memo[key] = cost
+        return cost
+
+    def _recompute_estimate(self, op, n_bits, child_frames) -> float:
+        """Cost of recomputing the whole entry with the same templates."""
+        planner = self.planner
+        mapper = planner.executor.mapper
+        row_bits = planner.geometry.row_bits
+        n_chunks = child_frames[0].size
+        n_ops = len(child_frames)
+        total = 0.0
+        for c in range(n_chunks):
+            chunk_bits = min(n_bits - c * row_bits, row_bits)
+            frames = [int(cf[c]) for cf in child_frames]
+            loc = mapper.classify_frames(frames)
+            if loc is OpLocality.INTER_CHIP:
+                # recompute could not run in memory either; repair wins
+                return float("inf")
+            ch = mapper.channel_of(frames[0])
+            for fanin in self._group_fanins(op, n_ops, loc):
+                total += self._group_cost(op, loc, ch, fanin, chunk_bits)
+        return total
+
+    # -- program cache -------------------------------------------------------
+
+    def _program(self, rep_op, shape):
+        """(frozen batch, write-back row positions) for one repair shape.
+
+        Shape keys embed everything the command stream depends on --
+        chunk widths *and their sense-step resolution* (so a geometry
+        change, e.g. a different SA mux, can never replay a stale
+        program), localities, channels, group fan-ins.  The frozen
+        batch's ``n_bits`` column is patched with the differential
+        write-back widths before every pricing pass, exactly like the
+        wave programs' write-backs.
+        """
+        planner = self.planner
+        geometry = planner.geometry
+        sig = tuple(
+            (
+                chunk_bits,
+                geometry.sense_steps_for_bits(chunk_bits),
+                tuple((f, ch, loc.value) for f, ch, loc in groups),
+            )
+            for chunk_bits, groups in shape
+        )
+        key = ("repair", rep_op.value, geometry.row_bits, sig)
+        if planner.compile_enabled:
+            hit = planner.programs.get(key)
+            if hit is not None:
+                planner.stats.program_hits += 1
+                return hit
+        batch = CommandBatch()
+        wb_positions: List[int] = []
+        pos = 0
+        executor = planner.executor
+        for chunk_bits, groups in shape:
+            for fanin, ch, loc in groups:
+                rows, wb_index = executor._step_rows(
+                    rep_op, loc, ch, fanin, chunk_bits, False
+                )
+                if wb_index is not None:
+                    wb_positions.append(pos + wb_index)
+                batch.extend_rows(rows)
+                pos += len(rows)
+            batch.fence()
+        program = (freeze_batch(batch), np.asarray(wb_positions, dtype=np.intp))
+        if planner.compile_enabled:
+            planner.programs.put(key, program)
+            planner.stats.program_misses += 1
+        return program
+
+    @staticmethod
+    def _wb_values(shape, wb_widths) -> np.ndarray:
+        """Write-back widths per write-back row, in emission order: the
+        final step of a chunk programs only the flipped result cells
+        (differential write); intermediate accumulation steps program
+        the full chunk."""
+        values: List[int] = []
+        for (chunk_bits, groups), width in zip(shape, wb_widths):
+            n_wb = sum(1 for _f, _ch, _loc in groups)
+            if n_wb == 0:
+                continue
+            values.extend([chunk_bits] * (n_wb - 1))
+            values.append(int(width))
+        return np.asarray(values, dtype=np.float64)

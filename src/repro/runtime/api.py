@@ -34,6 +34,7 @@ class PimRuntime:
         plan: bool = False,
         plan_cache_bytes: int = 64 << 20,
         compile: bool = True,
+        repair: bool = True,
     ):
         self.system = system or PinatuboSystem.pcm()
         self.manager = PimMemoryManager(self.system.geometry, policy)
@@ -46,7 +47,10 @@ class PimRuntime:
             from repro.plan import QueryPlanner
 
             self.planner = QueryPlanner(
-                self.driver, cache_bytes=plan_cache_bytes, compile=compile
+                self.driver,
+                cache_bytes=plan_cache_bytes,
+                compile=compile,
+                repair=repair,
             )
             self.allocator.add_free_listener(self.planner.on_free)
 
@@ -59,18 +63,21 @@ class PimRuntime:
         plan: bool = False,
         plan_cache_bytes: int = 64 << 20,
         compile: bool = True,
+        repair: bool = True,
     ) -> "PimRuntime":
         """Build the full stack from a declarative
         :class:`repro.backends.config.SystemConfig`: the system comes from
         :meth:`PinatuboSystem.from_config`, the OS placement policy from
-        ``config.placement``.  ``plan``/``compile`` carry through to the
-        constructor (planned execution with the kernel compiler on)."""
+        ``config.placement``.  ``plan``/``compile``/``repair`` carry
+        through to the constructor (planned execution with the kernel
+        compiler and delta repair on)."""
         return cls(
             PinatuboSystem.from_config(config),
             policy=config.placement_policy(),
             plan=plan,
             plan_cache_bytes=plan_cache_bytes,
             compile=compile,
+            repair=repair,
         )
 
     @classmethod

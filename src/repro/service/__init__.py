@@ -52,9 +52,12 @@ from repro.service.engine import (
     build_engine,
 )
 from repro.service.request import (
+    DeltaNotification,
     QueryRequest,
     QueryResult,
     RequestStatus,
+    SubscribeRequest,
+    UpdateRequest,
     bin_vector_name,
 )
 from repro.service.scheduler import (
@@ -62,7 +65,11 @@ from repro.service.scheduler import (
     CoalescingScheduler,
     SchedulerConfig,
 )
-from repro.service.service import BitmapQueryService, ServiceConfig
+from repro.service.service import (
+    BitmapQueryService,
+    ServiceConfig,
+    StandingQuery,
+)
 from repro.service.stats import LatencyRecorder, ServiceStats, TenantStats
 
 __all__ = [
@@ -72,6 +79,7 @@ __all__ = [
     "BatchPricing",
     "BitmapQueryService",
     "CoalescingScheduler",
+    "DeltaNotification",
     "EventLoop",
     "HostOracleEngine",
     "LatencyRecorder",
@@ -84,10 +92,13 @@ __all__ = [
     "ServiceConfig",
     "ServiceEngine",
     "ServiceStats",
+    "StandingQuery",
+    "SubscribeRequest",
     "TenantQuota",
     "TenantStats",
     "TokenBucket",
     "UnsupportedOpError",
+    "UpdateRequest",
     "bin_vector_name",
     "build_engine",
 ]

@@ -55,6 +55,10 @@ class TenantQuota:
     #: pacing bound: a DELAY-policy request that would wait longer is
     #: rejected anyway (protects the latency tail and bounds the queue)
     max_delay_s: float = 1.0
+    #: standing queries the tenant may keep active at once: every write
+    #: re-evaluates each subscription reading it, so fan-out multiplies
+    #: the cost of the tenant's own updates and must stay bounded
+    max_subscriptions: int = 8
 
     def __post_init__(self) -> None:
         if self.max_pending < 1:
@@ -65,6 +69,8 @@ class TenantQuota:
             raise ValueError("burst must be >= 1")
         if self.max_delay_s < 0:
             raise ValueError("max_delay_s must be non-negative")
+        if self.max_subscriptions < 0:
+            raise ValueError("max_subscriptions must be non-negative")
 
 
 class TokenBucket:
@@ -199,3 +205,23 @@ class AdmissionController:
                 ),
             )
         return AdmissionDecision(Admit.DELAY, retry_at_s=bucket.reserve(now))
+
+    def decide_subscribe(
+        self, tenant: str, now: float, pending: int, active: int
+    ) -> AdmissionDecision:
+        """Admission decision for one standing-query registration.
+
+        Runs the normal :meth:`decide` gauntlet (the registration's
+        first evaluation rides a regular batch), then meters fan-out:
+        ``active`` is the tenant's current standing-query count.
+        """
+        quota = self._quotas[tenant]
+        if active >= quota.max_subscriptions:
+            return AdmissionDecision(
+                Admit.REJECT,
+                reason=(
+                    f"subscription fan-out bound: "
+                    f"{active}/{quota.max_subscriptions} standing queries"
+                ),
+            )
+        return self.decide(tenant, now, pending)

@@ -97,6 +97,19 @@ class ServiceEngine:
     def load_vector(self, tenant: str, name: str, bits: np.ndarray) -> None:
         raise NotImplementedError
 
+    def update_vector(
+        self, tenant: str, name: str, bits: np.ndarray
+    ) -> ExecutedCall:
+        """Overwrite a loaded vector's contents (the service write path).
+
+        Returns the priced write: ``popcount`` is the number of bits
+        that actually changed (``popcount(old XOR new)``), ``latency_s``
+        / ``energy_j`` the full simulated cost of landing the write --
+        on the resident engine that includes whatever the planner's
+        delta-repair path spent fixing cached sub-results in place.
+        """
+        raise NotImplementedError
+
     def host_vector(self, tenant: str, name: str) -> np.ndarray:
         """Host shadow copy (the oracle's input)."""
         raise NotImplementedError
@@ -218,6 +231,39 @@ class ResidentPimEngine(ServiceEngine):
             self._tenant_shard[tenant] = (
                 addr.channel * g.banks_per_rank + addr.bank
             )
+
+    def update_vector(
+        self, tenant: str, name: str, bits: np.ndarray
+    ) -> ExecutedCall:
+        key = (tenant, name)
+        handle = self._handles.get(key)
+        if handle is None:
+            raise ValueError(f"vector {name!r} not loaded for {tenant!r}")
+        bits = np.asarray(bits, dtype=np.uint8)
+        old = self._host[key]
+        if bits.size != old.size:
+            raise ValueError(
+                f"update size {bits.size} != loaded size {old.size} "
+                f"for {tenant!r}/{name!r}"
+            )
+        rt = self.runtime
+        lat0, en0 = rt.total_latency(), rt.total_energy()
+        # the write lands through the runtime's delta listener: cached
+        # sub-results reading these rows repair in place (or fall back
+        # to invalidation when recompute prices cheaper), and that cost
+        # shows up in the accounting delta below
+        rt.pim_write(handle, bits)
+        changed = int(np.count_nonzero(old != bits))
+        self._host[key] = bits.copy()
+        self._digests[key] = hashlib.sha1(bits.tobytes()).hexdigest()
+        return ExecutedCall(
+            bits=np.zeros(0, dtype=np.uint8),
+            popcount=changed,
+            latency_s=(rt.total_latency() - lat0) * self.config.timing_scale,
+            energy_j=(rt.total_energy() - en0) * self.config.energy_scale,
+            steps=0,
+            in_memory=True,
+        )
 
     def host_vector(self, tenant: str, name: str) -> np.ndarray:
         return self._host[(tenant, name)]
@@ -348,6 +394,32 @@ class HostOracleEngine(ServiceEngine):
         if tenant not in self._tenant_shard:
             # registration order round-robin: deterministic and balanced
             self._tenant_shard[tenant] = len(self._tenant_shard) % self._shards
+
+    def update_vector(
+        self, tenant: str, name: str, bits: np.ndarray
+    ) -> ExecutedCall:
+        key = (tenant, name)
+        old = self._vectors.get(key)
+        if old is None:
+            raise ValueError(f"vector {name!r} not loaded for {tenant!r}")
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.size != old.size:
+            raise ValueError(
+                f"update size {bits.size} != loaded size {old.size} "
+                f"for {tenant!r}/{name!r}"
+            )
+        changed = int(np.count_nonzero(old != bits))
+        self._vectors[key] = bits.copy()
+        # host-side vectors: the overwrite is a host memcpy, free on the
+        # simulated device timeline
+        return ExecutedCall(
+            bits=np.zeros(0, dtype=np.uint8),
+            popcount=changed,
+            latency_s=0.0,
+            energy_j=0.0,
+            steps=0,
+            in_memory=False,
+        )
 
     def host_vector(self, tenant: str, name: str) -> np.ndarray:
         return self._vectors[(tenant, name)]

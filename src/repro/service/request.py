@@ -22,7 +22,14 @@ import numpy as np
 
 from repro.core.ops import PimOp
 
-__all__ = ["QueryRequest", "QueryResult", "RequestStatus"]
+__all__ = [
+    "DeltaNotification",
+    "QueryRequest",
+    "QueryResult",
+    "RequestStatus",
+    "SubscribeRequest",
+    "UpdateRequest",
+]
 
 
 class RequestStatus(enum.Enum):
@@ -93,6 +100,108 @@ class QueryRequest:
 def bin_vector_name(column: str, bin_index: int) -> str:
     """Canonical vector name of one bitmap-index bin."""
     return f"{column}/bin{bin_index}"
+
+
+@dataclass(frozen=True, eq=False)
+class UpdateRequest:
+    """One tenant-issued overwrite of a resident vector's contents.
+
+    Rides the same admission pipeline and coalesced batches as reads;
+    executing it funnels through ``PimRuntime.pim_write``, whose delta
+    listener repairs (or drops) every cached sub-result reading the
+    vector's rows -- the service-level face of the write path.
+    ``eq=False``: identity comparison (the payload is an ndarray).
+    """
+
+    request_id: int
+    tenant: str
+    vector: str  # resident vector to overwrite
+    bits: np.ndarray  # full new contents
+    arrival_s: float
+    kind: str = "update"
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            raise ValueError("update needs a tenant")
+        if not self.vector:
+            raise ValueError("update needs a vector name")
+        if self.arrival_s < 0:
+            raise ValueError("arrival_s must be non-negative")
+        object.__setattr__(
+            self, "bits", np.asarray(self.bits, dtype=np.uint8)
+        )
+
+    # QueryResult.to_dict duck-typing
+    @property
+    def op(self) -> str:
+        return "write"
+
+    @property
+    def vectors(self) -> Tuple[str, ...]:
+        return (self.vector,)
+
+
+@dataclass(frozen=True)
+class SubscribeRequest:
+    """Registration of one standing query for a tenant.
+
+    Validated like a :class:`QueryRequest`; once admitted (subscription
+    fan-out is metered per tenant) its first evaluation rides a normal
+    coalesced batch, after which every batched update touching its
+    input vectors re-evaluates it in the same dispatch and pushes a
+    :class:`DeltaNotification` through the event loop.
+    """
+
+    request_id: int
+    tenant: str
+    op: str
+    vectors: Tuple[str, ...]
+    arrival_s: float
+    kind: str = "subscribe"
+
+    def __post_init__(self) -> None:
+        op = PimOp.parse(self.op).value
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "vectors", tuple(self.vectors))
+        if not self.tenant:
+            raise ValueError("subscription needs a tenant")
+        if not self.vectors:
+            raise ValueError("subscription needs at least one vector")
+        if op == "inv" and len(self.vectors) != 1:
+            raise ValueError("inv takes exactly one vector")
+        if op != "inv" and len(self.vectors) < 2:
+            raise ValueError(f"{op} needs at least two vectors")
+        if self.arrival_s < 0:
+            raise ValueError("arrival_s must be non-negative")
+
+
+@dataclass
+class DeltaNotification:
+    """One pushed re-evaluation of a standing query.
+
+    ``changed_bits`` is the popcount of ``old XOR new`` over the
+    standing query's result -- the delta the subscriber actually sees,
+    not the whole bitmap.
+    """
+
+    subscription_id: int  # the SubscribeRequest's request_id
+    tenant: str
+    seq: int  # per-subscription sequence number (0 = initial snapshot)
+    emitted_s: float  # completion time on the simulated clock
+    popcount: int  # result popcount after re-evaluation
+    changed_bits: int  # popcount(old XOR new); 0 for the snapshot
+    triggered_by: Tuple[int, ...] = ()  # update request_ids in the batch
+
+    def to_dict(self) -> dict:
+        return {
+            "subscription_id": self.subscription_id,
+            "tenant": self.tenant,
+            "seq": self.seq,
+            "emitted_s": self.emitted_s,
+            "popcount": self.popcount,
+            "changed_bits": self.changed_bits,
+            "triggered_by": list(self.triggered_by),
+        }
 
 
 @dataclass

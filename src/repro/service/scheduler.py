@@ -157,16 +157,46 @@ class CoalescingScheduler:
     def dispatch(
         self, queues: Dict[str, Deque[QueryRequest]]
     ) -> Tuple[List[QueryRequest], List[ExecutedCall], BatchPricing]:
-        """Collect, execute, and price one batch (empty batch = no-op)."""
+        """Collect, execute, and price one batch (empty batch = no-op).
+
+        Mixed batches reorder **updates before reads**: within one
+        dispatch a write lands before any read executes, so a batch has
+        read-your-writes semantics on the simulated timeline (the
+        returned batch list reflects the execution order).  On the
+        resident engine each update flows through the runtime's
+        delta-repair listener, so cached sub-results the following reads
+        hit are already repaired, in the same coalesced dispatch.
+        """
         batch = self.collect(queues)
         if not batch:
             return [], [], BatchPricing([], 0.0, 0.0)
+        updates = [r for r in batch if getattr(r, "kind", "") == "update"]
+        reads = [r for r in batch if getattr(r, "kind", "") != "update"]
+        batch = updates + reads
         _DISPATCHES.add()
         _BATCH_SIZE.set(len(batch))
-        executed = self._execute_folded(
-            [request_call(request) for request in batch]
-        )
+        executed = [
+            self.engine.update_vector(r.tenant, r.vector, r.bits)
+            for r in updates
+        ]
+        if reads:
+            executed += self._execute_folded(
+                [request_call(request) for request in reads]
+            )
         return batch, executed, self.price(batch, executed)
+
+    def execute_calls(self, calls: List) -> List[ExecutedCall]:
+        """Execute extra calls riding the current dispatch.
+
+        The service uses this for standing-query refreshes triggered by
+        the batch's updates: they run through the same folding path and
+        are priced by the caller *together with* the batch (one combined
+        :meth:`price` call), so a refresh shares the dispatch overhead
+        and serialises on its tenant's shard like any batched read.
+        """
+        if not calls:
+            return []
+        return self._execute_folded(list(calls))
 
     def _execute_folded(self, calls: List) -> List[ExecutedCall]:
         """Execute a call list with cross-tenant duplicate folding.

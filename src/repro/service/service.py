@@ -43,25 +43,52 @@ from repro.service.engine import (
     oracle_bits,
 )
 from repro.service.request import (
+    DeltaNotification,
     QueryRequest,
     QueryResult,
     RequestStatus,
+    SubscribeRequest,
+    UpdateRequest,
     bin_vector_name,
 )
-from repro.service.scheduler import CoalescingScheduler, SchedulerConfig
+from repro.service.scheduler import (
+    CoalescingScheduler,
+    SchedulerConfig,
+    request_call,
+)
 from repro.service.stats import ServiceStats
 
-__all__ = ["BitmapQueryService", "ServiceConfig"]
+__all__ = ["BitmapQueryService", "ServiceConfig", "StandingQuery"]
 
 # always-live instruments (cheap integer adds; survive telemetry.reset())
 _SUBMITTED = telemetry.counter("service.requests.submitted")
 _COMPLETED = telemetry.counter("service.requests.completed")
 _REJECTED = telemetry.counter("service.requests.rejected")
 _DELAYED = telemetry.counter("service.requests.delayed")
+_UPDATES = telemetry.counter("service.requests.updates")
+_SUBSCRIBED = telemetry.counter("service.subscriptions.registered")
+_NOTIFICATIONS = telemetry.counter("service.subscriptions.notifications")
 _BATCHES = telemetry.counter("service.scheduler.batches")
 _COALESCED = telemetry.counter("service.scheduler.coalesced_requests")
 _QUEUE_DEPTH = telemetry.gauge("service.scheduler.queue_depth")
 _BATCH_SIZE = telemetry.gauge("service.scheduler.batch_size")
+
+
+@dataclass
+class StandingQuery:
+    """Service-side state of one registered subscription.
+
+    Created at admission; ``active`` flips once the initial evaluation
+    (which rides a normal coalesced batch) completes.  ``bits`` is the
+    last pushed result -- what the next refresh diffs against to compute
+    ``changed_bits``.
+    """
+
+    request: SubscribeRequest
+    active: bool = False
+    seq: int = 0
+    popcount: int = 0
+    bits: Optional[np.ndarray] = field(default=None, repr=False)
 
 
 @dataclass(frozen=True)
@@ -123,11 +150,14 @@ class BitmapQueryService:
         )
         self.stats = ServiceStats()
         self.results: List[QueryResult] = []
+        self.notifications: List[DeltaNotification] = []
         self._queues: Dict[str, Deque[QueryRequest]] = {}
         self._paced: Dict[str, int] = {}  # tenant -> in-flight DELAY count
+        self._standing: Dict[int, StandingQuery] = {}  # insertion-ordered
         self._busy = False
         self._batch_id = 0
         self._submitted = 0
+        self._n_subscribes = 0
 
     # -- tenant/data management ----------------------------------------------
 
@@ -177,20 +207,39 @@ class BitmapQueryService:
 
     # -- submission ----------------------------------------------------------
 
-    def submit(self, request: QueryRequest) -> None:
+    def submit(self, request) -> None:
         """Validate a request and schedule its arrival on the clock.
 
+        Accepts all three request types -- :class:`QueryRequest`,
+        :class:`UpdateRequest`, :class:`SubscribeRequest` -- which share
+        one admission pipeline and ride the same coalesced batches.
         Validation errors (unknown tenant/vector, op the backend cannot
-        serve) raise immediately -- they are caller bugs, not load; the
-        admission pipeline only ever sees servable requests.
+        serve, size-mismatched update payload) raise immediately -- they
+        are caller bugs, not load; the admission pipeline only ever sees
+        servable requests.
         """
         self._check_tenant(request.tenant)
-        self.engine.check_op(request.op)
-        for name in request.vectors:
-            if not self.engine.has_vector(request.tenant, name):
+        if request.kind == "update":
+            if not self.engine.has_vector(request.tenant, request.vector):
                 raise KeyError(
-                    f"tenant {request.tenant!r} has no vector {name!r}"
+                    f"tenant {request.tenant!r} has no vector "
+                    f"{request.vector!r}"
                 )
+            loaded = self.engine.host_vector(request.tenant, request.vector)
+            if request.bits.size != loaded.size:
+                raise ValueError(
+                    f"update size {request.bits.size} != loaded size "
+                    f"{loaded.size} for {request.vector!r}"
+                )
+        else:
+            self.engine.check_op(request.op)
+            for name in request.vectors:
+                if not self.engine.has_vector(request.tenant, name):
+                    raise KeyError(
+                        f"tenant {request.tenant!r} has no vector {name!r}"
+                    )
+            if request.kind == "subscribe":
+                self._n_subscribes += 1
         self._submitted += 1
         self.loop.schedule(request.arrival_s, lambda: self._on_arrival(request))
 
@@ -203,17 +252,34 @@ class BitmapQueryService:
 
     # -- event handlers ------------------------------------------------------
 
-    def _on_arrival(self, request: QueryRequest) -> None:
+    def _on_arrival(self, request) -> None:
         tenant = request.tenant
         now = self.loop.now
         pending = len(self._queues[tenant]) + self._paced[tenant]
-        decision = self.admission.decide(tenant, now, pending)
+        if request.kind == "subscribe":
+            # fan-out metering: every write re-evaluates each standing
+            # query reading it, so registrations are bounded per tenant
+            active = sum(
+                1
+                for sq in self._standing.values()
+                if sq.request.tenant == tenant
+            )
+            decision = self.admission.decide_subscribe(
+                tenant, now, pending, active
+            )
+        else:
+            decision = self.admission.decide(tenant, now, pending)
         self.stats.submitted += 1
         self.stats.tenant(tenant).submitted += 1
         _SUBMITTED.add()
         if decision.outcome is Admit.REJECT:
             self._record_reject(request, decision.reason)
             return
+        if request.kind == "subscribe":
+            self._standing[request.request_id] = StandingQuery(request)
+            self.stats.subscriptions += 1
+            self.stats.tenant(tenant).subscriptions += 1
+            _SUBSCRIBED.add()
         if decision.outcome is Admit.DELAY:
             self._paced[tenant] += 1
             self.stats.delayed += 1
@@ -240,6 +306,34 @@ class BitmapQueryService:
         with telemetry.span("service.scheduler.dispatch") as sp:
             batch, executed, pricing = self.scheduler.dispatch(self._queues)
             now = self.loop.now
+            # standing-query refreshes ride this same dispatch: the
+            # batch's updates (executed first, see scheduler.dispatch)
+            # re-evaluate every *previously active* subscription reading
+            # a rewritten vector, and the combined work is priced as one
+            # batch -- shared dispatch overhead, shard-serialised
+            updates = [r for r in batch if r.kind == "update"]
+            affected: List[StandingQuery] = []
+            triggers: List[tuple] = []
+            if updates:
+                for sq in self._standing.values():
+                    if not sq.active:
+                        continue
+                    ids = tuple(
+                        u.request_id
+                        for u in updates
+                        if u.tenant == sq.request.tenant
+                        and u.vector in sq.request.vectors
+                    )
+                    if ids:
+                        affected.append(sq)
+                        triggers.append(ids)
+            refresh_calls = [request_call(sq.request) for sq in affected]
+            refreshed = self.scheduler.execute_calls(refresh_calls)
+            if refreshed:
+                pricing = self.scheduler.price(
+                    list(batch) + refresh_calls,
+                    list(executed) + refreshed,
+                )
             self._busy = True
             self._batch_id += 1
             batch_id = self._batch_id
@@ -256,11 +350,13 @@ class BitmapQueryService:
                 latency_s=pricing.makespan_s,
                 energy_j=pricing.energy_j,
                 requests=len(batch),
+                refreshes=len(refreshed),
             )
             results = []
             for request, call, offset in zip(
                 batch, executed, pricing.completion_offsets
             ):
+                keep = self.config.keep_bits and request.kind != "update"
                 results.append(
                     QueryResult(
                         request=request,
@@ -271,13 +367,67 @@ class BitmapQueryService:
                         service_s=call.latency_s,
                         energy_j=call.energy_j,
                         batch_id=batch_id,
-                        bits=call.bits if self.config.keep_bits else None,
+                        bits=call.bits if keep else None,
+                    )
+                )
+                if request.kind == "subscribe":
+                    # initial evaluation done: activate and push the
+                    # seq-0 snapshot notification at its completion time
+                    sq = self._standing[request.request_id]
+                    sq.active = True
+                    sq.bits = call.bits.copy()
+                    sq.popcount = call.popcount
+                    self._push_notification(
+                        DeltaNotification(
+                            subscription_id=request.request_id,
+                            tenant=request.tenant,
+                            seq=0,
+                            emitted_s=now + offset,
+                            popcount=call.popcount,
+                            changed_bits=0,
+                        )
+                    )
+            refresh_offsets = pricing.completion_offsets[len(batch):]
+            for sq, ids, call, offset in zip(
+                affected, triggers, refreshed, refresh_offsets
+            ):
+                changed = int(np.count_nonzero(sq.bits != call.bits))
+                sq.seq += 1
+                sq.bits = call.bits.copy()
+                sq.popcount = call.popcount
+                # the refresh's simulated cost is real batched work,
+                # attributed to the subscribing tenant
+                tstats = self.stats.tenant(sq.request.tenant)
+                self.stats.energy_j += call.energy_j
+                tstats.energy_j += call.energy_j
+                tstats.service_s += call.latency_s
+                self._push_notification(
+                    DeltaNotification(
+                        subscription_id=sq.request.request_id,
+                        tenant=sq.request.tenant,
+                        seq=sq.seq,
+                        emitted_s=now + offset,
+                        popcount=call.popcount,
+                        changed_bits=changed,
+                        triggered_by=ids,
                     )
                 )
             self.loop.schedule(
                 now + pricing.makespan_s,
                 lambda: self._on_batch_done(results),
             )
+
+    def _push_notification(self, note: DeltaNotification) -> None:
+        """Deliver a notification through the event loop at its time."""
+        self.loop.schedule(
+            note.emitted_s, lambda: self._on_notification(note)
+        )
+
+    def _on_notification(self, note: DeltaNotification) -> None:
+        self.notifications.append(note)
+        self.stats.notifications += 1
+        self.stats.tenant(note.tenant).notifications += 1
+        _NOTIFICATIONS.add()
 
     def _on_batch_done(self, results: List[QueryResult]) -> None:
         for result in results:
@@ -304,6 +454,10 @@ class BitmapQueryService:
         tenant = self.stats.tenant(result.request.tenant)
         self.stats.completed += 1
         tenant.completed += 1
+        if result.request.kind == "update":
+            self.stats.updates += 1
+            tenant.updates += 1
+            _UPDATES.add()
         self.stats.energy_j += result.energy_j
         tenant.energy_j += result.energy_j
         tenant.service_s += result.service_s
@@ -327,6 +481,10 @@ class BitmapQueryService:
             # per request: arrival + paced retry + batch completion share,
             # with headroom; single-request batches are the worst case
             max_events = 4 * self._submitted + 64
+            if self._n_subscribes:
+                # each dispatch can push one notification per standing
+                # query (plus one snapshot each); still a bounded guard
+                max_events += self._n_subscribes * (self._submitted + 1)
         self.loop.run(max_events=max_events)
         if self._busy:
             raise RuntimeError("event loop drained while a batch was in flight")
@@ -345,15 +503,26 @@ class BitmapQueryService:
             ).sum()
         )
 
+    def standing_query(self, subscription_id: int) -> StandingQuery:
+        """Look up a registered standing query by its request id."""
+        return self._standing[subscription_id]
+
     def verify_results(self) -> int:
-        """Assert every completed result matches the numpy oracle.
+        """Assert every completed *read* result matches the numpy oracle.
 
         Returns the number of results checked.  With ``keep_bits`` the
-        raw bits are compared too, not just the popcount.
+        raw bits are compared too, not just the popcount.  Updates and
+        subscription registrations are skipped: the oracle reads the
+        *final* host shadows, which only reflect a read's inputs when no
+        later update rewrote them -- workloads mixing reads and writes
+        verify against a live mirror instead (see the delta-repair
+        bench/tests).
         """
         checked = 0
         for result in self.results:
             if result.status is not RequestStatus.COMPLETED:
+                continue
+            if result.request.kind in ("update", "subscribe"):
                 continue
             expected = oracle_bits(
                 self.engine,

@@ -102,6 +102,9 @@ class TenantStats:
         self.completed = 0
         self.rejected = 0
         self.delayed = 0  # paced by the DELAY overload policy
+        self.updates = 0  # completed vector overwrites
+        self.subscriptions = 0  # standing queries registered
+        self.notifications = 0  # delta notifications pushed
         self.energy_j = 0.0
         self.service_s = 0.0  # simulated execution time consumed
         self.latency = LatencyRecorder()
@@ -113,6 +116,9 @@ class TenantStats:
             "completed": self.completed,
             "rejected": self.rejected,
             "delayed": self.delayed,
+            "updates": self.updates,
+            "subscriptions": self.subscriptions,
+            "notifications": self.notifications,
             "energy_j": self.energy_j,
             "service_s": self.service_s,
             "latency": self.latency.to_dict(),
@@ -141,6 +147,9 @@ class ServiceStats:
         self.delayed = 0
         self.batches = 0
         self.coalesced_requests = 0  # requests that shared a batch with >= 1 other
+        self.updates = 0  # completed vector overwrites
+        self.subscriptions = 0  # standing queries registered
+        self.notifications = 0  # delta notifications pushed
         self.energy_j = 0.0
         self.busy_s = 0.0  # simulated time the server spent executing batches
         self.first_dispatch_s = math.inf
@@ -181,6 +190,9 @@ class ServiceStats:
             "delayed": self.delayed,
             "batches": self.batches,
             "coalesced_requests": self.coalesced_requests,
+            "updates": self.updates,
+            "subscriptions": self.subscriptions,
+            "notifications": self.notifications,
             "mean_batch_size": self.mean_batch_size,
             "energy_j": self.energy_j,
             "busy_s": self.busy_s,

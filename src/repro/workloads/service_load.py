@@ -30,7 +30,11 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.service.engine import ServiceEngine
-from repro.service.request import QueryRequest
+from repro.service.request import (
+    QueryRequest,
+    SubscribeRequest,
+    UpdateRequest,
+)
 from repro.service.service import BitmapQueryService, ServiceConfig
 from repro.service.stats import ServiceStats
 
@@ -72,6 +76,13 @@ class ServiceLoadSpec:
     zipf_s: float = 1.0
     #: (kind, weight) query mix; kinds are ops or "range"
     mix: Tuple[Tuple[str, float], ...] = field(default=_DEFAULT_MIX)
+    #: fraction of the stream converted to vector overwrites (the write
+    #: path: delta repair + standing-query refresh).  The conversion
+    #: uses a *separate* seeded RNG, so 0.0 reproduces the historical
+    #: read-only stream byte-identically.
+    write_ratio: float = 0.0
+    #: standing queries registered per tenant before the stream starts
+    subscriptions_per_tenant: int = 0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -91,6 +102,10 @@ class ServiceLoadSpec:
             raise ValueError("zipf_s must be non-negative")
         if not self.mix or any(w <= 0 for _, w in self.mix):
             raise ValueError("mix must be non-empty with positive weights")
+        if not 0.0 <= self.write_ratio <= 1.0:
+            raise ValueError("write_ratio must be in [0, 1]")
+        if self.subscriptions_per_tenant < 0:
+            raise ValueError("subscriptions_per_tenant must be non-negative")
 
     @property
     def tenant_names(self) -> List[str]:
@@ -176,7 +191,67 @@ def generate_requests(spec: ServiceLoadSpec) -> List[QueryRequest]:
         requests.append(
             QueryRequest.bitwise(i, tenant, kind, names, arrival)
         )
-    return requests
+    if spec.write_ratio > 0.0:
+        requests = _convert_writes(spec, requests)
+    return _subscriptions(spec) + requests
+
+
+def _convert_writes(spec, requests):
+    """Convert a seeded fraction of the stream to vector overwrites.
+
+    Conversion happens *after* the read stream is generated, from a
+    separate RNG: the kept reads are the exact requests the read-only
+    stream would have issued (same ids, tenants, arrivals, operands).
+    Each update overwrites one plain vector of the request's tenant with
+    fresh random contents.
+    """
+    rng = np.random.default_rng((spec.seed, 0x3717E))
+    n_writes = int(round(spec.write_ratio * len(requests)))
+    chosen = set(
+        int(i)
+        for i in rng.choice(len(requests), size=n_writes, replace=False)
+    )
+    out = []
+    for i, request in enumerate(requests):
+        if i not in chosen:
+            out.append(request)
+            continue
+        vector = f"v{int(rng.integers(0, spec.vectors_per_tenant))}"
+        bits = rng.integers(0, 2, spec.vector_bits, dtype=np.uint8)
+        out.append(
+            UpdateRequest(
+                request.request_id,
+                request.tenant,
+                vector,
+                bits,
+                request.arrival_s,
+            )
+        )
+    return out
+
+
+def _subscriptions(spec) -> List[SubscribeRequest]:
+    """Per-tenant standing queries, registered ahead of the stream.
+
+    Ids live above the stream's ``0..n_requests-1`` range; arrivals are
+    all 0.0 so every registration precedes the first read/write.
+    """
+    if spec.subscriptions_per_tenant == 0:
+        return []
+    rng = np.random.default_rng((spec.seed, 0x50B5))
+    subs: List[SubscribeRequest] = []
+    next_id = spec.n_requests
+    for tenant in spec.tenant_names:
+        for _ in range(spec.subscriptions_per_tenant):
+            n_ops = int(rng.integers(2, spec.vectors_per_tenant + 1))
+            chosen = rng.choice(
+                spec.vectors_per_tenant, size=n_ops, replace=False
+            )
+            names = tuple(f"v{int(v)}" for v in chosen)
+            op = str(rng.choice(["or", "and", "xor"]))
+            subs.append(SubscribeRequest(next_id, tenant, op, names, 0.0))
+            next_id += 1
+    return subs
 
 
 def run_service_load(

@@ -104,8 +104,10 @@ class TestInvalidation:
     def test_write_to_operand_invalidate_and_recompute(self):
         """The satellite test: write to a row feeding a cached sub-result,
         re-issue the query, result is byte-identical to the numpy oracle
-        and the invalidation is counted."""
-        rt = _runtime()
+        and the invalidation is counted.  ``repair=False`` pins the
+        eager-invalidation semantics this asserts (the default now
+        repairs the entry in place -- see test_repair)."""
+        rt = _runtime(repair=False)
         (a, b, _), (ba, bb, _) = _loaded(rt)
         inv0 = telemetry.counter("plan.cache.invalidations").value
         d1 = rt.pim_malloc(N)

@@ -1,0 +1,385 @@
+"""Tests for delta repair of cached sub-results (incremental maintenance).
+
+The write path's delta listener hands the planner per-frame ``old XOR
+new`` bitmaps; :class:`repro.plan.repair.RepairEngine` fixes cached
+entries in place instead of dropping them.  These tests pin the repair
+algebra (XOR/NOT linear, AND/OR delta-masked recompute), the cache/LRU
+interaction under repair, the ProgramCache's geometry-staleness guard,
+and the interpreted/compiled pricing parity of the repair path.
+"""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core.pinatubo import PinatuboSystem
+from repro.memsim.geometry import MemoryGeometry
+from repro.nvm.technology import get_technology
+from repro.plan.cache import SubResultCache
+from repro.runtime.api import PimRuntime
+
+GEOM = MemoryGeometry(
+    channels=1,
+    ranks_per_channel=1,
+    chips_per_rank=1,
+    banks_per_chip=4,
+    subarrays_per_bank=16,
+    rows_per_subarray=64,
+    mats_per_subarray=1,
+    cols_per_mat=1024,
+    mux_ratio=8,
+)
+
+N = 3 * GEOM.row_bits  # three chunks per vector
+
+
+def _runtime(geometry=GEOM, **kwargs) -> PimRuntime:
+    system = PinatuboSystem(
+        get_technology("pcm"), geometry, batch_commands=True
+    )
+    return PimRuntime(system, plan=True, **kwargs)
+
+
+def _loaded(rt, n_vectors=3, seed=5):
+    rng = np.random.default_rng(seed)
+    handles, bits = [], []
+    for _ in range(n_vectors):
+        b = rng.integers(0, 2, N, dtype=np.uint8)
+        h = rt.pim_malloc(N)
+        rt.pim_write(h, b)
+        handles.append(h)
+        bits.append(b)
+    return handles, bits
+
+
+def _oracle(op, operands):
+    out = operands[0].copy()
+    for o in operands[1:]:
+        if op == "or":
+            out |= o
+        elif op == "and":
+            out &= o
+        else:
+            out ^= o
+    if op == "inv":
+        out ^= 1
+    return out
+
+
+class TestRepairCorrectness:
+    @pytest.mark.parametrize("op", ["or", "and", "xor"])
+    def test_partial_write_repairs_one_chunk(self, op):
+        """A one-row write repairs exactly the dirtied chunk in place:
+        the entry stays resident, the re-issued query is a cache hit,
+        and the served bits match the numpy oracle on the new data."""
+        rt = _runtime()
+        (a, b, _), (ba, bb, _) = _loaded(rt)
+        d1 = rt.pim_malloc(N)
+        rt.pim_op(op, d1, [a, b])
+        assert len(rt.planner.cache) == 1
+
+        row = np.random.default_rng(9).integers(
+            0, 2, GEOM.row_bits, dtype=np.uint8
+        )
+        rt.pim_write(a, row)  # overwrites only the first row frame
+        new_a = ba.copy()
+        new_a[: GEOM.row_bits] = row
+
+        stats = rt.plan_stats
+        assert stats.repairs == 1
+        assert stats.repaired_chunks == 1
+        assert stats.repair_fallbacks == 0
+        assert rt.planner.cache.invalidations == 0
+        assert len(rt.planner.cache) == 1
+        assert stats.repair_latency_s > 0  # priced through the controller
+
+        hits0 = stats.cache_hits
+        d2 = rt.pim_malloc(N)
+        rt.pim_op(op, d2, [a, b])
+        assert stats.cache_hits == hits0 + 1
+        assert np.array_equal(rt.pim_read(d2), _oracle(op, [new_a, bb]))
+
+    def test_inv_repair(self):
+        rt = _runtime()
+        (a, _, _), (ba, _, _) = _loaded(rt)
+        d1 = rt.pim_malloc(N)
+        rt.pim_op("inv", d1, [a])
+        row = np.random.default_rng(11).integers(
+            0, 2, GEOM.row_bits, dtype=np.uint8
+        )
+        rt.pim_write(a, row)
+        new_a = ba.copy()
+        new_a[: GEOM.row_bits] = row
+        assert rt.plan_stats.repairs == 1
+        d2 = rt.pim_malloc(N)
+        rt.pim_op("inv", d2, [a])
+        assert rt.plan_stats.cache_hits == 1
+        assert np.array_equal(rt.pim_read(d2), new_a ^ 1)
+
+    def test_full_overwrite_repairs_every_chunk(self):
+        rt = _runtime()
+        (a, b, _), (_, bb, _) = _loaded(rt)
+        d1 = rt.pim_malloc(N)
+        rt.pim_op("xor", d1, [a, b])
+        new_a = np.random.default_rng(13).integers(0, 2, N, dtype=np.uint8)
+        rt.pim_write(a, new_a)
+        # the host write lands row by row, so each dirtied frame takes
+        # its own repair pass; all three chunks end up repaired in place
+        assert rt.plan_stats.repairs >= 1
+        assert rt.plan_stats.repaired_chunks == 3
+        d2 = rt.pim_malloc(N)
+        rt.pim_op("xor", d2, [a, b])
+        assert rt.plan_stats.cache_hits == 1
+        assert np.array_equal(rt.pim_read(d2), new_a ^ bb)
+
+    def test_nested_child_falls_back_to_invalidation(self):
+        """An entry whose child is itself a sub-expression is out of
+        frame-delta reach: the write must invalidate it (counted as a
+        fallback) while still repairing the leaf-level entry."""
+        rt = _runtime()
+        (a, b, c), (ba, bb, bc) = _loaded(rt)
+        p1, out = rt.pim_malloc(N), rt.pim_malloc(N)
+        rt.pim_op("or", p1, [a, b])
+        rt.pim_op("and", out, [p1, c])  # caches and(or(a, b), c)
+        assert len(rt.planner.cache) == 2
+
+        row = np.random.default_rng(17).integers(
+            0, 2, GEOM.row_bits, dtype=np.uint8
+        )
+        rt.pim_write(a, row)  # one-row write: exactly one repair pass
+        new_a = ba.copy()
+        new_a[: GEOM.row_bits] = row
+        stats = rt.plan_stats
+        assert stats.repairs == 1  # the or(a, b) leaf entry
+        assert stats.repair_fallbacks == 1  # the nested and(...)
+        assert rt.planner.cache.invalidations == 1
+        assert len(rt.planner.cache) == 1
+
+        d2 = rt.pim_malloc(N)
+        rt.pim_op("or", d2, [a, b])
+        assert stats.cache_hits == 1  # repaired entry serves
+        assert np.array_equal(rt.pim_read(d2), new_a | bb)
+
+    def test_repair_disabled_still_invalidates(self):
+        rt = _runtime(repair=False)
+        (a, b, _), (_, bb, _) = _loaded(rt)
+        d1 = rt.pim_malloc(N)
+        rt.pim_op("or", d1, [a, b])
+        row = np.zeros(GEOM.row_bits, dtype=np.uint8)
+        rt.pim_write(a, row)
+        assert rt.plan_stats.repairs == 0
+        assert len(rt.planner.cache) == 0
+        assert rt.planner.cache.invalidations > 0
+
+
+class TestLruUnderRepair:
+    """Satellite: the cache's LRU discipline under the repair path."""
+
+    def _small_cache_runtime(self):
+        rt = _runtime()
+        # one shard holding exactly two 3-chunk entries: a third insert
+        # evicts the least recently used one
+        rt.planner.cache = SubResultCache(
+            max_bytes=6 * GEOM.row_bytes, shards=1
+        )
+        return rt
+
+    def test_repair_refreshes_recency(self):
+        """A repaired entry is a re-insert: it must become the most
+        recently used, so the next eviction takes the untouched entry."""
+        rt = self._small_cache_runtime()
+        (a, b, c), (ba, bb, bc) = _loaded(rt)
+        dA, dB, dC = (rt.pim_malloc(N) for _ in range(3))
+        rt.pim_op("or", dA, [a, b])  # entry A (LRU-oldest)
+        rt.pim_op("xor", dB, [b, c])  # entry B
+
+        row = np.random.default_rng(23).integers(
+            0, 2, GEOM.row_bits, dtype=np.uint8
+        )
+        rt.pim_write(a, row)  # repairs A -> A is now the newest
+        new_a = ba.copy()
+        new_a[: GEOM.row_bits] = row
+        assert rt.plan_stats.repairs == 1
+
+        rt.pim_op("and", dC, [a, c])  # entry C -> evicts B, not A
+        assert rt.planner.cache.evictions == 1
+
+        hits0 = rt.plan_stats.cache_hits
+        d2 = rt.pim_malloc(N)
+        rt.pim_op("or", d2, [a, b])  # repaired A still serves
+        assert rt.plan_stats.cache_hits == hits0 + 1
+        assert np.array_equal(rt.pim_read(d2), new_a | bb)
+
+        d3 = rt.pim_malloc(N)
+        rt.pim_op("xor", d3, [b, c])  # B was evicted: recompute
+        assert rt.plan_stats.cache_hits == hits0 + 1
+        assert np.array_equal(rt.pim_read(d3), bb ^ bc)
+
+    def test_write_after_eviction_does_not_resurrect(self):
+        """Repair races eviction: once the LRU dropped an entry, a write
+        to its operands must not bring it back (the repair path only
+        re-inserts entries it popped live from the cache)."""
+        rt = self._small_cache_runtime()
+        (a, b, c), (ba, bb, _) = _loaded(rt)
+        dA, dB, dC = (rt.pim_malloc(N) for _ in range(3))
+        rt.pim_op("or", dA, [a, b])  # entry A
+        rt.pim_op("xor", dB, [b, c])  # entry B
+        rt.pim_op("and", dC, [b, c])  # entry C -> evicts A
+        assert rt.planner.cache.evictions == 1
+        assert len(rt.planner.cache) == 2
+
+        row = np.random.default_rng(29).integers(
+            0, 2, GEOM.row_bits, dtype=np.uint8
+        )
+        rt.pim_write(a, row)  # nothing live reads a any more
+        assert rt.plan_stats.repairs == 0
+        assert len(rt.planner.cache) == 2
+
+        new_a = ba.copy()
+        new_a[: GEOM.row_bits] = row
+        hits0 = rt.plan_stats.cache_hits
+        d2 = rt.pim_malloc(N)
+        rt.pim_op("or", d2, [a, b])  # must recompute, not hit a ghost
+        assert rt.plan_stats.cache_hits == hits0
+        assert np.array_equal(rt.pim_read(d2), new_a | bb)
+
+
+class TestRepairProgramCache:
+    """Satellite: compiled repair programs and the geometry guard."""
+
+    @staticmethod
+    def _repair_keys(planner):
+        return [
+            k
+            for k in planner.programs._entries
+            if isinstance(k, tuple) and k and k[0] == "repair"
+        ]
+
+    def test_recurring_repair_replays_frozen_program(self):
+        rt = _runtime(compile=True)
+        (a, b, _), _ = _loaded(rt)
+        d1 = rt.pim_malloc(N)
+        rt.pim_op("xor", d1, [a, b])
+        rng = np.random.default_rng(31)
+
+        rt.pim_write(a, rng.integers(0, 2, GEOM.row_bits, dtype=np.uint8))
+        assert rt.plan_stats.repairs == 1
+        assert len(self._repair_keys(rt.planner)) == 1
+
+        hits0 = rt.plan_stats.program_hits
+        rt.pim_write(a, rng.integers(0, 2, GEOM.row_bits, dtype=np.uint8))
+        assert rt.plan_stats.repairs == 2
+        # same repair shape: the frozen program replays
+        assert rt.plan_stats.program_hits == hits0 + 1
+        assert len(self._repair_keys(rt.planner)) == 1
+
+    def test_geometry_change_cannot_replay_stale_program(self):
+        """Repair program keys embed the chunks' sense-step resolution:
+        after a geometry change (here a different SA mux ratio) the same
+        logical repair computes a different key, so a transplanted
+        program cache can never serve the stale command stream."""
+
+        def prime(rt):
+            (a, b, _), (ba, bb, _) = _loaded(rt)
+            d1 = rt.pim_malloc(N)
+            rt.pim_op("xor", d1, [a, b])
+            return a, b, ba, bb
+
+        rt1 = _runtime(compile=True)
+        a1, _, _, _ = prime(rt1)
+        row = np.random.default_rng(37).integers(
+            0, 2, GEOM.row_bits, dtype=np.uint8
+        )
+        rt1.pim_write(a1, row)
+        keys1 = self._repair_keys(rt1.planner)
+        assert len(keys1) == 1
+
+        geom16 = MemoryGeometry(
+            channels=1,
+            ranks_per_channel=1,
+            chips_per_rank=1,
+            banks_per_chip=4,
+            subarrays_per_bank=16,
+            rows_per_subarray=64,
+            mats_per_subarray=1,
+            cols_per_mat=1024,
+            mux_ratio=16,  # same row_bits, different sense resolution
+        )
+        rt2 = _runtime(geometry=geom16, compile=True)
+        a2, b2, ba2, bb2 = prime(rt2)
+        # transplant rt1's repair program, simulating a shared cache
+        # surviving a geometry change
+        for key in keys1:
+            rt2.planner.programs.put(key, rt1.planner.programs._entries[key])
+
+        hits0 = rt2.plan_stats.program_hits
+        rt2.pim_write(a2, row)
+        assert rt2.plan_stats.repairs == 1
+        assert rt2.plan_stats.program_hits == hits0  # no stale replay
+        keys2 = self._repair_keys(rt2.planner)
+        assert len(keys2) == 2  # the transplant plus rt2's own key
+        assert set(keys2) != set(keys1)
+
+        new_a = ba2.copy()
+        new_a[: GEOM.row_bits] = row
+        d2 = rt2.pim_malloc(N)
+        rt2.pim_op("xor", d2, [a2, b2])  # repaired entry serves
+        assert rt2.plan_stats.cache_hits == 1
+        assert np.array_equal(rt2.pim_read(d2), new_a ^ bb2)
+
+
+class TestRepairPricingParity:
+    def test_interpreted_and_compiled_repairs_price_identically(self):
+        """The frozen repair program is an execution strategy, never a
+        pricing change: both planners must report the same simulated
+        latency/energy to 1e-9 relative, with byte-identical reads."""
+
+        def play(compile_):
+            rt = _runtime(compile=compile_)
+            (a, b, c), _ = _loaded(rt)
+            rng = np.random.default_rng(41)
+            reads = []
+            for op, srcs in (("xor", [a, b]), ("or", [b, c]), ("and", [a, c])):
+                d = rt.pim_malloc(N)
+                rt.pim_op(op, d, srcs)
+                reads.append(d)
+            for _ in range(2):
+                rt.pim_write(
+                    a, rng.integers(0, 2, GEOM.row_bits, dtype=np.uint8)
+                )
+                for op, d, srcs in (
+                    ("xor", rt.pim_malloc(N), [a, b]),
+                    ("and", rt.pim_malloc(N), [a, c]),
+                ):
+                    rt.pim_op(op, d, srcs)
+                    reads.append(d)
+            bits = [rt.pim_read(d).tobytes() for d in reads]
+            assert rt.plan_stats.repairs > 0
+            acct = rt.pim_accounting
+            return bits, acct.latency, acct.energy
+
+        bits_i, lat_i, en_i = play(False)
+        bits_c, lat_c, en_c = play(True)
+        assert bits_i == bits_c
+        assert lat_c == pytest.approx(lat_i, rel=1e-9)
+        assert en_c == pytest.approx(en_i, rel=1e-9)
+
+
+class TestServeReplayCounterAlias:
+    def test_compat_counter_tracks_canonical(self):
+        """Satellite: the serve-replay tally lives under the canonical
+        ``plan.serve.replays`` name; the historical
+        ``plan.compile.serve_replays`` alias bumps in lock-step."""
+        new0 = telemetry.counter("plan.serve.replays").value
+        old0 = telemetry.counter("plan.compile.serve_replays").value
+        rt = _runtime()
+        (a, b, c), _ = _loaded(rt)
+        # pass 1 executes, pass 2 serves interpreted (recording the
+        # resident run), pass 3 replays the recorded serve
+        for _ in range(3):
+            d1, d2 = rt.pim_malloc(N), rt.pim_malloc(N)
+            rt.pim_op_many([("or", d1, [a, b]), ("xor", d2, [a, c])])
+        assert rt.plan_stats.serve_replays >= 1
+        d_new = telemetry.counter("plan.serve.replays").value - new0
+        d_old = telemetry.counter("plan.compile.serve_replays").value - old0
+        assert d_new == d_old == rt.plan_stats.serve_replays
