@@ -14,13 +14,18 @@ behind one :class:`BulkBitwiseBackend` protocol, selected by name from a
 Importing this package registers the stock backends.
 """
 
-from repro.backends.config import GEOMETRIES, SystemConfig
+from repro.backends.config import (
+    GEOMETRIES,
+    SystemConfig,
+    register_geometry,
+)
 from repro.backends.protocol import (
     ALL_OPS,
     BackendCapabilities,
     BackendRun,
     BulkBitwiseBackend,
     RunStats,
+    UnsupportedOpError,
     bitwise_oracle,
 )
 from repro.backends.registry import BackendRegistry, build_system, registry
@@ -37,7 +42,9 @@ __all__ = [
     "BulkBitwiseBackend",
     "RunStats",
     "SystemConfig",
+    "UnsupportedOpError",
     "bitwise_oracle",
     "build_system",
+    "register_geometry",
     "registry",
 ]

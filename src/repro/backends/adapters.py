@@ -161,10 +161,28 @@ class PinatuboBackend(BulkBitwiseBackend):
     def runtime(self):
         """The lazily-built functional runtime (pricing never needs it)."""
         if self._runtime is None:
-            from repro.runtime.api import PimRuntime
-
-            self._runtime = PimRuntime.from_config(self.config)
+            self._runtime = self.build_runtime()
         return self._runtime
+
+    def build_runtime(self, **kwargs):
+        """Construct a fresh :class:`~repro.runtime.api.PimRuntime` over
+        this backend's configuration.
+
+        The one place a functional runtime is assembled from a
+        declarative config: ``PimRuntime.from_config`` routes here
+        through :func:`repro.backends.build_system`, so the registry is
+        the single source of truth for how a config becomes a system.
+        ``kwargs`` (``plan``/``plan_cache_bytes``/``compile``/``repair``)
+        pass through to the :class:`PimRuntime` constructor.
+        """
+        from repro.core.pinatubo import PinatuboSystem
+        from repro.runtime.api import PimRuntime
+
+        return PimRuntime(
+            PinatuboSystem.from_config(self.config),
+            policy=self.config.placement_policy(),
+            **kwargs,
+        )
 
     def capabilities(self) -> BackendCapabilities:
         return BackendCapabilities(

@@ -26,6 +26,48 @@ GEOMETRIES = {
     "dram": DRAM_GEOMETRY,  # DDR3 organisation (S-DRAM baseline)
 }
 
+
+def register_geometry(name: str, geometry: MemoryGeometry) -> str:
+    """Register a geometry under ``name`` so configs can select it.
+
+    Re-registering the *same* geometry under the same name is a no-op
+    (benchmarks and tests may register at import time); registering a
+    different geometry under a taken name raises.  Returns the name, so
+    ``SystemConfig(geometry=register_geometry("bench", g))`` reads
+    naturally.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError("geometry name must be a non-empty string")
+    existing = GEOMETRIES.get(name)
+    if existing is not None and existing != geometry:
+        raise ValueError(
+            f"geometry name {name!r} already registered with different "
+            f"parameters"
+        )
+    GEOMETRIES[name] = geometry
+    return name
+
+
+def geometry_name(geometry: MemoryGeometry) -> str:
+    """The registry name of ``geometry``, auto-registering if unnamed.
+
+    Reverse lookup by value; an unregistered geometry is registered
+    under a deterministic name derived from its dimensions, so ad-hoc
+    geometries (small test arrays, benchmark shards) can ride the
+    declarative :class:`SystemConfig` path too.
+    """
+    for name, known in GEOMETRIES.items():
+        if known == geometry:
+            return name
+    name = (
+        f"custom-{geometry.channels}ch-{geometry.ranks_per_channel}rk-"
+        f"{geometry.chips_per_rank}cp-{geometry.banks_per_chip}bk-"
+        f"{geometry.subarrays_per_bank}sa-{geometry.rows_per_subarray}r-"
+        f"{geometry.mats_per_subarray}m-{geometry.cols_per_mat}c-"
+        f"{geometry.mux_ratio}x"
+    )
+    return register_geometry(name, geometry)
+
 #: what the host CPU's main memory may be ("dram" or an NVM technology)
 _CPU_MEMORIES = ("dram",)
 

@@ -34,6 +34,16 @@ from repro.baselines.base import AccessPattern, BaselineCost, validate_request
 #: the full Pinatubo operation vocabulary (paper Section 4.2)
 ALL_OPS = ("or", "and", "xor", "inv")
 
+
+class UnsupportedOpError(ValueError):
+    """The configured backend cannot serve the requested op.
+
+    A backend-level concern: capability checks live with the
+    :class:`BackendCapabilities` contract, and every layer above (the
+    service engines, the cluster router) raises this same type.
+    ``repro.service.engine`` re-exports it for compatibility.
+    """
+
 #: one queued logical operation: ``(op, [operand bit arrays])``
 BitwiseCall = Tuple[str, Sequence[np.ndarray]]
 

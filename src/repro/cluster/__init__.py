@@ -1,0 +1,42 @@
+"""`repro.cluster`: scale-out serving over N shared-clock PIM nodes.
+
+The cluster layer runs N independent
+:class:`~repro.service.service.BitmapQueryService` nodes -- each with
+its own ``PimRuntime``/engine, admission controller, plan cache, and
+stats -- on ONE deterministic :class:`~repro.service.clock.EventLoop`.
+A :class:`ClusterRouter` owns tenant placement (consistent hashing or a
+range-index table), scatters reads/updates to the owning replicas, and
+gathers partial results.  A 1-node cluster reproduces the single-node
+service byte-identically; see :mod:`repro.cluster.router`.
+
+Drive it through the :class:`repro.service.api.ServiceClient` facade::
+
+    from repro.cluster import ClusterConfig, ClusterRouter
+    from repro.service.api import ServiceClient
+
+    client = ServiceClient(ClusterRouter(ClusterConfig(n_nodes=4)))
+    client.register_tenant("hot", replicas=2)
+    client.load_vectors("hot", {"a": bits_a, "b": bits_b})
+    h = client.query("hot", "and", ("a", "b"))
+    stats = client.run()
+"""
+
+from repro.cluster.placement import (
+    HashRing,
+    RangeIndexPlacement,
+    key_point,
+    make_placement,
+)
+from repro.cluster.router import ClusterConfig, ClusterNode, ClusterRouter
+from repro.cluster.stats import ClusterStats
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterNode",
+    "ClusterRouter",
+    "ClusterStats",
+    "HashRing",
+    "RangeIndexPlacement",
+    "key_point",
+    "make_placement",
+]

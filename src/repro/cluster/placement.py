@@ -1,0 +1,219 @@
+"""Deterministic placement of tenant vector sets across cluster nodes.
+
+Two interchangeable strategies, both pure functions of the tenant name
+and the current node set (no RNG, no iteration-order dependence -- the
+cluster's determinism contract extends to placement):
+
+- :class:`HashRing` -- classic consistent hashing with virtual nodes.
+  Tenants and virtual nodes map to points on the unit circle via SHA-1;
+  a tenant is owned by the next ``n_replicas`` *distinct* nodes
+  clockwise.  Node join/leave moves only the tenants whose arcs change
+  hands (minimal movement).
+- :class:`RangeIndexPlacement` -- a spine-style routing table: the unit
+  interval is split into contiguous key ranges, each owned by one node,
+  kept as an explicit sorted boundary list that lookups bisect.  Joins
+  split the widest range; leaves merge a range into its predecessor.
+  This is the gnitz-style "range index" alternative: placement is an
+  inspectable table (useful for range-partitioned namespaces) rather
+  than ring arithmetic.
+
+Both expose the same surface: ``owners(key, n_replicas)``,
+``add_node(node_id)``, ``remove_node(node_id)``, ``node_ids``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["HashRing", "RangeIndexPlacement", "key_point", "make_placement"]
+
+
+def key_point(key: str) -> float:
+    """Deterministic point in ``[0, 1)`` for a placement key (SHA-1)."""
+    digest = hashlib.sha1(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes."""
+
+    def __init__(self, node_ids: Sequence[int], virtual_nodes: int = 64):
+        if virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be >= 1")
+        self.virtual_nodes = virtual_nodes
+        self._nodes: List[int] = []
+        #: sorted (point, node_id) pairs -- the ring
+        self._ring: List[Tuple[float, int]] = []
+        for node_id in node_ids:
+            self.add_node(node_id)
+
+    @property
+    def node_ids(self) -> List[int]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def _vnode_points(self, node_id: int) -> List[float]:
+        return [
+            key_point(f"node{node_id}#vn{v}")
+            for v in range(self.virtual_nodes)
+        ]
+
+    def add_node(self, node_id: int) -> None:
+        if node_id in self._nodes:
+            raise ValueError(f"node {node_id} already on the ring")
+        self._nodes.append(node_id)
+        for point in self._vnode_points(node_id):
+            bisect.insort(self._ring, (point, node_id))
+
+    def remove_node(self, node_id: int) -> None:
+        if node_id not in self._nodes:
+            raise ValueError(f"node {node_id} not on the ring")
+        if len(self._nodes) == 1:
+            raise ValueError("cannot remove the last node")
+        self._nodes.remove(node_id)
+        self._ring = [(p, n) for p, n in self._ring if n != node_id]
+
+    def owners(self, key: str, n_replicas: int = 1) -> List[int]:
+        """The first ``n_replicas`` distinct nodes clockwise of ``key``.
+
+        The first entry is the primary.  ``n_replicas`` caps at the
+        node count (a 2-node cluster cannot hold 3 replicas).
+        """
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        n_replicas = min(n_replicas, len(self._nodes))
+        start = bisect.bisect_right(self._ring, (key_point(key), float("inf")))
+        owners: List[int] = []
+        for i in range(len(self._ring)):
+            node = self._ring[(start + i) % len(self._ring)][1]
+            if node not in owners:
+                owners.append(node)
+                if len(owners) == n_replicas:
+                    break
+        return owners
+
+
+class RangeIndexPlacement:
+    """Spine-style routing table: contiguous key ranges, one node each.
+
+    The table is a sorted list of ``(upper_bound, node_id)`` entries
+    covering ``[0, 1)``: a key belongs to the first range whose upper
+    bound exceeds its point.  Initial construction splits the interval
+    evenly across the given nodes.
+    """
+
+    def __init__(self, node_ids: Sequence[int]):
+        node_ids = list(node_ids)
+        if not node_ids:
+            raise ValueError("need at least one node")
+        n = len(node_ids)
+        #: sorted (upper_bound, node_id); the last upper bound is 1.0
+        self._table: List[Tuple[float, int]] = [
+            ((i + 1) / n, node_id) for i, node_id in enumerate(node_ids)
+        ]
+
+    @property
+    def node_ids(self) -> List[int]:
+        return sorted({node for _, node in self._table})
+
+    def __len__(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def table(self) -> List[Tuple[float, int]]:
+        """The routing table (upper bound, node), in key order."""
+        return list(self._table)
+
+    def _ranges(self) -> List[Tuple[float, float, int]]:
+        out = []
+        lo = 0.0
+        for hi, node in self._table:
+            out.append((lo, hi, node))
+            lo = hi
+        return out
+
+    def add_node(self, node_id: int) -> None:
+        """Split the widest range in half; the new node takes the top.
+
+        Ties break toward the lowest range start, so the split point is
+        a pure function of the table.
+        """
+        if node_id in {n for _, n in self._table}:
+            raise ValueError(f"node {node_id} already placed")
+        widest = max(self._ranges(), key=lambda r: (r[1] - r[0], -r[0]))
+        lo, hi, old = widest
+        mid = (lo + hi) / 2.0
+        index = self._table.index((hi, old))
+        self._table[index : index + 1] = [(mid, old), (hi, node_id)]
+
+    def remove_node(self, node_id: int) -> None:
+        """Merge each of the node's ranges into its *predecessor* range.
+
+        Predecessor merge makes leave the exact inverse of join: a node
+        added by :meth:`add_node` (which takes the top half of a split)
+        hands its range straight back on removal, restoring the prior
+        table.  The node's leading range(s), which have no predecessor,
+        are absorbed downward by their successor instead.
+        """
+        if len(self.node_ids) == 1:
+            raise ValueError("cannot remove the last node")
+        if node_id not in {n for _, n in self._table}:
+            raise ValueError(f"node {node_id} not placed")
+        kept: List[Tuple[float, int]] = []
+        for hi, node in self._table:
+            if node != node_id:
+                kept.append((hi, node))
+            elif kept:
+                kept[-1] = (hi, kept[-1][1])  # predecessor absorbs upward
+            # else: leading range; deleting it lets the successor's
+            # range grow downward to 0.0 automatically
+        # collapse adjacent ranges owned by the same node
+        merged: List[Tuple[float, int]] = []
+        for hi, node in kept:
+            if merged and merged[-1][1] == node:
+                merged[-1] = (hi, node)
+            else:
+                merged.append((hi, node))
+        self._table = merged
+
+    def owners(self, key: str, n_replicas: int = 1) -> List[int]:
+        """Primary = the range holder; replicas walk the next ranges."""
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        nodes_available = len(self.node_ids)
+        n_replicas = min(n_replicas, nodes_available)
+        point = key_point(key)
+        uppers = [hi for hi, _ in self._table]
+        start = bisect.bisect_right(uppers, point)
+        if start == len(self._table):  # point == 1.0 cannot happen; guard
+            start = len(self._table) - 1
+        owners: List[int] = []
+        for i in range(len(self._table)):
+            node = self._table[(start + i) % len(self._table)][1]
+            if node not in owners:
+                owners.append(node)
+                if len(owners) == n_replicas:
+                    break
+        return owners
+
+
+#: placement strategies by config name
+_STRATEGIES: Dict[str, type] = {
+    "hash": HashRing,
+    "range": RangeIndexPlacement,
+}
+
+
+def make_placement(name: str, node_ids: Sequence[int], virtual_nodes: int = 64):
+    """Build the placement strategy a cluster config names."""
+    if name == "hash":
+        return HashRing(node_ids, virtual_nodes=virtual_nodes)
+    if name == "range":
+        return RangeIndexPlacement(node_ids)
+    raise ValueError(
+        f"unknown placement {name!r}; known: {sorted(_STRATEGIES)}"
+    )

@@ -1,0 +1,183 @@
+"""Cluster-level statistics: router accounting over per-node stats.
+
+Two views, kept separate on purpose:
+
+- **user-facing**: what a client observed through the router -- one
+  latency sample per user request, counting a scattered range query
+  once (at its gather completion), never counting internal replica
+  writes or scatter parts;
+- **node-level**: each node's own :class:`ServiceStats` (which *does*
+  include internal work -- that is real load on that node), plus a
+  merged node aggregate built with :meth:`LatencyRecorder.merge`.
+
+Like every stats container in the repo, ``to_json()`` is byte-stable:
+all inputs are simulated-clock quantities and dict order is fixed.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List
+
+from repro.service.request import QueryResult, RequestStatus
+from repro.service.stats import LatencyRecorder, ServiceStats
+
+__all__ = ["ClusterStats"]
+
+#: ServiceStats integer counters summed node-wise for the aggregate view
+_NODE_COUNTERS = (
+    "submitted",
+    "completed",
+    "rejected",
+    "delayed",
+    "batches",
+    "coalesced_requests",
+    "updates",
+    "subscriptions",
+    "notifications",
+)
+
+
+class ClusterStats:
+    """Aggregate + per-node statistics of one cluster run."""
+
+    def __init__(self) -> None:
+        #: live references to each node's ServiceStats, by node id
+        #: (retired nodes keep their entry -- their work happened)
+        self.node_stats: Dict[int, ServiceStats] = {}
+        #: user-facing latency: one sample per completed user request
+        self.latency = LatencyRecorder()
+        self.routed = 0  # user requests routed
+        self.completed = 0  # user requests completed
+        self.rejected = 0  # user requests rejected
+        self.scattered = 0  # range reads split across replicas
+        self.gathers = 0  # scatter-gathers completed
+        self.replica_writes = 0  # internal fan-in update copies issued
+        self.notifications = 0  # delta notifications delivered
+        self.rebalanced_tenants = 0  # tenants whose owner set changed
+        self.moved_vectors = 0  # vectors copied during rebalancing
+        self.membership_changes = 0  # node joins + leaves
+
+    def attach_node(self, node_id: int, stats: ServiceStats) -> None:
+        self.node_stats[node_id] = stats
+
+    def record_result(self, result: QueryResult) -> None:
+        """Account one *user-facing* terminal result."""
+        if result.status is RequestStatus.COMPLETED:
+            self.completed += 1
+            self.latency.record(result.latency_s)
+        else:
+            self.rejected += 1
+
+    # -- derived (over the node stats) ---------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.node_stats)
+
+    @property
+    def first_dispatch_s(self) -> float:
+        starts = [s.first_dispatch_s for s in self.node_stats.values()]
+        return min(starts) if starts else math.inf
+
+    @property
+    def last_completion_s(self) -> float:
+        ends = [s.last_completion_s for s in self.node_stats.values()]
+        return max(ends) if ends else 0.0
+
+    @property
+    def makespan_s(self) -> float:
+        """Earliest node dispatch to latest node completion."""
+        if not math.isfinite(self.first_dispatch_s):
+            return 0.0
+        return self.last_completion_s - self.first_dispatch_s
+
+    @property
+    def ops_per_s(self) -> float:
+        """Completed *user* requests per simulated second of serving."""
+        span = self.makespan_s
+        if span <= 0:
+            return 0.0
+        return self.completed / span
+
+    @property
+    def energy_j(self) -> float:
+        return sum(s.energy_j for s in self.node_stats.values())
+
+    @property
+    def busy_s(self) -> float:
+        """Summed per-node busy time (> makespan when nodes overlap)."""
+        return sum(s.busy_s for s in self.node_stats.values())
+
+    def node_aggregate(self) -> dict:
+        """Node-level counters summed and latencies merged across nodes.
+
+        Includes internal work (replica copies, scatter parts): this is
+        the cluster's *load* view, complementing the user-facing view.
+        """
+        merged = LatencyRecorder()
+        for stats in self.node_stats.values():
+            merged.merge(stats.latency)
+        out = {name: 0 for name in _NODE_COUNTERS}
+        for stats in self.node_stats.values():
+            for name in _NODE_COUNTERS:
+                out[name] += getattr(stats, name)
+        out["energy_j"] = self.energy_j
+        out["busy_s"] = self.busy_s
+        out["latency"] = merged.to_dict()
+        return out
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "n_nodes": self.n_nodes,
+            "routed": self.routed,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "scattered": self.scattered,
+            "gathers": self.gathers,
+            "replica_writes": self.replica_writes,
+            "notifications": self.notifications,
+            "rebalanced_tenants": self.rebalanced_tenants,
+            "moved_vectors": self.moved_vectors,
+            "membership_changes": self.membership_changes,
+            "energy_j": self.energy_j,
+            "busy_s": self.busy_s,
+            "makespan_s": self.makespan_s,
+            "ops_per_s": self.ops_per_s,
+            "latency": self.latency.to_dict(),
+            "node_aggregate": self.node_aggregate(),
+            "nodes": {
+                str(node_id): stats.to_dict()
+                for node_id, stats in sorted(self.node_stats.items())
+            },
+        }
+
+    def to_json(self) -> str:
+        """Canonical byte-stable serialisation (the determinism contract)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def summary(self) -> str:
+        lat = self.latency
+        lines: List[str] = [
+            (
+                f"ClusterStats[{self.n_nodes} nodes]: "
+                f"{self.completed}/{self.routed} completed "
+                f"({self.rejected} rejected, {self.scattered} scattered, "
+                f"{self.replica_writes} replica writes), "
+                f"{self.ops_per_s:.3e} ops/s over {self.makespan_s:.3e}s, "
+                f"p50 {lat.percentile(50) if lat.count else 0.0:.3e}s, "
+                f"p99 {lat.percentile(99) if lat.count else 0.0:.3e}s, "
+                f"energy {self.energy_j:.3e}J"
+            )
+        ]
+        for node_id in sorted(self.node_stats):
+            stats = self.node_stats[node_id]
+            lines.append(
+                f"  node {node_id}: {stats.completed}/{stats.submitted} "
+                f"completed in {stats.batches} batches, "
+                f"busy {stats.busy_s:.3e}s"
+            )
+        return "\n".join(lines)

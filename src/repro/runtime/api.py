@@ -24,6 +24,20 @@ from repro.runtime.driver import PimDriver
 from repro.runtime.os_mm import PimMemoryManager, PlacementPolicy
 
 
+def _canned_config(
+    technology: str, max_rows: Optional[int], geometry: MemoryGeometry
+):
+    """The declarative config a pcm()/stt() shortcut stands for."""
+    from repro.backends.config import SystemConfig, geometry_name
+
+    return SystemConfig(
+        backend="pinatubo",
+        technology=technology,
+        geometry=geometry_name(geometry),
+        max_rows=max_rows,
+    )
+
+
 class PimRuntime:
     """End-to-end Pinatubo software stack over one memory system."""
 
@@ -65,15 +79,34 @@ class PimRuntime:
         compile: bool = True,
         repair: bool = True,
     ) -> "PimRuntime":
-        """Build the full stack from a declarative
-        :class:`repro.backends.config.SystemConfig`: the system comes from
-        :meth:`PinatuboSystem.from_config`, the OS placement policy from
-        ``config.placement``.  ``plan``/``compile``/``repair`` carry
-        through to the constructor (planned execution with the kernel
-        compiler and delta repair on)."""
-        return cls(
-            PinatuboSystem.from_config(config),
-            policy=config.placement_policy(),
+        """The canonical constructor: declarative config -> full stack.
+
+        Routes through :func:`repro.backends.build_system` -- the same
+        registry path every other consumer of a
+        :class:`~repro.backends.config.SystemConfig` takes -- and asks
+        the built backend for its functional runtime (only the
+        ``pinatubo`` backend has one; anything else raises with the list
+        of registered names).  The ``pcm()``/``stt()`` shortcuts and the
+        direct ``PimRuntime(system)`` constructor are thin wrappers /
+        injection hooks around this path: ``PimRuntime.pcm()`` is
+        ``PimRuntime.from_config(SystemConfig(technology="pcm"))`` by
+        definition, and builds an equivalent system.
+        ``plan``/``compile``/``repair`` carry through to the constructor
+        (planned execution with the kernel compiler and delta repair).
+        """
+        from repro.backends.registry import build_system
+
+        backend = build_system(config)
+        build_runtime = getattr(backend, "build_runtime", None)
+        if build_runtime is None:
+            from repro.backends.registry import registry
+
+            raise ValueError(
+                f"backend {config.backend!r} has no functional runtime; "
+                f"registered: {registry.names()} (only 'pinatubo' builds "
+                f"a PimRuntime)"
+            )
+        return build_runtime(
             plan=plan,
             plan_cache_bytes=plan_cache_bytes,
             compile=compile,
@@ -85,12 +118,17 @@ class PimRuntime:
         cls,
         max_rows: Optional[int] = None,
         geometry: MemoryGeometry = DEFAULT_GEOMETRY,
+        **kwargs,
     ) -> "PimRuntime":
-        return cls(PinatuboSystem.pcm(max_rows=max_rows, geometry=geometry))
+        """PCM main memory -- one-line wrapper over :meth:`from_config`."""
+        return cls.from_config(_canned_config("pcm", max_rows, geometry), **kwargs)
 
     @classmethod
-    def stt(cls):
-        return cls(PinatuboSystem.stt())
+    def stt(
+        cls, geometry: MemoryGeometry = DEFAULT_GEOMETRY, **kwargs
+    ) -> "PimRuntime":
+        """STT-MRAM main memory -- wrapper over :meth:`from_config`."""
+        return cls.from_config(_canned_config("stt", None, geometry), **kwargs)
 
     # -- programming model ----------------------------------------------------
 

@@ -20,19 +20,20 @@ built entirely on the repo's existing layers:
 - **accounting** (:mod:`.stats`): per-tenant latency histograms,
   p50/p99, ops/s, energy, in the repo's StatsLike convention.
 
-Quick start::
+Quick start (the :class:`~repro.service.api.ServiceClient` facade is
+the one front door -- the same client drives a single node or a
+:class:`repro.cluster.ClusterRouter`)::
 
     import numpy as np
-    from repro.service import BitmapQueryService, QueryRequest
+    from repro.service import BitmapQueryService, ServiceClient
 
-    svc = BitmapQueryService()
-    svc.register_tenant("alice")
-    svc.load_vectors("alice", {"a": np.random.randint(0, 2, 4096),
-                               "b": np.random.randint(0, 2, 4096)})
-    svc.submit(QueryRequest.bitwise(1, "alice", "and", ("a", "b"),
-                                    arrival_s=0.0))
-    stats = svc.run()
-    print(stats.summary())
+    client = ServiceClient(BitmapQueryService())
+    client.register_tenant("alice")
+    client.load_vectors("alice", {"a": np.random.randint(0, 2, 4096),
+                                  "b": np.random.randint(0, 2, 4096)})
+    handle = client.query("alice", "and", ("a", "b"))
+    stats = client.run()
+    print(handle.popcount, stats.summary())
 """
 
 from repro.service.admission import (
@@ -43,6 +44,7 @@ from repro.service.admission import (
     TenantQuota,
     TokenBucket,
 )
+from repro.service.api import ResultHandle, ServiceClient, SubscriptionHandle
 from repro.service.clock import EventLoop
 from repro.service.engine import (
     HostOracleEngine,
@@ -88,12 +90,15 @@ __all__ = [
     "QueryResult",
     "RequestStatus",
     "ResidentPimEngine",
+    "ResultHandle",
     "SchedulerConfig",
+    "ServiceClient",
     "ServiceConfig",
     "ServiceEngine",
     "ServiceStats",
     "StandingQuery",
     "SubscribeRequest",
+    "SubscriptionHandle",
     "TenantQuota",
     "TenantStats",
     "TokenBucket",

@@ -169,6 +169,13 @@ class AdmissionController:
         self._quotas[tenant] = quota
         self._buckets[tenant] = TokenBucket(quota.rate_per_s, quota.burst)
 
+    def deregister(self, tenant: str) -> None:
+        """Forget a tenant's quota and bucket (cluster rebalancing)."""
+        if tenant not in self._quotas:
+            raise KeyError(f"tenant {tenant!r} not registered")
+        del self._quotas[tenant]
+        del self._buckets[tenant]
+
     def quota(self, tenant: str) -> TenantQuota:
         return self._quotas[tenant]
 

@@ -35,6 +35,7 @@ from repro.backends.config import SystemConfig
 from repro.backends.protocol import (
     ALL_OPS,
     BackendCapabilities,
+    UnsupportedOpError,
     bitwise_oracle,
 )
 from repro.backends.registry import registry
@@ -46,13 +47,11 @@ __all__ = [
     "ResidentPimEngine",
     "ServiceCall",
     "ServiceEngine",
+    # re-exported for compatibility; the class now lives with the
+    # backend protocol (repro.backends.UnsupportedOpError)
     "UnsupportedOpError",
     "build_engine",
 ]
-
-
-class UnsupportedOpError(ValueError):
-    """The configured backend cannot serve the requested op."""
 
 
 @dataclass(frozen=True)
@@ -115,6 +114,24 @@ class ServiceEngine:
         raise NotImplementedError
 
     def has_vector(self, tenant: str, name: str) -> bool:
+        raise NotImplementedError
+
+    def tenant_vectors(self, tenant: str) -> Dict[str, np.ndarray]:
+        """Host shadows of every vector the tenant has loaded, by name.
+
+        What cluster rebalancing copies when a tenant moves between
+        nodes (the insertion order is the original load order, so a
+        re-load on another node places vectors identically).
+        """
+        raise NotImplementedError
+
+    def unload_tenant(self, tenant: str) -> int:
+        """Drop a tenant's resident vectors; returns how many were freed.
+
+        The decommission path of cluster rebalancing: after the tenant's
+        vector set has been copied to its new owner, the old node
+        releases the frames (and any cached sub-results reading them).
+        """
         raise NotImplementedError
 
     def execute(self, calls: Sequence[ServiceCall]) -> List[ExecutedCall]:
@@ -271,6 +288,24 @@ class ResidentPimEngine(ServiceEngine):
     def has_vector(self, tenant: str, name: str) -> bool:
         return (tenant, name) in self._handles
 
+    def tenant_vectors(self, tenant: str) -> Dict[str, np.ndarray]:
+        return {
+            name: bits.copy()
+            for (owner, name), bits in self._host.items()
+            if owner == tenant
+        }
+
+    def unload_tenant(self, tenant: str) -> int:
+        keys = [key for key in self._handles if key[0] == tenant]
+        for key in keys:
+            # pim_free runs the allocator's free listeners, so a planned
+            # runtime drops every cached sub-result reading these frames
+            self.runtime.pim_free(self._handles.pop(key))
+            del self._host[key]
+            del self._digests[key]
+        self._tenant_shard.pop(tenant, None)
+        return len(keys)
+
     @property
     def n_shards(self) -> int:
         return self._n_shards
@@ -426,6 +461,20 @@ class HostOracleEngine(ServiceEngine):
 
     def has_vector(self, tenant: str, name: str) -> bool:
         return (tenant, name) in self._vectors
+
+    def tenant_vectors(self, tenant: str) -> Dict[str, np.ndarray]:
+        return {
+            name: bits.copy()
+            for (owner, name), bits in self._vectors.items()
+            if owner == tenant
+        }
+
+    def unload_tenant(self, tenant: str) -> int:
+        keys = [key for key in self._vectors if key[0] == tenant]
+        for key in keys:
+            del self._vectors[key]
+        self._tenant_shard.pop(tenant, None)
+        return len(keys)
 
     @property
     def n_shards(self) -> int:

@@ -119,6 +119,10 @@ class UpdateRequest:
     bits: np.ndarray  # full new contents
     arrival_s: float
     kind: str = "update"
+    #: replica fan-in copy issued by the cluster router, not a tenant:
+    #: skips node-level rate admission (the user-facing write already
+    #: passed it on the primary) so replicas cannot diverge
+    internal: bool = False
 
     def __post_init__(self) -> None:
         if not self.tenant:

@@ -23,9 +23,10 @@ simulated makespan/energy.
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional
 
 import numpy as np
 
@@ -133,12 +134,21 @@ class BitmapQueryService:
         self,
         config: Optional[ServiceConfig] = None,
         engine: Optional[ServiceEngine] = None,
+        loop: Optional[EventLoop] = None,
     ):
         self.config = config or ServiceConfig()
         self.engine = engine or build_engine(
             self.config.system, host_shards=self.config.host_shards
         )
-        self.loop = EventLoop()
+        #: the simulated timeline; injectable so N node services can
+        #: share one deterministic clock (the cluster layer does this)
+        self.loop = loop or EventLoop()
+        #: optional completion hooks (the cluster router's gather path);
+        #: called synchronously when a result/notification is recorded
+        self.on_result: Optional[Callable[[QueryResult], None]] = None
+        self.on_notification: Optional[
+            Callable[[DeltaNotification], None]
+        ] = None
         self.admission = AdmissionController()
         self.scheduler = CoalescingScheduler(
             SchedulerConfig(
@@ -205,9 +215,35 @@ class BitmapQueryService:
                 f"unknown tenant {tenant!r}; registered: {self.tenants}"
             )
 
+    def deregister_tenant(self, tenant: str) -> int:
+        """Remove an idle tenant and free its resident vectors.
+
+        The decommission half of cluster rebalancing: the tenant must be
+        quiescent (empty queue, no pacing in flight) -- moving live work
+        between nodes would break the deterministic timeline.  Standing
+        queries are dropped (subscribers re-subscribe on the new owner).
+        Returns the number of vectors unloaded.
+        """
+        self._check_tenant(tenant)
+        if self._queues[tenant] or self._paced[tenant]:
+            raise RuntimeError(
+                f"tenant {tenant!r} still has queued or paced requests; "
+                f"drain the loop before deregistering"
+            )
+        for sub_id in [
+            sub_id
+            for sub_id, sq in self._standing.items()
+            if sq.request.tenant == tenant
+        ]:
+            del self._standing[sub_id]
+        del self._queues[tenant]
+        del self._paced[tenant]
+        self.admission.deregister(tenant)
+        return self.engine.unload_tenant(tenant)
+
     # -- submission ----------------------------------------------------------
 
-    def submit(self, request) -> None:
+    def submit_request(self, request) -> None:
         """Validate a request and schedule its arrival on the clock.
 
         Accepts all three request types -- :class:`QueryRequest`,
@@ -217,6 +253,10 @@ class BitmapQueryService:
         serve, size-mismatched update payload) raise immediately -- they
         are caller bugs, not load; the admission pipeline only ever sees
         servable requests.
+
+        Prefer the :class:`repro.service.api.ServiceClient` facade,
+        which constructs the request objects for you; this is the
+        typed-request entrypoint the facade itself drives.
         """
         self._check_tenant(request.tenant)
         if request.kind == "update":
@@ -243,10 +283,27 @@ class BitmapQueryService:
         self._submitted += 1
         self.loop.schedule(request.arrival_s, lambda: self._on_arrival(request))
 
+    def submit(self, request) -> None:
+        """Deprecated alias of :meth:`submit_request`.
+
+        Kept as a thin shim for callers written against the pre-facade
+        API; new code goes through
+        :class:`repro.service.api.ServiceClient` (``query()`` /
+        ``update()`` / ``subscribe()``) or :meth:`submit_request`.
+        """
+        warnings.warn(
+            "BitmapQueryService.submit() is deprecated; use the "
+            "repro.service.api.ServiceClient facade (query/update/"
+            "subscribe) or submit_request()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.submit_request(request)
+
     def submit_many(self, requests) -> int:
         count = 0
         for request in requests:
-            self.submit(request)
+            self.submit_request(request)
             count += 1
         return count
 
@@ -255,6 +312,15 @@ class BitmapQueryService:
     def _on_arrival(self, request) -> None:
         tenant = request.tenant
         now = self.loop.now
+        if getattr(request, "internal", False):
+            # cluster replica fan-in: admission already ran on the
+            # primary; the copy is counted as node load but never
+            # re-metered (a replica rejecting its copy would diverge)
+            self.stats.submitted += 1
+            self.stats.tenant(tenant).submitted += 1
+            _SUBMITTED.add()
+            self._enqueue(request)
+            return
         pending = len(self._queues[tenant]) + self._paced[tenant]
         if request.kind == "subscribe":
             # fan-out metering: every write re-evaluates each standing
@@ -428,6 +494,8 @@ class BitmapQueryService:
         self.stats.notifications += 1
         self.stats.tenant(note.tenant).notifications += 1
         _NOTIFICATIONS.add()
+        if self.on_notification is not None:
+            self.on_notification(note)
 
     def _on_batch_done(self, results: List[QueryResult]) -> None:
         for result in results:
@@ -448,6 +516,8 @@ class BitmapQueryService:
         self.stats.rejected += 1
         self.stats.tenant(request.tenant).rejected += 1
         _REJECTED.add()
+        if self.on_result is not None:
+            self.on_result(result)
 
     def _record_completion(self, result: QueryResult) -> None:
         self.results.append(result)
@@ -467,8 +537,38 @@ class BitmapQueryService:
             self.stats.last_completion_s, result.completed_s
         )
         _COMPLETED.add()
+        if self.on_result is not None:
+            self.on_result(result)
 
     # -- running -------------------------------------------------------------
+
+    def event_budget(self) -> int:
+        """Default livelock guard: linear in the submitted request count.
+
+        A cluster router sharing one loop across N nodes sums the
+        per-node budgets to bound the combined drain.
+        """
+        # per request: arrival + paced retry + batch completion share,
+        # with headroom; single-request batches are the worst case
+        budget = 4 * self._submitted + 64
+        if self._n_subscribes:
+            # each dispatch can push one notification per standing
+            # query (plus one snapshot each); still a bounded guard
+            budget += self._n_subscribes * (self._submitted + 1)
+        return budget
+
+    def finalize(self) -> ServiceStats:
+        """Post-drain bookkeeping: in-flight check + wear publication.
+
+        Split out of :meth:`run` so a cluster router that drains the
+        *shared* loop once can still finalize each node service.
+        """
+        if self._busy:
+            raise RuntimeError("event loop drained while a batch was in flight")
+        monitor = self.engine.wear_monitor()
+        if monitor is not None:
+            monitor.publish()
+        return self.stats
 
     def run(self, max_events: Optional[int] = None) -> ServiceStats:
         """Drain the event loop to completion; returns the stats.
@@ -478,20 +578,9 @@ class BitmapQueryService:
         machine.
         """
         if max_events is None:
-            # per request: arrival + paced retry + batch completion share,
-            # with headroom; single-request batches are the worst case
-            max_events = 4 * self._submitted + 64
-            if self._n_subscribes:
-                # each dispatch can push one notification per standing
-                # query (plus one snapshot each); still a bounded guard
-                max_events += self._n_subscribes * (self._submitted + 1)
+            max_events = self.event_budget()
         self.loop.run(max_events=max_events)
-        if self._busy:
-            raise RuntimeError("event loop drained while a batch was in flight")
-        monitor = self.engine.wear_monitor()
-        if monitor is not None:
-            monitor.publish()
-        return self.stats
+        return self.finalize()
 
     # -- verification --------------------------------------------------------
 

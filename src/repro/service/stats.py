@@ -55,6 +55,18 @@ class LatencyRecorder:
             for i in range(_N_BINS + 1)
         ]
 
+    def merge(self, other: "LatencyRecorder") -> None:
+        """Fold another recorder's samples into this one.
+
+        Cluster aggregation: per-node recorders merge into one
+        distribution.  Bin geometry is a module constant, so histograms
+        add bin-wise; percentiles re-sort the combined samples, making
+        the merge order-independent (and therefore deterministic).
+        """
+        self._samples.extend(other._samples)
+        for i, n in enumerate(other._bins):
+            self._bins[i] += n
+
     @property
     def count(self) -> int:
         return len(self._samples)

@@ -19,6 +19,8 @@ from repro.workloads.service_load import (
     ServiceLoadSpec,
     build_datasets,
     generate_requests,
+    play_stream,
+    run_cluster_load,
     run_service_load,
 )
 from repro.workloads.spec import VectorSpec
@@ -33,5 +35,7 @@ __all__ = [
     "WorkloadCost",
     "build_datasets",
     "generate_requests",
+    "play_stream",
+    "run_cluster_load",
     "run_service_load",
 ]

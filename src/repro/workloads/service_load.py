@@ -20,6 +20,13 @@ Two classic serving-workload properties are modelled:
 
 Everything is driven by one ``numpy`` Generator seeded from the spec, so
 a fixed seed replays the identical request stream.
+
+Submission goes through the :class:`~repro.service.api.ServiceClient`
+facade (:func:`play_stream` maps each generated request onto the
+client's typed verbs with explicit ids/arrivals, so the stream numbering
+stays the determinism contract).  The same stream drives a single node
+(:func:`run_service_load`) or an N-node cluster
+(:func:`run_cluster_load`, which also replicates the Zipf-head tenants).
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.service.api import ServiceClient
 from repro.service.engine import ServiceEngine
 from repro.service.request import (
     QueryRequest,
@@ -42,6 +50,8 @@ __all__ = [
     "ServiceLoadSpec",
     "build_datasets",
     "generate_requests",
+    "play_stream",
+    "run_cluster_load",
     "run_service_load",
 ]
 
@@ -120,7 +130,11 @@ class ServiceLoadSpec:
 
 
 def build_datasets(
-    spec: ServiceLoadSpec, service: BitmapQueryService
+    spec: ServiceLoadSpec,
+    service,
+    *,
+    head_tenants: int = 0,
+    head_replicas: int = 1,
 ) -> None:
     """Register every tenant and load its resident dataset.
 
@@ -128,10 +142,19 @@ def build_datasets(
     ``v1``, ... plus one bitmap-indexed column ``col`` with
     ``index_bins`` bins.  Dataset randomness is seeded separately from
     the request stream so the two can be varied independently.
+
+    ``service`` is any target with the tenant-management surface (a
+    ``BitmapQueryService``, a ``ClusterRouter``, or the
+    ``ServiceClient`` facade over either).  On a cluster, the first
+    ``head_tenants`` tenants -- the Zipf head, since tenant rank equals
+    index order -- register with ``head_replicas`` replicas.
     """
     rng = np.random.default_rng((spec.seed, 0xDA7A))
-    for tenant in spec.tenant_names:
-        service.register_tenant(tenant)
+    for i, tenant in enumerate(spec.tenant_names):
+        if head_replicas > 1 and i < head_tenants:
+            service.register_tenant(tenant, None, replicas=head_replicas)
+        else:
+            service.register_tenant(tenant)
         service.load_vectors(
             tenant,
             {
@@ -254,6 +277,45 @@ def _subscriptions(spec) -> List[SubscribeRequest]:
     return subs
 
 
+def play_stream(client: ServiceClient, requests) -> int:
+    """Drive a generated request stream through the facade's verbs.
+
+    Each request replays with its explicit id and arrival time, so the
+    submitted stream is byte-identical to what ``submit_many`` over the
+    raw request objects produced (ids/arrivals ARE the determinism
+    contract of a seeded workload).  Returns the number submitted.
+    """
+    count = 0
+    for request in requests:
+        if request.kind == "update":
+            client.update(
+                request.tenant,
+                request.vector,
+                request.bits,
+                at=request.arrival_s,
+                request_id=request.request_id,
+            )
+        elif request.kind == "subscribe":
+            client.subscribe(
+                request.tenant,
+                request.op,
+                request.vectors,
+                at=request.arrival_s,
+                request_id=request.request_id,
+            )
+        else:
+            client.query(
+                request.tenant,
+                request.op,
+                request.vectors,
+                at=request.arrival_s,
+                request_id=request.request_id,
+                kind=request.kind,
+            )
+        count += 1
+    return count
+
+
 def run_service_load(
     spec: ServiceLoadSpec,
     config: Optional[ServiceConfig] = None,
@@ -261,7 +323,35 @@ def run_service_load(
 ) -> Tuple[BitmapQueryService, ServiceStats]:
     """Build a service, load datasets, play the stream, drain the loop."""
     service = BitmapQueryService(config, engine=engine)
-    build_datasets(spec, service)
-    service.submit_many(generate_requests(spec))
-    stats = service.run()
+    client = ServiceClient(service)
+    build_datasets(spec, client)
+    play_stream(client, generate_requests(spec))
+    stats = client.run()
     return service, stats
+
+
+def run_cluster_load(
+    spec: ServiceLoadSpec,
+    cluster_config=None,
+    *,
+    head_tenants: int = 0,
+    head_replicas: int = 2,
+    engine_factory=None,
+):
+    """Play the same seeded stream against an N-node cluster.
+
+    Returns ``(router, cluster_stats)``.  The offered stream is the one
+    :func:`generate_requests` yields for the spec -- identical to the
+    single-node run -- with the first ``head_tenants`` (hottest) tenants
+    replicated ``head_replicas``-way so their reads fan out.
+    """
+    from repro.cluster.router import ClusterRouter
+
+    router = ClusterRouter(cluster_config, engine_factory=engine_factory)
+    client = ServiceClient(router)
+    build_datasets(
+        spec, client, head_tenants=head_tenants, head_replicas=head_replicas
+    )
+    play_stream(client, generate_requests(spec))
+    stats = client.run()
+    return router, stats

@@ -1,0 +1,121 @@
+"""The refactor's safety net: a 1-node cluster IS the single service.
+
+The router on one node forwards the identical request objects to the
+identical service machinery on the shared loop, so results, per-tenant
+stats, notifications, and ``service.*`` telemetry counters must be
+byte-for-byte equal to a standalone ``BitmapQueryService`` run.  The
+router's own ``cluster.*`` counters are additive-only, so they are
+stripped before comparing.
+"""
+
+import pytest
+
+from repro import telemetry
+from repro.cluster import ClusterConfig
+from repro.workloads import (
+    ServiceLoadSpec,
+    run_cluster_load,
+    run_service_load,
+)
+
+SPEC = ServiceLoadSpec(
+    n_tenants=8,
+    n_requests=160,
+    write_ratio=0.15,
+    subscriptions_per_tenant=1,
+    zipf_s=1.1,
+    seed=21,
+)
+
+
+def service_counters():
+    counters = telemetry.aggregate()["counters"]
+    return {
+        name: value
+        for name, value in sorted(counters.items())
+        if name.startswith("service.")
+    }
+
+
+@pytest.fixture(scope="module")
+def runs():
+    telemetry.reset()
+    service, service_stats = run_service_load(SPEC)
+    single_counters = service_counters()
+    telemetry.reset()
+    router, cluster_stats = run_cluster_load(SPEC, ClusterConfig(n_nodes=1))
+    cluster_counters = service_counters()
+    telemetry.reset()
+    return {
+        "service": service,
+        "service_stats": service_stats,
+        "single_counters": single_counters,
+        "router": router,
+        "cluster_stats": cluster_stats,
+        "cluster_counters": cluster_counters,
+    }
+
+
+class TestOneNodeByteIdentity:
+    def test_node_stats_json_identical(self, runs):
+        node0 = runs["router"].nodes[0].service
+        assert runs["service_stats"].to_json() == node0.stats.to_json()
+
+    def test_results_identical(self, runs):
+        single = [r.to_dict() for r in runs["service"].results]
+        cluster = [r.to_dict() for r in runs["router"].results]
+        assert single == cluster
+
+    def test_notifications_identical(self, runs):
+        single = [n.to_dict() for n in runs["service"].notifications]
+        cluster = [n.to_dict() for n in runs["router"].notifications]
+        assert single == cluster
+
+    def test_service_telemetry_counters_identical(self, runs):
+        assert runs["single_counters"] == runs["cluster_counters"]
+
+    def test_per_tenant_stats_identical(self, runs):
+        node0 = runs["router"].nodes[0].service
+        for tenant, stats in runs["service_stats"].tenants.items():
+            assert (
+                stats.to_dict() == node0.stats.tenants[tenant].to_dict()
+            ), tenant
+
+    def test_no_cluster_machinery_engaged(self, runs):
+        stats = runs["cluster_stats"]
+        assert stats.scattered == 0
+        assert stats.replica_writes == 0
+        assert stats.gathers == 0
+
+    def test_user_facing_view_matches_node_view(self, runs):
+        stats = runs["cluster_stats"]
+        node = runs["service_stats"]
+        assert stats.completed == node.completed
+        assert stats.rejected == node.rejected
+        assert stats.latency.to_json() == node.latency.to_json()
+
+
+class TestClusterDeterminism:
+    def test_multi_node_run_replays_byte_identically(self):
+        config = ClusterConfig(n_nodes=4, scatter_fanin=4)
+        router_a, stats_a = run_cluster_load(
+            SPEC, config, head_tenants=2, head_replicas=2
+        )
+        router_b, stats_b = run_cluster_load(
+            SPEC, config, head_tenants=2, head_replicas=2
+        )
+        assert stats_a.to_json() == stats_b.to_json()
+        results_a = [r.to_dict() for r in router_a.results]
+        results_b = [r.to_dict() for r in router_b.results]
+        assert results_a == results_b
+
+    def test_multi_node_conserves_user_requests(self):
+        router, stats = run_cluster_load(
+            SPEC,
+            ClusterConfig(n_nodes=4, scatter_fanin=4),
+            head_tenants=2,
+            head_replicas=2,
+        )
+        assert stats.routed == len(router.results)
+        assert stats.completed + stats.rejected == stats.routed
+        assert router.verify_replicas() > 0

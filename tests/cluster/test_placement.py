@@ -1,0 +1,139 @@
+"""Placement strategies: determinism, coverage, minimal movement."""
+
+import pytest
+
+from repro.cluster.placement import (
+    HashRing,
+    RangeIndexPlacement,
+    key_point,
+    make_placement,
+)
+
+TENANTS = [f"tenant{i:02d}" for i in range(64)]
+
+
+class TestKeyPoint:
+    def test_deterministic_and_in_unit_interval(self):
+        for t in TENANTS:
+            p = key_point(t)
+            assert 0.0 <= p < 1.0
+            assert p == key_point(t)
+
+    def test_distinct_keys_distinct_points(self):
+        points = {key_point(t) for t in TENANTS}
+        assert len(points) == len(TENANTS)
+
+
+@pytest.mark.parametrize("strategy", ["hash", "range"])
+class TestPlacementCommon:
+    def test_owners_deterministic(self, strategy):
+        a = make_placement(strategy, [0, 1, 2, 3])
+        b = make_placement(strategy, [0, 1, 2, 3])
+        for t in TENANTS:
+            assert a.owners(t, 2) == b.owners(t, 2)
+
+    def test_owners_distinct_and_sized(self, strategy):
+        p = make_placement(strategy, [0, 1, 2, 3])
+        for t in TENANTS:
+            owners = p.owners(t, 3)
+            assert len(owners) == 3
+            assert len(set(owners)) == 3
+
+    def test_replicas_cap_at_node_count(self, strategy):
+        p = make_placement(strategy, [0, 1])
+        assert len(p.owners("t", 5)) == 2
+
+    def test_single_node_owns_everything(self, strategy):
+        p = make_placement(strategy, [0])
+        for t in TENANTS:
+            assert p.owners(t, 1) == [0]
+
+    def test_all_nodes_get_some_tenants(self, strategy):
+        p = make_placement(strategy, [0, 1, 2, 3])
+        primaries = {p.owners(t, 1)[0] for t in TENANTS}
+        assert primaries == {0, 1, 2, 3}
+
+    def test_join_then_leave_restores_placement(self, strategy):
+        p = make_placement(strategy, [0, 1, 2])
+        before = {t: p.owners(t, 2) for t in TENANTS}
+        p.add_node(3)
+        p.remove_node(3)
+        after = {t: p.owners(t, 2) for t in TENANTS}
+        assert before == after
+
+    def test_rejects_bad_replica_count(self, strategy):
+        p = make_placement(strategy, [0, 1])
+        with pytest.raises(ValueError):
+            p.owners("t", 0)
+
+    def test_duplicate_node_rejected(self, strategy):
+        p = make_placement(strategy, [0, 1])
+        with pytest.raises(ValueError):
+            p.add_node(1)
+
+    def test_cannot_remove_last_node(self, strategy):
+        p = make_placement(strategy, [0])
+        with pytest.raises(ValueError):
+            p.remove_node(0)
+
+
+class TestHashRingMovement:
+    def test_join_moves_only_a_fraction(self):
+        ring = HashRing([0, 1, 2, 3])
+        before = {t: ring.owners(t, 1)[0] for t in TENANTS}
+        ring.add_node(4)
+        after = {t: ring.owners(t, 1)[0] for t in TENANTS}
+        moved = sum(1 for t in TENANTS if before[t] != after[t])
+        # consistent hashing: ~1/5 of keys move toward the new node,
+        # and movement only ever targets the joiner
+        assert 0 < moved < len(TENANTS) // 2
+        for t in TENANTS:
+            if before[t] != after[t]:
+                assert after[t] == 4
+
+    def test_leave_moves_only_departed_keys(self):
+        ring = HashRing([0, 1, 2, 3])
+        before = {t: ring.owners(t, 1)[0] for t in TENANTS}
+        ring.remove_node(2)
+        after = {t: ring.owners(t, 1)[0] for t in TENANTS}
+        for t in TENANTS:
+            if before[t] != 2:
+                assert after[t] == before[t]
+            else:
+                assert after[t] != 2
+
+
+class TestRangeIndex:
+    def test_table_covers_unit_interval(self):
+        p = RangeIndexPlacement([0, 1, 2])
+        table = p.table
+        assert table[-1][0] == 1.0
+        uppers = [hi for hi, _ in table]
+        assert uppers == sorted(uppers)
+
+    def test_join_splits_widest_range(self):
+        p = RangeIndexPlacement([0, 1])
+        p.add_node(2)
+        # both initial ranges are width 0.5; the tie breaks toward the
+        # lowest start, so [0, 0.5) splits and node 2 takes [0.25, 0.5)
+        assert p.table == [(0.25, 0), (0.5, 2), (1.0, 1)]
+
+    def test_leave_merges_into_predecessor(self):
+        p = RangeIndexPlacement([0, 1, 2])
+        p.remove_node(1)
+        assert p.node_ids == [0, 2]
+        assert p.table == [(2 / 3, 0), (1.0, 2)]
+
+    def test_leave_of_final_range_extends_predecessor(self):
+        p = RangeIndexPlacement([0, 1])
+        p.remove_node(1)  # node 1 held the final range
+        assert p.table == [(1.0, 0)]
+
+    def test_leave_of_leading_range_absorbed_by_successor(self):
+        p = RangeIndexPlacement([0, 1])
+        p.remove_node(0)  # node 0 held the leading range
+        assert p.table == [(1.0, 1)]
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown placement"):
+            make_placement("nope", [0])

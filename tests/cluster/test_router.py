@@ -1,0 +1,305 @@
+"""ClusterRouter: routing, replication, scatter/gather, membership."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterRouter
+from repro.service import ServiceClient, ServiceConfig, TenantQuota
+from repro.service.request import RequestStatus
+
+
+def small_vectors(seed=0, n=4, bits=256):
+    rng = np.random.default_rng(seed)
+    return {
+        f"v{i}": rng.integers(0, 2, bits, dtype=np.uint8) for i in range(n)
+    }
+
+
+def make_cluster(n_nodes=4, **kwargs):
+    service = kwargs.pop("service", ServiceConfig())
+    return ClusterRouter(
+        ClusterConfig(n_nodes=n_nodes, service=service, **kwargs)
+    )
+
+
+class TestRouting:
+    def test_read_goes_to_one_owner(self):
+        router = make_cluster(4)
+        client = ServiceClient(router)
+        client.register_tenant("t")
+        client.load_vectors("t", small_vectors())
+        h = client.query("t", "and", ("v0", "v1"))
+        client.run()
+        assert h.completed
+        (owner,) = router.tenant_owners("t")
+        assert router.nodes[owner].service.stats.completed == 1
+        for node_id, node in router.nodes.items():
+            if node_id != owner:
+                assert node.service.stats.submitted == 0
+
+    def test_unknown_tenant_rejected_with_known_list(self):
+        router = make_cluster(2)
+        client = ServiceClient(router)
+        client.register_tenant("known")
+        client.load_vectors("known", small_vectors())
+        with pytest.raises(KeyError, match="known"):
+            client.query("missing", "and", ("v0", "v1"))
+
+    def test_reads_round_robin_across_replicas(self):
+        router = make_cluster(4)
+        client = ServiceClient(router)
+        client.register_tenant("t", replicas=2)
+        client.load_vectors("t", small_vectors())
+        for i in range(6):
+            client.query("t", "and", ("v0", "v1"), at=i * 1e-3)
+        client.run()
+        owners = router.tenant_owners("t")
+        counts = [
+            router.nodes[n].service.stats.completed for n in owners
+        ]
+        assert counts == [3, 3]
+
+    def test_updates_fan_in_to_every_replica(self):
+        router = make_cluster(4)
+        client = ServiceClient(router)
+        client.register_tenant("t", replicas=3)
+        vecs = small_vectors()
+        client.load_vectors("t", vecs)
+        u = client.update("t", "v0", vecs["v3"])
+        client.run()
+        assert u.completed
+        assert router.stats.replica_writes == 2
+        assert router.verify_replicas() > 0
+        # the user sees exactly one result for the write
+        assert len(router.results) == 1
+
+    def test_internal_copies_bypass_rate_admission(self):
+        # a tight rate quota would reject the fan-in copies if they
+        # were metered; internal copies must land regardless
+        router = make_cluster(2)
+        client = ServiceClient(router)
+        quota = TenantQuota(rate_per_s=1.0, burst=1)
+        client.register_tenant("t", quota, replicas=2)
+        vecs = small_vectors()
+        client.load_vectors("t", vecs)
+        client.update("t", "v0", vecs["v1"], at=0.0)
+        client.run()
+        assert router.verify_replicas() == len(vecs)
+
+    def test_subscription_lives_on_primary_only(self):
+        router = make_cluster(4)
+        client = ServiceClient(router)
+        client.register_tenant("t", replicas=2)
+        vecs = small_vectors()
+        client.load_vectors("t", vecs)
+        s = client.subscribe("t", "xor", ("v0", "v1"), at=0.0)
+        client.update("t", "v0", vecs["v2"], at=1e-3)
+        client.run()
+        assert s.active
+        # snapshot + one triggered refresh, delivered via the router
+        assert [n.seq for n in s.notifications] == [0, 1]
+        primary, secondary = router.tenant_owners("t")
+        assert router.nodes[primary].service.stats.subscriptions == 1
+        assert router.nodes[secondary].service.stats.subscriptions == 0
+
+
+class TestScatterGather:
+    def _indexed_cluster(self, n_nodes=4, replicas=2, scatter_fanin=4):
+        router = make_cluster(
+            n_nodes,
+            service=ServiceConfig(keep_bits=True),
+            scatter_fanin=scatter_fanin,
+        )
+        client = ServiceClient(router)
+        client.register_tenant("t", replicas=replicas)
+        rng = np.random.default_rng(11)
+        values = rng.integers(0, 12, 1024)
+        client.load_bitmap_index("t", "col", values, 12)
+        return router, client, values
+
+    def test_wide_range_scatters_and_popcount_matches(self):
+        router, client, values = self._indexed_cluster()
+        h = client.range_query("t", "col", 1, 10)
+        client.run()
+        assert router.stats.scattered == 1
+        assert router.stats.gathers == 1
+        assert h.popcount == int(np.isin(values, range(1, 11)).sum())
+        assert router.verify_results() == 1
+
+    def test_gathered_bits_equal_unsplit_bits(self):
+        router, client, values = self._indexed_cluster()
+        h = client.range_query("t", "col", 0, 11)
+        client.run()
+        expected = np.isin(values, range(0, 12)).astype(np.uint8)
+        assert np.array_equal(h.result().bits, expected)
+
+    def test_narrow_range_does_not_scatter(self):
+        router, client, _ = self._indexed_cluster(scatter_fanin=8)
+        client.range_query("t", "col", 2, 4)  # 3 unique bins < 8
+        client.run()
+        assert router.stats.scattered == 0
+
+    def test_scatter_disabled_by_config(self):
+        router, client, _ = self._indexed_cluster(scatter_fanin=0)
+        client.range_query("t", "col", 0, 11)
+        client.run()
+        assert router.stats.scattered == 0
+
+    def test_unreplicated_tenant_never_scatters(self):
+        router, client, _ = self._indexed_cluster(replicas=1)
+        client.range_query("t", "col", 0, 11)
+        client.run()
+        assert router.stats.scattered == 0
+
+    def test_part_rejection_rejects_gathered_read(self):
+        router = make_cluster(2, scatter_fanin=2)
+        client = ServiceClient(router)
+        # max_pending=1: the second scatter part arriving at a node that
+        # already holds one pending request is rejected
+        quota = TenantQuota(max_pending=1, rate_per_s=1.0, burst=1)
+        client.register_tenant("t", quota, replicas=2)
+        rng = np.random.default_rng(5)
+        values = rng.integers(0, 8, 256)
+        client.load_bitmap_index("t", "col", values, 8)
+        h1 = client.range_query("t", "col", 0, 7, at=0.0)
+        h2 = client.range_query("t", "col", 0, 7, at=0.0)
+        client.run()
+        assert router.stats.scattered == 2
+        statuses = [h.result().status for h in (h1, h2)]
+        assert RequestStatus.REJECTED in statuses
+        rejected = h1 if h1.rejected else h2
+        assert "scatter part rejected" in rejected.result().reject_reason
+
+
+class TestEdgeCases:
+    def test_empty_shard_node_stays_idle(self):
+        # a node that owns no tenants must finalize cleanly with empty
+        # stats and contribute nothing to the cluster makespan
+        router = make_cluster(4)
+        client = ServiceClient(router)
+        client.register_tenant("t")
+        client.load_vectors("t", small_vectors())
+        client.query("t", "or", ("v0", "v1"))
+        stats = client.run()
+        (owner,) = router.tenant_owners("t")
+        idle = [n for n in router.nodes if n != owner]
+        assert idle, "expected at least one empty node"
+        for node_id in idle:
+            node_stats = router.nodes[node_id].service.stats
+            assert node_stats.submitted == 0
+            assert node_stats.batches == 0
+        assert stats.makespan_s == router.nodes[owner].service.stats.makespan_s
+
+    def test_all_replicas_collapse_onto_single_node(self):
+        # replicas cap at the node count: on a 1-node cluster a
+        # "3-way replicated" tenant has one owner and no fan-in copies
+        router = make_cluster(1)
+        client = ServiceClient(router)
+        client.register_tenant("t", replicas=3)
+        vecs = small_vectors()
+        client.load_vectors("t", vecs)
+        assert router.tenant_owners("t") == [0]
+        u = client.update("t", "v0", vecs["v1"])
+        h = client.query("t", "and", ("v0", "v2"), at=1e-3)
+        client.run()
+        assert u.completed and h.completed
+        assert router.stats.replica_writes == 0
+        assert router.verify_results() == 1
+
+
+class TestMembership:
+    def _loaded_cluster(self, n_nodes=3, n_tenants=12):
+        router = make_cluster(n_nodes)
+        client = ServiceClient(router)
+        for i in range(n_tenants):
+            tenant = f"t{i:02d}"
+            client.register_tenant(tenant)
+            client.load_vectors(tenant, small_vectors(seed=i))
+        return router, client
+
+    def test_join_moves_vectors_and_serves(self):
+        router, client = self._loaded_cluster()
+        before = {t: router.tenant_owners(t) for t in router.tenants}
+        new_id = router.add_node()
+        after = {t: router.tenant_owners(t) for t in router.tenants}
+        moved = [t for t in before if before[t] != after[t]]
+        assert moved, "expected the joiner to take some tenants"
+        assert router.stats.moved_vectors > 0
+        handles = [
+            client.query(t, "xor", ("v0", "v1"), at=float(i) * 1e-3)
+            for i, t in enumerate(router.tenants)
+        ]
+        client.run()
+        assert all(h.completed for h in handles)
+        assert router.nodes[new_id].service.stats.completed > 0
+        assert router.verify_results() == len(handles)
+
+    def test_leave_mid_stream_is_deterministic(self):
+        def episode():
+            router, client = self._loaded_cluster()
+            for i, t in enumerate(router.tenants):
+                client.query(t, "and", ("v0", "v1"), at=float(i) * 1e-4)
+            client.run()
+            router.remove_node(1)
+            for i, t in enumerate(router.tenants):
+                client.query(t, "or", ("v1", "v2"), at=1.0 + i * 1e-4)
+            stats = client.run()
+            results = [r.to_dict() for r in router.results]
+            return results, stats.to_json()
+
+        first_results, first_stats = episode()
+        second_results, second_stats = episode()
+        assert first_results == second_results
+        assert first_stats == second_stats
+
+    def test_leave_moves_tenants_off_and_serves(self):
+        router, client = self._loaded_cluster()
+        victims = [t for t in router.tenants if 1 in router.tenant_owners(t)]
+        assert victims, "node 1 should own something"
+        router.remove_node(1)
+        assert 1 not in router.nodes
+        for t in router.tenants:
+            assert 1 not in router.tenant_owners(t)
+        handles = [
+            client.query(t, "and", ("v2", "v3"), at=float(i) * 1e-3)
+            for i, t in enumerate(router.tenants)
+        ]
+        client.run()
+        assert all(h.completed for h in handles)
+
+    def test_membership_change_requires_drained_loop(self):
+        router, client = self._loaded_cluster()
+        client.query(router.tenants[0], "and", ("v0", "v1"))
+        with pytest.raises(RuntimeError, match="drain the loop"):
+            router.add_node()
+        with pytest.raises(RuntimeError, match="drain the loop"):
+            router.remove_node(1)
+        client.run()  # drain; both operations now legal
+        router.add_node()
+        router.remove_node(1)
+
+    def test_remove_unknown_or_last_node(self):
+        router = make_cluster(1)
+        with pytest.raises(KeyError):
+            router.remove_node(7)
+        with pytest.raises(ValueError, match="last node"):
+            router.remove_node(0)
+
+    def test_replicated_tenant_survives_primary_leave(self):
+        router = make_cluster(3)
+        client = ServiceClient(router)
+        client.register_tenant("t", replicas=2)
+        vecs = small_vectors()
+        client.load_vectors("t", vecs)
+        u = client.update("t", "v0", vecs["v3"])
+        client.run()
+        assert u.completed
+        primary = router.tenant_owners("t")[0]
+        router.remove_node(primary)
+        assert primary not in router.tenant_owners("t")
+        h = client.query("t", "and", ("v0", "v1"), at=1.0)
+        client.run()
+        assert h.completed
+        assert router.verify_replicas() == len(vecs) * (
+            len(router.tenant_owners("t")) - 1
+        )

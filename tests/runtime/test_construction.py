@@ -1,0 +1,113 @@
+"""PimRuntime construction: one canonical path, shortcut equivalence.
+
+``PimRuntime.from_config(SystemConfig)`` through
+``repro.backends.build_system`` is THE constructor; ``pcm()``/``stt()``
+are documented one-line wrappers over it.  These tests pin that
+equivalence (same technology, geometry, op results, accounting) and the
+error paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends.config import (
+    SystemConfig,
+    geometry_name,
+    register_geometry,
+)
+from repro.memsim.geometry import DEFAULT_GEOMETRY, MemoryGeometry
+from repro.runtime.api import PimRuntime
+
+
+def run_or(runtime, bits_a, bits_b):
+    a = runtime.pim_malloc(bits_a.size)
+    b = runtime.pim_malloc(bits_b.size)
+    dst = runtime.pim_malloc(bits_a.size)
+    runtime.pim_write(a, bits_a)
+    runtime.pim_write(b, bits_b)
+    runtime.pim_op("or", dst, [a, b])
+    return runtime.pim_read(dst)
+
+
+class TestShortcutEquivalence:
+    def test_pcm_is_from_config(self):
+        shortcut = PimRuntime.pcm()
+        canonical = PimRuntime.from_config(
+            SystemConfig(backend="pinatubo", technology="pcm")
+        )
+        assert (
+            shortcut.system.technology.name
+            == canonical.system.technology.name
+        )
+        assert shortcut.system.geometry == canonical.system.geometry
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 2, 1024, dtype=np.uint8)
+        b = rng.integers(0, 2, 1024, dtype=np.uint8)
+        assert np.array_equal(
+            run_or(shortcut, a, b), run_or(canonical, a, b)
+        )
+        assert (
+            shortcut.pim_accounting.to_dict()
+            == canonical.pim_accounting.to_dict()
+        )
+
+    def test_stt_is_from_config(self):
+        shortcut = PimRuntime.stt()
+        canonical = PimRuntime.from_config(
+            SystemConfig(backend="pinatubo", technology="stt")
+        )
+        assert (
+            shortcut.system.technology.name
+            == canonical.system.technology.name
+        )
+        assert shortcut.system.geometry == canonical.system.geometry
+
+    def test_pcm_forwards_planner_knobs(self):
+        runtime = PimRuntime.pcm(plan=True)
+        assert runtime.planner is not None
+
+    def test_custom_geometry_rides_the_config_path(self):
+        geometry = MemoryGeometry(
+            channels=2,
+            ranks_per_channel=1,
+            chips_per_rank=1,
+            banks_per_chip=4,
+            subarrays_per_bank=4,
+            rows_per_subarray=128,
+            mats_per_subarray=4,
+            cols_per_mat=256,
+            mux_ratio=4,
+        )
+        runtime = PimRuntime.pcm(geometry=geometry)
+        assert runtime.system.geometry == geometry
+        # auto-registered under a deterministic name: the same geometry
+        # resolves to the same config twice
+        assert geometry_name(geometry) == geometry_name(geometry)
+
+    def test_register_geometry_conflict_rejected(self):
+        name = geometry_name(DEFAULT_GEOMETRY)
+        other = MemoryGeometry(
+            channels=1,
+            ranks_per_channel=1,
+            chips_per_rank=1,
+            banks_per_chip=1,
+            subarrays_per_bank=2,
+            rows_per_subarray=64,
+            mats_per_subarray=2,
+            cols_per_mat=128,
+            mux_ratio=2,
+        )
+        with pytest.raises(ValueError, match="already registered"):
+            register_geometry(name, other)
+        # re-registering the same value is a no-op
+        assert register_geometry(name, DEFAULT_GEOMETRY) == name
+
+
+class TestFromConfigErrors:
+    def test_runtime_less_backend_raises_with_registry_list(self):
+        with pytest.raises(ValueError, match="no functional runtime"):
+            PimRuntime.from_config(SystemConfig(backend="simd"))
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            PimRuntime.from_config(SystemConfig(backend="nope"))

@@ -68,9 +68,9 @@ class TestGeneration:
     def test_requests_reference_loaded_vectors_only(self):
         service = BitmapQueryService(ServiceConfig())
         build_datasets(SMALL, service)
-        # submit() validates every vector name against the dataset
+        # submission validates every vector name against the dataset
         for request in generate_requests(SMALL):
-            service.submit(request)
+            service.submit_request(request)
 
     def test_mix_controls_kinds(self):
         spec = ServiceLoadSpec(
