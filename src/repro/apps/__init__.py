@@ -10,6 +10,8 @@
 - :mod:`repro.apps.fastbit` -- FastBit-style bitmap-index database with
   range queries.
 - :mod:`repro.apps.vectorbench` -- the Vector microbenchmark.
+- :mod:`repro.apps.analytics` -- SQL-ish filter/aggregate analytics over
+  bit-sliced columns and bitmap indexes (the :mod:`repro.arith` demo).
 """
 
 from repro.apps.bitvector import HostBitSpace, PimBitVector, bitvector_space
@@ -41,6 +43,11 @@ from repro.apps.imaging import (
     synthetic_image,
 )
 from repro.apps.fastbit_pim import PimFastBit, PimQueryResult
+from repro.apps.analytics import (
+    AnalyticsResult,
+    AnalyticsTable,
+    analytics_oracle,
+)
 from repro.apps.setops import (
     PimSetAlgebra,
     SetExpressionError,
@@ -92,6 +99,9 @@ __all__ = [
     "synthetic_image",
     "PimFastBit",
     "PimQueryResult",
+    "AnalyticsResult",
+    "AnalyticsTable",
+    "analytics_oracle",
     "PimSetAlgebra",
     "SetExpressionError",
     "evaluate_numpy",

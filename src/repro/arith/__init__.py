@@ -1,0 +1,60 @@
+"""repro.arith: bit-serial arithmetic on the bulk-bitwise substrate.
+
+The paper's substrate computes OR/AND/XOR/INV on whole rows inside the
+NVM arrays.  This package composes those four gates into *numbers*:
+
+- :mod:`repro.arith.bitslice` -- the transposed bit-slice layout
+  (``k`` resident planes of ``n`` elements each);
+- :mod:`repro.arith.kernels` -- ripple-carry add/sub, predicated
+  compares (constant and tensor-tensor), and popcount-based masked
+  COUNT/SUM/histogram aggregation, every gate priced by the simulated
+  controller and routed through the plan compiler;
+- :mod:`repro.arith.oracle` -- the plain-numpy references the
+  differential tests pin the kernels against.
+"""
+
+from repro.arith.bitslice import BitSliceTensor
+from repro.arith.kernels import (
+    CMP_OPS,
+    ScratchPool,
+    combine_masks,
+    compare,
+    compare_const,
+    copy_plane,
+    mask_bits,
+    mask_count,
+    masked_histogram,
+    masked_sum,
+    ripple_add,
+    ripple_sub,
+)
+from repro.arith.oracle import (
+    oracle_add,
+    oracle_compare,
+    oracle_compare_const,
+    oracle_histogram,
+    oracle_masked_sum,
+    oracle_sub,
+)
+
+__all__ = [
+    "BitSliceTensor",
+    "CMP_OPS",
+    "ScratchPool",
+    "combine_masks",
+    "compare",
+    "compare_const",
+    "copy_plane",
+    "mask_bits",
+    "mask_count",
+    "masked_histogram",
+    "masked_sum",
+    "oracle_add",
+    "oracle_compare",
+    "oracle_compare_const",
+    "oracle_histogram",
+    "oracle_masked_sum",
+    "oracle_sub",
+    "ripple_add",
+    "ripple_sub",
+]

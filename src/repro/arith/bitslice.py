@@ -1,0 +1,77 @@
+"""Transposed bit-slice tensors resident in PIM memory.
+
+A :class:`BitSliceTensor` stores ``n`` unsigned ``k``-bit integers as
+``k`` bit-planes: plane ``j`` is one resident bit-vector whose element
+``i`` is bit ``j`` of value ``i``.  This is the vertical / transposed
+layout bit-serial PIM arithmetic wants -- one bulk bitwise op over a
+plane touches bit ``j`` of every element at once, so the kernels in
+:mod:`repro.arith.kernels` advance ``n`` ripple carries per gate.
+
+Loading and reading back cross the I/O bus at host cost
+(:meth:`~repro.runtime.api.PimRuntime.pim_write` /
+:meth:`~repro.runtime.api.PimRuntime.pim_read`); everything between is
+in-memory.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["BitSliceTensor"]
+
+
+class BitSliceTensor:
+    """``n`` unsigned ``k``-bit integers as ``k`` resident bit-planes."""
+
+    def __init__(self, runtime, planes: List, n_elems: int):
+        if not planes:
+            raise ValueError("need at least one plane")
+        self.runtime = runtime
+        self.planes = planes
+        self.n_elems = int(n_elems)
+
+    @property
+    def k(self) -> int:
+        """Bit width (number of planes)."""
+        return len(self.planes)
+
+    @classmethod
+    def from_ints(
+        cls,
+        runtime,
+        values: Sequence[int],
+        n_bits: int,
+        group: str = "arith",
+    ) -> "BitSliceTensor":
+        """Load unsigned integers, transposing host-side into planes."""
+        values = np.asarray(values, dtype=np.int64)
+        if values.ndim != 1 or values.size == 0:
+            raise ValueError("values must be a non-empty 1-D sequence")
+        if n_bits < 1:
+            raise ValueError("n_bits must be >= 1")
+        if values.min() < 0 or values.max() >= (1 << n_bits):
+            raise ValueError(
+                f"values out of range for {n_bits}-bit unsigned integers"
+            )
+        planes = []
+        for j in range(n_bits):
+            bits = ((values >> j) & 1).astype(np.uint8)
+            handle = runtime.pim_malloc(values.size, group)
+            runtime.pim_write(handle, bits)
+            planes.append(handle)
+        return cls(runtime, planes, values.size)
+
+    def to_ints(self) -> np.ndarray:
+        """Read every plane back and recompose the integers (bus cost)."""
+        values = np.zeros(self.n_elems, dtype=np.int64)
+        for j, handle in enumerate(self.planes):
+            bits = self.runtime.pim_read(handle, self.n_elems)
+            values += bits.astype(np.int64) << j
+        return values
+
+    def free(self) -> None:
+        for handle in self.planes:
+            self.runtime.pim_free(handle)
+        self.planes = []

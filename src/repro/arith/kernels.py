@@ -1,0 +1,397 @@
+"""Bit-serial arithmetic kernels on the bulk-bitwise substrate.
+
+Everything here is lowered to the four in-memory primitives the paper
+provides -- OR / AND / XOR / INV -- issued through the
+:class:`~repro.runtime.api.PimRuntime` so every gate is priced by the
+real controller (no side-channel arithmetic on the hot path).  Numbers
+live in the *transposed* bit-slice layout (see
+:mod:`repro.arith.bitslice`): plane ``j`` is one resident bit-vector
+holding bit ``j`` of every element, so one in-memory op over a plane
+advances a full column of ``n`` ripple-carry adders or borrow chains
+at once -- the classic bit-serial SIMD trade (latency linear in the
+bit width ``k``, throughput linear in ``n``).
+
+Gate-level recipes (all verified against the numpy oracles in
+:mod:`repro.arith.oracle`):
+
+- **add** ``a + b``: half-add planes ``t_j = a_j XOR b_j``,
+  ``g_j = a_j AND b_j`` first (one batch, carry-free), then the ripple
+  ``s_j = t_j XOR c_j``; ``c_{j+1} = g_j OR (t_j AND c_j)``.
+- **sub** ``a - b (mod 2^k)``: ``a + INV(b) + 1`` -- the carry-in is
+  the resident all-ones constant.
+- **compare-const** ``a < K``: borrow chain from the LSB;
+  ``K_j = 1`` -> ``borrow' = INV(a_j) OR borrow``,
+  ``K_j = 0`` -> ``borrow' = INV(a_j) AND borrow``; leading
+  ``K_j = 0`` planes keep the borrow at constant zero, so the chain
+  really starts at the lowest set bit of ``K``.
+- **compare tensor** ``a < b``:
+  ``borrow' = (INV(a_j) AND b_j) OR (borrow AND INV(a_j XOR b_j))``.
+- **aggregations**: masked COUNT / SUM / histogram reduce through
+  :meth:`~repro.runtime.api.PimRuntime.pim_popcount`, the to-host op
+  that streams the result over the I/O bus and counts it host-side.
+
+Dependent gates are still submitted as one
+:meth:`~repro.runtime.api.PimRuntime.pim_op_many` stream -- the driver
+guarantees results identical to sequential issue, and the planner's
+hazard tracking splits waves where a scratch destination is re-read.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+CMP_OPS = ("lt", "le", "gt", "ge", "eq")
+
+
+class ScratchPool:
+    """Recycling allocator of same-sized scratch planes plus the two
+    resident constants (all-zeros / all-ones) the kernels need.
+
+    ``take`` hands out a scratch vector (allocating on first use),
+    ``recycle`` returns every outstanding one to the pool -- call it
+    once per query, after the results have been reduced or copied out.
+    Constants are allocated lazily and never recycled.
+    """
+
+    def __init__(self, runtime, n_bits: int, group: str = "arith"):
+        self.runtime = runtime
+        self.n_bits = int(n_bits)
+        self.group = group
+        self._free: List = []
+        self._taken: List = []
+        self._reserved: List = []
+        self._constants: List = []
+
+    def take(self):
+        handle = (
+            self._free.pop()
+            if self._free
+            else self.runtime.pim_malloc(self.n_bits, self.group)
+        )
+        self._taken.append(handle)
+        return handle
+
+    def reserve(self, handle) -> None:
+        """Keep ``handle`` alive across the next :meth:`recycle`."""
+        self._taken.remove(handle)
+        self._reserved.append(handle)
+
+    def recycle(self) -> None:
+        self._free.extend(self._taken)
+        self._taken.clear()
+
+    def free_all(self) -> None:
+        """Release every pool-owned vector, constants included."""
+        for handle in (
+            self._free + self._taken + self._reserved + self._constants
+        ):
+            self.runtime.pim_free(handle)
+        self._free.clear()
+        self._taken.clear()
+        self._reserved.clear()
+        self._constants.clear()
+
+    @property
+    def zero(self):
+        """Resident all-zeros plane (lazy; written once over the bus)."""
+        self._ensure_constants()
+        return self._constants[0]
+
+    @property
+    def ones(self):
+        """Resident all-ones plane (lazy; written once over the bus)."""
+        self._ensure_constants()
+        return self._constants[1]
+
+    def _ensure_constants(self) -> None:
+        if self._constants:
+            return
+        zero = self.runtime.pim_malloc(self.n_bits, self.group)
+        ones = self.runtime.pim_malloc(self.n_bits, self.group)
+        self.runtime.pim_write(zero, np.zeros(self.n_bits, dtype=np.uint8))
+        self.runtime.pim_write(ones, np.ones(self.n_bits, dtype=np.uint8))
+        self._constants.extend([zero, ones])
+
+
+def copy_plane(pool: ScratchPool, source):
+    """Scratch copy of a plane: ``OR`` with the zero constant (the
+    repo's canonical in-memory copy idiom)."""
+    dest = pool.take()
+    pool.runtime.pim_op("or", dest, [source, pool.zero])
+    return dest
+
+
+def ripple_add(
+    pool: ScratchPool,
+    a_planes: Sequence,
+    b_planes: Sequence,
+    carry_in=None,
+) -> List:
+    """``a + b`` over bit-slice planes; returns ``k + 1`` result planes.
+
+    ``carry_in`` (a resident plane, e.g. ``pool.ones`` for two's
+    complement subtraction) seeds the LSB carry; without it the LSB is
+    a half add.  All ``3k - 1`` (or ``3k + 1``) gates go out as one
+    batched command stream.
+    """
+    if len(a_planes) != len(b_planes):
+        raise ValueError(
+            f"width mismatch: {len(a_planes)} vs {len(b_planes)} planes"
+        )
+    k = len(a_planes)
+    if k == 0:
+        raise ValueError("need at least one plane")
+    runtime = pool.runtime
+    requests = []
+    t_planes, g_planes = [], []
+    for a_j, b_j in zip(a_planes, b_planes):
+        t_j, g_j = pool.take(), pool.take()
+        requests.append(("xor", t_j, [a_j, b_j]))
+        requests.append(("and", g_j, [a_j, b_j]))
+        t_planes.append(t_j)
+        g_planes.append(g_j)
+    if carry_in is None:
+        out = [t_planes[0]]
+        carry = g_planes[0]
+        start = 1
+    else:
+        out = []
+        carry = carry_in
+        start = 0
+    for j in range(start, k):
+        u_j, s_j, c_next = pool.take(), pool.take(), pool.take()
+        requests.append(("and", u_j, [t_planes[j], carry]))
+        requests.append(("xor", s_j, [t_planes[j], carry]))
+        requests.append(("or", c_next, [g_planes[j], u_j]))
+        out.append(s_j)
+        carry = c_next
+    out.append(carry)
+    runtime.pim_op_many(requests)
+    return out
+
+
+def ripple_sub(
+    pool: ScratchPool, a_planes: Sequence, b_planes: Sequence
+) -> List:
+    """``a - b (mod 2^k)`` over bit-slice planes; returns ``k`` planes.
+
+    Two's complement: invert every ``b`` plane, add with the all-ones
+    carry-in, drop the final carry-out.
+    """
+    runtime = pool.runtime
+    inverted = [pool.take() for _ in b_planes]
+    runtime.pim_op_many(
+        [("inv", nb_j, [b_j]) for nb_j, b_j in zip(inverted, b_planes)]
+    )
+    return ripple_add(pool, a_planes, inverted, carry_in=pool.ones)[
+        : len(a_planes)
+    ]
+
+
+def _lt_const(pool: ScratchPool, planes: Sequence, value: int):
+    """Mask of ``a < value`` for an unsigned constant ``value``."""
+    k = len(planes)
+    runtime = pool.runtime
+    if value <= 0:
+        return copy_plane(pool, pool.zero)
+    if value >= (1 << k):
+        return copy_plane(pool, pool.ones)
+    requests = []
+    borrow = None
+    for j, a_j in enumerate(planes):
+        bit = (value >> j) & 1
+        if borrow is None:
+            if bit:
+                borrow = pool.take()
+                requests.append(("inv", borrow, [a_j]))
+            # leading K_j = 0 planes: the borrow stays constant zero
+            continue
+        inv_a = pool.take()
+        requests.append(("inv", inv_a, [a_j]))
+        nxt = pool.take()
+        requests.append(("or" if bit else "and", nxt, [inv_a, borrow]))
+        borrow = nxt
+    runtime.pim_op_many(requests)
+    return borrow
+
+
+def _eq_const(pool: ScratchPool, planes: Sequence, value: int):
+    """Mask of ``a == value`` for an unsigned constant ``value``."""
+    k = len(planes)
+    runtime = pool.runtime
+    if not 0 <= value < (1 << k):
+        return copy_plane(pool, pool.zero)
+    requests = []
+    factors = []
+    for j, a_j in enumerate(planes):
+        if (value >> j) & 1:
+            factors.append(a_j)
+        else:
+            inv_a = pool.take()
+            requests.append(("inv", inv_a, [a_j]))
+            factors.append(inv_a)
+    acc = factors[0]
+    if len(factors) == 1:
+        dest = pool.take()
+        requests.append(("or", dest, [acc, pool.zero]))
+        acc = dest
+    for factor in factors[1:]:
+        nxt = pool.take()
+        requests.append(("and", nxt, [acc, factor]))
+        acc = nxt
+    runtime.pim_op_many(requests)
+    return acc
+
+
+def _invert(pool: ScratchPool, mask):
+    dest = pool.take()
+    pool.runtime.pim_op("inv", dest, [mask])
+    return dest
+
+
+def compare_const(pool: ScratchPool, planes: Sequence, op: str, value: int):
+    """Predicate mask of ``a <op> value`` over bit-slice planes.
+
+    ``op`` is one of ``lt | le | gt | ge | eq``; ``value`` is an
+    unsigned constant (any Python int -- out-of-range constants
+    degenerate to the all-true / all-false mask).  Returns one scratch
+    plane holding the boolean mask.
+    """
+    k = len(planes)
+    if k == 0:
+        raise ValueError("need at least one plane")
+    if op == "lt":
+        return _lt_const(pool, planes, value)
+    if op == "ge":
+        return _invert(pool, _lt_const(pool, planes, value))
+    if op == "le":
+        return _lt_const(pool, planes, value + 1)
+    if op == "gt":
+        return _invert(pool, _lt_const(pool, planes, value + 1))
+    if op == "eq":
+        return _eq_const(pool, planes, value)
+    raise ValueError(f"unknown comparison {op!r}; supported: {CMP_OPS}")
+
+
+def _lt_tensor(pool: ScratchPool, a_planes: Sequence, b_planes: Sequence):
+    """Mask of ``a < b`` element-wise over two bit-slice tensors."""
+    runtime = pool.runtime
+    requests = []
+    borrow = None
+    for a_j, b_j in zip(a_planes, b_planes):
+        inv_a = pool.take()
+        requests.append(("inv", inv_a, [a_j]))
+        win = pool.take()  # b_j strictly above a_j at this plane
+        requests.append(("and", win, [inv_a, b_j]))
+        if borrow is None:
+            borrow = win
+            continue
+        diff = pool.take()
+        requests.append(("xor", diff, [a_j, b_j]))
+        same = pool.take()
+        requests.append(("inv", same, [diff]))
+        keep = pool.take()
+        requests.append(("and", keep, [borrow, same]))
+        nxt = pool.take()
+        requests.append(("or", nxt, [win, keep]))
+        borrow = nxt
+    runtime.pim_op_many(requests)
+    return borrow
+
+
+def _eq_tensor(pool: ScratchPool, a_planes: Sequence, b_planes: Sequence):
+    """Mask of ``a == b``: NOR-reduce the per-plane XORs."""
+    runtime = pool.runtime
+    requests = []
+    diffs = []
+    for a_j, b_j in zip(a_planes, b_planes):
+        d_j = pool.take()
+        requests.append(("xor", d_j, [a_j, b_j]))
+        diffs.append(d_j)
+    acc = diffs[0]
+    for d_j in diffs[1:]:
+        nxt = pool.take()
+        requests.append(("or", nxt, [acc, d_j]))
+        acc = nxt
+    eq = pool.take()
+    requests.append(("inv", eq, [acc]))
+    runtime.pim_op_many(requests)
+    return eq
+
+
+def compare(pool: ScratchPool, a_planes: Sequence, op: str, b_planes: Sequence):
+    """Predicate mask of ``a <op> b`` element-wise (both bit-sliced)."""
+    if len(a_planes) != len(b_planes):
+        raise ValueError(
+            f"width mismatch: {len(a_planes)} vs {len(b_planes)} planes"
+        )
+    if len(a_planes) == 0:
+        raise ValueError("need at least one plane")
+    if op == "lt":
+        return _lt_tensor(pool, a_planes, b_planes)
+    if op == "gt":
+        return _lt_tensor(pool, b_planes, a_planes)
+    if op == "ge":
+        return _invert(pool, _lt_tensor(pool, a_planes, b_planes))
+    if op == "le":
+        return _invert(pool, _lt_tensor(pool, b_planes, a_planes))
+    if op == "eq":
+        return _eq_tensor(pool, a_planes, b_planes)
+    raise ValueError(f"unknown comparison {op!r}; supported: {CMP_OPS}")
+
+
+def combine_masks(pool: ScratchPool, masks: Sequence):
+    """AND-reduce predicate masks into one (conjunctive filter)."""
+    if len(masks) == 0:
+        raise ValueError("need at least one mask")
+    if len(masks) == 1:
+        return masks[0]
+    runtime = pool.runtime
+    requests = []
+    acc = masks[0]
+    for mask in masks[1:]:
+        nxt = pool.take()
+        requests.append(("and", nxt, [acc, mask]))
+        acc = nxt
+    runtime.pim_op_many(requests)
+    return acc
+
+
+def mask_count(pool: ScratchPool, mask) -> int:
+    """COUNT of a predicate mask via the popcount to-host reduction."""
+    return pool.runtime.pim_popcount("or", pool.take(), [mask, pool.zero])
+
+
+def mask_bits(pool: ScratchPool, mask) -> np.ndarray:
+    """Materialise a mask's bits host-side (same bus cost as a count)."""
+    return pool.runtime.pim_op_to_host("or", pool.take(), [mask, pool.zero])
+
+
+def masked_sum(pool: ScratchPool, planes: Sequence, mask) -> int:
+    """SUM of bit-sliced values under a mask: one popcount per plane,
+    shifted by the plane's significance."""
+    runtime = pool.runtime
+    scratch = pool.take()
+    total = 0
+    for j, plane in enumerate(planes):
+        total += runtime.pim_popcount("and", scratch, [plane, mask]) << j
+    return total
+
+
+def masked_histogram(
+    pool: ScratchPool, bin_planes: Sequence, mask: Optional[object] = None
+) -> List[int]:
+    """Per-bin counts of an equality-encoded bitmap index under a mask."""
+    runtime = pool.runtime
+    scratch = pool.take()
+    if mask is None:
+        return [
+            runtime.pim_popcount("or", scratch, [plane, pool.zero])
+            for plane in bin_planes
+        ]
+    return [
+        runtime.pim_popcount("and", scratch, [plane, mask])
+        for plane in bin_planes
+    ]

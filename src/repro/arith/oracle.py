@@ -1,0 +1,64 @@
+"""Plain-numpy references for the bit-serial arithmetic kernels.
+
+Every kernel in :mod:`repro.arith.kernels` must match these exactly --
+the differential tests draw randomized inputs and compare bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "oracle_add",
+    "oracle_sub",
+    "oracle_compare_const",
+    "oracle_compare",
+    "oracle_masked_sum",
+    "oracle_histogram",
+]
+
+_CMP = {
+    "lt": np.less,
+    "le": np.less_equal,
+    "gt": np.greater,
+    "ge": np.greater_equal,
+    "eq": np.equal,
+}
+
+
+def oracle_add(a, b) -> np.ndarray:
+    """Exact sums (the kernel returns ``k + 1`` planes, so no wrap)."""
+    return np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64)
+
+
+def oracle_sub(a, b, n_bits: int) -> np.ndarray:
+    """``a - b`` modulo ``2^n_bits`` (two's complement wraparound)."""
+    diff = np.asarray(a, dtype=np.int64) - np.asarray(b, dtype=np.int64)
+    return diff & ((1 << n_bits) - 1)
+
+
+def oracle_compare_const(a, op: str, value: int) -> np.ndarray:
+    """Boolean mask of ``a <op> value`` as uint8 bits."""
+    return _CMP[op](np.asarray(a, dtype=np.int64), value).astype(np.uint8)
+
+
+def oracle_compare(a, op: str, b) -> np.ndarray:
+    """Boolean mask of ``a <op> b`` element-wise as uint8 bits."""
+    return _CMP[op](
+        np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64)
+    ).astype(np.uint8)
+
+
+def oracle_masked_sum(values, mask_bits) -> int:
+    """Sum of ``values`` where ``mask_bits`` is set."""
+    values = np.asarray(values, dtype=np.int64)
+    mask = np.asarray(mask_bits, dtype=bool)
+    return int(values[mask].sum())
+
+
+def oracle_histogram(bin_indices, n_bins: int, mask_bits=None) -> list:
+    """Per-bin counts of equality-encoded indices, optionally masked."""
+    idx = np.asarray(bin_indices, dtype=np.int64)
+    if mask_bits is not None:
+        idx = idx[np.asarray(mask_bits, dtype=bool)]
+    return np.bincount(idx, minlength=n_bins).tolist()[:n_bins]

@@ -46,7 +46,7 @@ from repro.cluster.placement import make_placement
 from repro.cluster.stats import ClusterStats
 from repro.service.admission import TenantQuota
 from repro.service.clock import EventLoop
-from repro.service.engine import oracle_bits
+from repro.service.engine import oracle_analytics, oracle_bits
 from repro.service.request import (
     DeltaNotification,
     QueryRequest,
@@ -315,6 +315,20 @@ class ClusterRouter:
                 tenant, column, bin_indices, n_bins
             )
 
+    def load_bitslice_column(
+        self, tenant: str, column: str, values: np.ndarray, n_bits: int
+    ) -> None:
+        """Load a bit-sliced numeric column on every replica.
+
+        The planes are ordinary named vectors, so rebalance moves them
+        with the rest of the tenant's dataset and analytics reads
+        round-robin across replicas like any other read.
+        """
+        for node_id in self._placement_of(tenant).owners:
+            self.nodes[node_id].service.load_bitslice_column(
+                tenant, column, values, n_bits
+            )
+
     # -- submission / routing ------------------------------------------------
 
     def submit_request(self, request) -> None:
@@ -513,6 +527,26 @@ class ClusterRouter:
             if result.request.kind in ("update", "subscribe"):
                 continue
             primary = self._placement_of(result.request.tenant).owners[0]
+            if result.request.kind == "analytics":
+                mask, value, groups = oracle_analytics(
+                    self.nodes[primary].service.engine,
+                    result.request.tenant,
+                    result.request.filters,
+                    result.request.aggregate,
+                )
+                if (
+                    result.popcount != int(mask.sum())
+                    or result.value != value
+                    or result.groups != groups
+                ):
+                    raise AssertionError(
+                        f"analytics request {result.request.request_id}: "
+                        f"got (popcount={result.popcount}, "
+                        f"value={result.value}, groups={result.groups}), "
+                        f"oracle ({int(mask.sum())}, {value}, {groups})"
+                    )
+                checked += 1
+                continue
             expected = oracle_bits(
                 self.nodes[primary].service.engine,
                 result.request.tenant,

@@ -19,12 +19,15 @@ Bulk bitwise operations executed *inside* NVM main memory:
 
 from repro.core.ops import PimOp, OperandLimits, operand_limits
 from repro.core.stats import OpAccounting
+from repro.core.bitops import popcount_packed, popcount_rows
 from repro.core.executor import PinatuboExecutor, OpResult, PlacementError
 from repro.core.model import PinatuboModel
 from repro.core.pinatubo import PinatuboSystem
 
 __all__ = [
     "PimOp",
+    "popcount_packed",
+    "popcount_rows",
     "OperandLimits",
     "operand_limits",
     "OpAccounting",

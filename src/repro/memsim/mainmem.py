@@ -45,10 +45,12 @@ _BITWISE_UFUNCS = {
 
 if hasattr(np, "bitwise_count"):  # numpy >= 2.0
 
-    def _popcount(packed: np.ndarray) -> int:
+    def popcount_packed(packed: np.ndarray) -> int:
+        """Total set bits in a packed ``uint8`` array."""
         return int(np.bitwise_count(packed).sum())
 
-    def _popcount_rows(packed_2d: np.ndarray) -> List[int]:
+    def popcount_rows(packed_2d: np.ndarray) -> List[int]:
+        """Per-row set-bit counts of a 2-D packed ``uint8`` array."""
         return np.bitwise_count(packed_2d).sum(axis=1, dtype=np.int64).tolist()
 
 else:  # pragma: no cover - older numpy
@@ -56,11 +58,19 @@ else:  # pragma: no cover - older numpy
         np.arange(256, dtype=np.uint8).reshape(256, 1), axis=1
     ).sum(axis=1).astype(np.uint16)
 
-    def _popcount(packed: np.ndarray) -> int:
+    def popcount_packed(packed: np.ndarray) -> int:
+        """Total set bits in a packed ``uint8`` array."""
         return int(_POP_TABLE[packed].sum())
 
-    def _popcount_rows(packed_2d: np.ndarray) -> List[int]:
+    def popcount_rows(packed_2d: np.ndarray) -> List[int]:
+        """Per-row set-bit counts of a 2-D packed ``uint8`` array."""
         return _POP_TABLE[packed_2d].sum(axis=1, dtype=np.int64).tolist()
+
+
+# Deprecated private aliases; the public names above (also exported via
+# :mod:`repro.core.bitops`) are the supported surface.
+_popcount = popcount_packed
+_popcount_rows = popcount_rows
 
 
 @dataclass(slots=True)

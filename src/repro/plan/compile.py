@@ -53,15 +53,17 @@ from repro import telemetry
 from repro.core.executor import MODE_CODES, OpResult
 from repro.core.ops import PimOp
 from repro.core.stats import OpAccounting
+from repro.core.bitops import popcount_packed, popcount_rows
 from repro.memsim.controller import CommandKind, KIND_CODES
-from repro.memsim.mainmem import _popcount_rows
 
 __all__ = [
     "SEEN_ONCE",
     "UNCOMPILABLE",
+    "PopcountProgram",
     "ServeTemplate",
     "ToHostProgram",
     "WaveProgram",
+    "build_popcount_program",
     "build_serve_template",
     "build_to_host_program",
     "build_wave_program",
@@ -394,6 +396,94 @@ def build_to_host_program(
     return prog
 
 
+class PopcountProgram:
+    """Replayable popcount reduction: a to-host op that returns a count.
+
+    Same frozen pricing and functional recompute as
+    :class:`ToHostProgram` (the full result still crosses the I/O bus,
+    so the command stream and accounting are identical), but the host
+    side reduces the packed rows straight to a set-bit count instead of
+    unpacking ``n_bits`` booleans -- the hot path of the arithmetic
+    subsystem's COUNT/SUM/histogram aggregations.  ``tail_mask`` zeroes
+    any packed bits past ``n_bits`` (an INV can flip padding bits in
+    the last row) and is derived lazily from the first replay's row
+    shape; the shape key pins ``n_bits``, so one mask serves every
+    replay.
+    """
+
+    __slots__ = (
+        "frozen", "op", "n_chunks", "n_sources", "steps",
+        "localities", "locality_counts", "mode_code",
+        "tail_mask", "mask_ready",
+    )
+
+    def replay(
+        self,
+        executor,
+        scratch: Sequence[int],
+        sources: Sequence[Sequence[int]],
+        n_bits: int,
+    ) -> Tuple[int, OpResult]:
+        op = self.op
+        n_chunks = self.n_chunks
+        operand_lists = (
+            [sources[0][:n_chunks]]
+            if op is PimOp.INV
+            else [s[:n_chunks] for s in sources]
+        )
+        new_rows = executor.memory.bitwise_rows(op.value, operand_lists)
+        executor.controller.mode_register = self.mode_code
+        executor._current_mode = op
+        acct = OpAccounting()
+        acct.locality_counts = dict(self.locality_counts)
+        acct.in_memory_steps = self.steps
+        acct.absorb(executor.controller.execute_batch(self.frozen))
+        acct.count_bits(n_bits * len(sources))
+        if not self.mask_ready:
+            total_bits = new_rows.size * 8
+            if n_bits < total_bits:
+                flat = np.zeros(total_bits, dtype=np.uint8)
+                flat[:n_bits] = 1
+                self.tail_mask = np.packbits(
+                    flat, bitorder="little"
+                ).reshape(new_rows.shape)
+            self.mask_ready = True
+        if self.tail_mask is not None:
+            new_rows = new_rows & self.tail_mask
+        count = popcount_packed(new_rows)
+        result = OpResult(
+            op=op, accounting=acct, steps=self.steps,
+            localities=dict(self.localities),
+        )
+        return count, result
+
+
+def build_popcount_program(
+    recorded: list, op: PimOp, result: OpResult, n_chunks: int
+) -> Optional[PopcountProgram]:
+    """Lower one recorded popcount-flavoured ``bitwise_to_host`` call;
+    ``None`` if it took the serial path the slot model does not replay."""
+    if len(recorded) != 1:
+        return None
+    flavor = recorded[0]
+    if flavor[0] != "to_host" or not flavor[2]:
+        return None
+    if result.steps != n_chunks:
+        return None
+    prog = PopcountProgram()
+    prog.frozen = freeze_batch(flavor[1], memo_ok=True)
+    prog.op = op
+    prog.n_chunks = n_chunks
+    prog.n_sources = 1 if op is PimOp.INV else None
+    prog.steps = result.steps
+    prog.localities = dict(result.localities)
+    prog.locality_counts = dict(result.accounting.locality_counts)
+    prog.mode_code = MODE_CODES[op]
+    prog.tail_mask = None
+    prog.mask_ready = False
+    return prog
+
+
 # -- exec-wave programs -------------------------------------------------------
 
 
@@ -458,7 +548,7 @@ class WaveProgram:
 
         new_rows = buf[self.store_slots]
         self.frozen.n_bits[self.wb_pos] = np.asarray(
-            _popcount_rows(np.bitwise_xor(old_rows, new_rows)),
+            popcount_rows(np.bitwise_xor(old_rows, new_rows)),
             dtype=np.float64,
         )
 

@@ -72,8 +72,10 @@ from repro.plan.compile import (
     SEEN_ONCE,
     UNCOMPILABLE,
     UNCOMPILABLE_SHAPES,
+    PopcountProgram,
     ToHostProgram,
     WaveProgram,
+    build_popcount_program,
     build_serve_template,
     build_to_host_program,
     build_wave_program,
@@ -1106,6 +1108,105 @@ class QueryPlanner:
             self.stats.compilations += 1
             self.programs.put(key, program)
         return bits, result
+
+    def execute_popcount(
+        self,
+        op,
+        scratch_frames: Sequence[int],
+        source_frame_lists: Sequence[Sequence[int]],
+        n_bits: int,
+    ):
+        """Compiled-path popcount reduction of a to-host op.
+
+        Same command stream, pricing and freeze-on-first-sight lifecycle
+        as :meth:`execute_to_host`, but the host side reduces straight
+        to a set-bit count (the arithmetic subsystem's aggregation
+        primitive).  Returns ``(count, OpResult)``.
+        """
+        self._wave_depth += 1
+        try:
+            return self._execute_popcount(
+                op, scratch_frames, source_frame_lists, n_bits
+            )
+        finally:
+            self._wave_depth -= 1
+
+    def _execute_popcount(
+        self,
+        op,
+        scratch_frames: Sequence[int],
+        source_frame_lists: Sequence[Sequence[int]],
+        n_bits: int,
+    ):
+        executor = self.executor
+        if not self.compile_enabled:
+            bits, result = executor.bitwise_to_host(
+                op, scratch_frames, source_frame_lists, n_bits
+            )
+            return int(bits.sum()), result
+        op = PimOp.parse(op)
+        n_chunks = self.geometry.rows_for_bits(n_bits)
+        # raw keys are tagged so popcount bindings never collide with
+        # plain to-host bindings over the same operand tuples
+        raw = (
+            "pc",
+            op,
+            n_bits,
+            executor._current_mode,
+            tuple(scratch_frames),
+            tuple(tuple(s) for s in source_frame_lists),
+        )
+        key = self._to_host_keys.get(raw)
+        if key is None and raw not in self._to_host_keys:
+            key = to_host_shape_key(
+                executor.mapper, op, scratch_frames, source_frame_lists,
+                n_bits, n_chunks, executor._current_mode,
+            )
+            if key is not None:
+                key = ("popcount",) + key
+            if len(self._to_host_keys) >= _MAX_BINDINGS:
+                self._to_host_keys.clear()
+            self._to_host_keys[raw] = key
+        if key is None:
+            bits, result = executor.bitwise_to_host(
+                op, scratch_frames, source_frame_lists, n_bits
+            )
+            return int(bits.sum()), result
+        entry = self.programs.get(key)
+        if type(entry) is PopcountProgram:
+            PROGRAM_HITS.add()
+            self.stats.program_hits += 1
+            return entry.replay(
+                executor, scratch_frames, source_frame_lists, n_bits
+            )
+        PROGRAM_MISSES.add()
+        self.stats.program_misses += 1
+        if entry is UNCOMPILABLE:
+            bits, result = executor.bitwise_to_host(
+                op, scratch_frames, source_frame_lists, n_bits
+            )
+            return int(bits.sum()), result
+        executor.record_sink = recorded = []
+        try:
+            bits, result = executor.bitwise_to_host(
+                op, scratch_frames, source_frame_lists, n_bits
+            )
+        finally:
+            executor.record_sink = None
+        with telemetry.span("plan.compile.program", kind="popcount", items=1):
+            t0 = perf_counter()
+            program = build_popcount_program(recorded, op, result, n_chunks)
+            dt = perf_counter() - t0
+        COMPILE_SECONDS.add(dt)
+        self.stats.compile_seconds += dt
+        if program is None:
+            UNCOMPILABLE_SHAPES.add()
+            self.programs.put(key, UNCOMPILABLE)
+        else:
+            COMPILATIONS.add()
+            self.stats.compilations += 1
+            self.programs.put(key, program)
+        return int(bits.sum()), result
 
     def _serve(
         self,

@@ -44,7 +44,7 @@ from repro.core.ops import PimOp
 from repro.core.stats import OpAccounting
 from repro.memsim.address import OpLocality
 from repro.memsim.controller import CommandBatch, CommandKind
-from repro.memsim.mainmem import _popcount_rows
+from repro.core.bitops import popcount_rows
 from repro.plan.compile import freeze_batch
 
 __all__ = ["RepairEngine"]
@@ -147,7 +147,7 @@ class RepairEngine:
                 new_aff = memory.gather_rows(lists[0])
             else:
                 new_aff = memory.bitwise_rows(op.value, lists)
-        wb_widths = _popcount_rows(np.bitwise_xor(rows[aff], new_aff))
+        wb_widths = popcount_rows(np.bitwise_xor(rows[aff], new_aff))
 
         # -- per-chunk repair shape: (chunk_bits, groups) --------------------
         # a group is one combine step: (fanin, channel, locality)

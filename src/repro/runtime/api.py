@@ -207,6 +207,37 @@ class PimRuntime:
         )
         return bits
 
+    def pim_popcount(
+        self, op, scratch, sources, *, n_bits: Optional[int] = None
+    ) -> int:
+        """``popcount(op(sources))``: a to-host op reduced to a count.
+
+        The command stream and pricing are identical to
+        :meth:`pim_op_to_host` -- the full result still crosses the I/O
+        bus -- but the host side reduces the packed rows straight to a
+        set-bit count, skipping the bit unpack.  The arithmetic
+        subsystem's aggregation primitive (COUNT/SUM/histogram).
+        """
+        sources = list(sources)
+        if n_bits is None:
+            n_bits = min([scratch.n_bits] + [s.n_bits for s in sources])
+        scratch_frames = list(scratch.frames)
+        source_frame_lists = [list(s.frames) for s in sources]
+        if self.planner is not None:
+            count, result = self.planner.execute_popcount(
+                op, scratch_frames, source_frame_lists, n_bits
+            )
+        else:
+            bits, result = self.system.executor.bitwise_to_host(
+                op, scratch_frames, source_frame_lists, n_bits
+            )
+            count = int(bits.sum())
+        self.driver.stats.instructions += 1
+        self.driver.stats.accounting = self.driver.stats.accounting.merged(
+            result.accounting
+        )
+        return count
+
     def pim_write(self, handle: BitVectorHandle, bits: np.ndarray) -> None:
         """Host write of a vector's contents (pays bus cost)."""
         bits = np.asarray(bits, dtype=np.uint8)

@@ -52,8 +52,10 @@ from repro.service.engine import (
     ServiceEngine,
     UnsupportedOpError,
     build_engine,
+    oracle_analytics,
 )
 from repro.service.request import (
+    AnalyticsRequest,
     DeltaNotification,
     QueryRequest,
     QueryResult,
@@ -61,6 +63,7 @@ from repro.service.request import (
     SubscribeRequest,
     UpdateRequest,
     bin_vector_name,
+    bitslice_vector_name,
 )
 from repro.service.scheduler import (
     BatchPricing,
@@ -76,6 +79,7 @@ from repro.service.stats import LatencyRecorder, ServiceStats, TenantStats
 
 __all__ = [
     "AdmissionController",
+    "AnalyticsRequest",
     "AdmissionDecision",
     "Admit",
     "BatchPricing",
@@ -105,5 +109,7 @@ __all__ = [
     "UnsupportedOpError",
     "UpdateRequest",
     "bin_vector_name",
+    "bitslice_vector_name",
     "build_engine",
+    "oracle_analytics",
 ]

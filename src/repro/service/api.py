@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.service.request import (
+    AnalyticsRequest,
     DeltaNotification,
     QueryRequest,
     QueryResult,
@@ -157,6 +158,12 @@ class ServiceClient:
     ) -> None:
         self.target.load_bitmap_index(tenant, column, bin_indices, n_bins)
 
+    def load_bitslice_column(
+        self, tenant: str, column: str, values: np.ndarray, n_bits: int
+    ) -> None:
+        """Load a numeric column bit-sliced (``n_bits`` plane vectors)."""
+        self.target.load_bitslice_column(tenant, column, values, n_bits)
+
     # -- the three verbs -----------------------------------------------------
 
     def query(
@@ -198,6 +205,33 @@ class ServiceClient:
         """FastBit range predicate over a loaded bitmap index."""
         request = QueryRequest.range_query(
             self._claim_id(request_id), tenant, column, lo, hi, self._arrival(at)
+        )
+        return self._place(request, ResultHandle(request))
+
+    def analyze(
+        self,
+        tenant: str,
+        filters: Sequence[tuple],
+        aggregate: tuple,
+        *,
+        at: Optional[float] = None,
+        request_id: Optional[int] = None,
+    ) -> ResultHandle:
+        """Submit a filter+aggregate analytics query.
+
+        ``filters`` is a conjunction of ``("cmp", column, op, value,
+        n_bits)`` predicates over bit-sliced columns and
+        ``("range", column, lo, hi)`` predicates over bitmap indexes;
+        ``aggregate`` is ``("count",)``, ``("sum", column, n_bits)`` or
+        ``("hist", column, n_bins)``.  The result's ``popcount`` is the
+        filter cardinality; ``value``/``groups`` carry the aggregate.
+        """
+        request = AnalyticsRequest(
+            self._claim_id(request_id),
+            tenant,
+            tuple(tuple(f) for f in filters),
+            tuple(aggregate),
+            self._arrival(at),
         )
         return self._place(request, ResultHandle(request))
 

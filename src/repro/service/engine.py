@@ -40,6 +40,17 @@ from repro.backends.protocol import (
 )
 from repro.backends.registry import registry
 from repro.runtime.wear import WearMonitor
+from repro.arith.kernels import (
+    ScratchPool,
+    combine_masks,
+    compare_const,
+    copy_plane,
+    mask_bits,
+    masked_histogram,
+    masked_sum,
+)
+from repro.arith.oracle import oracle_compare_const
+from repro.service.request import bin_vector_name, bitslice_vector_name
 
 __all__ = [
     "ExecutedCall",
@@ -51,16 +62,24 @@ __all__ = [
     # backend protocol (repro.backends.UnsupportedOpError)
     "UnsupportedOpError",
     "build_engine",
+    "oracle_analytics",
 ]
 
 
 @dataclass(frozen=True)
 class ServiceCall:
-    """One request lowered to engine vocabulary: op over named vectors."""
+    """One request lowered to engine vocabulary: op over named vectors.
+
+    Analytics requests carry their ``(filters, aggregate)`` spec in
+    ``analytics``; plain bitwise reads leave it ``None``.  Analytics
+    calls never fold (:meth:`ServiceEngine.call_key` opts them out) but
+    ride the same coalesced batches.
+    """
 
     tenant: str
     op: str
     names: Tuple[str, ...]
+    analytics: Optional[tuple] = None
 
 
 @dataclass
@@ -73,6 +92,10 @@ class ExecutedCall:
     energy_j: float
     steps: int
     in_memory: bool
+    #: analytics aggregate value (count / masked sum / histogram total)
+    value: float = 0.0
+    #: analytics histogram per-bin counts; None otherwise
+    groups: Optional[Tuple[int, ...]] = None
 
 
 class ServiceEngine:
@@ -213,6 +236,10 @@ class ResidentPimEngine(ServiceEngine):
         self._host: Dict[Tuple[str, str], np.ndarray] = {}
         self._digests: Dict[Tuple[str, str], str] = {}
         self._tenant_shard: Dict[str, int] = {}
+        #: per-(tenant, width) scratch pools for the arithmetic path;
+        #: scratch allocates in the tenant's affinity group, so masks
+        #: and ripple intermediates stay on the tenant's shard
+        self._arith_pools: Dict[Tuple[str, int], ScratchPool] = {}
         geometry = self.runtime.system.geometry
         #: shards = independent (channel, bank) pairs: banks have their
         #: own row decoders and sense amps, so command streams touching
@@ -303,6 +330,8 @@ class ResidentPimEngine(ServiceEngine):
             self.runtime.pim_free(self._handles.pop(key))
             del self._host[key]
             del self._digests[key]
+        for pool_key in [k for k in self._arith_pools if k[0] == tenant]:
+            self._arith_pools.pop(pool_key).free_all()
         self._tenant_shard.pop(tenant, None)
         return len(keys)
 
@@ -314,35 +343,133 @@ class ResidentPimEngine(ServiceEngine):
         return self._tenant_shard.get(tenant, 0)
 
     def execute(self, calls: Sequence[ServiceCall]) -> List[ExecutedCall]:
-        """One driver batch (or planner wave) for the coalesced stream."""
+        """One driver batch (or planner wave) for the coalesced stream.
+
+        Analytics calls execute inline in call order (each is its own
+        multi-gate kernel sequence through the planner); the plain
+        bitwise reads of the batch still coalesce into one
+        ``pim_op_many`` stream.
+        """
         rt = self.runtime
+        out: List[Optional[ExecutedCall]] = [None] * len(calls)
+        plain_slots = []
         staged = []
         requests = []
-        for call in calls:
+        for i, call in enumerate(calls):
+            if call.analytics is not None:
+                out[i] = self._execute_analytics(call)
+                continue
             sources = [self._handles[(call.tenant, n)] for n in call.names]
             n_bits = min(h.n_bits for h in sources)
             dest = rt.pim_malloc(n_bits, self.group_of(call.tenant))
             requests.append((call.op, dest, sources, n_bits))
             staged.append((dest, n_bits))
+            plain_slots.append(i)
         # pim_op_many routes through the planner (cache serves, compiled
         # replay) when the runtime has one, and is plain submit+flush
         # otherwise; results come back in submission order either way
-        results = rt.pim_op_many(requests)
-        out = []
-        for (dest, n_bits), result in zip(staged, results):
+        results = rt.pim_op_many(requests) if requests else []
+        for i, (dest, n_bits), result in zip(plain_slots, staged, results):
             bits = rt.pim_read(dest, n_bits)
             rt.pim_free(dest)
-            out.append(
-                ExecutedCall(
-                    bits=bits,
-                    popcount=int(bits.sum()),
-                    latency_s=result.latency * self.config.timing_scale,
-                    energy_j=result.energy * self.config.energy_scale,
-                    steps=result.steps,
-                    in_memory=result.steps > 0,
-                )
+            out[i] = ExecutedCall(
+                bits=bits,
+                popcount=int(bits.sum()),
+                latency_s=result.latency * self.config.timing_scale,
+                energy_j=result.energy * self.config.energy_scale,
+                steps=result.steps,
+                in_memory=result.steps > 0,
             )
         return out
+
+    def _arith_pool(self, tenant: str, n_bits: int) -> ScratchPool:
+        key = (tenant, n_bits)
+        pool = self._arith_pools.get(key)
+        if pool is None:
+            # scratch must share the tenant's affinity group: in-memory
+            # bitwise ops require same-chip placement with the operands
+            pool = ScratchPool(
+                self.runtime,
+                n_bits,
+                group=self.group_of(tenant),
+            )
+            self._arith_pools[key] = pool
+        return pool
+
+    def _execute_analytics(self, call: ServiceCall) -> ExecutedCall:
+        """Run one filter+aggregate query on the resident vectors.
+
+        Every gate goes through the runtime (priced by the controller,
+        planned and compiled like any other stream); the cost of the
+        whole kernel sequence is the runtime accounting delta, exactly
+        how :meth:`update_vector` prices delta repair.
+        """
+        rt = self.runtime
+        tenant = call.tenant
+        filters, aggregate = call.analytics
+        handles = {n: self._handles[(tenant, n)] for n in call.names}
+        n_elems = min(h.n_bits for h in handles.values())
+        lat0, en0 = rt.total_latency(), rt.total_energy()
+        instr0 = rt.driver.stats.instructions
+        pool = self._arith_pool(tenant, n_elems)
+        masks = []
+        for pred in filters:
+            if pred[0] == "cmp":
+                _, column, op, value, n_bits = pred
+                planes = [
+                    handles[bitslice_vector_name(column, j)]
+                    for j in range(n_bits)
+                ]
+                masks.append(compare_const(pool, planes, op, value))
+            else:
+                _, column, lo, hi = pred
+                bins = [
+                    handles[bin_vector_name(column, b)]
+                    for b in range(lo, hi + 1)
+                ]
+                dest = pool.take()
+                if len(bins) == 1:
+                    rt.pim_op("or", dest, [bins[0], pool.zero])
+                else:
+                    rt.pim_op("or", dest, bins)
+                masks.append(dest)
+        mask = (
+            combine_masks(pool, masks)
+            if masks
+            else copy_plane(pool, pool.ones)
+        )
+        # one to-host stream materialises the mask bits AND its count
+        # (the count is free once the bits crossed the bus)
+        bits = mask_bits(pool, mask)
+        popcount = int(bits.sum())
+        groups: Optional[Tuple[int, ...]] = None
+        if aggregate[0] == "count":
+            value = float(popcount)
+        elif aggregate[0] == "sum":
+            _, column, n_bits = aggregate
+            planes = [
+                handles[bitslice_vector_name(column, j)]
+                for j in range(n_bits)
+            ]
+            value = float(masked_sum(pool, planes, mask))
+        else:
+            _, column, n_bins = aggregate
+            bins = [
+                handles[bin_vector_name(column, b)] for b in range(n_bins)
+            ]
+            groups = tuple(masked_histogram(pool, bins, mask))
+            value = float(sum(groups))
+        pool.recycle()
+        return ExecutedCall(
+            bits=bits,
+            popcount=popcount,
+            latency_s=(rt.total_latency() - lat0) * self.config.timing_scale,
+            energy_j=(rt.total_energy() - en0) * self.config.energy_scale,
+            steps=int(rt.driver.stats.instructions - instr0),
+            in_memory=True,
+            value=value,
+            groups=groups,
+        )
 
     def call_key(self, call: ServiceCall) -> Optional[tuple]:
         """(op, n_bits, canonical operand digests) -- content identity.
@@ -350,8 +477,11 @@ class ResidentPimEngine(ServiceEngine):
         Operand digests canonicalise exactly like the planner's
         expression keys: OR/AND are commutative *and* idempotent
         (sorted set), XOR is commutative only (sorted multiset), INV
-        keeps its single operand.
+        keeps its single operand.  Analytics calls opt out of folding
+        (their result is a kernel sequence, not one op's bits).
         """
+        if call.analytics is not None:
+            return None
         digests = []
         sizes = []
         for n in call.names:
@@ -484,16 +614,39 @@ class HostOracleEngine(ServiceEngine):
         return self._tenant_shard.get(tenant, 0)
 
     def execute(self, calls: Sequence[ServiceCall]) -> List[ExecutedCall]:
-        requests = [
-            (
-                call.op,
-                [self._vectors[(call.tenant, n)] for n in call.names],
+        out: List[Optional[ExecutedCall]] = [None] * len(calls)
+        plain_slots = []
+        requests = []
+        for i, call in enumerate(calls):
+            if call.analytics is not None:
+                # host-side vectors: analytics evaluates as plain numpy,
+                # free on the simulated device timeline (same convention
+                # as this engine's updates)
+                filters, aggregate = call.analytics
+                mask, value, groups = oracle_analytics(
+                    self, call.tenant, filters, aggregate
+                )
+                out[i] = ExecutedCall(
+                    bits=mask,
+                    popcount=int(mask.sum()),
+                    latency_s=0.0,
+                    energy_j=0.0,
+                    steps=0,
+                    in_memory=False,
+                    value=value,
+                    groups=groups,
+                )
+                continue
+            requests.append(
+                (
+                    call.op,
+                    [self._vectors[(call.tenant, n)] for n in call.names],
+                )
             )
-            for call in calls
-        ]
-        runs = self.backend.bitwise_many(requests)
-        return [
-            ExecutedCall(
+            plain_slots.append(i)
+        runs = self.backend.bitwise_many(requests) if requests else []
+        for i, run in zip(plain_slots, runs):
+            out[i] = ExecutedCall(
                 bits=run.bits,
                 popcount=int(run.bits.sum()),
                 latency_s=run.stats.latency,
@@ -501,8 +654,7 @@ class HostOracleEngine(ServiceEngine):
                 steps=run.stats.steps,
                 in_memory=run.stats.in_memory,
             )
-            for run in runs
-        ]
+        return out
 
 
 def build_engine(
@@ -534,3 +686,78 @@ def oracle_bits(
     operands = [engine.host_vector(tenant, n) for n in names]
     n_bits = min(o.size for o in operands)
     return bitwise_oracle(op, [o[:n_bits] for o in operands])
+
+
+def _oracle_column(
+    engine: ServiceEngine, tenant: str, column: str, n_bits: int
+) -> np.ndarray:
+    """Recompose a bit-sliced column's values from its plane shadows."""
+    planes = [
+        engine.host_vector(tenant, bitslice_vector_name(column, j))
+        for j in range(n_bits)
+    ]
+    n = min(p.size for p in planes)
+    values = np.zeros(n, dtype=np.int64)
+    for j, plane in enumerate(planes):
+        values += plane[:n].astype(np.int64) << j
+    return values
+
+
+def oracle_analytics(
+    engine: ServiceEngine, tenant: str, filters, aggregate
+) -> Tuple[np.ndarray, float, Optional[Tuple[int, ...]]]:
+    """Numpy-oracle evaluation of one analytics query off the shadows.
+
+    Returns ``(mask_bits, value, groups)`` -- the exact triple the PIM
+    execution must reproduce (``verify_results`` compares all three).
+    """
+    mask: Optional[np.ndarray] = None
+    for pred in filters:
+        if pred[0] == "cmp":
+            _, column, op, value, n_bits = pred
+            values = _oracle_column(engine, tenant, column, n_bits)
+            part = oracle_compare_const(values, op, value)
+        else:
+            _, column, lo, hi = pred
+            bins = [
+                engine.host_vector(tenant, bin_vector_name(column, b))
+                for b in range(lo, hi + 1)
+            ]
+            n = min(b.size for b in bins)
+            part = np.zeros(n, dtype=np.uint8)
+            for b in bins:
+                part |= b[:n]
+        if mask is None:
+            mask = part
+        else:
+            n = min(mask.size, part.size)
+            mask = mask[:n] & part[:n]
+    if mask is None:
+        # unfiltered aggregate: every row of the referenced column
+        if aggregate[0] == "sum":
+            n = _oracle_column(
+                engine, tenant, aggregate[1], aggregate[2]
+            ).size
+        else:
+            n = engine.host_vector(
+                tenant, bin_vector_name(aggregate[1], 0)
+            ).size
+        mask = np.ones(n, dtype=np.uint8)
+    groups: Optional[Tuple[int, ...]] = None
+    if aggregate[0] == "count":
+        value = float(int(mask.sum()))
+    elif aggregate[0] == "sum":
+        _, column, n_bits = aggregate
+        values = _oracle_column(engine, tenant, column, n_bits)
+        n = min(values.size, mask.size)
+        value = float(int(values[:n][mask[:n].astype(bool)].sum()))
+    else:
+        _, column, n_bins = aggregate
+        counts = []
+        for b in range(n_bins):
+            bits = engine.host_vector(tenant, bin_vector_name(column, b))
+            n = min(bits.size, mask.size)
+            counts.append(int((bits[:n] & mask[:n]).sum()))
+        groups = tuple(counts)
+        value = float(sum(groups))
+    return mask, value, groups

@@ -23,12 +23,15 @@ import numpy as np
 from repro.core.ops import PimOp
 
 __all__ = [
+    "AnalyticsRequest",
     "DeltaNotification",
     "QueryRequest",
     "QueryResult",
     "RequestStatus",
     "SubscribeRequest",
     "UpdateRequest",
+    "bin_vector_name",
+    "bitslice_vector_name",
 ]
 
 
@@ -100,6 +103,131 @@ class QueryRequest:
 def bin_vector_name(column: str, bin_index: int) -> str:
     """Canonical vector name of one bitmap-index bin."""
     return f"{column}/bin{bin_index}"
+
+
+def bitslice_vector_name(column: str, plane: int) -> str:
+    """Canonical vector name of one bit-slice plane of a numeric column.
+
+    ``BitmapQueryService.load_bitslice_column`` loads plane ``j`` of
+    column ``c`` as the ordinary named vector ``c#b{j}``, so the
+    arithmetic path rides the existing replication / rebalance /
+    update machinery for free.
+    """
+    return f"{column}#b{plane}"
+
+
+_AGGREGATES = ("count", "sum", "hist")
+
+
+@dataclass(frozen=True)
+class AnalyticsRequest:
+    """One SQL-ish filter+aggregate query over a tenant's columns.
+
+    ``filters`` is a conjunction of predicate tuples:
+
+    - ``("cmp", column, op, value, n_bits)`` -- bit-serial compare of a
+      bit-sliced numeric column against a constant (``op`` in
+      ``lt | le | gt | ge | eq``; the column was loaded as ``n_bits``
+      planes via ``load_bitslice_column``);
+    - ``("range", column, lo, hi)`` -- FastBit range predicate over an
+      equality-encoded bitmap index (bins ``lo..hi`` inclusive).
+
+    ``aggregate`` is one of ``("count",)``, ``("sum", column, n_bits)``
+    (bit-sliced column) or ``("hist", column, n_bins)`` (indexed
+    column).  The result's ``popcount`` is the filter cardinality;
+    ``value``/``groups`` carry the aggregate.
+    """
+
+    request_id: int
+    tenant: str
+    filters: Tuple[tuple, ...]
+    aggregate: tuple
+    arrival_s: float
+    kind: str = "analytics"
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            raise ValueError("analytics request needs a tenant")
+        object.__setattr__(
+            self, "filters", tuple(tuple(f) for f in self.filters)
+        )
+        object.__setattr__(self, "aggregate", tuple(self.aggregate))
+        for pred in self.filters:
+            if not pred or pred[0] not in ("cmp", "range"):
+                raise ValueError(f"malformed predicate {pred!r}")
+            if pred[0] == "cmp":
+                if len(pred) != 5:
+                    raise ValueError(
+                        f"cmp predicate needs (cmp, column, op, value, "
+                        f"n_bits), got {pred!r}"
+                    )
+                if pred[2] not in ("lt", "le", "gt", "ge", "eq"):
+                    raise ValueError(f"unknown comparison {pred[2]!r}")
+                if pred[4] < 1:
+                    raise ValueError("cmp predicate needs n_bits >= 1")
+            else:
+                if len(pred) != 4:
+                    raise ValueError(
+                        f"range predicate needs (range, column, lo, hi), "
+                        f"got {pred!r}"
+                    )
+                if not 0 <= pred[2] <= pred[3]:
+                    raise ValueError(
+                        f"empty bin range on {pred[1]}: [{pred[2]}, {pred[3]}]"
+                    )
+        if not self.aggregate or self.aggregate[0] not in _AGGREGATES:
+            raise ValueError(
+                f"unknown aggregate {self.aggregate!r}; supported: "
+                f"{_AGGREGATES}"
+            )
+        if self.aggregate[0] in ("sum", "hist") and (
+            len(self.aggregate) != 3 or self.aggregate[2] < 1
+        ):
+            raise ValueError(
+                f"{self.aggregate[0]} aggregate needs (kind, column, "
+                f"width), got {self.aggregate!r}"
+            )
+        if not self.filters and self.aggregate[0] == "count":
+            raise ValueError(
+                "an unfiltered count references no vectors; add a filter "
+                "or aggregate over a column"
+            )
+        if self.arrival_s < 0:
+            raise ValueError("arrival_s must be non-negative")
+
+    # QueryResult.to_dict / admission duck-typing
+    @property
+    def op(self) -> str:
+        return "analyze"
+
+    @property
+    def vectors(self) -> Tuple[str, ...]:
+        """Every resident vector the query reads (validation surface)."""
+        names = []
+        for pred in self.filters:
+            if pred[0] == "cmp":
+                _, column, _op, _value, n_bits = pred
+                names.extend(
+                    bitslice_vector_name(column, j) for j in range(n_bits)
+                )
+            else:
+                _, column, lo, hi = pred
+                names.extend(
+                    bin_vector_name(column, b) for b in range(lo, hi + 1)
+                )
+        if self.aggregate[0] == "sum":
+            _, column, n_bits = self.aggregate
+            names.extend(
+                bitslice_vector_name(column, j) for j in range(n_bits)
+            )
+        elif self.aggregate[0] == "hist":
+            _, column, n_bins = self.aggregate
+            names.extend(bin_vector_name(column, b) for b in range(n_bins))
+        return tuple(dict.fromkeys(names))
+
+    @property
+    def fanin(self) -> int:
+        return len(self.vectors)
 
 
 @dataclass(frozen=True, eq=False)
@@ -221,6 +349,11 @@ class QueryResult:
     energy_j: float = 0.0
     batch_id: int = -1  # command-stream batch it rode in (-1: never ran)
     reject_reason: str = ""
+    #: analytics aggregate: scalar value (count / masked sum / histogram
+    #: total); 0.0 for plain bitwise reads
+    value: float = 0.0
+    #: analytics histogram aggregate: per-bin counts; None otherwise
+    groups: Optional[Tuple[int, ...]] = None
     bits: Optional[np.ndarray] = field(default=None, repr=False)
 
     @property
@@ -252,4 +385,6 @@ class QueryResult:
             "energy_j": self.energy_j,
             "batch_id": self.batch_id,
             "reject_reason": self.reject_reason,
+            "value": self.value,
+            "groups": None if self.groups is None else list(self.groups),
         }

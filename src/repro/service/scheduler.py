@@ -234,9 +234,20 @@ class CoalescingScheduler:
 
 
 def request_call(request: QueryRequest):
-    """Lower a request to the engine's call vocabulary."""
+    """Lower a request to the engine's call vocabulary.
+
+    Analytics requests carry their ``(filters, aggregate)`` spec so the
+    engine runs the arithmetic kernel sequence; the names list is the
+    full set of vectors the query reads (admission fan-in, validation).
+    """
     from repro.service.engine import ServiceCall
 
+    analytics = None
+    if getattr(request, "kind", "") == "analytics":
+        analytics = (request.filters, request.aggregate)
     return ServiceCall(
-        tenant=request.tenant, op=request.op, names=request.vectors
+        tenant=request.tenant,
+        op=request.op,
+        names=request.vectors,
+        analytics=analytics,
     )

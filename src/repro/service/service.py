@@ -41,6 +41,7 @@ from repro.service.clock import EventLoop
 from repro.service.engine import (
     ServiceEngine,
     build_engine,
+    oracle_analytics,
     oracle_bits,
 )
 from repro.service.request import (
@@ -51,6 +52,7 @@ from repro.service.request import (
     SubscribeRequest,
     UpdateRequest,
     bin_vector_name,
+    bitslice_vector_name,
 )
 from repro.service.scheduler import (
     CoalescingScheduler,
@@ -209,6 +211,36 @@ class BitmapQueryService:
             bitmap[events[bin_indices == b]] = 1
             self.engine.load_vector(tenant, bin_vector_name(column, b), bitmap)
 
+    def load_bitslice_column(
+        self, tenant: str, column: str, values: np.ndarray, n_bits: int
+    ) -> None:
+        """Load a numeric column in the transposed bit-slice layout.
+
+        Plane ``j`` lands as the ordinary named vector ``{column}#b{j}``
+        (see :func:`repro.service.request.bitslice_vector_name`), so
+        replication, rebalance and updates treat arithmetic columns like
+        any other vectors.  Analytics requests compare against constants
+        with bit-serial borrow chains over these planes.
+        """
+        self._check_tenant(tenant)
+        values = np.asarray(values, dtype=np.int64)
+        if values.ndim != 1:
+            raise ValueError("column values must be 1-D")
+        if n_bits < 1:
+            raise ValueError("n_bits must be >= 1")
+        if values.size and (
+            values.min() < 0 or values.max() >= (1 << n_bits)
+        ):
+            raise ValueError(
+                f"column {column!r} values out of range for {n_bits}-bit "
+                f"unsigned integers"
+            )
+        for j in range(n_bits):
+            plane = ((values >> j) & 1).astype(np.uint8)
+            self.engine.load_vector(
+                tenant, bitslice_vector_name(column, j), plane
+            )
+
     def _check_tenant(self, tenant: str) -> None:
         if tenant not in self._queues:
             raise KeyError(
@@ -271,6 +303,14 @@ class BitmapQueryService:
                     f"update size {request.bits.size} != loaded size "
                     f"{loaded.size} for {request.vector!r}"
                 )
+        elif request.kind == "analytics":
+            # "analyze" is a kernel sequence, not a backend op: skip
+            # check_op, but every referenced plane/bin must be loaded
+            for name in request.vectors:
+                if not self.engine.has_vector(request.tenant, name):
+                    raise KeyError(
+                        f"tenant {request.tenant!r} has no vector {name!r}"
+                    )
         else:
             self.engine.check_op(request.op)
             for name in request.vectors:
@@ -433,6 +473,8 @@ class BitmapQueryService:
                         service_s=call.latency_s,
                         energy_j=call.energy_j,
                         batch_id=batch_id,
+                        value=call.value,
+                        groups=call.groups,
                         bits=call.bits if keep else None,
                     )
                 )
@@ -612,6 +654,33 @@ class BitmapQueryService:
             if result.status is not RequestStatus.COMPLETED:
                 continue
             if result.request.kind in ("update", "subscribe"):
+                continue
+            if result.request.kind == "analytics":
+                mask, value, groups = oracle_analytics(
+                    self.engine,
+                    result.request.tenant,
+                    result.request.filters,
+                    result.request.aggregate,
+                )
+                if (
+                    result.popcount != int(mask.sum())
+                    or result.value != value
+                    or result.groups != groups
+                ):
+                    raise AssertionError(
+                        f"analytics request {result.request.request_id}: "
+                        f"got (popcount={result.popcount}, "
+                        f"value={result.value}, groups={result.groups}), "
+                        f"oracle ({int(mask.sum())}, {value}, {groups})"
+                    )
+                if result.bits is not None and not np.array_equal(
+                    result.bits, mask
+                ):
+                    raise AssertionError(
+                        f"analytics request {result.request.request_id}: "
+                        f"mask bits differ from the numpy oracle"
+                    )
+                checked += 1
                 continue
             expected = oracle_bits(
                 self.engine,

@@ -39,6 +39,7 @@ import numpy as np
 from repro.service.api import ServiceClient
 from repro.service.engine import ServiceEngine
 from repro.service.request import (
+    AnalyticsRequest,
     QueryRequest,
     SubscribeRequest,
     UpdateRequest,
@@ -55,7 +56,7 @@ __all__ = [
     "run_service_load",
 ]
 
-#: query mix: (kind, weight); kinds are ops or "range"
+#: query mix: (kind, weight); kinds are ops, "range", or "analyze"
 _DEFAULT_MIX: Tuple[Tuple[str, float], ...] = (
     ("and", 0.35),
     ("or", 0.25),
@@ -84,8 +85,14 @@ class ServiceLoadSpec:
     arrival_rate_per_s: float = 2e5
     #: Zipf exponent for tenant selection (0 = uniform)
     zipf_s: float = 1.0
-    #: (kind, weight) query mix; kinds are ops or "range"
+    #: (kind, weight) query mix; kinds are ops, "range", or "analyze"
+    #: (filter+aggregate analytics over the bit-sliced ``val`` column)
     mix: Tuple[Tuple[str, float], ...] = field(default=_DEFAULT_MIX)
+    #: width of the per-tenant bit-sliced numeric column ``val`` (0 =
+    #: not loaded; required >= 1 when the mix includes "analyze").  The
+    #: column rides a *separate* seeded RNG, so 0 reproduces the
+    #: historical datasets byte-identically.
+    value_bits: int = 0
     #: fraction of the stream converted to vector overwrites (the write
     #: path: delta repair + standing-query refresh).  The conversion
     #: uses a *separate* seeded RNG, so 0.0 reproduces the historical
@@ -112,6 +119,13 @@ class ServiceLoadSpec:
             raise ValueError("zipf_s must be non-negative")
         if not self.mix or any(w <= 0 for _, w in self.mix):
             raise ValueError("mix must be non-empty with positive weights")
+        if self.value_bits < 0:
+            raise ValueError("value_bits must be non-negative")
+        if any(k == "analyze" for k, _ in self.mix) and self.value_bits < 1:
+            raise ValueError(
+                "an 'analyze' mix entry needs value_bits >= 1 (the "
+                "bit-sliced 'val' column analytics queries filter on)"
+            )
         if not 0.0 <= self.write_ratio <= 1.0:
             raise ValueError("write_ratio must be in [0, 1]")
         if self.subscriptions_per_tenant < 0:
@@ -150,6 +164,9 @@ def build_datasets(
     index order -- register with ``head_replicas`` replicas.
     """
     rng = np.random.default_rng((spec.seed, 0xDA7A))
+    # the bit-sliced column draws from its own stream so value_bits=0
+    # replays the historical datasets draw-for-draw
+    vrng = np.random.default_rng((spec.seed, 0x5117))
     for i, tenant in enumerate(spec.tenant_names):
         if head_replicas > 1 and i < head_tenants:
             service.register_tenant(tenant, None, replicas=head_replicas)
@@ -170,6 +187,13 @@ def build_datasets(
             rng.integers(0, spec.index_bins, spec.index_events),
             spec.index_bins,
         )
+        if spec.value_bits > 0:
+            service.load_bitslice_column(
+                tenant,
+                "val",
+                vrng.integers(0, 1 << spec.value_bits, spec.index_events),
+                spec.value_bits,
+            )
 
 
 def generate_requests(spec: ServiceLoadSpec) -> List[QueryRequest]:
@@ -199,6 +223,27 @@ def generate_requests(spec: ServiceLoadSpec) -> List[QueryRequest]:
             hi = int(rng.integers(lo, spec.index_bins))
             requests.append(
                 QueryRequest.range_query(i, tenant, "col", lo, hi, arrival)
+            )
+            continue
+        if kind == "analyze":
+            cmp_op = str(rng.choice(["lt", "le", "gt", "ge", "eq"]))
+            value = int(rng.integers(0, 1 << spec.value_bits))
+            filters = [("cmp", "val", cmp_op, value, spec.value_bits)]
+            if int(rng.integers(0, 2)):
+                lo = int(rng.integers(0, spec.index_bins))
+                hi = int(rng.integers(lo, spec.index_bins))
+                filters.append(("range", "col", lo, hi))
+            agg_pick = str(rng.choice(["count", "sum", "hist"]))
+            if agg_pick == "sum":
+                aggregate: Tuple = ("sum", "val", spec.value_bits)
+            elif agg_pick == "hist":
+                aggregate = ("hist", "col", spec.index_bins)
+            else:
+                aggregate = ("count",)
+            requests.append(
+                AnalyticsRequest(
+                    i, tenant, tuple(filters), aggregate, arrival
+                )
             )
             continue
         if kind == "inv":
@@ -300,6 +345,14 @@ def play_stream(client: ServiceClient, requests) -> int:
                 request.tenant,
                 request.op,
                 request.vectors,
+                at=request.arrival_s,
+                request_id=request.request_id,
+            )
+        elif request.kind == "analytics":
+            client.analyze(
+                request.tenant,
+                request.filters,
+                request.aggregate,
                 at=request.arrival_s,
                 request_id=request.request_id,
             )

@@ -1,0 +1,146 @@
+"""AnalyticsTable: SQL-ish filter+aggregate queries, oracle-verified."""
+
+import numpy as np
+import pytest
+
+from repro.apps.analytics import AnalyticsTable, analytics_oracle
+from repro.runtime.api import PimRuntime
+
+N = 400
+
+
+def loaded_table(plan=True, seed=9):
+    rt = PimRuntime.pcm(plan=plan)
+    rng = np.random.default_rng(seed)
+    table = AnalyticsTable(rt, N)
+    data = {
+        "age": rng.integers(0, 64, N).astype(np.int64),
+        "income": rng.integers(0, 128, N).astype(np.int64),
+        "region": rng.integers(0, 6, N).astype(np.int64),
+    }
+    table.load_column("age", data["age"], 6)
+    table.load_column("income", data["income"], 7)
+    table.load_index("region", data["region"], 6)
+    return table, data
+
+
+class TestQueries:
+    @pytest.mark.parametrize("plan", [False, True])
+    def test_count(self, plan):
+        table, data = loaded_table(plan)
+        result = table.filter(("cmp", "age", "lt", 30)).count()
+        assert result.popcount == int((data["age"] < 30).sum())
+        assert result.value == float(result.popcount)
+        assert result.groups is None
+
+    def test_conjunction_sum(self):
+        table, data = loaded_table()
+        result = table.filter(
+            ("cmp", "age", "ge", 18), ("range", "region", 1, 3)
+        ).sum("income")
+        want = (data["age"] >= 18) & (data["region"] >= 1) & (data["region"] <= 3)
+        assert result.popcount == int(want.sum())
+        assert result.value == float(data["income"][want].sum())
+
+    def test_histogram(self):
+        table, data = loaded_table()
+        result = table.filter(("cmp", "income", "gt", 60)).histogram("region")
+        want = data["income"] > 60
+        np.testing.assert_array_equal(
+            result.groups, np.bincount(data["region"][want], minlength=6)
+        )
+        assert result.value == float(sum(result.groups))
+
+    def test_unfiltered_aggregates(self):
+        table, data = loaded_table()
+        assert table.filter().count().popcount == N
+        assert table.filter().sum("age").value == float(data["age"].sum())
+
+    def test_every_query_is_priced(self):
+        table, _ = loaded_table()
+        result = table.filter(("cmp", "age", "le", 9)).count()
+        assert result.latency_s > 0
+        assert result.energy_j > 0
+
+    def test_verify_replays_all(self):
+        table, _ = loaded_table()
+        table.filter(("cmp", "age", "lt", 30)).count()
+        table.filter(("range", "region", 0, 2)).sum("income")
+        table.filter().histogram("region")
+        assert table.verify() == 3
+
+    def test_aggregate_spec_form(self):
+        table, data = loaded_table()
+        result = table.filter(("cmp", "age", "lt", 30)).aggregate(
+            ("sum", "income")
+        )
+        want = data["age"] < 30
+        assert result.value == float(data["income"][want].sum())
+
+
+class TestValidation:
+    def test_unknown_column(self):
+        table, _ = loaded_table()
+        with pytest.raises(KeyError, match="no bit-sliced column"):
+            table.filter(("cmp", "nope", "lt", 3))
+        with pytest.raises(KeyError, match="no bitmap index"):
+            table.filter(("range", "age", 0, 1))
+
+    def test_bad_predicate(self):
+        table, _ = loaded_table()
+        with pytest.raises(ValueError, match="unknown comparison"):
+            table.filter(("cmp", "age", "between", 3))
+        with pytest.raises(ValueError, match="outside"):
+            table.filter(("range", "region", 0, 99))
+        with pytest.raises(ValueError, match="unknown predicate"):
+            table.filter(("join", "age"))
+
+    def test_duplicate_load_rejected(self):
+        table, _ = loaded_table()
+        with pytest.raises(ValueError, match="already loaded"):
+            table.load_column("age", np.zeros(N, dtype=np.int64), 4)
+
+    def test_shape_mismatch_rejected(self):
+        table, _ = loaded_table()
+        with pytest.raises(ValueError, match="rows"):
+            table.load_column("extra", np.zeros(N - 1, dtype=np.int64), 4)
+
+
+class TestOracle:
+    def test_oracle_matches_plain_numpy(self):
+        rng = np.random.default_rng(3)
+        cols = {
+            "x": rng.integers(0, 32, 100).astype(np.int64),
+            "g": rng.integers(0, 4, 100).astype(np.int64),
+        }
+        mask, value, groups = analytics_oracle(
+            cols, [("cmp", "x", "ge", 10)], ("hist", "g")
+        )
+        want = cols["x"] >= 10
+        np.testing.assert_array_equal(mask.astype(bool), want)
+        np.testing.assert_array_equal(
+            groups, np.bincount(cols["g"][want], minlength=4)
+        )
+        assert value == float(want.sum())
+
+
+class TestLifecycle:
+    def test_free_releases_everything(self):
+        table, _ = loaded_table()
+        table.filter(("cmp", "age", "lt", 30)).count()
+        table.free()
+        # a fresh table in the same runtime can re-allocate cleanly
+        table2 = AnalyticsTable(table.runtime, N, group="analytics2")
+        table2.load_column("age", np.zeros(N, dtype=np.int64), 4)
+        assert table2.filter().count().popcount == N
+
+    def test_repeat_query_deterministic(self):
+        table, _ = loaded_table()
+        spec = (("cmp", "age", "lt", 30), ("range", "region", 1, 4))
+        r1 = table.filter(*spec).sum("income")
+        r2 = table.filter(*spec).sum("income")
+        assert (r1.value, r1.popcount, r1.groups) == (
+            r2.value,
+            r2.popcount,
+            r2.groups,
+        )

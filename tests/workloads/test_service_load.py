@@ -114,3 +114,66 @@ class TestRun:
         assert stats.completed + stats.rejected == spec.n_requests
         assert service.verify_results() == stats.completed
         assert stats.coalesced_requests > 0
+
+
+class TestAnalyticsMix:
+    MIX = (("and", 0.3), ("range", 0.2), ("analyze", 0.5))
+
+    def spec(self, **overrides):
+        base = dict(
+            n_tenants=4,
+            vectors_per_tenant=3,
+            vector_bits=512,
+            index_events=256,
+            n_requests=40,
+            mix=self.MIX,
+            value_bits=5,
+            seed=9,
+        )
+        base.update(overrides)
+        return ServiceLoadSpec(**base)
+
+    def test_analyze_mix_requires_value_bits(self):
+        with pytest.raises(ValueError, match="value_bits"):
+            self.spec(value_bits=0)
+
+    def test_stream_contains_analytics_requests(self):
+        requests = generate_requests(self.spec())
+        kinds = {getattr(r, "kind", "") for r in requests}
+        assert "analytics" in kinds
+
+    def test_end_to_end_with_oracle_parity(self):
+        spec = self.spec()
+        service, stats = run_service_load(spec, ServiceConfig(keep_bits=True))
+        assert stats.completed + stats.rejected == spec.n_requests
+        assert service.verify_results() == stats.completed
+        n_analytics = sum(
+            1
+            for r in service.results
+            if getattr(r.request, "kind", "") == "analytics"
+        )
+        assert n_analytics > 0
+
+    def test_value_bits_zero_keeps_historical_stream(self):
+        """Adding the value_bits knob (left at 0) must not perturb the
+        seeded request stream of a pre-existing spec."""
+        legacy = ServiceLoadSpec(**{**SMALL.__dict__})
+        assert legacy.value_bits == 0
+        a = generate_requests(SMALL)
+        b = generate_requests(legacy)
+        assert [r.request_id for r in a] == [r.request_id for r in b]
+        assert [r.arrival_s for r in a] == [r.arrival_s for r in b]
+        assert [r.op for r in a] == [r.op for r in b]
+
+    def test_cluster_end_to_end(self):
+        from repro.cluster import ClusterConfig
+        from repro.workloads.service_load import run_cluster_load
+
+        spec = self.spec(n_requests=24)
+        router, stats = run_cluster_load(
+            spec,
+            ClusterConfig(n_nodes=2),
+            head_tenants=1,
+            head_replicas=2,
+        )
+        assert router.verify_results() == stats.completed
