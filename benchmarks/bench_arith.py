@@ -13,14 +13,20 @@ identical systems:
   sub-result cache, one Python pass per wave;
 - *compiled*: ``PimRuntime(plan=True)``, the kernel compiler
   additionally lowers the recurring waves (including the popcount
-  reductions) into flat numpy programs.
+  reductions) into flat numpy programs (whole-query analytics
+  compilation off, so this arm isolates the wave compiler);
+- *analytics*: the full stack -- on top of the compiled planner the
+  :class:`~repro.arith.compile.AnalyticsCompiler` replays whole
+  steady-state queries from shape-keyed programs with the comparison
+  constants as runtime parameters.
 
-All three arms must answer every query identically (counts, sums,
-per-bin histograms); the two planner arms must price identically
-(simulated cost is an execution-strategy invariant).  The headline
-claim, guarded by ``check_bench_regression.py``, is that the compiled
-path clears **5x the uncompiled interpreter's wall throughput**.
-Results land in ``BENCH_arith.json`` at the repo root.
+All arms must answer every query identically (counts, sums, per-bin
+histograms); the planner arms must price identically (simulated cost
+is an execution-strategy invariant).  The headline claims, guarded by
+``check_bench_regression.py``, are that the compiled path clears **5x
+the uncompiled interpreter's wall throughput** and the analytics
+programs clear **3x the compiled arm** on top of that.  Results land
+in ``BENCH_arith.json`` at the repo root.
 """
 
 import sys
@@ -40,6 +46,10 @@ RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_arith.json"
 #: the compiled planner must clear this multiple of the uncompiled
 #: interpreter's wall throughput (the ISSUE 9 acceptance floor)
 COMPILED_TARGET_SPEEDUP = 5.0
+
+#: the whole-query analytics programs must clear this multiple of the
+#: compiled arm's wall throughput (the ISSUE 10 acceptance floor)
+ANALYTICS_TARGET_SPEEDUP = 3.0
 
 #: planner arms must price identically to this relative tolerance
 SIM_PARITY_RTOL = 1e-9
@@ -98,10 +108,12 @@ def _stream(pool: list, repeats: int, seed: int = 29) -> list:
     return stream
 
 
-def _build_table(data: dict, plan: bool, compile_: bool) -> AnalyticsTable:
+def _build_table(
+    data: dict, plan: bool, compile_: bool, analytics: bool = False
+) -> AnalyticsTable:
     system = PinatuboSystem(get_technology("pcm"), GEOM, batch_commands=True)
     runtime = PimRuntime(system, plan=plan, compile=compile_)
-    table = AnalyticsTable(runtime, N_ROWS)
+    table = AnalyticsTable(runtime, N_ROWS, compile_analytics=analytics)
     table.load_column("age", data["age"], 6)
     table.load_column("income", data["income"], VALUE_BITS)
     table.load_index("region", data["region"], N_BINS)
@@ -116,7 +128,7 @@ def _play(table: AnalyticsTable, stream: list) -> list:
 
 
 def _run_arm(data, stream, plan: bool, compile_: bool, warm: bool,
-             best_of: int = 1):
+             best_of: int = 1, analytics: bool = False):
     """Build one arm, optionally warm it, and measure the stream.
 
     Warming runs the stream twice unmeasured (cache fill, then replay
@@ -124,7 +136,7 @@ def _run_arm(data, stream, plan: bool, compile_: bool, warm: bool,
     ``best_of > 1`` the wall time is the minimum over that many
     measured passes (the ``timeit`` convention).
     """
-    table = _build_table(data, plan=plan, compile_=compile_)
+    table = _build_table(data, plan=plan, compile_=compile_, analytics=analytics)
     if warm:
         _play(table, stream)
         _play(table, stream)
@@ -175,18 +187,43 @@ def run_arith_benchmark(repeats: int = REPEATS) -> dict:
     )
     comp_sim, comp_energy = _sim_totals(comp_results)
 
-    # identical answers across all three arms, and against the oracle
+    # -- analytics programs (whole-query shape-keyed replay) -----------------
+    ana_table, ana_results, ana_wall = _run_arm(
+        data, stream, plan=True, compile_=True, warm=True, best_of=3,
+        analytics=True,
+    )
+    ana_sim, ana_energy = _sim_totals(ana_results)
+
+    # identical answers across all four arms, and against the oracle
     answers = _answers(plain_results)
     assert answers == _answers(interp_results)
     assert answers == _answers(comp_results)
+    assert answers == _answers(ana_results)
     plain_table.verify()
     comp_table.verify()
+    ana_table.verify()
     # the compiled path is an execution strategy, not a pricing change
     assert _rel_close(comp_sim, interp_sim, SIM_PARITY_RTOL), (
         f"compiled sim latency {comp_sim!r} != interpreted {interp_sim!r}"
     )
     assert _rel_close(comp_energy, interp_energy, SIM_PARITY_RTOL), (
         f"compiled sim energy {comp_energy!r} != interpreted {interp_energy!r}"
+    )
+    # ...and neither is whole-query replay: recorded steady-state pricing
+    assert _rel_close(ana_sim, interp_sim, SIM_PARITY_RTOL), (
+        f"analytics sim latency {ana_sim!r} != interpreted {interp_sim!r}"
+    )
+    assert _rel_close(ana_sim, comp_sim, SIM_PARITY_RTOL), (
+        f"analytics sim latency {ana_sim!r} != compiled {comp_sim!r}"
+    )
+    assert _rel_close(ana_energy, interp_energy, SIM_PARITY_RTOL), (
+        f"analytics sim energy {ana_energy!r} != interpreted {interp_energy!r}"
+    )
+    # the measured pass must actually have replayed (not fallen back)
+    ana_stats = ana_table.compiler.stats
+    assert ana_stats.replays >= n_queries, (
+        f"analytics arm fell back to interpretation: only "
+        f"{ana_stats.replays} replays over {n_queries} measured queries"
     )
 
     comp_planner = comp_table.runtime.planner
@@ -221,10 +258,19 @@ def run_arith_benchmark(repeats: int = REPEATS) -> dict:
             "plan": comp_table.runtime.plan_stats.to_dict(),
             "programs": comp_planner.programs.to_dict(),
         },
+        "analytics": {
+            "wall_s": ana_wall,
+            "queries_per_s": n_queries / ana_wall,
+            "sim_latency_s": ana_sim,
+            "sim_ops_per_s": n_queries / ana_sim,
+            "compiler": ana_table.compiler.to_dict(),
+        },
         "sim_speedup": plain_sim / interp_sim,
         "wall_speedup": plain_wall / interp_wall,
         "wall_speedup_compiled": plain_wall / comp_wall,
         "compiled_queries_per_s": n_queries / comp_wall,
+        "wall_speedup_analytics": comp_wall / ana_wall,
+        "analytics_queries_per_s": n_queries / ana_wall,
     }
 
 
@@ -244,8 +290,10 @@ def _report(result: dict) -> str:
         f"{result['workload']['n_rows']} rows): "
         f"uncompiled {result['uncached']['queries_per_s']:.0f} q/s, "
         f"interpreted {result['planned']['queries_per_s']:.0f} q/s, "
-        f"compiled {result['compiled']['queries_per_s']:.0f} q/s "
+        f"compiled {result['compiled']['queries_per_s']:.0f} q/s, "
+        f"analytics {result['analytics']['queries_per_s']:.0f} q/s "
         f"(wall {result['wall_speedup_compiled']:.1f}x, "
+        f"analytics {result['wall_speedup_analytics']:.1f}x over compiled, "
         f"sim {result['uncached']['sim_ops_per_s']:.0f} q/s) "
         f"-> {RESULT_PATH.name}"
     )
@@ -262,6 +310,11 @@ def _check(result: dict, smoke: bool) -> None:
         f"kernel compiler regression: compiled analytics at "
         f"{result['wall_speedup_compiled']:.1f}x the uncompiled "
         f"interpreter (target {COMPILED_TARGET_SPEEDUP:.0f}x)"
+    )
+    assert result["wall_speedup_analytics"] >= ANALYTICS_TARGET_SPEEDUP, (
+        f"analytics program regression: whole-query replay at "
+        f"{result['wall_speedup_analytics']:.1f}x the compiled arm "
+        f"(target {ANALYTICS_TARGET_SPEEDUP:.0f}x)"
     )
 
 

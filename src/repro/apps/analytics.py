@@ -13,8 +13,19 @@
 executes the whole query in memory: predicate masks from the
 :mod:`repro.arith.kernels` gate recipes, conjunction by mask AND, and
 popcount-based reduction over the I/O bus -- every gate priced by the
-simulated controller.  ``verify()`` replays every executed query on the
-host shadows and asserts exact agreement.
+simulated controller.  All predicate gates land as **one** planner
+wave, so identical sub-chains inside a query CSE-fold.  ``verify()``
+replays every executed query on the host shadows and asserts exact
+agreement.
+
+On a planned+compiled runtime the table additionally runs the
+:class:`~repro.arith.compile.AnalyticsCompiler` (see that module for
+the honesty rules): a repeated query *shape* compiles into a program
+keyed by structure with the comparison constants as runtime
+parameters, and steady-state repeats replay with zero planner work --
+same answers, same simulated pricing, ~none of the Python.
+``compile_analytics=False`` is the escape hatch back to per-call
+kernel interpretation.
 """
 
 from __future__ import annotations
@@ -26,6 +37,7 @@ import numpy as np
 
 from repro import telemetry
 from repro.arith.bitslice import BitSliceTensor
+from repro.arith.compile import AnalyticsCompiler, analytics_program_key
 from repro.arith.kernels import (
     CMP_OPS,
     ScratchPool,
@@ -103,7 +115,13 @@ def analytics_oracle(
 class AnalyticsTable:
     """A resident table: bit-sliced numeric columns + bitmap indexes."""
 
-    def __init__(self, runtime, n_rows: int, group: str = "analytics"):
+    def __init__(
+        self,
+        runtime,
+        n_rows: int,
+        group: str = "analytics",
+        compile_analytics: bool = True,
+    ):
         if n_rows < 1:
             raise ValueError("n_rows must be >= 1")
         self.runtime = runtime
@@ -114,6 +132,11 @@ class AnalyticsTable:
         self._indexes: Dict[str, List] = {}
         self._host: Dict[str, np.ndarray] = {}
         self.executed: List[AnalyticsResult] = []
+        #: whole-query program compiler; self-disables on unplanned /
+        #: uncompiled runtimes (``enabled`` False -> pure interpretation)
+        self.compiler = AnalyticsCompiler(runtime)
+        if not compile_analytics:
+            self.compiler.enabled = False
 
     # -- loading -------------------------------------------------------------
 
@@ -192,29 +215,76 @@ class AnalyticsTable:
             raise ValueError(f"unknown predicate kind {pred[0]!r}")
 
     def _build_mask(self, predicates):
+        """Predicate masks + conjunction, emitted as one planner wave."""
         pool = self.pool
+        requests: list = []
         if not predicates:
-            return copy_plane(pool, pool.ones)
-        masks = []
+            mask = copy_plane(pool, pool.ones, requests)
+        else:
+            masks = []
+            for pred in predicates:
+                if pred[0] == "cmp":
+                    _, col, op, value = pred[:4]
+                    masks.append(
+                        compare_const(
+                            pool, self._slices[col].planes, op, value, requests
+                        )
+                    )
+                else:
+                    _, col, lo, hi = pred[:4]
+                    bins = self._indexes[col][lo : hi + 1]
+                    dest = pool.take()
+                    if len(bins) == 1:
+                        requests.append(("or", dest, [bins[0], pool.zero]))
+                    else:
+                        requests.append(("or", dest, list(bins)))
+                    masks.append(dest)
+            mask = combine_masks(pool, masks, requests)
+        if requests:
+            self.runtime.pim_op_many(requests)
+        return mask
+
+    def _program_leaves(self, predicates, aggregate) -> list:
+        """Every resident handle one query reads (program leaf set)."""
+        handles: list = []
         for pred in predicates:
             if pred[0] == "cmp":
-                _, col, op, value = pred[:4]
-                masks.append(
-                    compare_const(pool, self._slices[col].planes, op, value)
-                )
+                handles.extend(self._slices[pred[1]].planes)
             else:
-                _, col, lo, hi = pred[:4]
-                bins = self._indexes[col][lo : hi + 1]
-                dest = pool.take()
-                if len(bins) == 1:
-                    self.runtime.pim_op("or", dest, [bins[0], pool.zero])
-                else:
-                    self.runtime.pim_op("or", dest, bins)
-                masks.append(dest)
-        return combine_masks(pool, masks)
+                handles.extend(self._indexes[pred[1]][pred[2] : pred[3] + 1])
+        if aggregate[0] == "sum":
+            handles.extend(self._slices[aggregate[1]].planes)
+        elif aggregate[0] == "hist":
+            handles.extend(self._indexes[aggregate[1]])
+        handles.extend(self.pool._constants)
+        return handles
 
     def _run(self, predicates, aggregate) -> AnalyticsResult:
         runtime = self.runtime
+        compiler = self.compiler
+        tape = None
+        if compiler.enabled:
+            key, constants = analytics_program_key(predicates, aggregate)
+            rec = compiler.replay(key, constants)
+            if rec is not None:
+                _Q_QUERIES.add()
+                result = AnalyticsResult(
+                    value=rec.value,
+                    groups=rec.groups,
+                    popcount=rec.popcount,
+                    latency_s=rec.latency_s,
+                    energy_j=rec.energy_j,
+                    spec=(tuple(predicates), tuple(aggregate)),
+                )
+                self.executed.append(result)
+                return result
+            tape = compiler.observe(
+                key,
+                constants,
+                lambda: self._program_leaves(predicates, aggregate),
+            )
+            if tape is not None and tape.scratch_high_water:
+                self.pool.preallocate(tape.scratch_high_water)
         lat0, en0 = runtime.total_latency(), runtime.total_energy()
         with telemetry.span(
             "analytics.query",
@@ -237,7 +307,15 @@ class AnalyticsTable:
                 value = float(sum(groups))
             else:
                 raise ValueError(f"unknown aggregate {aggregate[0]!r}")
+        if tape is not None:
+            tape.finish(
+                popcount=popcount,
+                value=value,
+                groups=groups,
+                high_water=self.pool.high_water,
+            )
         self.pool.recycle()
+        self.pool.assert_drained()
         _Q_QUERIES.add()
         result = AnalyticsResult(
             value=value,

@@ -53,6 +53,24 @@ class ScratchPool:
     ``recycle`` returns every outstanding one to the pool -- call it
     once per query, after the results have been reduced or copied out.
     Constants are allocated lazily and never recycled.
+
+    The pool keeps honest books: :attr:`in_use` counts outstanding
+    scratch planes, :attr:`high_water` the lifetime peak, and
+    :meth:`assert_drained` verifies after a query that every plane came
+    back (conservation check included), so a kernel that forgets to
+    recycle -- or recycles into the wrong pool -- fails loudly instead
+    of silently growing the pool.  :meth:`preallocate` warms the free
+    list to a known program's footprint so a fallback run never
+    allocates mid-query.
+
+    Plane hand-out is **canonical**: every plane carries its allocation
+    index and ``take`` always returns the lowest-indexed free plane, so
+    a query takes the *same* physical planes on every run regardless of
+    pool history or later growth.  Placement-dependent op pricing
+    (same-subarray vs inter-subarray locality) is therefore a pure
+    function of the query shape -- the invariant the analytics
+    compiler's recorded pricing and the benchmark's cross-arm simulated
+    parity both rest on.
     """
 
     def __init__(self, runtime, n_bits: int, group: str = "arith"):
@@ -63,14 +81,24 @@ class ScratchPool:
         self._taken: List = []
         self._reserved: List = []
         self._constants: List = []
+        self._index: dict = {}  # id(handle) -> allocation index
+        self._allocated = 0  # scratch planes ever created (constants aside)
+        self._high_water = 0  # peak simultaneous in_use
+
+    def _new_plane(self):
+        handle = self.runtime.pim_malloc(self.n_bits, self.group)
+        self._index[id(handle)] = self._allocated
+        self._allocated += 1
+        return handle
 
     def take(self):
-        handle = (
-            self._free.pop()
-            if self._free
-            else self.runtime.pim_malloc(self.n_bits, self.group)
-        )
+        if self._free:
+            handle = self._free.pop()
+        else:
+            handle = self._new_plane()
         self._taken.append(handle)
+        if len(self._taken) > self._high_water:
+            self._high_water = len(self._taken)
         return handle
 
     def reserve(self, handle) -> None:
@@ -81,6 +109,61 @@ class ScratchPool:
     def recycle(self) -> None:
         self._free.extend(self._taken)
         self._taken.clear()
+        # canonical order: pop() must return the lowest allocation index
+        self._free.sort(key=lambda h: -self._index[id(h)])
+
+    @property
+    def in_use(self) -> int:
+        """Scratch planes handed out and not yet recycled."""
+        return len(self._taken)
+
+    @property
+    def allocated(self) -> int:
+        """Scratch planes ever created by this pool (constants aside)."""
+        return self._allocated
+
+    @property
+    def high_water(self) -> int:
+        """Lifetime peak of :attr:`in_use`."""
+        return self._high_water
+
+    def preallocate(self, n_planes: int) -> None:
+        """Grow the pool to at least ``n_planes`` scratch planes.
+
+        Called by the analytics compiler with a program's recorded
+        scratch footprint, so replaying a shape's interpreted fallback
+        never pays ``pim_malloc`` inside the measured query.
+        """
+        grown = False
+        while self._allocated < n_planes:
+            self._free.append(self._new_plane())
+            grown = True
+        if grown:
+            self._free.sort(key=lambda h: -self._index[id(h)])
+
+    def stats(self) -> dict:
+        """JSON-ready accounting snapshot."""
+        return {
+            "allocated": self._allocated,
+            "in_use": self.in_use,
+            "free": len(self._free),
+            "reserved": len(self._reserved),
+            "high_water": self._high_water,
+        }
+
+    def assert_drained(self) -> None:
+        """Post-query leak check: nothing outstanding, books balanced."""
+        if self._taken:
+            raise AssertionError(
+                f"scratch pool leak: {len(self._taken)} plane(s) still "
+                f"taken after recycle ({self.stats()})"
+            )
+        if len(self._free) + len(self._reserved) != self._allocated:
+            raise AssertionError(
+                f"scratch pool books out of balance: "
+                f"{len(self._free)} free + {len(self._reserved)} reserved "
+                f"!= {self._allocated} allocated ({self.stats()})"
+            )
 
     def free_all(self) -> None:
         """Release every pool-owned vector, constants included."""
@@ -92,6 +175,8 @@ class ScratchPool:
         self._taken.clear()
         self._reserved.clear()
         self._constants.clear()
+        self._index.clear()
+        self._allocated = 0
 
     @property
     def zero(self):
@@ -115,11 +200,14 @@ class ScratchPool:
         self._constants.extend([zero, ones])
 
 
-def copy_plane(pool: ScratchPool, source):
+def copy_plane(pool: ScratchPool, source, requests: Optional[list] = None):
     """Scratch copy of a plane: ``OR`` with the zero constant (the
     repo's canonical in-memory copy idiom)."""
     dest = pool.take()
-    pool.runtime.pim_op("or", dest, [source, pool.zero])
+    if requests is None:
+        pool.runtime.pim_op("or", dest, [source, pool.zero])
+    else:
+        requests.append(("or", dest, [source, pool.zero]))
     return dest
 
 
@@ -128,13 +216,16 @@ def ripple_add(
     a_planes: Sequence,
     b_planes: Sequence,
     carry_in=None,
+    requests: Optional[list] = None,
 ) -> List:
     """``a + b`` over bit-slice planes; returns ``k + 1`` result planes.
 
     ``carry_in`` (a resident plane, e.g. ``pool.ones`` for two's
     complement subtraction) seeds the LSB carry; without it the LSB is
     a half add.  All ``3k - 1`` (or ``3k + 1``) gates go out as one
-    batched command stream.
+    batched command stream; with a caller-owned ``requests`` list they
+    are appended instead, so a larger kernel (a whole analytics query,
+    a fused sub+add chain) lands as a single planner wave.
     """
     if len(a_planes) != len(b_planes):
         raise ValueError(
@@ -143,8 +234,9 @@ def ripple_add(
     k = len(a_planes)
     if k == 0:
         raise ValueError("need at least one plane")
-    runtime = pool.runtime
-    requests = []
+    issue = requests is None
+    if issue:
+        requests = []
     t_planes, g_planes = [], []
     for a_j, b_j in zip(a_planes, b_planes):
         t_j, g_j = pool.take(), pool.take()
@@ -168,37 +260,48 @@ def ripple_add(
         out.append(s_j)
         carry = c_next
     out.append(carry)
-    runtime.pim_op_many(requests)
+    if issue:
+        pool.runtime.pim_op_many(requests)
     return out
 
 
 def ripple_sub(
-    pool: ScratchPool, a_planes: Sequence, b_planes: Sequence
+    pool: ScratchPool,
+    a_planes: Sequence,
+    b_planes: Sequence,
+    requests: Optional[list] = None,
 ) -> List:
     """``a - b (mod 2^k)`` over bit-slice planes; returns ``k`` planes.
 
     Two's complement: invert every ``b`` plane, add with the all-ones
-    carry-in, drop the final carry-out.
+    carry-in, drop the final carry-out.  The inversions and the whole
+    ripple ride one command stream (one planner wave).
     """
-    runtime = pool.runtime
-    inverted = [pool.take() for _ in b_planes]
-    runtime.pim_op_many(
-        [("inv", nb_j, [b_j]) for nb_j, b_j in zip(inverted, b_planes)]
-    )
-    return ripple_add(pool, a_planes, inverted, carry_in=pool.ones)[
-        : len(a_planes)
-    ]
+    issue = requests is None
+    if issue:
+        requests = []
+    inverted = []
+    for b_j in b_planes:
+        nb_j = pool.take()
+        requests.append(("inv", nb_j, [b_j]))
+        inverted.append(nb_j)
+    out = ripple_add(
+        pool, a_planes, inverted, carry_in=pool.ones, requests=requests
+    )[: len(a_planes)]
+    if issue:
+        pool.runtime.pim_op_many(requests)
+    return out
 
 
-def _lt_const(pool: ScratchPool, planes: Sequence, value: int):
+def _lt_const(
+    pool: ScratchPool, planes: Sequence, value: int, requests: list
+):
     """Mask of ``a < value`` for an unsigned constant ``value``."""
     k = len(planes)
-    runtime = pool.runtime
     if value <= 0:
-        return copy_plane(pool, pool.zero)
+        return copy_plane(pool, pool.zero, requests)
     if value >= (1 << k):
-        return copy_plane(pool, pool.ones)
-    requests = []
+        return copy_plane(pool, pool.ones, requests)
     borrow = None
     for j, a_j in enumerate(planes):
         bit = (value >> j) & 1
@@ -213,17 +316,16 @@ def _lt_const(pool: ScratchPool, planes: Sequence, value: int):
         nxt = pool.take()
         requests.append(("or" if bit else "and", nxt, [inv_a, borrow]))
         borrow = nxt
-    runtime.pim_op_many(requests)
     return borrow
 
 
-def _eq_const(pool: ScratchPool, planes: Sequence, value: int):
+def _eq_const(
+    pool: ScratchPool, planes: Sequence, value: int, requests: list
+):
     """Mask of ``a == value`` for an unsigned constant ``value``."""
     k = len(planes)
-    runtime = pool.runtime
     if not 0 <= value < (1 << k):
-        return copy_plane(pool, pool.zero)
-    requests = []
+        return copy_plane(pool, pool.zero, requests)
     factors = []
     for j, a_j in enumerate(planes):
         if (value >> j) & 1:
@@ -241,44 +343,67 @@ def _eq_const(pool: ScratchPool, planes: Sequence, value: int):
         nxt = pool.take()
         requests.append(("and", nxt, [acc, factor]))
         acc = nxt
-    runtime.pim_op_many(requests)
     return acc
 
 
-def _invert(pool: ScratchPool, mask):
+def _invert(pool: ScratchPool, mask, requests: Optional[list] = None):
     dest = pool.take()
-    pool.runtime.pim_op("inv", dest, [mask])
+    if requests is None:
+        pool.runtime.pim_op("inv", dest, [mask])
+    else:
+        requests.append(("inv", dest, [mask]))
     return dest
 
 
-def compare_const(pool: ScratchPool, planes: Sequence, op: str, value: int):
+def compare_const(
+    pool: ScratchPool,
+    planes: Sequence,
+    op: str,
+    value: int,
+    requests: Optional[list] = None,
+):
     """Predicate mask of ``a <op> value`` over bit-slice planes.
 
     ``op`` is one of ``lt | le | gt | ge | eq``; ``value`` is an
     unsigned constant (any Python int -- out-of-range constants
     degenerate to the all-true / all-false mask).  Returns one scratch
     plane holding the boolean mask.
+
+    The whole gate chain -- including the trailing inversion of ``ge``
+    / ``gt`` -- is emitted as **one** command stream.  Passing a
+    caller-owned ``requests`` list defers issue entirely, so several
+    predicates plus their mask conjunction can land as a single planner
+    wave (duplicate sub-chains then CSE-fold inside the wave).
     """
     k = len(planes)
     if k == 0:
         raise ValueError("need at least one plane")
+    if op not in CMP_OPS:
+        raise ValueError(f"unknown comparison {op!r}; supported: {CMP_OPS}")
+    issue = requests is None
+    if issue:
+        requests = []
     if op == "lt":
-        return _lt_const(pool, planes, value)
-    if op == "ge":
-        return _invert(pool, _lt_const(pool, planes, value))
-    if op == "le":
-        return _lt_const(pool, planes, value + 1)
-    if op == "gt":
-        return _invert(pool, _lt_const(pool, planes, value + 1))
-    if op == "eq":
-        return _eq_const(pool, planes, value)
-    raise ValueError(f"unknown comparison {op!r}; supported: {CMP_OPS}")
+        mask = _lt_const(pool, planes, value, requests)
+    elif op == "ge":
+        mask = _invert(pool, _lt_const(pool, planes, value, requests), requests)
+    elif op == "le":
+        mask = _lt_const(pool, planes, value + 1, requests)
+    elif op == "gt":
+        mask = _invert(
+            pool, _lt_const(pool, planes, value + 1, requests), requests
+        )
+    else:  # eq
+        mask = _eq_const(pool, planes, value, requests)
+    if issue:
+        pool.runtime.pim_op_many(requests)
+    return mask
 
 
-def _lt_tensor(pool: ScratchPool, a_planes: Sequence, b_planes: Sequence):
+def _lt_tensor(
+    pool: ScratchPool, a_planes: Sequence, b_planes: Sequence, requests: list
+):
     """Mask of ``a < b`` element-wise over two bit-slice tensors."""
-    runtime = pool.runtime
-    requests = []
     borrow = None
     for a_j, b_j in zip(a_planes, b_planes):
         inv_a = pool.take()
@@ -297,14 +422,13 @@ def _lt_tensor(pool: ScratchPool, a_planes: Sequence, b_planes: Sequence):
         nxt = pool.take()
         requests.append(("or", nxt, [win, keep]))
         borrow = nxt
-    runtime.pim_op_many(requests)
     return borrow
 
 
-def _eq_tensor(pool: ScratchPool, a_planes: Sequence, b_planes: Sequence):
+def _eq_tensor(
+    pool: ScratchPool, a_planes: Sequence, b_planes: Sequence, requests: list
+):
     """Mask of ``a == b``: NOR-reduce the per-plane XORs."""
-    runtime = pool.runtime
-    requests = []
     diffs = []
     for a_j, b_j in zip(a_planes, b_planes):
         d_j = pool.take()
@@ -317,45 +441,69 @@ def _eq_tensor(pool: ScratchPool, a_planes: Sequence, b_planes: Sequence):
         acc = nxt
     eq = pool.take()
     requests.append(("inv", eq, [acc]))
-    runtime.pim_op_many(requests)
     return eq
 
 
-def compare(pool: ScratchPool, a_planes: Sequence, op: str, b_planes: Sequence):
-    """Predicate mask of ``a <op> b`` element-wise (both bit-sliced)."""
+def compare(
+    pool: ScratchPool,
+    a_planes: Sequence,
+    op: str,
+    b_planes: Sequence,
+    requests: Optional[list] = None,
+):
+    """Predicate mask of ``a <op> b`` element-wise (both bit-sliced).
+
+    Like :func:`compare_const`, the whole chain is one command stream;
+    a caller-owned ``requests`` list defers issue for wave fusion.
+    """
     if len(a_planes) != len(b_planes):
         raise ValueError(
             f"width mismatch: {len(a_planes)} vs {len(b_planes)} planes"
         )
     if len(a_planes) == 0:
         raise ValueError("need at least one plane")
+    if op not in CMP_OPS:
+        raise ValueError(f"unknown comparison {op!r}; supported: {CMP_OPS}")
+    issue = requests is None
+    if issue:
+        requests = []
     if op == "lt":
-        return _lt_tensor(pool, a_planes, b_planes)
-    if op == "gt":
-        return _lt_tensor(pool, b_planes, a_planes)
-    if op == "ge":
-        return _invert(pool, _lt_tensor(pool, a_planes, b_planes))
-    if op == "le":
-        return _invert(pool, _lt_tensor(pool, b_planes, a_planes))
-    if op == "eq":
-        return _eq_tensor(pool, a_planes, b_planes)
-    raise ValueError(f"unknown comparison {op!r}; supported: {CMP_OPS}")
+        mask = _lt_tensor(pool, a_planes, b_planes, requests)
+    elif op == "gt":
+        mask = _lt_tensor(pool, b_planes, a_planes, requests)
+    elif op == "ge":
+        mask = _invert(
+            pool, _lt_tensor(pool, a_planes, b_planes, requests), requests
+        )
+    elif op == "le":
+        mask = _invert(
+            pool, _lt_tensor(pool, b_planes, a_planes, requests), requests
+        )
+    else:  # eq
+        mask = _eq_tensor(pool, a_planes, b_planes, requests)
+    if issue:
+        pool.runtime.pim_op_many(requests)
+    return mask
 
 
-def combine_masks(pool: ScratchPool, masks: Sequence):
+def combine_masks(
+    pool: ScratchPool, masks: Sequence, requests: Optional[list] = None
+):
     """AND-reduce predicate masks into one (conjunctive filter)."""
     if len(masks) == 0:
         raise ValueError("need at least one mask")
     if len(masks) == 1:
         return masks[0]
-    runtime = pool.runtime
-    requests = []
+    issue = requests is None
+    if issue:
+        requests = []
     acc = masks[0]
     for mask in masks[1:]:
         nxt = pool.take()
         requests.append(("and", nxt, [acc, mask]))
         acc = nxt
-    runtime.pim_op_many(requests)
+    if issue:
+        pool.runtime.pim_op_many(requests)
     return acc
 
 

@@ -256,11 +256,15 @@ class ProgramCache:
 
     Values are :class:`repro.plan.compile.WaveProgram` /
     :class:`~repro.plan.compile.ToHostProgram` instances or the compile
-    module's ``SEEN_ONCE`` / ``UNCOMPILABLE`` markers.  Programs are
-    frame-agnostic and shape keys embed no content versions, so -- unlike
-    :class:`SubResultCache` entries -- they need no write invalidation:
-    a memory write changes *which* requests execute, never what a
-    shape's command stream looks like.  Eviction only ever costs a
+    module's ``SEEN_ONCE`` / ``UNCOMPILABLE`` markers; the arithmetic
+    subsystem's :class:`~repro.arith.compile.AnalyticsProgram` keeps its
+    whole-query analytics programs in a separate instance of this same
+    store.  Programs are frame-agnostic and shape keys embed no content
+    versions, so -- unlike :class:`SubResultCache` entries -- they need
+    no write invalidation: a memory write changes *which* requests
+    execute, never what a shape's command stream looks like.  (Analytics
+    programs *do* pin frames, and drop themselves via :meth:`discard`
+    from an allocator free listener.)  Eviction only ever costs a
     recompile on the next recurrence.
     """
 
@@ -295,6 +299,10 @@ class ProgramCache:
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.evictions += 1
+
+    def discard(self, key):
+        """Drop one entry (no tally); returns it, or ``None``."""
+        return self._entries.pop(key, None)
 
     def clear(self) -> None:
         self._entries.clear()

@@ -40,6 +40,7 @@ from repro.backends.protocol import (
 )
 from repro.backends.registry import registry
 from repro.runtime.wear import WearMonitor
+from repro.arith.compile import AnalyticsCompiler, analytics_program_key
 from repro.arith.kernels import (
     ScratchPool,
     combine_masks,
@@ -240,6 +241,9 @@ class ResidentPimEngine(ServiceEngine):
         #: scratch allocates in the tenant's affinity group, so masks
         #: and ripple intermediates stay on the tenant's shard
         self._arith_pools: Dict[Tuple[str, int], ScratchPool] = {}
+        #: whole-query analytics programs (shape-keyed, constants as
+        #: parameters); self-disables on unplanned/uncompiled runtimes
+        self.analytics_compiler = AnalyticsCompiler(self.runtime)
         geometry = self.runtime.system.geometry
         #: shards = independent (channel, bank) pairs: banks have their
         #: own row decoders and sense amps, so command streams touching
@@ -355,9 +359,15 @@ class ResidentPimEngine(ServiceEngine):
         plain_slots = []
         staged = []
         requests = []
+        fuse_token = None
         for i, call in enumerate(calls):
             if call.analytics is not None:
-                out[i] = self._execute_analytics(call)
+                # one fusion token per engine batch: concurrent analyze
+                # requests sharing a program validate once and replay
+                # as a fused pass (plan.analytics.fused_batches)
+                if fuse_token is None:
+                    fuse_token = self.analytics_compiler.new_batch()
+                out[i] = self._execute_analytics(call, fuse_token)
                 continue
             sources = [self._handles[(call.tenant, n)] for n in call.names]
             n_bits = min(h.n_bits for h in sources)
@@ -396,23 +406,55 @@ class ResidentPimEngine(ServiceEngine):
             self._arith_pools[key] = pool
         return pool
 
-    def _execute_analytics(self, call: ServiceCall) -> ExecutedCall:
+    def _execute_analytics(
+        self, call: ServiceCall, fuse_token: Optional[int] = None
+    ) -> ExecutedCall:
         """Run one filter+aggregate query on the resident vectors.
 
         Every gate goes through the runtime (priced by the controller,
         planned and compiled like any other stream); the cost of the
         whole kernel sequence is the runtime accounting delta, exactly
-        how :meth:`update_vector` prices delta repair.
+        how :meth:`update_vector` prices delta repair.  On a compiled
+        runtime a steady repeated query replays its
+        :class:`~repro.arith.compile.AnalyticsProgram` instead --
+        identical answers, bits and pricing, no planner work.
         """
         rt = self.runtime
         tenant = call.tenant
         filters, aggregate = call.analytics
+        compiler = self.analytics_compiler
+        tape = None
+        if compiler.enabled:
+            key, constants = analytics_program_key(
+                filters, aggregate, scope=tenant
+            )
+            rec = compiler.replay(key, constants, token=fuse_token)
+            if rec is not None:
+                return ExecutedCall(
+                    bits=rec.unpack_bits(),
+                    popcount=rec.popcount,
+                    latency_s=rec.latency_s * self.config.timing_scale,
+                    energy_j=rec.energy_j * self.config.energy_scale,
+                    steps=rec.instructions,
+                    in_memory=True,
+                    value=rec.value,
+                    groups=rec.groups,
+                )
         handles = {n: self._handles[(tenant, n)] for n in call.names}
         n_elems = min(h.n_bits for h in handles.values())
+        pool = self._arith_pool(tenant, n_elems)
+        if compiler.enabled:
+            tape = compiler.observe(
+                key,
+                constants,
+                lambda: list(handles.values()) + pool._constants,
+            )
+            if tape is not None and tape.scratch_high_water:
+                pool.preallocate(tape.scratch_high_water)
         lat0, en0 = rt.total_latency(), rt.total_energy()
         instr0 = rt.driver.stats.instructions
-        pool = self._arith_pool(tenant, n_elems)
         masks = []
+        requests: list = []
         for pred in filters:
             if pred[0] == "cmp":
                 _, column, op, value, n_bits = pred
@@ -420,7 +462,7 @@ class ResidentPimEngine(ServiceEngine):
                     handles[bitslice_vector_name(column, j)]
                     for j in range(n_bits)
                 ]
-                masks.append(compare_const(pool, planes, op, value))
+                masks.append(compare_const(pool, planes, op, value, requests))
             else:
                 _, column, lo, hi = pred
                 bins = [
@@ -429,15 +471,18 @@ class ResidentPimEngine(ServiceEngine):
                 ]
                 dest = pool.take()
                 if len(bins) == 1:
-                    rt.pim_op("or", dest, [bins[0], pool.zero])
+                    requests.append(("or", dest, [bins[0], pool.zero]))
                 else:
-                    rt.pim_op("or", dest, bins)
+                    requests.append(("or", dest, bins))
                 masks.append(dest)
         mask = (
-            combine_masks(pool, masks)
+            combine_masks(pool, masks, requests)
             if masks
-            else copy_plane(pool, pool.ones)
+            else copy_plane(pool, pool.ones, requests)
         )
+        # all predicate chains plus the conjunction land as one wave
+        if requests:
+            rt.pim_op_many(requests)
         # one to-host stream materialises the mask bits AND its count
         # (the count is free once the bits crossed the bus)
         bits = mask_bits(pool, mask)
@@ -459,7 +504,16 @@ class ResidentPimEngine(ServiceEngine):
             ]
             groups = tuple(masked_histogram(pool, bins, mask))
             value = float(sum(groups))
+        if tape is not None:
+            tape.finish(
+                popcount=popcount,
+                value=value,
+                groups=groups,
+                bits=bits,
+                high_water=pool.high_water,
+            )
         pool.recycle()
+        pool.assert_drained()
         return ExecutedCall(
             bits=bits,
             popcount=popcount,

@@ -48,6 +48,13 @@ _CSE_FOLDS = telemetry.counter("service.scheduler.cse_folds")
 #: dispatch stream the kernel compiler is absorbing
 _DISPATCHES = telemetry.counter("service.scheduler.dispatches")
 _BATCH_SIZE = telemetry.gauge("service.scheduler.batch_size")
+#: analytics reads dispatched.  The scheduler's contribution to analyze
+#: fusion is structural: all analyze requests of one dispatch reach the
+#: engine in a *single* ``execute`` batch, so the engine validates each
+#: analytics program once per batch token and replays every same-shape
+#: request against that one validation (``plan.analytics.fused_batches``
+#: counts the batches where that actually fused >= 2 requests).
+_ANALYTICS_CALLS = telemetry.counter("service.scheduler.analytics_calls")
 
 
 @dataclass(frozen=True)
@@ -175,6 +182,11 @@ class CoalescingScheduler:
         batch = updates + reads
         _DISPATCHES.add()
         _BATCH_SIZE.set(len(batch))
+        n_analytics = sum(
+            1 for r in reads if getattr(r, "kind", "") == "analytics"
+        )
+        if n_analytics:
+            _ANALYTICS_CALLS.add(n_analytics)
         executed = [
             self.engine.update_vector(r.tenant, r.vector, r.bits)
             for r in updates

@@ -241,3 +241,100 @@ class TestScratchPool:
         np.testing.assert_array_equal(
             rt.pim_read(copy_plane(pool, h))[:N], bits
         )
+
+
+class TestScratchPoolAccounting:
+    """The pool's honest books: in_use/high_water, canonical hand-out,
+    preallocation, and the post-query leak check."""
+
+    def test_in_use_and_high_water_track_takes(self, rt):
+        pool = ScratchPool(rt, N)
+        planes = [pool.take() for _ in range(3)]
+        assert pool.in_use == 3
+        assert pool.high_water == 3
+        assert pool.allocated == 3
+        pool.recycle()
+        assert pool.in_use == 0
+        assert pool.high_water == 3  # lifetime peak survives recycle
+        pool.take()
+        assert pool.high_water == 3
+        assert planes  # keep the handles alive through the assertions
+
+    def test_canonical_hand_out_is_history_independent(self, rt):
+        # pricing depends on which physical planes a query grabs, so
+        # take() must hand out the same planes in the same order no
+        # matter what earlier queries did with the pool
+        pool = ScratchPool(rt, N)
+        first = [pool.take() for _ in range(4)]
+        pool.recycle()
+        # scramble the history: take 2, recycle, take 3, recycle...
+        for k in (2, 3, 1):
+            for _ in range(k):
+                pool.take()
+            pool.recycle()
+        again = [pool.take() for _ in range(4)]
+        assert again == first
+        pool.recycle()
+        # ...and pool growth never perturbs the stable prefix
+        pool.preallocate(8)
+        assert [pool.take() for _ in range(4)] == first
+
+    def test_preallocate_grows_free_list_without_double_alloc(self, rt):
+        pool = ScratchPool(rt, N)
+        pool.preallocate(5)
+        assert pool.allocated == 5
+        assert pool.stats()["free"] == 5
+        pool.preallocate(3)  # never shrinks, never re-allocates
+        assert pool.allocated == 5
+        taken = [pool.take() for _ in range(5)]
+        assert pool.allocated == 5  # served from the warmed free list
+        assert len(taken) == 5
+
+    def test_stats_snapshot(self, rt):
+        pool = ScratchPool(rt, N)
+        a = pool.take()
+        b = pool.take()
+        pool.reserve(a)
+        assert pool.stats() == {
+            "allocated": 2,
+            "in_use": 1,
+            "free": 0,
+            "reserved": 1,
+            "high_water": 2,
+        }
+        assert b is not a
+
+    def test_assert_drained_passes_after_recycle(self, rt):
+        pool = ScratchPool(rt, N)
+        for _ in range(3):
+            pool.take()
+        pool.recycle()
+        pool.assert_drained()
+
+    def test_assert_drained_catches_leak(self, rt):
+        pool = ScratchPool(rt, N)
+        pool.take()
+        with pytest.raises(AssertionError, match="scratch pool leak"):
+            pool.assert_drained()
+
+    def test_assert_drained_catches_unbalanced_books(self, rt):
+        pool = ScratchPool(rt, N)
+        pool.take()
+        pool.recycle()
+        pool._free.pop()  # simulate a plane recycled into the wrong pool
+        with pytest.raises(AssertionError, match="out of balance"):
+            pool.assert_drained()
+
+    def test_free_all_resets_books(self, rt):
+        pool = ScratchPool(rt, N)
+        for _ in range(3):
+            pool.take()
+        pool.recycle()
+        pool.free_all()
+        assert pool.stats() == {
+            "allocated": 0,
+            "in_use": 0,
+            "free": 0,
+            "reserved": 0,
+            "high_water": 3,
+        }

@@ -198,3 +198,110 @@ class TestEngineOracle:
         handle = client.analyze("t", [("cmp", "age", "lt", 30, 6)], ("count",))
         client.run()
         assert handle.result().popcount == int((data["age"] < 30).sum())
+
+
+class TestAnalyticsPrograms:
+    """Whole-query program replay through the engine: steady repeats
+    serve from the analytics compiler, batches fuse, and the compiled
+    fast path stays byte-identical to interpretation."""
+
+    def _stream(self, client, k, at):
+        handles = [
+            client.analyze(
+                "t", [("cmp", "age", "lt", 30, 6)], ("count",), at=at
+            )
+            for _ in range(k)
+        ]
+        client.run()
+        return handles
+
+    def test_steady_repeats_replay(self):
+        data = dataset()
+        svc, client = loaded_client(data)
+        want = int((data["age"] < 30).sum())
+        for t in range(1, 6):
+            (handle,) = self._stream(client, 1, float(t))
+            assert handle.result().popcount == want
+        stats = svc.engine.analytics_compiler.stats
+        assert stats.programs == 1
+        assert stats.replays >= 1
+        svc.verify_results()
+
+    def test_same_batch_requests_fuse(self):
+        data = dataset()
+        svc, client = loaded_client(data)
+        for t in range(1, 5):
+            handles = self._stream(client, 4, float(t))
+            want = int((data["age"] < 30).sum())
+            for h in handles:
+                assert h.result().popcount == want
+        stats = svc.engine.analytics_compiler.stats
+        assert stats.fused_batches >= 1
+        assert stats.fused_requests >= 2
+        svc.verify_results()
+
+    def test_replayed_results_byte_identical_to_interpreted_engine(self):
+        from repro.service.engine import build_engine
+
+        data = dataset()
+
+        def run_stack(compile_):
+            from repro.service.service import ServiceConfig
+
+            config = ServiceConfig()
+            engine = build_engine(
+                config.system, plan=True, compile=compile_
+            )
+            svc = BitmapQueryService(config=config, engine=engine)
+            client = ServiceClient(svc)
+            client.register_tenant("t")
+            client.load_bitslice_column("t", "age", data["age"], 6)
+            client.load_bitmap_index("t", "region", data["region"], 8)
+            out = []
+            for t in range(1, 6):
+                handle = client.analyze(
+                    "t",
+                    [("cmp", "age", "ge", 30, 6), ("range", "region", 2, 5)],
+                    ("count",),
+                    at=float(t),
+                )
+                client.run()
+                out.append(handle.result().to_dict())
+            return out
+
+        compiled = run_stack(True)
+        interpreted = run_stack(False)
+        # answers are exact; simulated timing agrees to the 1e-9 parity
+        # bound (recorded deltas are reconstructed by float subtraction,
+        # so the last few ulps may differ from an in-order sum)
+        for a, b in zip(compiled, interpreted):
+            for key, got in a.items():
+                want = b[key]
+                if isinstance(got, float):
+                    assert got == pytest.approx(want, rel=1e-9), key
+                else:
+                    assert got == want, key
+
+    def test_plan_analytics_counters_are_live(self):
+        from repro import telemetry
+
+        replays0 = telemetry.counter("plan.analytics.replays").value
+        compiles0 = telemetry.counter("plan.analytics.compiles").value
+        data = dataset()
+        svc, client = loaded_client(data)
+        for t in range(1, 6):
+            self._stream(client, 2, float(t))
+        assert telemetry.counter("plan.analytics.compiles").value > compiles0
+        assert telemetry.counter("plan.analytics.replays").value > replays0
+
+    def test_scheduler_counts_analytics_dispatches(self):
+        from repro import telemetry
+
+        before = telemetry.counter(
+            "service.scheduler.analytics_calls"
+        ).value
+        data = dataset()
+        svc, client = loaded_client(data)
+        self._stream(client, 3, 1.0)
+        after = telemetry.counter("service.scheduler.analytics_calls").value
+        assert after >= before + 3
